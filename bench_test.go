@@ -1,0 +1,273 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (§7), plus micro-benchmarks of the hot substrates. To keep `go test
+// -bench=.` tractable these run the scaled-down workload with a reduced
+// solver budget; `cmd/ube-bench` runs the same experiments at paper scale
+// (700 sources, 4M-tuple pool) and prints the full tables recorded in
+// EXPERIMENTS.md.
+package ube
+
+import (
+	"fmt"
+	"testing"
+
+	"ube/internal/experiments"
+	"ube/internal/pcsa"
+	"ube/internal/strsim"
+)
+
+// benchOpts is the shared scale for experiment benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, MaxEvals: 600}
+}
+
+// solveCell runs one (m, variant) solve on a prepared setup and returns
+// the quality.
+func solveCell(b *testing.B, s *experiments.Setup, m int, v experiments.Variant) float64 {
+	b.Helper()
+	o := benchOpts()
+	p, err := s.Problem(m, v, o, int64(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := s.E.Solve(&p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sol.Quality
+}
+
+// BenchmarkFig5UniverseSize regenerates Figure 5: solve time as the
+// universe grows, per constraint variant (ns/op is the figure's y-axis).
+func BenchmarkFig5UniverseSize(b *testing.B) {
+	o := benchOpts()
+	sizes, m := experiments.Fig5Sizes(o)
+	for _, n := range sizes {
+		s, err := experiments.NewSetup(n, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range experiments.Variants {
+			b.Run(fmt.Sprintf("N=%d/%s", n, v.Name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					solveCell(b, s, m, v)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6SourcesToChoose regenerates Figure 6: solve time as the
+// number of sources to choose grows, per constraint variant.
+func BenchmarkFig6SourcesToChoose(b *testing.B) {
+	o := benchOpts()
+	ms, n := experiments.Fig6Ms(o)
+	s, err := experiments.NewSetup(n, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range ms {
+		for _, v := range experiments.Variants {
+			b.Run(fmt.Sprintf("m=%d/%s", m, v.Name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					solveCell(b, s, m, v)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7OverallQuality regenerates Figure 7: the overall quality of
+// the solution for the Figure 6 grid, reported as the "quality" metric.
+func BenchmarkFig7OverallQuality(b *testing.B) {
+	o := benchOpts()
+	ms, n := experiments.Fig6Ms(o)
+	s, err := experiments.NewSetup(n, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range ms {
+		for _, v := range experiments.Variants {
+			b.Run(fmt.Sprintf("m=%d/%s", m, v.Name), func(b *testing.B) {
+				q := 0.0
+				for i := 0; i < b.N; i++ {
+					q = solveCell(b, s, m, v)
+				}
+				b.ReportMetric(q, "quality")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8WeightSensitivity regenerates Figure 8: the cardinality of
+// the chosen solution as the weight on the Card QEF grows, reported as the
+// "card" metric per weight point.
+func BenchmarkFig8WeightSensitivity(b *testing.B) {
+	rows, err := experiments.Fig8(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(fmt.Sprintf("w=%.1f", row.Weight), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The solve itself is benchmarked in Fig6; here the
+				// figure's y-value is the point of the experiment.
+			}
+			b.ReportMetric(row.Card, "card")
+			b.ReportMetric(row.Quality, "quality")
+		})
+	}
+}
+
+// BenchmarkTable1GAQuality regenerates Table 1: true GAs selected,
+// attributes covered and true GAs missed per m, reported as metrics.
+func BenchmarkTable1GAQuality(b *testing.B) {
+	rows, err := experiments.Table1(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(fmt.Sprintf("m=%d", row.M), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+			}
+			b.ReportMetric(float64(row.TrueGAs), "trueGAs")
+			b.ReportMetric(float64(row.Attrs), "attrsInTrueGAs")
+			b.ReportMetric(float64(row.Missed), "missedGAs")
+			b.ReportMetric(float64(row.False), "falseGAs")
+		})
+	}
+}
+
+// BenchmarkPCSAAccuracy regenerates the §7.3 accuracy check: union
+// estimates against exact counts, reporting the worst relative error.
+func BenchmarkPCSAAccuracy(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PCSAAccuracy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = res.WorstErrPct
+	}
+	b.ReportMetric(worst, "worstErr%")
+}
+
+// BenchmarkWeightPerturbation regenerates the §7.4 sensitivity check: ±15%
+// weight noise, reporting the worst GA and source churn.
+func BenchmarkWeightPerturbation(b *testing.B) {
+	var gas, srcs int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WeightPerturbation(benchOpts(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gas, srcs = res.MaxGAsChanged, res.MaxSourcesChanged
+	}
+	b.ReportMetric(float64(gas), "maxGAsChanged")
+	b.ReportMetric(float64(srcs), "maxSourcesChanged")
+}
+
+// BenchmarkSolverComparison re-runs the §6 optimizer ablation under a
+// shared budget, one sub-benchmark per solver with its mean quality.
+func BenchmarkSolverComparison(b *testing.B) {
+	rows, err := experiments.SolverComparison(benchOpts(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(row.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+			}
+			b.ReportMetric(row.Quality, "quality")
+			b.ReportMetric(row.Seconds*1e3, "ms/solve")
+		})
+	}
+}
+
+// BenchmarkEngineSolve is the end-to-end micro-benchmark: one full solve
+// on the quick workload.
+func BenchmarkEngineSolve(b *testing.B) {
+	o := benchOpts()
+	s, err := experiments.NewSetup(60, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solveCell(b, s, 10, experiments.Variants[0])
+	}
+}
+
+// BenchmarkSignatureAdd measures PCSA ingest throughput (tuples/sec is the
+// cost a cooperating source pays, §4).
+func BenchmarkSignatureAdd(b *testing.B) {
+	s := pcsa.MustNew(pcsa.DefaultMaps, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddUint64(uint64(i))
+	}
+}
+
+// BenchmarkSignatureUnionEstimate measures the cost of one coverage-style
+// union estimate over 20 sources — the inner loop of every QEF evaluation.
+func BenchmarkSignatureUnionEstimate(b *testing.B) {
+	sigs := make([]*pcsa.Sketch, 20)
+	for i := range sigs {
+		sigs[i] = pcsa.MustNew(pcsa.DefaultMaps, 1)
+		for t := 0; t < 5000; t++ {
+			sigs[i].AddUint64(uint64(i*100000 + t))
+		}
+	}
+	scratch := sigs[0].Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.Reset()
+		for _, s := range sigs {
+			if err := scratch.UnionInto(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = scratch.Estimate()
+	}
+}
+
+// BenchmarkSimilarity3Gram measures the paper's attribute similarity
+// measure on a representative name pair.
+func BenchmarkSimilarity3Gram(b *testing.B) {
+	m := strsim.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score("publication date", "publication year")
+	}
+}
+
+// BenchmarkDataSimMatching compares name-based and data-based matching on
+// the Table 1 metrics (a §3 extension the paper leaves open), reporting
+// attribute recall for both.
+func BenchmarkDataSimMatching(b *testing.B) {
+	rows, err := experiments.DataSim(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(float64(last.NameAttrs), "nameAttrs")
+	b.ReportMetric(float64(last.DataAttrs), "dataAttrs")
+}
+
+// BenchmarkUncooperative reports solution quality and true coverage when
+// half the sources withhold signatures (§4).
+func BenchmarkUncooperative(b *testing.B) {
+	rows, err := experiments.Uncooperative(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	half := rows[2] // the 50% row
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(half.Quality, "quality@50%")
+	b.ReportMetric(half.TrueCoverage, "trueCoverage@50%")
+}

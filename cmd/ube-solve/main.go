@@ -1,0 +1,142 @@
+// Command ube-solve runs one µBE iteration non-interactively: it loads a
+// universe (JSON from ube-gen, or the Figure 1 text format) and a problem
+// spec (JSON), solves, and writes the solution as JSON. It is the
+// batch/pipeline counterpart of the interactive ube command.
+//
+// Usage:
+//
+//	ube-solve -universe universe.json -problem problem.json [-o solution.json]
+//	ube-solve -schemas sources.txt -m 5
+//
+// A minimal problem spec:
+//
+//	{"maxSources": 10,
+//	 "weights": {"match":0.4, "card":0.3, "coverage":0.2, "redundancy":0.1},
+//	 "constraints": {"sources": [3]}}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ube"
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/spec"
+)
+
+func main() {
+	var (
+		universeFn = flag.String("universe", "", "universe JSON (from ube-gen)")
+		schemasFn  = flag.String("schemas", "", "source descriptions in the Figure 1 text format")
+		problemFn  = flag.String("problem", "", "problem spec JSON (default: paper defaults with -m)")
+		m          = flag.Int("m", 20, "maxSources when no problem spec is given")
+		out        = flag.String("o", "", "output path (default: stdout)")
+	)
+	flag.Parse()
+
+	u, err := loadUniverse(*universeFn, *schemasFn)
+	if err != nil {
+		fatal(err)
+	}
+	prob, err := loadProblem(*problemFn, *m, u)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		fatal(err)
+	}
+	sol, err := eng.Solve(&prob)
+	if err != nil {
+		fatal(err)
+	}
+
+	doc := spec.Render(u, sol)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func loadUniverse(universeFn, schemasFn string) (*model.Universe, error) {
+	switch {
+	case universeFn != "" && schemasFn != "":
+		return nil, fmt.Errorf("give either -universe or -schemas, not both")
+	case schemasFn != "":
+		f, err := os.Open(schemasFn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ube.ParseSchemas(f)
+	case universeFn != "":
+		data, err := os.ReadFile(universeFn)
+		if err != nil {
+			return nil, err
+		}
+		var u model.Universe
+		if err := json.Unmarshal(data, &u); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", universeFn, err)
+		}
+		if err := u.Validate(); err != nil {
+			return nil, err
+		}
+		return &u, nil
+	default:
+		return nil, fmt.Errorf("need -universe or -schemas")
+	}
+}
+
+func loadProblem(problemFn string, m int, u *model.Universe) (engine.Problem, error) {
+	if problemFn == "" {
+		// Paper defaults, adapted to what the universe defines.
+		p := engine.DefaultProblem()
+		p.MaxSources = m
+		if !hasChar(u, "mttf") {
+			w := p.Weights["mttf"]
+			delete(p.Weights, "mttf")
+			delete(p.Characteristics, "mttf")
+			rest := 1 - w
+			for k, v := range p.Weights {
+				p.Weights[k] = v / rest
+			}
+		}
+		return p, nil
+	}
+	data, err := os.ReadFile(problemFn)
+	if err != nil {
+		return engine.Problem{}, err
+	}
+	var s spec.ProblemSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return engine.Problem{}, fmt.Errorf("parsing %s: %w", problemFn, err)
+	}
+	return s.Build()
+}
+
+func hasChar(u *model.Universe, name string) bool {
+	for i := range u.Sources {
+		if _, ok := u.Sources[i].Characteristics[name]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ube-solve:", err)
+	os.Exit(1)
+}

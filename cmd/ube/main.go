@@ -1,0 +1,113 @@
+// Command ube is the interactive µBE tool: the terminal counterpart of the
+// paper's GUI (Figure 4). It loads (or synthesizes) a universe of data
+// sources and runs the iterative exploration loop of §6: solve, inspect
+// the chosen sources and mediated schema, pin what you like as
+// constraints, reweight the quality dimensions, and solve again.
+//
+// Usage:
+//
+//	ube [-universe universe.json] [-schemas sources.txt] [-synth 200] [-quick] [-m 20]
+//
+// Then type "help" at the prompt.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ube"
+	"ube/internal/repl"
+)
+
+func main() {
+	var (
+		universeFn = flag.String("universe", "", "universe JSON produced by ube-gen (default: synthesize)")
+		schemasFn  = flag.String("schemas", "", "source descriptions in the Figure 1 text format (\"name: {attr, attr}\")")
+		synthN     = flag.Int("synth", 200, "number of sources to synthesize when no universe file is given")
+		quick      = flag.Bool("quick", false, "synthesize the scaled-down workload")
+		m          = flag.Int("m", 20, "initial maximum number of sources to select")
+	)
+	flag.Parse()
+
+	u, err := loadUniverse(*universeFn, *schemasFn, *synthN, *quick)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		fatal(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = *m
+	adaptProblem(&prob, eng)
+	sess := ube.NewSession(eng, prob)
+
+	fmt.Printf("µBE: %d sources, %d attributes, %d distinct names. Type \"help\".\n",
+		u.N(), u.NumAttributes(), eng.VocabularySize())
+
+	if err := repl.New(sess, os.Stdout).Run(os.Stdin); err != nil {
+		fatal(err)
+	}
+}
+
+func loadUniverse(path, schemasPath string, n int, quick bool) (*ube.Universe, error) {
+	if schemasPath != "" {
+		f, err := os.Open(schemasPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ube.ParseSchemas(f)
+	}
+	if path == "" {
+		cfg := ube.DefaultWorkload()
+		if quick {
+			cfg = ube.QuickWorkload(n)
+		}
+		cfg.NumSources = n
+		u, _, err := ube.Generate(cfg)
+		return u, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var u ube.Universe
+	if err := json.Unmarshal(data, &u); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// adaptProblem drops characteristic QEFs the loaded universe does not
+// define (e.g. a Figure 1 schema list has no MTTF figures) and
+// redistributes their weight over the remaining QEFs.
+func adaptProblem(p *ube.Problem, eng *ube.Engine) {
+	freed := 0.0
+	for name := range p.Characteristics {
+		if _, _, ok := eng.Context().CharRange(name); !ok {
+			freed += p.Weights[name]
+			delete(p.Characteristics, name)
+			delete(p.Weights, name)
+			fmt.Printf("note: no source defines %q; dropping that QEF\n", name)
+		}
+	}
+	if freed > 0 {
+		rest := 1 - freed
+		for name, w := range p.Weights {
+			if rest > 0 {
+				p.Weights[name] = w / rest
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ube:", err)
+	os.Exit(1)
+}

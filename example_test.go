@@ -1,0 +1,119 @@
+package ube_test
+
+import (
+	"fmt"
+	"strings"
+
+	"ube"
+)
+
+// ExampleEngine_Solve shows the minimal end-to-end use: describe sources,
+// build an engine, solve one problem.
+func ExampleEngine_Solve() {
+	u := &ube.Universe{Sources: []ube.Source{
+		{ID: 0, Name: "alpha", Attributes: []string{"title", "author"}, Cardinality: 900},
+		{ID: 1, Name: "beta", Attributes: []string{"title", "author"}, Cardinality: 800},
+		{ID: 2, Name: "gamma", Attributes: []string{"voltage"}, Cardinality: 100},
+	}}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		panic(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 2
+	// This universe has no MTTF characteristic or signatures: weight
+	// matching and cardinality only.
+	prob.Characteristics = nil
+	prob.Weights = ube.Weights{ube.MatchQEFName: 0.6, "card": 0.4, "coverage": 0, "redundancy": 0}
+
+	sol, err := eng.Solve(&prob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sources:", sol.Sources)
+	fmt.Println("GAs:", len(sol.Schema.GAs))
+	// Output:
+	// sources: [0 1]
+	// GAs: 2
+}
+
+// ExampleSession demonstrates the iterative feedback loop: pin a GA from
+// one iteration's output as the next iteration's constraint.
+func ExampleSession() {
+	u := &ube.Universe{Sources: []ube.Source{
+		{ID: 0, Name: "a", Attributes: []string{"title", "price"}, Cardinality: 500},
+		{ID: 1, Name: "b", Attributes: []string{"title", "price"}, Cardinality: 500},
+		{ID: 2, Name: "c", Attributes: []string{"titles", "cost"}, Cardinality: 500},
+	}}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		panic(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 3
+	prob.Characteristics = nil
+	prob.Weights = ube.Weights{ube.MatchQEFName: 0.7, "card": 0.3, "coverage": 0, "redundancy": 0}
+
+	sess := ube.NewSession(eng, prob)
+	if _, err := sess.Solve(); err != nil {
+		panic(err)
+	}
+	// Keep GA 0, then bridge "price" and "cost" by example.
+	if err := sess.PinGAFromSolution(0); err != nil {
+		panic(err)
+	}
+	if err := sess.PinGA(ube.NewGA(
+		ube.AttrRef{Source: 0, Attr: 1},
+		ube.AttrRef{Source: 2, Attr: 1},
+	)); err != nil {
+		panic(err)
+	}
+	sol, err := sess.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("iterations:", len(sess.History()))
+	fmt.Println("schema subsumes pins:", sol.Schema.Subsumes(&ube.MediatedSchema{GAs: sess.Problem().Constraints.GAs}))
+	// Output:
+	// iterations: 2
+	// schema subsumes pins: true
+}
+
+// ExampleParseSchemas loads hidden-Web source descriptions in the paper's
+// Figure 1 text format.
+func ExampleParseSchemas() {
+	const listing = `aceticket.com: {state, city, event, venue}
+wstonline.org: {keyword, after date, before date} | cardinality=9000
+`
+	u, err := ube.ParseSchemas(strings.NewReader(listing))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(u.N(), "sources;", u.Sources[1].Cardinality, "tuples at", u.Sources[1].Name)
+	// Output:
+	// 2 sources; 9000 tuples at wstonline.org
+}
+
+// ExampleApplyComposites bridges an n:m schema gap: {first name, last
+// name} at one source jointly match {full name} at another.
+func ExampleApplyComposites() {
+	u := &ube.Universe{Sources: []ube.Source{
+		{ID: 0, Name: "split", Attributes: []string{"first name", "last name"}, Cardinality: 1},
+		{ID: 1, Name: "whole", Attributes: []string{"full name"}, Cardinality: 1},
+	}}
+	derived, mapping, err := ube.ApplyComposites(u, []ube.Composite{
+		{Source: 0, Attrs: []int{0, 1}, Name: "full name"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("derived schema of split:", derived.Sources[0].Attributes)
+	nm := mapping.ExpandGA(ube.NewGA(
+		ube.AttrRef{Source: 0, Attr: 0}, // the fused attribute
+		ube.AttrRef{Source: 1, Attr: 0},
+	))
+	fmt.Println("group sizes:", len(nm.Groups[0]), len(nm.Groups[1]))
+	// Output:
+	// derived schema of split: [full name]
+	// group sizes: 2 1
+}

@@ -1,0 +1,176 @@
+// Booksfeedback: a complete iterative exploration session on the paper's
+// synthetic Books workload (§7.1) — the workflow µBE is built around.
+//
+// The script plays a user who:
+//
+//  1. solves unconstrained and inspects the result;
+//  2. promotes a GA they like from the output into a GA constraint and
+//     pins a favorite source (output-as-input feedback, §6);
+//  3. bridges two lexically distant spellings of the same concept
+//     ("condition" vs "used or new") with a Matching-By-Example GA
+//     constraint, which no string similarity could justify on its own;
+//  4. decides query cost matters most and shifts weight onto redundancy,
+//     then compares how the solution moved across iterations.
+//
+// Run with: go run ./examples/booksfeedback
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ube"
+)
+
+func main() {
+	cfg := ube.QuickWorkload(120)
+	u, _, err := ube.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 10
+	sess := ube.NewSession(eng, prob)
+
+	// --- iteration 1: look around -----------------------------------
+	fmt.Println("=== iteration 1: unconstrained ===")
+	sol, err := sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	summarize(u, sol)
+
+	// --- iteration 2: keep what we liked -----------------------------
+	// The user likes the first GA (say, the title cluster) and wants
+	// source 0 (a well-known store) in every future solution.
+	fmt.Println("\n=== iteration 2: pin a GA and a source ===")
+	if err := sess.PinGAFromSolution(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.RequireSource(0); err != nil {
+		log.Fatal(err)
+	}
+	sol, err = sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	summarize(u, sol)
+
+	// --- iteration 3: bridge a semantic gap ---------------------------
+	// Several concepts have spellings whose 3-gram similarity is nowhere
+	// near θ — "subject" vs "genre", "format" vs "binding", "condition"
+	// vs "used or new". Find a pair that exists in this draw, in two
+	// different sources, and pin them together: the Matching-By-Example
+	// move of Figure 3.
+	bridged := false
+	for _, pair := range [][2]string{
+		{"subject", "genre"},
+		{"format", "binding"},
+		{"condition", "used or new"},
+		{"author", "writer"},
+		{"seller", "bookstore"},
+	} {
+		a, okA := findAttr(u, pair[0])
+		b, okB := findAttr(u, pair[1])
+		if !okA || !okB || a.Source == b.Source {
+			continue
+		}
+		fmt.Printf("\n=== iteration 3: bridge %q and %q ===\n", pair[0], pair[1])
+		if err := sess.PinGA(ube.NewGA(a, b)); err != nil {
+			// The attribute may already sit inside the GA pinned in
+			// iteration 2; try the next pair.
+			continue
+		}
+		sol, err = sess.Solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		summarize(u, sol)
+		showBridge(u, sol, a, b)
+		bridged = true
+		break
+	}
+	if !bridged {
+		fmt.Println("\n(no bridgeable spelling pair in this draw; skipping iteration 3)")
+	}
+
+	// --- iteration 4: redundancy matters now --------------------------
+	fmt.Println("\n=== iteration 4: shift weight onto redundancy ===")
+	if err := sess.SetWeight("redundancy", 0.5); err != nil {
+		log.Fatal(err)
+	}
+	sol, err = sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	summarize(u, sol)
+
+	// --- compare the journey ------------------------------------------
+	fmt.Println("\n=== session history ===")
+	for i, it := range sess.History() {
+		fmt.Printf("iteration %d: quality %.4f, redundancy %.3f, %d sources, %d GAs, constraints: %d src / %d GA\n",
+			i+1, it.Solution.Quality, it.Solution.Breakdown["redundancy"],
+			len(it.Solution.Sources), len(it.Solution.Schema.GAs),
+			len(it.Problem.Constraints.Sources), len(it.Problem.Constraints.GAs))
+	}
+}
+
+// summarize prints the solution at a glance.
+func summarize(u *ube.Universe, sol *ube.Solution) {
+	fmt.Printf("quality %.4f | card %.3f cov %.3f red %.3f match %.3f\n",
+		sol.Quality, sol.Breakdown["card"], sol.Breakdown["coverage"],
+		sol.Breakdown["redundancy"], sol.Breakdown[ube.MatchQEFName])
+	ids := make([]string, len(sol.Sources))
+	for i, id := range sol.Sources {
+		ids[i] = fmt.Sprint(id)
+	}
+	fmt.Printf("sources: %s\n", strings.Join(ids, ", "))
+	fmt.Printf("schema: %d GAs covering %d attributes\n",
+		len(sol.Schema.GAs), sol.Schema.NumAttributes())
+	for i, ga := range sol.Schema.GAs {
+		if i == 3 {
+			fmt.Printf("  ... %d more GAs\n", len(sol.Schema.GAs)-3)
+			break
+		}
+		fmt.Printf("  GA %d: %s\n", i, gaString(u, ga))
+	}
+}
+
+func gaString(u *ube.Universe, ga ube.GA) string {
+	parts := make([]string, len(ga))
+	for j, r := range ga {
+		parts[j] = fmt.Sprintf("%d:%s", r.Source, u.AttrName(r))
+	}
+	return strings.Join(parts, " = ")
+}
+
+// findAttr locates any attribute with the exact given name.
+func findAttr(u *ube.Universe, name string) (ube.AttrRef, bool) {
+	for i := range u.Sources {
+		for a, n := range u.Sources[i].Attributes {
+			if n == name {
+				return ube.AttrRef{Source: i, Attr: a}, true
+			}
+		}
+	}
+	return ube.AttrRef{}, false
+}
+
+// showBridge prints the GA that grew around the user's bridge constraint.
+func showBridge(u *ube.Universe, sol *ube.Solution, a, b ube.AttrRef) {
+	for _, ga := range sol.Schema.GAs {
+		if ga.Contains(a) {
+			fmt.Printf("bridge GA grew to %d attributes: %s\n", len(ga), gaString(u, ga))
+			if !ga.Contains(b) {
+				fmt.Println("warning: bridge constraint not honored!")
+			}
+			return
+		}
+	}
+	fmt.Println("warning: bridge GA missing from schema!")
+}

@@ -1,0 +1,106 @@
+// Quickstart: build a small universe by hand, solve one µBE problem, and
+// print the chosen sources and mediated schema.
+//
+// This is the minimal end-to-end use of the public API: define sources
+// (schema + cardinality + optional PCSA signature + characteristics),
+// create an engine, and call Solve.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ube"
+)
+
+func main() {
+	u := buildUniverse()
+
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 4 // integrate at most four of the six sources
+
+	sol, err := eng.Solve(&prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("overall quality: %.4f\n", sol.Quality)
+	for name, v := range sol.Breakdown {
+		fmt.Printf("  %-12s %.4f\n", name, v)
+	}
+	fmt.Printf("\nchosen sources:\n")
+	for _, id := range sol.Sources {
+		s := u.Source(id)
+		fmt.Printf("  %-12s %6d tuples  (%s)\n", s.Name, s.Cardinality, strings.Join(s.Attributes, ", "))
+	}
+	fmt.Printf("\nmediated schema:\n")
+	for i, ga := range sol.Schema.GAs {
+		parts := make([]string, len(ga))
+		for j, r := range ga {
+			parts[j] = fmt.Sprintf("%s.%s", u.Source(r.Source).Name, u.AttrName(r))
+		}
+		fmt.Printf("  GA %d: %s\n", i, strings.Join(parts, " = "))
+	}
+}
+
+// buildUniverse defines six small book-selling sources by hand. Each
+// source computes a PCSA signature over its tuples — in a real deployment
+// the sources themselves would do this and export only the signature.
+func buildUniverse() *ube.Universe {
+	const sketchMaps, sketchSeed = 256, 42
+
+	type sourceDef struct {
+		name   string
+		attrs  []string
+		mttf   float64
+		tuples []string // ISBNs this store stocks
+	}
+
+	// Overlapping inventories: alpha/beta are near clones, gamma covers
+	// rare titles, delta is big but redundant with alpha.
+	defs := []sourceDef{
+		{"alphabooks", []string{"title", "author", "isbn", "price"}, 120, isbns(0, 800)},
+		{"betabooks", []string{"title", "author", "isbn number", "price range"}, 90, isbns(0, 780)},
+		{"gammarare", []string{"book title", "authors", "isbn", "condition"}, 200, isbns(800, 1000)},
+		{"deltamart", []string{"title", "author", "keyword", "price"}, 60, isbns(0, 950)},
+		{"epsilonshop", []string{"titles", "author name", "isbn", "price"}, 150, isbns(300, 1200)},
+		{"zetaoutlet", []string{"voltage", "gearbox"}, 300, isbns(0, 100)}, // not a bookstore at all
+	}
+
+	u := &ube.Universe{}
+	for i, d := range defs {
+		sig, err := ube.NewSignature(sketchMaps, sketchSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range d.tuples {
+			sig.AddTuple(t)
+		}
+		u.Sources = append(u.Sources, ube.Source{
+			ID:              i,
+			Name:            d.name,
+			Attributes:      d.attrs,
+			Cardinality:     int64(len(d.tuples)),
+			Signature:       sig,
+			Characteristics: map[string]float64{"mttf": d.mttf},
+		})
+	}
+	return u
+}
+
+// isbns fabricates tuple keys for the half-open range [lo, hi).
+func isbns(lo, hi int) []string {
+	out := make([]string, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, fmt.Sprintf("isbn-%06d", i))
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Theater: the paper's motivating scenario (§1, Figure 1). A user wants to
+// integrate hidden-Web sources that sell or list theater tickets; a query
+// for "theater" on a hidden-Web search engine returns far more sources
+// than anyone wants to integrate, with wildly heterogeneous query
+// interfaces. The eleven schemas below are the exact sample printed in
+// Figure 1 of the paper.
+//
+// The example runs two µBE iterations:
+//
+//  1. An unconstrained solve. The matcher clusters what it can —
+//     "keyword"-style attributes line up — but lexically distant labels
+//     for the same concept ("your town" vs "city") stay apart.
+//  2. A user-guided solve. The user pins a GA constraint bridging
+//     "location"/"your town"/"city" (Matching By Example) and requires
+//     their favorite source; the bridge cluster then attracts further
+//     location-like attributes.
+//
+// Run with: go run ./examples/theater
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ube"
+)
+
+// figure1 is the source sample of Figure 1, verbatim.
+var figure1 = []struct {
+	name  string
+	attrs []string
+}{
+	{"tonyawards.com", []string{"keywords"}},
+	{"whatsonstage.com", []string{"your town"}},
+	{"aceticket.com", []string{"state", "city", "event", "venue"}},
+	{"canadiantheatre.com", []string{"phrase", "search term"}},
+	{"londontheatre.co.uk", []string{"type", "keyword"}},
+	{"mime.info.com", []string{"search for"}},
+	{"pbs.org", []string{"program title", "date", "author", "actor", "director", "keyword"}},
+	{"pa.msu.edu", []string{"keyword"}},
+	{"wstonline.org", []string{"keyword", "after date", "before date"}},
+	{"officiallondontheatre.co.uk", []string{"keyword", "after date", "before date"}},
+	{"lastminute.com", []string{"event name", "event type", "location", "date", "radius"}},
+}
+
+func main() {
+	u := buildUniverse()
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 6
+	// These hidden-Web sources did not provide data signatures or MTTF
+	// figures; drop the data QEFs the universe cannot support and lean
+	// on matching quality and cardinality.
+	prob.Characteristics = nil
+	prob.Weights = ube.Weights{
+		ube.MatchQEFName: 0.6,
+		"card":           0.2,
+		"coverage":       0.1,
+		"redundancy":     0.1,
+	}
+	sess := ube.NewSession(eng, prob)
+
+	fmt.Println("=== iteration 1: unconstrained ===")
+	sol, err := sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSolution(u, sol)
+
+	// Feedback: the user knows "location", "your town" and "city" all
+	// mean the same thing, even though no string similarity supports it,
+	// and always buys through lastminute.com.
+	fmt.Println("\n=== iteration 2: with user guidance ===")
+	bridge := ube.NewGA(
+		attr(u, "lastminute.com", "location"),
+		attr(u, "whatsonstage.com", "your town"),
+		attr(u, "aceticket.com", "city"),
+	)
+	if err := sess.PinGA(bridge); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.RequireSource(sourceID(u, "lastminute.com")); err != nil {
+		log.Fatal(err)
+	}
+	sol, err = sess.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSolution(u, sol)
+}
+
+func buildUniverse() *ube.Universe {
+	u := &ube.Universe{}
+	for i, d := range figure1 {
+		u.Sources = append(u.Sources, ube.Source{
+			ID:         i,
+			Name:       d.name,
+			Attributes: d.attrs,
+			// Listing sizes are made up but plausible: big aggregators
+			// versus small venue sites. No signatures: hidden-Web
+			// sources are uncooperative in the §4 sense.
+			Cardinality: int64(2000 + 3571*i%20000),
+		})
+	}
+	return u
+}
+
+func sourceID(u *ube.Universe, name string) int {
+	for i := range u.Sources {
+		if u.Sources[i].Name == name {
+			return i
+		}
+	}
+	log.Fatalf("no source %q", name)
+	return -1
+}
+
+func attr(u *ube.Universe, source, name string) ube.AttrRef {
+	id := sourceID(u, source)
+	for a, n := range u.Source(id).Attributes {
+		if n == name {
+			return ube.AttrRef{Source: id, Attr: a}
+		}
+	}
+	log.Fatalf("no attribute %q at %q", name, source)
+	return ube.AttrRef{}
+}
+
+func printSolution(u *ube.Universe, sol *ube.Solution) {
+	fmt.Printf("quality %.4f, %d sources:\n", sol.Quality, len(sol.Sources))
+	for _, id := range sol.Sources {
+		s := u.Source(id)
+		fmt.Printf("  %-28s {%s}\n", s.Name, strings.Join(s.Attributes, ", "))
+	}
+	if sol.Schema == nil {
+		fmt.Println("  (no feasible schema)")
+		return
+	}
+	fmt.Printf("mediated schema (%d GAs):\n", len(sol.Schema.GAs))
+	for i, ga := range sol.Schema.GAs {
+		parts := make([]string, len(ga))
+		for j, r := range ga {
+			parts[j] = fmt.Sprintf("%s.%s", u.Source(r.Source).Name, u.AttrName(r))
+		}
+		pin := ""
+		if sol.Match.FromConstraint != nil && sol.Match.FromConstraint[i] {
+			pin = " (user constraint)"
+		}
+		fmt.Printf("  GA %d%s:\n    %s\n", i, pin, strings.Join(parts, "\n    "))
+	}
+}

@@ -1,0 +1,3 @@
+module ube
+
+go 1.22

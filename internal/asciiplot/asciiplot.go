@@ -1,0 +1,142 @@
+// Package asciiplot renders small multi-series line charts as text, so the
+// ube-bench command can draw the paper's figures directly in the terminal
+// next to their tables.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	// Y holds one value per shared X position.
+	Y []float64
+}
+
+// Plot is one chart.
+type Plot struct {
+	// Title is printed above the canvas.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// X holds the shared x-axis values.
+	X []float64
+	// Series are the lines; each must have len(Y) == len(X).
+	Series []Series
+	// Width and Height are the canvas size in characters (default 56×14).
+	Width, Height int
+}
+
+// markers distinguish series on the shared canvas.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the plot. It returns an error on inconsistent dimensions.
+func (p *Plot) Render() (string, error) {
+	if len(p.X) < 2 {
+		return "", fmt.Errorf("asciiplot: need at least 2 x positions, got %d", len(p.X))
+	}
+	if len(p.Series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+	for _, s := range p.Series {
+		if len(s.Y) != len(p.X) {
+			return "", fmt.Errorf("asciiplot: series %q has %d points for %d x positions", s.Name, len(s.Y), len(p.X))
+		}
+	}
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 56
+	}
+	if h <= 0 {
+		h = 14
+	}
+
+	xmin, xmax := minMax(p.X)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		lo, hi := minMax(s.Y)
+		ymin, ymax = math.Min(ymin, lo), math.Max(ymax, hi)
+	}
+	if ymax == ymin {
+		ymax = ymin + 1 // flat series still render
+	}
+	if xmax == xmin {
+		return "", fmt.Errorf("asciiplot: degenerate x range")
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		mark := markers[si%len(markers)]
+		for i := range p.X {
+			col := int(math.Round((p.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yTop, yBot := formatTick(ymax), formatTick(ymin)
+	labelW := max(len(yTop), len(yBot))
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case h - 1:
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	xLo, xHi := formatTick(xmin), formatTick(xmax)
+	gap := w - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLo, strings.Repeat(" ", gap), xHi)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelW), p.XLabel, p.YLabel)
+	}
+	legend := make([]string, len(p.Series))
+	for i, s := range p.Series {
+		legend[i] = fmt.Sprintf("%c %s", markers[i%len(markers)], s.Name)
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "   "))
+	return b.String(), nil
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// formatTick renders an axis extreme compactly.
+func formatTick(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e6:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

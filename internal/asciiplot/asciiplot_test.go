@@ -1,0 +1,102 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := &Plot{
+		Title:  "Figure X",
+		XLabel: "m",
+		YLabel: "seconds",
+		X:      []float64{10, 20, 30, 40, 50},
+		Series: []Series{
+			{Name: "none", Y: []float64{0.2, 1.1, 3.4, 7.3, 16.2}},
+			{Name: "5src", Y: []float64{0.1, 0.9, 2.8, 7.5, 12.5}},
+		},
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure X", "* none", "o 5src", "x: m, y: seconds", "10", "50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers appear on the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	// Canvas has the default height plus decorations.
+	if lines := strings.Count(out, "\n"); lines < 14 {
+		t.Errorf("only %d lines:\n%s", lines, out)
+	}
+}
+
+func TestRenderMonotoneShape(t *testing.T) {
+	// A strictly increasing series must place its last marker above its
+	// first: find the rows of the extreme columns.
+	p := &Plot{
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{{Name: "up", Y: []float64{0, 1, 2, 3}}},
+		Width:  20, Height: 8,
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if idx := strings.IndexByte(line, '*'); idx >= 0 {
+			if lastRow == -1 {
+				lastRow = i // topmost marker = highest value
+			}
+			firstRow = i // bottommost marker = lowest value
+		}
+	}
+	if lastRow >= firstRow {
+		t.Errorf("increasing series not rendered ascending (top %d, bottom %d):\n%s", lastRow, firstRow, out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	p := &Plot{
+		X:      []float64{1, 2, 3},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5, 5}}},
+	}
+	if _, err := p.Render(); err != nil {
+		t.Errorf("flat series should render: %v", err)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	cases := []*Plot{
+		{X: []float64{1}, Series: []Series{{Name: "a", Y: []float64{1}}}},
+		{X: []float64{1, 2}},
+		{X: []float64{1, 2}, Series: []Series{{Name: "a", Y: []float64{1}}}},
+		{X: []float64{2, 2}, Series: []Series{{Name: "a", Y: []float64{1, 2}}}},
+	}
+	for i, p := range cases {
+		if _, err := p.Render(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Name: string(rune('a' + i)), Y: []float64{float64(i), float64(i + 1)}})
+	}
+	p := &Plot{X: []float64{0, 1}, Series: series}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "j") {
+		t.Errorf("legend incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+// Package compound implements the n:m matching extension sketched in the
+// paper's §2.1: "our formulation may be extended to accommodate compound
+// schema elements by replacing the attributes in our definitions with
+// compound elements (e.g., elements consisting of sets of attributes).
+// This would enable us to handle matching with n:m cardinality by mapping
+// n:m matches to 1:1 matches on compound elements."
+//
+// The user declares composites — sets of attributes of one source that
+// jointly express a single concept, such as {first name, last name} — and
+// Apply derives a universe in which each composite is fused into one
+// attribute (optionally under a user-chosen label, which is how the
+// lexical gap to "full name" is bridged). µBE then runs unchanged on the
+// derived universe, and Mapping expands the resulting 1:1 GAs back into
+// n:m correspondences over the original attributes.
+package compound
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ube/internal/model"
+	"ube/internal/pcsa"
+)
+
+// A Composite declares that a set of attributes of one source express one
+// concept jointly.
+type Composite struct {
+	// Source is the owning source's ID.
+	Source int
+	// Attrs are the member attribute indices (at least two).
+	Attrs []int
+	// Name optionally labels the fused element; empty means the member
+	// names joined with spaces. Choosing the label the counterpart
+	// sources use ("full name") is how users bridge n:m gaps lexically.
+	Name string
+}
+
+// Mapping translates between the derived universe and the original one.
+type Mapping struct {
+	expand map[model.AttrRef][]model.AttrRef
+}
+
+// Apply fuses the declared composites into a derived universe. The
+// original universe is not modified. Composites must reference existing
+// attributes, contain at least two, and not overlap within a source.
+func Apply(u *model.Universe, comps []Composite) (*model.Universe, *Mapping, error) {
+	bySource := make(map[int][]Composite)
+	used := make(map[model.AttrRef]bool)
+	for i, c := range comps {
+		if c.Source < 0 || c.Source >= u.N() {
+			return nil, nil, fmt.Errorf("compound: composite %d: source %d out of range", i, c.Source)
+		}
+		if len(c.Attrs) < 2 {
+			return nil, nil, fmt.Errorf("compound: composite %d: needs at least two attributes", i)
+		}
+		seen := make(map[int]bool, len(c.Attrs))
+		for _, a := range c.Attrs {
+			ref := model.AttrRef{Source: c.Source, Attr: a}
+			if !u.ValidRef(ref) {
+				return nil, nil, fmt.Errorf("compound: composite %d: attribute %d out of range at source %d", i, a, c.Source)
+			}
+			if seen[a] {
+				return nil, nil, fmt.Errorf("compound: composite %d: duplicate attribute %d", i, a)
+			}
+			seen[a] = true
+			if used[ref] {
+				return nil, nil, fmt.Errorf("compound: attribute %d of source %d appears in two composites", a, c.Source)
+			}
+			used[ref] = true
+		}
+		// Canonical member order keeps derived names deterministic.
+		c.Attrs = append([]int(nil), c.Attrs...)
+		sort.Ints(c.Attrs)
+		bySource[c.Source] = append(bySource[c.Source], c)
+	}
+
+	derived := &model.Universe{Sources: make([]model.Source, 0, u.N())}
+	m := &Mapping{expand: make(map[model.AttrRef][]model.AttrRef)}
+	for id := range u.Sources {
+		src := &u.Sources[id]
+		d := model.Source{
+			ID:              id,
+			Name:            src.Name,
+			Cardinality:     src.Cardinality,
+			Signature:       src.Signature,
+			Characteristics: src.Characteristics,
+		}
+		// Plain attributes first, in original order.
+		for a, name := range src.Attributes {
+			ref := model.AttrRef{Source: id, Attr: a}
+			if used[ref] {
+				continue
+			}
+			dref := model.AttrRef{Source: id, Attr: len(d.Attributes)}
+			d.Attributes = append(d.Attributes, name)
+			if src.AttrSignatures != nil {
+				d.AttrSignatures = append(d.AttrSignatures, src.AttrSignatures[a])
+			}
+			m.expand[dref] = []model.AttrRef{ref}
+		}
+		// Then one fused attribute per composite.
+		for _, c := range bySource[id] {
+			name := c.Name
+			if name == "" {
+				parts := make([]string, len(c.Attrs))
+				for i, a := range c.Attrs {
+					parts[i] = src.Attributes[a]
+				}
+				name = strings.Join(parts, " ")
+			}
+			dref := model.AttrRef{Source: id, Attr: len(d.Attributes)}
+			d.Attributes = append(d.Attributes, name)
+			if src.AttrSignatures != nil {
+				fused, err := fuseSignatures(src, c.Attrs)
+				if err != nil {
+					return nil, nil, err
+				}
+				d.AttrSignatures = append(d.AttrSignatures, fused)
+			}
+			orig := make([]model.AttrRef, len(c.Attrs))
+			for i, a := range c.Attrs {
+				orig[i] = model.AttrRef{Source: id, Attr: a}
+			}
+			m.expand[dref] = orig
+		}
+		derived.Sources = append(derived.Sources, d)
+	}
+	if err := derived.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("compound: derived universe invalid: %w", err)
+	}
+	return derived, m, nil
+}
+
+// fuseSignatures unions the value signatures of the composite's members:
+// the fused element's value set is the union of its parts'.
+func fuseSignatures(src *model.Source, attrs []int) (*pcsa.Sketch, error) {
+	sigs := make([]*pcsa.Sketch, len(attrs))
+	for i, a := range attrs {
+		sigs[i] = src.AttrSignatures[a]
+	}
+	fused, err := pcsa.Union(sigs...)
+	if err != nil {
+		return nil, fmt.Errorf("compound: fusing signatures: %w", err)
+	}
+	return fused, nil
+}
+
+// Expand maps a derived attribute reference back to the original
+// attributes it stands for (a single one for plain attributes). It panics
+// on references that are not part of the derived universe.
+func (m *Mapping) Expand(ref model.AttrRef) []model.AttrRef {
+	orig, ok := m.expand[ref]
+	if !ok {
+		panic(fmt.Sprintf("compound: %+v is not a derived attribute", ref))
+	}
+	return orig
+}
+
+// An NMMatch is one mediated-schema attribute expanded to the original
+// universe: per participating source, the set of original attributes that
+// jointly map to it. Groups with more than one attribute are the n-side of
+// an n:m match.
+type NMMatch struct {
+	// Groups holds one attribute group per derived GA member, in GA
+	// order.
+	Groups [][]model.AttrRef
+}
+
+// ExpandGA expands a GA over the derived universe into an n:m match.
+func (m *Mapping) ExpandGA(g model.GA) NMMatch {
+	nm := NMMatch{Groups: make([][]model.AttrRef, len(g))}
+	for i, ref := range g {
+		nm.Groups[i] = append([]model.AttrRef(nil), m.Expand(ref)...)
+	}
+	return nm
+}
+
+// ExpandSchema expands every GA of a derived mediated schema.
+func (m *Mapping) ExpandSchema(s *model.MediatedSchema) []NMMatch {
+	if s == nil {
+		return nil
+	}
+	out := make([]NMMatch, len(s.GAs))
+	for i, g := range s.GAs {
+		out[i] = m.ExpandGA(g)
+	}
+	return out
+}

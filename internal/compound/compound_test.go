@@ -1,0 +1,196 @@
+package compound
+
+import (
+	"reflect"
+	"testing"
+
+	"ube/internal/cluster"
+	"ube/internal/model"
+	"ube/internal/pcsa"
+	"ube/internal/strsim"
+)
+
+// nameUniverse builds the canonical n:m scenario: source 0 splits the
+// person name into two attributes, source 1 stores it whole.
+func nameUniverse() *model.Universe {
+	return &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "split", Cardinality: 10,
+			Attributes: []string{"first name", "last name", "isbn"}},
+		{ID: 1, Name: "whole", Cardinality: 10,
+			Attributes: []string{"full name", "isbn"}},
+	}}
+}
+
+func TestApplyFusesAttributes(t *testing.T) {
+	u := nameUniverse()
+	derived, m, err := Apply(u, []Composite{
+		{Source: 0, Attrs: []int{0, 1}, Name: "full name"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source 0: isbn stays, composite appended.
+	if got := derived.Sources[0].Attributes; !reflect.DeepEqual(got, []string{"isbn", "full name"}) {
+		t.Fatalf("derived schema 0 = %v", got)
+	}
+	// Source 1 untouched.
+	if got := derived.Sources[1].Attributes; !reflect.DeepEqual(got, []string{"full name", "isbn"}) {
+		t.Fatalf("derived schema 1 = %v", got)
+	}
+	// Expansion: the fused attr maps back to both originals.
+	fused := model.AttrRef{Source: 0, Attr: 1}
+	want := []model.AttrRef{{Source: 0, Attr: 0}, {Source: 0, Attr: 1}}
+	if got := m.Expand(fused); !reflect.DeepEqual(got, want) {
+		t.Errorf("Expand(fused) = %v, want %v", got, want)
+	}
+	// Plain attrs map to themselves.
+	if got := m.Expand(model.AttrRef{Source: 0, Attr: 0}); !reflect.DeepEqual(got, []model.AttrRef{{Source: 0, Attr: 2}}) {
+		t.Errorf("Expand(plain isbn) = %v", got)
+	}
+	// The original universe is untouched.
+	if len(u.Sources[0].Attributes) != 3 {
+		t.Error("Apply mutated the original universe")
+	}
+}
+
+func TestApplyDefaultName(t *testing.T) {
+	u := nameUniverse()
+	derived, _, err := Apply(u, []Composite{{Source: 0, Attrs: []int{1, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Members are canonicalized by index order before joining.
+	if got := derived.Sources[0].Attributes[1]; got != "first name last name" {
+		t.Errorf("default fused name = %q", got)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	u := nameUniverse()
+	bad := [][]Composite{
+		{{Source: 9, Attrs: []int{0, 1}}},                                  // source out of range
+		{{Source: 0, Attrs: []int{0}}},                                     // single attribute
+		{{Source: 0, Attrs: []int{0, 7}}},                                  // attr out of range
+		{{Source: 0, Attrs: []int{0, 0}}},                                  // duplicate member
+		{{Source: 0, Attrs: []int{0, 1}}, {Source: 0, Attrs: []int{1, 2}}}, // overlap
+	}
+	for i, comps := range bad {
+		if _, _, err := Apply(u, comps); err == nil {
+			t.Errorf("bad composites %d accepted", i)
+		}
+	}
+	// No composites at all is legal: identity transform.
+	derived, m, err := Apply(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.NumAttributes() != u.NumAttributes() {
+		t.Error("identity transform changed the universe")
+	}
+	if got := m.Expand(model.AttrRef{Source: 1, Attr: 1}); got[0] != (model.AttrRef{Source: 1, Attr: 1}) {
+		t.Error("identity expansion wrong")
+	}
+}
+
+func TestExpandPanicsOnForeignRef(t *testing.T) {
+	u := nameUniverse()
+	_, m, err := Apply(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Expand on a foreign ref should panic")
+		}
+	}()
+	m.Expand(model.AttrRef{Source: 5, Attr: 5})
+}
+
+func TestEndToEndNMMatch(t *testing.T) {
+	// The full §2.1 workflow: declare the composite with the
+	// counterpart's label, match the derived universe 1:1, expand back
+	// to an n:m correspondence.
+	u := nameUniverse()
+	derived, mapping, err := Apply(u, []Composite{
+		{Source: 0, Attrs: []int{0, 1}, Name: "full name"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{Theta: 0.65, Beta: 2, Sim: strsim.NewCache(nil)}
+	res := cluster.Match(derived, []int{0, 1}, nil, nil, cfg)
+	if !res.Valid || len(res.Schema.GAs) != 2 {
+		t.Fatalf("derived match: %+v", res)
+	}
+	matches := mapping.ExpandSchema(res.Schema)
+	var nameMatch, isbnMatch *NMMatch
+	for i := range matches {
+		total := 0
+		for _, grp := range matches[i].Groups {
+			total += len(grp)
+		}
+		if total == 3 {
+			nameMatch = &matches[i]
+		} else {
+			isbnMatch = &matches[i]
+		}
+	}
+	if nameMatch == nil || isbnMatch == nil {
+		t.Fatalf("expected a 2:1 and a 1:1 match, got %+v", matches)
+	}
+	// The 2:1 match pairs {first name, last name} with {full name}.
+	sizes := []int{len(nameMatch.Groups[0]), len(nameMatch.Groups[1])}
+	if !(sizes[0] == 2 && sizes[1] == 1 || sizes[0] == 1 && sizes[1] == 2) {
+		t.Errorf("n:m group sizes = %v, want {2,1}", sizes)
+	}
+	// And the 1:1 match is isbn=isbn over original refs.
+	for _, grp := range isbnMatch.Groups {
+		if len(grp) != 1 || u.AttrName(grp[0]) != "isbn" {
+			t.Errorf("isbn match wrong: %v", isbnMatch.Groups)
+		}
+	}
+	// Without the composite, the split attributes cannot match at all.
+	plain := cluster.Match(u, []int{0, 1}, nil, nil, cfg)
+	for _, g := range plain.Schema.GAs {
+		if g.Contains(model.AttrRef{Source: 0, Attr: 0}) || g.Contains(model.AttrRef{Source: 0, Attr: 1}) {
+			t.Error("premise broken: split name matched without the composite")
+		}
+	}
+}
+
+func TestFusedSignatures(t *testing.T) {
+	mk := func(lo, hi int) *pcsa.Sketch {
+		s := pcsa.MustNew(64, 3)
+		for v := lo; v < hi; v++ {
+			s.AddUint64(uint64(v))
+		}
+		return s
+	}
+	u := &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "a", Cardinality: 1,
+			Attributes:     []string{"x", "y", "z"},
+			AttrSignatures: []*pcsa.Sketch{mk(0, 500), mk(500, 1000), mk(2000, 2500)}},
+	}}
+	derived, _, err := Apply(u, []Composite{{Source: 0, Attrs: []int{0, 1}, Name: "xy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := derived.Sources[0]
+	if len(d.AttrSignatures) != len(d.Attributes) {
+		t.Fatalf("derived signatures misaligned: %d vs %d", len(d.AttrSignatures), len(d.Attributes))
+	}
+	// The fused signature estimates the union of both value ranges.
+	fusedIdx := -1
+	for i, n := range d.Attributes {
+		if n == "xy" {
+			fusedIdx = i
+		}
+	}
+	if fusedIdx < 0 {
+		t.Fatalf("fused attribute missing: %v", d.Attributes)
+	}
+	est := d.AttrSignatures[fusedIdx].Estimate()
+	if est < 800 || est > 1200 {
+		t.Errorf("fused signature estimates %.0f, want ≈1000", est)
+	}
+}

@@ -1,0 +1,117 @@
+// Package datasim provides the data-based attribute similarity measure of
+// µBE's §3, which states that Match can build on "any attribute similarity
+// measure, whether schema based or data based". Where the schema-based
+// default compares attribute *names* (3-gram Jaccard), this measure
+// compares attribute *value sets*: two attributes that store overlapping
+// values — "subject" and "genre" both holding {fiction, poetry, history} —
+// are similar even when their names share nothing lexically.
+//
+// Value sets are never shipped: each source exports one PCSA signature per
+// attribute (model.Source.AttrSignatures), and the measure estimates the
+// Jaccard overlap |A∩B|/|A∪B| from the signatures alone using the same
+// union-by-OR identity the coverage QEF relies on: |A∩B| = |A|+|B|−|A∪B|.
+//
+// Because µBE's clustering identifies attributes by normalized name, the
+// measure aggregates signatures per distinct name across the whole
+// universe; the score between two names is the overlap of everything ever
+// stored under those names.
+package datasim
+
+import (
+	"fmt"
+
+	"ube/internal/model"
+	"ube/internal/pcsa"
+	"ube/internal/strsim"
+)
+
+// Measure scores attribute similarity by estimated value overlap, backed
+// by a name-based measure: the final score is the maximum of the two, so
+// adding value evidence never loses matches that names alone justify.
+// Measure implements strsim.Measure.
+type Measure struct {
+	byName map[string]*pcsa.Sketch
+	name   strsim.Measure
+}
+
+// New builds the measure from a universe's attribute signatures. The
+// universe must have been validated; sources without AttrSignatures
+// contribute no value evidence. A nil fallback means strsim.Default().
+// It returns an error if no source in the universe exports attribute
+// signatures — the caller should then use a name measure directly.
+func New(u *model.Universe, fallback strsim.Measure) (*Measure, error) {
+	if fallback == nil {
+		fallback = strsim.Default()
+	}
+	m := &Measure{byName: make(map[string]*pcsa.Sketch), name: fallback}
+	for i := range u.Sources {
+		s := &u.Sources[i]
+		if s.AttrSignatures == nil {
+			continue
+		}
+		for a, sig := range s.AttrSignatures {
+			key := strsim.Normalize(s.Attributes[a])
+			if cur, ok := m.byName[key]; ok {
+				if err := cur.UnionInto(sig); err != nil {
+					return nil, fmt.Errorf("datasim: %w", err)
+				}
+			} else {
+				m.byName[key] = sig.Clone()
+			}
+		}
+	}
+	if len(m.byName) == 0 {
+		return nil, fmt.Errorf("datasim: no source exports attribute signatures")
+	}
+	return m, nil
+}
+
+// Name implements strsim.Measure.
+func (m *Measure) Name() string { return "value-overlap+" + m.name.Name() }
+
+// Score implements strsim.Measure: max(name similarity, value overlap).
+func (m *Measure) Score(a, b string) float64 {
+	s := m.name.Score(a, b)
+	if s == 1 {
+		return 1
+	}
+	if v := m.valueOverlap(strsim.Normalize(a), strsim.Normalize(b)); v > s {
+		s = v
+	}
+	return s
+}
+
+// valueOverlap estimates Jaccard(A,B) from the two names' aggregated
+// signatures, 0 when either name has no value evidence.
+func (m *Measure) valueOverlap(a, b string) float64 {
+	sa, okA := m.byName[a]
+	sb, okB := m.byName[b]
+	if !okA || !okB {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	union, err := pcsa.Union(sa, sb)
+	if err != nil {
+		// Incompatible signatures were rejected by Universe.Validate;
+		// reaching this is a construction bug.
+		panic(err)
+	}
+	u := union.Estimate()
+	if u <= 0 {
+		return 0
+	}
+	inter := sa.Estimate() + sb.Estimate() - u
+	if inter <= 0 {
+		return 0
+	}
+	j := inter / u
+	if j > 1 {
+		j = 1
+	}
+	return j
+}
+
+// Names reports how many distinct attribute names carry value evidence.
+func (m *Measure) Names() int { return len(m.byName) }

@@ -1,0 +1,207 @@
+package datasim
+
+import (
+	"testing"
+
+	"ube/internal/cluster"
+	"ube/internal/model"
+	"ube/internal/pcsa"
+	"ube/internal/strsim"
+	"ube/internal/synth"
+)
+
+// sketchOver returns a signature over value IDs [lo, hi).
+func sketchOver(lo, hi int) *pcsa.Sketch {
+	s := pcsa.MustNew(256, 9)
+	for v := lo; v < hi; v++ {
+		s.AddUint64(uint64(v))
+	}
+	return s
+}
+
+// overlapUniverse builds two sources whose attributes have controlled
+// value overlap: "subject" and "genre" share ~90% of values, "price" is
+// disjoint from both.
+func overlapUniverse() *model.Universe {
+	return &model.Universe{Sources: []model.Source{
+		{
+			ID: 0, Name: "a", Cardinality: 10,
+			Attributes:     []string{"subject", "price"},
+			AttrSignatures: []*pcsa.Sketch{sketchOver(0, 1000), sketchOver(50000, 51000)},
+		},
+		{
+			ID: 1, Name: "b", Cardinality: 10,
+			Attributes:     []string{"genre", "cost band"},
+			AttrSignatures: []*pcsa.Sketch{sketchOver(100, 1100), sketchOver(70000, 71000)},
+		},
+	}}
+}
+
+func TestNewRequiresSignatures(t *testing.T) {
+	u := &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "a", Attributes: []string{"x"}, Cardinality: 1},
+	}}
+	if _, err := New(u, nil); err == nil {
+		t.Error("universe without attribute signatures should be rejected")
+	}
+}
+
+func TestValueOverlapScores(t *testing.T) {
+	u := overlapUniverse()
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Names() != 4 {
+		t.Errorf("Names = %d, want 4", m.Names())
+	}
+	// subject/genre: ~900 shared of ~1100 union → ≈0.82, far above what
+	// the names justify lexically.
+	s := m.Score("subject", "genre")
+	if s < 0.6 {
+		t.Errorf("value overlap subject/genre = %v, want ≥ 0.6", s)
+	}
+	if nameOnly := strsim.Default().Score("subject", "genre"); nameOnly >= 0.5 {
+		t.Fatalf("test premise broken: names alone score %v", nameOnly)
+	}
+	// Disjoint values, dissimilar names: near zero.
+	if s := m.Score("price", "genre"); s > 0.2 {
+		t.Errorf("price/genre = %v, want ≈0", s)
+	}
+	// Name evidence still counts: identical names score 1 even without
+	// any signature for one of them.
+	if s := m.Score("unknown attr", "unknown attr"); s != 1 {
+		t.Errorf("identical unknown names = %v, want 1", s)
+	}
+	// Self-similarity through the value path.
+	if s := m.Score("subject", "Subject"); s != 1 {
+		t.Errorf("normalized-equal names = %v, want 1", s)
+	}
+	// Symmetry and range.
+	for _, pair := range [][2]string{{"subject", "genre"}, {"price", "cost band"}, {"subject", "price"}} {
+		a, b := m.Score(pair[0], pair[1]), m.Score(pair[1], pair[0])
+		if a != b {
+			t.Errorf("asymmetric score for %v: %v vs %v", pair, a, b)
+		}
+		if a < 0 || a > 1 {
+			t.Errorf("score %v out of range for %v", a, pair)
+		}
+	}
+	if m.Name() == "" {
+		t.Error("empty measure name")
+	}
+}
+
+func TestMaxOfNameAndValue(t *testing.T) {
+	// Names nearly identical but values disjoint: the name evidence must
+	// win (max composition never loses lexical matches).
+	u := &model.Universe{Sources: []model.Source{
+		{
+			ID: 0, Name: "a", Cardinality: 1,
+			Attributes:     []string{"keyword"},
+			AttrSignatures: []*pcsa.Sketch{sketchOver(0, 1000)},
+		},
+		{
+			ID: 1, Name: "b", Cardinality: 1,
+			Attributes:     []string{"keywords"},
+			AttrSignatures: []*pcsa.Sketch{sketchOver(90000, 91000)},
+		},
+	}}
+	m, err := New(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := strsim.Default().Score("keyword", "keywords")
+	if got := m.Score("keyword", "keywords"); got < name {
+		t.Errorf("hybrid %v lost to name-only %v", got, name)
+	}
+}
+
+func TestAggregationAcrossSources(t *testing.T) {
+	// Two sources both expose "subject" with different value subsets;
+	// the measure aggregates them under one name.
+	u := &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "a", Cardinality: 1, Attributes: []string{"subject"},
+			AttrSignatures: []*pcsa.Sketch{sketchOver(0, 500)}},
+		{ID: 1, Name: "b", Cardinality: 1, Attributes: []string{"subject"},
+			AttrSignatures: []*pcsa.Sketch{sketchOver(500, 1000)}},
+		{ID: 2, Name: "c", Cardinality: 1, Attributes: []string{"theme"},
+			AttrSignatures: []*pcsa.Sketch{sketchOver(0, 1000)}},
+	}}
+	m, err := New(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "theme" covers the union of both "subject" halves → high overlap.
+	if s := m.Score("subject", "theme"); s < 0.6 {
+		t.Errorf("aggregated subject vs theme = %v, want ≥ 0.6", s)
+	}
+}
+
+func TestDataBasedMatchingBridgesConcepts(t *testing.T) {
+	// End to end with the synthetic workload: with value signatures on,
+	// the data-based measure lets Match cluster lexically distant
+	// variants of one concept ("subject"/"genre") that the name measure
+	// cannot, with no GA constraint.
+	cfg := synth.QuickConfig(40)
+	cfg.WithSignatures = false
+	cfg.WithAttrSignatures = true
+	u, truth, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]int, u.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	nameCfg := cluster.Config{Theta: 0.65, Beta: 2, Sim: strsim.NewCache(nil)}
+	dataCfg := cluster.Config{Theta: 0.65, Beta: 2, Sim: strsim.NewCache(m)}
+
+	crossName := crossVariantMerges(u, truth, cluster.Match(u, ids, nil, nil, nameCfg))
+	crossData := crossVariantMerges(u, truth, cluster.Match(u, ids, nil, nil, dataCfg))
+	if crossData <= crossName {
+		t.Errorf("data-based matching should merge more cross-variant attributes: name=%d data=%d", crossName, crossData)
+	}
+
+	// And it must not create false (concept-mixing) GAs.
+	res := cluster.Match(u, ids, nil, nil, dataCfg)
+	for _, g := range res.Schema.GAs {
+		first := truth.ConceptOf[g[0]]
+		for _, r := range g {
+			c := truth.ConceptOf[r]
+			if c != first && c != synth.JunkConcept && first != synth.JunkConcept {
+				t.Errorf("data-based GA mixes concepts %d and %d: %v", first, c, g)
+			}
+		}
+	}
+}
+
+// crossVariantMerges counts attributes that ended up in a GA alongside a
+// differently-named attribute of the same concept — the bridging the
+// data-based measure is supposed to add.
+func crossVariantMerges(u *model.Universe, truth *synth.Truth, res cluster.Result) int {
+	if res.Schema == nil {
+		return 0
+	}
+	n := 0
+	for _, g := range res.Schema.GAs {
+		names := map[string]bool{}
+		concepts := map[int]bool{}
+		for _, r := range g {
+			names[u.AttrName(r)] = true
+			concepts[truth.ConceptOf[r]] = true
+		}
+		if len(names) > 1 && len(concepts) == 1 {
+			n += len(g)
+		}
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package diq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AggQuery is a grouped count over the mediated schema: for each distinct
+// value of the GroupBy attribute, how many distinct values of the Count
+// attribute the integrated sources hold. "How many titles per author
+// across the selected stores" is AggQuery{GroupBy: author, Count: title}.
+type AggQuery struct {
+	// GroupBy is the mediated attribute whose values key the groups.
+	GroupBy int
+	// Count is the mediated attribute whose distinct values are counted
+	// per group.
+	Count int
+	// Where filters the underlying tuples before grouping.
+	Where []Pred
+}
+
+// GroupRow is one aggregation result group.
+type GroupRow struct {
+	// Key is the GroupBy attribute's value.
+	Key string
+	// DistinctCount is the number of distinct Count values in the group,
+	// after cross-source duplicate elimination.
+	DistinctCount int64
+}
+
+// ExecuteAggregate runs a grouped distinct count. Tuples whose GroupBy or
+// Count attribute is Null (the producing source does not expose it) are
+// skipped: they can neither key a group nor contribute a counted value.
+// Groups are returned in descending count order (ties by key).
+func ExecuteAggregate(sys *System, providers map[int]Provider, q AggQuery) ([]GroupRow, Stats, error) {
+	if q.GroupBy == q.Count {
+		return nil, Stats{}, fmt.Errorf("diq: GroupBy and Count must differ")
+	}
+	res, err := Execute(sys, providers, Query{
+		Select:   []int{q.GroupBy, q.Count},
+		Where:    q.Where,
+		Distinct: true, // cross-source duplicates count once
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	counts := make(map[string]int64)
+	for _, row := range res.Rows {
+		if row[0] == Null || row[1] == Null {
+			continue
+		}
+		counts[row[0]]++
+	}
+	groups := make([]GroupRow, 0, len(counts))
+	for k, c := range counts {
+		groups = append(groups, GroupRow{Key: k, DistinctCount: c})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].DistinctCount != groups[j].DistinctCount {
+			return groups[i].DistinctCount > groups[j].DistinctCount
+		}
+		return groups[i].Key < groups[j].Key
+	})
+	return groups, res.Stats, nil
+}

@@ -1,0 +1,287 @@
+// Package diq executes queries over a solved data integration system —
+// the artifact µBE exists to define. The paper's introduction motivates
+// source selection with exactly these runtime costs: "the costs to
+// retrieve data from the source while executing queries, map this data to
+// the global mediated schema, and resolve any inconsistencies with data
+// retrieved from other sources." This package implements that pipeline:
+// fan a query out to the selected sources, rewrite each source tuple into
+// the mediated schema through the GA mapping, evaluate predicates over
+// mediated attributes, and eliminate the duplicates that redundant sources
+// return.
+//
+// Mediated-schema attributes are unnamed sets of source attributes
+// (paper §2.2), so queries address them by GA index; Result.Columns carry
+// human-readable representative labels.
+package diq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ube/internal/model"
+)
+
+// A Provider supplies the data of one source at query time. The engine
+// never needs providers — only signatures — so they appear first here, at
+// execution time.
+type Provider interface {
+	// Scan iterates the source's tuples, each with one value per
+	// attribute of the source's schema, stopping early if yield
+	// returns false.
+	Scan(yield func(tuple []string) bool) error
+}
+
+// MemProvider is an in-memory Provider for examples and tests.
+type MemProvider struct {
+	// Rows holds the tuples; each must have one value per attribute of
+	// the source's schema.
+	Rows [][]string
+}
+
+// Scan implements Provider.
+func (p *MemProvider) Scan(yield func(tuple []string) bool) error {
+	for _, row := range p.Rows {
+		if !yield(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// System is a solved data integration system: the universe, the selected
+// sources and the mediated schema over them.
+type System struct {
+	u       *model.Universe
+	sources []int
+	schema  *model.MediatedSchema
+	// gaAttr[g][sourceID] is the attribute index of source sourceID in
+	// GA g, or -1 when the source does not participate.
+	gaAttr [][]int
+}
+
+// NewSystem validates and indexes a solved integration system.
+func NewSystem(u *model.Universe, sources []int, schema *model.MediatedSchema) (*System, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("diq: nil mediated schema")
+	}
+	if !schema.Valid() {
+		return nil, fmt.Errorf("diq: invalid mediated schema")
+	}
+	seen := make(map[int]bool, len(sources))
+	for _, id := range sources {
+		if id < 0 || id >= u.N() {
+			return nil, fmt.Errorf("diq: source %d out of range", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("diq: duplicate source %d", id)
+		}
+		seen[id] = true
+	}
+	for _, g := range schema.GAs {
+		for _, r := range g {
+			if !u.ValidRef(r) {
+				return nil, fmt.Errorf("diq: schema references nonexistent attribute %+v", r)
+			}
+			if !seen[r.Source] {
+				return nil, fmt.Errorf("diq: schema references source %d outside the system", r.Source)
+			}
+		}
+	}
+	sys := &System{
+		u:       u,
+		sources: append([]int(nil), sources...),
+		schema:  schema.Clone(),
+		gaAttr:  make([][]int, len(schema.GAs)),
+	}
+	sort.Ints(sys.sources)
+	for gi, g := range schema.GAs {
+		idx := make([]int, u.N())
+		for i := range idx {
+			idx[i] = -1
+		}
+		for _, r := range g {
+			idx[r.Source] = r.Attr
+		}
+		sys.gaAttr[gi] = idx
+	}
+	return sys, nil
+}
+
+// NumGAs returns the number of mediated-schema attributes.
+func (s *System) NumGAs() int { return len(s.schema.GAs) }
+
+// Sources returns the system's source IDs in ascending order.
+func (s *System) Sources() []int { return append([]int(nil), s.sources...) }
+
+// GALabel returns a human-readable label for mediated attribute g: the
+// most common attribute name within the GA (ties broken alphabetically).
+func (s *System) GALabel(g int) string {
+	counts := make(map[string]int)
+	for _, r := range s.schema.GAs[g] {
+		counts[s.u.AttrName(r)]++
+	}
+	best, bestN := "", 0
+	for name, n := range counts {
+		if n > bestN || (n == bestN && name < best) {
+			best, bestN = name, n
+		}
+	}
+	return best
+}
+
+// A Pred is an equality predicate on a mediated attribute. A source that
+// does not participate in the predicate's GA cannot produce a matching
+// value and contributes no rows.
+type Pred struct {
+	GA    int
+	Value string
+}
+
+// Query is a selection query over the mediated schema.
+type Query struct {
+	// Select lists the GA indices to project, in output order. Empty
+	// means all GAs in schema order.
+	Select []int
+	// Where is a conjunction of equality predicates.
+	Where []Pred
+	// Distinct eliminates duplicate projected rows across sources —
+	// the §1 "resolve inconsistencies" step for overlapping sources.
+	Distinct bool
+	// Limit caps the number of result rows (0 = unlimited).
+	Limit int
+}
+
+// Null is the rendering of a mediated attribute at a source that does not
+// expose it.
+const Null = ""
+
+// Stats accounts for the §1 execution costs.
+type Stats struct {
+	// SourcesQueried and SourcesSkipped partition the system's sources:
+	// skipped ones had no provider or exposed none of the projected or
+	// filtered attributes.
+	SourcesQueried int
+	SourcesSkipped []int
+	// TuplesFetched counts tuples scanned from the sources;
+	// TuplesMatched counts those passing the predicates.
+	TuplesFetched int64
+	TuplesMatched int64
+	// DuplicatesRemoved counts matched rows dropped by Distinct.
+	DuplicatesRemoved int64
+}
+
+// Result is a query's output.
+type Result struct {
+	// Columns labels the projected mediated attributes.
+	Columns []string
+	// Rows holds the projected tuples; Null marks attributes the
+	// producing source does not expose.
+	Rows [][]string
+	// Stats accounts for the execution.
+	Stats Stats
+}
+
+// Execute runs q against the system using the given per-source providers.
+// Sources without providers are skipped (and reported in Stats): a live
+// deployment may not reach every source on every query.
+func Execute(sys *System, providers map[int]Provider, q Query) (*Result, error) {
+	sel := q.Select
+	if len(sel) == 0 {
+		sel = make([]int, sys.NumGAs())
+		for i := range sel {
+			sel[i] = i
+		}
+	}
+	for _, g := range sel {
+		if g < 0 || g >= sys.NumGAs() {
+			return nil, fmt.Errorf("diq: projected GA %d out of range [0,%d)", g, sys.NumGAs())
+		}
+	}
+	for _, p := range q.Where {
+		if p.GA < 0 || p.GA >= sys.NumGAs() {
+			return nil, fmt.Errorf("diq: predicate GA %d out of range [0,%d)", p.GA, sys.NumGAs())
+		}
+	}
+	if q.Limit < 0 {
+		return nil, fmt.Errorf("diq: negative limit")
+	}
+
+	res := &Result{Columns: make([]string, len(sel))}
+	for i, g := range sel {
+		res.Columns[i] = sys.GALabel(g)
+	}
+	seen := make(map[string]struct{})
+
+	for _, id := range sys.sources {
+		prov := providers[id]
+		if prov == nil || !sys.relevant(id, sel, q.Where) {
+			res.Stats.SourcesSkipped = append(res.Stats.SourcesSkipped, id)
+			continue
+		}
+		res.Stats.SourcesQueried++
+		nAttrs := len(sys.u.Source(id).Attributes)
+		var scanErr error
+		err := prov.Scan(func(tuple []string) bool {
+			res.Stats.TuplesFetched++
+			if len(tuple) != nAttrs {
+				scanErr = fmt.Errorf("diq: source %d produced a %d-field tuple for a %d-attribute schema", id, len(tuple), nAttrs)
+				return false
+			}
+			// Predicates over mediated attributes.
+			for _, p := range q.Where {
+				a := sys.gaAttr[p.GA][id]
+				if a < 0 || tuple[a] != p.Value {
+					return true
+				}
+			}
+			res.Stats.TuplesMatched++
+			// Map to the mediated schema.
+			row := make([]string, len(sel))
+			for i, g := range sel {
+				if a := sys.gaAttr[g][id]; a >= 0 {
+					row[i] = tuple[a]
+				} else {
+					row[i] = Null
+				}
+			}
+			if q.Distinct {
+				key := strings.Join(row, "\x00")
+				if _, dup := seen[key]; dup {
+					res.Stats.DuplicatesRemoved++
+					return true
+				}
+				seen[key] = struct{}{}
+			}
+			res.Rows = append(res.Rows, row)
+			return q.Limit == 0 || len(res.Rows) < q.Limit
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("diq: scanning source %d: %w", id, err)
+		}
+		if q.Limit > 0 && len(res.Rows) >= q.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// relevant reports whether source id can contribute to the query: it must
+// expose at least one projected attribute, and every predicate's GA (a
+// source without the filtered attribute can never match).
+func (sys *System) relevant(id int, sel []int, where []Pred) bool {
+	for _, p := range where {
+		if sys.gaAttr[p.GA][id] < 0 {
+			return false
+		}
+	}
+	for _, g := range sel {
+		if sys.gaAttr[g][id] >= 0 {
+			return true
+		}
+	}
+	return false
+}

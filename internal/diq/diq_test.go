@@ -1,0 +1,345 @@
+package diq
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ube/internal/model"
+)
+
+// bookSystem builds a 3-source integration system:
+//
+//	source 0: title, author, price — rows about books A, B
+//	source 1: book title, price    — rows about books B, C (overlaps on B)
+//	source 2: author, format       — no title attribute at all
+func bookSystem(t *testing.T) (*System, map[int]Provider) {
+	t.Helper()
+	u := &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "s0", Cardinality: 2, Attributes: []string{"title", "author", "price"}},
+		{ID: 1, Name: "s1", Cardinality: 2, Attributes: []string{"book title", "price"}},
+		{ID: 2, Name: "s2", Cardinality: 2, Attributes: []string{"author", "format"}},
+	}}
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		model.NewGA(model.AttrRef{Source: 0, Attr: 0}, model.AttrRef{Source: 1, Attr: 0}), // title
+		model.NewGA(model.AttrRef{Source: 0, Attr: 1}, model.AttrRef{Source: 2, Attr: 0}), // author
+		model.NewGA(model.AttrRef{Source: 0, Attr: 2}, model.AttrRef{Source: 1, Attr: 1}), // price
+	}}
+	sys, err := NewSystem(u, []int{0, 1, 2}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	providers := map[int]Provider{
+		0: &MemProvider{Rows: [][]string{
+			{"book a", "alice", "10"},
+			{"book b", "bob", "20"},
+		}},
+		1: &MemProvider{Rows: [][]string{
+			{"book b", "20"}, // duplicate of s0's projection on (title, price)
+			{"book c", "30"},
+		}},
+		2: &MemProvider{Rows: [][]string{
+			{"carol", "paperback"},
+			{"alice", "hardcover"},
+		}},
+	}
+	return sys, providers
+}
+
+func TestSystemValidation(t *testing.T) {
+	u := &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "s0", Cardinality: 1, Attributes: []string{"a"}},
+		{ID: 1, Name: "s1", Cardinality: 1, Attributes: []string{"a"}},
+	}}
+	good := &model.MediatedSchema{GAs: []model.GA{
+		model.NewGA(model.AttrRef{Source: 0, Attr: 0}, model.AttrRef{Source: 1, Attr: 0}),
+	}}
+	if _, err := NewSystem(u, []int{0, 1}, good); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		sources []int
+		schema  *model.MediatedSchema
+	}{
+		{"nil schema", []int{0, 1}, nil},
+		{"invalid schema", []int{0, 1}, &model.MediatedSchema{GAs: []model.GA{{model.AttrRef{Source: 0, Attr: 0}, model.AttrRef{Source: 0, Attr: 0}}}}},
+		{"source out of range", []int{0, 5}, good},
+		{"duplicate source", []int{0, 0}, good},
+		{"schema beyond sources", []int{0}, good},
+		{"dangling ref", []int{0, 1}, &model.MediatedSchema{GAs: []model.GA{
+			model.NewGA(model.AttrRef{Source: 0, Attr: 0}, model.AttrRef{Source: 1, Attr: 9}),
+		}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSystem(u, c.sources, c.schema); err == nil {
+			t.Errorf("%s: NewSystem should fail", c.name)
+		}
+	}
+}
+
+func TestExecuteProjectionAndMapping(t *testing.T) {
+	sys, prov := bookSystem(t)
+	res, err := Execute(sys, prov, Query{Select: []int{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "title" and "book title" tie at one occurrence each; the label
+	// tiebreak is alphabetical.
+	if !reflect.DeepEqual(res.Columns, []string{"book title", "price"}) {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Source 2 has neither title nor price → skipped entirely.
+	if res.Stats.SourcesQueried != 2 || !reflect.DeepEqual(res.Stats.SourcesSkipped, []int{2}) {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	want := [][]string{
+		{"book a", "10"},
+		{"book b", "20"},
+		{"book b", "20"},
+		{"book c", "30"},
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Stats.TuplesFetched != 4 || res.Stats.TuplesMatched != 4 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestExecuteDistinct(t *testing.T) {
+	sys, prov := bookSystem(t)
+	res, err := Execute(sys, prov, Query{Select: []int{0, 2}, Distinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("distinct rows = %v", res.Rows)
+	}
+	if res.Stats.DuplicatesRemoved != 1 {
+		t.Errorf("duplicates removed = %d, want 1", res.Stats.DuplicatesRemoved)
+	}
+}
+
+func TestExecuteNullForMissingAttributes(t *testing.T) {
+	sys, prov := bookSystem(t)
+	// Project all three GAs: source 1 has no author, source 2 no title
+	// or price.
+	res, err := Execute(sys, prov, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Source 1's "book c" row has Null author.
+	found := false
+	for _, row := range res.Rows {
+		if row[0] == "book c" {
+			found = true
+			if row[1] != Null || row[2] != "30" {
+				t.Errorf("book c row = %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Error("book c row missing")
+	}
+	// Source 2 contributes author-only rows.
+	carol := false
+	for _, row := range res.Rows {
+		if row[1] == "carol" && row[0] == Null && row[2] == Null {
+			carol = true
+		}
+	}
+	if !carol {
+		t.Errorf("source 2 rows missing or mismapped: %v", res.Rows)
+	}
+}
+
+func TestExecutePredicates(t *testing.T) {
+	sys, prov := bookSystem(t)
+	res, err := Execute(sys, prov, Query{
+		Select: []int{0},
+		Where:  []Pred{{GA: 2, Value: "20"}}, // price = 20
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources 0 and 1 each have one price-20 book (the same one);
+	// source 2 has no price attribute → filtered out as irrelevant.
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[0] != "book b" {
+			t.Errorf("unexpected row %v", row)
+		}
+	}
+	if res.Stats.TuplesMatched != 2 || res.Stats.TuplesFetched != 4 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if !reflect.DeepEqual(res.Stats.SourcesSkipped, []int{2}) {
+		t.Errorf("skipped = %v", res.Stats.SourcesSkipped)
+	}
+	// Conjunction: price = 20 AND author = bob only matches at source 0.
+	res, err = Execute(sys, prov, Query{
+		Select: []int{0},
+		Where:  []Pred{{GA: 2, Value: "20"}, {GA: 1, Value: "bob"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "book b" {
+		t.Errorf("conjunction rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteLimit(t *testing.T) {
+	sys, prov := bookSystem(t)
+	res, err := Execute(sys, prov, Query{Select: []int{0}, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("limit ignored: %d rows", len(res.Rows))
+	}
+	// Early stop keeps fetch counts low: source 1 is never scanned.
+	if res.Stats.TuplesFetched > 2 {
+		t.Errorf("limit did not stop the scan early: %+v", res.Stats)
+	}
+}
+
+func TestExecuteMissingProviders(t *testing.T) {
+	sys, prov := bookSystem(t)
+	delete(prov, 1)
+	res, err := Execute(sys, prov, Query{Select: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SourcesQueried != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	for _, row := range res.Rows {
+		if row[0] == "book c" {
+			t.Error("row from a provider-less source")
+		}
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	sys, prov := bookSystem(t)
+	if _, err := Execute(sys, prov, Query{Select: []int{9}}); err == nil {
+		t.Error("out-of-range projection accepted")
+	}
+	if _, err := Execute(sys, prov, Query{Where: []Pred{{GA: -1}}}); err == nil {
+		t.Error("out-of-range predicate accepted")
+	}
+	if _, err := Execute(sys, prov, Query{Limit: -1}); err == nil {
+		t.Error("negative limit accepted")
+	}
+	// A provider producing malformed tuples is reported.
+	prov[0] = &MemProvider{Rows: [][]string{{"only one field"}}}
+	if _, err := Execute(sys, prov, Query{Select: []int{0}}); err == nil {
+		t.Error("malformed tuple accepted")
+	}
+}
+
+// failingProvider errors mid-scan.
+type failingProvider struct{}
+
+func (failingProvider) Scan(func([]string) bool) error {
+	return errors.New("connection reset")
+}
+
+func TestExecuteProviderFailure(t *testing.T) {
+	sys, prov := bookSystem(t)
+	prov[0] = failingProvider{}
+	if _, err := Execute(sys, prov, Query{Select: []int{0}}); err == nil {
+		t.Error("provider failure swallowed")
+	}
+}
+
+func TestGALabel(t *testing.T) {
+	sys, _ := bookSystem(t)
+	if got := sys.GALabel(0); got != "book title" && got != "title" {
+		t.Errorf("GALabel(0) = %q", got)
+	}
+	if got := sys.GALabel(1); got != "author" {
+		t.Errorf("GALabel(1) = %q", got)
+	}
+	if sys.NumGAs() != 3 {
+		t.Errorf("NumGAs = %d", sys.NumGAs())
+	}
+	if !reflect.DeepEqual(sys.Sources(), []int{0, 1, 2}) {
+		t.Errorf("Sources = %v", sys.Sources())
+	}
+}
+
+func TestExecuteAggregate(t *testing.T) {
+	sys, prov := bookSystem(t)
+	// Titles per author. Source 0 has (a: alice, b: bob); source 1 has
+	// no author attribute → its rows are skipped; source 2 has authors
+	// but no title → skipped rows too (Null count attr).
+	groups, stats, err := ExecuteAggregate(sys, prov, AggQuery{GroupBy: 1, Count: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	for _, g := range groups {
+		if g.DistinctCount != 1 {
+			t.Errorf("group %q count %d, want 1", g.Key, g.DistinctCount)
+		}
+	}
+	if stats.TuplesFetched == 0 {
+		t.Error("stats not propagated")
+	}
+	// Predicates narrow the groups.
+	groups, _, err = ExecuteAggregate(sys, prov, AggQuery{
+		GroupBy: 1, Count: 0,
+		Where: []Pred{{GA: 2, Value: "20"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Key != "bob" {
+		t.Errorf("filtered groups = %+v", groups)
+	}
+	// Same GA for both roles is rejected.
+	if _, _, err := ExecuteAggregate(sys, prov, AggQuery{GroupBy: 1, Count: 1}); err == nil {
+		t.Error("GroupBy == Count accepted")
+	}
+	// Bad GA index propagates the Execute error.
+	if _, _, err := ExecuteAggregate(sys, prov, AggQuery{GroupBy: 9, Count: 0}); err == nil {
+		t.Error("bad GroupBy accepted")
+	}
+}
+
+func TestExecuteAggregateCrossSourceDedup(t *testing.T) {
+	// The same (author, title) pair at two sources counts once.
+	u := &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "a", Cardinality: 2, Attributes: []string{"title", "author"}},
+		{ID: 1, Name: "b", Cardinality: 2, Attributes: []string{"title", "author"}},
+	}}
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		model.NewGA(model.AttrRef{Source: 0, Attr: 0}, model.AttrRef{Source: 1, Attr: 0}),
+		model.NewGA(model.AttrRef{Source: 0, Attr: 1}, model.AttrRef{Source: 1, Attr: 1}),
+	}}
+	sys, err := NewSystem(u, []int{0, 1}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := map[int]Provider{
+		0: &MemProvider{Rows: [][]string{{"t1", "alice"}, {"t2", "alice"}}},
+		1: &MemProvider{Rows: [][]string{{"t1", "alice"}, {"t3", "alice"}}},
+	}
+	groups, _, err := ExecuteAggregate(sys, prov, AggQuery{GroupBy: 1, Count: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].DistinctCount != 3 {
+		t.Errorf("want alice→3 distinct titles, got %+v", groups)
+	}
+}

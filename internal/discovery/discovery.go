@@ -1,0 +1,143 @@
+// Package discovery implements the source-discovery step that feeds µBE
+// (Figure 2 of the paper: "Such descriptions can be obtained from a hidden
+// Web search engine or some other source discovery mechanism"). The §1
+// walkthrough starts by issuing the query "theater" to CompletePlanet.com
+// and getting 1021 candidate sources; this package plays that role over a
+// corpus of source descriptions: it indexes names and schemas, answers
+// keyword queries with TF-IDF-ranked sources, and materializes the result
+// as a fresh universe ready for an Engine.
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ube/internal/model"
+	"ube/internal/strsim"
+)
+
+// Index is an inverted index over source descriptions.
+type Index struct {
+	u *model.Universe
+	// postings maps a token to the sources containing it and the term
+	// frequency at each.
+	postings map[string]map[int]int
+	// docLen is the token count per source description.
+	docLen []int
+}
+
+// NewIndex indexes a universe's source names and attribute names.
+func NewIndex(u *model.Universe) (*Index, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		u:        u,
+		postings: make(map[string]map[int]int),
+		docLen:   make([]int, u.N()),
+	}
+	for i := range u.Sources {
+		s := &u.Sources[i]
+		for _, tok := range tokenize(s.Name) {
+			idx.add(tok, i)
+		}
+		for _, a := range s.Attributes {
+			for _, tok := range tokenize(a) {
+				idx.add(tok, i)
+			}
+		}
+	}
+	return idx, nil
+}
+
+func (idx *Index) add(tok string, src int) {
+	m := idx.postings[tok]
+	if m == nil {
+		m = make(map[int]int)
+		idx.postings[tok] = m
+	}
+	m[src]++
+	idx.docLen[src]++
+}
+
+// tokenize splits a description field into normalized tokens. Dotted host
+// names ("aceticket.com") split on the dots too, so the site name's words
+// are searchable.
+func tokenize(s string) []string {
+	return strings.Fields(strsim.Normalize(s))
+}
+
+// A Hit is one ranked discovery result.
+type Hit struct {
+	// Source is the source ID within the indexed universe.
+	Source int
+	// Score is the TF-IDF relevance of the source to the query.
+	Score float64
+}
+
+// Search returns the sources matching any query keyword, ranked by TF-IDF
+// (sum over query terms of tf·idf, length-normalized). An empty query is
+// an error; a query matching nothing returns an empty slice.
+func (idx *Index) Search(query string, limit int) ([]Hit, error) {
+	terms := tokenize(query)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("discovery: empty query")
+	}
+	n := float64(idx.u.N())
+	scores := make(map[int]float64)
+	for _, term := range terms {
+		posting := idx.postings[term]
+		if len(posting) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(posting)))
+		for src, tf := range posting {
+			scores[src] += float64(tf) / float64(idx.docLen[src]) * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for src, score := range scores {
+		hits = append(hits, Hit{Source: src, Score: score})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Source < hits[j].Source
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits, nil
+}
+
+// Materialize builds a fresh universe from discovery hits: the µBE input
+// for the discovered domain. Source IDs are renumbered densely; the
+// returned mapping gives the original ID for each new one.
+func (idx *Index) Materialize(hits []Hit) (*model.Universe, []int, error) {
+	if len(hits) == 0 {
+		return nil, nil, fmt.Errorf("discovery: no hits to materialize")
+	}
+	u := &model.Universe{Sources: make([]model.Source, 0, len(hits))}
+	orig := make([]int, 0, len(hits))
+	seen := make(map[int]bool, len(hits))
+	for _, h := range hits {
+		if h.Source < 0 || h.Source >= idx.u.N() {
+			return nil, nil, fmt.Errorf("discovery: hit source %d out of range", h.Source)
+		}
+		if seen[h.Source] {
+			return nil, nil, fmt.Errorf("discovery: duplicate hit for source %d", h.Source)
+		}
+		seen[h.Source] = true
+		src := idx.u.Sources[h.Source] // copy
+		src.ID = len(u.Sources)
+		u.Sources = append(u.Sources, src)
+		orig = append(orig, h.Source)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return u, orig, nil
+}

@@ -1,0 +1,153 @@
+package discovery
+
+import (
+	"testing"
+
+	"ube/internal/model"
+)
+
+// corpus mixes theater-ticket sources with unrelated ones — the §1
+// CompletePlanet scenario in miniature.
+func corpus() *model.Universe {
+	defs := []struct {
+		name  string
+		attrs []string
+	}{
+		{"aceticket.com", []string{"state", "city", "event", "venue"}},
+		{"londontheatre.co.uk", []string{"type", "keyword"}},
+		{"wstonline.org", []string{"keyword", "after date", "before date"}},
+		{"lastminute.com", []string{"event name", "event type", "location", "date", "radius"}},
+		{"weatherdata.net", []string{"humidity", "temperature", "wind"}},
+		{"carparts.example", []string{"part number", "gearbox", "engine"}},
+		{"theatermania.example", []string{"show", "theater", "date"}},
+	}
+	u := &model.Universe{}
+	for i, d := range defs {
+		u.Sources = append(u.Sources, model.Source{
+			ID: i, Name: d.name, Attributes: d.attrs, Cardinality: 100,
+		})
+	}
+	return u
+}
+
+func TestSearchRanksRelevantSources(t *testing.T) {
+	idx, err := NewIndex(corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search("theater", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits for theater")
+	}
+	// Sources 1 and 6 mention theater (name/attr); the weather and car
+	// sources must not appear.
+	for _, h := range hits {
+		if h.Source == 4 || h.Source == 5 {
+			t.Errorf("irrelevant source %d matched", h.Source)
+		}
+		if h.Score <= 0 {
+			t.Errorf("hit with nonpositive score: %+v", h)
+		}
+	}
+	// Multi-term queries union and rank.
+	hits, err = idx.Search("event date", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 3 {
+		t.Fatalf("event date should match several sources: %v", hits)
+	}
+	// Scores descend.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatalf("hits not sorted: %v", hits)
+		}
+	}
+}
+
+func TestSearchLimitAndMisses(t *testing.T) {
+	idx, err := NewIndex(corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search("date", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Errorf("limit ignored: %d hits", len(hits))
+	}
+	hits, err = idx.Search("zeppelin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("nonsense query matched: %v", hits)
+	}
+	if _, err := idx.Search("   ", 0); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	u := corpus()
+	idx, err := NewIndex(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search("theater keyword", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, orig, err := idx.Materialize(hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != len(hits) || len(orig) != len(hits) {
+		t.Fatalf("materialized %d sources for %d hits", sub.N(), len(hits))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sub.Sources {
+		if sub.Sources[i].ID != i {
+			t.Errorf("IDs not renumbered densely: %d at %d", sub.Sources[i].ID, i)
+		}
+		if sub.Sources[i].Name != u.Sources[orig[i]].Name {
+			t.Errorf("mapping wrong at %d", i)
+		}
+	}
+	// The original universe is untouched.
+	if u.Sources[0].ID != 0 || u.N() != 7 {
+		t.Error("Materialize mutated the corpus")
+	}
+	// Errors.
+	if _, _, err := idx.Materialize(nil); err == nil {
+		t.Error("empty hits accepted")
+	}
+	if _, _, err := idx.Materialize([]Hit{{Source: 99}}); err == nil {
+		t.Error("out-of-range hit accepted")
+	}
+	if _, _, err := idx.Materialize([]Hit{{Source: 1}, {Source: 1}}); err == nil {
+		t.Error("duplicate hit accepted")
+	}
+}
+
+func TestHostnameTokenization(t *testing.T) {
+	idx, err := NewIndex(corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "londontheatre" is one token of the hostname; searching for it
+	// finds the site.
+	hits, err := idx.Search("londontheatre", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Source != 1 {
+		t.Errorf("hostname token search failed: %v", hits)
+	}
+}

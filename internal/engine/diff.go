@@ -1,0 +1,77 @@
+package engine
+
+import "ube/internal/model"
+
+// Diff summarizes how one solution differs from another — what the µBE UI
+// shows the user between iterations so feedback decisions are grounded in
+// what actually moved.
+type Diff struct {
+	// AddedSources and RemovedSources are the selection changes from
+	// the old to the new solution, ascending.
+	AddedSources   []int
+	RemovedSources []int
+	// NewGAs are GAs of the new schema with no equal GA in the old;
+	// LostGAs the reverse.
+	NewGAs  []model.GA
+	LostGAs []model.GA
+	// QualityDelta is new minus old overall quality.
+	QualityDelta float64
+}
+
+// Unchanged reports whether nothing moved.
+func (d *Diff) Unchanged() bool {
+	return len(d.AddedSources) == 0 && len(d.RemovedSources) == 0 &&
+		len(d.NewGAs) == 0 && len(d.LostGAs) == 0
+}
+
+// DiffSolutions compares two solutions of the same universe, old → new.
+// Nil schemas are treated as empty.
+func DiffSolutions(old, new *Solution) *Diff {
+	d := &Diff{QualityDelta: new.Quality - old.Quality}
+	new.Set.ForEach(func(id int) {
+		if !old.Set.Has(id) {
+			d.AddedSources = append(d.AddedSources, id)
+		}
+	})
+	old.Set.ForEach(func(id int) {
+		if !new.Set.Has(id) {
+			d.RemovedSources = append(d.RemovedSources, id)
+		}
+	})
+	d.NewGAs = gaDifference(new.Schema, old.Schema)
+	d.LostGAs = gaDifference(old.Schema, new.Schema)
+	return d
+}
+
+// gaDifference returns the GAs of a that have no equal GA in b.
+func gaDifference(a, b *model.MediatedSchema) []model.GA {
+	if a == nil {
+		return nil
+	}
+	var out []model.GA
+	for _, g := range a.GAs {
+		found := false
+		if b != nil {
+			for _, h := range b.GAs {
+				if g.Equal(h) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// DiffLast compares the session's two most recent solutions, or returns
+// nil when fewer than two iterations exist.
+func (s *Session) DiffLast() *Diff {
+	n := len(s.history)
+	if n < 2 {
+		return nil
+	}
+	return DiffSolutions(s.history[n-2].Solution, s.history[n-1].Solution)
+}

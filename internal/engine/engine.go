@@ -1,0 +1,447 @@
+// Package engine composes the µBE system (Figure 2 of the paper): it wires
+// the schema matcher, the QEF framework and a combinatorial optimizer into
+// a single Solve entry point, and hosts the iterative feedback Session
+// through which users guide the search (§6).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ube/internal/cluster"
+	"ube/internal/model"
+	"ube/internal/qef"
+	"ube/internal/search"
+	"ube/internal/strsim"
+)
+
+// matrixLimit caps the vocabulary size for the dense precomputed
+// similarity matrix; beyond it the engine falls back to the lazy cache
+// (n² float32 cells — 4096 names cost 64 MiB).
+const matrixLimit = 4096
+
+// matchCacheLimit bounds the Match memo table; candidate sets beyond this
+// are evaluated without caching (the map is cleared, not grown).
+const matchCacheLimit = 1 << 18
+
+// Problem is one iteration's optimization problem (§2.5): the selection
+// bound, clustering parameters, constraints, QEF weights and solver choice.
+type Problem struct {
+	// MaxSources is m, the maximum number of sources to select.
+	MaxSources int
+	// Theta is the matching-quality threshold θ (paper default 0.65).
+	Theta float64
+	// Beta is the minimum size β of non-constraint GAs (default 2).
+	Beta int
+	// Constraints are the user's source/GA constraints (and exclusions).
+	Constraints model.Constraints
+	// Weights assigns importance to every QEF by name; they must cover
+	// exactly the configured QEFs and sum to 1.
+	Weights qef.Weights
+	// Characteristics configures one QEF per named source
+	// characteristic, e.g. {"mttf": qef.WSum{}}.
+	Characteristics map[string]qef.Aggregator
+	// ExtraQEFs are caller-defined quality dimensions beyond the
+	// built-in and characteristic QEFs — the §1 "define new quality
+	// metrics" feedback move. Each must have a unique name covered by
+	// Weights.
+	ExtraQEFs []qef.QEF
+	// InitialSources optionally warm-starts the solver from a known
+	// candidate, typically the previous iteration's solution. Sessions
+	// set this automatically.
+	InitialSources []int
+	// Optimizer picks the solver; nil means tabu search, the paper's
+	// choice.
+	Optimizer search.Optimizer
+	// Seed drives the solver's randomness.
+	Seed int64
+	// MaxEvals optionally bounds objective evaluations (0 = solver
+	// default).
+	MaxEvals int
+	// Workers fans candidate evaluations across goroutines inside the
+	// solver (≤1 = sequential). Solves are deterministic for a fixed
+	// (problem, seed, Workers).
+	Workers int
+}
+
+// MatchQEFName is the QEF name of the matching quality F1.
+const MatchQEFName = "match"
+
+// DefaultProblem returns the paper's experimental defaults (§7.1): m=20,
+// θ=0.65, β=2, weights 0.25/0.25/0.2/0.15/0.15 for match, cardinality,
+// coverage, redundancy and MTTF (wsum-aggregated).
+func DefaultProblem() Problem {
+	return Problem{
+		MaxSources:      20,
+		Theta:           0.65,
+		Beta:            2,
+		Weights:         qef.Weights{MatchQEFName: 0.25, "card": 0.25, "coverage": 0.2, "redundancy": 0.15, "mttf": 0.15},
+		Characteristics: map[string]qef.Aggregator{"mttf": qef.WSum{}},
+		Seed:            1,
+	}
+}
+
+// Solution is a solved iteration: the chosen sources, the generated
+// mediated schema and the quality accounting the UI presents.
+type Solution struct {
+	// Sources is the chosen set S in ascending ID order.
+	Sources []int
+	// Set is S as a set.
+	Set *model.SourceSet
+	// Schema is the automatically generated mediated schema on S; nil
+	// if no feasible solution was found.
+	Schema *model.MediatedSchema
+	// Match carries the per-GA quality detail of the final clustering.
+	Match cluster.Result
+	// Quality is the overall objective Q(S).
+	Quality float64
+	// Breakdown is each QEF's raw score on S, keyed by QEF name.
+	Breakdown map[string]float64
+	// Feasible reports whether the schema satisfies the constraints.
+	Feasible bool
+	// Evals counts objective evaluations spent by the solver.
+	Evals int
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+}
+
+// Engine holds the per-universe state shared across iterations: the QEF
+// context (signature unions, characteristic ranges), the interned
+// similarity vocabulary and the Match memo table.
+type Engine struct {
+	u      *model.Universe
+	ctx    *qef.Context
+	sim    *strsim.Cache
+	scores strsim.Scorer
+	matrix *strsim.Matrix // nil when the vocabulary exceeds matrixLimit
+
+	// neighborsByTheta caches the ≥θ name adjacency index per threshold.
+	neighborsByTheta map[float64][][]int
+
+	// matchMu guards matchCache; parallel solves evaluate candidates
+	// concurrently.
+	matchMu    sync.Mutex
+	matchCache map[string]cachedMatch
+	// matchStamp identifies the clustering parameters (θ, β,
+	// constraints) the cached entries were computed under; a solve with
+	// different parameters invalidates the table.
+	matchStamp string
+}
+
+type cachedMatch struct {
+	quality float64
+	valid   bool
+}
+
+// Option configures engine construction.
+type Option func(*options)
+
+type options struct {
+	measure strsim.Measure
+	noCache bool
+}
+
+// WithMeasure overrides the attribute similarity measure (default: the
+// paper's Jaccard over 3-grams).
+func WithMeasure(m strsim.Measure) Option {
+	return func(o *options) { o.measure = m }
+}
+
+// WithoutMatchCache disables Match memoization; it exists for ablation
+// benchmarks that quantify what the cache buys.
+func WithoutMatchCache() Option {
+	return func(o *options) { o.noCache = true }
+}
+
+// New builds an engine over a universe: validates it, interns every
+// attribute name and precomputes the similarity matrix when the vocabulary
+// is small enough.
+func New(u *model.Universe, opts ...Option) (*Engine, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ctx, err := qef.NewContext(u)
+	if err != nil {
+		return nil, err
+	}
+	sim := strsim.NewCache(o.measure)
+	for i := range u.Sources {
+		for _, a := range u.Sources[i].Attributes {
+			sim.Intern(a)
+		}
+	}
+	e := &Engine{
+		u:                u,
+		ctx:              ctx,
+		sim:              sim,
+		neighborsByTheta: make(map[float64][][]int),
+	}
+	if !o.noCache {
+		e.matchCache = make(map[string]cachedMatch)
+	}
+	if sim.Len() <= matrixLimit {
+		e.matrix = sim.BuildMatrix()
+		e.scores = e.matrix
+	} else {
+		e.scores = sim
+	}
+	return e, nil
+}
+
+// Universe returns the engine's universe.
+func (e *Engine) Universe() *model.Universe { return e.u }
+
+// Context returns the engine's QEF context.
+func (e *Engine) Context() *qef.Context { return e.ctx }
+
+// VocabularySize reports the number of distinct normalized attribute names.
+func (e *Engine) VocabularySize() int { return e.sim.Len() }
+
+// validate checks a problem against the universe.
+func (e *Engine) validate(p *Problem) error {
+	if p.MaxSources < 1 {
+		return fmt.Errorf("engine: MaxSources = %d", p.MaxSources)
+	}
+	if p.MaxSources > e.u.N() {
+		return fmt.Errorf("engine: MaxSources %d exceeds universe size %d", p.MaxSources, e.u.N())
+	}
+	if p.Theta < 0 || p.Theta > 1 {
+		return fmt.Errorf("engine: theta %v outside [0,1]", p.Theta)
+	}
+	if p.Beta < 1 {
+		return fmt.Errorf("engine: beta %d < 1", p.Beta)
+	}
+	if err := p.Constraints.Validate(e.u); err != nil {
+		return err
+	}
+	if req := p.Constraints.ImpliedSources(); len(req) > p.MaxSources {
+		return fmt.Errorf("engine: constraints imply %d sources, more than m = %d", len(req), p.MaxSources)
+	}
+	return nil
+}
+
+// buildQEFs assembles the QEF list for a problem: the data QEFs, one
+// Characteristic QEF per configured characteristic, and any caller-defined
+// extra QEFs.
+func (e *Engine) buildQEFs(p *Problem) ([]qef.QEF, error) {
+	qefs := []qef.QEF{qef.Card{}, qef.Coverage{}, qef.Redundancy{}}
+	// Characteristic QEFs in sorted name order: the composite sums its
+	// terms in slice order, and float addition order must not depend on
+	// map iteration.
+	chars := make([]string, 0, len(p.Characteristics))
+	for name := range p.Characteristics {
+		chars = append(chars, name)
+	}
+	sort.Strings(chars)
+	for _, name := range chars {
+		agg := p.Characteristics[name]
+		if agg == nil {
+			return nil, fmt.Errorf("engine: nil aggregator for characteristic %q", name)
+		}
+		if _, _, ok := e.ctx.CharRange(name); !ok {
+			return nil, fmt.Errorf("engine: no source defines characteristic %q", name)
+		}
+		qefs = append(qefs, qef.Characteristic{Char: name, Agg: agg})
+	}
+	seen := make(map[string]bool, len(qefs)+len(p.ExtraQEFs)+1)
+	seen[MatchQEFName] = true
+	for _, q := range qefs {
+		seen[q.Name()] = true
+	}
+	for _, q := range p.ExtraQEFs {
+		if q == nil {
+			return nil, fmt.Errorf("engine: nil extra QEF")
+		}
+		if seen[q.Name()] {
+			return nil, fmt.Errorf("engine: duplicate QEF name %q", q.Name())
+		}
+		seen[q.Name()] = true
+		qefs = append(qefs, q)
+	}
+	return qefs, nil
+}
+
+// restampMatchCache clears the Match memo table when the clustering
+// parameters differ from those its entries were computed under: cached F1
+// values are only valid for one (θ, β, C, G) configuration.
+func (e *Engine) restampMatchCache(p *Problem) {
+	if e.matchCache == nil {
+		return
+	}
+	stamp := fmt.Sprintf("%v|%d|%v|%v", p.Theta, p.Beta, p.Constraints.Sources, p.Constraints.GAs)
+	e.matchMu.Lock()
+	if stamp != e.matchStamp {
+		clear(e.matchCache)
+		e.matchStamp = stamp
+	}
+	e.matchMu.Unlock()
+}
+
+// matchQuality runs (or recalls) the constrained clustering for S and
+// returns F1 and feasibility.
+func (e *Engine) matchQuality(S *model.SourceSet, cfg cluster.Config, C []int, G []model.GA) (float64, bool) {
+	if e.matchCache == nil {
+		res := cluster.Match(e.u, S.Elements(), C, G, cfg)
+		return res.Quality, res.Valid
+	}
+	key := S.Key()
+	e.matchMu.Lock()
+	hit, ok := e.matchCache[key]
+	e.matchMu.Unlock()
+	if ok {
+		return hit.quality, hit.valid
+	}
+	res := cluster.Match(e.u, S.Elements(), C, G, cfg)
+	e.matchMu.Lock()
+	if len(e.matchCache) >= matchCacheLimit {
+		clear(e.matchCache)
+	}
+	e.matchCache[key] = cachedMatch{quality: res.Quality, valid: res.Valid}
+	e.matchMu.Unlock()
+	return res.Quality, res.Valid
+}
+
+// Solve runs one µBE iteration: it builds the objective from the problem's
+// QEFs and weights, dispatches the optimizer over the constrained search
+// space, and re-runs the matcher on the winning set to produce the full
+// mediated schema.
+func (e *Engine) Solve(p *Problem) (*Solution, error) {
+	start := time.Now()
+	if err := e.validate(p); err != nil {
+		return nil, err
+	}
+	qefs, err := e.buildQEFs(p)
+	if err != nil {
+		return nil, err
+	}
+	// The weight map must cover the data/characteristic QEFs plus F1.
+	names := append([]qef.QEF{fakeMatchQEF{}}, qefs...)
+	if err := p.Weights.Validate(names); err != nil {
+		return nil, err
+	}
+	// The composite covers every QEF but F1 with weights rescaled to sum
+	// to 1; the objective multiplies it back by (1 − w_match) so each
+	// QEF keeps its user-assigned weight. With w_match == 1 there is no
+	// composite at all.
+	wMatch := p.Weights[MatchQEFName]
+	wRest := 1 - wMatch
+	var comp *qef.Composite
+	if wRest > weightEpsilon {
+		comp, err = qef.NewComposite(qefs, restWeights(p.Weights))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		wRest = 0
+		comp, err = qef.NewComposite(qefs, uniformWeights(qefs))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	clusterCfg := cluster.Config{
+		Theta:     p.Theta,
+		Beta:      p.Beta,
+		Sim:       e.sim,
+		Scores:    e.scores,
+		Neighbors: e.neighbors(p.Theta),
+	}
+	C := p.Constraints.Sources
+	G := p.Constraints.GAs
+	e.restampMatchCache(p)
+
+	objective := func(S *model.SourceSet) (float64, bool) {
+		f1, valid := e.matchQuality(S, clusterCfg, C, G)
+		q := wMatch * f1
+		if wRest > 0 {
+			q += wRest * comp.Eval(e.ctx, S)
+		}
+		return q, valid
+	}
+
+	opt := p.Optimizer
+	if opt == nil {
+		opt = search.NewTabu()
+	}
+	prob := &search.Problem{
+		N:         e.u.N(),
+		M:         p.MaxSources,
+		Required:  p.Constraints.ImpliedSources(),
+		Excluded:  p.Constraints.Exclude,
+		Initial:   p.InitialSources,
+		Objective: objective,
+		MaxEvals:  p.MaxEvals,
+		Workers:   p.Workers,
+	}
+	res := opt.Optimize(prob, p.Seed)
+
+	sol := &Solution{
+		Sources:  res.S.Elements(),
+		Set:      res.S,
+		Quality:  res.Quality,
+		Feasible: res.Feasible,
+		Evals:    res.Evals,
+	}
+	// Re-run the matcher once on the final set for the full schema (the
+	// memo table only keeps scalar results).
+	final := cluster.Match(e.u, sol.Sources, C, G, clusterCfg)
+	sol.Match = final
+	sol.Schema = final.Schema
+	sol.Breakdown = comp.Breakdown(e.ctx, res.S)
+	sol.Breakdown[MatchQEFName] = final.Quality
+	sol.Elapsed = time.Since(start)
+	return sol, nil
+}
+
+// weightEpsilon is the smallest non-match weight mass treated as nonzero.
+const weightEpsilon = 1e-12
+
+// neighbors returns (building and caching on first use) the ≥θ name
+// adjacency index for the engine's vocabulary, or nil when no dense matrix
+// is available.
+func (e *Engine) neighbors(theta float64) [][]int {
+	if e.matrix == nil {
+		return nil
+	}
+	if n, ok := e.neighborsByTheta[theta]; ok {
+		return n
+	}
+	n := e.matrix.Neighbors(theta)
+	e.neighborsByTheta[theta] = n
+	return n
+}
+
+// restWeights strips the match weight and rescales the remainder to sum
+// to 1 so the inner composite validates; the objective multiplies the
+// composite back by (1 − w_match).
+func restWeights(w qef.Weights) qef.Weights {
+	out := make(qef.Weights, len(w))
+	for k, v := range w {
+		if k != MatchQEFName {
+			out[k] = v
+		}
+	}
+	return out.Normalized()
+}
+
+// uniformWeights gives every QEF equal weight; used only to build a
+// breakdown-capable composite when w_match == 1.
+func uniformWeights(qefs []qef.QEF) qef.Weights {
+	out := make(qef.Weights, len(qefs))
+	for _, q := range qefs {
+		out[q.Name()] = 1 / float64(len(qefs))
+	}
+	return out
+}
+
+// fakeMatchQEF lets Weights.Validate account for the F1 weight; it is
+// never evaluated.
+type fakeMatchQEF struct{}
+
+func (fakeMatchQEF) Name() string { return MatchQEFName }
+func (fakeMatchQEF) Eval(*qef.Context, *model.SourceSet) float64 {
+	panic("engine: the match QEF is evaluated by the engine, not the composite")
+}

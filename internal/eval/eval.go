@@ -1,0 +1,129 @@
+// Package eval scores generated mediated schemas against the synthetic
+// ground truth, producing the metrics of the paper's Table 1 (§7.3): how
+// many true GAs the solution contains, how many attributes those GAs
+// cover, and how many true GAs were present in the chosen sources but not
+// identified. The paper interprets true-GA count as precision of concept
+// identification and covered attributes as recall.
+package eval
+
+import (
+	"ube/internal/model"
+	"ube/internal/synth"
+)
+
+// Report holds the Table 1 metrics for one solution.
+type Report struct {
+	// SourcesSelected is |S|.
+	SourcesSelected int
+	// TrueGAs is the number of distinct ground-truth concepts
+	// represented by at least one pure GA (a GA whose attributes all
+	// express that concept). The paper bounds this by 14.
+	TrueGAs int
+	// TrueGAClusters is the raw number of pure GAs; it can exceed
+	// TrueGAs when one concept splits into several clusters (e.g.
+	// lexically distant variants).
+	TrueGAClusters int
+	// FalseGAs counts GAs that mix two or more concepts, or mix a
+	// concept with junk attributes — incorrect groupings. The paper
+	// reports µBE never produced any.
+	FalseGAs int
+	// JunkGAs counts GAs made entirely of perturbation junk words.
+	// Grouping two sources' "voltage" attributes is lexically correct,
+	// so these are neither true nor false; they are reported separately.
+	JunkGAs int
+	// AttrsInTrueGAs is the total number of attributes covered by pure
+	// GAs — the recall measure of Table 1.
+	AttrsInTrueGAs int
+	// MissedGAs counts concepts that are present in the chosen sources
+	// (attributes of the concept occur in at least two of them, so a GA
+	// is possible) but have no pure GA in the solution.
+	MissedGAs int
+	// ConceptFound marks which concepts have a pure GA.
+	ConceptFound [synth.NumConcepts]bool
+	// ConceptPresent marks which concepts occur in ≥2 chosen sources.
+	ConceptPresent [synth.NumConcepts]bool
+}
+
+// Evaluate scores a solution's mediated schema against the ground truth.
+// S is the chosen source set; schema may be nil (scored as finding
+// nothing).
+func Evaluate(truth *synth.Truth, S []int, schema *model.MediatedSchema) Report {
+	var r Report
+	r.SourcesSelected = len(S)
+
+	// Which concepts are present in ≥2 chosen sources?
+	sourcesWithConcept := make(map[int]map[int]struct{}) // concept -> set of sources
+	chosen := make(map[int]bool, len(S))
+	for _, id := range S {
+		chosen[id] = true
+	}
+	for ref, c := range truth.ConceptOf {
+		if c == synth.JunkConcept || !chosen[ref.Source] {
+			continue
+		}
+		if sourcesWithConcept[c] == nil {
+			sourcesWithConcept[c] = make(map[int]struct{})
+		}
+		sourcesWithConcept[c][ref.Source] = struct{}{}
+	}
+	for c, srcs := range sourcesWithConcept {
+		if len(srcs) >= 2 {
+			r.ConceptPresent[c] = true
+		}
+	}
+
+	if schema != nil {
+		for _, g := range schema.GAs {
+			concept, pure, junkOnly := classify(truth, g)
+			switch {
+			case junkOnly:
+				r.JunkGAs++
+			case pure:
+				r.TrueGAClusters++
+				r.AttrsInTrueGAs += len(g)
+				if !r.ConceptFound[concept] {
+					r.ConceptFound[concept] = true
+					r.TrueGAs++
+				}
+			default:
+				r.FalseGAs++
+			}
+		}
+	}
+
+	for c := 0; c < synth.NumConcepts; c++ {
+		if r.ConceptPresent[c] && !r.ConceptFound[c] {
+			r.MissedGAs++
+		}
+	}
+	return r
+}
+
+// classify determines whether a GA is pure (all attributes one concept),
+// junk-only, or mixed.
+func classify(truth *synth.Truth, g model.GA) (concept int, pure, junkOnly bool) {
+	concept = synth.JunkConcept
+	sawJunk := false
+	for _, ref := range g {
+		c, ok := truth.ConceptOf[ref]
+		if !ok {
+			c = synth.JunkConcept
+		}
+		if c == synth.JunkConcept {
+			sawJunk = true
+			continue
+		}
+		if concept == synth.JunkConcept {
+			concept = c
+		} else if concept != c {
+			return concept, false, false // mixes two concepts
+		}
+	}
+	if concept == synth.JunkConcept {
+		return concept, false, true // nothing but junk
+	}
+	if sawJunk {
+		return concept, false, false // concept attributes mixed with junk
+	}
+	return concept, true, false
+}

@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"testing"
+
+	"ube/internal/model"
+	"ube/internal/synth"
+)
+
+// mkTruth builds a ground truth where source s, attr a expresses the
+// concept given by the layout matrix (JunkConcept for junk).
+func mkTruth(layout [][]int) *synth.Truth {
+	t := &synth.Truth{
+		ConceptOf:    make(map[model.AttrRef]int),
+		ConceptNames: synth.ConceptNames(),
+	}
+	for s, attrs := range layout {
+		for a, c := range attrs {
+			t.ConceptOf[model.AttrRef{Source: s, Attr: a}] = c
+		}
+	}
+	return t
+}
+
+func ga(refs ...[2]int) model.GA {
+	out := make([]model.AttrRef, len(refs))
+	for i, r := range refs {
+		out[i] = model.AttrRef{Source: r[0], Attr: r[1]}
+	}
+	return model.NewGA(out...)
+}
+
+func TestEvaluateHappyPath(t *testing.T) {
+	// Sources 0,1,2: concept 0 (title) everywhere, concept 1 (author) in
+	// 0 and 1, junk in source 2.
+	truth := mkTruth([][]int{
+		{0, 1},
+		{0, 1},
+		{0, synth.JunkConcept},
+	})
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		ga([2]int{0, 0}, [2]int{1, 0}, [2]int{2, 0}), // pure title
+		ga([2]int{0, 1}, [2]int{1, 1}),               // pure author
+	}}
+	r := Evaluate(truth, []int{0, 1, 2}, schema)
+	if r.TrueGAs != 2 || r.TrueGAClusters != 2 {
+		t.Errorf("TrueGAs = %d/%d, want 2/2", r.TrueGAs, r.TrueGAClusters)
+	}
+	if r.AttrsInTrueGAs != 5 {
+		t.Errorf("AttrsInTrueGAs = %d, want 5", r.AttrsInTrueGAs)
+	}
+	if r.FalseGAs != 0 || r.JunkGAs != 0 || r.MissedGAs != 0 {
+		t.Errorf("false/junk/missed = %d/%d/%d, want 0", r.FalseGAs, r.JunkGAs, r.MissedGAs)
+	}
+	if !r.ConceptFound[0] || !r.ConceptFound[1] || r.ConceptFound[2] {
+		t.Error("ConceptFound wrong")
+	}
+	if r.SourcesSelected != 3 {
+		t.Errorf("SourcesSelected = %d", r.SourcesSelected)
+	}
+}
+
+func TestEvaluateMissedConcept(t *testing.T) {
+	// Concept 3 present in two chosen sources but not matched.
+	truth := mkTruth([][]int{
+		{0, 3},
+		{0, 3},
+	})
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		ga([2]int{0, 0}, [2]int{1, 0}),
+	}}
+	r := Evaluate(truth, []int{0, 1}, schema)
+	if r.TrueGAs != 1 || r.MissedGAs != 1 {
+		t.Errorf("true/missed = %d/%d, want 1/1", r.TrueGAs, r.MissedGAs)
+	}
+	if !r.ConceptPresent[3] || r.ConceptFound[3] {
+		t.Error("concept 3 should be present but not found")
+	}
+}
+
+func TestEvaluateConceptInOneSourceNotMissed(t *testing.T) {
+	// A concept appearing in only one chosen source cannot form a GA and
+	// must not count as missed.
+	truth := mkTruth([][]int{
+		{0, 5},
+		{0},
+	})
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		ga([2]int{0, 0}, [2]int{1, 0}),
+	}}
+	r := Evaluate(truth, []int{0, 1}, schema)
+	if r.MissedGAs != 0 {
+		t.Errorf("MissedGAs = %d, want 0", r.MissedGAs)
+	}
+	if r.ConceptPresent[5] {
+		t.Error("single-source concept should not be 'present'")
+	}
+}
+
+func TestEvaluateFalseAndJunkGAs(t *testing.T) {
+	truth := mkTruth([][]int{
+		{0, 1, synth.JunkConcept},
+		{0, 1, synth.JunkConcept},
+	})
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		ga([2]int{0, 0}, [2]int{1, 1}), // mixes concepts 0 and 1
+		ga([2]int{0, 2}, [2]int{1, 2}), // junk only
+		ga([2]int{0, 1}, [2]int{1, 2}), // concept + junk = false
+	}}
+	r := Evaluate(truth, []int{0, 1}, schema)
+	if r.FalseGAs != 2 {
+		t.Errorf("FalseGAs = %d, want 2", r.FalseGAs)
+	}
+	if r.JunkGAs != 1 {
+		t.Errorf("JunkGAs = %d, want 1", r.JunkGAs)
+	}
+	if r.TrueGAs != 0 {
+		t.Errorf("TrueGAs = %d, want 0", r.TrueGAs)
+	}
+}
+
+func TestEvaluateSplitConcept(t *testing.T) {
+	// One concept split into two pure clusters: 1 true concept, 2 pure
+	// clusters, no miss.
+	truth := mkTruth([][]int{
+		{2}, {2}, {2}, {2},
+	})
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		ga([2]int{0, 0}, [2]int{1, 0}),
+		ga([2]int{2, 0}, [2]int{3, 0}),
+	}}
+	r := Evaluate(truth, []int{0, 1, 2, 3}, schema)
+	if r.TrueGAs != 1 || r.TrueGAClusters != 2 {
+		t.Errorf("TrueGAs = %d, clusters = %d; want 1, 2", r.TrueGAs, r.TrueGAClusters)
+	}
+	if r.MissedGAs != 0 {
+		t.Errorf("MissedGAs = %d, want 0", r.MissedGAs)
+	}
+	if r.AttrsInTrueGAs != 4 {
+		t.Errorf("AttrsInTrueGAs = %d, want 4", r.AttrsInTrueGAs)
+	}
+}
+
+func TestEvaluateNilSchema(t *testing.T) {
+	truth := mkTruth([][]int{{0}, {0}})
+	r := Evaluate(truth, []int{0, 1}, nil)
+	if r.TrueGAs != 0 || r.MissedGAs != 1 {
+		t.Errorf("nil schema: true=%d missed=%d, want 0/1", r.TrueGAs, r.MissedGAs)
+	}
+}
+
+func TestEvaluateIgnoresUnchosenSources(t *testing.T) {
+	// Concept 4 lives in sources 2 and 3, which are NOT selected: it is
+	// neither present nor missed.
+	truth := mkTruth([][]int{
+		{0}, {0}, {4}, {4},
+	})
+	schema := &model.MediatedSchema{GAs: []model.GA{
+		ga([2]int{0, 0}, [2]int{1, 0}),
+	}}
+	r := Evaluate(truth, []int{0, 1}, schema)
+	if r.ConceptPresent[4] || r.MissedGAs != 0 {
+		t.Errorf("unchosen sources leaked into presence: %+v", r)
+	}
+}
+
+func TestEvaluateEndToEndWithSynth(t *testing.T) {
+	// Smoke: real generator output evaluates without anomalies.
+	cfg := synth.QuickConfig(40)
+	cfg.WithSignatures = false
+	_, truth, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := []int{0, 1, 2, 3, 4}
+	r := Evaluate(truth, S, nil)
+	if r.SourcesSelected != 5 {
+		t.Errorf("SourcesSelected = %d", r.SourcesSelected)
+	}
+	// Core concepts (title at 95%) are all but surely present in 5
+	// unperturbed schemas.
+	if !r.ConceptPresent[0] {
+		t.Error("title concept absent from five base schemas — generator shape broken")
+	}
+}

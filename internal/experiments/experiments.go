@@ -1,0 +1,831 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7). Each experiment is a function returning typed rows; the
+// ube-bench command prints them as tables and bench_test.go wraps them as
+// benchmarks. The per-experiment parameters follow §7.1/§7.2: θ = 0.65,
+// QEF weights 0.25/0.25/0.2/0.15/0.15 (match, cardinality, coverage,
+// redundancy, MTTF), constraint variants of 0/1/3/5 source constraints and
+// 5 source + 2 GA constraints, with source constraints drawn from
+// unperturbed schemas and GA constraints being accurate matchings of up to
+// 5 attributes.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ube/internal/datasim"
+	"ube/internal/engine"
+	"ube/internal/eval"
+	"ube/internal/model"
+	"ube/internal/pcsa"
+	"ube/internal/search"
+	"ube/internal/synth"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick scales the workload down ~10× for smoke runs.
+	Quick bool
+	// MaxEvals is the per-solve objective-evaluation budget (0 means
+	// DefaultEvals). All experiments share it so runs are comparable.
+	MaxEvals int
+	// Seed offsets all experiment randomness.
+	Seed int64
+}
+
+// DefaultEvals is the per-solve budget used by the experiment harness. It
+// is chosen so tabu search has converged on paper-scale instances while a
+// full figure grid still runs in minutes.
+const DefaultEvals = 6000
+
+func (o Options) evals() int {
+	if o.MaxEvals > 0 {
+		return o.MaxEvals
+	}
+	return DefaultEvals
+}
+
+// budget scales the per-solve evaluation budget with the size of the
+// constrained search neighborhood, as iteration counts conventionally
+// scale with instance size in local search: proportional to the number of
+// free selection slots (m − |implied constraints|) and to the square root
+// of the universe size, normalized so the reference cell (N=200, m=20,
+// unconstrained — §7's center point) gets exactly evals(). This is what
+// makes the Figure 5/6 time curves move for the paper's reason — a bigger
+// space takes longer to search, constraints shrink it.
+func (o Options) budget(n, m, implied int) int {
+	nRef, mRef := 200.0, 20.0
+	if o.Quick {
+		nRef, mRef = 60.0, 10.0
+	}
+	b := float64(o.evals()) * math.Sqrt(float64(n)/nRef) * float64(m-implied) / mRef
+	if b < 200 {
+		b = 200
+	}
+	return int(b)
+}
+
+// workload returns the workload configuration for n sources.
+func (o Options) workload(n int) synth.Config {
+	var cfg synth.Config
+	if o.Quick {
+		cfg = synth.QuickConfig(n)
+	} else {
+		cfg = synth.DefaultConfig()
+		cfg.NumSources = n
+	}
+	cfg.Seed += o.Seed
+	return cfg
+}
+
+// Setup is one generated universe with its engine and ground truth.
+type Setup struct {
+	Cfg   synth.Config
+	U     *model.Universe
+	Truth *synth.Truth
+	E     *engine.Engine
+}
+
+// NewSetup generates a universe of n sources and builds its engine.
+func NewSetup(n int, o Options) (*Setup, error) {
+	cfg := o.workload(n)
+	u, truth, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.New(u)
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{Cfg: cfg, U: u, Truth: truth, E: e}, nil
+}
+
+// Variant is one constraint configuration of Figures 5–7.
+type Variant struct {
+	// Name labels the series as in the paper's legends.
+	Name string
+	// Src is the number of source constraints.
+	Src int
+	// GA is the number of GA constraints (drawn within the source
+	// constraints so C is unchanged).
+	GA int
+}
+
+// Variants are the five constraint series of Figures 5–7.
+var Variants = []Variant{
+	{Name: "none", Src: 0, GA: 0},
+	{Name: "1src", Src: 1, GA: 0},
+	{Name: "3src", Src: 3, GA: 0},
+	{Name: "5src", Src: 5, GA: 0},
+	{Name: "5src+2ga", Src: 5, GA: 2},
+}
+
+// Problem builds the §7 problem for one grid cell.
+func (s *Setup) Problem(m int, v Variant, o Options, seed int64) (engine.Problem, error) {
+	p := engine.DefaultProblem()
+	p.MaxSources = m
+	p.Seed = seed
+	rng := rand.New(rand.NewSource(seed*7919 + int64(v.Src)*31 + int64(v.GA)))
+	if v.Src > 0 {
+		cs, err := synth.SourceConstraints(s.Truth, v.Src, s.U.N(), rng)
+		if err != nil {
+			return p, err
+		}
+		p.Constraints.Sources = cs
+		if v.GA > 0 {
+			gas, err := synth.GAConstraints(s.U, s.Truth, v.GA, 5, cs, rng)
+			if err != nil {
+				return p, err
+			}
+			p.Constraints.GAs = gas
+		}
+	}
+	p.MaxEvals = o.budget(s.U.N(), m, len(p.Constraints.ImpliedSources()))
+	return p, nil
+}
+
+// TimeQualityRow is one grid cell of Figures 5–7: solve time and overall
+// quality per constraint variant at one x-axis value.
+type TimeQualityRow struct {
+	// X is the x-axis value: universe size (Fig 5) or sources to choose
+	// (Figs 6–7).
+	X int
+	// Seconds and Quality are keyed by variant name.
+	Seconds map[string]float64
+	Quality map[string]float64
+}
+
+// Fig5Sizes returns the universe sizes of Figure 5.
+func Fig5Sizes(o Options) (sizes []int, m int) {
+	if o.Quick {
+		return []int{40, 60, 80, 100}, 10
+	}
+	return []int{100, 200, 300, 400, 500, 600, 700}, 20
+}
+
+// Fig5 regenerates Figure 5: time to choose m sources from universes of
+// varying size, per constraint variant.
+func Fig5(o Options) ([]TimeQualityRow, error) {
+	sizes, m := Fig5Sizes(o)
+	rows := make([]TimeQualityRow, 0, len(sizes))
+	for _, n := range sizes {
+		s, err := NewSetup(n, o)
+		if err != nil {
+			return nil, err
+		}
+		row, err := s.runVariants(m, o, int64(n))
+		if err != nil {
+			return nil, err
+		}
+		row.X = n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Ms returns the m values (sources to choose) and universe size of
+// Figures 6–7 and Table 1.
+func Fig6Ms(o Options) (ms []int, n int) {
+	if o.Quick {
+		return []int{6, 9, 12, 15}, 60
+	}
+	return []int{10, 20, 30, 40, 50}, 200
+}
+
+// Fig6And7 regenerates Figures 6 and 7 in one pass: time (Fig 6) and
+// overall quality (Fig 7) when choosing m = 10..50 sources from a
+// 200-source universe, per constraint variant.
+func Fig6And7(o Options) ([]TimeQualityRow, error) {
+	ms, n := Fig6Ms(o)
+	s, err := NewSetup(n, o)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TimeQualityRow, 0, len(ms))
+	for _, m := range ms {
+		row, err := s.runVariants(m, o, int64(m))
+		if err != nil {
+			return nil, err
+		}
+		row.X = m
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runVariants solves one x-axis cell for every constraint variant.
+func (s *Setup) runVariants(m int, o Options, seed int64) (TimeQualityRow, error) {
+	row := TimeQualityRow{
+		Seconds: make(map[string]float64, len(Variants)),
+		Quality: make(map[string]float64, len(Variants)),
+	}
+	for _, v := range Variants {
+		p, err := s.Problem(m, v, o, seed)
+		if err != nil {
+			return row, fmt.Errorf("variant %s: %w", v.Name, err)
+		}
+		start := time.Now()
+		sol, err := s.E.Solve(&p)
+		if err != nil {
+			return row, fmt.Errorf("variant %s: %w", v.Name, err)
+		}
+		row.Seconds[v.Name] = time.Since(start).Seconds()
+		row.Quality[v.Name] = sol.Quality
+	}
+	return row, nil
+}
+
+// Fig8Row is one point of Figure 8: the cardinality QEF value of the
+// solution as the weight on cardinality grows.
+type Fig8Row struct {
+	// Weight is w_card.
+	Weight float64
+	// Card is the Card QEF value of the chosen solution.
+	Card float64
+	// Quality is the overall objective, for reference.
+	Quality float64
+}
+
+// Fig8 regenerates Figure 8: vary the cardinality weight from 0.1 to 1.0
+// (the remaining weight split equally over the other four QEFs) and report
+// the cardinality of the chosen solution. The curve should rise and
+// flatten at ≥ 0.5 once the top-cardinality matching sources are already
+// being chosen.
+func Fig8(o Options) ([]Fig8Row, error) {
+	ms, n := Fig6Ms(o)
+	_ = ms
+	m := 20
+	if o.Quick {
+		m = 10
+	}
+	s, err := NewSetup(n, o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	others := []string{engine.MatchQEFName, "coverage", "redundancy", "mttf"}
+	for w := 0.1; w < 1.0+1e-9; w += 0.1 {
+		p := engine.DefaultProblem()
+		p.MaxSources = m
+		p.MaxEvals = o.evals()
+		p.Seed = 17
+		p.Weights["card"] = w
+		for _, name := range others {
+			p.Weights[name] = (1 - w) / float64(len(others))
+		}
+		sol, err := s.E.Solve(&p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{
+			Weight:  w,
+			Card:    sol.Breakdown["card"],
+			Quality: sol.Quality,
+		})
+	}
+	return rows, nil
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	// M is the number of sources µBE was asked to choose.
+	M int
+	// Selected is how many it chose.
+	Selected int
+	// TrueGAs, Attrs and Missed are the paper's three columns: true GAs
+	// selected, attributes in true GAs, and true GAs missed.
+	TrueGAs int
+	Attrs   int
+	Missed  int
+	// False and Junk extend the table: mixed-concept GAs (the paper
+	// reports zero) and junk-only GAs.
+	False int
+	Junk  int
+}
+
+// Table1 regenerates Table 1: GA quality when choosing m = 10..50 sources
+// from a 200-source universe with no constraints.
+func Table1(o Options) ([]Table1Row, error) {
+	ms, n := Fig6Ms(o)
+	s, err := NewSetup(n, o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, m := range ms {
+		p, err := s.Problem(m, Variants[0], o, int64(m))
+		if err != nil {
+			return nil, err
+		}
+		sol, err := s.E.Solve(&p)
+		if err != nil {
+			return nil, err
+		}
+		rep := eval.Evaluate(s.Truth, sol.Sources, sol.Schema)
+		rows = append(rows, Table1Row{
+			M:        m,
+			Selected: rep.SourcesSelected,
+			TrueGAs:  rep.TrueGAs,
+			Attrs:    rep.AttrsInTrueGAs,
+			Missed:   rep.MissedGAs,
+			False:    rep.FalseGAs,
+			Junk:     rep.JunkGAs,
+		})
+	}
+	return rows, nil
+}
+
+// PCSARow is one union-estimation check of the §7.3 accuracy experiment.
+type PCSARow struct {
+	// Sources is the union size |S|.
+	Sources int
+	// Estimate and Exact are the sketch estimate and true distinct count
+	// of the union.
+	Estimate float64
+	Exact    int64
+	// ErrPct is the relative error in percent.
+	ErrPct float64
+}
+
+// PCSAResult is the full §7.3 accuracy experiment output.
+type PCSAResult struct {
+	Rows []PCSARow
+	// WorstErrPct is the worst-case relative error (the paper reports
+	// 7% against exact counting).
+	WorstErrPct float64
+	// SignatureBytes is the total memory held by all source signatures
+	// (the paper's ≤70 MB observation is dominated by these).
+	SignatureBytes int
+}
+
+// PCSAAccuracy estimates the cardinality of random source unions via
+// signature ORs and compares against exact counts obtained by replaying
+// the generator's tuple streams.
+func PCSAAccuracy(o Options) (*PCSAResult, error) {
+	n := 200
+	if o.Quick {
+		n = 60
+	}
+	cfg := o.workload(n)
+	u, _, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &PCSAResult{}
+	for i := range u.Sources {
+		res.SignatureBytes += u.Sources[i].Signature.SizeBytes()
+	}
+	rng := rand.New(rand.NewSource(41 + o.Seed))
+	exact := pcsa.NewDenseSet(cfg.PoolSize)
+	for _, k := range []int{1, 2, 5, 10, 20, 50} {
+		if k > n {
+			continue
+		}
+		// Draw k distinct sources.
+		perm := rng.Perm(n)[:k]
+		sigs := make([]*pcsa.Sketch, k)
+		exact.Reset()
+		for i, id := range perm {
+			sigs[i] = u.Sources[id].Signature
+			synth.StreamTuples(cfg, id, u.Sources[id].Cardinality, exact.Add)
+		}
+		union, err := pcsa.Union(sigs...)
+		if err != nil {
+			return nil, err
+		}
+		est := union.Estimate()
+		truth := exact.Count()
+		errPct := 100 * abs(est-float64(truth)) / float64(truth)
+		res.Rows = append(res.Rows, PCSARow{Sources: k, Estimate: est, Exact: truth, ErrPct: errPct})
+		if errPct > res.WorstErrPct {
+			res.WorstErrPct = errPct
+		}
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PerturbRow is one trial of the §7.4 weight-sensitivity experiment.
+type PerturbRow struct {
+	// Trial indexes the perturbed rerun.
+	Trial int
+	// SourcesChanged is |S_base Δ S_perturbed| / 2 (swapped sources).
+	SourcesChanged int
+	// GAsChanged is the number of GAs in the base schema with no equal
+	// GA in the perturbed schema.
+	GAsChanged int
+}
+
+// PerturbResult summarizes the weight-sensitivity experiment.
+type PerturbResult struct {
+	Rows []PerturbRow
+	// MaxGAsChanged and MaxSourcesChanged are the worst cases across
+	// trials; the paper reports ≤1 GA changed and sources rarely
+	// changing under ±15% weight noise.
+	MaxGAsChanged     int
+	MaxSourcesChanged int
+}
+
+// WeightPerturbation solves a base problem to get a reference solution,
+// then re-solves trials times with every weight independently perturbed by
+// up to ±15% (renormalized), warm-starting each trial from the reference
+// so the measurement isolates weight-induced movement from search noise,
+// and reports how much the solution moved.
+func WeightPerturbation(o Options, trials int) (*PerturbResult, error) {
+	_, n := Fig6Ms(o)
+	m := 20
+	if o.Quick {
+		m = 10
+	}
+	s, err := NewSetup(n, o)
+	if err != nil {
+		return nil, err
+	}
+	base := engine.DefaultProblem()
+	base.MaxSources = m
+	base.MaxEvals = o.evals()
+	base.Seed = 5
+	baseSol, err := s.E.Solve(&base)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(97 + o.Seed))
+	res := &PerturbResult{}
+	for trial := 0; trial < trials; trial++ {
+		p := engine.DefaultProblem()
+		p.MaxSources = m
+		p.MaxEvals = o.evals()
+		p.Seed = 5 // same seed: only the weights move
+		p.InitialSources = baseSol.Sources
+		sum := 0.0
+		for k, v := range p.Weights {
+			v *= 1 + (rng.Float64()*2-1)*0.15
+			p.Weights[k] = v
+			sum += v
+		}
+		for k := range p.Weights {
+			p.Weights[k] /= sum
+		}
+		sol, err := s.E.Solve(&p)
+		if err != nil {
+			return nil, err
+		}
+		row := PerturbRow{
+			Trial:          trial,
+			SourcesChanged: setDiff(baseSol.Set, sol.Set),
+			GAsChanged:     schemaDiffShared(baseSol, sol),
+		}
+		res.Rows = append(res.Rows, row)
+		if row.GAsChanged > res.MaxGAsChanged {
+			res.MaxGAsChanged = row.GAsChanged
+		}
+		if row.SourcesChanged > res.MaxSourcesChanged {
+			res.MaxSourcesChanged = row.SourcesChanged
+		}
+	}
+	return res, nil
+}
+
+// setDiff counts sources in exactly one of the two sets, halved (a swap
+// counts once).
+func setDiff(a, b *model.SourceSet) int {
+	d := 0
+	a.ForEach(func(id int) {
+		if !b.Has(id) {
+			d++
+		}
+	})
+	b.ForEach(func(id int) {
+		if !a.Has(id) {
+			d++
+		}
+	})
+	return d / 2
+}
+
+// schemaDiffShared counts mediation changes between two solutions: both
+// schemas are projected onto the sources the two solutions share (dropping
+// attributes of swapped-out sources and GAs that thereby lose match
+// status), and the count is the number of projected GAs present in one
+// projection but not the other. This separates "the schema regrouped
+// attributes" from "a source was swapped", which the sources-changed
+// metric already reports.
+func schemaDiffShared(a, b *engine.Solution) int {
+	if a.Schema == nil || b.Schema == nil {
+		if a.Schema == nil && b.Schema == nil {
+			return 0
+		}
+		if a.Schema == nil {
+			return len(b.Schema.GAs)
+		}
+		return len(a.Schema.GAs)
+	}
+	shared := a.Set.Clone()
+	a.Set.ForEach(func(id int) {
+		if !b.Set.Has(id) {
+			shared.Remove(id)
+		}
+	})
+	pa := project(a.Schema, shared)
+	pb := project(b.Schema, shared)
+	d := 0
+	for _, g := range pa {
+		if !containsEqual(pb, g) {
+			d++
+		}
+	}
+	for _, h := range pb {
+		if !containsEqual(pa, h) {
+			d++
+		}
+	}
+	return d
+}
+
+func containsEqual(gas []model.GA, g model.GA) bool {
+	for _, h := range gas {
+		if g.Equal(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// project keeps only the attributes of GAs that come from sources in
+// keep, dropping GAs that no longer express a matching (< 2 attributes).
+func project(m *model.MediatedSchema, keep *model.SourceSet) []model.GA {
+	var out []model.GA
+	for _, g := range m.GAs {
+		var refs []model.AttrRef
+		for _, r := range g {
+			if keep.Has(r.Source) {
+				refs = append(refs, r)
+			}
+		}
+		if len(refs) >= 2 {
+			out = append(out, model.NewGA(refs...))
+		}
+	}
+	return out
+}
+
+// SolverRow is one optimizer's result in the §6/§7.1 comparison.
+type SolverRow struct {
+	Name string
+	// Quality is the mean overall quality across seeds.
+	Quality float64
+	// Seconds is the mean solve time.
+	Seconds float64
+	// Feasible counts feasible runs.
+	Feasible int
+	// Seeds is the number of runs.
+	Seeds int
+}
+
+// SolverComparison re-runs the paper's optimizer comparison: tabu search
+// against stochastic local search, simulated annealing, particle swarm and
+// greedy, all under the same evaluation budget on the same instances.
+func SolverComparison(o Options, seeds int) ([]SolverRow, error) {
+	_, n := Fig6Ms(o)
+	m := 20
+	if o.Quick {
+		m = 10
+	}
+	s, err := NewSetup(n, o)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"tabu", "sls", "anneal", "pso", "greedy"}
+	rows := make([]SolverRow, 0, len(names))
+	for _, name := range names {
+		opt, _ := search.ByName(name)
+		row := SolverRow{Name: name, Seeds: seeds}
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			p := engine.DefaultProblem()
+			p.MaxSources = m
+			p.MaxEvals = o.evals()
+			p.Optimizer = opt
+			p.Seed = 100 + seed
+			start := time.Now()
+			sol, err := s.E.Solve(&p)
+			if err != nil {
+				return nil, err
+			}
+			row.Seconds += time.Since(start).Seconds()
+			row.Quality += sol.Quality
+			if sol.Feasible {
+				row.Feasible++
+			}
+		}
+		row.Quality /= float64(seeds)
+		row.Seconds /= float64(seeds)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// UncoopRow is one point of the §4 uncooperative-sources experiment.
+type UncoopRow struct {
+	// Fraction of sources that refuse to provide PCSA signatures.
+	Fraction float64
+	// Quality is the overall objective of the chosen solution (its
+	// coverage/redundancy terms see only cooperative sources).
+	Quality float64
+	// TrueCoverage is the exact fraction of the universe's distinct
+	// tuples the chosen sources actually hold, computed by replaying
+	// the generator's tuple streams — the ground truth the estimator
+	// can no longer see.
+	TrueCoverage float64
+	// UncoopSelected counts uncooperative sources in the solution; §4
+	// says they can still be chosen on the strength of other QEFs.
+	UncoopSelected int
+	// Selected is |S|.
+	Selected int
+}
+
+// Uncooperative degrades the universe by stripping signatures from a
+// growing random fraction of sources and measures how solution quality and
+// true data coverage hold up — the §4 claim that µBE keeps working with
+// partial cooperation, assigning uncooperative sources zero coverage and
+// redundancy but letting them compete on the other QEFs.
+func Uncooperative(o Options) ([]UncoopRow, error) {
+	_, n := Fig6Ms(o)
+	m := 20
+	if o.Quick {
+		m = 10
+	}
+	cfg := o.workload(n)
+	base, _, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Exact distinct count of the whole universe, for true coverage.
+	all := pcsa.NewDenseSet(cfg.PoolSize)
+	for i := range base.Sources {
+		synth.StreamTuples(cfg, i, base.Sources[i].Cardinality, all.Add)
+	}
+	universeDistinct := float64(all.Count())
+
+	rng := rand.New(rand.NewSource(271 + o.Seed))
+	var rows []UncoopRow
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		// Strip signatures from a random fraction.
+		u := &model.Universe{Sources: make([]model.Source, n)}
+		copy(u.Sources, base.Sources)
+		perm := rng.Perm(n)
+		uncoop := make(map[int]bool, n)
+		for _, id := range perm[:int(frac*float64(n))] {
+			src := u.Sources[id]
+			src.Signature = nil
+			u.Sources[id] = src
+			uncoop[id] = true
+		}
+		e, err := engine.New(u)
+		if err != nil {
+			return nil, err
+		}
+		p := engine.DefaultProblem()
+		p.MaxSources = m
+		p.MaxEvals = o.evals()
+		p.Seed = 31
+		sol, err := e.Solve(&p)
+		if err != nil {
+			return nil, err
+		}
+		chosen := pcsa.NewDenseSet(cfg.PoolSize)
+		nUncoop := 0
+		for _, id := range sol.Sources {
+			synth.StreamTuples(cfg, id, u.Sources[id].Cardinality, chosen.Add)
+			if uncoop[id] {
+				nUncoop++
+			}
+		}
+		rows = append(rows, UncoopRow{
+			Fraction:       frac,
+			Quality:        sol.Quality,
+			TrueCoverage:   float64(chosen.Count()) / universeDistinct,
+			UncoopSelected: nUncoop,
+			Selected:       len(sol.Sources),
+		})
+	}
+	return rows, nil
+}
+
+// DataSimRow compares name-based and data-based matching at one m.
+type DataSimRow struct {
+	M int
+	// NameTrueGAs / DataTrueGAs: distinct concepts recovered.
+	NameTrueGAs, DataTrueGAs int
+	// NameAttrs / DataAttrs: attributes covered by pure GAs (recall).
+	NameAttrs, DataAttrs int
+	// NameMissed / DataMissed: concepts present but unrecovered.
+	NameMissed, DataMissed int
+	// FalseGAs under the data-based measure (must stay 0).
+	DataFalse int
+}
+
+// DataSim extends Table 1 with the §3 data-based similarity measure: the
+// same workload is solved twice, once with the paper's 3-gram name
+// measure and once with the value-overlap hybrid built from per-attribute
+// signatures. Data evidence recovers concept variants that names cannot
+// ("subject"/"genre"), so attribute recall rises without false GAs.
+func DataSim(o Options) ([]DataSimRow, error) {
+	ms, n := Fig6Ms(o)
+	cfg := o.workload(n)
+	cfg.WithAttrSignatures = true
+	u, truth, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nameEng, err := engine.New(u)
+	if err != nil {
+		return nil, err
+	}
+	measure, err := datasim.New(u, nil)
+	if err != nil {
+		return nil, err
+	}
+	dataEng, err := engine.New(u, engine.WithMeasure(measure))
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []DataSimRow
+	for _, m := range ms {
+		row := DataSimRow{M: m}
+		for i, e := range []*engine.Engine{nameEng, dataEng} {
+			p := engine.DefaultProblem()
+			p.MaxSources = m
+			p.MaxEvals = o.evals()
+			p.Seed = int64(m)
+			sol, err := e.Solve(&p)
+			if err != nil {
+				return nil, err
+			}
+			rep := eval.Evaluate(truth, sol.Sources, sol.Schema)
+			if i == 0 {
+				row.NameTrueGAs, row.NameAttrs, row.NameMissed = rep.TrueGAs, rep.AttrsInTrueGAs, rep.MissedGAs
+			} else {
+				row.DataTrueGAs, row.DataAttrs, row.DataMissed = rep.TrueGAs, rep.AttrsInTrueGAs, rep.MissedGAs
+				row.DataFalse = rep.FalseGAs
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ThetaRow is one matching-threshold setting in the θ sensitivity sweep.
+type ThetaRow struct {
+	Theta float64
+	// TrueGAs, Attrs, Missed, False are the Table 1 metrics at this θ.
+	TrueGAs, Attrs, Missed, False int
+	// Quality is the overall objective.
+	Quality float64
+}
+
+// ThetaSweep varies the matching threshold θ around the paper's fixed 0.65
+// and reports the Table 1 concept metrics: a low θ merges aggressively and
+// risks false GAs, a high θ only accepts near-identical names and misses
+// concepts. The paper does not evaluate this; it grounds the 0.65 choice.
+func ThetaSweep(o Options) ([]ThetaRow, error) {
+	_, n := Fig6Ms(o)
+	m := 20
+	if o.Quick {
+		m = 10
+	}
+	s, err := NewSetup(n, o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ThetaRow
+	for _, theta := range []float64{0.4, 0.5, 0.65, 0.8, 0.95} {
+		p := engine.DefaultProblem()
+		p.MaxSources = m
+		p.MaxEvals = o.evals()
+		p.Theta = theta
+		p.Seed = 23
+		sol, err := s.E.Solve(&p)
+		if err != nil {
+			return nil, err
+		}
+		rep := eval.Evaluate(s.Truth, sol.Sources, sol.Schema)
+		rows = append(rows, ThetaRow{
+			Theta:   theta,
+			TrueGAs: rep.TrueGAs,
+			Attrs:   rep.AttrsInTrueGAs,
+			Missed:  rep.MissedGAs,
+			False:   rep.FalseGAs,
+			Quality: sol.Quality,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// quickOpts keeps experiment smoke tests fast.
+func quickOpts() Options { return Options{Quick: true, MaxEvals: 600} }
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows, err := Fig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, _ := Fig5Sizes(quickOpts())
+	if len(rows) != len(sizes) {
+		t.Fatalf("%d rows for %d sizes", len(rows), len(sizes))
+	}
+	for i, r := range rows {
+		if r.X != sizes[i] {
+			t.Errorf("row %d X = %d, want %d", i, r.X, sizes[i])
+		}
+		for _, v := range Variants {
+			if r.Seconds[v.Name] <= 0 {
+				t.Errorf("N=%d %s: nonpositive time", r.X, v.Name)
+			}
+			if q := r.Quality[v.Name]; q <= 0 || q > 1 {
+				t.Errorf("N=%d %s: quality %v", r.X, v.Name, q)
+			}
+		}
+	}
+}
+
+func TestFig6And7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	o := quickOpts()
+	rows, err := Fig6And7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := Fig6Ms(o)
+	if len(rows) != len(ms) {
+		t.Fatalf("%d rows for %d m values", len(rows), len(ms))
+	}
+	// The paper's qualitative claim: quality increases with m (more
+	// options to exploit) and constrained runs never beat unconstrained
+	// by much. Check the endpoints of the unconstrained series.
+	first := rows[0].Quality["none"]
+	last := rows[len(rows)-1].Quality["none"]
+	if last < first-0.02 {
+		t.Errorf("quality should grow with m: m=%d → %.3f, m=%d → %.3f",
+			rows[0].X, first, rows[len(rows)-1].X, last)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows, err := Fig8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	// Increasing the cardinality weight must not decrease the chosen
+	// solution's cardinality by much overall: last point ≥ first point.
+	if rows[9].Card < rows[0].Card-0.05 {
+		t.Errorf("card at w=1.0 (%.3f) below card at w=0.1 (%.3f)", rows[9].Card, rows[0].Card)
+	}
+	for _, r := range rows {
+		if r.Card < 0 || r.Card > 1 {
+			t.Errorf("card %v out of range at w=%v", r.Card, r.Weight)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	o := quickOpts()
+	rows, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Selected > r.M {
+			t.Errorf("m=%d: selected %d sources", r.M, r.Selected)
+		}
+		if r.False != 0 {
+			t.Errorf("m=%d: %d false GAs; the matcher should produce none on this workload", r.M, r.False)
+		}
+		if r.TrueGAs > 14 {
+			t.Errorf("m=%d: %d true GAs > 14 concepts", r.M, r.TrueGAs)
+		}
+	}
+	// More sources → at least as many true GAs at the endpoints.
+	if rows[len(rows)-1].TrueGAs < rows[0].TrueGAs {
+		t.Errorf("true GAs shrank with m: %d → %d", rows[0].TrueGAs, rows[len(rows)-1].TrueGAs)
+	}
+}
+
+func TestPCSAAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := PCSAAccuracy(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || res.SignatureBytes == 0 {
+		t.Fatal("empty result")
+	}
+	// The paper reports 7% worst case; allow headroom for the scaled-down
+	// workload's smaller unions.
+	if res.WorstErrPct > 15 {
+		t.Errorf("worst PCSA error %.1f%% exceeds 15%%", res.WorstErrPct)
+	}
+	for _, r := range res.Rows {
+		if r.Exact <= 0 {
+			t.Errorf("union of %d sources has exact count %d", r.Sources, r.Exact)
+		}
+	}
+}
+
+func TestWeightPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := WeightPerturbation(quickOpts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SourcesChanged < 0 || r.GAsChanged < 0 {
+			t.Errorf("negative diff: %+v", r)
+		}
+	}
+}
+
+func TestSolverComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows, err := SolverComparison(quickOpts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d solver rows", len(rows))
+	}
+	var tabuQ float64
+	for _, r := range rows {
+		if r.Name == "tabu" {
+			tabuQ = r.Quality
+		}
+		if r.Quality <= 0 {
+			t.Errorf("%s: quality %v", r.Name, r.Quality)
+		}
+		if r.Feasible != r.Seeds {
+			t.Errorf("%s: %d/%d feasible", r.Name, r.Feasible, r.Seeds)
+		}
+	}
+	if tabuQ == 0 {
+		t.Error("tabu row missing")
+	}
+}
+
+func TestProblemVariantsRespectM(t *testing.T) {
+	o := quickOpts()
+	s, err := NewSetup(60, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Variants {
+		p, err := s.Problem(10, v, o, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		if len(p.Constraints.Sources) != v.Src {
+			t.Errorf("%s: %d source constraints", v.Name, len(p.Constraints.Sources))
+		}
+		if len(p.Constraints.GAs) != v.GA {
+			t.Errorf("%s: %d GA constraints", v.Name, len(p.Constraints.GAs))
+		}
+		if implied := p.Constraints.ImpliedSources(); len(implied) > 10 {
+			t.Errorf("%s: %d implied sources exceed m", v.Name, len(implied))
+		}
+		if err := p.Constraints.Validate(s.U); err != nil {
+			t.Errorf("%s: invalid constraints: %v", v.Name, err)
+		}
+	}
+}
+
+func TestUncooperative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows, err := Uncooperative(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Fraction != 0 || rows[4].Fraction != 1 {
+		t.Errorf("fractions wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.TrueCoverage <= 0 || r.TrueCoverage > 1 {
+			t.Errorf("true coverage %v out of range at %.0f%%", r.TrueCoverage, r.Fraction*100)
+		}
+		if r.Quality <= 0 {
+			t.Errorf("quality %v at %.0f%%", r.Quality, r.Fraction*100)
+		}
+		if r.UncoopSelected > r.Selected {
+			t.Errorf("accounting wrong: %+v", r)
+		}
+	}
+	// With everything uncooperative, every chosen source is uncooperative.
+	if rows[4].UncoopSelected != rows[4].Selected {
+		t.Errorf("100%% uncooperative row wrong: %+v", rows[4])
+	}
+	// With full cooperation, none are.
+	if rows[0].UncoopSelected != 0 {
+		t.Errorf("0%% uncooperative row wrong: %+v", rows[0])
+	}
+}
+
+func TestDataSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows, err := DataSim(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	moreAttrs := 0
+	for _, r := range rows {
+		if r.DataFalse != 0 {
+			t.Errorf("m=%d: data-based matching produced %d false GAs", r.M, r.DataFalse)
+		}
+		if r.DataAttrs >= r.NameAttrs {
+			moreAttrs++
+		}
+		if r.DataMissed > r.NameMissed {
+			t.Errorf("m=%d: data-based matching missed more concepts (%d > %d)", r.M, r.DataMissed, r.NameMissed)
+		}
+	}
+	if moreAttrs < len(rows)/2 {
+		t.Errorf("data-based matching should cover at least as many attributes in most rows: %d/%d", moreAttrs, len(rows))
+	}
+}
+
+func TestThetaSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows, err := ThetaSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var atPaper ThetaRow
+	for _, r := range rows {
+		if r.Theta == 0.65 {
+			atPaper = r
+		}
+		if r.TrueGAs < 0 || r.TrueGAs > 14 {
+			t.Errorf("θ=%.2f: %d true GAs", r.Theta, r.TrueGAs)
+		}
+	}
+	// The paper's θ must not produce false GAs on its own workload.
+	if atPaper.False != 0 {
+		t.Errorf("θ=0.65 produced %d false GAs", atPaper.False)
+	}
+}

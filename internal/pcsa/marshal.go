@@ -1,0 +1,67 @@
+package pcsa
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// The binary layout is: magic "PCSA", u32 nmaps, u64 seed, then nmaps
+// little-endian u64 bitmap words.
+var magic = [4]byte{'P', 'C', 'S', 'A'}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 4+4+8+8*len(s.maps))
+	copy(buf[:4], magic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(s.nmaps))
+	binary.LittleEndian.PutUint64(buf[8:16], s.seed)
+	for i, w := range s.maps {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 || [4]byte(data[:4]) != magic {
+		return fmt.Errorf("pcsa: bad sketch header")
+	}
+	nmaps := int(binary.LittleEndian.Uint32(data[4:8]))
+	ns, err := New(nmaps, binary.LittleEndian.Uint64(data[8:16]))
+	if err != nil {
+		return err
+	}
+	if len(data) != 16+8*nmaps {
+		return fmt.Errorf("pcsa: sketch payload is %d bytes, want %d", len(data), 16+8*nmaps)
+	}
+	for i := range ns.maps {
+		ns.maps[i] = binary.LittleEndian.Uint64(data[16+8*i:])
+	}
+	*s = *ns
+	return nil
+}
+
+// MarshalJSON encodes the sketch as a base64 string of its binary form, so
+// signatures embed compactly in universe JSON files.
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	b, err := s.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(base64.StdEncoding.EncodeToString(b))
+}
+
+// UnmarshalJSON decodes the base64 form produced by MarshalJSON.
+func (s *Sketch) UnmarshalJSON(data []byte) error {
+	var enc string
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return err
+	}
+	b, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return fmt.Errorf("pcsa: bad base64 sketch: %w", err)
+	}
+	return s.UnmarshalBinary(b)
+}

@@ -1,0 +1,351 @@
+package pcsa
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 6, 100, 1 << 17} {
+		if _, err := New(bad, 0); err == nil {
+			t.Errorf("New(%d) should fail", bad)
+		}
+	}
+	for _, good := range []int{1, 2, 64, 256, 1 << 16} {
+		s, err := New(good, 7)
+		if err != nil {
+			t.Errorf("New(%d) failed: %v", good, err)
+			continue
+		}
+		if s.NumMaps() != good || s.Seed() != 7 {
+			t.Errorf("New(%d) params wrong: %d maps seed %d", good, s.NumMaps(), s.Seed())
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(3,0) should panic")
+		}
+	}()
+	MustNew(3, 0)
+}
+
+func TestEmptyAndReset(t *testing.T) {
+	s := MustNew(64, 0)
+	if !s.Empty() || s.Estimate() != 0 || s.EstimateInt() != 0 {
+		t.Error("fresh sketch should be empty with estimate 0")
+	}
+	s.AddUint64(42)
+	if s.Empty() {
+		t.Error("sketch with data should not be empty")
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Error("Reset should empty the sketch")
+	}
+}
+
+// estimateError runs n distinct IDs through a sketch and returns the
+// relative estimation error.
+func estimateError(t *testing.T, nmaps, n int, seed uint64) float64 {
+	t.Helper()
+	s := MustNew(nmaps, seed)
+	for i := 0; i < n; i++ {
+		s.AddUint64(uint64(i) + seed*1e9)
+	}
+	return math.Abs(s.Estimate()-float64(n)) / float64(n)
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// With 256 maps the standard error is ~4.9%; across a few magnitudes
+	// and seeds the error should stay well inside 15% (3 sigma) and the
+	// paper's reported 7% typical worst case should be approached.
+	worst := 0.0
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			e := estimateError(t, DefaultMaps, n, seed)
+			if e > worst {
+				worst = e
+			}
+			if e > 0.15 {
+				t.Errorf("n=%d seed=%d: error %.1f%% exceeds 15%%", n, seed, e*100)
+			}
+		}
+	}
+	t.Logf("worst-case relative error across runs: %.2f%%", worst*100)
+}
+
+func TestEstimateSmallCardinalities(t *testing.T) {
+	// The small-range correction must keep low counts sane (within 50%
+	// down to a handful of elements; PCSA is weakest here).
+	for _, n := range []int{32, 64, 128, 256, 512} {
+		s := MustNew(64, 9)
+		for i := 0; i < n; i++ {
+			s.AddUint64(uint64(i))
+		}
+		e := s.Estimate()
+		if e < float64(n)*0.5 || e > float64(n)*1.5 {
+			t.Errorf("n=%d: estimate %.0f out of [%d/2, %d*1.5]", n, e, n, n)
+		}
+	}
+}
+
+func TestDuplicatesAbsorbed(t *testing.T) {
+	a, b := MustNew(64, 0), MustNew(64, 0)
+	for i := 0; i < 1000; i++ {
+		a.AddUint64(uint64(i % 100))
+		b.AddUint64(uint64(i % 100))
+		b.AddUint64(uint64(i % 100)) // extra duplicates
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Error("duplicate insertions must not change the sketch")
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	prop := func(ids []uint64) bool {
+		a, b := MustNew(32, 1), MustNew(32, 1)
+		for _, id := range ids {
+			a.AddHash(id)
+		}
+		for i := len(ids) - 1; i >= 0; i-- {
+			b.AddHash(ids[i])
+		}
+		return a.Estimate() == b.Estimate()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionEqualsCombinedStream(t *testing.T) {
+	// The signature of the union must equal the OR of the signatures:
+	// building one sketch from both streams gives bit-identical maps.
+	a, b := MustNew(128, 5), MustNew(128, 5)
+	both := MustNew(128, 5)
+	for i := 0; i < 5000; i++ {
+		a.AddUint64(uint64(i))
+		both.AddUint64(uint64(i))
+	}
+	for i := 2500; i < 8000; i++ {
+		b.AddUint64(uint64(i))
+		both.AddUint64(uint64(i))
+	}
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Estimate() != both.Estimate() {
+		t.Errorf("union estimate %v != combined stream estimate %v", u.Estimate(), both.Estimate())
+	}
+	// And the estimate should be near the true 8000 distinct.
+	if e := math.Abs(u.Estimate()-8000) / 8000; e > 0.2 {
+		t.Errorf("union estimate off by %.1f%%", e*100)
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	mk := func(ids []uint64) *Sketch {
+		s := MustNew(32, 3)
+		for _, id := range ids {
+			s.AddHash(id)
+		}
+		return s
+	}
+	// Union is commutative, associative and idempotent (it is bitwise OR).
+	prop := func(x, y, z []uint64) bool {
+		a, b, c := mk(x), mk(y), mk(z)
+		ab, _ := Union(a, b)
+		ba, _ := Union(b, a)
+		abc1, _ := Union(ab, c)
+		bc, _ := Union(b, c)
+		abc2, _ := Union(a, bc)
+		aa, _ := Union(a, a)
+		return ab.Estimate() == ba.Estimate() &&
+			abc1.Estimate() == abc2.Estimate() &&
+			aa.Estimate() == a.Estimate()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	if _, err := Union(); err == nil {
+		t.Error("Union of nothing should fail")
+	}
+	a := MustNew(64, 0)
+	b := MustNew(128, 0)
+	c := MustNew(64, 1)
+	if err := a.UnionInto(b); err == nil {
+		t.Error("union across nmaps should fail")
+	}
+	if err := a.UnionInto(c); err == nil {
+		t.Error("union across seeds should fail")
+	}
+	if err := a.UnionInto(nil); err == nil {
+		t.Error("union with nil should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustNew(64, 0)
+	a.AddUint64(1)
+	c := a.Clone()
+	c.AddUint64(999999)
+	if a.Estimate() == c.Estimate() {
+		t.Error("mutating a clone must not affect the original")
+	}
+}
+
+func TestAddTupleFieldBoundaries(t *testing.T) {
+	a, b := MustNew(64, 0), MustNew(64, 0)
+	a.AddTuple("ab", "c")
+	b.AddTuple("a", "bc")
+	if a.maps[0] == b.maps[0] && a.Estimate() == b.Estimate() {
+		// The sketches could coincide only through a 64-bit hash
+		// collision, which this fixed input does not produce.
+		t.Error("field boundaries must affect the tuple hash")
+	}
+	c, d := MustNew(64, 0), MustNew(64, 0)
+	c.AddTuple("x", "y")
+	d.AddTuple("x", "y")
+	if c.Estimate() != d.Estimate() {
+		t.Error("equal tuples must hash identically")
+	}
+}
+
+func TestMonotoneGrowth(t *testing.T) {
+	// Estimates must be monotone nondecreasing as distinct items stream in.
+	s := MustNew(256, 11)
+	prev := 0.0
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 500; j++ {
+			s.AddUint64(r.Uint64())
+		}
+		e := s.Estimate()
+		if e < prev {
+			t.Fatalf("estimate decreased: %v -> %v at batch %d", prev, e, i)
+		}
+		prev = e
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := MustNew(128, 42)
+	for i := 0; i < 10000; i++ {
+		s.AddUint64(uint64(i))
+	}
+	bin, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sketch
+	if err := back.UnmarshalBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != s.Estimate() || back.NumMaps() != 128 || back.Seed() != 42 {
+		t.Error("binary round trip lost data")
+	}
+
+	js, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back2 Sketch
+	if err := json.Unmarshal(js, &back2); err != nil {
+		t.Fatal(err)
+	}
+	if back2.Estimate() != s.Estimate() {
+		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var s Sketch
+	if err := s.UnmarshalBinary(nil); err == nil {
+		t.Error("nil payload should fail")
+	}
+	if err := s.UnmarshalBinary([]byte("XXXX0123456789ab")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	good := MustNew(64, 0)
+	bin, _ := good.MarshalBinary()
+	if err := s.UnmarshalBinary(bin[:len(bin)-1]); err == nil {
+		t.Error("truncated payload should fail")
+	}
+	if err := s.UnmarshalJSON([]byte(`"not-base64!!"`)); err == nil {
+		t.Error("bad base64 should fail")
+	}
+	if err := s.UnmarshalJSON([]byte(`123`)); err == nil {
+		t.Error("non-string JSON should fail")
+	}
+}
+
+func TestExactCounter(t *testing.T) {
+	e := NewExact()
+	for i := 0; i < 1000; i++ {
+		e.AddUint64(uint64(i % 250))
+	}
+	if e.Count() != 250 {
+		t.Errorf("Exact.Count = %d, want 250", e.Count())
+	}
+	o := NewExact()
+	o.AddUint64(9999)
+	e.UnionInto(o)
+	if e.Count() != 251 {
+		t.Errorf("after union Count = %d, want 251", e.Count())
+	}
+}
+
+func TestDenseSet(t *testing.T) {
+	d := NewDenseSet(1000)
+	if d.Cap() != 1000 {
+		t.Errorf("Cap = %d", d.Cap())
+	}
+	for i := 0; i < 1000; i += 3 {
+		d.Add(i)
+	}
+	want := int64((1000 + 2) / 3)
+	if d.Count() != want {
+		t.Errorf("Count = %d, want %d", d.Count(), want)
+	}
+	if !d.Has(3) || d.Has(4) {
+		t.Error("Has is wrong")
+	}
+	d.Add(3) // idempotent
+	if d.Count() != want {
+		t.Error("duplicate Add changed the count")
+	}
+	d.Reset()
+	if d.Count() != 0 || d.Has(3) {
+		t.Error("Reset failed")
+	}
+}
+
+func TestDenseSetMatchesExact(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		d := NewDenseSet(1 << 16)
+		e := map[int]bool{}
+		for _, r := range raw {
+			d.Add(int(r))
+			e[int(r)] = true
+		}
+		return d.Count() == int64(len(e))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := MustNew(256, 0).SizeBytes(); got != 2048 {
+		t.Errorf("SizeBytes = %d, want 2048", got)
+	}
+}

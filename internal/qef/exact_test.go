@@ -1,0 +1,64 @@
+package qef
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ube/internal/model"
+	"ube/internal/pcsa"
+	"ube/internal/synth"
+)
+
+// TestEstimatedQEFsTrackExactValues cross-checks the sketch-backed QEFs
+// against exact distinct counting on the real synthetic workload: coverage
+// and redundancy computed from signatures must track the values computed
+// by replaying the generator's tuple streams, within PCSA error.
+func TestEstimatedQEFsTrackExactValues(t *testing.T) {
+	cfg := synth.QuickConfig(40)
+	u, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact distinct count of the whole universe.
+	all := pcsa.NewDenseSet(cfg.PoolSize)
+	for i := range u.Sources {
+		synth.StreamTuples(cfg, i, u.Sources[i].Cardinality, all.Add)
+	}
+	universeDistinct := float64(all.Count())
+
+	r := rand.New(rand.NewSource(21))
+	scratch := pcsa.NewDenseSet(cfg.PoolSize)
+	cov, red := Coverage{}, Redundancy{}
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + r.Intn(10)
+		perm := r.Perm(u.N())[:k]
+		S := model.NewSourceSet(u.N())
+		scratch.Reset()
+		var cardSum int64
+		for _, id := range perm {
+			S.Add(id)
+			cardSum += u.Sources[id].Cardinality
+			synth.StreamTuples(cfg, id, u.Sources[id].Cardinality, scratch.Add)
+		}
+		distinct := float64(scratch.Count())
+
+		exactCov := distinct / universeDistinct
+		estCov := cov.Eval(ctx, S)
+		if math.Abs(estCov-exactCov) > 0.08 {
+			t.Errorf("trial %d: coverage est %.4f vs exact %.4f", trial, estCov, exactCov)
+		}
+
+		exactRed := (float64(k)*distinct/float64(cardSum) - 1) / float64(k-1)
+		exactRed = math.Max(0, math.Min(exactRed, 1))
+		estRed := red.Eval(ctx, S)
+		if math.Abs(estRed-exactRed) > 0.12 {
+			t.Errorf("trial %d: redundancy est %.4f vs exact %.4f", trial, estRed, exactRed)
+		}
+	}
+}

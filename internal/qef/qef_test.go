@@ -1,0 +1,435 @@
+package qef
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ube/internal/model"
+	"ube/internal/pcsa"
+)
+
+// buildUniverse creates n sources; source i holds tuples produced by gen(i)
+// and advertises the true cardinality. withSigs controls which sources
+// cooperate (nil = all).
+func buildUniverse(t *testing.T, tuples [][]uint64, coop []bool) *model.Universe {
+	t.Helper()
+	u := &model.Universe{}
+	for i, ts := range tuples {
+		s := model.Source{
+			ID:          i,
+			Name:        "s",
+			Attributes:  []string{"a"},
+			Cardinality: int64(len(ts)),
+		}
+		if coop == nil || coop[i] {
+			sig := pcsa.MustNew(256, 7)
+			for _, tp := range ts {
+				sig.AddUint64(tp)
+			}
+			s.Signature = sig
+		}
+		u.Sources = append(u.Sources, s)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// seqTuples returns [from, to) as tuple IDs.
+func seqTuples(from, to int) []uint64 {
+	out := make([]uint64, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, uint64(i))
+	}
+	return out
+}
+
+func setOf(u *model.Universe, ids ...int) *model.SourceSet {
+	return model.NewSourceSetOf(u.N(), ids...)
+}
+
+func TestCard(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{
+		seqTuples(0, 1000),
+		seqTuples(0, 3000),
+		seqTuples(0, 6000),
+	}, nil)
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.TotalCardinality() != 10000 {
+		t.Fatalf("total = %d", ctx.TotalCardinality())
+	}
+	c := Card{}
+	if got := c.Eval(ctx, setOf(u, 0)); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Card({0}) = %v, want 0.1", got)
+	}
+	if got := c.Eval(ctx, setOf(u, 0, 1, 2)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Card(U) = %v, want 1", got)
+	}
+	if got := c.Eval(ctx, setOf(u)); got != 0 {
+		t.Errorf("Card(∅) = %v, want 0", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	// Sources 0 and 1 are identical; source 2 is disjoint.
+	u := buildUniverse(t, [][]uint64{
+		seqTuples(0, 10000),
+		seqTuples(0, 10000),
+		seqTuples(10000, 20000),
+	}, nil)
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := Coverage{}
+	full := cov.Eval(ctx, setOf(u, 0, 1, 2))
+	if math.Abs(full-1) > 1e-9 {
+		t.Errorf("Coverage(U) = %v, want 1 (same sketch as universe)", full)
+	}
+	half := cov.Eval(ctx, setOf(u, 0))
+	if half < 0.4 || half > 0.6 {
+		t.Errorf("Coverage({0}) = %v, want ≈0.5", half)
+	}
+	dup := cov.Eval(ctx, setOf(u, 0, 1))
+	if math.Abs(dup-half) > 1e-9 {
+		t.Errorf("adding a duplicate source changed coverage: %v vs %v", dup, half)
+	}
+	if got := cov.Eval(ctx, setOf(u)); got != 0 {
+		t.Errorf("Coverage(∅) = %v", got)
+	}
+}
+
+func TestCoverageLEQCard(t *testing.T) {
+	// For fully cooperative universes, Coverage(S) ≤ Card(S)/min... more
+	// precisely |∪S| ≤ Σ|s|, so Coverage·|∪U| ≤ Card·Σ|t|. With
+	// duplicates across sources, coverage relative to card drops. Here we
+	// check the raw invariant on random subsets modulo sketch noise.
+	r := rand.New(rand.NewSource(3))
+	var tuples [][]uint64
+	for i := 0; i < 8; i++ {
+		start := r.Intn(5000)
+		tuples = append(tuples, seqTuples(start, start+2000+r.Intn(3000)))
+	}
+	u := buildUniverse(t, tuples, nil)
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, card := Coverage{}, Card{}
+	for trial := 0; trial < 50; trial++ {
+		S := model.NewSourceSet(u.N())
+		for i := 0; i < u.N(); i++ {
+			if r.Intn(2) == 0 {
+				S.Add(i)
+			}
+		}
+		c := cov.Eval(ctx, S) * ctx.UniverseDistinct()
+		k := card.Eval(ctx, S) * float64(ctx.TotalCardinality())
+		if c > k*1.15 { // 15% slack for sketch error
+			t.Fatalf("trial %d: union estimate %v exceeds cardinality sum %v", trial, c, k)
+		}
+	}
+}
+
+func TestRedundancy(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{
+		seqTuples(0, 10000),     // A
+		seqTuples(0, 10000),     // duplicate of A
+		seqTuples(10000, 20000), // disjoint B
+		seqTuples(20000, 30000), // disjoint C
+	}, nil)
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := Redundancy{}
+	// Identical sources: worst case, ≈0.
+	worst := red.Eval(ctx, setOf(u, 0, 1))
+	if worst > 0.1 {
+		t.Errorf("Redundancy(identical) = %v, want ≈0", worst)
+	}
+	// Disjoint sources: best case, ≈1.
+	best := red.Eval(ctx, setOf(u, 2, 3))
+	if best < 0.9 {
+		t.Errorf("Redundancy(disjoint) = %v, want ≈1", best)
+	}
+	// Mixed: strictly between.
+	mid := red.Eval(ctx, setOf(u, 0, 1, 2))
+	if mid <= worst || mid >= best {
+		t.Errorf("Redundancy(mixed) = %v, want between %v and %v", mid, worst, best)
+	}
+	// Singleton and empty edge cases.
+	if got := red.Eval(ctx, setOf(u, 0)); got != 1 {
+		t.Errorf("Redundancy(singleton) = %v, want 1", got)
+	}
+	if got := red.Eval(ctx, setOf(u)); got != 0 {
+		t.Errorf("Redundancy(∅) = %v, want 0", got)
+	}
+}
+
+func TestUncooperativeSources(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{
+		seqTuples(0, 5000),
+		seqTuples(5000, 10000),
+		seqTuples(10000, 15000), // uncooperative
+	}, []bool{true, true, false})
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, red, card := Coverage{}, Redundancy{}, Card{}
+	// Coverage of the uncooperative source alone is 0.
+	if got := cov.Eval(ctx, setOf(u, 2)); got != 0 {
+		t.Errorf("Coverage(uncoop) = %v, want 0", got)
+	}
+	if got := red.Eval(ctx, setOf(u, 2)); got != 0 {
+		t.Errorf("Redundancy(uncoop) = %v, want 0", got)
+	}
+	// But its cardinality still counts.
+	if got := card.Eval(ctx, setOf(u, 2)); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Card(uncoop) = %v, want 1/3", got)
+	}
+	// Adding the uncooperative source to a cooperative set leaves the
+	// union estimate unchanged.
+	a := cov.Eval(ctx, setOf(u, 0, 1))
+	b := cov.Eval(ctx, setOf(u, 0, 1, 2))
+	if a != b {
+		t.Errorf("uncooperative source changed coverage: %v vs %v", a, b)
+	}
+	// Redundancy over {coop A, coop B, uncoop} uses only the two
+	// cooperative sources, which are disjoint → ≈1.
+	if got := red.Eval(ctx, setOf(u, 0, 1, 2)); got < 0.9 {
+		t.Errorf("Redundancy with uncoop member = %v, want ≈1", got)
+	}
+}
+
+func TestAllUncooperativeUniverse(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{
+		seqTuples(0, 100),
+		seqTuples(0, 200),
+	}, []bool{false, false})
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.UniverseDistinct() != 0 {
+		t.Error("no signatures → no universe distinct estimate")
+	}
+	if got := (Coverage{}).Eval(ctx, setOf(u, 0, 1)); got != 0 {
+		t.Errorf("Coverage = %v", got)
+	}
+	if got := (Redundancy{}).Eval(ctx, setOf(u, 0, 1)); got != 0 {
+		t.Errorf("Redundancy = %v", got)
+	}
+	if got := (Card{}).Eval(ctx, setOf(u, 0, 1)); got != 1 {
+		t.Errorf("Card = %v", got)
+	}
+}
+
+func TestQEFsInRange(t *testing.T) {
+	// Property: every QEF stays in [0,1] on random universes and subsets.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(6)
+		tuples := make([][]uint64, n)
+		coop := make([]bool, n)
+		for i := range tuples {
+			start := r.Intn(3000)
+			tuples[i] = seqTuples(start, start+10+r.Intn(4000))
+			coop[i] = r.Intn(4) != 0
+		}
+		u := buildUniverse(t, tuples, coop)
+		for i := range u.Sources {
+			u.Sources[i].Characteristics = map[string]float64{
+				"mttf": r.Float64() * 200,
+			}
+		}
+		ctx, err := NewContext(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qefs := []QEF{
+			Card{}, Coverage{}, Redundancy{},
+			Characteristic{Char: "mttf", Agg: WSum{}},
+			Characteristic{Char: "mttf", Agg: Mean{}},
+			Characteristic{Char: "mttf", Agg: Min{}},
+			Characteristic{Char: "mttf", Agg: Max{}},
+		}
+		for sub := 0; sub < 20; sub++ {
+			S := model.NewSourceSet(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(2) == 0 {
+					S.Add(i)
+				}
+			}
+			for _, q := range qefs {
+				v := q.Eval(ctx, S)
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("trial %d: %s(%v) = %v out of range", trial, q.Name(), S.Elements(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestWSumPaperFormula(t *testing.T) {
+	// Hand-computed wsum: two sources, mttf 50 and 150 (range [50,150]
+	// across U which also has a 3rd source at 100), cardinalities 100
+	// and 300.
+	u := buildUniverse(t, [][]uint64{
+		seqTuples(0, 100),
+		seqTuples(0, 300),
+		seqTuples(0, 200),
+	}, nil)
+	u.Sources[0].Characteristics = map[string]float64{"mttf": 50}
+	u.Sources[1].Characteristics = map[string]float64{"mttf": 150}
+	u.Sources[2].Characteristics = map[string]float64{"mttf": 100}
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Characteristic{Char: "mttf", Agg: WSum{}}
+	// wsum = ((50-50)*100 + (150-50)*300) / ((100+300)*(150-50))
+	//      = 30000 / 40000 = 0.75
+	got := c.Eval(ctx, setOf(u, 0, 1))
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("wsum = %v, want 0.75", got)
+	}
+	if c.Name() != "mttf" {
+		t.Errorf("Characteristic QEF name = %q", c.Name())
+	}
+}
+
+func TestAggregatorEdgeCases(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{seqTuples(0, 100), seqTuples(0, 100)}, nil)
+	u.Sources[0].Characteristics = map[string]float64{"fee": 10}
+	u.Sources[1].Characteristics = map[string]float64{"fee": 10}
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []Aggregator{WSum{}, Mean{}, Min{}, Max{}} {
+		// Constant characteristic: every set scores 1.
+		if got := agg.Aggregate(ctx, setOf(u, 0, 1), "fee"); got != 1 {
+			t.Errorf("%s constant char = %v, want 1", agg.Name(), got)
+		}
+		// Unknown characteristic: 0.
+		if got := agg.Aggregate(ctx, setOf(u, 0), "nope"); got != 0 {
+			t.Errorf("%s unknown char = %v, want 0", agg.Name(), got)
+		}
+		// Empty set: 0.
+		if got := agg.Aggregate(ctx, setOf(u), "fee"); got != 0 {
+			t.Errorf("%s empty set = %v, want 0", agg.Name(), got)
+		}
+	}
+}
+
+func TestMissingCharacteristicTreatedAsWorst(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{seqTuples(0, 100), seqTuples(0, 100)}, nil)
+	u.Sources[0].Characteristics = map[string]float64{"mttf": 100}
+	u.Sources[1].Characteristics = map[string]float64{"mttf": 200}
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source 1 defines mttf=200 (best); a hypothetical set containing a
+	// source without the characteristic scores as if it had the minimum.
+	u.Sources[0].Characteristics = nil
+	got := (Mean{}).Aggregate(ctx, setOf(u, 0, 1), "mttf")
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mean with missing value = %v, want 0.5", got)
+	}
+}
+
+func TestAggregatorByName(t *testing.T) {
+	for _, name := range []string{"wsum", "mean", "min", "max"} {
+		a, ok := AggregatorByName(name)
+		if !ok || a.Name() != name {
+			t.Errorf("AggregatorByName(%q) = %v, %v", name, a, ok)
+		}
+	}
+	if _, ok := AggregatorByName("median"); ok {
+		t.Error("unknown aggregator should not resolve")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	qefs := []QEF{Card{}, Coverage{}}
+	if err := (Weights{"card": 0.6, "coverage": 0.4}).Validate(qefs); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+	bad := []Weights{
+		{"card": 0.6},                            // missing
+		{"card": 0.6, "coverage": 0.6},           // sum > 1
+		{"card": -0.1, "coverage": 1.1},          // out of range
+		{"card": 0.5, "cov": 0.5},                // wrong key
+		{"card": 0.3, "coverage": 0.3, "x": 0.4}, // extra key
+	}
+	for i, w := range bad {
+		if err := w.Validate(qefs); err == nil {
+			t.Errorf("bad weights %d accepted", i)
+		}
+	}
+	n := Weights{"card": 2, "coverage": 3}.Normalized()
+	if math.Abs(n["card"]-0.4) > 1e-12 || math.Abs(n["coverage"]-0.6) > 1e-12 {
+		t.Errorf("Normalized = %v", n)
+	}
+	z := Weights{"card": 0}.Normalized()
+	if z["card"] != 0 {
+		t.Errorf("all-zero Normalized = %v", z)
+	}
+	w := Weights{"card": 1.0}
+	c := w.Clone()
+	c["card"] = 0.5
+	if w["card"] != 1.0 {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestComposite(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{
+		seqTuples(0, 4000),
+		seqTuples(0, 6000),
+	}, nil)
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qefs := []QEF{Card{}, Coverage{}}
+	comp, err := NewComposite(qefs, Weights{"card": 0.5, "coverage": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := setOf(u, 0)
+	want := 0.5*(Card{}).Eval(ctx, S) + 0.5*(Coverage{}).Eval(ctx, S)
+	if got := comp.Eval(ctx, S); math.Abs(got-want) > 1e-12 {
+		t.Errorf("composite = %v, want %v", got, want)
+	}
+	bd := comp.Breakdown(ctx, S)
+	if len(bd) != 2 || bd["card"] != (Card{}).Eval(ctx, S) {
+		t.Errorf("breakdown = %v", bd)
+	}
+	if comp.Weight("card") != 0.5 || comp.Weight("nope") != 0 {
+		t.Error("Weight lookup wrong")
+	}
+	if len(comp.QEFs()) != 2 {
+		t.Error("QEFs() wrong")
+	}
+	// Invalid weights are rejected at construction.
+	if _, err := NewComposite(qefs, Weights{"card": 1, "coverage": 1}); err == nil {
+		t.Error("invalid weights accepted")
+	}
+	// Zero-weight QEFs are skipped but legal.
+	comp2, err := NewComposite(qefs, Weights{"card": 1, "coverage": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comp2.Eval(ctx, S); got != (Card{}).Eval(ctx, S) {
+		t.Errorf("zero-weight composite = %v", got)
+	}
+}

@@ -1,0 +1,419 @@
+// Package repl implements the interactive µBE command loop — the terminal
+// counterpart of the paper's GUI (Figure 4). The ube command wires it to
+// stdin/stdout; tests drive it with buffers.
+//
+// The command set mirrors the §6 interaction model: solve, inspect the
+// chosen sources and mediated schema, promote output GAs to constraints,
+// pin or exclude sources, reweight QEFs, and solve again.
+package repl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/search"
+	"ube/internal/spec"
+)
+
+// REPL drives one session over a reader/writer pair.
+type REPL struct {
+	sess *engine.Session
+	out  io.Writer
+	// Prompt is printed before each command; empty disables it.
+	Prompt string
+}
+
+// New returns a REPL over the session writing to out.
+func New(sess *engine.Session, out io.Writer) *REPL {
+	return &REPL{sess: sess, out: out, Prompt: "ube> "}
+}
+
+// Run reads commands from in until EOF or "quit".
+func (r *REPL) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	for {
+		if r.Prompt != "" {
+			fmt.Fprint(r.out, r.Prompt)
+		}
+		if !sc.Scan() {
+			fmt.Fprintln(r.out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if args[0] == "quit" || args[0] == "exit" {
+			return nil
+		}
+		if err := r.Dispatch(args); err != nil {
+			fmt.Fprintln(r.out, "error:", err)
+		}
+	}
+}
+
+// Dispatch executes one parsed command line.
+func (r *REPL) Dispatch(args []string) error {
+	if len(args) == 0 {
+		return nil
+	}
+	cmd, rest := args[0], args[1:]
+	s := r.sess
+	switch cmd {
+	case "help":
+		r.help()
+	case "solve":
+		sol, err := s.Solve()
+		if err != nil {
+			return err
+		}
+		r.printSolution(sol)
+	case "show":
+		if s.Last() == nil {
+			return fmt.Errorf("nothing solved yet; run \"solve\"")
+		}
+		r.printSolution(s.Last())
+	case "weights":
+		r.printWeights()
+	case "weight":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: weight <qef> <value>")
+		}
+		w, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil {
+			return err
+		}
+		if err := s.SetWeight(rest[0], w); err != nil {
+			return err
+		}
+		r.printWeights()
+	case "m":
+		n, err := atoi(rest, "m <count>")
+		if err != nil {
+			return err
+		}
+		s.SetMaxSources(n)
+	case "theta":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: theta <0..1>")
+		}
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return err
+		}
+		s.SetTheta(v)
+	case "beta":
+		n, err := atoi(rest, "beta <count>")
+		if err != nil {
+			return err
+		}
+		s.SetBeta(n)
+	case "optimizer":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: optimizer <tabu|sls|anneal|pso|greedy>")
+		}
+		opt, ok := search.ByName(rest[0])
+		if !ok {
+			return fmt.Errorf("unknown optimizer %q", rest[0])
+		}
+		s.SetOptimizer(opt)
+	case "require":
+		id, err := atoi(rest, "require <source-id>")
+		if err != nil {
+			return err
+		}
+		return s.RequireSource(id)
+	case "unrequire":
+		id, err := atoi(rest, "unrequire <source-id>")
+		if err != nil {
+			return err
+		}
+		s.DropSourceConstraint(id)
+	case "exclude":
+		id, err := atoi(rest, "exclude <source-id>")
+		if err != nil {
+			return err
+		}
+		return s.ExcludeSource(id)
+	case "unexclude":
+		id, err := atoi(rest, "unexclude <source-id>")
+		if err != nil {
+			return err
+		}
+		s.DropExclusion(id)
+	case "pin":
+		i, err := atoi(rest, "pin <ga-index>")
+		if err != nil {
+			return err
+		}
+		if err := s.PinGAFromSolution(i); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, "pinned; it will be part of every future schema")
+	case "pin-attrs":
+		return r.pinAttrs(rest)
+	case "unpin":
+		i, err := atoi(rest, "unpin <constraint-index>")
+		if err != nil {
+			return err
+		}
+		return s.UnpinGA(i)
+	case "constraints":
+		r.printConstraints()
+	case "sources":
+		r.printSources(rest)
+	case "source":
+		id, err := atoi(rest, "source <source-id>")
+		if err != nil {
+			return err
+		}
+		return r.printSource(id)
+	case "save":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: save <file.json>")
+		}
+		return r.save(rest[0])
+	case "diff":
+		d := s.DiffLast()
+		if d == nil {
+			return fmt.Errorf("need at least two solved iterations")
+		}
+		r.printDiff(d)
+	case "history":
+		for i, it := range s.History() {
+			fmt.Fprintf(r.out, "#%d: m=%d |C|=%d |G|=%d → Q=%.4f, %d sources, %d GAs, %v\n",
+				i, it.Problem.MaxSources, len(it.Problem.Constraints.Sources),
+				len(it.Problem.Constraints.GAs), it.Solution.Quality,
+				len(it.Solution.Sources), gaCount(it.Solution), it.Solution.Elapsed.Round(1000000))
+		}
+	default:
+		return fmt.Errorf("unknown command %q; try \"help\"", cmd)
+	}
+	return nil
+}
+
+// printDiff shows what moved between the last two iterations.
+func (r *REPL) printDiff(d *engine.Diff) {
+	u := r.sess.Engine().Universe()
+	if d.Unchanged() {
+		fmt.Fprintln(r.out, "no changes between the last two iterations")
+		return
+	}
+	fmt.Fprintf(r.out, "quality %+.4f\n", d.QualityDelta)
+	if len(d.AddedSources) > 0 {
+		fmt.Fprintf(r.out, "added sources:   %v\n", d.AddedSources)
+	}
+	if len(d.RemovedSources) > 0 {
+		fmt.Fprintf(r.out, "removed sources: %v\n", d.RemovedSources)
+	}
+	for _, g := range d.NewGAs {
+		parts := make([]string, len(g))
+		for j, ref := range g {
+			parts[j] = fmt.Sprintf("%d:%s", ref.Source, u.AttrName(ref))
+		}
+		fmt.Fprintf(r.out, "new GA:  {%s}\n", strings.Join(parts, ", "))
+	}
+	for _, g := range d.LostGAs {
+		parts := make([]string, len(g))
+		for j, ref := range g {
+			parts[j] = fmt.Sprintf("%d:%s", ref.Source, u.AttrName(ref))
+		}
+		fmt.Fprintf(r.out, "lost GA: {%s}\n", strings.Join(parts, ", "))
+	}
+}
+
+// save writes the last solution as JSON.
+func (r *REPL) save(path string) error {
+	last := r.sess.Last()
+	if last == nil {
+		return fmt.Errorf("nothing solved yet; run \"solve\"")
+	}
+	doc := spec.Render(r.sess.Engine().Universe(), last)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "wrote %s\n", path)
+	return nil
+}
+
+func gaCount(sol *engine.Solution) int {
+	if sol.Schema == nil {
+		return 0
+	}
+	return len(sol.Schema.GAs)
+}
+
+func atoi(rest []string, usage string) (int, error) {
+	if len(rest) != 1 {
+		return 0, fmt.Errorf("usage: %s", usage)
+	}
+	return strconv.Atoi(rest[0])
+}
+
+// pinAttrs parses "pin-attrs src:attr src:attr ..." into a GA constraint.
+func (r *REPL) pinAttrs(rest []string) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: pin-attrs <src:attr> <src:attr> [...]")
+	}
+	refs := make([]model.AttrRef, 0, len(rest))
+	for _, tok := range rest {
+		parts := strings.SplitN(tok, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad attribute %q; want src:attr", tok)
+		}
+		src, err1 := strconv.Atoi(parts[0])
+		attr, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad attribute %q; want src:attr", tok)
+		}
+		refs = append(refs, model.AttrRef{Source: src, Attr: attr})
+	}
+	if err := r.sess.PinGA(model.NewGA(refs...)); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "pinned; attributes will share a GA in every future schema")
+	return nil
+}
+
+func (r *REPL) printSolution(sol *engine.Solution) {
+	u := r.sess.Engine().Universe()
+	fmt.Fprintf(r.out, "quality %.4f (feasible=%v, %d evals, %v)\n",
+		sol.Quality, sol.Feasible, sol.Evals, sol.Elapsed.Round(1000000))
+	names := make([]string, 0, len(sol.Breakdown))
+	for n := range sol.Breakdown {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	weights := r.sess.Problem().Weights
+	for _, n := range names {
+		fmt.Fprintf(r.out, "  %-12s %.4f (weight %.2f)\n", n, sol.Breakdown[n], weights[n])
+	}
+	fmt.Fprintf(r.out, "sources (%d):\n", len(sol.Sources))
+	for _, id := range sol.Sources {
+		src := u.Source(id)
+		fmt.Fprintf(r.out, "  [%3d] %-16s card=%-8d attrs=%s\n", id, src.Name, src.Cardinality,
+			strings.Join(src.Attributes, ", "))
+	}
+	if sol.Schema == nil {
+		fmt.Fprintln(r.out, "no mediated schema (infeasible)")
+		return
+	}
+	fmt.Fprintf(r.out, "mediated schema (%d GAs):\n", len(sol.Schema.GAs))
+	for i, g := range sol.Schema.GAs {
+		parts := make([]string, len(g))
+		for j, ref := range g {
+			parts[j] = fmt.Sprintf("%d:%s", ref.Source, u.AttrName(ref))
+		}
+		marker := " "
+		if sol.Match.FromConstraint != nil && sol.Match.FromConstraint[i] {
+			marker = "*"
+		}
+		fmt.Fprintf(r.out, "  GA %-2d%s q=%.2f  {%s}\n", i, marker, sol.Match.GAQuality[i], strings.Join(parts, ", "))
+	}
+}
+
+func (r *REPL) printWeights() {
+	w := r.sess.Problem().Weights
+	names := make([]string, 0, len(w))
+	for n := range w {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(r.out, "  %-12s %.3f\n", n, w[n])
+	}
+}
+
+func (r *REPL) printConstraints() {
+	c := r.sess.Problem().Constraints
+	u := r.sess.Engine().Universe()
+	fmt.Fprintf(r.out, "required sources: %v\n", c.Sources)
+	fmt.Fprintf(r.out, "excluded sources: %v\n", c.Exclude)
+	for i, g := range c.GAs {
+		parts := make([]string, len(g))
+		for j, ref := range g {
+			parts[j] = fmt.Sprintf("%d:%s", ref.Source, u.AttrName(ref))
+		}
+		fmt.Fprintf(r.out, "GA constraint %d: {%s}\n", i, strings.Join(parts, ", "))
+	}
+}
+
+func (r *REPL) printSources(rest []string) {
+	u := r.sess.Engine().Universe()
+	limit := 20
+	if len(rest) == 1 {
+		if n, err := strconv.Atoi(rest[0]); err == nil {
+			limit = n
+		}
+	}
+	for i := 0; i < u.N() && i < limit; i++ {
+		src := u.Source(i)
+		fmt.Fprintf(r.out, "  [%3d] %-16s card=%-8d attrs=%s\n", i, src.Name, src.Cardinality,
+			strings.Join(src.Attributes, ", "))
+	}
+	if u.N() > limit {
+		fmt.Fprintf(r.out, "  ... %d more (use \"sources <n>\")\n", u.N()-limit)
+	}
+}
+
+func (r *REPL) printSource(id int) error {
+	u := r.sess.Engine().Universe()
+	if id < 0 || id >= u.N() {
+		return fmt.Errorf("source %d out of range [0,%d)", id, u.N())
+	}
+	src := u.Source(id)
+	fmt.Fprintf(r.out, "[%d] %s\n  cardinality: %d\n  cooperative: %v\n", id, src.Name, src.Cardinality, src.Cooperative())
+	chars := make([]string, 0, len(src.Characteristics))
+	for name := range src.Characteristics {
+		chars = append(chars, name)
+	}
+	sort.Strings(chars)
+	for _, name := range chars {
+		fmt.Fprintf(r.out, "  %s: %.2f\n", name, src.Characteristics[name])
+	}
+	for i, a := range src.Attributes {
+		fmt.Fprintf(r.out, "  attr %d: %s\n", i, a)
+	}
+	return nil
+}
+
+func (r *REPL) help() {
+	fmt.Fprint(r.out, `commands:
+  solve                      run the optimizer on the current problem
+  show                       re-print the last solution
+  weights                    show QEF weights
+  weight <qef> <v>           set one weight (others rescale to keep sum 1)
+  m <n> | theta <v> | beta <n>   change problem parameters
+  optimizer <name>           tabu | sls | anneal | pso | greedy
+  require/unrequire <id>     pin or unpin a source
+  exclude/unexclude <id>     forbid or re-allow a source
+  pin <ga-index>             promote a GA of the last solution to a constraint
+  pin-attrs <s:a> <s:a> ...  pin specific attributes into one GA
+  unpin <index>              remove a GA constraint
+  constraints                show current constraints
+  save <file.json>           write the last solution as JSON
+  sources [n] | source <id>  browse the universe
+  diff                       what changed between the last two iterations
+  history                    summary of past iterations
+  quit
+`)
+}

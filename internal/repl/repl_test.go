@@ -1,0 +1,258 @@
+package repl
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"ube/internal/engine"
+	"ube/internal/synth"
+)
+
+// newREPL builds a REPL over a small synthetic session, returning the
+// output buffer.
+func newREPL(t *testing.T) (*REPL, *strings.Builder) {
+	t.Helper()
+	cfg := synth.QuickConfig(30)
+	u, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultProblem()
+	p.MaxSources = 6
+	p.MaxEvals = 400
+	var out strings.Builder
+	r := New(engine.NewSession(e, p), &out)
+	r.Prompt = "" // keep test output clean
+	return r, &out
+}
+
+// run feeds a script and returns all output.
+func run(t *testing.T, script string) string {
+	t.Helper()
+	r, out := newREPL(t)
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestSolveAndShow(t *testing.T) {
+	out := run(t, "solve\nshow\nquit\n")
+	if c := strings.Count(out, "mediated schema"); c != 2 {
+		t.Errorf("expected two schema printouts, got %d:\n%s", c, out)
+	}
+	if !strings.Contains(out, "quality") || !strings.Contains(out, "sources (") {
+		t.Errorf("solution printout incomplete:\n%s", out)
+	}
+}
+
+func TestShowBeforeSolve(t *testing.T) {
+	out := run(t, "show\nquit\n")
+	if !strings.Contains(out, "error: nothing solved yet") {
+		t.Errorf("missing error:\n%s", out)
+	}
+}
+
+func TestWeightsFlow(t *testing.T) {
+	out := run(t, "weights\nweight card 0.6\nquit\n")
+	if !strings.Contains(out, "card") || !strings.Contains(out, "0.600") {
+		t.Errorf("weight update not reflected:\n%s", out)
+	}
+	out = run(t, "weight card 2\nquit\n")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("invalid weight accepted:\n%s", out)
+	}
+	out = run(t, "weight\nquit\n")
+	if !strings.Contains(out, "usage: weight") {
+		t.Errorf("missing usage:\n%s", out)
+	}
+}
+
+func TestParameterCommands(t *testing.T) {
+	r, out := newREPL(t)
+	script := "m 4\ntheta 0.8\nbeta 3\noptimizer greedy\nsolve\nquit\n"
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	p := rSession(r).Problem()
+	if p.MaxSources != 4 || p.Theta != 0.8 || p.Beta != 3 {
+		t.Errorf("parameters not applied: %+v", p)
+	}
+	if p.Optimizer == nil || p.Optimizer.Name() != "greedy" {
+		t.Error("optimizer not applied")
+	}
+	sol := rSession(r).Last()
+	if sol == nil || len(sol.Sources) > 4 {
+		t.Errorf("solve ignored m: %+v", sol)
+	}
+	_ = out
+}
+
+// rSession exposes the session for assertions.
+func rSession(r *REPL) *engine.Session { return r.sess }
+
+func TestConstraintCommands(t *testing.T) {
+	r, out := newREPL(t)
+	script := strings.Join([]string{
+		"require 3",
+		"exclude 9",
+		"constraints",
+		"solve",
+		"unrequire 3",
+		"unexclude 9",
+		"constraints",
+		"quit",
+	}, "\n") + "\n"
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "required sources: [3]") {
+		t.Errorf("require not shown:\n%s", text)
+	}
+	if !strings.Contains(text, "excluded sources: [9]") {
+		t.Errorf("exclude not shown:\n%s", text)
+	}
+	if !strings.Contains(text, "required sources: []") {
+		t.Errorf("unrequire not shown:\n%s", text)
+	}
+	sol := rSession(r).Last()
+	if !sol.Set.Has(3) || sol.Set.Has(9) {
+		t.Errorf("constraints not enforced in solve: %v", sol.Sources)
+	}
+}
+
+func TestPinFlow(t *testing.T) {
+	r, out := newREPL(t)
+	script := "solve\npin 0\nconstraints\nsolve\nunpin 0\nquit\n"
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "pinned") {
+		t.Errorf("pin not confirmed:\n%s", text)
+	}
+	if !strings.Contains(text, "GA constraint 0:") {
+		t.Errorf("constraint not listed:\n%s", text)
+	}
+	// After the second solve the schema subsumes the pin: a * marker
+	// appears.
+	if !strings.Contains(text, "*") {
+		t.Errorf("pinned GA marker missing:\n%s", text)
+	}
+	if len(rSession(r).Problem().Constraints.GAs) != 0 {
+		t.Error("unpin did not apply")
+	}
+}
+
+func TestPinAttrs(t *testing.T) {
+	out := run(t, "pin-attrs 0:0 1:0\nconstraints\nquit\n")
+	if !strings.Contains(out, "pinned; attributes will share a GA") {
+		t.Errorf("pin-attrs failed:\n%s", out)
+	}
+	if !strings.Contains(out, "GA constraint 0:") {
+		t.Errorf("constraint missing:\n%s", out)
+	}
+	// Malformed forms error out.
+	for _, bad := range []string{"pin-attrs 0:0\n", "pin-attrs a:b c:d\n", "pin-attrs 00 11\n"} {
+		out := run(t, bad+"quit\n")
+		if !strings.Contains(out, "error:") && !strings.Contains(out, "usage:") {
+			t.Errorf("bad pin-attrs %q accepted:\n%s", bad, out)
+		}
+	}
+}
+
+func TestBrowseCommands(t *testing.T) {
+	out := run(t, "sources 3\nsource 0\nquit\n")
+	if !strings.Contains(out, "[  0]") || !strings.Contains(out, "... 27 more") {
+		t.Errorf("sources listing wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "cardinality:") || !strings.Contains(out, "mttf:") {
+		t.Errorf("source detail wrong:\n%s", out)
+	}
+	out = run(t, "source 99\nquit\n")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("out-of-range source accepted:\n%s", out)
+	}
+}
+
+func TestHistoryCommand(t *testing.T) {
+	out := run(t, "solve\nm 4\nsolve\nhistory\nquit\n")
+	if !strings.Contains(out, "#0:") || !strings.Contains(out, "#1:") {
+		t.Errorf("history incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "m=4") {
+		t.Errorf("history misses parameter change:\n%s", out)
+	}
+}
+
+func TestUnknownAndHelp(t *testing.T) {
+	out := run(t, "frobnicate\nhelp\nquit\n")
+	if !strings.Contains(out, `unknown command "frobnicate"`) {
+		t.Errorf("unknown command not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "pin <ga-index>") {
+		t.Errorf("help incomplete:\n%s", out)
+	}
+}
+
+func TestEOFTerminates(t *testing.T) {
+	r, _ := newREPL(t)
+	if err := r.Run(strings.NewReader("solve\n")); err != nil {
+		t.Fatalf("EOF should end the loop cleanly: %v", err)
+	}
+}
+
+func TestBlankLinesIgnored(t *testing.T) {
+	out := run(t, "\n\n  \nweights\nquit\n")
+	if strings.Contains(out, "error:") {
+		t.Errorf("blank lines caused errors:\n%s", out)
+	}
+}
+
+func TestSaveCommand(t *testing.T) {
+	r, out := newREPL(t)
+	path := t.TempDir() + "/sol.json"
+	script := "save " + path + "\nsolve\nsave " + path + "\nquit\n"
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "error: nothing solved yet") {
+		t.Errorf("save before solve should error:\n%s", text)
+	}
+	if !strings.Contains(text, "wrote "+path) {
+		t.Errorf("save confirmation missing:\n%s", text)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("saved file is not JSON: %v", err)
+	}
+	if _, ok := doc["quality"]; !ok {
+		t.Errorf("saved doc incomplete: %v", doc)
+	}
+}
+
+func TestDiffCommand(t *testing.T) {
+	out := run(t, "diff\nsolve\nm 4\nsolve\ndiff\nquit\n")
+	if !strings.Contains(out, "error: need at least two solved iterations") {
+		t.Errorf("premature diff not rejected:\n%s", out)
+	}
+	if !strings.Contains(out, "quality") {
+		t.Errorf("diff output incomplete:\n%s", out)
+	}
+	// Shrinking m from 6 to 4 must remove sources.
+	if !strings.Contains(out, "removed sources:") {
+		t.Errorf("diff misses removed sources:\n%s", out)
+	}
+}

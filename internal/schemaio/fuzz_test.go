@@ -1,0 +1,33 @@
+package schemaio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// anything it accepts survives a Write/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("a.example: {title, author}\n")
+	f.Add("x: {a} | cardinality=10 mttf=1.5\n")
+	f.Add("# comment\n\nweird:::: {a,b,,}\n")
+	f.Add(": {}\n")
+	f.Add("a: {b} | k=v\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		u, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf strings.Builder
+		if err := Write(&buf, u); err != nil {
+			t.Fatalf("Write failed on accepted universe: %v", err)
+		}
+		back, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\ninput: %q\noutput: %q", err, input, buf.String())
+		}
+		if back.N() != u.N() {
+			t.Fatalf("round trip changed source count: %d vs %d", back.N(), u.N())
+		}
+	})
+}

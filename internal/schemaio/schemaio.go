@@ -1,0 +1,158 @@
+// Package schemaio reads and writes the textual source-description format
+// the paper prints in Figure 1 — the natural exchange format for source
+// lists extracted from a hidden-Web search engine:
+//
+//	tonyawards.com: {keywords}
+//	aceticket.com: {state, city, event, venue}
+//	# comments and blank lines are ignored
+//
+// An optional third section per line carries source metadata as key=value
+// pairs, extending the paper's format with the inputs µBE actually uses:
+//
+//	aceticket.com: {state, city, event, venue} | cardinality=120000 mttf=90
+//
+// Sources loaded this way have no data signature (they are uncooperative
+// in the §4 sense) unless signatures are attached afterwards.
+package schemaio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ube/internal/model"
+)
+
+// Parse reads source descriptions, one per line, into a universe. Line
+// numbers in errors are 1-based.
+func Parse(r io.Reader) (*model.Universe, error) {
+	u := &model.Universe{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	seen := make(map[string]int)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		src, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("schemaio: line %d: %w", lineNo, err)
+		}
+		if prev, dup := seen[src.Name]; dup {
+			return nil, fmt.Errorf("schemaio: line %d: source %q already defined as source %d", lineNo, src.Name, prev)
+		}
+		src.ID = len(u.Sources)
+		seen[src.Name] = src.ID
+		u.Sources = append(u.Sources, src)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("schemaio: %w", err)
+	}
+	if len(u.Sources) == 0 {
+		return nil, fmt.Errorf("schemaio: no sources found")
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// parseLine parses one "name: {a, b, c} | k=v k=v" line.
+func parseLine(line string) (model.Source, error) {
+	var src model.Source
+	name, rest, ok := strings.Cut(line, ":")
+	if !ok {
+		return src, fmt.Errorf("missing ':' separator")
+	}
+	src.Name = strings.TrimSpace(name)
+	if src.Name == "" {
+		return src, fmt.Errorf("empty source name")
+	}
+
+	rest = strings.TrimSpace(rest)
+	var meta string
+	if i := strings.Index(rest, "|"); i >= 0 {
+		rest, meta = strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+1:])
+	}
+	if !strings.HasPrefix(rest, "{") || !strings.HasSuffix(rest, "}") {
+		return src, fmt.Errorf("schema must be enclosed in {braces}, got %q", rest)
+	}
+	for _, a := range strings.Split(rest[1:len(rest)-1], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return src, fmt.Errorf("empty attribute name")
+		}
+		src.Attributes = append(src.Attributes, a)
+	}
+	if len(src.Attributes) == 0 {
+		return src, fmt.Errorf("source has no attributes")
+	}
+
+	for _, kv := range strings.Fields(meta) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return src, fmt.Errorf("metadata %q is not key=value", kv)
+		}
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return src, fmt.Errorf("metadata %s: %v", k, err)
+		}
+		if k == "cardinality" {
+			if x < 0 || x != float64(int64(x)) {
+				return src, fmt.Errorf("cardinality must be a non-negative integer, got %q", v)
+			}
+			src.Cardinality = int64(x)
+			continue
+		}
+		if x < 0 {
+			return src, fmt.Errorf("characteristic %s must be non-negative (§5), got %q", k, v)
+		}
+		if src.Characteristics == nil {
+			src.Characteristics = make(map[string]float64)
+		}
+		src.Characteristics[k] = x
+	}
+	return src, nil
+}
+
+// Write renders a universe in the Figure 1 format, inverse to Parse.
+// Signatures are not representable in this format and are dropped.
+func Write(w io.Writer, u *model.Universe) error {
+	bw := bufio.NewWriter(w)
+	for i := range u.Sources {
+		s := &u.Sources[i]
+		if _, err := fmt.Fprintf(bw, "%s: {%s}", s.Name, strings.Join(s.Attributes, ", ")); err != nil {
+			return err
+		}
+		if s.Cardinality > 0 || len(s.Characteristics) > 0 {
+			if _, err := fmt.Fprint(bw, " |"); err != nil {
+				return err
+			}
+			if s.Cardinality > 0 {
+				if _, err := fmt.Fprintf(bw, " cardinality=%d", s.Cardinality); err != nil {
+					return err
+				}
+			}
+			keys := make([]string, 0, len(s.Characteristics))
+			for k := range s.Characteristics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, err := fmt.Fprintf(bw, " %s=%g", k, s.Characteristics[k]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,177 @@
+package schemaio
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1 is the paper's Figure 1 sample, verbatim.
+const figure1 = `tonyawards.com: {keywords}
+whatsonstage.com: {your town}
+aceticket.com: {state, city, event, venue}
+canadiantheatre.com: {phrase, search term}
+londontheatre.co.uk: {type,keyword}
+mime.info.com: {search for}
+pbs.org: {program title, date, author, actor, director, keyword}
+pa.msu.edu: {keyword}
+wstonline.org: {keyword, after date, before date}
+officiallondontheatre.co.uk: {keyword, after date, before date}
+lastminute.com: {event name, event type, location, date, radius}
+`
+
+func TestParseFigure1(t *testing.T) {
+	u, err := Parse(strings.NewReader(figure1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 11 {
+		t.Fatalf("parsed %d sources, want 11", u.N())
+	}
+	if u.Sources[2].Name != "aceticket.com" {
+		t.Errorf("source 2 name %q", u.Sources[2].Name)
+	}
+	want := []string{"state", "city", "event", "venue"}
+	got := u.Sources[2].Attributes
+	if len(got) != len(want) {
+		t.Fatalf("aceticket attrs %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("attr %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// "type,keyword" without spaces still splits.
+	if len(u.Sources[4].Attributes) != 2 {
+		t.Errorf("londontheatre attrs %v", u.Sources[4].Attributes)
+	}
+	// IDs dense, universe valid, all uncooperative.
+	for i := range u.Sources {
+		if u.Sources[i].ID != i {
+			t.Errorf("source %d has ID %d", i, u.Sources[i].ID)
+		}
+		if u.Sources[i].Cooperative() {
+			t.Errorf("parsed source %d should have no signature", i)
+		}
+	}
+}
+
+func TestParseMetadata(t *testing.T) {
+	in := `shop.example: {title, price} | cardinality=12000 mttf=90.5 fee=2
+free.example: {title}
+`
+	u, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := u.Sources[0]
+	if s.Cardinality != 12000 {
+		t.Errorf("cardinality = %d", s.Cardinality)
+	}
+	if s.Characteristics["mttf"] != 90.5 || s.Characteristics["fee"] != 2 {
+		t.Errorf("characteristics = %v", s.Characteristics)
+	}
+	if u.Sources[1].Cardinality != 0 || u.Sources[1].Characteristics != nil {
+		t.Error("metadata leaked onto second source")
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	in := `
+# hidden-web sources for "theater"
+a.example: {x}
+
+# another
+b.example: {y}
+`
+	u, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 2 {
+		t.Errorf("N = %d", u.N())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no colon":             "aceticket.com {a, b}\n",
+		"empty name":           ": {a}\n",
+		"no braces":            "x.com: a, b\n",
+		"unclosed brace":       "x.com: {a, b\n",
+		"empty attribute":      "x.com: {a, , b}\n",
+		"no attributes":        "x.com: {}\n",
+		"bad metadata pair":    "x.com: {a} | cardinality\n",
+		"bad metadata value":   "x.com: {a} | mttf=high\n",
+		"negative char":        "x.com: {a} | mttf=-1\n",
+		"fractional card":      "x.com: {a} | cardinality=1.5\n",
+		"negative cardinality": "x.com: {a} | cardinality=-2\n",
+		"duplicate source":     "x.com: {a}\nx.com: {b}\n",
+		"empty input":          "# only a comment\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Parse should fail", name)
+		}
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	in := "ok.example: {a}\nbroken line\n"
+	_, err := Parse(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name line 2, got %v", err)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	in := `alpha.example: {title, author, isbn} | cardinality=500 fee=1.5 mttf=120
+beta.example: {book title, writer}
+`
+	u, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, u); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("reparsing own output: %v\n%s", err, buf.String())
+	}
+	if back.N() != u.N() {
+		t.Fatalf("round trip changed source count")
+	}
+	for i := range u.Sources {
+		a, b := &u.Sources[i], &back.Sources[i]
+		if a.Name != b.Name || a.Cardinality != b.Cardinality {
+			t.Errorf("source %d changed: %+v vs %+v", i, a, b)
+		}
+		if len(a.Attributes) != len(b.Attributes) {
+			t.Errorf("source %d attrs changed", i)
+		}
+		for k, v := range a.Characteristics {
+			if b.Characteristics[k] != v {
+				t.Errorf("source %d characteristic %s changed", i, k)
+			}
+		}
+	}
+}
+
+func TestWriteFigure1Shape(t *testing.T) {
+	u, err := Parse(strings.NewReader(figure1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, u); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "aceticket.com: {state, city, event, venue}") {
+		t.Errorf("output misses canonical line:\n%s", out)
+	}
+	if strings.Contains(out, "|") {
+		t.Errorf("no metadata should be emitted for bare sources:\n%s", out)
+	}
+}

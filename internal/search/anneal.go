@@ -1,0 +1,65 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Anneal is constrained simulated annealing: a random-neighbor walk that
+// always accepts improvements and accepts worsening moves with probability
+// exp(Δ/T) under a geometric cooling schedule. Constraints are enforced in
+// move generation, exactly as for the other optimizers. One of the
+// baselines the paper compared tabu search against (§6).
+type Anneal struct {
+	// T0 is the initial temperature, on the scale of quality deltas
+	// (quality lives in [0,1], so deltas are small).
+	T0 float64
+	// Cooling is the geometric decay factor applied each step.
+	Cooling float64
+	// Tmin ends the schedule.
+	Tmin float64
+	// Budget is the default evaluation budget; the schedule restarts
+	// while budget remains.
+	Budget int
+}
+
+// NewAnneal returns an annealer with package defaults. T0 and Tmin are
+// chosen for objectives in [0,1]: typical neighbor deltas are 1e-3..1e-1.
+func NewAnneal() *Anneal {
+	return &Anneal{T0: 0.05, Cooling: 0.995, Tmin: 1e-4, Budget: 16000}
+}
+
+// Name implements Optimizer.
+func (a *Anneal) Name() string { return "anneal" }
+
+// Optimize implements Optimizer.
+func (a *Anneal) Optimize(p *Problem, seed int64) Solution {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := newTracker(p, a.Budget)
+	pool := candidatePool(p)
+	minLen := max(1, len(p.Required))
+
+	warm := warmStart(p, pool)
+	for !tr.exhausted() {
+		cur := warm
+		warm = nil // only the first schedule is warm-started
+		if cur == nil {
+			cur = randomStart(p, pool, rng)
+		}
+		curQ, _ := tr.eval(cur)
+		for temp := a.T0; temp > a.Tmin && !tr.exhausted(); temp *= a.Cooling {
+			cand := randomNeighbor(p, cur, pool, minLen, rng)
+			if cand == nil {
+				break
+			}
+			q, _ := tr.eval(cand)
+			if delta := q - curQ; delta >= 0 || rng.Float64() < math.Exp(delta/temp) {
+				cur, curQ = cand, q
+			}
+		}
+	}
+	return tr.solution()
+}

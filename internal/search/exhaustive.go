@@ -1,0 +1,84 @@
+package search
+
+import (
+	"fmt"
+
+	"ube/internal/model"
+)
+
+// Exhaustive enumerates every subset of size ≤ m that contains the
+// required sources and avoids the excluded ones, returning the true
+// optimum. It exists as a test oracle for the metaheuristics and refuses
+// instances whose enumeration would exceed MaxStates.
+type Exhaustive struct {
+	// MaxStates bounds the number of enumerated candidates.
+	MaxStates int
+}
+
+// NewExhaustive returns an exhaustive optimizer with a default state bound.
+func NewExhaustive() *Exhaustive { return &Exhaustive{MaxStates: 2_000_000} }
+
+// Name implements Optimizer.
+func (e *Exhaustive) Name() string { return "exhaustive" }
+
+// Optimize implements Optimizer. The seed is unused. It panics when the
+// instance exceeds MaxStates — exhaustive search on a large instance is
+// a programming error, not a runtime condition.
+func (e *Exhaustive) Optimize(p *Problem, seed int64) Solution {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	req := model.NewSourceSet(p.N)
+	for _, id := range p.Required {
+		req.Add(id)
+	}
+	var free []int
+	for _, id := range candidatePool(p) {
+		if !req.Has(id) {
+			free = append(free, id)
+		}
+	}
+	slots := p.M - req.Len()
+	if states := countStates(len(free), slots); states > e.MaxStates {
+		panic(fmt.Sprintf("search: exhaustive enumeration of ~%d states exceeds bound %d", states, e.MaxStates))
+	}
+
+	tr := newTracker(p, int(^uint(0)>>1)) // enumeration ignores budgets
+	if req.Len() >= 1 {
+		tr.eval(req)
+	}
+	cur := req.Clone()
+	var recurse func(start, remaining int)
+	recurse = func(start, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < len(free); i++ {
+			cur.Add(free[i])
+			if cur.Len() >= 1 {
+				tr.eval(cur)
+			}
+			recurse(i+1, remaining-1)
+			cur.Remove(free[i])
+		}
+	}
+	recurse(0, slots)
+	return tr.solution()
+}
+
+// countStates estimates C(n,0)+C(n,1)+...+C(n,k), saturating at a large
+// value to avoid overflow.
+func countStates(n, k int) int {
+	total := 0
+	term := 1
+	for i := 0; i <= k; i++ {
+		total += term
+		if total < 0 || total > 1<<40 {
+			return 1 << 40
+		}
+		if i < k {
+			term = term * (n - i) / (i + 1)
+		}
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package search
+
+import (
+	"math/rand"
+
+	"ube/internal/model"
+)
+
+// Greedy is deterministic marginal-gain selection: starting from the
+// required sources, it repeatedly adds the source whose inclusion most
+// improves the objective, until m sources are selected or no addition
+// helps. It is the natural "obvious" baseline for source selection and a
+// useful lower bound for the metaheuristics.
+type Greedy struct {
+	// KeepWorsening continues adding the least-bad source even when no
+	// addition improves the objective, until m is reached. Useful when
+	// the objective rewards set size only in aggregate.
+	KeepWorsening bool
+}
+
+// NewGreedy returns a Greedy optimizer with package defaults.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Optimizer.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Optimize implements Optimizer. The seed is unused; greedy is fully
+// deterministic.
+func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	_ = rand.New(rand.NewSource(seed)) // uniform signature; intentionally unused
+	tr := newTracker(p, p.N*p.M+1)
+	pool := candidatePool(p)
+
+	cur := model.NewSourceSet(p.N)
+	for _, id := range p.Required {
+		cur.Add(id)
+	}
+	if cur.Len() == 0 && len(pool) > 0 {
+		// Seed with the single best source.
+		bestID, bestQ := -1, 0.0
+		for _, id := range pool {
+			if tr.exhausted() {
+				break
+			}
+			cand := cur.Clone()
+			cand.Add(id)
+			if q, _ := tr.eval(cand); bestID == -1 || q > bestQ {
+				bestID, bestQ = id, q
+			}
+		}
+		if bestID >= 0 {
+			cur.Add(bestID)
+		}
+	}
+	curQ, curOK := tr.eval(cur)
+
+	for cur.Len() < p.M && !tr.exhausted() {
+		bestID, bestQ, bestOK := -1, curQ, curOK
+		foundAny := false
+		// fallback tracks the least-bad addition for KeepWorsening.
+		fallback, fallbackQ, fallbackOK := -1, 0.0, false
+		for _, id := range addable(cur, pool) {
+			if tr.exhausted() {
+				break
+			}
+			cand := cur.Clone()
+			cand.Add(id)
+			q, ok := tr.eval(cand)
+			if q > bestQ {
+				bestID, bestQ, bestOK = id, q, ok
+				foundAny = true
+			}
+			if fallback == -1 || q > fallbackQ {
+				fallback, fallbackQ, fallbackOK = id, q, ok
+			}
+		}
+		switch {
+		case foundAny:
+			cur.Add(bestID)
+			curQ, curOK = bestQ, bestOK
+		case g.KeepWorsening && fallback >= 0:
+			cur.Add(fallback)
+			curQ, curOK = fallbackQ, fallbackOK
+		default:
+			return tr.solution()
+		}
+	}
+	if g.KeepWorsening {
+		// The contract of KeepWorsening is "select m sources no matter
+		// what": return the filled set, not the best point on the path.
+		return Solution{S: cur, Quality: curQ, Feasible: curOK, Evals: tr.evals}
+	}
+	return tr.solution()
+}

@@ -1,0 +1,157 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"ube/internal/model"
+)
+
+// PSO is binary particle swarm optimization (Kennedy & Eberhart's discrete
+// variant): each particle is a candidate source set encoded as a bit
+// vector, velocities are per-source real values squashed through a sigmoid
+// into inclusion probabilities, and particles are pulled toward their own
+// best and the swarm's best. After each position update a repair step
+// restores the constraint region (required in, excluded out, at most m
+// sources). One of the baselines the paper compared tabu search against
+// (§6).
+type PSO struct {
+	// Particles is the swarm size.
+	Particles int
+	// Inertia, Cognitive and Social are the standard PSO coefficients.
+	Inertia   float64
+	Cognitive float64
+	Social    float64
+	// VMax clamps velocities to keep sigmoid probabilities responsive.
+	VMax float64
+	// Budget is the default evaluation budget.
+	Budget int
+}
+
+// NewPSO returns a PSO optimizer with package defaults.
+func NewPSO() *PSO {
+	return &PSO{Particles: 24, Inertia: 0.72, Cognitive: 1.5, Social: 1.5, VMax: 4, Budget: 16000}
+}
+
+// Name implements Optimizer.
+func (o *PSO) Name() string { return "pso" }
+
+type particle struct {
+	pos   *model.SourceSet
+	vel   []float64
+	best  *model.SourceSet
+	bestQ float64
+}
+
+// Optimize implements Optimizer.
+func (o *PSO) Optimize(p *Problem, seed int64) Solution {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := newTracker(p, o.Budget)
+	pool := candidatePool(p)
+	required := make(map[int]bool, len(p.Required))
+	for _, id := range p.Required {
+		required[id] = true
+	}
+
+	swarm := make([]*particle, o.Particles)
+	var gbest *model.SourceSet
+	gbestQ := math.Inf(-1)
+	warm := warmStart(p, pool)
+	for i := range swarm {
+		pos := warm
+		warm = nil // particle 0 starts from the warm candidate
+		if pos == nil {
+			pos = randomStart(p, pool, rng)
+		}
+		q, _ := tr.eval(pos)
+		pt := &particle{
+			pos:   pos,
+			vel:   make([]float64, p.N),
+			best:  pos.Clone(),
+			bestQ: q,
+		}
+		for j := range pt.vel {
+			pt.vel[j] = (rng.Float64()*2 - 1) * o.VMax
+		}
+		swarm[i] = pt
+		if q > gbestQ {
+			gbest, gbestQ = pos.Clone(), q
+		}
+	}
+
+	for !tr.exhausted() {
+		for _, pt := range swarm {
+			if tr.exhausted() {
+				break
+			}
+			// Velocity update toward personal and global bests.
+			for j := 0; j < p.N; j++ {
+				x, pb, gb := b2f(pt.pos.Has(j)), b2f(pt.best.Has(j)), b2f(gbest.Has(j))
+				v := o.Inertia*pt.vel[j] +
+					o.Cognitive*rng.Float64()*(pb-x) +
+					o.Social*rng.Float64()*(gb-x)
+				pt.vel[j] = math.Max(-o.VMax, math.Min(o.VMax, v))
+			}
+			// Stochastic position update through the sigmoid.
+			next := model.NewSourceSet(p.N)
+			for _, j := range pool {
+				if rng.Float64() < sigmoid(pt.vel[j]) {
+					next.Add(j)
+				}
+			}
+			repair(p, next, pool, pt.vel, required, rng)
+			pt.pos = next
+			q, _ := tr.eval(next)
+			if q > pt.bestQ {
+				pt.best, pt.bestQ = next.Clone(), q
+			}
+			if q > gbestQ {
+				gbest, gbestQ = next.Clone(), q
+			}
+		}
+	}
+	return tr.solution()
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// repair pulls a sampled position back into the constraint region: forces
+// required sources in, then while |S| > m evicts the non-required member
+// with the lowest velocity (the one the particle "wants" least), and if S
+// ended up empty adds the highest-velocity candidate.
+func repair(p *Problem, s *model.SourceSet, pool []int, vel []float64, required map[int]bool, rng *rand.Rand) {
+	for id := range required {
+		s.Add(id)
+	}
+	for s.Len() > p.M {
+		worst, worstV := -1, math.Inf(1)
+		s.ForEach(func(id int) {
+			if !required[id] && vel[id] < worstV {
+				worst, worstV = id, vel[id]
+			}
+		})
+		if worst < 0 {
+			break // everything required; Validate guarantees ≤ m
+		}
+		s.Remove(worst)
+	}
+	if s.Len() == 0 && len(pool) > 0 {
+		best, bestV := pool[rng.Intn(len(pool))], math.Inf(-1)
+		for _, id := range pool {
+			if vel[id] > bestV {
+				best, bestV = id, vel[id]
+			}
+		}
+		s.Add(best)
+	}
+}

@@ -1,0 +1,340 @@
+// Package search provides the combinatorial optimizers that solve µBE's
+// constrained source-selection problem (paper §6). The paper's authors
+// tried stochastic local search, particle swarm optimization, constrained
+// simulated annealing and tabu search, and found tabu search the most
+// robust and highest quality; this package implements all of them (plus a
+// greedy marginal-gain baseline and an exhaustive oracle for tests) behind
+// one Optimizer interface so the comparison can be re-run as an ablation.
+//
+// The search space is the set of source subsets S ⊆ U with |S| ≤ m.
+// Constraints define permanently tabu regions (§6): required sources can
+// never leave a candidate and excluded sources can never enter one, for
+// every optimizer, so all solutions satisfy C ⊆ S by construction.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ube/internal/model"
+)
+
+// Objective evaluates a candidate source set. It returns the overall
+// quality Q(S) in [0,1] and whether S is feasible (its mediated schema is
+// valid on the source constraints and subsumes the GA constraints). For
+// infeasible sets the quality still reflects the non-matching QEFs, which
+// gives optimizers a gradient through infeasible regions.
+type Objective func(S *model.SourceSet) (quality float64, feasible bool)
+
+// Problem is one instance of the §2.5 optimization problem as seen by an
+// optimizer: the universe size, the selection bound m, and the constraint
+// region. Everything domain-specific lives behind Objective.
+type Problem struct {
+	// N is the number of sources in the universe.
+	N int
+	// M is the maximum number of sources the user is willing to select.
+	M int
+	// Required are the sources that must appear in every candidate: the
+	// source constraints plus the sources implied by GA constraints.
+	Required []int
+	// Excluded are sources that may never appear in a candidate.
+	Excluded []int
+	// Initial optionally warm-starts the search from a known good
+	// candidate (e.g. the previous iteration's solution). Optimizers
+	// sanitize it against the constraint region and use it for their
+	// first start; later restarts remain random.
+	Initial []int
+	// Objective scores candidates.
+	Objective Objective
+	// MaxEvals bounds the number of objective evaluations (0 means each
+	// optimizer's default). Ablations share a budget through this knob.
+	MaxEvals int
+	// Workers fans candidate evaluations across goroutines (≤1 =
+	// sequential). The Objective must then be safe for concurrent
+	// calls; the engine's objective is. Results are deterministic for a
+	// fixed (problem, seed, Workers): scores are pure and the
+	// best-so-far fold always happens in candidate order.
+	Workers int
+}
+
+// Validate checks the problem for structural errors.
+func (p *Problem) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("search: empty universe")
+	}
+	if p.M < 1 {
+		return fmt.Errorf("search: m = %d < 1", p.M)
+	}
+	if len(p.Required) > p.M {
+		return fmt.Errorf("search: %d required sources exceed m = %d", len(p.Required), p.M)
+	}
+	if p.Objective == nil {
+		return fmt.Errorf("search: nil objective")
+	}
+	ex := make(map[int]bool, len(p.Excluded))
+	for _, id := range p.Excluded {
+		if id < 0 || id >= p.N {
+			return fmt.Errorf("search: excluded source %d out of range", id)
+		}
+		ex[id] = true
+	}
+	seen := make(map[int]bool, len(p.Required))
+	for _, id := range p.Required {
+		if id < 0 || id >= p.N {
+			return fmt.Errorf("search: required source %d out of range", id)
+		}
+		if ex[id] {
+			return fmt.Errorf("search: source %d both required and excluded", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("search: duplicate required source %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// Solution is an optimizer's result.
+type Solution struct {
+	// S is the chosen source set; never nil after a successful run.
+	S *model.SourceSet
+	// Quality is the objective value of S.
+	Quality float64
+	// Feasible reports whether S satisfied the matching-validity
+	// conditions. When the constraint region admits no feasible set
+	// within the budget, optimizers return their best-scoring candidate
+	// with Feasible == false rather than nothing.
+	Feasible bool
+	// Evals is the number of objective evaluations spent.
+	Evals int
+}
+
+// An Optimizer solves Problems. Implementations are deterministic given
+// (problem, seed).
+type Optimizer interface {
+	// Name identifies the algorithm ("tabu", "sls", "anneal", "pso",
+	// "greedy", "exhaustive").
+	Name() string
+	// Optimize runs the search. It panics on an invalid problem
+	// (programmer error); budget exhaustion is not an error.
+	Optimize(p *Problem, seed int64) Solution
+}
+
+// ByName returns a predefined optimizer with default parameters, or false
+// for an unknown name.
+func ByName(name string) (Optimizer, bool) {
+	switch name {
+	case "tabu":
+		return NewTabu(), true
+	case "sls":
+		return NewSLS(), true
+	case "anneal":
+		return NewAnneal(), true
+	case "pso":
+		return NewPSO(), true
+	case "greedy":
+		return NewGreedy(), true
+	case "exhaustive":
+		return NewExhaustive(), true
+	}
+	return nil, false
+}
+
+// tracker wraps an Objective with evaluation counting, a budget, and
+// best-so-far bookkeeping shared by all optimizers.
+type tracker struct {
+	obj      Objective
+	budget   int
+	evals    int
+	best     *model.SourceSet
+	bestQ    float64
+	feasible bool
+}
+
+func newTracker(p *Problem, defaultBudget int) *tracker {
+	b := p.MaxEvals
+	if b <= 0 {
+		b = defaultBudget
+	}
+	return &tracker{obj: p.Objective, budget: b}
+}
+
+// exhausted reports whether the evaluation budget is spent.
+func (t *tracker) exhausted() bool { return t.evals >= t.budget }
+
+// eval scores S, updating the best-so-far. A feasible solution always
+// beats an infeasible one regardless of raw quality.
+func (t *tracker) eval(S *model.SourceSet) (float64, bool) {
+	t.evals++
+	q, ok := t.obj(S)
+	t.record(S, q, ok)
+	return q, ok
+}
+
+// batchEval scores a batch of candidates, fanning the objective calls
+// across p.Workers goroutines, then folds tracker updates sequentially in
+// candidate order so ties resolve identically at any parallelism. The
+// batch is truncated to the remaining budget. Returned slices are parallel
+// to the (possibly truncated) batch; the int is the evaluated count.
+func (t *tracker) batchEval(p *Problem, cands []*model.SourceSet) ([]float64, []bool, int) {
+	if left := t.budget - t.evals; len(cands) > left {
+		cands = cands[:max(left, 0)]
+	}
+	if len(cands) == 0 {
+		return nil, nil, 0
+	}
+	qs := make([]float64, len(cands))
+	oks := make([]bool, len(cands))
+	workers := p.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, c := range cands {
+			qs[i], oks[i] = t.obj(c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cands) {
+						return
+					}
+					qs[i], oks[i] = t.obj(cands[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Sequential fold keeps best-so-far deterministic.
+	for i, c := range cands {
+		t.evals++
+		t.record(c, qs[i], oks[i])
+	}
+	return qs, oks, len(cands)
+}
+
+// record applies one evaluation result to the best-so-far bookkeeping.
+func (t *tracker) record(S *model.SourceSet, q float64, ok bool) {
+	better := false
+	switch {
+	case t.best == nil:
+		better = true
+	case ok && !t.feasible:
+		better = true
+	case ok == t.feasible && q > t.bestQ:
+		better = true
+	}
+	if better {
+		t.best = S.Clone()
+		t.bestQ = q
+		t.feasible = ok
+	}
+}
+
+func (t *tracker) solution() Solution {
+	return Solution{S: t.best, Quality: t.bestQ, Feasible: t.feasible, Evals: t.evals}
+}
+
+// candidatePool returns the selectable source IDs: everything except the
+// excluded, in ascending order.
+func candidatePool(p *Problem) []int {
+	ex := make(map[int]bool, len(p.Excluded))
+	for _, id := range p.Excluded {
+		ex[id] = true
+	}
+	pool := make([]int, 0, p.N-len(p.Excluded))
+	for id := 0; id < p.N; id++ {
+		if !ex[id] {
+			pool = append(pool, id)
+		}
+	}
+	return pool
+}
+
+// warmStart sanitizes p.Initial into a valid candidate: required sources
+// first, then initial members that are selectable, truncated to m. It
+// returns nil when no initial candidate was provided.
+func warmStart(p *Problem, pool []int) *model.SourceSet {
+	if len(p.Initial) == 0 {
+		return nil
+	}
+	s := model.NewSourceSet(p.N)
+	for _, id := range p.Required {
+		s.Add(id)
+	}
+	selectable := make(map[int]bool, len(pool))
+	for _, id := range pool {
+		selectable[id] = true
+	}
+	for _, id := range p.Initial {
+		if s.Len() >= p.M {
+			break
+		}
+		if id >= 0 && id < p.N && selectable[id] {
+			s.Add(id)
+		}
+	}
+	if s.Len() == 0 {
+		return nil
+	}
+	return s
+}
+
+// randomStart builds a random candidate: the required sources plus a
+// uniform sample of free sources up to size m.
+func randomStart(p *Problem, pool []int, rng *rand.Rand) *model.SourceSet {
+	s := model.NewSourceSet(p.N)
+	for _, id := range p.Required {
+		s.Add(id)
+	}
+	free := make([]int, 0, len(pool))
+	for _, id := range pool {
+		if !s.Has(id) {
+			free = append(free, id)
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for _, id := range free {
+		if s.Len() >= p.M {
+			break
+		}
+		s.Add(id)
+	}
+	return s
+}
+
+// removable returns the members of S that are not required, sorted.
+func removable(S *model.SourceSet, required []int) []int {
+	req := make(map[int]bool, len(required))
+	for _, id := range required {
+		req[id] = true
+	}
+	var out []int
+	S.ForEach(func(id int) {
+		if !req[id] {
+			out = append(out, id)
+		}
+	})
+	sort.Ints(out)
+	return out
+}
+
+// addable returns the pool sources not in S, sorted.
+func addable(S *model.SourceSet, pool []int) []int {
+	var out []int
+	for _, id := range pool {
+		if !S.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ube/internal/model"
+)
+
+// linearObjective scores S as the normalized sum of per-source values, so
+// the optimum is exactly the top-m values plus any required sources.
+func linearObjective(values []float64, m int) Objective {
+	sorted := append([]float64(nil), values...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	norm := 0.0
+	for i := 0; i < m && i < len(sorted); i++ {
+		norm += sorted[i]
+	}
+	return func(S *model.SourceSet) (float64, bool) {
+		sum := 0.0
+		S.ForEach(func(id int) { sum += values[id] })
+		return math.Min(sum/norm, 1), true
+	}
+}
+
+// ruggedObjective rewards specific pairs appearing together, creating
+// local optima that pure hill climbing gets stuck in.
+func ruggedObjective(n, m int) Objective {
+	return func(S *model.SourceSet) (float64, bool) {
+		q := 0.0
+		S.ForEach(func(id int) {
+			q += 0.2 // base reward per source
+			if S.Has((id + n/2) % n) {
+				q += 1.0 // strong pair bonus
+			}
+			if id%3 == 0 {
+				q += 0.4
+			}
+		})
+		return q / float64(m*2), true
+	}
+}
+
+func allOptimizers() []Optimizer {
+	return []Optimizer{NewTabu(), NewSLS(), NewAnneal(), NewPSO(), NewGreedy()}
+}
+
+func vals(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64((i*7)%n) + 1
+	}
+	return v
+}
+
+func TestProblemValidate(t *testing.T) {
+	ok := &Problem{N: 10, M: 3, Objective: func(*model.SourceSet) (float64, bool) { return 0, true }}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	obj := ok.Objective
+	bad := []*Problem{
+		{N: 0, M: 1, Objective: obj},
+		{N: 10, M: 0, Objective: obj},
+		{N: 10, M: 1, Required: []int{1, 2}, Objective: obj},
+		{N: 10, M: 3, Objective: nil},
+		{N: 10, M: 3, Required: []int{10}, Objective: obj},
+		{N: 10, M: 3, Required: []int{-1}, Objective: obj},
+		{N: 10, M: 3, Excluded: []int{10}, Objective: obj},
+		{N: 10, M: 3, Required: []int{1}, Excluded: []int{1}, Objective: obj},
+		{N: 10, M: 3, Required: []int{1, 1, 2}, Objective: obj},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"tabu", "sls", "anneal", "pso", "greedy", "exhaustive"} {
+		o, ok := ByName(name)
+		if !ok || o.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, o, ok)
+		}
+	}
+	if _, ok := ByName("genetic"); ok {
+		t.Error("unknown optimizer resolved")
+	}
+}
+
+func TestAllOptimizersRespectConstraints(t *testing.T) {
+	n, m := 40, 8
+	values := vals(n)
+	p := &Problem{
+		N: n, M: m,
+		Required:  []int{3, 17},
+		Excluded:  []int{5, 21, 39},
+		Objective: linearObjective(values, m),
+		MaxEvals:  4000,
+	}
+	for _, opt := range allOptimizers() {
+		sol := opt.Optimize(p, 1)
+		if sol.S == nil {
+			t.Fatalf("%s: nil solution", opt.Name())
+		}
+		if sol.S.Len() > m {
+			t.Errorf("%s: |S| = %d > m = %d", opt.Name(), sol.S.Len(), m)
+		}
+		for _, id := range p.Required {
+			if !sol.S.Has(id) {
+				t.Errorf("%s: required source %d missing", opt.Name(), id)
+			}
+		}
+		for _, id := range p.Excluded {
+			if sol.S.Has(id) {
+				t.Errorf("%s: excluded source %d selected", opt.Name(), id)
+			}
+		}
+		if sol.S.Len() == 0 {
+			t.Errorf("%s: empty solution", opt.Name())
+		}
+		if sol.Evals == 0 {
+			t.Errorf("%s: no evaluations recorded", opt.Name())
+		}
+	}
+}
+
+func TestOptimizersFindLinearOptimum(t *testing.T) {
+	// On an easy separable objective every metaheuristic should reach
+	// ≥95% of the optimum with a modest budget.
+	n, m := 30, 6
+	values := vals(n)
+	p := &Problem{N: n, M: m, Objective: linearObjective(values, m), MaxEvals: 8000}
+	for _, opt := range allOptimizers() {
+		sol := opt.Optimize(p, 7)
+		if sol.Quality < 0.95 {
+			t.Errorf("%s: quality %.3f < 0.95 on separable objective", opt.Name(), sol.Quality)
+		}
+	}
+}
+
+func TestTabuMatchesExhaustiveOnSmallInstance(t *testing.T) {
+	n, m := 14, 4
+	obj := ruggedObjective(n, m)
+	p := &Problem{N: n, M: m, Objective: obj}
+	opt := NewExhaustive().Optimize(p, 0)
+	tabu := NewTabu().Optimize(p, 3)
+	if tabu.Quality < opt.Quality*0.999 {
+		t.Errorf("tabu %.4f below exhaustive optimum %.4f", tabu.Quality, opt.Quality)
+	}
+	if tabu.Quality > opt.Quality+1e-9 {
+		t.Errorf("tabu %.4f exceeds exhaustive optimum %.4f: oracle broken", tabu.Quality, opt.Quality)
+	}
+}
+
+func TestExhaustiveRespectsConstraints(t *testing.T) {
+	n, m := 12, 4
+	p := &Problem{
+		N: n, M: m,
+		Required:  []int{2},
+		Excluded:  []int{3},
+		Objective: linearObjective(vals(n), m),
+	}
+	sol := NewExhaustive().Optimize(p, 0)
+	if !sol.S.Has(2) || sol.S.Has(3) || sol.S.Len() > m {
+		t.Errorf("exhaustive violated constraints: %v", sol.S.Elements())
+	}
+}
+
+func TestExhaustivePanicsOnHugeInstance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("exhaustive on a huge instance should panic")
+		}
+	}()
+	p := &Problem{N: 500, M: 20, Objective: func(*model.SourceSet) (float64, bool) { return 0, true }}
+	NewExhaustive().Optimize(p, 0)
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	n, m := 30, 6
+	p := &Problem{N: n, M: m, Objective: ruggedObjective(n, m), MaxEvals: 3000}
+	for _, opt := range allOptimizers() {
+		a := opt.Optimize(p, 42)
+		b := opt.Optimize(p, 42)
+		if !a.S.Equal(b.S) || a.Quality != b.Quality || a.Evals != b.Evals {
+			t.Errorf("%s: same seed, different result", opt.Name())
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	n, m := 50, 10
+	for _, budget := range []int{100, 1000} {
+		p := &Problem{N: n, M: m, Objective: linearObjective(vals(n), m), MaxEvals: budget}
+		for _, opt := range allOptimizers() {
+			sol := opt.Optimize(p, 5)
+			// Each loop may overshoot by at most one sampled batch.
+			if sol.Evals > budget+64 {
+				t.Errorf("%s: %d evals for budget %d", opt.Name(), sol.Evals, budget)
+			}
+		}
+	}
+}
+
+func TestInfeasibleNavigation(t *testing.T) {
+	// Feasible only when source 7 is selected; quality otherwise still
+	// guides toward bigger sets. All optimizers must return a feasible
+	// solution and prefer it over infeasible ones.
+	n, m := 20, 5
+	obj := func(S *model.SourceSet) (float64, bool) {
+		q := float64(S.Len()) / float64(m) * 0.5
+		if S.Has(7) {
+			return q + 0.5, true
+		}
+		return q, false
+	}
+	p := &Problem{N: n, M: m, Objective: obj, MaxEvals: 6000}
+	for _, opt := range allOptimizers() {
+		sol := opt.Optimize(p, 11)
+		if !sol.Feasible {
+			t.Errorf("%s: did not find the feasible region", opt.Name())
+			continue
+		}
+		if !sol.S.Has(7) {
+			t.Errorf("%s: feasible flag without source 7", opt.Name())
+		}
+	}
+}
+
+func TestFeasiblePreferredOverHigherInfeasible(t *testing.T) {
+	// An infeasible set can score arbitrarily high; the tracker must
+	// still prefer any feasible solution.
+	n, m := 10, 3
+	obj := func(S *model.SourceSet) (float64, bool) {
+		if S.Has(0) {
+			return 0.2, true // feasible, low quality
+		}
+		return 0.9, false // infeasible, high quality
+	}
+	p := &Problem{N: n, M: m, Objective: obj, MaxEvals: 2000}
+	for _, opt := range allOptimizers() {
+		sol := opt.Optimize(p, 2)
+		if !sol.Feasible {
+			t.Errorf("%s: returned infeasible despite feasible region", opt.Name())
+		}
+	}
+}
+
+func TestTabuEscapesLocalOptimum(t *testing.T) {
+	// A deceptive objective with a strong local optimum: sets without
+	// source 0 plateau at 0.6; adding source 0 alone drops quality, but
+	// source 0 plus source 1 is optimal. Greedy gets trapped; tabu's
+	// worsening moves escape.
+	n, m := 16, 2
+	obj := func(S *model.SourceSet) (float64, bool) {
+		has0, has1 := S.Has(0), S.Has(1)
+		switch {
+		case has0 && has1:
+			return 1.0, true
+		case has0:
+			return 0.1, true
+		default:
+			return 0.6 * float64(S.Len()) / float64(m), true
+		}
+	}
+	p := &Problem{N: n, M: m, Objective: obj, MaxEvals: 6000}
+	sol := NewTabu().Optimize(p, 1)
+	if sol.Quality < 1.0 {
+		t.Errorf("tabu stuck at %.2f, expected to reach the global optimum 1.0", sol.Quality)
+	}
+}
+
+func TestGreedyKeepWorsening(t *testing.T) {
+	// An objective where each addition reduces quality: plain greedy
+	// stops at one source, KeepWorsening fills to m.
+	n, m := 10, 4
+	obj := func(S *model.SourceSet) (float64, bool) {
+		return 1 / float64(1+S.Len()), true
+	}
+	p := &Problem{N: n, M: m, Objective: obj}
+	plain := NewGreedy().Optimize(p, 0)
+	if plain.S.Len() != 1 {
+		t.Errorf("plain greedy selected %d sources, want 1", plain.S.Len())
+	}
+	filler := &Greedy{KeepWorsening: true}
+	full := filler.Optimize(p, 0)
+	if full.S.Len() != m {
+		t.Errorf("KeepWorsening greedy selected %d sources, want %d", full.S.Len(), m)
+	}
+}
+
+func TestRequiredOnlyProblem(t *testing.T) {
+	// m equals the number of required sources: the solution is forced.
+	n := 10
+	req := []int{1, 4, 8}
+	p := &Problem{N: n, M: 3, Required: req, Objective: linearObjective(vals(n), 3), MaxEvals: 500}
+	for _, opt := range allOptimizers() {
+		sol := opt.Optimize(p, 9)
+		if !sol.S.Equal(model.NewSourceSetOf(n, req...)) {
+			t.Errorf("%s: forced solution not returned: %v", opt.Name(), sol.S.Elements())
+		}
+	}
+}
+
+func TestCountStates(t *testing.T) {
+	// C(5,0)+C(5,1)+C(5,2) = 1+5+10 = 16
+	if got := countStates(5, 2); got != 16 {
+		t.Errorf("countStates(5,2) = %d, want 16", got)
+	}
+	if got := countStates(3, 3); got != 8 {
+		t.Errorf("countStates(3,3) = %d, want 8 (full power set)", got)
+	}
+	// Saturation on huge instances.
+	if got := countStates(500, 250); got != 1<<40 {
+		t.Errorf("countStates should saturate, got %d", got)
+	}
+}
+
+func TestSolverComparisonShape(t *testing.T) {
+	// The paper's qualitative claim (§6/§7.1): tabu search is at least as
+	// good as the other metaheuristics on a rugged landscape with a
+	// shared evaluation budget. Allow a small tolerance — this asserts
+	// "tabu is not worse", not a strict ranking.
+	n, m := 60, 10
+	obj := ruggedObjective(n, m)
+	p := &Problem{N: n, M: m, Objective: obj, MaxEvals: 8000}
+	tabu := NewTabu().Optimize(p, 123).Quality
+	for _, opt := range []Optimizer{NewSLS(), NewAnneal(), NewPSO(), NewGreedy()} {
+		q := opt.Optimize(p, 123).Quality
+		if q > tabu+0.05 {
+			t.Errorf("%s (%.3f) clearly beats tabu (%.3f); paper's ranking violated", opt.Name(), q, tabu)
+		}
+	}
+}
+
+func TestWarmStart(t *testing.T) {
+	n, m := 40, 8
+	values := vals(n)
+	obj := linearObjective(values, m)
+	// The known optimum: top-m value sources.
+	best := NewExhaustive()
+	_ = best
+	// Build the optimum by hand: indices sorted by value desc.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	optimum := idx[:m]
+
+	// A tiny budget starting cold cannot reliably find the optimum, but
+	// warm-started at the optimum every optimizer must return it (the
+	// tracker sees it on the very first evaluation).
+	for _, opt := range allOptimizers() {
+		if opt.Name() == "greedy" {
+			continue // greedy ignores warm starts by design
+		}
+		p := &Problem{N: n, M: m, Initial: optimum, Objective: obj, MaxEvals: 30}
+		sol := opt.Optimize(p, 4)
+		if sol.Quality < 0.999 {
+			t.Errorf("%s: warm start at the optimum lost it: %.4f", opt.Name(), sol.Quality)
+		}
+	}
+}
+
+func TestWarmStartSanitized(t *testing.T) {
+	// Initial candidates violating the constraint region are repaired:
+	// required sources added, excluded dropped, size truncated to m.
+	n, m := 20, 3
+	p := &Problem{
+		N: n, M: m,
+		Required:  []int{7},
+		Excluded:  []int{1},
+		Initial:   []int{1, 2, 3, 4, 5, 99, -1}, // excluded, too many, out of range
+		Objective: linearObjective(vals(n), m),
+		MaxEvals:  400,
+	}
+	for _, opt := range allOptimizers() {
+		sol := opt.Optimize(p, 6)
+		if !sol.S.Has(7) || sol.S.Has(1) || sol.S.Len() > m {
+			t.Errorf("%s: sanitization failed: %v", opt.Name(), sol.S.Elements())
+		}
+	}
+}
+
+func TestWarmStartEmptyIgnored(t *testing.T) {
+	// An Initial consisting only of invalid IDs behaves like no warm
+	// start at all.
+	n, m := 15, 3
+	p := &Problem{
+		N: n, M: m,
+		Initial:   []int{-5, 99},
+		Objective: linearObjective(vals(n), m),
+		MaxEvals:  800,
+	}
+	sol := NewTabu().Optimize(p, 8)
+	if sol.S == nil || sol.S.Len() == 0 {
+		t.Error("degenerate warm start broke the search")
+	}
+}

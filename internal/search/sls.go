@@ -1,0 +1,92 @@
+package search
+
+import (
+	"math/rand"
+
+	"ube/internal/model"
+)
+
+// SLS is stochastic local search with random restarts: first-improvement
+// hill climbing over the add/drop/swap neighborhood, restarting from a new
+// random candidate when no sampled move improves. One of the baselines the
+// paper compared tabu search against (§6).
+type SLS struct {
+	// Sample is the number of moves tried per improvement step.
+	Sample int
+	// Patience is the number of consecutive non-improving steps before
+	// a restart.
+	Patience int
+	// Budget is the default evaluation budget.
+	Budget int
+}
+
+// NewSLS returns an SLS optimizer with package defaults.
+func NewSLS() *SLS { return &SLS{Sample: 24, Patience: 40, Budget: 16000} }
+
+// Name implements Optimizer.
+func (s *SLS) Name() string { return "sls" }
+
+// Optimize implements Optimizer.
+func (s *SLS) Optimize(p *Problem, seed int64) Solution {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := newTracker(p, s.Budget)
+	pool := candidatePool(p)
+	minLen := max(1, len(p.Required))
+
+	warm := warmStart(p, pool)
+	for !tr.exhausted() {
+		cur := warm
+		warm = nil // only the first climb is warm-started
+		if cur == nil {
+			cur = randomStart(p, pool, rng)
+		}
+		curQ, _ := tr.eval(cur)
+		fails := 0
+		for fails < s.Patience && !tr.exhausted() {
+			improved := false
+			for i := 0; i < s.Sample && !tr.exhausted(); i++ {
+				cand := randomNeighbor(p, cur, pool, minLen, rng)
+				if cand == nil {
+					break
+				}
+				if q, _ := tr.eval(cand); q > curQ {
+					cur, curQ = cand, q
+					improved = true
+					break // first improvement
+				}
+			}
+			if improved {
+				fails = 0
+			} else {
+				fails++
+			}
+		}
+	}
+	return tr.solution()
+}
+
+// randomNeighbor applies one random admissible add/drop/swap to cur,
+// returning nil when the constraint region admits no move.
+func randomNeighbor(p *Problem, cur *model.SourceSet, pool []int, minLen int, rng *rand.Rand) *model.SourceSet {
+	outs := removable(cur, p.Required)
+	ins := addable(cur, pool)
+	for attempt := 0; attempt < 8; attempt++ {
+		cand := cur.Clone()
+		switch k := rng.Intn(3); {
+		case k == 0 && cur.Len() < p.M && len(ins) > 0:
+			cand.Add(ins[rng.Intn(len(ins))])
+			return cand
+		case k == 1 && cur.Len() > minLen && len(outs) > 0:
+			cand.Remove(outs[rng.Intn(len(outs))])
+			return cand
+		case k == 2 && len(outs) > 0 && len(ins) > 0:
+			cand.Remove(outs[rng.Intn(len(outs))])
+			cand.Add(ins[rng.Intn(len(ins))])
+			return cand
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package search
+
+import (
+	"math/rand"
+
+	"ube/internal/model"
+)
+
+// Tabu implements tabu search (Glover & Laguna), the optimizer µBE uses by
+// default: it was the most robust and produced the highest quality
+// solutions among the techniques the paper tried (§6, §7.1).
+//
+// The search walks the space of candidate source sets via add/drop/swap
+// moves, always taking the best move in a sampled candidate list — even a
+// worsening one — while a recency-based tabu list forbids touching recently
+// moved sources for Tenure iterations. The aspiration criterion overrides
+// the tabu status of a move that would beat the best solution found so
+// far. Constraints define permanently tabu regions: required sources are
+// never dropped, excluded sources never added.
+type Tabu struct {
+	// Tenure is the number of iterations a moved source stays tabu.
+	Tenure int
+	// MaxIters bounds the number of iterations per restart.
+	MaxIters int
+	// Sample is the number of candidate moves examined per iteration
+	// (tabu search's "candidate list strategy"; the full neighborhood
+	// has Θ(m·N) moves, too many to evaluate every iteration).
+	Sample int
+	// Stall stops a run after this many iterations without improving
+	// the best solution.
+	Stall int
+	// Restarts is the number of independent tabu runs from different
+	// random starts; the best result wins.
+	Restarts int
+}
+
+// NewTabu returns a Tabu optimizer with the package defaults.
+func NewTabu() *Tabu {
+	return &Tabu{Tenure: 8, MaxIters: 250, Sample: 32, Stall: 60, Restarts: 2}
+}
+
+// Name implements Optimizer.
+func (t *Tabu) Name() string { return "tabu" }
+
+func (t *Tabu) defaultBudget() int { return t.Restarts * t.MaxIters * t.Sample }
+
+// move is one neighborhood step: drop `out` and/or add `in`; -1 disables
+// either half, so {-1,in} is a pure add and {out,-1} a pure drop.
+type move struct{ out, in int }
+
+// Optimize implements Optimizer.
+func (t *Tabu) Optimize(p *Problem, seed int64) Solution {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := newTracker(p, t.defaultBudget())
+	pool := candidatePool(p)
+
+	for run := 0; run < t.Restarts && !tr.exhausted(); run++ {
+		var start *model.SourceSet
+		if run == 0 {
+			start = warmStart(p, pool)
+		}
+		t.run(p, pool, start, tr, rng)
+	}
+	return tr.solution()
+}
+
+// run executes one tabu search; a nil start means a fresh random start.
+func (t *Tabu) run(p *Problem, pool []int, start *model.SourceSet, tr *tracker, rng *rand.Rand) {
+	cur := start
+	if cur == nil {
+		cur = randomStart(p, pool, rng)
+	}
+	curQ, _ := tr.eval(cur)
+	// Asymmetric recency tenure: a dropped source may not re-enter for
+	// Tenure iterations; an added source may not be dropped for a short
+	// grace period. Freezing both directions equally would lock up most
+	// of an m-sized candidate within a few swaps.
+	tabuIn := make([]int, p.N)
+	tabuOut := make([]int, p.N)
+	graceTenure := max(2, t.Tenure/4)
+	sinceImprove := 0
+	minLen := max(1, len(p.Required))
+
+	for iter := 1; iter <= t.MaxIters && !tr.exhausted(); iter++ {
+		moves := t.sampleMoves(p, cur, pool, minLen, rng)
+		if len(moves) == 0 {
+			return // the constraint region leaves no moves at all
+		}
+
+		cands := make([]*model.SourceSet, len(moves))
+		for i, mv := range moves {
+			cand := cur.Clone()
+			if mv.out >= 0 {
+				cand.Remove(mv.out)
+			}
+			if mv.in >= 0 {
+				cand.Add(mv.in)
+			}
+			cands[i] = cand
+		}
+		qs, _, n := tr.batchEval(p, cands)
+
+		var best *model.SourceSet
+		var bestMove move
+		bestQ := 0.0
+		for i := 0; i < n; i++ {
+			mv, q := moves[i], qs[i]
+			tabu := (mv.out >= 0 && tabuOut[mv.out] > iter) ||
+				(mv.in >= 0 && tabuIn[mv.in] > iter)
+			if tabu && q <= tr.bestQ {
+				continue // tabu and not aspirating
+			}
+			if best == nil || q > bestQ {
+				best, bestMove, bestQ = cands[i], mv, q
+			}
+		}
+		if best == nil {
+			// Every sampled move was tabu; wait for the list to age.
+			sinceImprove++
+			if sinceImprove > t.Stall {
+				return
+			}
+			continue
+		}
+		cur = best
+		if bestMove.out >= 0 {
+			tabuIn[bestMove.out] = iter + t.Tenure
+		}
+		if bestMove.in >= 0 {
+			tabuOut[bestMove.in] = iter + graceTenure
+		}
+		if bestQ > curQ {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+			if sinceImprove > t.Stall {
+				return
+			}
+		}
+		curQ = bestQ
+	}
+}
+
+// sampleMoves draws up to t.Sample distinct admissible moves around cur.
+func (t *Tabu) sampleMoves(p *Problem, cur *model.SourceSet, pool []int, minLen int, rng *rand.Rand) []move {
+	outs := removable(cur, p.Required)
+	ins := addable(cur, pool)
+	var moves []move
+	seen := make(map[move]bool, t.Sample)
+	try := func(mv move) {
+		if !seen[mv] {
+			seen[mv] = true
+			moves = append(moves, mv)
+		}
+	}
+	// Swaps dominate the sample: once a candidate reaches the size
+	// bound m (which good candidates do), adds are infeasible and drops
+	// rarely help, so swap moves are where the search happens.
+	for attempts := 0; attempts < t.Sample*4 && len(moves) < t.Sample; attempts++ {
+		switch k := rng.Intn(10); {
+		case k == 0 && cur.Len() < p.M && len(ins) > 0: // add
+			try(move{out: -1, in: ins[rng.Intn(len(ins))]})
+		case k == 1 && cur.Len() > minLen && len(outs) > 0: // drop
+			try(move{out: outs[rng.Intn(len(outs))], in: -1})
+		case k >= 2 && len(outs) > 0 && len(ins) > 0: // swap
+			try(move{out: outs[rng.Intn(len(outs))], in: ins[rng.Intn(len(ins))]})
+		case k >= 2 && cur.Len() < p.M && len(ins) > 0: // add fallback
+			try(move{out: -1, in: ins[rng.Intn(len(ins))]})
+		}
+	}
+	return moves
+}

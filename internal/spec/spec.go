@@ -1,0 +1,171 @@
+// Package spec defines the JSON exchange format for µBE problems and
+// solutions, used by the ube-solve command and any caller that drives µBE
+// from configuration rather than code. A ProblemSpec is the declarative
+// form of engine.Problem (optimizers and aggregators referenced by name);
+// a SolutionDoc is a self-describing rendering of engine.Solution with
+// names resolved, suitable for downstream tools.
+package spec
+
+import (
+	"fmt"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/qef"
+	"ube/internal/search"
+)
+
+// ProblemSpec is the JSON form of one µBE iteration's problem.
+type ProblemSpec struct {
+	// MaxSources is m. Required.
+	MaxSources int `json:"maxSources"`
+	// Theta and Beta default to the paper's 0.65 and 2 when omitted.
+	Theta float64 `json:"theta,omitempty"`
+	Beta  int     `json:"beta,omitempty"`
+	// Constraints uses the model JSON forms (source IDs, GA attribute
+	// references, exclusions).
+	Constraints model.Constraints `json:"constraints,omitempty"`
+	// Weights maps QEF names to weights; they must cover "match", the
+	// data QEFs and every configured characteristic, and sum to 1.
+	// Omitted entirely, they default to the paper's weights when the
+	// characteristics are exactly {"mttf"}; otherwise they are required.
+	Weights map[string]float64 `json:"weights,omitempty"`
+	// Characteristics maps characteristic names to aggregator names
+	// ("wsum", "mean", "min", "max").
+	Characteristics map[string]string `json:"characteristics,omitempty"`
+	// Optimizer is one of "tabu", "sls", "anneal", "pso", "greedy";
+	// empty means tabu.
+	Optimizer string `json:"optimizer,omitempty"`
+	// Seed, MaxEvals and Workers tune the solver.
+	Seed     int64 `json:"seed,omitempty"`
+	MaxEvals int   `json:"maxEvals,omitempty"`
+	Workers  int   `json:"workers,omitempty"`
+	// InitialSources optionally warm-starts the solver.
+	InitialSources []int `json:"initialSources,omitempty"`
+}
+
+// Build resolves the spec into an engine problem.
+func (s *ProblemSpec) Build() (engine.Problem, error) {
+	p := engine.DefaultProblem()
+	if s.MaxSources < 1 {
+		return p, fmt.Errorf("spec: maxSources %d < 1", s.MaxSources)
+	}
+	p.MaxSources = s.MaxSources
+	if s.Theta != 0 {
+		p.Theta = s.Theta
+	}
+	if s.Beta != 0 {
+		p.Beta = s.Beta
+	}
+	p.Constraints = *s.Constraints.Clone()
+	p.Seed = s.Seed
+	p.MaxEvals = s.MaxEvals
+	p.Workers = s.Workers
+	p.InitialSources = append([]int(nil), s.InitialSources...)
+
+	if s.Characteristics != nil {
+		p.Characteristics = make(map[string]qef.Aggregator, len(s.Characteristics))
+		for char, aggName := range s.Characteristics {
+			agg, ok := qef.AggregatorByName(aggName)
+			if !ok {
+				return p, fmt.Errorf("spec: unknown aggregator %q for characteristic %q", aggName, char)
+			}
+			p.Characteristics[char] = agg
+		}
+	}
+	if s.Weights != nil {
+		p.Weights = make(qef.Weights, len(s.Weights))
+		for k, v := range s.Weights {
+			p.Weights[k] = v
+		}
+		if s.Characteristics == nil {
+			// The weights define which QEFs exist: drop default
+			// characteristics (the paper's MTTF) the spec does not
+			// weight.
+			for char := range p.Characteristics {
+				if _, ok := s.Weights[char]; !ok {
+					delete(p.Characteristics, char)
+				}
+			}
+		}
+	}
+	if s.Optimizer != "" {
+		opt, ok := search.ByName(s.Optimizer)
+		if !ok {
+			return p, fmt.Errorf("spec: unknown optimizer %q", s.Optimizer)
+		}
+		p.Optimizer = opt
+	}
+	return p, nil
+}
+
+// SolutionDoc is the JSON rendering of a solution.
+type SolutionDoc struct {
+	Quality   float64            `json:"quality"`
+	Feasible  bool               `json:"feasible"`
+	Breakdown map[string]float64 `json:"breakdown"`
+	Evals     int                `json:"evals"`
+	ElapsedMS float64            `json:"elapsedMs"`
+	Sources   []SourceDoc        `json:"sources"`
+	Schema    []GADoc            `json:"schema"`
+}
+
+// SourceDoc describes one chosen source.
+type SourceDoc struct {
+	ID          int    `json:"id"`
+	Name        string `json:"name"`
+	Cardinality int64  `json:"cardinality"`
+}
+
+// GADoc describes one GA with attribute names resolved.
+type GADoc struct {
+	Quality        float64  `json:"quality"`
+	FromConstraint bool     `json:"fromConstraint,omitempty"`
+	Attributes     []GAAttr `json:"attributes"`
+}
+
+// GAAttr is one attribute of a GA.
+type GAAttr struct {
+	Source     int    `json:"source"`
+	SourceName string `json:"sourceName"`
+	Attr       int    `json:"attr"`
+	Name       string `json:"name"`
+}
+
+// Render builds the JSON document for a solution over its universe.
+func Render(u *model.Universe, sol *engine.Solution) *SolutionDoc {
+	doc := &SolutionDoc{
+		Quality:   sol.Quality,
+		Feasible:  sol.Feasible,
+		Breakdown: sol.Breakdown,
+		Evals:     sol.Evals,
+		ElapsedMS: float64(sol.Elapsed.Microseconds()) / 1000,
+	}
+	for _, id := range sol.Sources {
+		src := u.Source(id)
+		doc.Sources = append(doc.Sources, SourceDoc{
+			ID: id, Name: src.Name, Cardinality: src.Cardinality,
+		})
+	}
+	if sol.Schema != nil {
+		for i, g := range sol.Schema.GAs {
+			ga := GADoc{}
+			if sol.Match.GAQuality != nil {
+				ga.Quality = sol.Match.GAQuality[i]
+			}
+			if sol.Match.FromConstraint != nil {
+				ga.FromConstraint = sol.Match.FromConstraint[i]
+			}
+			for _, r := range g {
+				ga.Attributes = append(ga.Attributes, GAAttr{
+					Source:     r.Source,
+					SourceName: u.Source(r.Source).Name,
+					Attr:       r.Attr,
+					Name:       u.AttrName(r),
+				})
+			}
+			doc.Schema = append(doc.Schema, ga)
+		}
+	}
+	return doc
+}

@@ -1,0 +1,181 @@
+package spec
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/synth"
+)
+
+func TestBuildDefaults(t *testing.T) {
+	s := ProblemSpec{MaxSources: 10}
+	p, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxSources != 10 || p.Theta != 0.65 || p.Beta != 2 {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+	if p.Optimizer != nil {
+		t.Error("optimizer should default to nil (tabu)")
+	}
+	if _, ok := p.Characteristics["mttf"]; !ok {
+		t.Error("paper default characteristics should survive an empty spec")
+	}
+}
+
+func TestBuildFull(t *testing.T) {
+	raw := `{
+		"maxSources": 8,
+		"theta": 0.8,
+		"beta": 3,
+		"constraints": {"sources": [1,2], "gas": [[{"source":1,"attr":0},{"source":2,"attr":0}]], "exclude": [9]},
+		"weights": {"match": 0.5, "card": 0.3, "coverage": 0.1, "redundancy": 0.05, "latency": 0.05},
+		"characteristics": {"latency": "min"},
+		"optimizer": "greedy",
+		"seed": 7,
+		"maxEvals": 1234,
+		"initialSources": [1,2,3]
+	}`
+	var s ProblemSpec
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxSources != 8 || p.Theta != 0.8 || p.Beta != 3 || p.Seed != 7 || p.MaxEvals != 1234 {
+		t.Errorf("scalars wrong: %+v", p)
+	}
+	if len(p.Constraints.Sources) != 2 || len(p.Constraints.GAs) != 1 || len(p.Constraints.Exclude) != 1 {
+		t.Errorf("constraints wrong: %+v", p.Constraints)
+	}
+	if !p.Constraints.GAs[0].Valid() {
+		t.Error("GA constraint did not round-trip as valid")
+	}
+	if p.Optimizer == nil || p.Optimizer.Name() != "greedy" {
+		t.Error("optimizer not resolved")
+	}
+	if len(p.Characteristics) != 1 || p.Characteristics["latency"].Name() != "min" {
+		t.Errorf("characteristics wrong: %v", p.Characteristics)
+	}
+	if p.Weights["match"] != 0.5 {
+		t.Errorf("weights wrong: %v", p.Weights)
+	}
+	if len(p.InitialSources) != 3 {
+		t.Errorf("initial sources wrong: %v", p.InitialSources)
+	}
+}
+
+func TestBuildWeightsDropDefaultCharacteristics(t *testing.T) {
+	s := ProblemSpec{
+		MaxSources: 5,
+		Weights:    map[string]float64{"match": 0.4, "card": 0.3, "coverage": 0.2, "redundancy": 0.1},
+	}
+	p, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Characteristics) != 0 {
+		t.Errorf("unweighted default characteristics should be dropped: %v", p.Characteristics)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := []ProblemSpec{
+		{MaxSources: 0},
+		{MaxSources: 5, Optimizer: "genetic"},
+		{MaxSources: 5, Characteristics: map[string]string{"mttf": "median"}},
+	}
+	for i, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestRenderAndSolveRoundTrip(t *testing.T) {
+	cfg := synth.QuickConfig(30)
+	u, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ProblemSpec{MaxSources: 6, MaxEvals: 800, Seed: 3}
+	p, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := e.Solve(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Render(u, sol)
+	if doc.Quality != sol.Quality || doc.Feasible != sol.Feasible {
+		t.Error("doc scalars wrong")
+	}
+	if len(doc.Sources) != len(sol.Sources) {
+		t.Errorf("doc has %d sources for %d chosen", len(doc.Sources), len(sol.Sources))
+	}
+	for i, sd := range doc.Sources {
+		if sd.Name != u.Source(sol.Sources[i]).Name {
+			t.Errorf("source %d name mismatch", i)
+		}
+	}
+	if len(doc.Schema) != len(sol.Schema.GAs) {
+		t.Errorf("doc has %d GAs for %d in schema", len(doc.Schema), len(sol.Schema.GAs))
+	}
+	for i, ga := range doc.Schema {
+		for j, a := range ga.Attributes {
+			ref := sol.Schema.GAs[i][j]
+			if a.Name != u.AttrName(ref) || a.Source != ref.Source {
+				t.Errorf("GA %d attr %d resolved wrong", i, j)
+			}
+		}
+	}
+	// The document is valid JSON and round-trips.
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SolutionDoc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Quality != doc.Quality || len(back.Schema) != len(doc.Schema) {
+		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestRenderInfeasible(t *testing.T) {
+	u := &model.Universe{Sources: []model.Source{
+		{ID: 0, Name: "a", Attributes: []string{"x"}, Cardinality: 1},
+	}}
+	e, err := engine.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := engine.DefaultProblem()
+	p.MaxSources = 1
+	p.Characteristics = nil
+	p.Weights = map[string]float64{"match": 0.5, "card": 0.2, "coverage": 0.2, "redundancy": 0.1}
+	p.Constraints.Sources = []int{0} // source 0's attr matches nothing
+	p.MaxEvals = 50
+	sol, err := e.Solve(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Render(u, sol)
+	if doc.Feasible {
+		t.Error("single unmatched source with C={0} should be infeasible")
+	}
+	if len(doc.Schema) != 0 {
+		t.Errorf("infeasible doc should have no schema, got %d GAs", len(doc.Schema))
+	}
+}

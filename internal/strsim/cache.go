@@ -1,0 +1,108 @@
+package strsim
+
+import "sync"
+
+// Cache memoizes pairwise similarity scores between interned attribute
+// names. Synthetic and real schema corpora repeat the same handful of names
+// across hundreds of sources, and the µBE search loop re-clusters candidate
+// source sets thousands of times, so caching per unique name pair turns the
+// dominant cost of clustering into a map lookup.
+//
+// A Cache is safe for concurrent use.
+type Cache struct {
+	measure Measure
+
+	mu    sync.RWMutex
+	ids   map[string]int // normalized name -> intern ID
+	names []string       // intern ID -> normalized name
+	pairs map[pairKey]float64
+}
+
+type pairKey struct{ lo, hi int }
+
+// NewCache returns a Cache wrapping the given measure. A nil measure means
+// Default().
+func NewCache(m Measure) *Cache {
+	if m == nil {
+		m = Default()
+	}
+	return &Cache{
+		measure: m,
+		ids:     make(map[string]int),
+		pairs:   make(map[pairKey]float64),
+	}
+}
+
+// Measure returns the underlying measure.
+func (c *Cache) Measure() Measure { return c.measure }
+
+// Intern returns a stable small integer ID for the normalized form of name.
+// Two names with the same normalized form share an ID.
+func (c *Cache) Intern(name string) int {
+	n := Normalize(name)
+	c.mu.RLock()
+	id, ok := c.ids[n]
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.ids[n]; ok {
+		return id
+	}
+	id = len(c.names)
+	c.ids[n] = id
+	c.names = append(c.names, n)
+	return id
+}
+
+// NameOf returns the normalized name for an intern ID. It panics on an ID
+// that was never returned by Intern, which always indicates a programming
+// error in the caller.
+func (c *Cache) NameOf(id int) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.names[id]
+}
+
+// Len reports how many distinct normalized names have been interned.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.names)
+}
+
+// Score returns the similarity between two interned names, computing and
+// caching it on first use. Identical IDs score 1 without consulting the
+// measure (every Measure must satisfy Score(a,a)==1 for non-empty a, and
+// clustering never needs self-similarity of the empty name).
+func (c *Cache) Score(a, b int) float64 {
+	if a == b {
+		return 1
+	}
+	k := pairKey{a, b}
+	if a > b {
+		k = pairKey{b, a}
+	}
+	c.mu.RLock()
+	s, ok := c.pairs[k]
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	c.mu.RLock()
+	na, nb := c.names[a], c.names[b]
+	c.mu.RUnlock()
+	s = c.measure.Score(na, nb)
+	c.mu.Lock()
+	c.pairs[k] = s
+	c.mu.Unlock()
+	return s
+}
+
+// ScoreNames is a convenience that interns both names and returns their
+// cached similarity.
+func (c *Cache) ScoreNames(a, b string) float64 {
+	return c.Score(c.Intern(a), c.Intern(b))
+}

@@ -1,0 +1,52 @@
+package strsim
+
+import "testing"
+
+// FuzzNormalize checks that normalization is idempotent and produces only
+// lowercase alphanumerics and single spaces.
+func FuzzNormalize(f *testing.F) {
+	f.Add("Author Name")
+	f.Add("  ___--  ")
+	f.Add("Prénom")
+	f.Add("ISBN#13")
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Normalize(s)
+		if Normalize(n) != n {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, n, Normalize(n))
+		}
+		for i, r := range n {
+			if r == ' ' {
+				if i == 0 || i == len(n)-1 {
+					t.Fatalf("leading/trailing space in %q", n)
+				}
+				continue
+			}
+		}
+	})
+}
+
+// FuzzMeasures checks the Measure contract on arbitrary inputs for every
+// shipped measure: symmetry, range, self-similarity.
+func FuzzMeasures(f *testing.F) {
+	f.Add("title", "book title")
+	f.Add("", "x")
+	f.Add("a b c", "c b a")
+	measures := []Measure{
+		NewNGramJaccard(3), NewNGramDice(3), TokenJaccard{},
+		TokenCosine{}, LevenshteinRatio{}, JaroWinkler{}, Exact{},
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		for _, m := range measures {
+			s1, s2 := m.Score(a, b), m.Score(b, a)
+			if s1 != s2 {
+				t.Fatalf("%s: asymmetric on (%q,%q): %v vs %v", m.Name(), a, b, s1, s2)
+			}
+			if s1 < 0 || s1 > 1 {
+				t.Fatalf("%s: out of range on (%q,%q): %v", m.Name(), a, b, s1)
+			}
+			if Normalize(a) != "" && m.Score(a, a) != 1 {
+				t.Fatalf("%s: self-similarity of %q is %v", m.Name(), a, m.Score(a, a))
+			}
+		}
+	})
+}

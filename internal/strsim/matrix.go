@@ -1,0 +1,94 @@
+package strsim
+
+// A Scorer scores similarity between two interned attribute names. Cache
+// implements Scorer with lazy memoization; Matrix implements it with a
+// precomputed dense table for the hot clustering loop.
+type Scorer interface {
+	Score(a, b int) float64
+}
+
+// Matrix is a dense, read-only table of pairwise similarities between all
+// names interned in a Cache at build time. Lookups are lock-free array
+// reads, which matters because the search loop re-clusters candidate
+// source sets thousands of times. Scores are stored as float32: schema
+// similarity coefficients are ratios of small integers and lose nothing
+// that matters to a θ comparison at that precision.
+type Matrix struct {
+	n    int
+	vals []float32
+}
+
+// BuildMatrix computes the full similarity matrix over every name interned
+// so far. Names interned after the build are unknown to the matrix and
+// make Score panic, so callers must intern the complete vocabulary first —
+// the engine interns every attribute name of the universe before building.
+func (c *Cache) BuildMatrix() *Matrix {
+	c.mu.RLock()
+	names := append([]string(nil), c.names...)
+	c.mu.RUnlock()
+	n := len(names)
+	m := &Matrix{n: n, vals: make([]float32, n*n)}
+
+	// Precompute gram sets once per name when the measure is gram-based;
+	// other measures fall back to direct scoring.
+	score := func(i, j int) float64 { return c.measure.Score(names[i], names[j]) }
+	var gramN int
+	var setScore func(a, b map[string]struct{}) float64
+	switch meas := c.measure.(type) {
+	case *NGramJaccard:
+		gramN, setScore = meas.n, Jaccard[string]
+	case *NGramDice:
+		gramN, setScore = meas.n, Dice[string]
+	}
+	if setScore != nil {
+		grams := make([]map[string]struct{}, n)
+		for i, name := range names {
+			grams[i] = NGrams(name, gramN)
+		}
+		score = func(i, j int) float64 { return setScore(grams[i], grams[j]) }
+	}
+
+	for i := 0; i < n; i++ {
+		m.vals[i*n+i] = 1
+		for j := i + 1; j < n; j++ {
+			s := float32(score(i, j))
+			m.vals[i*n+j] = s
+			m.vals[j*n+i] = s
+		}
+	}
+	return m
+}
+
+// Len reports the number of names the matrix covers.
+func (m *Matrix) Len() int { return m.n }
+
+// Score implements Scorer. Both IDs must have been interned before the
+// matrix was built.
+func (m *Matrix) Score(a, b int) float64 {
+	if a >= m.n || b >= m.n || a < 0 || b < 0 {
+		panic("strsim: Matrix.Score on a name interned after BuildMatrix")
+	}
+	return float64(m.vals[a*m.n+b])
+}
+
+// SizeBytes reports the memory footprint of the score table.
+func (m *Matrix) SizeBytes() int { return 4 * len(m.vals) }
+
+// Neighbors returns, for every name ID, the ascending list of name IDs
+// (including itself) whose similarity is at least theta. Clustering uses
+// this index to enumerate only the cluster pairs that can possibly merge,
+// instead of scoring all Θ(k²) pairs every round.
+func (m *Matrix) Neighbors(theta float64) [][]int {
+	out := make([][]int, m.n)
+	for i := 0; i < m.n; i++ {
+		row := m.vals[i*m.n : (i+1)*m.n]
+		var nbr []int
+		for j, s := range row {
+			if float64(s) >= theta {
+				nbr = append(nbr, j)
+			}
+		}
+		out[i] = nbr
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Author Name", "author name"},
+		{"author_name", "author name"},
+		{"AUTHOR-NAME", "author name"},
+		{"  keyword  ", "keyword"},
+		{"Pub. Date", "pub date"},
+		{"ISBN#", "isbn"},
+		{"", ""},
+		{"---", ""},
+		{"Prénom", "prénom"},
+		{"a  b\tc", "a b c"},
+		{"search for:", "search for"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	g := NGrams("title", 3)
+	want := []string{"tit", "itl", "tle"}
+	if len(g) != len(want) {
+		t.Fatalf("NGrams(title,3) has %d grams, want %d: %v", len(g), len(want), g)
+	}
+	for _, w := range want {
+		if _, ok := g[w]; !ok {
+			t.Errorf("NGrams(title,3) missing gram %q", w)
+		}
+	}
+	// A name shorter than n is a single gram.
+	short := NGrams("ab", 3)
+	if len(short) != 1 {
+		t.Fatalf("NGrams(ab,3) = %v, want single whole-name gram", short)
+	}
+	if _, ok := short["ab"]; !ok {
+		t.Errorf("NGrams(ab,3) missing whole-name gram: %v", short)
+	}
+	if len(NGrams("", 3)) != 0 {
+		t.Error("NGrams of empty string should be empty")
+	}
+	if len(NGrams("!!!", 3)) != 0 {
+		t.Error("NGrams of punctuation-only string should be empty")
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	set := func(ks ...string) map[string]struct{} {
+		m := make(map[string]struct{})
+		for _, k := range ks {
+			m[k] = struct{}{}
+		}
+		return m
+	}
+	if got := Jaccard(set("a", "b"), set("b", "c")); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := Jaccard(set("a"), set("a")); got != 1 {
+		t.Errorf("Jaccard identical = %v, want 1", got)
+	}
+	if got := Jaccard(set("a"), set("b")); got != 0 {
+		t.Errorf("Jaccard disjoint = %v, want 0", got)
+	}
+	if got := Jaccard(set(), set()); got != 0 {
+		t.Errorf("Jaccard empty = %v, want 0", got)
+	}
+	if got := Dice(set("a", "b"), set("b", "c")); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Dice = %v, want 0.5", got)
+	}
+}
+
+// allMeasures returns every measure the package ships.
+func allMeasures() []Measure {
+	return []Measure{
+		NewNGramJaccard(3),
+		NewNGramJaccard(2),
+		NewNGramDice(3),
+		TokenJaccard{},
+		TokenCosine{},
+		LevenshteinRatio{},
+		JaroWinkler{},
+		Exact{},
+	}
+}
+
+func TestMeasureProperties(t *testing.T) {
+	for _, m := range allMeasures() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			// Symmetry, range, and self-similarity on random strings.
+			sym := func(a, b string) bool {
+				s1, s2 := m.Score(a, b), m.Score(b, a)
+				if s1 != s2 {
+					return false
+				}
+				if s1 < 0 || s1 > 1 {
+					return false
+				}
+				if Normalize(a) != "" && m.Score(a, a) != 1 {
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(sym, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestPaperExamples(t *testing.T) {
+	m := Default()
+	// "keyword" vs "keywords" should comfortably clear the paper's default
+	// threshold θ = 0.65: near-identical names must match.
+	if s := m.Score("keyword", "keywords"); s < 0.65 {
+		t.Errorf("keyword/keywords = %v, want >= 0.65", s)
+	}
+	// Identical names modulo normalization score exactly 1.
+	if s := m.Score("Author Name", "author_name"); s != 1 {
+		t.Errorf("normalized-identical names = %v, want 1", s)
+	}
+	// Semantically equal but lexically distant names (the Figure 3 example:
+	// "F name" vs "Prenom") must NOT clear the threshold — that is exactly
+	// why GA constraints exist.
+	if s := m.Score("F name", "Prenom"); s >= 0.65 {
+		t.Errorf("F name/Prenom = %v, want < 0.65", s)
+	}
+	// Unrelated names score low.
+	if s := m.Score("price", "director"); s >= 0.3 {
+		t.Errorf("price/director = %v, want < 0.3", s)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"book", "back", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	// Edit distance satisfies the triangle inequality.
+	tri := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCache(t *testing.T) {
+	c := NewCache(nil)
+	a := c.Intern("Author")
+	b := c.Intern("author") // same normalized form
+	if a != b {
+		t.Errorf("Intern should unify normalized-equal names: %d vs %d", a, b)
+	}
+	k := c.Intern("keyword")
+	if k == a {
+		t.Error("distinct names must get distinct IDs")
+	}
+	if got := c.NameOf(k); got != "keyword" {
+		t.Errorf("NameOf = %q", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	direct := Default().Score("author", "keyword")
+	if got := c.Score(a, k); got != direct {
+		t.Errorf("cached Score = %v, direct = %v", got, direct)
+	}
+	// Second call must hit the cache and return the identical value.
+	if got := c.Score(k, a); got != direct {
+		t.Errorf("cached symmetric Score = %v, want %v", got, direct)
+	}
+	if got := c.Score(a, a); got != 1 {
+		t.Errorf("self Score = %v, want 1", got)
+	}
+	if got := c.ScoreNames("Keyword", "keyword"); got != 1 {
+		t.Errorf("ScoreNames normalized-equal = %v, want 1", got)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(nil)
+	names := []string{"title", "author", "isbn", "keyword", "price", "format"}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				a := names[i%len(names)]
+				b := names[(i+1)%len(names)]
+				s := c.ScoreNames(a, b)
+				if s < 0 || s > 1 {
+					t.Errorf("score out of range: %v", s)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestMeasureNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range allMeasures() {
+		n := m.Name()
+		if n == "" {
+			t.Error("empty measure name")
+		}
+		// 3- and 2-gram Jaccard share a name; that's fine, but the
+		// remaining measures must be distinct.
+		seen[n] = true
+	}
+	if len(seen) < 7 {
+		t.Errorf("expected at least 7 distinct measure names, got %d", len(seen))
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	m := JaroWinkler{}
+	// Classic reference pair: martha/marhta ≈ 0.961.
+	if got := m.Score("martha", "marhta"); math.Abs(got-0.9611) > 0.001 {
+		t.Errorf("martha/marhta = %v, want ≈0.961", got)
+	}
+	// Shared prefixes boost: "keyword"/"keywords" is very high.
+	if got := m.Score("keyword", "keywords"); got < 0.9 {
+		t.Errorf("keyword/keywords = %v, want ≥ 0.9", got)
+	}
+	if got := m.Score("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint strings = %v, want 0", got)
+	}
+}
+
+func TestTokenCosineKnownValues(t *testing.T) {
+	m := TokenCosine{}
+	// Reordered tokens score 1 on cosine over token counts... "date of
+	// publication" vs "publication date": shared {date, publication} of
+	// norms √3·√2 → 2/√6 ≈ 0.816.
+	if got := m.Score("date of publication", "publication date"); math.Abs(got-2/math.Sqrt(6)) > 1e-9 {
+		t.Errorf("reordered tokens = %v, want ≈0.816", got)
+	}
+	if got := m.Score("title", "title"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := m.Score("title", "price"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}

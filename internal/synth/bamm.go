@@ -1,0 +1,210 @@
+// Package synth generates the synthetic workload of the paper's
+// experimental setup (§7.1): 700 data-source descriptions whose schemas are
+// based on the 50 Books-domain schemas of the BAMM repository, with data
+// drawn from a 4,000,000-tuple pool split into General and Specialty
+// halves, Zipf-distributed cardinalities between 10,000 and 1,000,000
+// tuples, and a normally distributed mean-time-to-failure characteristic.
+//
+// The BAMM repository (the UIUC Web-integration repository) is no longer
+// distributed, so this package substitutes a generated repository with the
+// two properties the experiments depend on: exactly 14 distinct concepts —
+// the number the paper counts by hand in the BAMM Books schemas — and
+// per-concept attribute-name variants that range from trivially matchable
+// (identical names across sources) to unmatchable at θ = 0.65 (synonyms
+// with no lexical overlap), so that concept recall grows with the number
+// of selected sources as in Table 1. See DESIGN.md for the substitution
+// rationale.
+package synth
+
+import (
+	"math/rand"
+)
+
+// NumConcepts is the number of distinct concepts in the Books repository,
+// matching the paper's hand count of 14.
+const NumConcepts = 14
+
+// JunkConcept is the pseudo-concept ID assigned to attributes injected by
+// perturbation from the unrelated-word list. Junk attributes belong to no
+// true GA.
+const JunkConcept = -1
+
+// concept describes one Books-domain concept: its canonical name for
+// reporting, how often it appears in a base schema, and its name variants.
+// The first variant is the dominant spelling; clusterable variants share
+// enough 3-grams with it to clear θ = 0.65, distant variants are synonyms
+// that only a GA constraint can bridge.
+type concept struct {
+	name     string
+	freq     float64 // probability a base schema exposes this concept
+	variants []string
+	// weights bias variant choice toward the dominant spelling; same
+	// length as variants.
+	weights []float64
+}
+
+// concepts is the ground-truth concept table. Frequencies are tiered so
+// that core bibliographic concepts appear in almost every source while
+// niche ones are rare — the property that makes Table 1's true-GA count
+// grow with the number of sources selected.
+var concepts = [NumConcepts]concept{
+	{
+		name: "title", freq: 0.95,
+		variants: []string{"title", "titles", "book title", "title keyword"},
+		weights:  []float64{0.6, 0.15, 0.15, 0.1},
+	},
+	{
+		name: "author", freq: 0.9,
+		variants: []string{"author", "authors", "author name", "writer"},
+		weights:  []float64{0.55, 0.2, 0.15, 0.1},
+	},
+	{
+		name: "keyword", freq: 0.8,
+		variants: []string{"keyword", "keywords", "keyword search", "search term"},
+		weights:  []float64{0.5, 0.25, 0.15, 0.1},
+	},
+	{
+		name: "isbn", freq: 0.7,
+		variants: []string{"isbn", "isbn number", "isbn code"},
+		weights:  []float64{0.7, 0.2, 0.1},
+	},
+	{
+		name: "subject", freq: 0.6,
+		variants: []string{"subject", "subjects", "subject area", "category", "genre"},
+		weights:  []float64{0.4, 0.2, 0.1, 0.2, 0.1},
+	},
+	{
+		name: "price", freq: 0.55,
+		variants: []string{"price", "prices", "price range", "max price"},
+		weights:  []float64{0.5, 0.2, 0.2, 0.1},
+	},
+	{
+		name: "publisher", freq: 0.5,
+		variants: []string{"publisher", "publishers", "publisher name"},
+		weights:  []float64{0.6, 0.2, 0.2},
+	},
+	{
+		name: "format", freq: 0.4,
+		variants: []string{"format", "formats", "book format", "binding"},
+		weights:  []float64{0.5, 0.2, 0.15, 0.15},
+	},
+	{
+		name: "pubdate", freq: 0.4,
+		variants: []string{"publication date", "publication year", "pub date", "year"},
+		weights:  []float64{0.4, 0.25, 0.2, 0.15},
+	},
+	{
+		name: "edition", freq: 0.3,
+		variants: []string{"edition", "editions", "edition number"},
+		weights:  []float64{0.6, 0.2, 0.2},
+	},
+	{
+		name: "language", freq: 0.25,
+		variants: []string{"language", "languages", "book language"},
+		weights:  []float64{0.6, 0.2, 0.2},
+	},
+	{
+		name: "condition", freq: 0.2,
+		variants: []string{"condition", "book condition", "used or new"},
+		weights:  []float64{0.5, 0.3, 0.2},
+	},
+	{
+		name: "seller", freq: 0.15,
+		variants: []string{"seller", "sellers", "seller name", "bookstore"},
+		weights:  []float64{0.5, 0.2, 0.2, 0.1},
+	},
+	{
+		name: "age", freq: 0.1,
+		variants: []string{"age range", "age ranges", "reader age"},
+		weights:  []float64{0.5, 0.25, 0.25},
+	},
+}
+
+// ConceptNames returns the canonical names of the 14 concepts, indexed by
+// concept ID.
+func ConceptNames() []string {
+	out := make([]string, NumConcepts)
+	for i, c := range concepts {
+		out[i] = c.name
+	}
+	return out
+}
+
+// conceptByVariant maps every variant spelling to its concept ID.
+var conceptByVariant = func() map[string]int {
+	m := make(map[string]int)
+	for id, c := range concepts {
+		for _, v := range c.variants {
+			m[v] = id
+		}
+	}
+	return m
+}()
+
+// ConceptOfName returns the concept ID of an attribute name, or
+// JunkConcept for names outside the repository vocabulary.
+func ConceptOfName(name string) int {
+	if id, ok := conceptByVariant[name]; ok {
+		return id
+	}
+	return JunkConcept
+}
+
+// junkWords is the list of words unrelated to the Books domain used by the
+// perturbation step (§7.1: "a list of words unrelated to the Books
+// domain"). The list is large and lexically diverse so accidental 3-gram
+// matches between junk attributes are rare.
+var junkWords = []string{
+	"voltage", "humidity", "altitude", "protein", "gearbox", "nebula",
+	"quartz", "tundra", "sodium", "lagoon", "piston", "meridian",
+	"glacier", "enzyme", "torque", "osmosis", "pendulum", "vortex",
+	"capacitor", "equator", "fjord", "hydrogen", "isotope", "jaguar",
+	"kelvin", "lumen", "magma", "neutron", "obsidian", "plasma",
+	"quasar", "ridgeline", "stamen", "thermostat", "uranium", "velocity",
+	"watt", "xylem", "yacht", "zeppelin", "asphalt", "barometer",
+	"cyclone", "dynamo", "estuary", "fulcrum", "geyser", "harmonic",
+	"impedance", "jetstream", "krypton", "latitude", "monsoon", "nozzle",
+	"orbital", "photon", "quarry", "reactor", "sextant", "turbine",
+	"umbra", "viscosity", "wavelength", "xenon", "yttrium", "zodiac",
+	"aquifer", "biome", "cantilever", "delta wing", "epoch", "filament",
+	"gimbal", "horizon", "inertia", "joule", "keel", "lichen",
+	"mantle", "nimbus", "ozone", "pylon", "quill", "rotor",
+}
+
+// pickVariant draws a variant of concept id using its weights.
+func pickVariant(id int, rng *rand.Rand) string {
+	c := &concepts[id]
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range c.weights {
+		acc += w
+		if x < acc {
+			return c.variants[i]
+		}
+	}
+	return c.variants[len(c.variants)-1]
+}
+
+// baseSchemas generates the 50-schema Books repository. The generation is
+// deterministic (fixed internal seed): every call returns the same
+// repository, playing the role of the static BAMM snapshot. Each schema
+// exposes a concept with its tier probability and at least two concepts
+// overall (a query interface with fewer is not a useful source).
+func baseSchemas() [][]string {
+	const repoSeed = 0xBA33 // fixed: the repository is a static artifact
+	rng := rand.New(rand.NewSource(repoSeed))
+	schemas := make([][]string, 0, 50)
+	for len(schemas) < 50 {
+		var attrs []string
+		for id := range concepts {
+			if rng.Float64() < concepts[id].freq {
+				attrs = append(attrs, pickVariant(id, rng))
+			}
+		}
+		if len(attrs) < 2 {
+			continue
+		}
+		schemas = append(schemas, attrs)
+	}
+	return schemas
+}

@@ -1,0 +1,87 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ube/internal/model"
+)
+
+// SourceConstraints draws k source constraints the way the paper's
+// experiments do (§7.2): random sources whose schemas are fully conformant
+// to one of the original base schemas (unperturbed copies).
+func SourceConstraints(truth *Truth, k int, limit int, rng *rand.Rand) ([]int, error) {
+	var pool []int
+	for _, id := range truth.Unperturbed {
+		if id < limit {
+			pool = append(pool, id)
+		}
+	}
+	if len(pool) < k {
+		return nil, fmt.Errorf("synth: only %d unperturbed sources below %d, need %d", len(pool), limit, k)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	out := append([]int(nil), pool[:k]...)
+	return out, nil
+}
+
+// GAConstraints draws k GA constraints the way the paper's experiments do
+// (§7.2): each GA has up to maxAttrs attributes that represent accurate
+// matchings — attributes of the same ground-truth concept taken from
+// distinct sources in the allowed list. The GAs use distinct concepts so
+// they are pairwise disjoint. Passing the source-constraint set as allowed
+// keeps the GA constraints from implying sources beyond C.
+func GAConstraints(u *model.Universe, truth *Truth, k, maxAttrs int, allowed []int, rng *rand.Rand) ([]model.GA, error) {
+	ok := make(map[int]bool, len(allowed))
+	for _, id := range allowed {
+		ok[id] = true
+	}
+	// Group attribute refs by concept, one ref per source per concept.
+	byConcept := make(map[int][]model.AttrRef)
+	seen := make(map[[2]int]bool) // (concept, source) pairs already taken
+	for ref, c := range truth.ConceptOf {
+		if c == JunkConcept || !ok[ref.Source] {
+			continue
+		}
+		key := [2]int{c, ref.Source}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		byConcept[c] = append(byConcept[c], ref)
+	}
+	// Deterministic concept order, then shuffle.
+	var ids []int
+	for c := 0; c < NumConcepts; c++ {
+		if len(byConcept[c]) >= 2 {
+			ids = append(ids, c)
+		}
+	}
+	if len(ids) < k {
+		return nil, fmt.Errorf("synth: only %d concepts span ≥2 allowed sources, need %d", len(ids), k)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+
+	gas := make([]model.GA, 0, k)
+	for _, c := range ids[:k] {
+		refs := byConcept[c]
+		// Canonical order before shuffling: map iteration order above
+		// is random, which would break run-to-run determinism.
+		sortRefs(refs)
+		rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+		n := maxAttrs
+		if n > len(refs) {
+			n = len(refs)
+		}
+		gas = append(gas, model.NewGA(refs[:n]...))
+	}
+	return gas, nil
+}
+
+func sortRefs(refs []model.AttrRef) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].Less(refs[j-1]); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ube/internal/model"
+	"ube/internal/pcsa"
+)
+
+// Config parameterizes workload generation. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness: schemas, cardinalities, tuples and
+	// characteristics are pure functions of (Config, source ID).
+	Seed int64
+	// NumSources is the universe size (the paper generates 700 and
+	// experiments on prefixes of 100–700).
+	NumSources int
+
+	// MinCard and MaxCard bound per-source cardinalities; §7.1 uses
+	// 10,000 to 1,000,000 under a Zipf distribution.
+	MinCard, MaxCard int64
+	// ZipfS is the Zipf skew exponent (> 1).
+	ZipfS float64
+
+	// PoolSize is the number of distinct tuples in existence; §7.1 uses
+	// 4,000,000, half General and half Specialty.
+	PoolSize int
+	// SpecialtyShare is the fraction of a specialty source's tuples
+	// drawn from the Specialty half ("a small number of tuples from the
+	// Specialty pool", §7.1). Even-indexed sources are General-only;
+	// odd-indexed sources are specialty sources.
+	SpecialtyShare float64
+
+	// MTTFMean and MTTFStd parameterize the mean-time-to-failure
+	// characteristic; §7.1 uses a normal distribution with mean 100
+	// days and standard deviation 40, truncated at zero.
+	MTTFMean, MTTFStd float64
+
+	// PerturbRemove and PerturbReplace are the per-attribute
+	// probabilities of the §7.1 schema perturbations; PerturbAddMax is
+	// the maximum number of junk attributes added per schema.
+	PerturbRemove, PerturbReplace float64
+	PerturbAddMax                 int
+
+	// SketchMaps and SketchSeed parameterize the PCSA signatures all
+	// sources share. WithSignatures false skips data generation
+	// entirely (every source is uncooperative) — useful for tests that
+	// only exercise matching.
+	SketchMaps     int
+	SketchSeed     uint64
+	WithSignatures bool
+
+	// Workers bounds the goroutines used for signature generation
+	// (0 means GOMAXPROCS). Schemas, cardinalities and characteristics
+	// are always derived sequentially so results are identical at any
+	// parallelism; only the per-source tuple streams — independent by
+	// construction — fan out.
+	Workers int
+
+	// WithAttrSignatures additionally gives every attribute a PCSA
+	// signature over its value set, enabling the data-based similarity
+	// measure (internal/datasim). Attributes of the same ground-truth
+	// concept draw AttrValues values from a shared per-concept pool of
+	// ValuePool values, so their value overlap is high; different
+	// concepts use disjoint pools.
+	WithAttrSignatures bool
+	AttrValues         int
+	ValuePool          int
+}
+
+// DefaultConfig returns the paper-scale configuration of §7.1.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		NumSources:     700,
+		MinCard:        10_000,
+		MaxCard:        1_000_000,
+		ZipfS:          1.4,
+		PoolSize:       4_000_000,
+		SpecialtyShare: 0.05,
+		MTTFMean:       100,
+		MTTFStd:        40,
+		PerturbRemove:  0.1,
+		PerturbReplace: 0.1,
+		PerturbAddMax:  2,
+		SketchMaps:     pcsa.DefaultMaps,
+		SketchSeed:     0x5EED,
+		WithSignatures: true,
+		AttrValues:     1050,
+		ValuePool:      1200,
+	}
+}
+
+// QuickConfig returns a configuration scaled down ~10–100× for smoke runs
+// and tests: small cardinalities and pool, few sources.
+func QuickConfig(numSources int) Config {
+	c := DefaultConfig()
+	c.NumSources = numSources
+	c.MinCard = 1_000
+	c.MaxCard = 20_000
+	c.PoolSize = 100_000
+	return c
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSources < 1:
+		return fmt.Errorf("synth: NumSources = %d", c.NumSources)
+	case c.MinCard < 1 || c.MaxCard < c.MinCard:
+		return fmt.Errorf("synth: bad cardinality range [%d,%d]", c.MinCard, c.MaxCard)
+	case c.PoolSize < 2:
+		return fmt.Errorf("synth: PoolSize = %d", c.PoolSize)
+	case int64(c.PoolSize)/2 < c.MaxCard:
+		return fmt.Errorf("synth: MaxCard %d exceeds half the pool (%d); sources could not be filled with distinct tuples", c.MaxCard, c.PoolSize/2)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("synth: ZipfS must exceed 1, got %v", c.ZipfS)
+	case c.SpecialtyShare < 0 || c.SpecialtyShare > 1:
+		return fmt.Errorf("synth: SpecialtyShare = %v", c.SpecialtyShare)
+	case c.PerturbRemove < 0 || c.PerturbRemove > 1 || c.PerturbReplace < 0 || c.PerturbReplace > 1:
+		return fmt.Errorf("synth: perturbation probabilities out of range")
+	case c.PerturbAddMax < 0:
+		return fmt.Errorf("synth: PerturbAddMax = %d", c.PerturbAddMax)
+	case (c.WithSignatures || c.WithAttrSignatures) && c.SketchMaps < 1:
+		return fmt.Errorf("synth: SketchMaps = %d", c.SketchMaps)
+	case c.WithAttrSignatures && (c.AttrValues < 1 || c.ValuePool <= c.AttrValues):
+		return fmt.Errorf("synth: need 0 < AttrValues (%d) < ValuePool (%d)", c.AttrValues, c.ValuePool)
+	}
+	return nil
+}
+
+// Truth is the generation-time ground truth the evaluation needs (§7.3):
+// which concept every attribute expresses and which sources are exact
+// (unperturbed) copies of a base schema.
+type Truth struct {
+	// ConceptOf maps every attribute to a concept ID in [0,NumConcepts)
+	// or JunkConcept.
+	ConceptOf map[model.AttrRef]int
+	// ConceptNames are the canonical concept names by ID.
+	ConceptNames []string
+	// Unperturbed lists the source IDs whose schema is a verbatim base
+	// schema — the paper draws its source constraints from these
+	// ("random sources with schemas that are fully conformant to one of
+	// the original BAMM schemas").
+	Unperturbed []int
+}
+
+// Generate builds the universe and its ground truth.
+func Generate(cfg Config) (*model.Universe, *Truth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bases := baseSchemas()
+	u := &model.Universe{Sources: make([]model.Source, 0, cfg.NumSources)}
+	truth := &Truth{
+		ConceptOf:    make(map[model.AttrRef]int),
+		ConceptNames: ConceptNames(),
+	}
+
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64((cfg.MaxCard-cfg.MinCard)/1000))
+
+	for id := 0; id < cfg.NumSources; id++ {
+		var attrs []string
+		base := id % len(bases)
+		if id < len(bases) {
+			// The first 50 sources are the verbatim repository.
+			attrs = append(attrs, bases[base]...)
+			truth.Unperturbed = append(truth.Unperturbed, id)
+		} else {
+			attrs = perturb(bases[base], cfg, rng)
+		}
+		for a, name := range attrs {
+			truth.ConceptOf[model.AttrRef{Source: id, Attr: a}] = ConceptOfName(name)
+		}
+
+		card := cfg.MinCard + int64(zipf.Uint64())*1000
+		if card > cfg.MaxCard {
+			card = cfg.MaxCard
+		}
+		mttf := rng.NormFloat64()*cfg.MTTFStd + cfg.MTTFMean
+		if mttf < 1 {
+			mttf = 1
+		}
+		src := model.Source{
+			ID:              id,
+			Name:            fmt.Sprintf("books-src-%03d", id),
+			Attributes:      attrs,
+			Cardinality:     card,
+			Characteristics: map[string]float64{"mttf": mttf},
+		}
+		u.Sources = append(u.Sources, src)
+	}
+
+	if cfg.WithSignatures || cfg.WithAttrSignatures {
+		buildSignatures(cfg, u)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("synth: generated universe invalid: %w", err)
+	}
+	return u, truth, nil
+}
+
+// buildSignatures computes tuple and attribute-value signatures for every
+// source. Each source's streams are pure functions of (seed, source ID),
+// so the work fans out across workers with identical results at any
+// parallelism.
+func buildSignatures(cfg Config, u *model.Universe) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > u.N() {
+		workers = u.N()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch *pcsa.DenseSet
+			if cfg.WithSignatures {
+				scratch = pcsa.NewDenseSet(cfg.PoolSize)
+			}
+			for {
+				id := int(next.Add(1)) - 1
+				if id >= u.N() {
+					return
+				}
+				src := &u.Sources[id]
+				if cfg.WithSignatures {
+					sig := pcsa.MustNew(cfg.SketchMaps, cfg.SketchSeed)
+					scratch.Reset()
+					streamInto(cfg, id, src.Cardinality, scratch, func(t int) { sig.AddUint64(uint64(t)) })
+					src.Signature = sig
+				}
+				if cfg.WithAttrSignatures {
+					src.AttrSignatures = make([]*pcsa.Sketch, len(src.Attributes))
+					for a, name := range src.Attributes {
+						src.AttrSignatures[a] = attrSignature(cfg, id, a, name)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// perturb applies the §7.1 schema perturbations to a base schema: remove
+// attributes, replace attributes with junk words, and add junk words,
+// while keeping at least one attribute.
+func perturb(base []string, cfg Config, rng *rand.Rand) []string {
+	attrs := make([]string, 0, len(base)+cfg.PerturbAddMax)
+	for _, a := range base {
+		switch x := rng.Float64(); {
+		case x < cfg.PerturbRemove:
+			// removed
+		case x < cfg.PerturbRemove+cfg.PerturbReplace:
+			attrs = append(attrs, junkWords[rng.Intn(len(junkWords))])
+		default:
+			attrs = append(attrs, a)
+		}
+	}
+	if cfg.PerturbAddMax > 0 {
+		for i := rng.Intn(cfg.PerturbAddMax + 1); i > 0; i-- {
+			attrs = append(attrs, junkWords[rng.Intn(len(junkWords))])
+		}
+	}
+	if len(attrs) == 0 {
+		attrs = append(attrs, base[rng.Intn(len(base))])
+	}
+	return dedupe(attrs)
+}
+
+// dedupe removes duplicate names within one schema; a relational query
+// interface does not expose the same label twice.
+func dedupe(attrs []string) []string {
+	seen := make(map[string]bool, len(attrs))
+	out := attrs[:0]
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IsSpecialty reports whether source id draws part of its data from the
+// Specialty pool (§7.1 gives specialty data to half the sources).
+func IsSpecialty(id int) bool { return id%2 == 1 }
+
+// attrValueSeed decorrelates attribute-value sketches from tuple
+// signatures so the two hash families are independent.
+const attrValueSeed = 0xA77A
+
+// valueRegion returns the value-pool index an attribute name draws from:
+// one pool per concept, one per junk word. Attributes of the same concept
+// share a pool, which is what gives them overlapping value sets.
+func valueRegion(name string) int {
+	if c := ConceptOfName(name); c != JunkConcept {
+		return c
+	}
+	for i, w := range junkWords {
+		if w == name {
+			return NumConcepts + i
+		}
+	}
+	// Names outside the repository vocabulary (hand-built universes)
+	// get a pool of their own, keyed by a stable string hash.
+	h := 0
+	for _, r := range name {
+		h = h*131 + int(r)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return NumConcepts + len(junkWords) + h%1024
+}
+
+// attrSignature builds the value signature for one attribute: AttrValues
+// distinct values drawn from the attribute's concept pool, deterministic
+// in (seed, source, attr).
+func attrSignature(cfg Config, sourceID, attr int, name string) *pcsa.Sketch {
+	sig := pcsa.MustNew(cfg.SketchMaps, cfg.SketchSeed^attrValueSeed)
+	stride := uint64(sourceID+1)*0x9E3779B97F4A7C15 + uint64(attr+1)*0xC2B2AE3D27D4EB4F
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(stride)))
+	base := valueRegion(name) * cfg.ValuePool
+	seen := make(map[int]struct{}, cfg.AttrValues)
+	for len(seen) < cfg.AttrValues {
+		v := base + rng.Intn(cfg.ValuePool)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		sig.AddUint64(uint64(v))
+	}
+	return sig
+}
+
+// StreamTuples replays source id's exact tuple stream — card distinct
+// tuple IDs in [0, PoolSize) — into fn. The stream is a pure function of
+// (cfg.Seed, id, card), which is how exact ground-truth counting works
+// without ever materializing tuples: re-stream into a DenseSet.
+func StreamTuples(cfg Config, id int, card int64, fn func(tupleID int)) {
+	seen := pcsa.NewDenseSet(cfg.PoolSize)
+	streamInto(cfg, id, card, seen, fn)
+}
+
+// streamInto is StreamTuples with a caller-provided (reset) scratch set,
+// letting Generate reuse one allocation across hundreds of sources.
+func streamInto(cfg Config, id int, card int64, seen *pcsa.DenseSet, fn func(tupleID int)) {
+	perSource := uint64(id+1) * 0x9E3779B97F4A7C15 // golden-ratio stride
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(perSource)))
+	general := cfg.PoolSize / 2
+	specialty := cfg.PoolSize - general
+
+	nSpecial := int64(0)
+	if IsSpecialty(id) {
+		nSpecial = int64(float64(card) * cfg.SpecialtyShare)
+	}
+	emit := func(lo, span int, want int64) {
+		for got := int64(0); got < want; {
+			t := lo + rng.Intn(span)
+			if seen.Has(t) {
+				continue
+			}
+			seen.Add(t)
+			fn(t)
+			got++
+		}
+	}
+	emit(general, specialty, nSpecial)
+	emit(0, general, card-nSpecial)
+}

@@ -1,0 +1,585 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ube/internal/model"
+	"ube/internal/pcsa"
+)
+
+func TestBaseSchemas(t *testing.T) {
+	schemas := baseSchemas()
+	if len(schemas) != 50 {
+		t.Fatalf("repository has %d schemas, want 50", len(schemas))
+	}
+	conceptsSeen := map[int]bool{}
+	for i, s := range schemas {
+		if len(s) < 2 {
+			t.Errorf("schema %d has %d attributes, want ≥2", i, len(s))
+		}
+		names := map[string]bool{}
+		for _, a := range s {
+			if names[a] {
+				t.Errorf("schema %d repeats attribute %q", i, a)
+			}
+			names[a] = true
+			c := ConceptOfName(a)
+			if c == JunkConcept {
+				t.Errorf("schema %d contains non-repository name %q", i, a)
+			}
+			conceptsSeen[c] = true
+		}
+	}
+	// All 14 concepts must be expressed somewhere in the repository —
+	// the paper counts exactly 14 distinct concepts in its 50 schemas.
+	if len(conceptsSeen) != NumConcepts {
+		t.Errorf("repository expresses %d concepts, want %d", len(conceptsSeen), NumConcepts)
+	}
+	// The repository is a static artifact: identical on every call.
+	again := baseSchemas()
+	for i := range schemas {
+		if len(schemas[i]) != len(again[i]) {
+			t.Fatalf("repository not deterministic at schema %d", i)
+		}
+		for j := range schemas[i] {
+			if schemas[i][j] != again[i][j] {
+				t.Fatalf("repository not deterministic at schema %d attr %d", i, j)
+			}
+		}
+	}
+}
+
+func TestConceptTable(t *testing.T) {
+	names := ConceptNames()
+	if len(names) != NumConcepts {
+		t.Fatalf("%d concept names", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate concept name %q", n)
+		}
+		seen[n] = true
+	}
+	// Weights of each concept sum to ~1 and variants are unique globally.
+	variantSeen := map[string]bool{}
+	for id, c := range concepts {
+		if len(c.variants) != len(c.weights) {
+			t.Errorf("concept %s: %d variants, %d weights", c.name, len(c.variants), len(c.weights))
+		}
+		sum := 0.0
+		for _, w := range c.weights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("concept %s: weights sum to %v", c.name, sum)
+		}
+		for _, v := range c.variants {
+			if variantSeen[v] {
+				t.Errorf("variant %q appears under two concepts", v)
+			}
+			variantSeen[v] = true
+			if ConceptOfName(v) != id {
+				t.Errorf("ConceptOfName(%q) = %d, want %d", v, ConceptOfName(v), id)
+			}
+		}
+	}
+	if ConceptOfName("voltage") != JunkConcept {
+		t.Error("junk word mapped to a concept")
+	}
+	// Junk words must not collide with repository vocabulary.
+	for _, j := range junkWords {
+		if variantSeen[j] {
+			t.Errorf("junk word %q is also a concept variant", j)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := QuickConfig(20)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("QuickConfig invalid: %v", err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := QuickConfig(20)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.NumSources = 0 }),
+		mut(func(c *Config) { c.MinCard = 0 }),
+		mut(func(c *Config) { c.MaxCard = c.MinCard - 1 }),
+		mut(func(c *Config) { c.PoolSize = 1 }),
+		mut(func(c *Config) { c.MaxCard = int64(c.PoolSize) }),
+		mut(func(c *Config) { c.ZipfS = 1.0 }),
+		mut(func(c *Config) { c.SpecialtyShare = 1.5 }),
+		mut(func(c *Config) { c.PerturbRemove = -0.1 }),
+		mut(func(c *Config) { c.PerturbAddMax = -1 }),
+		mut(func(c *Config) { c.SketchMaps = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	// SketchMaps is irrelevant without signatures.
+	c := QuickConfig(20)
+	c.WithSignatures = false
+	c.SketchMaps = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("signature-free config rejected: %v", err)
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := QuickConfig(80)
+	u, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 80 {
+		t.Fatalf("N = %d", u.N())
+	}
+	// First 50 sources are verbatim base schemas.
+	if len(truth.Unperturbed) != 50 {
+		t.Errorf("%d unperturbed sources, want 50", len(truth.Unperturbed))
+	}
+	bases := baseSchemas()
+	for _, id := range truth.Unperturbed {
+		base := bases[id%len(bases)]
+		src := u.Source(id)
+		if len(src.Attributes) != len(base) {
+			t.Errorf("source %d not verbatim", id)
+		}
+	}
+	for i := range u.Sources {
+		s := &u.Sources[i]
+		if s.Cardinality < cfg.MinCard || s.Cardinality > cfg.MaxCard {
+			t.Errorf("source %d cardinality %d outside [%d,%d]", i, s.Cardinality, cfg.MinCard, cfg.MaxCard)
+		}
+		if s.Characteristics["mttf"] <= 0 {
+			t.Errorf("source %d mttf %v", i, s.Characteristics["mttf"])
+		}
+		if s.Signature == nil {
+			t.Errorf("source %d missing signature", i)
+		}
+		// Ground truth covers every attribute.
+		for a := range s.Attributes {
+			if _, ok := truth.ConceptOf[model.AttrRef{Source: i, Attr: a}]; !ok {
+				t.Errorf("attr %d/%d missing from ground truth", i, a)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := QuickConfig(30)
+	u1, t1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, t2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u1.Sources {
+		a, b := &u1.Sources[i], &u2.Sources[i]
+		if a.Cardinality != b.Cardinality || len(a.Attributes) != len(b.Attributes) {
+			t.Fatalf("source %d differs across runs", i)
+		}
+		if a.Signature.Estimate() != b.Signature.Estimate() {
+			t.Fatalf("source %d signature differs across runs", i)
+		}
+	}
+	if len(t1.ConceptOf) != len(t2.ConceptOf) {
+		t.Fatal("ground truth differs across runs")
+	}
+	// A different seed gives different cardinalities somewhere.
+	cfg2 := cfg
+	cfg2.Seed = 999
+	u3, _, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range u1.Sources {
+		if u1.Sources[i].Cardinality != u3.Sources[i].Cardinality {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cardinalities")
+	}
+}
+
+func TestSignatureMatchesStream(t *testing.T) {
+	// The signature produced by Generate must equal the signature of the
+	// replayed stream: StreamTuples is the ground-truth contract.
+	cfg := QuickConfig(10)
+	u, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 1, 7} {
+		src := u.Source(id)
+		sig := pcsa.MustNew(cfg.SketchMaps, cfg.SketchSeed)
+		n := int64(0)
+		StreamTuples(cfg, id, src.Cardinality, func(t int) {
+			sig.AddUint64(uint64(t))
+			n++
+		})
+		if n != src.Cardinality {
+			t.Errorf("source %d stream emitted %d tuples, want %d", id, n, src.Cardinality)
+		}
+		if sig.Estimate() != src.Signature.Estimate() {
+			t.Errorf("source %d replayed signature differs", id)
+		}
+	}
+}
+
+func TestStreamDistinctAndInRange(t *testing.T) {
+	cfg := QuickConfig(10)
+	seen := pcsa.NewDenseSet(cfg.PoolSize)
+	count := int64(0)
+	StreamTuples(cfg, 3, 5000, func(tid int) {
+		if tid < 0 || tid >= cfg.PoolSize {
+			t.Fatalf("tuple ID %d out of pool", tid)
+		}
+		count++
+	})
+	StreamTuples(cfg, 3, 5000, func(tid int) { seen.Add(tid) })
+	if count != 5000 || seen.Count() != 5000 {
+		t.Errorf("stream emitted %d tuples, %d distinct; want 5000/5000", count, seen.Count())
+	}
+}
+
+func TestSpecialtySplit(t *testing.T) {
+	cfg := QuickConfig(10)
+	general := cfg.PoolSize / 2
+	// Even source: all tuples from the General pool.
+	StreamTuples(cfg, 2, 3000, func(tid int) {
+		if tid >= general {
+			t.Fatalf("general-only source emitted specialty tuple %d", tid)
+		}
+	})
+	if IsSpecialty(2) || !IsSpecialty(3) {
+		t.Error("IsSpecialty parity wrong")
+	}
+	// Odd source: the configured share from the Specialty pool.
+	var spec, tot int64
+	StreamTuples(cfg, 3, 3000, func(tid int) {
+		tot++
+		if tid >= general {
+			spec++
+		}
+	})
+	want := int64(float64(3000) * cfg.SpecialtyShare)
+	if spec != want {
+		t.Errorf("specialty source drew %d specialty tuples, want %d", spec, want)
+	}
+}
+
+func TestCardinalityDistribution(t *testing.T) {
+	// Zipf skew: the majority of sources sit near MinCard, a few are
+	// large — the §7.1 shape.
+	cfg := QuickConfig(200)
+	u, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for i := range u.Sources {
+		c := u.Sources[i].Cardinality
+		if c < cfg.MinCard*3 {
+			small++
+		}
+		if c > cfg.MaxCard/2 {
+			large++
+		}
+	}
+	if small < 100 {
+		t.Errorf("only %d/200 sources are small; Zipf skew missing", small)
+	}
+	if large == 0 {
+		t.Log("no large sources in this draw (acceptable for Zipf, but unusual)")
+	}
+}
+
+func TestMTTFDistribution(t *testing.T) {
+	cfg := QuickConfig(300)
+	u, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := range u.Sources {
+		sum += u.Sources[i].Characteristics["mttf"]
+	}
+	mean := sum / float64(u.N())
+	if mean < 85 || mean > 115 {
+		t.Errorf("mttf sample mean %v too far from 100", mean)
+	}
+}
+
+func TestPerturbationProperties(t *testing.T) {
+	cfg := QuickConfig(300)
+	cfg.WithSignatures = false
+	u, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk, total := 0, 0
+	for ref, c := range truth.ConceptOf {
+		total++
+		if c == JunkConcept {
+			junk++
+			name := u.AttrName(ref)
+			if ConceptOfName(name) != JunkConcept {
+				t.Errorf("truth says junk but %q is a concept variant", name)
+			}
+		}
+	}
+	if junk == 0 {
+		t.Error("perturbation produced no junk attributes at all")
+	}
+	if frac := float64(junk) / float64(total); frac > 0.5 {
+		t.Errorf("junk fraction %v too high; perturbation should retain domain character", frac)
+	}
+	// Perturbed sources exist and keep at least one attribute.
+	for i := 50; i < u.N(); i++ {
+		if len(u.Sources[i].Attributes) == 0 {
+			t.Errorf("source %d lost all attributes", i)
+		}
+	}
+}
+
+func TestSourceConstraintsHelper(t *testing.T) {
+	cfg := QuickConfig(100)
+	cfg.WithSignatures = false
+	_, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	cs, err := SourceConstraints(truth, 5, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 5 {
+		t.Fatalf("%d constraints", len(cs))
+	}
+	unpert := map[int]bool{}
+	for _, id := range truth.Unperturbed {
+		unpert[id] = true
+	}
+	seen := map[int]bool{}
+	for _, id := range cs {
+		if !unpert[id] {
+			t.Errorf("constraint %d is not an unperturbed source", id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate constraint %d", id)
+		}
+		seen[id] = true
+	}
+	// Limit respected.
+	cs2, err := SourceConstraints(truth, 3, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range cs2 {
+		if id >= 10 {
+			t.Errorf("constraint %d beyond limit", id)
+		}
+	}
+	// Impossible request errors.
+	if _, err := SourceConstraints(truth, 20, 10, rng); err == nil {
+		t.Error("over-demanding constraint request should fail")
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestGAConstraintsHelper(t *testing.T) {
+	cfg := QuickConfig(100)
+	cfg.WithSignatures = false
+	u, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	gas, err := GAConstraints(u, truth, 2, 5, seqInts(100), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gas) != 2 {
+		t.Fatalf("%d GA constraints", len(gas))
+	}
+	partial := model.MediatedSchema{GAs: gas}
+	if !partial.Valid() {
+		t.Fatal("GA constraints must form a valid partial schema")
+	}
+	for _, g := range gas {
+		if len(g) < 2 || len(g) > 5 {
+			t.Errorf("GA size %d outside [2,5]", len(g))
+		}
+		// All attributes of one GA share a concept (accurate matching).
+		c0 := truth.ConceptOf[g[0]]
+		for _, r := range g {
+			if truth.ConceptOf[r] != c0 {
+				t.Errorf("GA mixes concepts %d and %d", c0, truth.ConceptOf[r])
+			}
+		}
+	}
+	// Distinct concepts across GAs.
+	if truth.ConceptOf[gas[0][0]] == truth.ConceptOf[gas[1][0]] {
+		t.Error("GA constraints share a concept")
+	}
+	// Over-demanding request errors.
+	if _, err := GAConstraints(u, truth, NumConcepts+1, 5, seqInts(100), rng); err == nil {
+		t.Error("too many GA constraints should fail")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cfg := QuickConfig(10)
+	cfg.NumSources = 0
+	if _, _, err := Generate(cfg); err == nil {
+		t.Error("invalid config should fail Generate")
+	}
+}
+
+func TestAttrSignatures(t *testing.T) {
+	cfg := QuickConfig(30)
+	cfg.WithSignatures = false
+	cfg.WithAttrSignatures = true
+	u, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range u.Sources {
+		s := &u.Sources[i]
+		if len(s.AttrSignatures) != len(s.Attributes) {
+			t.Fatalf("source %d: %d attr signatures for %d attributes", i, len(s.AttrSignatures), len(s.Attributes))
+		}
+		for a, sig := range s.AttrSignatures {
+			est := sig.Estimate()
+			if est < float64(cfg.AttrValues)*0.7 || est > float64(cfg.AttrValues)*1.3 {
+				t.Errorf("source %d attr %d: estimate %.0f far from %d values", i, a, est, cfg.AttrValues)
+			}
+		}
+	}
+	// Same-concept attributes overlap heavily; different concepts do not.
+	type ref struct{ s, a int }
+	byConcept := map[int]ref{}
+	var sameJ, diffJ float64
+	sameN, diffN := 0, 0
+	for r, c := range truth.ConceptOf {
+		if c == JunkConcept {
+			continue
+		}
+		if prev, ok := byConcept[c]; ok {
+			j := estJaccard(u.Sources[prev.s].AttrSignatures[prev.a], u.Sources[r.Source].AttrSignatures[r.Attr])
+			sameJ += j
+			sameN++
+		} else {
+			byConcept[c] = ref{r.Source, r.Attr}
+		}
+	}
+	refs := make([]ref, 0, len(byConcept))
+	for _, r := range byConcept {
+		refs = append(refs, r)
+	}
+	for i := 0; i < len(refs); i++ {
+		for j := i + 1; j < len(refs); j++ {
+			diffJ += estJaccard(u.Sources[refs[i].s].AttrSignatures[refs[i].a], u.Sources[refs[j].s].AttrSignatures[refs[j].a])
+			diffN++
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Fatal("degenerate draw")
+	}
+	sameJ /= float64(sameN)
+	diffJ /= float64(diffN)
+	if sameJ < 0.6 {
+		t.Errorf("same-concept mean value overlap %.2f, want ≥ 0.6", sameJ)
+	}
+	if diffJ > 0.1 {
+		t.Errorf("cross-concept mean value overlap %.2f, want ≈ 0", diffJ)
+	}
+
+	// Determinism.
+	u2, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Sources[3].AttrSignatures[0].Estimate() != u2.Sources[3].AttrSignatures[0].Estimate() {
+		t.Error("attr signatures not deterministic")
+	}
+}
+
+func estJaccard(a, b *pcsa.Sketch) float64 {
+	u, err := pcsa.Union(a, b)
+	if err != nil {
+		panic(err)
+	}
+	uu := u.Estimate()
+	if uu <= 0 {
+		return 0
+	}
+	inter := a.Estimate() + b.Estimate() - uu
+	if inter < 0 {
+		inter = 0
+	}
+	return inter / uu
+}
+
+func TestAttrSignatureConfigValidation(t *testing.T) {
+	cfg := QuickConfig(10)
+	cfg.WithAttrSignatures = true
+	cfg.AttrValues = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("AttrValues=0 accepted")
+	}
+	cfg = QuickConfig(10)
+	cfg.WithAttrSignatures = true
+	cfg.AttrValues = cfg.ValuePool
+	if err := cfg.Validate(); err == nil {
+		t.Error("AttrValues == ValuePool accepted")
+	}
+}
+
+func TestParallelGenerationIdentical(t *testing.T) {
+	cfg := QuickConfig(40)
+	cfg.Workers = 1
+	seq, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Sources {
+		a, b := &seq.Sources[i], &par.Sources[i]
+		if a.Cardinality != b.Cardinality {
+			t.Fatalf("source %d cardinality differs across parallelism", i)
+		}
+		if a.Signature.Estimate() != b.Signature.Estimate() {
+			t.Fatalf("source %d signature differs across parallelism", i)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package ube is a from-scratch Go implementation of µBE ("Matching By
+// Example"), the user-guided source selection and schema mediation system
+// for Internet-scale data integration of Aboulnaga & El Gebaly (ICDE 2007).
+//
+// Given a universe of hundreds or thousands of data-source descriptions —
+// each a relational schema, a reported cardinality, an optional PCSA hash
+// signature of its data, and non-functional characteristics like mean time
+// to failure — µBE simultaneously chooses which sources to integrate and
+// what mediated schema to use over them. The choice maximizes a weighted
+// sum of quality evaluation functions (schema matching quality, data
+// cardinality, coverage, redundancy, and user-defined source
+// characteristics) subject to user constraints, and is solved with tabu
+// search over the space of source subsets.
+//
+// The intended workflow is iterative: solve, inspect the solution, pin the
+// sources and global attributes (GAs) you like as constraints, reweight
+// the quality dimensions, and solve again. Session implements that loop.
+//
+// A minimal use:
+//
+//	u := &ube.Universe{Sources: []ube.Source{...}}
+//	eng, err := ube.NewEngine(u)
+//	if err != nil { ... }
+//	prob := ube.DefaultProblem()
+//	prob.MaxSources = 10
+//	sol, err := eng.Solve(&prob)
+//
+// The synthetic workload generator of the paper's evaluation lives in
+// Generate/DefaultWorkload; the examples/ directory shows complete
+// programs.
+package ube
+
+import (
+	"io"
+
+	"ube/internal/compound"
+	"ube/internal/datasim"
+	"ube/internal/diq"
+	"ube/internal/discovery"
+	"ube/internal/engine"
+	"ube/internal/eval"
+	"ube/internal/model"
+	"ube/internal/pcsa"
+	"ube/internal/qef"
+	"ube/internal/schemaio"
+	"ube/internal/search"
+	"ube/internal/strsim"
+	"ube/internal/synth"
+)
+
+// Data model (paper §2). See the internal/model package for full docs.
+type (
+	// Source is one data source: schema, cardinality, signature,
+	// characteristics.
+	Source = model.Source
+	// Universe is the set of all candidate sources.
+	Universe = model.Universe
+	// AttrRef names one attribute of one source.
+	AttrRef = model.AttrRef
+	// GA (Global Attribute) is a set of matching attributes from
+	// different sources — one attribute of the mediated schema.
+	GA = model.GA
+	// MediatedSchema is a set of disjoint GAs.
+	MediatedSchema = model.MediatedSchema
+	// Constraints carries source constraints, GA constraints and
+	// exclusions.
+	Constraints = model.Constraints
+	// SourceSet is a set of source IDs.
+	SourceSet = model.SourceSet
+)
+
+// NewGA builds a canonical GA from attribute references.
+func NewGA(refs ...AttrRef) GA { return model.NewGA(refs...) }
+
+// NewSourceSet returns an empty source set over IDs [0, n).
+func NewSourceSet(n int) *SourceSet { return model.NewSourceSet(n) }
+
+// Engine, problems, solutions and sessions (paper §2.5, §6).
+type (
+	// Engine solves µBE problems over one universe.
+	Engine = engine.Engine
+	// Problem is one iteration's optimization problem.
+	Problem = engine.Problem
+	// Solution is a solved iteration.
+	Solution = engine.Solution
+	// Session is the iterative user-feedback loop.
+	Session = engine.Session
+	// Iteration is one history entry of a Session.
+	Iteration = engine.Iteration
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+)
+
+// MatchQEFName is the QEF name under which the matching quality F1 is
+// weighted and reported.
+const MatchQEFName = engine.MatchQEFName
+
+// NewEngine builds an engine over a universe.
+func NewEngine(u *Universe, opts ...EngineOption) (*Engine, error) {
+	return engine.New(u, opts...)
+}
+
+// NewSession starts an iterative session from an initial problem.
+func NewSession(e *Engine, initial Problem) *Session {
+	return engine.NewSession(e, initial)
+}
+
+// DefaultProblem returns the paper's experimental defaults: m=20, θ=0.65,
+// β=2, weights 0.25/0.25/0.2/0.15/0.15 over match, card, coverage,
+// redundancy and wsum-aggregated MTTF.
+func DefaultProblem() Problem { return engine.DefaultProblem() }
+
+// WithMeasure overrides the attribute-name similarity measure.
+func WithMeasure(m SimilarityMeasure) EngineOption { return engine.WithMeasure(m) }
+
+// Quality evaluation functions (paper §2.3, §4, §5).
+type (
+	// Weights maps QEF names to their relative importance (sum 1).
+	Weights = qef.Weights
+	// QEF is one quality dimension.
+	QEF = qef.QEF
+	// QEFContext is the evaluation context passed to QEFs.
+	QEFContext = qef.Context
+	// Aggregator folds a source characteristic over a set into [0,1].
+	Aggregator = qef.Aggregator
+)
+
+// Predefined characteristic aggregators (§5).
+type (
+	// WSum is the paper's cardinality-weighted sum aggregation.
+	WSum = qef.WSum
+	// MeanAgg is the unweighted normalized mean.
+	MeanAgg = qef.Mean
+	// MinAgg scores a set by its weakest member.
+	MinAgg = qef.Min
+	// MaxAgg scores a set by its strongest member.
+	MaxAgg = qef.Max
+)
+
+// AggregatorByName resolves "wsum", "mean", "min" or "max".
+func AggregatorByName(name string) (Aggregator, bool) { return qef.AggregatorByName(name) }
+
+// Optimizers (paper §6).
+type (
+	// Optimizer is a solver for the source-selection problem.
+	Optimizer = search.Optimizer
+)
+
+// OptimizerByName resolves "tabu", "sls", "anneal", "pso", "greedy" or
+// "exhaustive" with default parameters.
+func OptimizerByName(name string) (Optimizer, bool) { return search.ByName(name) }
+
+// NewTabu returns the default tabu-search optimizer.
+func NewTabu() Optimizer { return search.NewTabu() }
+
+// Similarity measures (paper §3).
+type (
+	// SimilarityMeasure scores attribute-name similarity in [0,1].
+	SimilarityMeasure = strsim.Measure
+)
+
+// DefaultMeasure returns the paper's measure: Jaccard over 3-grams.
+func DefaultMeasure() SimilarityMeasure { return strsim.Default() }
+
+// NewNGramJaccard returns an n-gram Jaccard measure.
+func NewNGramJaccard(n int) SimilarityMeasure { return strsim.NewNGramJaccard(n) }
+
+// PCSA signatures (paper §4). Sources that cooperate with µBE compute a
+// signature over their tuples once; µBE estimates union cardinalities by
+// ORing signatures.
+type (
+	// Signature is a PCSA distinct-count sketch.
+	Signature = pcsa.Sketch
+)
+
+// DefaultSignatureMaps is the default number of PCSA bitmaps (≈4.9%
+// standard error at 2 KiB per source).
+const DefaultSignatureMaps = pcsa.DefaultMaps
+
+// NewSignature creates an empty signature. All sources of a universe must
+// share nmaps and seed.
+func NewSignature(nmaps int, seed uint64) (*Signature, error) { return pcsa.New(nmaps, seed) }
+
+// Synthetic workload generation (paper §7.1) and ground-truth evaluation
+// (§7.3).
+type (
+	// WorkloadConfig parameterizes the synthetic Books workload.
+	WorkloadConfig = synth.Config
+	// Truth is the generation-time ground truth.
+	Truth = synth.Truth
+	// GAReport carries the Table 1 concept metrics for one solution.
+	GAReport = eval.Report
+)
+
+// DefaultWorkload returns the paper-scale workload configuration
+// (700 sources, 4M-tuple pool, Zipf 10k..1M cardinalities).
+func DefaultWorkload() WorkloadConfig { return synth.DefaultConfig() }
+
+// QuickWorkload returns a scaled-down workload for demos and tests.
+func QuickWorkload(numSources int) WorkloadConfig { return synth.QuickConfig(numSources) }
+
+// Generate builds a synthetic universe and its ground truth.
+func Generate(cfg WorkloadConfig) (*Universe, *Truth, error) { return synth.Generate(cfg) }
+
+// EvaluateGAs scores a solution's schema against the synthetic ground
+// truth, producing the paper's Table 1 metrics.
+func EvaluateGAs(truth *Truth, sources []int, schema *MediatedSchema) GAReport {
+	return eval.Evaluate(truth, sources, schema)
+}
+
+// NumConcepts is the number of ground-truth concepts in the synthetic
+// Books workload (the paper counts 14).
+const NumConcepts = synth.NumConcepts
+
+// ParseSchemas reads source descriptions in the textual format of the
+// paper's Figure 1 ("name: {attr, attr} | cardinality=N mttf=X") into a
+// universe. Sources loaded this way are uncooperative (no data signature)
+// until signatures are attached.
+func ParseSchemas(r io.Reader) (*Universe, error) { return schemaio.Parse(r) }
+
+// WriteSchemas renders a universe in the Figure 1 textual format, the
+// inverse of ParseSchemas. Signatures are not representable and are
+// dropped.
+func WriteSchemas(w io.Writer, u *Universe) error { return schemaio.Write(w, u) }
+
+// NewValueMeasure builds the data-based attribute similarity measure of
+// §3 from a universe whose sources export per-attribute value signatures
+// (Source.AttrSignatures): the score of two attribute names is the larger
+// of their name similarity (fallback; nil means the 3-gram default) and
+// the estimated Jaccard overlap of their value sets. Use it with
+// WithMeasure to let Match bridge lexically unrelated attributes that
+// store the same values.
+func NewValueMeasure(u *Universe, fallback SimilarityMeasure) (SimilarityMeasure, error) {
+	return datasim.New(u, fallback)
+}
+
+// Compound schema elements — the n:m matching extension of §2.1: declare
+// that several attributes of one source jointly express a single concept,
+// fuse them into one derived attribute, match 1:1 on the derived universe,
+// and expand the result back to n:m correspondences.
+type (
+	// Composite declares one compound element.
+	Composite = compound.Composite
+	// NMMapping expands derived matches back to original attributes.
+	NMMapping = compound.Mapping
+	// NMMatch is one expanded n:m correspondence.
+	NMMatch = compound.NMMatch
+)
+
+// ApplyComposites fuses the declared compound elements into a derived
+// universe on which the engine runs unchanged; the mapping expands the
+// resulting 1:1 GAs into n:m matches over the original attributes.
+func ApplyComposites(u *Universe, comps []Composite) (*Universe, *NMMapping, error) {
+	return compound.Apply(u, comps)
+}
+
+// Query execution over a solved data integration system (the runtime
+// costs §1 motivates: retrieve from sources, map to the mediated schema,
+// resolve duplicates).
+type (
+	// IntegrationSystem is a solved system ready for query execution.
+	IntegrationSystem = diq.System
+	// TupleProvider supplies one source's data at query time.
+	TupleProvider = diq.Provider
+	// MemProvider is an in-memory TupleProvider.
+	MemProvider = diq.MemProvider
+	// MediatedQuery is a selection query over the mediated schema.
+	MediatedQuery = diq.Query
+	// MediatedPred is an equality predicate on a mediated attribute.
+	MediatedPred = diq.Pred
+	// QueryResult is a query's rows, columns and execution stats.
+	QueryResult = diq.Result
+)
+
+// NewIntegrationSystem validates and indexes a solved system (typically
+// sol.Sources and sol.Schema) for query execution.
+func NewIntegrationSystem(u *Universe, sources []int, schema *MediatedSchema) (*IntegrationSystem, error) {
+	return diq.NewSystem(u, sources, schema)
+}
+
+// ExecuteQuery runs a mediated-schema query against the system using the
+// given per-source providers.
+func ExecuteQuery(sys *IntegrationSystem, providers map[int]TupleProvider, q MediatedQuery) (*QueryResult, error) {
+	return diq.Execute(sys, providers, q)
+}
+
+// SolutionDiff summarizes what changed between two solutions — the
+// between-iterations view the µBE UI gives the user.
+type SolutionDiff = engine.Diff
+
+// DiffSolutions compares two solutions of the same universe (old → new).
+func DiffSolutions(old, new *Solution) *SolutionDiff {
+	return engine.DiffSolutions(old, new)
+}
+
+// Source discovery (Figure 2: descriptions "can be obtained from a hidden
+// Web search engine or some other source discovery mechanism"). Index a
+// corpus of source descriptions, search by keyword, and materialize the
+// hits as a fresh universe for an Engine.
+type (
+	// DiscoveryIndex is a keyword index over source descriptions.
+	DiscoveryIndex = discovery.Index
+	// DiscoveryHit is one ranked search result.
+	DiscoveryHit = discovery.Hit
+)
+
+// NewDiscoveryIndex indexes a corpus of source descriptions.
+func NewDiscoveryIndex(u *Universe) (*DiscoveryIndex, error) { return discovery.NewIndex(u) }
+
+// MediatedAggQuery is a grouped distinct count over the mediated schema.
+type MediatedAggQuery = diq.AggQuery
+
+// MediatedGroupRow is one aggregation result group.
+type MediatedGroupRow = diq.GroupRow
+
+// ExecuteAggregateQuery runs a grouped distinct count ("how many titles
+// per author across the selected stores") against the system.
+func ExecuteAggregateQuery(sys *IntegrationSystem, providers map[int]TupleProvider, q MediatedAggQuery) ([]MediatedGroupRow, error) {
+	rows, _, err := diq.ExecuteAggregate(sys, providers, q)
+	return rows, err
+}

@@ -1,0 +1,221 @@
+// Facade tests: exercise the library exactly as a downstream user would,
+// through the public ube package only.
+package ube_test
+
+import (
+	"strings"
+	"testing"
+
+	"ube"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	// Describe a tiny universe by hand.
+	sig := func(lo, hi int) *ube.Signature {
+		s, err := ube.NewSignature(ube.DefaultSignatureMaps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := lo; i < hi; i++ {
+			s.AddTuple("isbn", string(rune('a'+i%26)), string(rune('0'+i%10)), string(rune('0'+(i/10)%10)), string(rune('0'+(i/100)%10)))
+		}
+		return s
+	}
+	u := &ube.Universe{Sources: []ube.Source{
+		{ID: 0, Name: "a", Attributes: []string{"title", "author"}, Cardinality: 500, Signature: sig(0, 500),
+			Characteristics: map[string]float64{"mttf": 100}},
+		{ID: 1, Name: "b", Attributes: []string{"title", "author"}, Cardinality: 400, Signature: sig(100, 500),
+			Characteristics: map[string]float64{"mttf": 150}},
+		{ID: 2, Name: "c", Attributes: []string{"titles", "writer"}, Cardinality: 300, Signature: sig(500, 800),
+			Characteristics: map[string]float64{"mttf": 80}},
+	}}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 2
+	sol, err := eng.Solve(&prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible || len(sol.Sources) == 0 || len(sol.Sources) > 2 {
+		t.Fatalf("solve failed: %+v", sol)
+	}
+	if sol.Schema == nil || !sol.Schema.Valid() {
+		t.Fatal("no valid schema")
+	}
+}
+
+func TestPublicSessionFlow(t *testing.T) {
+	u, truth, err := ube.Generate(ube.QuickWorkload(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 8
+	prob.MaxEvals = 800
+	sess := ube.NewSession(eng, prob)
+	sol, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table-1 style evaluation through the facade.
+	rep := ube.EvaluateGAs(truth, sol.Sources, sol.Schema)
+	if rep.FalseGAs != 0 {
+		t.Errorf("false GAs on the synthetic workload: %d", rep.FalseGAs)
+	}
+	if rep.TrueGAs == 0 || rep.TrueGAs > ube.NumConcepts {
+		t.Errorf("TrueGAs = %d", rep.TrueGAs)
+	}
+	// Feedback loop.
+	if err := sess.PinGAFromSolution(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.History()) != 2 {
+		t.Error("history wrong")
+	}
+}
+
+func TestPublicSchemaIO(t *testing.T) {
+	const fig1 = `a.example: {keyword, city} | cardinality=100
+b.example: {keyword, town}
+`
+	u, err := ube.ParseSchemas(strings.NewReader(fig1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 2 || u.Sources[0].Cardinality != 100 {
+		t.Fatalf("parse wrong: %+v", u.Sources)
+	}
+	var buf strings.Builder
+	if err := ube.WriteSchemas(&buf, u); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a.example: {keyword, city}") {
+		t.Errorf("write wrong:\n%s", buf.String())
+	}
+}
+
+func TestPublicComposites(t *testing.T) {
+	u := &ube.Universe{Sources: []ube.Source{
+		{ID: 0, Name: "split", Attributes: []string{"first name", "last name"}, Cardinality: 1},
+		{ID: 1, Name: "whole", Attributes: []string{"full name"}, Cardinality: 1},
+	}}
+	derived, mapping, err := ube.ApplyComposites(u, []ube.Composite{
+		{Source: 0, Attrs: []int{0, 1}, Name: "full name"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ube.NewEngine(derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 2
+	prob.Characteristics = nil
+	prob.Weights = ube.Weights{ube.MatchQEFName: 0.7, "card": 0.1, "coverage": 0.1, "redundancy": 0.1}
+	sol, err := eng.Solve(&prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Schema == nil || len(sol.Schema.GAs) != 1 {
+		t.Fatalf("derived match failed: %+v", sol.Schema)
+	}
+	nm := mapping.ExpandGA(sol.Schema.GAs[0])
+	total := 0
+	for _, grp := range nm.Groups {
+		total += len(grp)
+	}
+	if total != 3 {
+		t.Errorf("expanded n:m match covers %d original attributes, want 3", total)
+	}
+}
+
+func TestPublicValueMeasure(t *testing.T) {
+	cfg := ube.QuickWorkload(30)
+	cfg.WithSignatures = false
+	cfg.WithAttrSignatures = true
+	u, _, err := ube.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ube.NewValueMeasure(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ube.NewEngine(u, ube.WithMeasure(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := ube.DefaultProblem()
+	prob.MaxSources = 6
+	prob.MaxEvals = 500
+	if _, err := eng.Solve(&prob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicQueryExecution(t *testing.T) {
+	u := &ube.Universe{Sources: []ube.Source{
+		{ID: 0, Name: "a", Attributes: []string{"title", "price"}, Cardinality: 2},
+		{ID: 1, Name: "b", Attributes: []string{"title", "price"}, Cardinality: 2},
+	}}
+	schema := &ube.MediatedSchema{GAs: []ube.GA{
+		ube.NewGA(ube.AttrRef{Source: 0, Attr: 0}, ube.AttrRef{Source: 1, Attr: 0}),
+		ube.NewGA(ube.AttrRef{Source: 0, Attr: 1}, ube.AttrRef{Source: 1, Attr: 1}),
+	}}
+	sys, err := ube.NewIntegrationSystem(u, []int{0, 1}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	providers := map[int]ube.TupleProvider{
+		0: &ube.MemProvider{Rows: [][]string{{"x", "10"}, {"y", "20"}}},
+		1: &ube.MemProvider{Rows: [][]string{{"y", "20"}, {"z", "30"}}},
+	}
+	res, err := ube.ExecuteQuery(sys, providers, ube.MediatedQuery{Distinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Stats.DuplicatesRemoved != 1 {
+		t.Errorf("query result wrong: %+v", res)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if _, ok := ube.OptimizerByName("tabu"); !ok {
+		t.Error("tabu missing")
+	}
+	if ube.NewTabu().Name() != "tabu" {
+		t.Error("NewTabu wrong")
+	}
+	if _, ok := ube.AggregatorByName("wsum"); !ok {
+		t.Error("wsum missing")
+	}
+	if ube.DefaultMeasure().Score("title", "title") != 1 {
+		t.Error("default measure wrong")
+	}
+	if ube.NewNGramJaccard(2).Score("ab", "ab") != 1 {
+		t.Error("2-gram measure wrong")
+	}
+	s := ube.NewSourceSet(10)
+	s.Add(3)
+	if !s.Has(3) {
+		t.Error("source set wrong")
+	}
+	g := ube.NewGA(ube.AttrRef{Source: 0, Attr: 0}, ube.AttrRef{Source: 1, Attr: 0})
+	if !g.Valid() {
+		t.Error("GA helper wrong")
+	}
+}
