@@ -7,15 +7,19 @@
 //
 // Usage:
 //
-//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers] [-quick] [-evals 6000] [-seed 0]
+//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers|incremental] [-quick] [-evals 6000] [-seed 0]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -26,10 +30,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop")
-		quick = flag.Bool("quick", false, "scaled-down workload for smoke runs")
-		evals = flag.Int("evals", 0, "per-solve evaluation budget (0 = default)")
-		seed  = flag.Int64("seed", 0, "experiment seed offset")
+		exp        = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop, datasim, theta, incremental")
+		quick      = flag.Bool("quick", false, "scaled-down workload for smoke runs")
+		evals      = flag.Int("evals", 0, "per-solve evaluation budget (0 = default)")
+		seed       = flag.Int64("seed", 0, "experiment seed offset")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.BoolVar(&plotFigures, "plot", false, "draw ASCII charts for the figures")
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's rows as CSV into this directory")
@@ -40,37 +46,73 @@ func main() {
 		}
 	}
 
-	o := experiments.Options{Quick: *quick, MaxEvals: *evals, Seed: *seed}
-	runners := map[string]func(experiments.Options) error{
-		"fig5":    runFig5,
-		"fig6":    runFig6,
-		"fig7":    runFig7,
-		"fig8":    runFig8,
-		"tab1":    runTable1,
-		"pcsa":    runPCSA,
-		"perturb": runPerturb,
-		"solvers": runSolvers,
-		"uncoop":  runUncoop,
-		"datasim": runDataSim,
-		"theta":   runTheta,
-	}
-	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta"}
-
-	if *exp == "all" {
-		for _, name := range names {
-			if err := runners[name](o); err != nil {
-				fatal(err)
-			}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want %s or all)", *exp, strings.Join(names, ", ")))
+
+	o := experiments.Options{Quick: *quick, MaxEvals: *evals, Seed: *seed}
+	err := run(*exp, o)
+
+	// Flush profiles before reporting any experiment error, so a failed
+	// run still leaves a usable profile behind.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("wrote %s\n", *cpuprofile)
 	}
-	if err := run(o); err != nil {
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		runtime.GC() // materialize only live allocations in the profile
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fatal(ferr)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *memprofile)
+	}
+	if err != nil {
 		fatal(err)
 	}
+}
+
+// run dispatches one experiment (or all of them) under options o.
+func run(exp string, o experiments.Options) error {
+	runners := map[string]func(experiments.Options) error{
+		"fig5":        runFig5,
+		"fig6":        runFig6,
+		"fig7":        runFig7,
+		"fig8":        runFig8,
+		"tab1":        runTable1,
+		"pcsa":        runPCSA,
+		"perturb":     runPerturb,
+		"solvers":     runSolvers,
+		"uncoop":      runUncoop,
+		"datasim":     runDataSim,
+		"theta":       runTheta,
+		"incremental": runIncremental,
+	}
+	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta", "incremental"}
+
+	if exp == "all" {
+		for _, name := range names {
+			if err := runners[name](o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want %s or all)", exp, strings.Join(names, ", "))
+	}
+	return r(o)
 }
 
 // plotFigures draws ASCII charts after each figure's table when set;
@@ -391,6 +433,55 @@ func runTheta(o experiments.Options) error {
 	table("Matching threshold sensitivity: θ sweep around the paper's 0.65",
 		[]string{"theta", "true GAs", "attrs in true GAs", "missed", "false GAs", "Q(S)"}, out)
 	writeCSV("theta", []string{"theta", "true_gas", "attrs", "missed", "false", "quality"}, out)
+	return nil
+}
+
+// incrementalSnapshot is the BENCH_incremental.json schema: the run's
+// options plus the ablation rows, mirroring the table/CSV output.
+type incrementalSnapshot struct {
+	Experiment string                       `json:"experiment"`
+	Quick      bool                         `json:"quick"`
+	MaxEvals   int                          `json:"max_evals"`
+	Seed       int64                        `json:"seed"`
+	Rows       []experiments.IncrementalRow `json:"rows"`
+}
+
+func runIncremental(o experiments.Options) error {
+	rows, err := experiments.Incremental(o)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.M),
+			fmt.Sprintf("%.2fs", r.Seconds["legacy"]),
+			fmt.Sprintf("%.2fs", r.Seconds["incremental"]),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.4f", r.Quality["legacy"]),
+			fmt.Sprintf("%.4f", r.Quality["incremental"]),
+			fmt.Sprint(r.SameSources),
+		}
+	}
+	header := []string{"m", "legacy", "incremental", "speedup", "Q legacy", "Q incremental", "same sources"}
+	table("Incremental evaluation pipeline vs seed path (unconstrained Fig 6 cells)", header, out)
+	writeCSV("incremental", header, out)
+
+	snap := incrementalSnapshot{
+		Experiment: "incremental",
+		Quick:      o.Quick,
+		MaxEvals:   o.MaxEvals,
+		Seed:       o.Seed,
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_incremental.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_incremental.json")
 	return nil
 }
 

@@ -50,6 +50,30 @@ type Config struct {
 	// all Θ(k²) pairs each round. It must be built for the same
 	// vocabulary as Scores and the same (or lower) threshold.
 	Neighbors [][]int
+	// NameIDs optionally maps NameIDs[sourceID][attrIndex] to the
+	// interned name ID of that attribute, letting seed skip the
+	// per-call interning (a lock acquire + normalization per attribute
+	// per Match). The engine precomputes it once per universe. The IDs
+	// must come from Sim so that Scores and Neighbors line up.
+	NameIDs [][]int
+	// Scratch optionally supplies reusable working memory for Match.
+	// A Scratch must not be shared by concurrent Match calls; callers
+	// running parallel evaluations keep one per worker. Nil makes Match
+	// allocate fresh (correct, just slower — the clustering loop's
+	// allocation traffic is a large share of solve time otherwise).
+	Scratch *Scratch
+	// Seed optionally holds the universe-level precomputed round-1
+	// agenda (see BuildSeedPairs). When it applies to a call — same
+	// matrix and θ, no GA constraints, strictly ascending S — Match
+	// gathers the initial candidate pairs from it instead of
+	// enumerating, scoring and sorting them. Nil disables the fast path.
+	Seed *SeedPairs
+	// LegacyAgenda selects the seed implementation of the merge rounds
+	// (re-enumerate, re-score and fully sort all candidate pairs every
+	// round) instead of the heap agenda (see agenda.go). The two are
+	// byte-identical in output; the flag exists for differential tests
+	// and ablations.
+	LegacyAgenda bool
 }
 
 // Validate checks the configuration.
@@ -97,6 +121,18 @@ type workCluster struct {
 	names []int // sorted unique interned name IDs
 	keep  bool  // seeded by a GA constraint: never eliminated
 	grown bool  // created by a merge in some round
+
+	// Heap-agenda state (agenda.go). ord is a stable rank reproducing
+	// the legacy slice-position order; idx is the cluster's slot in the
+	// arena (so agenda entries can be pointer-free — a pointer-bearing
+	// entry type makes every sort swap and heap sift pay a GC write
+	// barrier, which dominates the profile); the rest is round status.
+	ord      int32
+	idx      int32
+	mergedIn int          // round this cluster was merged away in (0 = alive)
+	cand     bool         // merge candidate this round (survives elimination)
+	gone     bool         // eliminated
+	markBy   *workCluster // pair-enumeration dedup mark
 }
 
 // Match runs Algorithm 1 on the schemas of the sources in S under source
@@ -111,26 +147,71 @@ func Match(u *model.Universe, S []int, C []int, G []model.GA, cfg Config) Result
 	if cfg.Scores == nil {
 		cfg.Scores = cfg.Sim
 	}
-	clusters := seed(u, S, G, cfg.Sim)
-	clusters = run(clusters, cfg)
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	clusters := seed(u, S, G, cfg, sc)
+	if cfg.LegacyAgenda {
+		clusters = run(clusters, cfg)
+	} else {
+		var seedQ []agendaEntry
+		preGathered := seedCompatible(cfg.Seed, S, G, cfg)
+		if preGathered {
+			seedQ = gatherSeed(u, S, cfg.Seed, sc.queue[:0])
+		}
+		clusters = runAgenda(clusters, seedQ, preGathered, cfg, sc)
+	}
 	return assemble(clusters, C, G, cfg)
 }
 
 // seed builds the initial cluster list: one keep-cluster per GA constraint,
 // then one singleton per remaining attribute of every source in S
-// (Algorithm 1 lines 1–4).
-func seed(u *model.Universe, S []int, G []model.GA, sim *strsim.Cache) []*workCluster {
-	inConstraint := make(map[model.AttrRef]struct{})
-	clusters := make([]*workCluster, 0, len(G)+16)
-	for _, g := range G {
-		c := &workCluster{keep: true}
-		for _, r := range g {
-			c.attrs = append(c.attrs, r)
-			inConstraint[r] = struct{}{}
-			addSource(c, r.Source)
-			addName(c, sim.Intern(u.AttrName(r)))
+// (Algorithm 1 lines 1–4). Clusters and the singletons' tiny slices come
+// from the scratch slabs, sized here for the whole call: seeds plus one
+// slot per possible merge, so agenda-held pointers into the slab stay
+// valid without it ever reallocating mid-run.
+func seed(u *model.Universe, S []int, G []model.GA, cfg Config, sc *Scratch) []*workCluster {
+	intern := func(r model.AttrRef) int {
+		if cfg.NameIDs != nil {
+			return cfg.NameIDs[r.Source][r.Attr]
 		}
-		clusters = append(clusters, c)
+		return cfg.Sim.Intern(u.AttrName(r))
+	}
+
+	nSlots := 0
+	for _, id := range S {
+		nSlots += len(u.Source(id).Attributes)
+	}
+	seeds := len(G) + nSlots
+	if cap(sc.slab) < 2*seeds {
+		sc.slab = make([]workCluster, 0, 2*seeds+seeds/2)
+	}
+	sc.slab = sc.slab[:0]
+	if cap(sc.attrs) < nSlots {
+		sc.attrs = make([]model.AttrRef, 0, nSlots+nSlots/4)
+	}
+	sc.attrs = sc.attrs[:0]
+	if cap(sc.ints) < 2*nSlots {
+		sc.ints = make([]int, 0, 2*nSlots+nSlots/2)
+	}
+	sc.ints = sc.ints[:0]
+
+	clusters := sc.list[:0]
+	var inConstraint map[model.AttrRef]struct{}
+	if len(G) > 0 {
+		inConstraint = make(map[model.AttrRef]struct{})
+		for _, g := range G {
+			c := sc.newCluster()
+			c.keep = true
+			for _, r := range g {
+				c.attrs = append(c.attrs, r)
+				inConstraint[r] = struct{}{}
+				addSource(c, r.Source)
+				addName(c, intern(r))
+			}
+			clusters = append(clusters, c)
+		}
 	}
 	for _, id := range S {
 		src := u.Source(id)
@@ -139,14 +220,18 @@ func seed(u *model.Universe, S []int, G []model.GA, sim *strsim.Cache) []*workCl
 			if _, taken := inConstraint[r]; taken {
 				continue
 			}
-			c := &workCluster{
-				attrs: []model.AttrRef{r},
-				srcs:  []int{id},
-				names: []int{sim.Intern(src.Attributes[a])},
-			}
+			c := sc.newCluster()
+			na := len(sc.attrs)
+			sc.attrs = append(sc.attrs, r)
+			c.attrs = sc.attrs[na : na+1 : na+1]
+			ni := len(sc.ints)
+			sc.ints = append(sc.ints, id, intern(r))
+			c.srcs = sc.ints[ni : ni+1 : ni+1]
+			c.names = sc.ints[ni+1 : ni+2 : ni+2]
 			clusters = append(clusters, c)
 		}
 	}
+	sc.list = clusters
 	return clusters
 }
 
@@ -333,6 +418,46 @@ func disjointSources(a, b *workCluster) bool {
 	return true
 }
 
+// mergeInto fills c (slab-allocated) with the union of a and b, carving
+// the union's slices out of the scratch pools. Handed-out pool regions are
+// never written again — later appends extend past them (or move to a grown
+// backing array, leaving old regions intact) — so earlier unions stay
+// valid for the whole Match call.
+func mergeInto(c, a, b *workCluster, sc *Scratch) {
+	n := len(sc.attrs)
+	sc.attrs = append(append(sc.attrs, a.attrs...), b.attrs...)
+	c.attrs = sc.attrs[n:len(sc.attrs):len(sc.attrs)]
+	n = len(sc.ints)
+	sc.ints = appendMergedSorted(sc.ints, a.srcs, b.srcs)
+	c.srcs = sc.ints[n:len(sc.ints):len(sc.ints)]
+	n = len(sc.ints)
+	sc.ints = appendMergedSorted(sc.ints, a.names, b.names)
+	c.names = sc.ints[n:len(sc.ints):len(sc.ints)]
+	c.keep = a.keep || b.keep
+	c.grown = true
+}
+
+// appendMergedSorted appends the sorted union of two sorted int slices.
+func appendMergedSorted(out, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 // merge returns the union cluster of a and b.
 func merge(a, b *workCluster) *workCluster {
 	c := &workCluster{
@@ -443,9 +568,15 @@ func sortSchema(m *model.MediatedSchema, qual []float64, fromC []bool) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ga, gb := m.GAs[idx[a]], m.GAs[idx[b]]
-		return ga[0].Less(gb[0])
+	slices.SortFunc(idx, func(a, b int) int {
+		// Distinct GAs never share a first attribute (an attribute
+		// belongs to one cluster), so this is a strict total order and
+		// stability is moot.
+		ga, gb := m.GAs[a], m.GAs[b]
+		if ga[0].Less(gb[0]) {
+			return -1
+		}
+		return 1
 	})
 	gas := make([]model.GA, len(idx))
 	qs := make([]float64, len(idx))

@@ -1,0 +1,39 @@
+package cluster
+
+import "ube/internal/model"
+
+// Scratch is Match's reusable working memory. The clustering loop is run
+// thousands of times per solve on small, short-lived structures — seed
+// clusters, their singleton attr/source/name slices, the agenda buffers —
+// and allocating them fresh each call makes the allocator and GC a large
+// share of solve time. A Scratch keeps the backing arrays alive across
+// calls: sized once for the biggest Match seen, then reused with no
+// per-call allocation beyond the assembled Result (which must be fresh —
+// callers retain it).
+//
+// A Scratch must not be shared by concurrent Match calls. The engine keeps
+// one per evaluation worker.
+type Scratch struct {
+	slab  []workCluster   // every cluster of the current call
+	attrs []model.AttrRef // backing for singleton attr slices
+	ints  []int           // backing for singleton source/name slices
+
+	arena   []*workCluster   // agenda: cluster index -> cluster
+	list    []*workCluster   // the evolving cluster list
+	owners  [][]*workCluster // agenda: name ID -> clusters carrying it
+	queue   []agendaEntry    // agenda: carried pair run
+	pending []agendaEntry    // agenda: next round's carried run
+	fresh   []agendaEntry    // agenda: newborn pair run
+	spare   []agendaEntry    // agenda: radix ping-pong buffer
+}
+
+// newCluster hands out a zeroed cluster from the slab. seed() sizes the
+// slab for the worst case (every seed cluster plus one per possible
+// merge), so the slab never reallocates mid-run — pointers into it stay
+// valid for the whole Match call.
+func (s *Scratch) newCluster() *workCluster {
+	s.slab = s.slab[:len(s.slab)+1]
+	c := &s.slab[len(s.slab)-1]
+	*c = workCluster{}
+	return c
+}

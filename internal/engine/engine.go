@@ -103,13 +103,17 @@ type Solution struct {
 	Feasible bool
 	// Evals counts objective evaluations spent by the solver.
 	Evals int
+	// MatchCache reports the Match memo table's hit/miss/eviction counts
+	// during this solve (all zero when memoization is disabled).
+	MatchCache CacheStats
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
 }
 
 // Engine holds the per-universe state shared across iterations: the QEF
 // context (signature unions, characteristic ranges), the interned
-// similarity vocabulary and the Match memo table.
+// similarity vocabulary, the clustering fast-path indexes and the Match
+// memo table.
 type Engine struct {
 	u      *model.Universe
 	ctx    *qef.Context
@@ -117,17 +121,30 @@ type Engine struct {
 	scores strsim.Scorer
 	matrix *strsim.Matrix // nil when the vocabulary exceeds matrixLimit
 
+	// nameIDs maps (source, attribute index) to the interned name ID so
+	// the matcher skips per-call interning.
+	nameIDs [][]int
 	// neighborsByTheta caches the ≥θ name adjacency index per threshold.
 	neighborsByTheta map[float64][][]int
+	// seedByTheta caches the precomputed round-1 clustering agenda per
+	// threshold (see cluster.SeedPairs); entries may be nil when the
+	// universe doesn't qualify for the fast path.
+	seedByTheta map[float64]*cluster.SeedPairs
+	// scratch pools the matcher's reusable working memory; one Scratch
+	// per concurrent evaluation worker.
+	scratch sync.Pool
 
-	// matchMu guards matchCache; parallel solves evaluate candidates
-	// concurrently.
+	legacyEval bool // WithLegacyEvaluation: seed-equivalent slow paths
+
+	// matchMu guards matchCache and the cache statistics; parallel solves
+	// evaluate candidates concurrently.
 	matchMu    sync.Mutex
 	matchCache map[string]cachedMatch
 	// matchStamp identifies the clustering parameters (θ, β,
 	// constraints) the cached entries were computed under; a solve with
 	// different parameters invalidates the table.
 	matchStamp string
+	cacheStats CacheStats
 }
 
 type cachedMatch struct {
@@ -135,12 +152,23 @@ type cachedMatch struct {
 	valid   bool
 }
 
+// CacheStats counts Match memo table traffic. Hits and Misses cover the
+// lookups; Evictions counts entries dropped to keep the table bounded.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+}
+
+func (s CacheStats) sub(o CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Evictions: s.Evictions - o.Evictions}
+}
+
 // Option configures engine construction.
 type Option func(*options)
 
 type options struct {
-	measure strsim.Measure
-	noCache bool
+	measure    strsim.Measure
+	noCache    bool
+	legacyEval bool
 }
 
 // WithMeasure overrides the attribute similarity measure (default: the
@@ -153,6 +181,15 @@ func WithMeasure(m strsim.Measure) Option {
 // benchmarks that quantify what the cache buys.
 func WithoutMatchCache() Option {
 	return func(o *options) { o.noCache = true }
+}
+
+// WithLegacyEvaluation pins the engine to the original evaluation
+// pipeline — the sorted-slice clustering agenda, per-call interning, no
+// precomputed seed pairs, no scratch reuse and no incremental objective —
+// so benchmarks can quantify what the incremental pipeline buys. Results
+// are identical either way; only the time differs.
+func WithLegacyEvaluation() Option {
+	return func(o *options) { o.legacyEval = true }
 }
 
 // New builds an engine over a universe: validates it, interns every
@@ -168,17 +205,24 @@ func New(u *model.Universe, opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	sim := strsim.NewCache(o.measure)
+	nameIDs := make([][]int, len(u.Sources))
 	for i := range u.Sources {
-		for _, a := range u.Sources[i].Attributes {
-			sim.Intern(a)
+		attrs := u.Sources[i].Attributes
+		nameIDs[i] = make([]int, len(attrs))
+		for a, name := range attrs {
+			nameIDs[i][a] = sim.Intern(name)
 		}
 	}
 	e := &Engine{
 		u:                u,
 		ctx:              ctx,
 		sim:              sim,
+		nameIDs:          nameIDs,
 		neighborsByTheta: make(map[float64][][]int),
+		seedByTheta:      make(map[float64]*cluster.SeedPairs),
+		legacyEval:       o.legacyEval,
 	}
+	e.scratch.New = func() any { return &cluster.Scratch{} }
 	if !o.noCache {
 		e.matchCache = make(map[string]cachedMatch)
 	}
@@ -284,23 +328,48 @@ func (e *Engine) restampMatchCache(p *Problem) {
 // returns F1 and feasibility.
 func (e *Engine) matchQuality(S *model.SourceSet, cfg cluster.Config, C []int, G []model.GA) (float64, bool) {
 	if e.matchCache == nil {
-		res := cluster.Match(e.u, S.Elements(), C, G, cfg)
-		return res.Quality, res.Valid
+		return e.runMatch(S, cfg, C, G)
 	}
 	key := S.Key()
 	e.matchMu.Lock()
 	hit, ok := e.matchCache[key]
+	if ok {
+		e.cacheStats.Hits++
+	} else {
+		e.cacheStats.Misses++
+	}
 	e.matchMu.Unlock()
 	if ok {
 		return hit.quality, hit.valid
 	}
-	res := cluster.Match(e.u, S.Elements(), C, G, cfg)
+	quality, valid := e.runMatch(S, cfg, C, G)
 	e.matchMu.Lock()
 	if len(e.matchCache) >= matchCacheLimit {
-		clear(e.matchCache)
+		// Evict about half the table rather than clearing it wholesale:
+		// a full clear made every in-flight candidate a miss at once — a
+		// latency cliff exactly when the search was deep into a solve —
+		// while halving keeps half the working set warm. Map iteration
+		// order is random, so this is random replacement.
+		target := matchCacheLimit / 2
+		for k := range e.matchCache {
+			if len(e.matchCache) <= target {
+				break
+			}
+			delete(e.matchCache, k)
+			e.cacheStats.Evictions++
+		}
 	}
-	e.matchCache[key] = cachedMatch{quality: res.Quality, valid: res.Valid}
+	e.matchCache[key] = cachedMatch{quality: quality, valid: valid}
 	e.matchMu.Unlock()
+	return quality, valid
+}
+
+// runMatch executes one clustering with pooled scratch memory.
+func (e *Engine) runMatch(S *model.SourceSet, cfg cluster.Config, C []int, G []model.GA) (float64, bool) {
+	sc := e.scratch.Get().(*cluster.Scratch)
+	cfg.Scratch = sc
+	res := cluster.Match(e.u, S.Elements(), C, G, cfg)
+	e.scratch.Put(sc)
 	return res.Quality, res.Valid
 }
 
@@ -343,15 +412,23 @@ func (e *Engine) Solve(p *Problem) (*Solution, error) {
 	}
 
 	clusterCfg := cluster.Config{
-		Theta:     p.Theta,
-		Beta:      p.Beta,
-		Sim:       e.sim,
-		Scores:    e.scores,
-		Neighbors: e.neighbors(p.Theta),
+		Theta:        p.Theta,
+		Beta:         p.Beta,
+		Sim:          e.sim,
+		Scores:       e.scores,
+		Neighbors:    e.neighbors(p.Theta),
+		LegacyAgenda: e.legacyEval,
+	}
+	if !e.legacyEval {
+		clusterCfg.NameIDs = e.nameIDs
+		clusterCfg.Seed = e.seedPairs(p.Theta)
 	}
 	C := p.Constraints.Sources
 	G := p.Constraints.GAs
 	e.restampMatchCache(p)
+	e.matchMu.Lock()
+	statsBefore := e.cacheStats
+	e.matchMu.Unlock()
 
 	objective := func(S *model.SourceSet) (float64, bool) {
 		f1, valid := e.matchQuality(S, clusterCfg, C, G)
@@ -376,14 +453,21 @@ func (e *Engine) Solve(p *Problem) (*Solution, error) {
 		MaxEvals:  p.MaxEvals,
 		Workers:   p.Workers,
 	}
+	if !e.legacyEval {
+		prob.DeltaObjective = e.deltaObjective(comp, wMatch, wRest, clusterCfg, C, G)
+	}
 	res := opt.Optimize(prob, p.Seed)
 
+	e.matchMu.Lock()
+	statsAfter := e.cacheStats
+	e.matchMu.Unlock()
 	sol := &Solution{
-		Sources:  res.S.Elements(),
-		Set:      res.S,
-		Quality:  res.Quality,
-		Feasible: res.Feasible,
-		Evals:    res.Evals,
+		Sources:    res.S.Elements(),
+		Set:        res.S,
+		Quality:    res.Quality,
+		Feasible:   res.Feasible,
+		Evals:      res.Evals,
+		MatchCache: statsAfter.sub(statsBefore),
 	}
 	// Re-run the matcher once on the final set for the full schema (the
 	// memo table only keeps scalar results).

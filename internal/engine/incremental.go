@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sync"
+
+	"ube/internal/cluster"
+	"ube/internal/model"
+	"ube/internal/qef"
+	"ube/internal/search"
+)
+
+// This file holds the incremental half of the evaluation pipeline: the
+// per-solve incumbent cache and the delta-aware objective built on it.
+// Solvers derive most candidates by editing one incumbent set; the engine
+// snapshots that incumbent's evaluation state once (QEF partial sums plus
+// its unioned PCSA sketch) and evaluates every add-move off it by
+// extending the snapshot with a single source. Drop and swap moves fall
+// back to the ordinary full path, which is itself memoized. See DESIGN.md
+// ("Evaluation pipeline performance").
+
+// seedPairs returns (building and caching on first use) the precomputed
+// round-1 clustering agenda for θ, or nil when the universe doesn't
+// qualify for the fast path.
+func (e *Engine) seedPairs(theta float64) *cluster.SeedPairs {
+	if sp, ok := e.seedByTheta[theta]; ok {
+		return sp
+	}
+	sp := cluster.BuildSeedPairs(e.u, e.nameIDs, e.neighbors(theta), e.scores, theta)
+	e.seedByTheta[theta] = sp
+	return sp
+}
+
+// incumbent is the per-solve cache of one base set's evaluation state.
+// It holds a single slot: solvers walk one incumbent at a time, so by the
+// time a new base appears the old snapshot is dead. The snapshot itself
+// is immutable — workers that share it only read (sketch extensions
+// happen in pooled copies) — and the slot swap is mutex-guarded, so
+// concurrent evaluation workers may race to refresh it but each always
+// evaluates against a complete snapshot. Snapshot construction is pure,
+// so a lost race wastes one pass and changes nothing.
+type incumbent struct {
+	mu   sync.Mutex
+	snap *qef.BaseSnapshot
+}
+
+// lookup returns the cached snapshot when it matches base's key.
+func (inc *incumbent) lookup(key string) *qef.BaseSnapshot {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.snap != nil && inc.snap.Key() == key {
+		return inc.snap
+	}
+	return nil
+}
+
+// publish installs a freshly built snapshot as the incumbent.
+func (inc *incumbent) publish(snap *qef.BaseSnapshot) {
+	inc.mu.Lock()
+	inc.snap = snap
+	inc.mu.Unlock()
+}
+
+// deltaObjective builds the solve's incremental objective. Matching
+// quality F1 is inherently whole-set (the clustering is global) and stays
+// on the memoized Match path; the composite QEF side evaluates add-moves
+// incrementally from the incumbent snapshot. For a fixed S the returned
+// quality is independent of the delta up to float reassociation in the
+// characteristic folds (≪1e-12, see TestDeltaObjectiveMatchesFull).
+func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clusterCfg cluster.Config, C []int, G []model.GA) search.DeltaObjective {
+	de := qef.NewDeltaEval(comp)
+	inc := &incumbent{}
+	return func(S *model.SourceSet, d search.Delta) (float64, bool) {
+		f1, valid := e.matchQuality(S, clusterCfg, C, G)
+		q := wMatch * f1
+		if wRest == 0 {
+			return q, valid
+		}
+		if d.Base != nil && d.Add >= 0 && d.Drop < 0 && !d.Base.Has(d.Add) {
+			key := d.Base.Key()
+			snap := inc.lookup(key)
+			if snap == nil {
+				snap = de.Snapshot(e.ctx, d.Base)
+				inc.publish(snap)
+			}
+			return q + wRest*de.EvalAdd(e.ctx, snap, d.Add, S), valid
+		}
+		return q + wRest*comp.Eval(e.ctx, S), valid
+	}
+}

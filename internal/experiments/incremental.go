@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"time"
+
+	"ube/internal/engine"
+)
+
+// IncrementalRow is one cell of the incremental-vs-legacy evaluation
+// pipeline ablation: the same Figure 6 problem solved twice over the same
+// universe, once through the seed evaluation path (sorted-slice clustering
+// agenda, whole-set QEF evaluation) and once through the incremental
+// pipeline (heap agenda, delta objective, incumbent snapshot cache).
+type IncrementalRow struct {
+	// M is the number of sources to choose.
+	M int
+	// Seconds and Quality are keyed by pipeline name: "legacy" and
+	// "incremental", mirroring the per-variant maps of TimeQualityRow.
+	Seconds map[string]float64
+	Quality map[string]float64
+	// Speedup is Seconds[legacy] / Seconds[incremental].
+	Speedup float64
+	// SameSources records whether both pipelines chose the identical
+	// source set — the "Q(S) unchanged for fixed seeds" check.
+	SameSources bool
+}
+
+// IncrementalPipelines names the two compared configurations.
+var IncrementalPipelines = []string{"legacy", "incremental"}
+
+// IncrementalMs returns the m values and universe size of the ablation:
+// the two hardest Figure 6 cells (m = 40, 50 at N = 200), where per-eval
+// cost dominates solve time.
+func IncrementalMs(o Options) (ms []int, n int) {
+	if o.Quick {
+		return []int{12, 15}, 60
+	}
+	return []int{40, 50}, 200
+}
+
+// Incremental runs the ablation. Both engines are built over one generated
+// universe and solve identical problems (same seeds, budgets and weights:
+// the unconstrained Figure 6 cells), so any divergence in the chosen
+// sources or quality would indicate the incremental path changed the
+// objective rather than its cost.
+func Incremental(o Options) ([]IncrementalRow, error) {
+	ms, n := IncrementalMs(o)
+	s, err := NewSetup(n, o)
+	if err != nil {
+		return nil, err
+	}
+	legacy, err := engine.New(s.U, engine.WithLegacyEvaluation())
+	if err != nil {
+		return nil, err
+	}
+	engines := map[string]*engine.Engine{"legacy": legacy, "incremental": s.E}
+
+	rows := make([]IncrementalRow, 0, len(ms))
+	for _, m := range ms {
+		p, err := s.Problem(m, Variants[0], o, int64(m))
+		if err != nil {
+			return nil, err
+		}
+		row := IncrementalRow{
+			M:       m,
+			Seconds: make(map[string]float64, len(engines)),
+			Quality: make(map[string]float64, len(engines)),
+		}
+		sols := make(map[string]*engine.Solution, len(engines))
+		for _, name := range IncrementalPipelines {
+			start := time.Now()
+			sol, err := engines[name].Solve(&p)
+			if err != nil {
+				return nil, err
+			}
+			row.Seconds[name] = time.Since(start).Seconds()
+			row.Quality[name] = sol.Quality
+			sols[name] = sol
+		}
+		row.Speedup = row.Seconds["legacy"] / row.Seconds["incremental"]
+		row.SameSources = reflect.DeepEqual(sols["legacy"].Sources, sols["incremental"].Sources)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

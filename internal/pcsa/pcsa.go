@@ -167,6 +167,19 @@ func Union(sketches ...*Sketch) (*Sketch, error) {
 	return u, nil
 }
 
+// CopyFrom overwrites s's bitmaps with t's, making s an independent copy
+// of t's observations without allocating. It returns an error on
+// incompatible parameters. Together with UnionInto this supports
+// incremental union estimation: copy a cached base union into a scratch
+// sketch, OR one more signature in, estimate.
+func (s *Sketch) CopyFrom(t *Sketch) error {
+	if !s.Compatible(t) {
+		return errors.New("pcsa: copy from incompatible sketch")
+	}
+	copy(s.maps, t.maps)
+	return nil
+}
+
 // Clone returns an independent copy of s.
 func (s *Sketch) Clone() *Sketch {
 	c := *s

@@ -1,0 +1,163 @@
+package qef
+
+import (
+	"ube/internal/model"
+	"ube/internal/pcsa"
+)
+
+// DeltaEval evaluates a Composite incrementally on candidate sets of the
+// form S = base ∪ {add}. A solver's inner loop derives most candidates by
+// editing one incumbent set, so the expensive per-set state — the unioned
+// PCSA sketch behind Coverage and Redundancy, the integer cardinality
+// sums behind Card, each characteristic aggregator's partial fold — can
+// be captured once per base (Snapshot) and extended by a single source
+// per candidate (EvalAdd): one sketch copy + one signature OR instead of
+// |S| ORs, and O(1) arithmetic instead of O(|S|) folds.
+//
+// The integer sums and the sketch bitmaps are order-independent, so Card,
+// Coverage and Redundancy come out bit-identical to the full Composite
+// evaluation; floating-point characteristic folds may differ by one
+// reassociation step (≪1e-12). Drops are not supported — OR-ing a sketch
+// is not invertible — so callers route drop and swap moves through the
+// full path.
+type DeltaEval struct {
+	comp *Composite
+}
+
+// NewDeltaEval returns an incremental evaluator for comp.
+func NewDeltaEval(comp *Composite) *DeltaEval { return &DeltaEval{comp: comp} }
+
+// BaseSnapshot is the captured evaluation state of one base set. It is
+// immutable after Snapshot returns: EvalAdd only reads it (the sketch is
+// extended in a pooled scratch copy), so one snapshot may be shared by
+// concurrent solver workers.
+type BaseSnapshot struct {
+	key      string
+	cardSum  int64         // Σ cardinality over all members
+	coopN    int           // cooperative members
+	coopCard int64         // Σ cardinality over cooperative members
+	sketch   *pcsa.Sketch  // union signature of the cooperative members
+	distinct float64       // sketch's PCSA estimate (0 when sketch is nil)
+	chars    []AggPartials // per-QEF aggregator partials; nil entries fall back
+}
+
+// Key returns the canonical set key of the snapshot's base set.
+func (s *BaseSnapshot) Key() string { return s.key }
+
+// Snapshot captures base's evaluation state in one pass over its members.
+func (d *DeltaEval) Snapshot(ctx *Context, base *model.SourceSet) *BaseSnapshot {
+	snap := &BaseSnapshot{key: base.Key()}
+	base.ForEach(func(id int) {
+		src := &ctx.U.Sources[id]
+		snap.cardSum += src.Cardinality
+		if src.Signature == nil {
+			return
+		}
+		snap.coopN++
+		snap.coopCard += src.Cardinality
+		if snap.sketch == nil {
+			snap.sketch = src.Signature.Clone()
+		} else if err := snap.sketch.UnionInto(src.Signature); err != nil {
+			panic(err) // compatibility was checked by Universe.Validate
+		}
+	})
+	if snap.sketch != nil {
+		snap.distinct = snap.sketch.Estimate()
+	}
+	snap.chars = make([]AggPartials, len(d.comp.qefs))
+	for i, f := range d.comp.qefs {
+		c, ok := f.(Characteristic)
+		if !ok || d.comp.weights[i] == 0 {
+			continue
+		}
+		if da, ok := c.Agg.(DeltaAggregator); ok {
+			snap.chars[i] = da.Partials(ctx, base, c.Char)
+		}
+	}
+	return snap
+}
+
+// EvalAdd returns the composite quality of S = base ∪ {add}, where snap
+// was captured on base and add is a source not in base. S must be the
+// materialized candidate: QEFs without delta support (caller-defined
+// extras, non-delta aggregators) are evaluated on it in full, which keeps
+// EvalAdd exact for them. The weighted accumulation visits QEFs in the
+// same order with the same zero-weight skips as Composite.Eval, so the
+// float sum reassociates identically.
+func (d *DeltaEval) EvalAdd(ctx *Context, snap *BaseSnapshot, add int, S *model.SourceSet) float64 {
+	src := &ctx.U.Sources[add]
+	coopN, coopCard := snap.coopN, snap.coopCard
+	distinct := snap.distinct
+	if src.Signature != nil {
+		coopN++
+		coopCard += src.Cardinality
+		distinct = ctx.estimateWith(snap.sketch, src.Signature)
+	}
+	q := 0.0
+	for i, f := range d.comp.qefs {
+		w := d.comp.weights[i]
+		if w == 0 {
+			continue
+		}
+		var v float64
+		switch f.(type) {
+		case Card:
+			if ctx.totalCard != 0 {
+				v = float64(snap.cardSum+src.Cardinality) / float64(ctx.totalCard)
+			}
+		case Coverage:
+			if ctx.universeDistinct != 0 {
+				v = min(distinct/ctx.universeDistinct, 1)
+			}
+		case Redundancy:
+			v = redundancyFrom(coopN, coopCard, distinct)
+		default:
+			if p := snap.chars[i]; p != nil {
+				v = p.EvalAdd(ctx, add)
+			} else {
+				v = f.Eval(ctx, S)
+			}
+		}
+		q += w * v
+	}
+	return q
+}
+
+// redundancyFrom is Redundancy.Eval on precomputed cooperative stats and
+// union estimate; the two must stay in lockstep.
+func redundancyFrom(k int, card int64, distinct float64) float64 {
+	if k == 0 {
+		return 0
+	}
+	if k == 1 {
+		return 1
+	}
+	if card == 0 {
+		return 1
+	}
+	r := (float64(k)*distinct/float64(card) - 1) / float64(k-1)
+	return max(0, min(r, 1))
+}
+
+// estimateWith returns the PCSA estimate of base's union extended by one
+// more signature, using a pooled scratch sketch so concurrent callers
+// never share mutable state. A nil base means sig alone.
+func (ctx *Context) estimateWith(base, sig *pcsa.Sketch) float64 {
+	if ctx.scratch == nil {
+		return 0
+	}
+	sk := ctx.scratch.Get().(*pcsa.Sketch)
+	defer func() {
+		sk.Reset()
+		ctx.scratch.Put(sk)
+	}()
+	if base != nil {
+		if err := sk.CopyFrom(base); err != nil {
+			panic(err)
+		}
+	}
+	if err := sk.UnionInto(sig); err != nil {
+		panic(err)
+	}
+	return sk.Estimate()
+}

@@ -51,11 +51,11 @@ func (a *Anneal) Optimize(p *Problem, seed int64) Solution {
 		}
 		curQ, _ := tr.eval(cur)
 		for temp := a.T0; temp > a.Tmin && !tr.exhausted(); temp *= a.Cooling {
-			cand := randomNeighbor(p, cur, pool, minLen, rng)
+			cand, d := randomNeighbor(p, cur, pool, minLen, rng)
 			if cand == nil {
 				break
 			}
-			q, _ := tr.eval(cand)
+			q, _ := tr.evalDelta(cand, d)
 			if delta := q - curQ; delta >= 0 || rng.Float64() < math.Exp(delta/temp) {
 				cur, curQ = cand, q
 			}

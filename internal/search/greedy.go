@@ -47,7 +47,7 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 			}
 			cand := cur.Clone()
 			cand.Add(id)
-			if q, _ := tr.eval(cand); bestID == -1 || q > bestQ {
+			if q, _ := tr.evalDelta(cand, Delta{Base: cur, Add: id, Drop: -1}); bestID == -1 || q > bestQ {
 				bestID, bestQ = id, q
 			}
 		}
@@ -68,7 +68,7 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 			}
 			cand := cur.Clone()
 			cand.Add(id)
-			q, ok := tr.eval(cand)
+			q, ok := tr.evalDelta(cand, Delta{Base: cur, Add: id, Drop: -1})
 			if q > bestQ {
 				bestID, bestQ, bestOK = id, q, ok
 				foundAny = true

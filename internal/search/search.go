@@ -29,6 +29,33 @@ import (
 // gives optimizers a gradient through infeasible regions.
 type Objective func(S *model.SourceSet) (quality float64, feasible bool)
 
+// Delta describes how a candidate was derived from a base set:
+// S = Base − {Drop} + {Add}, with -1 disabling either half. Optimizers
+// that generate candidates by editing a current solution pass the edit
+// along so a delta-aware objective can evaluate the candidate
+// incrementally from cached per-base state instead of from scratch.
+// A nil Base means the candidate was built some other way (a restart, a
+// particle position) and carries no delta information.
+//
+// Base is owned by the optimizer and may be mutated after the evaluation
+// returns; delta objectives must not retain it.
+type Delta struct {
+	Base *model.SourceSet
+	Add  int
+	Drop int
+}
+
+// fullDelta is the Delta of a candidate with no usable edit structure.
+func fullDelta() Delta { return Delta{Add: -1, Drop: -1} }
+
+// DeltaObjective is an Objective that also receives the candidate's
+// derivation. S is always the fully materialized set — implementations
+// may ignore d entirely, so any Objective lifts to a DeltaObjective —
+// and the returned values must not depend on d: for a fixed S every
+// (S, d) pair reports the same quality up to floating-point
+// reassociation (≤1e-12). The delta is purely an evaluation hint.
+type DeltaObjective func(S *model.SourceSet, d Delta) (quality float64, feasible bool)
+
 // Problem is one instance of the §2.5 optimization problem as seen by an
 // optimizer: the universe size, the selection bound m, and the constraint
 // region. Everything domain-specific lives behind Objective.
@@ -49,6 +76,12 @@ type Problem struct {
 	Initial []int
 	// Objective scores candidates.
 	Objective Objective
+	// DeltaObjective, when non-nil, is used instead of Objective and
+	// additionally receives each candidate's derivation (base set plus
+	// add/drop edit), enabling incremental evaluation. Objective must
+	// still be set — it remains the definition of candidate quality and
+	// the fallback for optimizers that predate deltas.
+	DeltaObjective DeltaObjective
 	// MaxEvals bounds the number of objective evaluations (0 means each
 	// optimizer's default). Ablations share a budget through this knob.
 	MaxEvals int
@@ -144,9 +177,14 @@ func ByName(name string) (Optimizer, bool) {
 }
 
 // tracker wraps an Objective with evaluation counting, a budget, and
-// best-so-far bookkeeping shared by all optimizers.
+// best-so-far bookkeeping shared by all optimizers. When the problem
+// supplies a DeltaObjective the tracker routes every evaluation through
+// it, passing whatever derivation the optimizer reported (or none); the
+// plain Objective remains the path for delta-unaware problems, so
+// existing callers and tests behave exactly as before.
 type tracker struct {
 	obj      Objective
+	dobj     DeltaObjective
 	budget   int
 	evals    int
 	best     *model.SourceSet
@@ -159,32 +197,59 @@ func newTracker(p *Problem, defaultBudget int) *tracker {
 	if b <= 0 {
 		b = defaultBudget
 	}
-	return &tracker{obj: p.Objective, budget: b}
+	return &tracker{obj: p.Objective, dobj: p.DeltaObjective, budget: b}
 }
 
 // exhausted reports whether the evaluation budget is spent.
 func (t *tracker) exhausted() bool { return t.evals >= t.budget }
 
-// eval scores S, updating the best-so-far. A feasible solution always
-// beats an infeasible one regardless of raw quality.
+// score dispatches one evaluation to the delta objective when available.
+func (t *tracker) score(S *model.SourceSet, d Delta) (float64, bool) {
+	if t.dobj != nil {
+		return t.dobj(S, d)
+	}
+	return t.obj(S)
+}
+
+// eval scores S with no delta information, updating the best-so-far. A
+// feasible solution always beats an infeasible one regardless of raw
+// quality.
 func (t *tracker) eval(S *model.SourceSet) (float64, bool) {
+	return t.evalDelta(S, fullDelta())
+}
+
+// evalDelta scores S given its derivation from a base set.
+func (t *tracker) evalDelta(S *model.SourceSet, d Delta) (float64, bool) {
 	t.evals++
-	q, ok := t.obj(S)
+	q, ok := t.score(S, d)
 	t.record(S, q, ok)
 	return q, ok
 }
 
-// batchEval scores a batch of candidates, fanning the objective calls
-// across p.Workers goroutines, then folds tracker updates sequentially in
-// candidate order so ties resolve identically at any parallelism. The
-// batch is truncated to the remaining budget. Returned slices are parallel
-// to the (possibly truncated) batch; the int is the evaluated count.
+// batchEval is batchEvalDelta for candidates without delta information.
 func (t *tracker) batchEval(p *Problem, cands []*model.SourceSet) ([]float64, []bool, int) {
+	return t.batchEvalDelta(p, cands, nil)
+}
+
+// batchEvalDelta scores a batch of candidates, fanning the objective calls
+// across p.Workers goroutines, then folds tracker updates sequentially in
+// candidate order so ties resolve identically at any parallelism. deltas,
+// when non-nil, is parallel to cands and carries each candidate's
+// derivation. The batch is truncated to the remaining budget. Returned
+// slices are parallel to the (possibly truncated) batch; the int is the
+// evaluated count.
+func (t *tracker) batchEvalDelta(p *Problem, cands []*model.SourceSet, deltas []Delta) ([]float64, []bool, int) {
 	if left := t.budget - t.evals; len(cands) > left {
 		cands = cands[:max(left, 0)]
 	}
 	if len(cands) == 0 {
 		return nil, nil, 0
+	}
+	delta := func(i int) Delta {
+		if deltas == nil {
+			return fullDelta()
+		}
+		return deltas[i]
 	}
 	qs := make([]float64, len(cands))
 	oks := make([]bool, len(cands))
@@ -194,7 +259,7 @@ func (t *tracker) batchEval(p *Problem, cands []*model.SourceSet) ([]float64, []
 	}
 	if workers <= 1 {
 		for i, c := range cands {
-			qs[i], oks[i] = t.obj(c)
+			qs[i], oks[i] = t.score(c, delta(i))
 		}
 	} else {
 		var next atomic.Int64
@@ -208,7 +273,7 @@ func (t *tracker) batchEval(p *Problem, cands []*model.SourceSet) ([]float64, []
 					if i >= len(cands) {
 						return
 					}
-					qs[i], oks[i] = t.obj(cands[i])
+					qs[i], oks[i] = t.score(cands[i], delta(i))
 				}
 			}()
 		}

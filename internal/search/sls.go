@@ -48,11 +48,11 @@ func (s *SLS) Optimize(p *Problem, seed int64) Solution {
 		for fails < s.Patience && !tr.exhausted() {
 			improved := false
 			for i := 0; i < s.Sample && !tr.exhausted(); i++ {
-				cand := randomNeighbor(p, cur, pool, minLen, rng)
+				cand, d := randomNeighbor(p, cur, pool, minLen, rng)
 				if cand == nil {
 					break
 				}
-				if q, _ := tr.eval(cand); q > curQ {
+				if q, _ := tr.evalDelta(cand, d); q > curQ {
 					cur, curQ = cand, q
 					improved = true
 					break // first improvement
@@ -69,24 +69,29 @@ func (s *SLS) Optimize(p *Problem, seed int64) Solution {
 }
 
 // randomNeighbor applies one random admissible add/drop/swap to cur,
-// returning nil when the constraint region admits no move.
-func randomNeighbor(p *Problem, cur *model.SourceSet, pool []int, minLen int, rng *rand.Rand) *model.SourceSet {
+// returning the candidate with the edit that produced it, or a nil
+// candidate when the constraint region admits no move.
+func randomNeighbor(p *Problem, cur *model.SourceSet, pool []int, minLen int, rng *rand.Rand) (*model.SourceSet, Delta) {
 	outs := removable(cur, p.Required)
 	ins := addable(cur, pool)
 	for attempt := 0; attempt < 8; attempt++ {
 		cand := cur.Clone()
 		switch k := rng.Intn(3); {
 		case k == 0 && cur.Len() < p.M && len(ins) > 0:
-			cand.Add(ins[rng.Intn(len(ins))])
-			return cand
+			in := ins[rng.Intn(len(ins))]
+			cand.Add(in)
+			return cand, Delta{Base: cur, Add: in, Drop: -1}
 		case k == 1 && cur.Len() > minLen && len(outs) > 0:
-			cand.Remove(outs[rng.Intn(len(outs))])
-			return cand
+			out := outs[rng.Intn(len(outs))]
+			cand.Remove(out)
+			return cand, Delta{Base: cur, Add: -1, Drop: out}
 		case k == 2 && len(outs) > 0 && len(ins) > 0:
-			cand.Remove(outs[rng.Intn(len(outs))])
-			cand.Add(ins[rng.Intn(len(ins))])
-			return cand
+			out := outs[rng.Intn(len(outs))]
+			in := ins[rng.Intn(len(ins))]
+			cand.Remove(out)
+			cand.Add(in)
+			return cand, Delta{Base: cur, Add: in, Drop: out}
 		}
 	}
-	return nil
+	return nil, fullDelta()
 }

@@ -91,6 +91,7 @@ func (t *Tabu) run(p *Problem, pool []int, start *model.SourceSet, tr *tracker, 
 		}
 
 		cands := make([]*model.SourceSet, len(moves))
+		deltas := make([]Delta, len(moves))
 		for i, mv := range moves {
 			cand := cur.Clone()
 			if mv.out >= 0 {
@@ -100,8 +101,9 @@ func (t *Tabu) run(p *Problem, pool []int, start *model.SourceSet, tr *tracker, 
 				cand.Add(mv.in)
 			}
 			cands[i] = cand
+			deltas[i] = Delta{Base: cur, Add: mv.in, Drop: mv.out}
 		}
-		qs, _, n := tr.batchEval(p, cands)
+		qs, _, n := tr.batchEvalDelta(p, cands, deltas)
 
 		var best *model.SourceSet
 		var bestMove move

@@ -1,0 +1,85 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// levenshteinRef is the pre-fast-path implementation, kept as the
+// reference for the differential test: always rune slices, no trimming.
+func levenshteinRef(a, b string) int {
+	return levenshteinGeneric([]rune(a), []rune(b))
+}
+
+// TestLevenshteinFastPathsMatchReference checks the ASCII byte path and
+// the prefix/suffix trimming against the plain rune DP over random string
+// pairs, including multi-byte inputs and pairs engineered to share long
+// prefixes and suffixes.
+func TestLevenshteinFastPathsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	alphabets := []string{
+		"abcdefgh ",
+		"abcéü日本語 ",
+		"aab", // heavy repetition → long shared affixes
+	}
+	randStr := func(alpha []rune, n int) string {
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = alpha[r.Intn(len(alpha))]
+		}
+		return string(out)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		alpha := []rune(alphabets[trial%len(alphabets)])
+		a := randStr(alpha, r.Intn(20))
+		b := randStr(alpha, r.Intn(20))
+		if trial%3 == 0 {
+			// Force shared affixes around a differing core.
+			pre := randStr(alpha, r.Intn(8))
+			suf := randStr(alpha, r.Intn(8))
+			a = pre + a + suf
+			b = pre + b + suf
+		}
+		if got, want := Levenshtein(a, b), levenshteinRef(a, b); got != want {
+			t.Fatalf("Levenshtein(%q,%q) = %d, reference %d", a, b, got, want)
+		}
+	}
+}
+
+// Typical normalized attribute-name pairs: mostly ASCII, short, often
+// sharing affixes — the matcher's actual workload for LevenshteinRatio.
+var levenshteinPairs = [][2]string{
+	{"title", "book title"},
+	{"isbn", "isbn number"},
+	{"author name", "author names"},
+	{"publication date", "date of publication"},
+	{"price range", "price"},
+	{"keyword", "keywords"},
+}
+
+func BenchmarkLevenshteinASCII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := levenshteinPairs[i%len(levenshteinPairs)]
+		Levenshtein(p[0], p[1])
+	}
+}
+
+// BenchmarkLevenshteinASCIIRef is the ablation baseline: the same pairs
+// through the plain rune DP with no trimming.
+func BenchmarkLevenshteinASCIIRef(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := levenshteinPairs[i%len(levenshteinPairs)]
+		levenshteinRef(p[0], p[1])
+	}
+}
+
+func BenchmarkLevenshteinUnicode(b *testing.B) {
+	pairs := [][2]string{
+		{"títle", "böok títle"},
+		{"autor", "auteur é"},
+	}
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		Levenshtein(p[0], p[1])
+	}
+}

@@ -202,8 +202,107 @@ func (LevenshteinRatio) Score(a, b string) float64 {
 
 // Levenshtein returns the edit distance between two strings, counting
 // insertions, deletions and substitutions each as cost 1.
+//
+// Attribute names are overwhelmingly ASCII and frequently share long
+// prefixes or suffixes ("book title" / "full title", "isbn" / "isbn
+// number"), so two fast paths run before the O(|a|·|b|) dynamic program:
+// a shared prefix and suffix are stripped (they never participate in an
+// optimal edit script), and all-ASCII inputs are processed as bytes,
+// skipping the []rune conversions entirely.
 func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if isASCII(a) && isASCII(b) {
+		// Byte indexing is safe — every byte is one rune. Trimming is
+		// only safe here: sharing prefix bytes does not imply sharing
+		// prefix runes in multi-byte UTF-8.
+		a, b = trimCommon(a, b)
+		return levenshteinASCII(a, b)
+	}
 	ra, rb := []rune(a), []rune(b)
+	lo := 0
+	for lo < len(ra) && lo < len(rb) && ra[lo] == rb[lo] {
+		lo++
+	}
+	ha, hb := len(ra), len(rb)
+	for ha > lo && hb > lo && ra[ha-1] == rb[hb-1] {
+		ha--
+		hb--
+	}
+	return levenshteinGeneric(ra[lo:ha], rb[lo:hb])
+}
+
+// isASCII reports whether s has no byte ≥ 0x80.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// trimCommon strips the longest shared prefix and suffix from two
+// byte-indexable strings.
+func trimCommon(a, b string) (string, string) {
+	lo := 0
+	for lo < len(a) && lo < len(b) && a[lo] == b[lo] {
+		lo++
+	}
+	ha, hb := len(a), len(b)
+	for ha > lo && hb > lo && a[ha-1] == b[hb-1] {
+		ha--
+		hb--
+	}
+	return a[lo:ha], b[lo:hb]
+}
+
+// levenshteinASCII is the two-row DP indexing the strings as bytes —
+// valid only for ASCII inputs — with no rune-slice allocation.
+func levenshteinASCII(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// A small stack buffer serves both rows for typical attribute names.
+	var buf [2 * 64]int
+	var prev, cur []int
+	if len(b)+1 <= 64 {
+		prev, cur = buf[:len(b)+1], buf[64:64+len(b)+1]
+	} else {
+		prev = make([]int, len(b)+1)
+		cur = make([]int, len(b)+1)
+	}
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitution
+			if v := prev[j] + 1; v < m { // deletion
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// levenshteinGeneric is the two-row DP over rune slices.
+func levenshteinGeneric(ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
