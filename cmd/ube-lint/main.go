@@ -1,0 +1,72 @@
+// Command ube-lint statically checks the µBE tree against the invariants
+// its incremental evaluation pipeline depends on: solve determinism (no
+// map-order dependence, no wall clock, no global RNG, no goroutine
+// identity in solver packages), float discipline (no bare float equality
+// outside tests), sync.Pool hygiene and the DeltaObjective fallback
+// protocol. It is built purely on the standard library's go/parser,
+// go/ast and go/types.
+//
+// Usage:
+//
+//	ube-lint [-checks maprange,floateq,...] [-tags tag,...] [-list] [patterns]
+//
+// Patterns are package directories, optionally recursive ("./...", the
+// default). Exit status: 0 clean, 1 diagnostics reported, 2 load or usage
+// error. See DESIGN.md ("Invariant catalog") for the checks and the
+// //ube:* suppression annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ube/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	tags := flag.String("tags", "", "comma-separated extra build tags for file selection")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ube-lint [flags] [patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, name := range lint.CheckNames {
+			fmt.Printf("%-14s %s\n", name, lint.CheckDocs[name])
+		}
+		return
+	}
+
+	var cfg lint.Config
+	if *checks != "" {
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if lint.CheckDocs[name] == "" {
+				fmt.Fprintf(os.Stderr, "ube-lint: unknown check %q (run -list for the catalog)\n", name)
+				os.Exit(2)
+			}
+			cfg.Checks = append(cfg.Checks, name)
+		}
+	}
+	if *tags != "" {
+		cfg.BuildTags = strings.Split(*tags, ",")
+	}
+
+	diags, err := lint.Run(flag.Args(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ube-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ube-lint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -60,9 +60,11 @@ func (p *Plot) Render() (string, error) {
 		lo, hi := minMax(s.Y)
 		ymin, ymax = math.Min(ymin, lo), math.Max(ymax, hi)
 	}
+	//ube:float-exact degenerate-range sentinel: only a literally flat series needs the widening
 	if ymax == ymin {
 		ymax = ymin + 1 // flat series still render
 	}
+	//ube:float-exact degenerate-range sentinel
 	if xmax == xmin {
 		return "", fmt.Errorf("asciiplot: degenerate x range")
 	}
@@ -125,6 +127,7 @@ func minMax(xs []float64) (lo, hi float64) {
 // formatTick renders an axis extreme compactly.
 func formatTick(v float64) string {
 	switch {
+	//ube:float-exact integrality test: only exactly integral ticks may drop their decimals
 	case v == math.Trunc(v) && math.Abs(v) < 1e6:
 		return fmt.Sprintf("%.0f", v)
 	case math.Abs(v) >= 100:

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"ube/internal/strsim"
+	"ube/internal/ubedebug"
 )
 
 // This file implements the heap-agenda scheduling of Algorithm 1's merge
@@ -334,6 +335,9 @@ func sortRun(queue, scratch []agendaEntry, ordLo int32, nOrds int, matrixKeys bo
 				return int(x.ordB - y.ordB)
 			}
 		})
+		if ubedebug.Enabled {
+			checkSortedRun(queue)
+		}
 		return queue, scratch
 	}
 
@@ -419,7 +423,20 @@ func sortRun(queue, scratch []agendaEntry, ordLo int32, nOrds int, matrixKeys bo
 		}
 		src, dst = dst, src
 	}
+	if ubedebug.Enabled {
+		checkSortedRun(src)
+	}
 	return src, dst
+}
+
+// checkSortedRun asserts the sorted-run post-condition the merge walk
+// depends on: entries in walk order (key, ordA, ordB ascending). Only
+// reached under the ubedebug build tag.
+func checkSortedRun(run []agendaEntry) {
+	for i := 1; i < len(run); i++ {
+		ubedebug.Assert(!entryBefore(run[i], run[i-1]),
+			"cluster: sort run out of walk order at %d: %+v before %+v", i, run[i-1], run[i])
+	}
 }
 
 // appendPairsIndexed appends c's candidate pairs found through the ≥θ

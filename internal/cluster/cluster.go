@@ -334,6 +334,7 @@ func collectPairs(clusters []*workCluster, cfg Config) []pair {
 	}
 	slices.SortFunc(pairs, func(a, b pair) int {
 		switch {
+		//ube:float-exact sort comparators need a strict total order; an epsilon compare is not transitive
 		case a.sim != b.sim:
 			if a.sim > b.sim {
 				return -1
@@ -391,6 +392,7 @@ func clusterSim(a, b *workCluster, sim strsim.Scorer) float64 {
 		for _, nb := range b.names {
 			if s := sim.Score(na, nb); s > best {
 				best = s
+				//ube:float-exact early exit only on the exact maximum score; a near-1 epsilon match must keep scanning
 				if best == 1 {
 					return 1
 				}

@@ -122,6 +122,7 @@ func (sp *SeedPairs) SizeBytes() int { return 8*len(sp.pairs) + 4*len(sp.start) 
 // break the one-singleton-per-slot layout), and a strictly ascending S
 // (the gather computes subset ords from running attribute bases).
 func seedCompatible(sp *SeedPairs, S []int, G []model.GA, cfg Config) bool {
+	//ube:float-exact θ is a cache key: the precomputed agenda only applies to the bit-identical threshold it was built for
 	if sp == nil || len(G) > 0 || cfg.Scores != strsim.Scorer(sp.matrix) || cfg.Theta != sp.theta {
 		return false
 	}

@@ -72,6 +72,7 @@ func (m *Measure) Name() string { return "value-overlap+" + m.name.Name() }
 // Score implements strsim.Measure: max(name similarity, value overlap).
 func (m *Measure) Score(a, b string) float64 {
 	s := m.name.Score(a, b)
+	//ube:float-exact early exit only on the exact maximum score
 	if s == 1 {
 		return 1
 	}

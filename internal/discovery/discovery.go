@@ -102,6 +102,7 @@ func (idx *Index) Search(query string, limit int) ([]Hit, error) {
 		hits = append(hits, Hit{Source: src, Score: score})
 	}
 	sort.Slice(hits, func(i, j int) bool {
+		//ube:float-exact sort comparators need a strict total order; an epsilon compare is not transitive
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
 		}

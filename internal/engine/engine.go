@@ -351,6 +351,7 @@ func (e *Engine) matchQuality(S *model.SourceSet, cfg cluster.Config, C []int, G
 		// while halving keeps half the working set warm. Map iteration
 		// order is random, so this is random replacement.
 		target := matchCacheLimit / 2
+		//ube:nondeterministic-ok random replacement is the eviction policy; cached values are exact memos, so survivors never change results
 		for k := range e.matchCache {
 			if len(e.matchCache) <= target {
 				break
@@ -378,6 +379,7 @@ func (e *Engine) runMatch(S *model.SourceSet, cfg cluster.Config, C []int, G []m
 // space, and re-runs the matcher on the winning set to produce the full
 // mediated schema.
 func (e *Engine) Solve(p *Problem) (*Solution, error) {
+	//ube:nondeterministic-ok wall-clock Elapsed reporting only; never feeds the objective
 	start := time.Now()
 	if err := e.validate(p); err != nil {
 		return nil, err
@@ -476,6 +478,7 @@ func (e *Engine) Solve(p *Problem) (*Solution, error) {
 	sol.Schema = final.Schema
 	sol.Breakdown = comp.Breakdown(e.ctx, res.S)
 	sol.Breakdown[MatchQEFName] = final.Quality
+	//ube:nondeterministic-ok wall-clock Elapsed reporting only; never feeds the objective
 	sol.Elapsed = time.Since(start)
 	return sol, nil
 }
@@ -503,6 +506,7 @@ func (e *Engine) neighbors(theta float64) [][]int {
 // composite back by (1 − w_match).
 func restWeights(w qef.Weights) qef.Weights {
 	out := make(qef.Weights, len(w))
+	//ube:nondeterministic-ok key-for-key map filter is order-independent; Normalized sums in sorted key order
 	for k, v := range w {
 		if k != MatchQEFName {
 			out[k] = v

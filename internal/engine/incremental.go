@@ -4,9 +4,11 @@ import (
 	"sync"
 
 	"ube/internal/cluster"
+	"ube/internal/floats"
 	"ube/internal/model"
 	"ube/internal/qef"
 	"ube/internal/search"
+	"ube/internal/ubedebug"
 )
 
 // This file holds the incremental half of the evaluation pipeline: the
@@ -72,6 +74,7 @@ func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clus
 	return func(S *model.SourceSet, d search.Delta) (float64, bool) {
 		f1, valid := e.matchQuality(S, clusterCfg, C, G)
 		q := wMatch * f1
+		//ube:float-exact wRest is assigned the literal 0 sentinel by Solve when w_match == 1
 		if wRest == 0 {
 			return q, valid
 		}
@@ -82,7 +85,18 @@ func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clus
 				snap = de.Snapshot(e.ctx, d.Base)
 				inc.publish(snap)
 			}
-			return q + wRest*de.EvalAdd(e.ctx, snap, d.Add, S), valid
+			dq := de.EvalAdd(e.ctx, snap, d.Add, S)
+			if ubedebug.Enabled && ubedebug.ShouldAudit() {
+				// Sampled delta≡full audit: the incremental value must
+				// agree with the full composite evaluation on the
+				// materialized set up to fold reassociation.
+				full := comp.Eval(e.ctx, S)
+				ubedebug.Assert(floats.EqTol(dq, full, 1e-9),
+					"engine: delta objective %v diverges from full evaluation %v on %q+%d",
+					dq, full, key, d.Add)
+				ubedebug.CountAudit()
+			}
+			return q + wRest*dq, valid
 		}
 		return q + wRest*comp.Eval(e.ctx, S), valid
 	}

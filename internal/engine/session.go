@@ -85,6 +85,7 @@ func (s *Session) SetWeight(name string, w float64) error {
 	restNew := 1 - w
 	next := s.problem.Weights.Clone()
 	next[name] = w
+	//ube:nondeterministic-ok each key's rescale reads only its own entry; order cannot matter
 	for k, v := range next {
 		if k == name {
 			continue
@@ -255,6 +256,7 @@ func snapshot(p Problem) Problem {
 	cp.ExtraQEFs = append([]qef.QEF(nil), p.ExtraQEFs...)
 	if p.Characteristics != nil {
 		cp.Characteristics = make(map[string]qef.Aggregator, len(p.Characteristics))
+		//ube:nondeterministic-ok key-for-key map copy is order-independent
 		for k, v := range p.Characteristics {
 			cp.Characteristics[k] = v
 		}

@@ -1,0 +1,28 @@
+//go:build ubedebug
+
+package engine
+
+import (
+	"testing"
+
+	"ube/internal/ubedebug"
+)
+
+// TestDeltaAuditRuns proves the sampled delta≡full audit is live under
+// the ubedebug tag: a solve performs far more delta evaluations than the
+// sampling period, so Audited must advance — and every audit that ran
+// agreed (a divergence panics the solve).
+func TestDeltaAuditRuns(t *testing.T) {
+	prev := ubedebug.SetAuditEvery(1)
+	defer ubedebug.SetAuditEvery(prev)
+	e, _ := testEngine(t, 40)
+	p := smallProblem()
+	before := ubedebug.Audited()
+	if _, err := e.Solve(&p); err != nil {
+		t.Fatal(err)
+	}
+	if after := ubedebug.Audited(); after <= before {
+		t.Fatalf("no delta≡full audits ran during the solve (before=%d after=%d, period=%d)",
+			before, after, ubedebug.AuditEvery())
+	}
+}

@@ -1,0 +1,47 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{0, 1e-12, true},
+		{0, 1e-6, false},
+		{1e6, 1e6 + 1e-4, true}, // relative scaling at large magnitude
+		{1e6, 1e6 + 10, false},
+		{-1, 1, false},
+		{math.Inf(1), math.Inf(1), false}, // Inf-Inf is NaN; never "equal"
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) || !Zero(-1e-12) {
+		t.Error("tiny values should be Zero")
+	}
+	if Zero(1e-6) || Zero(-1) || Zero(math.NaN()) {
+		t.Error("non-tiny values should not be Zero")
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(1, 1.05, 0.1) {
+		t.Error("EqTol should accept within explicit tolerance")
+	}
+	if EqTol(1, 1.2, 0.1) {
+		t.Error("EqTol should reject outside explicit tolerance")
+	}
+}

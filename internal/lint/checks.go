@@ -1,0 +1,389 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFile runs every node-level check over one file and the
+// function-level checks over each declared function.
+func (c *checker) checkFile(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			c.checkMapRange(n)
+		case *ast.CallExpr:
+			c.checkBannedCall(n)
+		case *ast.BinaryExpr:
+			c.checkFloatEq(n)
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				c.checkPoolPut(n)
+				c.checkDeltaFallback(n)
+			}
+		}
+		return true
+	})
+}
+
+// ---- maprange -------------------------------------------------------------
+
+// checkMapRange flags `for range` over a map in determinism-scoped
+// packages: Go randomizes map iteration order per run, so any solver state
+// or float accumulation touched in such a loop varies between solves. The
+// one recognized safe shape is the sort-the-keys idiom — a body that only
+// collects keys into a slice (which the surrounding code then sorts);
+// anything else needs sorted keys or a //ube:nondeterministic-ok
+// annotation arguing order-independence.
+func (c *checker) checkMapRange(rs *ast.RangeStmt) {
+	if !c.determinism {
+		return
+	}
+	t := c.pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if keysCollectIdiom(rs) {
+		return
+	}
+	c.report(rs.Pos(), "maprange", "nondeterministic-ok",
+		"range over map %s: iteration order is nondeterministic; sort the keys first or annotate //ube:nondeterministic-ok with why order cannot matter", exprString(rs.X))
+}
+
+// keysCollectIdiom recognizes
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// whose only effect is gathering the keys for a subsequent sort.
+func keysCollectIdiom(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || src.Name != dst.Name {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// ---- wallclock / globalrand / goroutineid ---------------------------------
+
+// bannedCall is one package-level function whose call makes a solve depend
+// on ambient state: the wall clock, the process-global RNG, or the
+// goroutine identity.
+type bannedCall struct {
+	pkg, name, check, hint string
+}
+
+var bannedCalls = map[[2]string]bannedCall{
+	{"time", "Now"}:             {check: "wallclock", hint: "solve results must not read the clock; inject timings from outside the solver"},
+	{"time", "Since"}:           {check: "wallclock", hint: "solve results must not read the clock; inject timings from outside the solver"},
+	{"runtime", "Stack"}:        {check: "goroutineid", hint: "goroutine identity must not influence evaluation"},
+	{"runtime", "NumGoroutine"}: {check: "goroutineid", hint: "goroutine identity must not influence evaluation"},
+	{"runtime", "NumCPU"}:       {check: "goroutineid", hint: "machine shape must not influence evaluation; take worker counts from the Problem"},
+	{"runtime", "GOMAXPROCS"}:   {check: "goroutineid", hint: "machine shape must not influence evaluation; take worker counts from the Problem"},
+}
+
+// randAllowed are the math/rand package-level functions that construct
+// explicitly seeded state instead of touching the global source.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// checkBannedCall flags wall-clock reads, global-RNG draws and
+// goroutine-identity tricks in determinism-scoped packages.
+func (c *checker) checkBannedCall(call *ast.CallExpr) {
+	if !c.determinism {
+		return
+	}
+	obj := c.calleeObject(call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on an injected *rand.Rand) are the sanctioned path
+	}
+	pkgPath, name := obj.Pkg().Path(), obj.Name()
+	if b, ok := bannedCalls[[2]string{pkgPath, name}]; ok {
+		c.report(call.Pos(), b.check, "nondeterministic-ok", "call of %s.%s: %s", pkgPath, name, b.hint)
+		return
+	}
+	if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+		if !randAllowed[name] {
+			c.report(call.Pos(), "globalrand", "nondeterministic-ok",
+				"call of %s.%s uses the process-global RNG; draw from an injected seeded *rand.Rand instead", pkgPath, name)
+		}
+	}
+}
+
+func (c *checker) calleeObject(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return c.pkg.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		return c.pkg.Info.Uses[fun]
+	}
+	return nil
+}
+
+// ---- floateq --------------------------------------------------------------
+
+// checkFloatEq flags == and != between floating-point operands. The delta
+// and full evaluation pipelines agree only up to reassociation error, so
+// exact float equality is almost always a latent divergence; comparisons
+// belong in the floats epsilon helpers. Sites where exactness is the point
+// (zero-weight skips that must stay in lockstep across pipelines, range
+// degeneracy sentinels) carry a //ube:float-exact annotation saying so.
+// _test.go files are exempt by construction: the loader never parses them.
+func (c *checker) checkFloatEq(be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !c.isFloat(be.X) && !c.isFloat(be.Y) {
+		return
+	}
+	c.report(be.Pos(), "floateq", "float-exact",
+		"%s on float operands: use the floats epsilon helpers, or annotate //ube:float-exact with why this comparison must be exact", be.Op)
+}
+
+func (c *checker) isFloat(e ast.Expr) bool {
+	t := c.pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ---- poolput --------------------------------------------------------------
+
+type poolGet struct {
+	name string // bound variable, "" when the result is used unbound
+	pos  token.Pos
+}
+
+type poolPut struct {
+	arg      string // put argument identifier, "" when not a plain ident
+	pos      token.Pos
+	deferred bool
+}
+
+// checkPoolPut enforces sync.Pool hygiene per function: a value obtained
+// from Get must reach a Put on every return path of the same function — a
+// deferred Put, or a direct Put with no return statement between the Get
+// and the Put — or be an explicitly annotated escape (//ube:pool-escape)
+// when ownership is handed off. Leaked scratch defeats the pool; worse, a
+// value Put twice or retained after Put is shared mutable state across
+// goroutines.
+func (c *checker) checkPoolPut(fd *ast.FuncDecl) {
+	var gets []poolGet
+	var puts []poolPut
+	var returns []token.Pos
+	getCalls := make(map[*ast.CallExpr]bool)
+
+	// Pass 1: Get results bound by assignment (v := pool.Get().(*T)).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(as.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X)
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !c.isPoolCall(call, "Get") {
+			return true
+		}
+		getCalls[call] = true
+		name := ""
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			name = id.Name
+		}
+		gets = append(gets, poolGet{name: name, pos: as.Pos()})
+		return true
+	})
+
+	// Pass 2: unbound Gets, all Puts (with defer tracking), all returns.
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				walk(m.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				returns = append(returns, m.Pos())
+			case *ast.CallExpr:
+				if c.isPoolCall(m, "Get") && !getCalls[m] {
+					gets = append(gets, poolGet{pos: m.Pos()})
+				}
+				if c.isPoolCall(m, "Put") {
+					p := poolPut{pos: m.Pos(), deferred: deferred}
+					if len(m.Args) == 1 {
+						if id, ok := ast.Unparen(m.Args[0]).(*ast.Ident); ok {
+							p.arg = id.Name
+						}
+					}
+					puts = append(puts, p)
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+
+	for _, g := range gets {
+		var matched []poolPut
+		for _, p := range puts {
+			if g.name == "" || p.arg == g.name {
+				matched = append(matched, p)
+			}
+		}
+		if len(matched) == 0 {
+			c.report(g.pos, "poolput", "pool-escape",
+				"sync.Pool Get in %s never reaches a Put in this function; Put it on every return path or annotate //ube:pool-escape at the handoff", fd.Name.Name)
+			continue
+		}
+		safe := false
+		var lastPut token.Pos
+		for _, p := range matched {
+			if p.deferred {
+				safe = true
+			}
+			if p.pos > lastPut {
+				lastPut = p.pos
+			}
+		}
+		if safe {
+			continue
+		}
+		for _, r := range returns {
+			if r > g.pos && r < lastPut {
+				c.report(g.pos, "poolput", "pool-escape",
+					"sync.Pool Get in %s may escape through the return at line %d before reaching its Put; defer the Put or annotate //ube:pool-escape", fd.Name.Name, c.pkg.Fset.Position(r).Line)
+				break
+			}
+		}
+	}
+}
+
+// isPoolCall reports whether call invokes the named method on a sync.Pool
+// (or *sync.Pool) receiver.
+func (c *checker) isPoolCall(call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := c.pkg.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// ---- deltafallback --------------------------------------------------------
+
+// checkDeltaFallback enforces the delta protocol: DeltaObjective is an
+// optional acceleration, never the definition of quality, so any function
+// that calls a .DeltaObjective field must guard it with a nil check and
+// keep a .Objective fallback in the same function. Without the guard, a
+// delta-unaware Problem (every caller that predates PR 1) panics; without
+// the fallback, it silently loses its objective.
+func (c *checker) checkDeltaFallback(fd *ast.FuncDecl) {
+	var calls []token.Pos
+	nilChecked := false
+	fallback := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "DeltaObjective" {
+				calls = append(calls, n.Pos())
+			}
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) && (isDeltaObjectiveSel(n.X) && isNil(n.Y) || isDeltaObjectiveSel(n.Y) && isNil(n.X)) {
+				nilChecked = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Objective" {
+				fallback = true
+			}
+		}
+		return true
+	})
+	if len(calls) == 0 || (nilChecked && fallback) {
+		return
+	}
+	for _, pos := range calls {
+		switch {
+		case !nilChecked:
+			c.report(pos, "deltafallback", "",
+				"%s calls .DeltaObjective without a nil check; DeltaObjective is optional — guard it and fall back to .Objective", fd.Name.Name)
+		default:
+			c.report(pos, "deltafallback", "",
+				"%s calls .DeltaObjective but never falls back to .Objective; delta-unaware problems would lose their objective", fd.Name.Name)
+		}
+	}
+}
+
+func isDeltaObjectiveSel(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "DeltaObjective"
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// exprString renders a short expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

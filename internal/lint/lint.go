@@ -1,0 +1,214 @@
+// Package lint is ube-lint's engine: a µBE-specific static analyzer built
+// purely on the standard library's go/parser, go/ast and go/types (no
+// golang.org/x/tools). It machine-checks the invariants the incremental
+// evaluation pipeline rests on — solve determinism, float discipline,
+// sync.Pool hygiene and the DeltaObjective fallback protocol — as named,
+// individually suppressible checks. See DESIGN.md ("Invariant catalog")
+// for what each check guards and why.
+//
+// Suppression is by source annotation on the offending line or the line
+// directly above it:
+//
+//	//ube:nondeterministic-ok <reason>   maprange, wallclock, globalrand, goroutineid
+//	//ube:float-exact <reason>           floateq
+//	//ube:pool-escape <reason>           poolput
+//	//ube:lint-ignore <check> <reason>   any single check by name
+//
+// Annotations are deliberately check-scoped: a //ube:float-exact never
+// silences a map-range diagnostic, so a suppression cannot hide an
+// unrelated regression on the same line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// CheckNames lists every implemented check in stable order.
+var CheckNames = []string{
+	"maprange",
+	"wallclock",
+	"globalrand",
+	"goroutineid",
+	"floateq",
+	"poolput",
+	"deltafallback",
+}
+
+// CheckDocs is a one-line description per check, for -list output.
+var CheckDocs = map[string]string{
+	"maprange":      "no `for range` over a map in determinism-scoped packages unless the body only collects keys for sorting or the site is annotated",
+	"wallclock":     "no time.Now/time.Since in determinism-scoped packages (solve results must not read the clock)",
+	"globalrand":    "no math/rand global functions in determinism-scoped packages (randomness must flow through an injected seeded *rand.Rand)",
+	"goroutineid":   "no runtime.Stack/runtime.NumGoroutine goroutine-identity tricks in determinism-scoped packages",
+	"floateq":       "no ==/!= on float operands outside _test.go files (route comparisons through an epsilon helper or annotate the exact sentinel)",
+	"poolput":       "every sync.Pool Get must reach a Put on the function's return paths, or be an annotated escape",
+	"deltafallback": "any function calling a .DeltaObjective field must nil-check it and fall back to .Objective",
+}
+
+// DefaultDeterminismPaths are the packages whose solves must be
+// bit-reproducible: the determinism checks (maprange, wallclock,
+// globalrand, goroutineid) apply only inside them. Matching is by
+// substring on the package import path.
+var DefaultDeterminismPaths = []string{
+	"ube/internal/search",
+	"ube/internal/engine",
+	"ube/internal/cluster",
+	"ube/internal/qef",
+	"ube/internal/pcsa",
+}
+
+// Config tunes a run.
+type Config struct {
+	// Checks enables a subset of CheckNames; empty means all.
+	Checks []string
+	// DeterminismPaths overrides DefaultDeterminismPaths (import-path
+	// substrings); nil means the default.
+	DeterminismPaths []string
+	// BuildTags adds build tags to the file-selection context.
+	BuildTags []string
+}
+
+func (c *Config) enabled(check string) bool {
+	if len(c.Checks) == 0 {
+		return true
+	}
+	for _, name := range c.Checks {
+		if name == check {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) determinismScoped(pkgPath string) bool {
+	paths := c.DeterminismPaths
+	if paths == nil {
+		paths = DefaultDeterminismPaths
+	}
+	for _, p := range paths {
+		if strings.Contains(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Run loads the packages matched by the patterns and applies every enabled
+// check, returning diagnostics sorted by position.
+func Run(patterns []string, cfg Config) ([]Diagnostic, error) {
+	l, err := newLoader(cfg.BuildTags)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, checkPackage(p, &cfg)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+// annotations indexes a file's //ube: directives by line.
+type annotations struct {
+	byLine map[int][]string // line -> directive words ("nondeterministic-ok", "lint-ignore maprange", ...)
+}
+
+func collectAnnotations(fset *token.FileSet, f *ast.File) *annotations {
+	a := &annotations{byLine: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if rest, ok := strings.CutPrefix(text, "//ube:"); ok {
+				line := fset.Position(c.Pos()).Line
+				a.byLine[line] = append(a.byLine[line], strings.TrimSpace(rest))
+			}
+		}
+	}
+	return a
+}
+
+// suppressed reports whether a diagnostic of the given check at pos is
+// silenced by an annotation on the same line or the line above. directive
+// is the check's dedicated annotation word ("" when the check has none);
+// `lint-ignore <check>` works for every check.
+func (a *annotations) suppressed(fset *token.FileSet, pos token.Pos, check, directive string) bool {
+	line := fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range a.byLine[l] {
+			word, rest, _ := strings.Cut(d, " ")
+			if directive != "" && word == directive {
+				return true
+			}
+			if word == "lint-ignore" {
+				ignored, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if ignored == check {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkPackage applies every enabled check to one package.
+func checkPackage(p *Package, cfg *Config) []Diagnostic {
+	c := &checker{pkg: p, cfg: cfg, determinism: cfg.determinismScoped(p.Path)}
+	for _, f := range p.Files {
+		c.ann = collectAnnotations(p.Fset, f)
+		c.checkFile(f)
+	}
+	return c.diags
+}
+
+type checker struct {
+	pkg         *Package
+	cfg         *Config
+	determinism bool
+	ann         *annotations
+	diags       []Diagnostic
+}
+
+func (c *checker) report(pos token.Pos, check, directive, format string, args ...any) {
+	if !c.cfg.enabled(check) {
+		return
+	}
+	if c.ann.suppressed(c.pkg.Fset, pos, check, directive) {
+		return
+	}
+	c.diags = append(c.diags, Diagnostic{
+		Pos:     c.pkg.Fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/expect")
+
+// fixtureScope makes the determinism checks apply to fixture packages
+// (their import paths contain "lint/testdata/src").
+var fixtureScope = []string{"lint/testdata/src"}
+
+// runFixture lints one fixture package and renders its diagnostics in
+// golden form: one "file.go:line:col: check: message" line each, with
+// the directory stripped so goldens are machine-independent.
+func runFixture(t *testing.T, name string, cfg Config) string {
+	t.Helper()
+	diags, err := Run([]string{filepath.Join("testdata", "src", name)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	return b.String()
+}
+
+// TestFixtureGoldens pins the analyzer's exact output — positions,
+// messages, idiom exemptions and annotation suppressions — on known-bad
+// fixture packages. Regenerate with `go test ./internal/lint -update`
+// after an intentional diagnostic change, and review the diff.
+func TestFixtureGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"maprange", Config{DeterminismPaths: fixtureScope}},
+		{"banned", Config{DeterminismPaths: fixtureScope}},
+		{"floateq", Config{}},
+		{"poolput", Config{}},
+		{"deltafallback", Config{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runFixture(t, tc.name, tc.cfg)
+			golden := filepath.Join("testdata", "expect", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics diverge from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestDeterminismScopeGates proves the determinism checks only fire
+// inside configured paths: the banned fixture is silent when no
+// determinism path matches it.
+func TestDeterminismScopeGates(t *testing.T) {
+	got := runFixture(t, "banned", Config{DeterminismPaths: []string{"ube/internal/search"}})
+	if got != "" {
+		t.Errorf("determinism checks fired outside their scope:\n%s", got)
+	}
+}
+
+// TestCheckSubset proves -checks filtering: with only floateq enabled,
+// the poolput fixture is silent and the floateq fixture still reports.
+func TestCheckSubset(t *testing.T) {
+	if got := runFixture(t, "poolput", Config{Checks: []string{"floateq"}}); got != "" {
+		t.Errorf("poolput diagnostics leaked through a floateq-only run:\n%s", got)
+	}
+	if got := runFixture(t, "floateq", Config{Checks: []string{"floateq"}}); got == "" {
+		t.Error("floateq-only run reported nothing on the floateq fixture")
+	}
+}
+
+// TestCleanTree is the self-application gate: the analyzer must exit
+// clean on the repository it ships in. Kept out of -short because it
+// type-checks the whole module.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide lint run")
+	}
+	diags, err := Run([]string{"../../..." /* module root from internal/lint */}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestCheckNamesDocumented keeps CheckNames and CheckDocs in lockstep.
+func TestCheckNamesDocumented(t *testing.T) {
+	if len(CheckNames) != len(CheckDocs) {
+		t.Fatalf("%d check names, %d docs", len(CheckNames), len(CheckDocs))
+	}
+	for _, name := range CheckNames {
+		if CheckDocs[name] == "" {
+			t.Errorf("check %s has no doc", name)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis. Only files that build under the default build context are
+// included (so `//go:build ubedebug` files are skipped, and _test.go files
+// never load — the float-discipline exemption for tests falls out of the
+// loader, not the checks).
+type Package struct {
+	// Path is the package's import path within the module (or the raw
+	// directory for packages outside any module).
+	Path string
+	// Dir is the absolute directory holding the package.
+	Dir string
+	// Files are the parsed non-test files, in file-name order.
+	Files []*ast.File
+	// Fset positions every node and comment of Files.
+	Fset *token.FileSet
+	// Info is the type-checker's fact tables for Files.
+	Info *types.Info
+	// Types is the checked package.
+	Types *types.Package
+}
+
+// loader resolves patterns to directories, parses and type-checks each
+// package once, and serves module-internal imports from its own cache so a
+// module-wide run checks every package exactly once. Imports it does not
+// own (the standard library) are delegated to the stdlib source importer,
+// which type-checks them from GOROOT source — no export data, no
+// golang.org/x/tools.
+type loader struct {
+	fset    *token.FileSet
+	ctxt    build.Context
+	modRoot string
+	modPath string
+	std     types.ImporterFrom
+	cache   map[string]*Package // by import path; nil entry = in progress
+	hardErr error
+}
+
+func newLoader(buildTags []string) (*loader, error) {
+	ctxt := build.Default
+	ctxt.BuildTags = append(append([]string(nil), ctxt.BuildTags...), buildTags...)
+	fset := token.NewFileSet()
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &loader{
+		fset:  fset,
+		ctxt:  ctxt,
+		std:   src,
+		cache: make(map[string]*Package),
+	}, nil
+}
+
+// findModule locates the enclosing go.mod starting from dir and records
+// the module root and path.
+func (l *loader) findModule(dir string) error {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					l.modRoot = d
+					l.modPath = strings.TrimSpace(rest)
+					return nil
+				}
+			}
+			return fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// importPathFor maps an absolute directory inside the module to its import
+// path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modRoot)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module-internal import path back to its directory, or
+// reports false for paths the loader does not own.
+func (l *loader) dirFor(path string) (string, bool) {
+	if path == l.modPath {
+		return l.modRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// expand resolves one pattern to package directories. Patterns are
+// directories, optionally suffixed with /... for a recursive walk;
+// directories named testdata, hidden directories and _-prefixed
+// directories are skipped during walks, mirroring the go tool.
+func (l *loader) expand(pattern string) ([]string, error) {
+	recursive := false
+	if pattern == "..." || pattern == "./..." {
+		pattern, recursive = ".", true
+	} else if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		pattern, recursive = rest, true
+	}
+	root, err := filepath.Abs(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if !recursive {
+		return []string{root}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks every package matched by the patterns.
+func (l *loader) load(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if l.modRoot == "" {
+		seed := strings.TrimSuffix(strings.TrimSuffix(patterns[0], "..."), "/")
+		if seed == "" {
+			seed = "."
+		}
+		if err := l.findModule(seed); err != nil {
+			return nil, err
+		}
+	}
+	var pkgs []*Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		dirs, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			p, err := l.loadDir(dir)
+			if err != nil {
+				if _, nogo := err.(*build.NoGoError); nogo {
+					continue
+				}
+				return nil, err
+			}
+			if p != nil && !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses and type-checks the package in one directory, memoized by
+// import path.
+func (l *loader) loadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.cache[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.cache[path] = nil // cycle guard
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		delete(l.cache, path)
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.cache, path)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // keep the first hard error only
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		delete(l.cache, path)
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Fset: l.fset, Info: info, Types: tpkg}
+	l.cache[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.modRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal imports are
+// checked by the loader itself (once), everything else goes to the stdlib
+// source importer.
+func (l *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if dir, ok := l.dirFor(path); ok {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

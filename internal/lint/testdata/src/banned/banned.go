@@ -1,0 +1,39 @@
+// Package banned is a lint fixture: ambient-state reads the wallclock,
+// globalrand and goroutineid checks must flag in determinism-scoped
+// packages, next to their sanctioned counterparts.
+package banned
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	t := time.Now()
+	return t.UnixNano()
+}
+
+// Elapsed reads the clock but is annotated: not flagged.
+func Elapsed(start time.Time) time.Duration {
+	//ube:nondeterministic-ok wall-clock reporting only, never feeds results
+	return time.Since(start)
+}
+
+// Draw uses the process-global RNG: flagged.
+func Draw() float64 {
+	return rand.Float64()
+}
+
+// DrawSeeded constructs seeded state and draws through methods, the
+// sanctioned path: not flagged.
+func DrawSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Workers asks the machine for its shape: flagged.
+func Workers() int {
+	return runtime.NumCPU()
+}

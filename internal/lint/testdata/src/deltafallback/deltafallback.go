@@ -1,0 +1,37 @@
+// Package deltafallback is a lint fixture: DeltaObjective call shapes
+// the deltafallback check must flag (missing guard, missing fallback),
+// accept, or honor the generic ignore directive on.
+package deltafallback
+
+// Problem mirrors the search.Problem delta protocol shape.
+type Problem struct {
+	Objective      func(int) float64
+	DeltaObjective func(int, int) float64
+}
+
+// Good guards the delta path and keeps the fallback: not flagged.
+func Good(p *Problem, s, d int) float64 {
+	if p.DeltaObjective != nil {
+		return p.DeltaObjective(s, d)
+	}
+	return p.Objective(s)
+}
+
+// NoGuard calls the delta objective unconditionally: flagged.
+func NoGuard(p *Problem, s, d int) float64 {
+	return p.DeltaObjective(s, d)
+}
+
+// NoFallback guards but never falls back to Objective: flagged.
+func NoFallback(p *Problem, s, d int) float64 {
+	if p.DeltaObjective != nil {
+		return p.DeltaObjective(s, d)
+	}
+	return 0
+}
+
+// Ignored carries the generic ignore directive: not flagged.
+func Ignored(p *Problem, s, d int) float64 {
+	//ube:lint-ignore deltafallback caller constructs delta-aware problems only
+	return p.DeltaObjective(s, d)
+}

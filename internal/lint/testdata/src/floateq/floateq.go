@@ -1,0 +1,29 @@
+// Package floateq is a lint fixture: float comparisons the floateq check
+// must flag, exempt, or honor the float-exact annotation on.
+package floateq
+
+// Same compares floats exactly: flagged.
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// Sentinel is annotated exact: not flagged.
+func Sentinel(w float64) bool {
+	//ube:float-exact zero is the dimension-off sentinel, assigned literally
+	return w == 0
+}
+
+// IntsAreFine compares integers: not flagged.
+func IntsAreFine(a, b int) bool {
+	return a != b
+}
+
+// Diff32 compares float32 operands: flagged.
+func Diff32(a, b float32) bool {
+	return a != b
+}
+
+// Ordered uses ordering operators, which are fine: not flagged.
+func Ordered(a, b float64) bool {
+	return a < b || a > b
+}

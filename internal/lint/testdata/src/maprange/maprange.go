@@ -1,0 +1,57 @@
+// Package maprange is a lint fixture: map-iteration shapes the maprange
+// check must flag, recognize as the keys-collect idiom, or honor a
+// suppression on.
+package maprange
+
+import "sort"
+
+// Total folds values in map iteration order: flagged.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Keys is the recognized sort-the-keys idiom: not flagged.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MaxValue is order-independent and annotated: not flagged.
+func MaxValue(m map[string]int) int {
+	best := 0
+	//ube:nondeterministic-ok per-key max fold is order-independent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Count carries the generic ignore directive on the line: not flagged.
+func Count(m map[int]int) int {
+	n := 0
+	for range m { //ube:lint-ignore maprange counting only, order cannot matter
+		n++
+	}
+	return n
+}
+
+// WrongDirective carries an annotation for a different check, which must
+// not silence maprange: flagged.
+func WrongDirective(m map[int]float64) float64 {
+	var sum float64
+	//ube:float-exact wrong directive for this check
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

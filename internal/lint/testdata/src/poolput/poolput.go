@@ -1,0 +1,46 @@
+// Package poolput is a lint fixture: sync.Pool Get/Put shapes the
+// poolput check must flag as leaks or escapes, accept as hygienic, or
+// honor the pool-escape annotation on.
+package poolput
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Leak gets and never puts: flagged.
+func Leak() int {
+	buf := pool.Get().(*[]byte)
+	return len(*buf)
+}
+
+// Deferred puts on every return path: not flagged.
+func Deferred() int {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	return len(*buf)
+}
+
+// EarlyReturn has a return between the Get and its Put: flagged.
+func EarlyReturn(skip bool) int {
+	buf := pool.Get().(*[]byte)
+	if skip {
+		return 0
+	}
+	n := len(*buf)
+	pool.Put(buf)
+	return n
+}
+
+// Straight puts before its only return: not flagged.
+func Straight() int {
+	buf := pool.Get().(*[]byte)
+	n := len(*buf)
+	pool.Put(buf)
+	return n
+}
+
+// Handoff transfers ownership to the caller and says so: not flagged.
+func Handoff() *[]byte {
+	//ube:pool-escape ownership transfers to the caller, which must Put
+	return pool.Get().(*[]byte)
+}

@@ -26,6 +26,7 @@ func (e *Exact) Count() int64 { return int64(len(e.seen)) }
 
 // UnionInto merges another exact counter into e.
 func (e *Exact) UnionInto(o *Exact) {
+	//ube:nondeterministic-ok set union: inserting members in any order yields the same set
 	for h := range o.seen {
 		e.seen[h] = struct{}{}
 	}

@@ -1,0 +1,62 @@
+package pcsa
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzPCSAMarshalRoundTrip checks the binary codec on arbitrary input:
+// anything UnmarshalBinary accepts must re-marshal to the exact input
+// bytes (the format is canonical — the header fixes nmaps and the
+// payload length is enforced exactly), estimate to a finite non-negative
+// count, and survive a second round trip as a compatible equal sketch.
+func FuzzPCSAMarshalRoundTrip(f *testing.F) {
+	// Seed with real sketches: empty, small, default-size, saturated.
+	for _, seed := range []struct {
+		nmaps int
+		seed  uint64
+		n     int
+	}{
+		{1, 0, 0}, {8, 7, 5}, {64, 42, 1000}, {DefaultMaps, 0, 100000},
+	} {
+		s := MustNew(seed.nmaps, seed.seed)
+		for i := 0; i < seed.n; i++ {
+			s.AddUint64(uint64(i))
+		}
+		b, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// And with near-misses: truncated header, bad magic, wrong length.
+	f.Add([]byte("PCSA"))
+	f.Add([]byte("PCSB\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add(bytes.Repeat([]byte{0xff}, 17))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return // rejected input: nothing more to hold
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal after successful unmarshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", data, out)
+		}
+		e := s.Estimate()
+		if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			t.Fatalf("estimate %v from accepted payload %x", e, data)
+		}
+		var s2 Sketch
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("second unmarshal rejected own output: %v", err)
+		}
+		if !s.Compatible(&s2) || s.Checksum() != s2.Checksum() {
+			t.Fatal("second round trip changed the sketch")
+		}
+	})
+}

@@ -18,6 +18,8 @@ import (
 	"hash/fnv"
 	"math"
 	"math/bits"
+
+	"ube/internal/ubedebug"
 )
 
 // phi is the Flajolet–Martin magic constant 0.77351...: the expected value
@@ -108,6 +110,10 @@ func (s *Sketch) AddHash(h uint64) {
 			rho = wordBits - 1
 		}
 	}
+	if ubedebug.Enabled {
+		ubedebug.Assert(bucket < uint64(s.nmaps), "pcsa: bucket %d out of range for %d maps", bucket, s.nmaps)
+		ubedebug.Assert(rho < wordBits, "pcsa: rho %d exceeds bitmap width %d", rho, wordBits)
+	}
 	s.maps[bucket] |= 1 << rho
 }
 
@@ -178,6 +184,18 @@ func (s *Sketch) CopyFrom(t *Sketch) error {
 	}
 	copy(s.maps, t.maps)
 	return nil
+}
+
+// Checksum folds the sketch's parameters and bitmap payload into one
+// 64-bit value. Equal checksums for unequal sketches are possible but
+// vanishingly unlikely; the ubedebug snapshot-immutability audit uses it
+// to detect mutation of state that is contractually frozen.
+func (s *Sketch) Checksum() uint64 {
+	h := splitmix64(uint64(s.nmaps)<<32 ^ s.seed)
+	for _, w := range s.maps {
+		h = splitmix64(h ^ w)
+	}
+	return h
 }
 
 // Clone returns an independent copy of s.

@@ -1,6 +1,9 @@
 package qef
 
-import "ube/internal/model"
+import (
+	"ube/internal/floats"
+	"ube/internal/model"
+)
 
 // An Aggregator folds the per-source values of one characteristic over a
 // source set into a score in [0,1] (paper §5). Characteristic values are
@@ -63,7 +66,7 @@ func (WSum) Aggregate(ctx *Context, S *model.SourceSet, char string) float64 {
 	if !ok || S.Len() == 0 {
 		return 0
 	}
-	if hi == lo {
+	if floats.Eq(hi, lo) {
 		// Every source is equally good on this dimension; no set can
 		// beat another, so score full marks.
 		return 1
@@ -74,7 +77,7 @@ func (WSum) Aggregate(ctx *Context, S *model.SourceSet, char string) float64 {
 		num += (value(ctx, id, char, lo) - lo) * card
 		den += card
 	})
-	if den == 0 {
+	if floats.Zero(den) {
 		return 0
 	}
 	return num / (den * (hi - lo))
@@ -108,13 +111,13 @@ func (p *wsumPartials) EvalAdd(ctx *Context, id int) float64 {
 	if !p.ok {
 		return 0
 	}
-	if p.hi == p.lo {
+	if floats.Eq(p.hi, p.lo) {
 		return 1
 	}
 	card := float64(ctx.U.Sources[id].Cardinality)
 	num := p.num + (value(ctx, id, p.char, p.lo)-p.lo)*card
 	den := p.den + card
-	if den == 0 {
+	if floats.Zero(den) {
 		return 0
 	}
 	return num / (den * (p.hi - p.lo))
@@ -132,7 +135,7 @@ func (Mean) Aggregate(ctx *Context, S *model.SourceSet, char string) float64 {
 	if !ok || S.Len() == 0 {
 		return 0
 	}
-	if hi == lo {
+	if floats.Eq(hi, lo) {
 		return 1
 	}
 	sum := 0.0
@@ -155,7 +158,7 @@ type meanPartials struct {
 func (Mean) Partials(ctx *Context, S *model.SourceSet, char string) AggPartials {
 	p := &meanPartials{char: char, n: S.Len()}
 	p.lo, p.hi, p.ok = ctx.CharRange(char)
-	if !p.ok || p.hi == p.lo {
+	if !p.ok || floats.Eq(p.hi, p.lo) {
 		return p
 	}
 	S.ForEach(func(id int) {
@@ -169,7 +172,7 @@ func (p *meanPartials) EvalAdd(ctx *Context, id int) float64 {
 	if !p.ok {
 		return 0
 	}
-	if p.hi == p.lo {
+	if floats.Eq(p.hi, p.lo) {
 		return 1
 	}
 	sum := p.sum + (value(ctx, id, p.char, p.lo)-p.lo)/(p.hi-p.lo)
@@ -190,7 +193,7 @@ func (Min) Aggregate(ctx *Context, S *model.SourceSet, char string) float64 {
 	if !ok || S.Len() == 0 {
 		return 0
 	}
-	if hi == lo {
+	if floats.Eq(hi, lo) {
 		return 1
 	}
 	best := 1.0
@@ -217,7 +220,7 @@ type extremePartials struct {
 func (Min) Partials(ctx *Context, S *model.SourceSet, char string) AggPartials {
 	p := &extremePartials{char: char, best: 1, isMin: true}
 	p.lo, p.hi, p.ok = ctx.CharRange(char)
-	if !p.ok || p.hi == p.lo {
+	if !p.ok || floats.Eq(p.hi, p.lo) {
 		return p
 	}
 	S.ForEach(func(id int) {
@@ -233,7 +236,7 @@ func (p *extremePartials) EvalAdd(ctx *Context, id int) float64 {
 	if !p.ok {
 		return 0
 	}
-	if p.hi == p.lo {
+	if floats.Eq(p.hi, p.lo) {
 		return 1
 	}
 	v := (value(ctx, id, p.char, p.lo) - p.lo) / (p.hi - p.lo)
@@ -256,7 +259,7 @@ func (Max) Aggregate(ctx *Context, S *model.SourceSet, char string) float64 {
 	if !ok || S.Len() == 0 {
 		return 0
 	}
-	if hi == lo {
+	if floats.Eq(hi, lo) {
 		return 1
 	}
 	best := 0.0
@@ -273,7 +276,7 @@ func (Max) Aggregate(ctx *Context, S *model.SourceSet, char string) float64 {
 func (Max) Partials(ctx *Context, S *model.SourceSet, char string) AggPartials {
 	p := &extremePartials{char: char, best: 0}
 	p.lo, p.hi, p.ok = ctx.CharRange(char)
-	if !p.ok || p.hi == p.lo {
+	if !p.ok || floats.Eq(p.hi, p.lo) {
 		return p
 	}
 	S.ForEach(func(id int) {

@@ -2,9 +2,9 @@ package qef
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
+	"ube/internal/floats"
 	"ube/internal/model"
 )
 
@@ -32,7 +32,7 @@ func (w Weights) Validate(qefs []QEF) error {
 		}
 		sum += wi
 	}
-	if math.Abs(sum-1) > weightSumTolerance {
+	if !floats.EqTol(sum, 1, weightSumTolerance) {
 		return fmt.Errorf("qef: weights sum to %v, want 1", sum)
 	}
 	return nil
@@ -67,6 +67,7 @@ func (w Weights) Normalized() Weights {
 // Clone returns a copy of w.
 func (w Weights) Clone() Weights {
 	out := make(Weights, len(w))
+	//ube:nondeterministic-ok key-for-key map copy is order-independent
 	for k, v := range w {
 		out[k] = v
 	}
@@ -97,6 +98,7 @@ func NewComposite(qefs []QEF, w Weights) (*Composite, error) {
 func (c *Composite) Eval(ctx *Context, S *model.SourceSet) float64 {
 	q := 0.0
 	for i, f := range c.qefs {
+		//ube:float-exact zero means exactly zero (dimension off); must match DeltaEval's skip
 		if c.weights[i] == 0 {
 			continue
 		}

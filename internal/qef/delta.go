@@ -1,8 +1,12 @@
 package qef
 
 import (
+	"math"
+
+	"ube/internal/floats"
 	"ube/internal/model"
 	"ube/internal/pcsa"
+	"ube/internal/ubedebug"
 )
 
 // DeltaEval evaluates a Composite incrementally on candidate sets of the
@@ -39,6 +43,35 @@ type BaseSnapshot struct {
 	sketch   *pcsa.Sketch  // union signature of the cooperative members
 	distinct float64       // sketch's PCSA estimate (0 when sketch is nil)
 	chars    []AggPartials // per-QEF aggregator partials; nil entries fall back
+
+	// debugSum is the checksum of the scalar state and sketch payload at
+	// capture time, set only under the ubedebug build tag; EvalAdd
+	// re-derives it to catch mutation of the contractually frozen
+	// snapshot (e.g. a caller UnionInto-ing the shared sketch).
+	debugSum uint64
+}
+
+// checksum folds the snapshot's immutable state (the aggregator
+// partials, behind interfaces, are not covered). Only called under the
+// ubedebug build tag.
+func (s *BaseSnapshot) checksum() uint64 {
+	h := debugMix(uint64(s.cardSum))
+	h = debugMix(h ^ uint64(s.coopN))
+	h = debugMix(h ^ uint64(s.coopCard))
+	h = debugMix(h ^ math.Float64bits(s.distinct))
+	if s.sketch != nil {
+		h = debugMix(h ^ s.sketch.Checksum())
+	}
+	return h
+}
+
+// debugMix is the splitmix64 finalizer (Vigna), used only to fold
+// snapshot state into debugSum.
+func debugMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Key returns the canonical set key of the snapshot's base set.
@@ -67,12 +100,19 @@ func (d *DeltaEval) Snapshot(ctx *Context, base *model.SourceSet) *BaseSnapshot 
 	snap.chars = make([]AggPartials, len(d.comp.qefs))
 	for i, f := range d.comp.qefs {
 		c, ok := f.(Characteristic)
+		// Zero-weight skips must be bit-exact and identical to
+		// Composite.Eval's, or the two pipelines would fold different
+		// QEF lists for the same weights.
+		//ube:float-exact zero means exactly zero (dimension off); must match Composite.Eval's skip
 		if !ok || d.comp.weights[i] == 0 {
 			continue
 		}
 		if da, ok := c.Agg.(DeltaAggregator); ok {
 			snap.chars[i] = da.Partials(ctx, base, c.Char)
 		}
+	}
+	if ubedebug.Enabled {
+		snap.debugSum = snap.checksum()
 	}
 	return snap
 }
@@ -85,6 +125,10 @@ func (d *DeltaEval) Snapshot(ctx *Context, base *model.SourceSet) *BaseSnapshot 
 // same order with the same zero-weight skips as Composite.Eval, so the
 // float sum reassociates identically.
 func (d *DeltaEval) EvalAdd(ctx *Context, snap *BaseSnapshot, add int, S *model.SourceSet) float64 {
+	if ubedebug.Enabled {
+		ubedebug.Assert(snap.debugSum == snap.checksum(),
+			"qef: base snapshot for %q mutated since capture", snap.key)
+	}
 	src := &ctx.U.Sources[add]
 	coopN, coopCard := snap.coopN, snap.coopCard
 	distinct := snap.distinct
@@ -96,6 +140,7 @@ func (d *DeltaEval) EvalAdd(ctx *Context, snap *BaseSnapshot, add int, S *model.
 	q := 0.0
 	for i, f := range d.comp.qefs {
 		w := d.comp.weights[i]
+		//ube:float-exact zero means exactly zero (dimension off); must match Composite.Eval's skip
 		if w == 0 {
 			continue
 		}
@@ -106,7 +151,7 @@ func (d *DeltaEval) EvalAdd(ctx *Context, snap *BaseSnapshot, add int, S *model.
 				v = float64(snap.cardSum+src.Cardinality) / float64(ctx.totalCard)
 			}
 		case Coverage:
-			if ctx.universeDistinct != 0 {
+			if !floats.Zero(ctx.universeDistinct) {
 				v = min(distinct/ctx.universeDistinct, 1)
 			}
 		case Redundancy:

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sync"
 
+	"ube/internal/floats"
 	"ube/internal/model"
 	"ube/internal/pcsa"
 )
@@ -64,6 +65,9 @@ func NewContext(u *model.Universe) (*Context, error) {
 				return sk
 			}}
 		}
+		// Min/max folds commute, so visiting one source's characteristics
+		// in map order cannot change the resulting ranges.
+		//ube:nondeterministic-ok per-key min/max fold is order-independent
 		for name, v := range s.Characteristics {
 			r, ok := ctx.charRange[name]
 			if !ok {
@@ -172,7 +176,7 @@ func (Coverage) Name() string { return "coverage" }
 
 // Eval implements QEF.
 func (Coverage) Eval(ctx *Context, S *model.SourceSet) float64 {
-	if ctx.universeDistinct == 0 {
+	if floats.Zero(ctx.universeDistinct) {
 		return 0
 	}
 	cov := ctx.unionEstimate(S) / ctx.universeDistinct

@@ -104,6 +104,7 @@ func parseLine(line string) (model.Source, error) {
 			return src, fmt.Errorf("metadata %s: %v", k, err)
 		}
 		if k == "cardinality" {
+			//ube:float-exact integrality test: a cardinality must round-trip through int64 exactly
 			if x < 0 || x != float64(int64(x)) {
 				return src, fmt.Errorf("cardinality must be a non-negative integer, got %q", v)
 			}

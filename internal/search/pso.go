@@ -130,7 +130,11 @@ func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 // with the lowest velocity (the one the particle "wants" least), and if S
 // ended up empty adds the highest-velocity candidate.
 func repair(p *Problem, s *model.SourceSet, pool []int, vel []float64, required map[int]bool, rng *rand.Rand) {
-	for id := range required {
+	// Force required sources in by walking the Problem's slice, not the
+	// lookup map: set insertion is order-independent today, but ranging
+	// the map here would leave determinism hostage to whatever this loop
+	// grows to do per member.
+	for _, id := range p.Required {
 		s.Add(id)
 	}
 	for s.Len() > p.M {

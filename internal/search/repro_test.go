@@ -1,0 +1,39 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDoubleSolveByteIdentical pins optimizer-level reproducibility:
+// every optimizer, sequential and with parallel workers, must return
+// byte-identical results when run twice on the same (problem, seed) —
+// the same set, the same quality bit pattern, the same accounting.
+func TestDoubleSolveByteIdentical(t *testing.T) {
+	n, m := 28, 6
+	for _, opt := range allOptimizers() {
+		for _, workers := range []int{1, 4} {
+			p := &Problem{
+				N: n, M: m,
+				Required:  []int{3},
+				Excluded:  []int{5},
+				Objective: ruggedObjective(n, m),
+				MaxEvals:  2500,
+				Workers:   workers,
+			}
+			a := opt.Optimize(p, 42)
+			b := opt.Optimize(p, 42)
+			label := opt.Name()
+			if a.S.Key() != b.S.Key() {
+				t.Errorf("%s workers=%d: sets diverge: %v vs %v", label, workers, a.S.Elements(), b.S.Elements())
+			}
+			if math.Float64bits(a.Quality) != math.Float64bits(b.Quality) {
+				t.Errorf("%s workers=%d: quality bits diverge: %v vs %v", label, workers, a.Quality, b.Quality)
+			}
+			if a.Feasible != b.Feasible || a.Evals != b.Evals {
+				t.Errorf("%s workers=%d: accounting diverges: (%v,%d) vs (%v,%d)",
+					label, workers, a.Feasible, a.Evals, b.Feasible, b.Evals)
+			}
+		}
+	}
+}

@@ -51,6 +51,7 @@ func (s *ProblemSpec) Build() (engine.Problem, error) {
 		return p, fmt.Errorf("spec: maxSources %d < 1", s.MaxSources)
 	}
 	p.MaxSources = s.MaxSources
+	//ube:float-exact zero is the JSON "field unset" sentinel; any explicit θ, however small, must win
 	if s.Theta != 0 {
 		p.Theta = s.Theta
 	}

@@ -25,6 +25,42 @@ func FuzzNormalize(f *testing.F) {
 	})
 }
 
+// FuzzLevenshtein checks the fast-path edit distance (prefix/suffix
+// trimming, ASCII byte DP) against the reference two-row DP on arbitrary
+// inputs, plus the metric properties the fast paths could plausibly
+// break: symmetry, identity, and the rune-count bounds. Note the
+// converse of identity does not hold for invalid UTF-8 — distinct byte
+// strings can decode to equal rune sequences via U+FFFD — so distance 0
+// between unequal strings is not asserted against.
+func FuzzLevenshtein(f *testing.F) {
+	f.Add("book title", "full title")
+	f.Add("isbn", "isbn number")
+	f.Add("", "x")
+	f.Add("Prénom", "Prenom")
+	f.Add("aaaa", "aa")
+	f.Add("\xff\xfe", "\xfd")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		d := Levenshtein(a, b)
+		if ref := levenshteinRef(a, b); d != ref {
+			t.Fatalf("Levenshtein(%q,%q) = %d, reference says %d", a, b, d, ref)
+		}
+		if rev := Levenshtein(b, a); d != rev {
+			t.Fatalf("asymmetric on (%q,%q): %d vs %d", a, b, d, rev)
+		}
+		if Levenshtein(a, a) != 0 {
+			t.Fatalf("self-distance of %q is nonzero", a)
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		lo, hi := la-lb, max(la, lb)
+		if lo < 0 {
+			lo = -lo
+		}
+		if d < lo || d > hi {
+			t.Fatalf("Levenshtein(%q,%q) = %d outside [%d,%d]", a, b, d, lo, hi)
+		}
+	})
+}
+
 // FuzzMeasures checks the Measure contract on arbitrary inputs for every
 // shipped measure: symmetry, range, self-similarity.
 func FuzzMeasures(f *testing.F) {

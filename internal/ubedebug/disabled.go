@@ -1,0 +1,28 @@
+//go:build !ubedebug
+
+package ubedebug
+
+// Enabled reports whether the build carries the ubedebug tag. It is a
+// constant so that `if ubedebug.Enabled { ... }` blocks fold away
+// entirely in normal builds.
+const Enabled = false
+
+// Assert is a no-op without the ubedebug tag; call sites gate on
+// Enabled, so in normal builds neither it nor its arguments are ever
+// evaluated.
+func Assert(cond bool, format string, args ...any) {}
+
+// ShouldAudit never samples without the ubedebug tag.
+func ShouldAudit() bool { return false }
+
+// CountAudit is a no-op without the ubedebug tag.
+func CountAudit() {}
+
+// Audited always reports zero without the ubedebug tag.
+func Audited() uint64 { return 0 }
+
+// AuditEvery reports zero without the ubedebug tag (no sampling grid).
+func AuditEvery() uint64 { return 0 }
+
+// SetAuditEvery is a no-op without the ubedebug tag; it reports zero.
+func SetAuditEvery(n uint64) uint64 { return 0 }

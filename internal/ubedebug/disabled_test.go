@@ -1,0 +1,24 @@
+//go:build !ubedebug
+
+package ubedebug
+
+import "testing"
+
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the ubedebug tag")
+	}
+	Assert(false, "must not panic in normal builds")
+	for i := 0; i < 1000; i++ {
+		if ShouldAudit() {
+			t.Fatal("ShouldAudit fired in a normal build")
+		}
+	}
+	CountAudit()
+	if Audited() != 0 {
+		t.Fatal("Audited must stay zero in normal builds")
+	}
+	if AuditEvery() != 0 {
+		t.Fatal("AuditEvery must be zero in normal builds")
+	}
+}

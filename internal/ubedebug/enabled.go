@@ -1,0 +1,74 @@
+//go:build ubedebug
+
+package ubedebug
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// Enabled reports whether the build carries the ubedebug tag. It is a
+// constant so that `if ubedebug.Enabled { ... }` blocks fold away
+// entirely in normal builds.
+const Enabled = true
+
+// auditEvery is the delta≡full audit sampling period: every Nth
+// ShouldAudit call returns true. Overridable via UBE_DEBUG_AUDIT_EVERY.
+var auditEvery atomic.Uint64
+
+func init() {
+	every := uint64(64)
+	if v := os.Getenv("UBE_DEBUG_AUDIT_EVERY"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			panic(fmt.Sprintf("ubedebug: UBE_DEBUG_AUDIT_EVERY must be a positive integer, got %q", v))
+		}
+		every = n
+	}
+	auditEvery.Store(every)
+}
+
+var (
+	ticks   atomic.Uint64 // ShouldAudit calls
+	audited atomic.Uint64 // CountAudit calls (audits actually performed)
+)
+
+// Assert panics with the formatted message when cond is false. Call
+// sites gate on Enabled so the arguments are never evaluated in normal
+// builds.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("ubedebug: assertion failed: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// ShouldAudit reports whether this call falls on the sampling grid
+// (every auditEvery-th call process-wide). Sampling is a shared atomic
+// counter, not randomness or time: the debug layer obeys the same
+// determinism rules ube-lint enforces on the solver. Under concurrency
+// the set of sampled call sites varies with scheduling, but audits only
+// observe invariants — they never influence results.
+func ShouldAudit() bool {
+	return ticks.Add(1)%auditEvery.Load() == 0
+}
+
+// CountAudit records that one audit was actually performed, so tests
+// can prove the audit path is live in tagged builds.
+func CountAudit() { audited.Add(1) }
+
+// Audited returns the number of audits performed so far.
+func Audited() uint64 { return audited.Load() }
+
+// AuditEvery returns the active sampling period.
+func AuditEvery() uint64 { return auditEvery.Load() }
+
+// SetAuditEvery overrides the sampling period (n must be positive) and
+// returns the previous one; tests use it to force dense auditing.
+func SetAuditEvery(n uint64) uint64 {
+	if n == 0 {
+		panic("ubedebug: SetAuditEvery(0)")
+	}
+	return auditEvery.Swap(n)
+}

@@ -1,0 +1,57 @@
+//go:build ubedebug
+
+package ubedebug
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabledConstant(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the ubedebug tag")
+	}
+}
+
+func TestAssertPassAndFail(t *testing.T) {
+	Assert(true, "must not fire")
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom 42") {
+			t.Fatalf("panic value %v does not carry the formatted message", r)
+		}
+	}()
+	Assert(false, "boom %d", 42)
+}
+
+func TestShouldAuditSamplesEveryNth(t *testing.T) {
+	every := AuditEvery()
+	if every == 0 {
+		t.Fatal("AuditEvery is zero under the ubedebug tag")
+	}
+	// The shared counter may start at any phase; over 3*every calls the
+	// sampling grid must fire exactly 3 times.
+	hits := 0
+	for i := uint64(0); i < 3*every; i++ {
+		if ShouldAudit() {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("ShouldAudit fired %d times over %d calls with period %d", hits, 3*every, every)
+	}
+}
+
+func TestCountAuditAdvances(t *testing.T) {
+	before := Audited()
+	CountAudit()
+	CountAudit()
+	if got := Audited(); got != before+2 {
+		t.Fatalf("Audited = %d after two CountAudit calls from %d", got, before)
+	}
+}
