@@ -1,0 +1,327 @@
+// Command ube-load is a closed-loop load generator for ube-serve: N
+// simulated users each create a session over a shared synthetic catalog
+// and run the same solve → pin → tighten → reweight script, as fast as
+// the server admits them. It reports throughput, latency percentiles and
+// queue rejections as BENCH_serve.json, and verifies the service's
+// determinism contract end to end: because every user runs an identical
+// script against an identical session, all N iteration histories must be
+// bit-identical (timing metadata aside) no matter how the scheduler
+// interleaved them.
+//
+// Usage:
+//
+//	ube-load -users 32 -iters 4 -addr http://localhost:8080
+//	ube-load -users 10            # no -addr: serves in-process
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/schemaio"
+	"ube/internal/server"
+	"ube/internal/synth"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "base URL of a running ube-serve (empty: serve in-process)")
+		users   = flag.Int("users", 32, "concurrent simulated users")
+		iters   = flag.Int("iters", 4, "solve iterations per user")
+		n       = flag.Int("n", 40, "sources in the synthetic catalog")
+		evals   = flag.Int("evals", 400, "solver evaluation budget per solve")
+		workers = flag.Int("workers", 4, "worker pool size (in-process server only)")
+		queue   = flag.Int("queue", 32, "admission queue depth (in-process server only)")
+		out     = flag.String("o", "BENCH_serve.json", "benchmark output path")
+	)
+	flag.Parse()
+
+	u, _, err := synth.Generate(synth.QuickConfig(*n))
+	if err != nil {
+		log.Fatalf("generating catalog: %v", err)
+	}
+
+	base := *addr
+	var inproc *server.Server
+	var httpSrv *http.Server
+	if base == "" {
+		inproc = server.New(server.Config{Workers: *workers, QueueDepth: *queue, MaxSessions: *users + 8})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpSrv = &http.Server{Handler: inproc.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		log.Printf("in-process server on %s (workers=%d queue=%d)", base, *workers, *queue)
+	}
+
+	bench, err := run(base, u, *users, *iters, *evals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if inproc != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		if err := inproc.Shutdown(ctx); err != nil {
+			log.Fatalf("in-process shutdown: %v", err)
+		}
+	}
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s", data)
+	if !bench.Deterministic {
+		log.Fatal("FAIL: user histories diverged — determinism contract broken")
+	}
+}
+
+// benchDoc is the BENCH_serve.json schema.
+type benchDoc struct {
+	Users         int     `json:"users"`
+	ItersPerUser  int     `json:"itersPerUser"`
+	Sources       int     `json:"sources"`
+	TotalSolves   int     `json:"totalSolves"`
+	WallSeconds   float64 `json:"wallSeconds"`
+	SolvesPerSec  float64 `json:"solvesPerSec"`
+	LatencyMsP50  float64 `json:"latencyMsP50"`
+	LatencyMsP95  float64 `json:"latencyMsP95"`
+	LatencyMsP99  float64 `json:"latencyMsP99"`
+	LatencyMsMax  float64 `json:"latencyMsMax"`
+	Rejections429 int     `json:"rejections429"`
+	RetriesSlept  int     `json:"retriesSlept"`
+	Deterministic bool    `json:"deterministic"`
+	ServerMetrics any     `json:"serverMetrics,omitempty"`
+}
+
+// userResult is one simulated user's run.
+type userResult struct {
+	latenciesMs []float64
+	rejections  int
+	history     string // canonical history JSON, timing stripped
+	err         error
+}
+
+func run(base string, u *model.Universe, users, iters, evals int) (*benchDoc, error) {
+	prob := engine.DefaultProblem()
+	if prob.MaxSources > u.N() {
+		prob.MaxSources = u.N()
+	}
+	prob.MaxEvals = evals
+	probDoc, err := schemaio.EncodeProblem(&prob)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	results := make([]userResult, users)
+	var wg sync.WaitGroup
+	//ube:nondeterministic-ok benchmark wall-clock measurement
+	start := time.Now()
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runUser(client, base, u, probDoc, iters)
+		}(i)
+	}
+	wg.Wait()
+	//ube:nondeterministic-ok benchmark wall-clock measurement
+	wall := time.Since(start)
+
+	bench := &benchDoc{
+		Users:        users,
+		ItersPerUser: iters,
+		Sources:      u.N(),
+		WallSeconds:  wall.Seconds(),
+	}
+	var all []float64
+	deterministic := true
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, fmt.Errorf("user %d: %w", i, r.err)
+		}
+		all = append(all, r.latenciesMs...)
+		bench.Rejections429 += r.rejections
+		if r.history != results[0].history {
+			deterministic = false
+		}
+	}
+	bench.Deterministic = deterministic
+	bench.TotalSolves = users * iters
+	if wall > 0 {
+		bench.SolvesPerSec = float64(bench.TotalSolves) / wall.Seconds()
+	}
+	sort.Float64s(all)
+	bench.LatencyMsP50 = percentile(all, 0.50)
+	bench.LatencyMsP95 = percentile(all, 0.95)
+	bench.LatencyMsP99 = percentile(all, 0.99)
+	if len(all) > 0 {
+		bench.LatencyMsMax = all[len(all)-1]
+	}
+	bench.RetriesSlept = bench.Rejections429
+
+	var metrics any
+	if err := getJSON(client, base+"/metrics", &metrics); err == nil {
+		bench.ServerMetrics = metrics
+	}
+	return bench, nil
+}
+
+// runUser plays one user's script: create a session, then iterate the
+// paper's feedback loop — solve, pin the best source, tighten θ, bias a
+// weight — with edits derived only from the previous response, so every
+// user's script (and therefore history) is identical.
+func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio.ProblemDoc, iters int) userResult {
+	var r userResult
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	status, err := postJSON(client, base+"/v1/sessions", map[string]any{"universe": u, "problem": prob}, &created)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if status != http.StatusCreated {
+		r.err = fmt.Errorf("create session: HTTP %d", status)
+		return r
+	}
+	sessionURL := base + "/v1/sessions/" + created.ID
+
+	var lastSources []int
+	for k := 0; k < iters; k++ {
+		edit := map[string]any{}
+		switch {
+		case k == 0: // cold solve, no edits
+		case k%3 == 1 && len(lastSources) > 0: // pin the first chosen source
+			edit["pinSources"] = []int{lastSources[0]}
+		case k%3 == 2: // tighten the matching threshold
+			edit["theta"] = 0.75
+		default: // bias cardinality, rescaling the rest
+			edit["setWeights"] = map[string]float64{"card": 0.5}
+		}
+
+		var solved struct {
+			Solution *schemaio.SolutionDoc `json:"solution"`
+		}
+		for {
+			//ube:nondeterministic-ok per-request latency measurement
+			t0 := time.Now()
+			status, retryAfter, err := postJSONRetry(client, sessionURL+"/solve", edit, &solved)
+			//ube:nondeterministic-ok per-request latency measurement
+			dt := time.Since(t0)
+			if err != nil {
+				r.err = err
+				return r
+			}
+			if status == http.StatusTooManyRequests {
+				r.rejections++
+				time.Sleep(retryAfter)
+				continue
+			}
+			if status != http.StatusOK {
+				r.err = fmt.Errorf("solve %d: HTTP %d", k, status)
+				return r
+			}
+			r.latenciesMs = append(r.latenciesMs, float64(dt.Nanoseconds())/1e6)
+			break
+		}
+		if solved.Solution != nil {
+			lastSources = solved.Solution.Sources
+		}
+	}
+
+	var hist struct {
+		Iterations []schemaio.IterationDoc `json:"iterations"`
+	}
+	if err := getJSON(client, sessionURL+"/history", &hist); err != nil {
+		r.err = err
+		return r
+	}
+	for i := range hist.Iterations {
+		hist.Iterations[i].Solution.ElapsedNS = 0 // timing metadata is not part of the contract
+	}
+	canon, err := json.Marshal(hist.Iterations)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.history = string(canon)
+	return r
+}
+
+func postJSON(client *http.Client, url string, body, out any) (int, error) {
+	status, _, err := postJSONRetry(client, url, body, out)
+	return status, err
+}
+
+// postJSONRetry posts and, on 429, surfaces the server's Retry-After
+// delay so callers can back off exactly as asked.
+func postJSONRetry(client *http.Client, url string, body, out any) (int, time.Duration, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+		if out != nil {
+			return resp.StatusCode, 0, json.NewDecoder(resp.Body).Decode(out)
+		}
+	}
+	backoff := 100 * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			backoff = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, backoff, nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank on the
+// sorted slice).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,92 @@
+// Command ube-serve runs the µBE session service: the interactive
+// solve → inspect → refine loop exposed over HTTP for many concurrent
+// users (see internal/server for the API).
+//
+// Usage:
+//
+//	ube-serve [-addr :8080] [-workers 4] [-queue 32] [-session-ttl 30m] [-audit audit.jsonl]
+//
+// The process drains gracefully on SIGTERM/SIGINT: new work is refused
+// with 503, event streams disconnect, in-flight and queued solves finish
+// and are answered, then the listener closes and the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ube/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 4, "solve worker pool size")
+		queue        = flag.Int("queue", 32, "admission queue depth (excess solves get 429)")
+		maxSessions  = flag.Int("max-sessions", 256, "maximum live sessions")
+		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 disables)")
+		auditPath    = flag.String("audit", "", "append-only JSONL audit log path (\"-\" for stdout, empty disables)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "maximum time to wait for in-flight solves on shutdown")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+	}
+	switch *auditPath {
+	case "":
+	case "-":
+		cfg.AuditWriter = os.Stdout
+	default:
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening audit log: %v", err)
+		}
+		defer f.Close()
+		cfg.AuditWriter = f
+	}
+
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ube-serve listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	// Refuse new work first so clients fail fast to another replica,
+	// then let the HTTP layer finish in-flight requests (solve handlers
+	// are still waiting on their results), then stop the worker pool.
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("drained cleanly")
+}

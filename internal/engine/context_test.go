@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ube/internal/search"
+	"ube/internal/synth"
+)
+
+// TestSolveContextCancelled verifies a cancelled solve returns promptly
+// with context.Canceled instead of a solution.
+func TestSolveContextCancelled(t *testing.T) {
+	e, _ := testEngine(t, 60)
+	p := DefaultProblem()
+	p.MaxSources = 12
+	p.MaxEvals = 1 << 30 // effectively unbounded: only cancellation can stop it
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from the progress hook after a few improvements: the solve
+	// is provably underway, and the solver must notice at the next
+	// iteration boundary.
+	calls := 0
+	p.Progress = func(search.Progress) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+	}
+	start := time.Now()
+	sol, err := e.SolveContext(ctx, &p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solve returned (%v, %v); want context.Canceled", sol, err)
+	}
+	if sol != nil {
+		t.Error("cancelled solve returned a solution alongside the error")
+	}
+	// "Promptly" here means nowhere near what the unbounded budget
+	// would cost; a generous wall-clock ceiling keeps slow CI honest.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancelled solve took %v", elapsed)
+	}
+}
+
+// TestSolveContextPreCancelled verifies a solve whose context is already
+// cancelled returns the context error without doing work.
+func TestSolveContextPreCancelled(t *testing.T) {
+	e, _ := testEngine(t, 40)
+	p := smallProblem()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SolveContext(ctx, &p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled solve returned %v; want context.Canceled", err)
+	}
+}
+
+// TestSolveContextUncancelledByteIdentical verifies that threading an
+// uncancelled context (and a progress observer) through a solve leaves
+// the result byte-identical to the plain Solve path.
+func TestSolveContextUncancelledByteIdentical(t *testing.T) {
+	cfg := synth.QuickConfig(40)
+	u, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(withCtx bool) *Solution {
+		e, err := New(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := smallProblem()
+		if !withCtx {
+			sol, err := e.Solve(&p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sol
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		p.Progress = func(search.Progress) {} // observer must not perturb the result
+		sol, err := e.SolveContext(ctx, &p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	plain, withCtx := solve(false), solve(true)
+	if !reflect.DeepEqual(plain.Sources, withCtx.Sources) {
+		t.Errorf("sources diverge: %v vs %v", plain.Sources, withCtx.Sources)
+	}
+	if plain.Quality != withCtx.Quality {
+		t.Errorf("quality diverges: %v vs %v", plain.Quality, withCtx.Quality)
+	}
+	if plain.Evals != withCtx.Evals {
+		t.Errorf("evals diverge: %d vs %d", plain.Evals, withCtx.Evals)
+	}
+	if !reflect.DeepEqual(plain.Breakdown, withCtx.Breakdown) {
+		t.Errorf("breakdown diverges: %v vs %v", plain.Breakdown, withCtx.Breakdown)
+	}
+	if !reflect.DeepEqual(plain.Schema, withCtx.Schema) {
+		t.Error("schemas diverge")
+	}
+}
+
+// TestProgressReportsAreMonotonic verifies the progress side channel:
+// evaluation counts never decrease, the final report matches the
+// returned solution, and a feasible best never regresses to infeasible.
+func TestProgressReportsAreMonotonic(t *testing.T) {
+	e, _ := testEngine(t, 40)
+	p := smallProblem()
+	var reports []search.Progress
+	p.Progress = func(pr search.Progress) { reports = append(reports, pr) }
+	sol, err := e.Solve(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no progress reports for a multi-eval solve")
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Evals < reports[i-1].Evals {
+			t.Errorf("report %d: evals went backwards (%d after %d)", i, reports[i].Evals, reports[i-1].Evals)
+		}
+		if reports[i-1].Feasible && !reports[i].Feasible {
+			t.Errorf("report %d: feasible best regressed to infeasible", i)
+		}
+	}
+	last := reports[len(reports)-1]
+	if last.BestQuality != sol.Quality {
+		t.Errorf("final report quality %v != solution quality %v", last.BestQuality, sol.Quality)
+	}
+	if last.Feasible != sol.Feasible {
+		t.Errorf("final report feasibility %v != solution %v", last.Feasible, sol.Feasible)
+	}
+}
+
+// TestSessionSolveContextCancelLeavesSessionUntouched verifies that a
+// cancelled session solve appends nothing and does not advance the seed,
+// so the retry is indistinguishable from a first attempt.
+func TestSessionSolveContextCancelLeavesSessionUntouched(t *testing.T) {
+	e, _ := testEngine(t, 40)
+	s := NewSession(e, smallProblem())
+	before := s.Problem()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v; want context.Canceled", err)
+	}
+	if len(s.History()) != 0 {
+		t.Error("cancelled solve appended to history")
+	}
+	if got := s.Problem(); got.Seed != before.Seed {
+		t.Errorf("cancelled solve advanced the seed: %d -> %d", before.Seed, got.Seed)
+	}
+	// And the retry still works.
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.History()) != 1 {
+		t.Error("retry after cancellation did not record an iteration")
+	}
+}

@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -64,6 +65,11 @@ type Problem struct {
 	// solver (≤1 = sequential). Solves are deterministic for a fixed
 	// (problem, seed, Workers).
 	Workers int
+	// Progress, when non-nil, observes the solve: the solver calls it
+	// from its deterministic best-so-far fold each time the incumbent
+	// improves. It is a pure side channel (the server streams it over
+	// SSE) and never influences the result; it must not block.
+	Progress search.ProgressFunc
 }
 
 // MatchQEFName is the QEF name of the matching quality F1.
@@ -379,6 +385,16 @@ func (e *Engine) runMatch(S *model.SourceSet, cfg cluster.Config, C []int, G []m
 // space, and re-runs the matcher on the winning set to produce the full
 // mediated schema.
 func (e *Engine) Solve(p *Problem) (*Solution, error) {
+	return e.SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve with cancellation: ctx is plumbed into the
+// optimizer, which checks it at iteration boundaries and stops promptly
+// when it is cancelled, in which case SolveContext returns ctx.Err()
+// instead of a solution. A nil ctx behaves like context.Background().
+// For any ctx that is never cancelled the solve is byte-identical to
+// Solve — cancellation can only truncate a search, never reroute it.
+func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 	//ube:nondeterministic-ok wall-clock Elapsed reporting only; never feeds the objective
 	start := time.Now()
 	if err := e.validate(p); err != nil {
@@ -454,11 +470,20 @@ func (e *Engine) Solve(p *Problem) (*Solution, error) {
 		Objective: objective,
 		MaxEvals:  p.MaxEvals,
 		Workers:   p.Workers,
+		Ctx:       ctx,
+		Progress:  p.Progress,
 	}
 	if !e.legacyEval {
 		prob.DeltaObjective = e.deltaObjective(comp, wMatch, wRest, clusterCfg, C, G)
 	}
 	res := opt.Optimize(prob, p.Seed)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// The optimizer stopped early on cancellation; its truncated
+			// best-so-far is not a solve result.
+			return nil, err
+		}
+	}
 
 	e.matchMu.Lock()
 	statsAfter := e.cacheStats

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"ube/internal/model"
@@ -56,10 +57,19 @@ func (s *Session) Last() *Solution {
 // warm-starts from the previous iteration's solution so feedback refines
 // rather than restarts the exploration.
 func (s *Session) Solve() (*Solution, error) {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cancellation. A cancelled solve returns
+// ctx.Err() and leaves the session untouched: nothing is appended to the
+// history and the seed does not advance, so retrying after a
+// cancellation behaves exactly as if the cancelled attempt never
+// happened. A nil ctx behaves like context.Background().
+func (s *Session) SolveContext(ctx context.Context) (*Solution, error) {
 	if last := s.Last(); last != nil {
 		s.problem.InitialSources = append([]int(nil), last.Sources...)
 	}
-	sol, err := s.engine.Solve(&s.problem)
+	sol, err := s.engine.SolveContext(ctx, &s.problem)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +77,17 @@ func (s *Session) Solve() (*Solution, error) {
 	s.problem.Seed++
 	return sol, nil
 }
+
+// SetProblem replaces the session's current problem wholesale with a
+// snapshot of p, leaving the history untouched. Callers that apply a
+// batch of feedback edits can save Problem() first and restore it on a
+// mid-batch error so edits stay all-or-nothing.
+func (s *Session) SetProblem(p Problem) { s.problem = snapshot(p) }
+
+// SetProgress installs (or, with nil, removes) a progress observer for
+// subsequent solves. The callback is a pure side channel and never
+// influences results; see search.ProgressFunc.
+func (s *Session) SetProgress(fn search.ProgressFunc) { s.problem.Progress = fn }
 
 // SetWeights replaces the QEF weights.
 func (s *Session) SetWeights(w qef.Weights) { s.problem.Weights = w.Clone() }

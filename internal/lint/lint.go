@@ -59,6 +59,12 @@ var DefaultDeterminismPaths = []string{
 	"ube/internal/cluster",
 	"ube/internal/qef",
 	"ube/internal/pcsa",
+	// The session service and its load generator sit on top of solves
+	// whose determinism they must not perturb: any clock read, map walk
+	// or global-rand draw there is either genuinely operational (and
+	// annotated as such at the site) or a contract violation.
+	"ube/internal/server",
+	"ube/cmd/ube-load",
 }
 
 // Config tunes a run.

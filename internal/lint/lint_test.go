@@ -105,6 +105,24 @@ func TestCleanTree(t *testing.T) {
 	}
 }
 
+// TestDefaultScopeCoversService pins the session service and its load
+// generator inside the default determinism scope: an unannotated clock
+// read, map walk or global-rand draw in ube/internal/server or
+// ube/cmd/ube-load is a diagnostic, same as in the solver itself.
+func TestDefaultScopeCoversService(t *testing.T) {
+	var cfg Config
+	for _, path := range []string{"ube/internal/server", "ube/cmd/ube-load", "ube/internal/search"} {
+		if !cfg.determinismScoped(path) {
+			t.Errorf("%s is outside the default determinism scope", path)
+		}
+	}
+	// ube-serve's main only wires flags, signals and listeners; it stays
+	// out of scope by design.
+	if cfg.determinismScoped("ube/cmd/ube-serve") {
+		t.Error("ube/cmd/ube-serve unexpectedly in the determinism scope")
+	}
+}
+
 // TestCheckNamesDocumented keeps CheckNames and CheckDocs in lockstep.
 func TestCheckNamesDocumented(t *testing.T) {
 	if len(CheckNames) != len(CheckDocs) {

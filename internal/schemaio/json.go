@@ -1,0 +1,255 @@
+package schemaio
+
+// JSON round-trip encoding for engine problems, solutions and session
+// iterations — the wire format of the ube-serve HTTP API and a durable
+// form for iteration histories. The docs are lossless for everything a
+// service can express: optimizers and characteristic aggregators are
+// referenced by name (a custom-parameterized optimizer decodes to that
+// algorithm's package defaults), and caller-defined ExtraQEFs — Go
+// values with no declarative form — are rejected at encode time rather
+// than silently dropped.
+
+import (
+	"fmt"
+	"time"
+
+	"ube/internal/cluster"
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/qef"
+	"ube/internal/search"
+)
+
+// ProblemDoc is the JSON form of engine.Problem. Unlike spec.ProblemSpec
+// (a human-authored input format with defaulting rules), ProblemDoc is an
+// exact machine round-trip: every field is stored verbatim, zero values
+// included.
+type ProblemDoc struct {
+	MaxSources      int               `json:"maxSources"`
+	Theta           float64           `json:"theta"`
+	Beta            int               `json:"beta"`
+	Constraints     model.Constraints `json:"constraints"`
+	Weights         qef.Weights       `json:"weights,omitempty"`
+	Characteristics map[string]string `json:"characteristics,omitempty"`
+	Optimizer       string            `json:"optimizer,omitempty"`
+	Seed            int64             `json:"seed"`
+	MaxEvals        int               `json:"maxEvals,omitempty"`
+	Workers         int               `json:"workers,omitempty"`
+	InitialSources  []int             `json:"initialSources,omitempty"`
+}
+
+// EncodeProblem renders a problem as its JSON document form. It fails on
+// problems carrying ExtraQEFs (arbitrary Go code has no JSON form) or a
+// characteristic aggregator whose name AggregatorByName cannot resolve
+// back.
+func EncodeProblem(p *engine.Problem) (*ProblemDoc, error) {
+	if len(p.ExtraQEFs) > 0 {
+		return nil, fmt.Errorf("schemaio: problem carries %d ExtraQEFs, which have no JSON form", len(p.ExtraQEFs))
+	}
+	d := &ProblemDoc{
+		MaxSources:     p.MaxSources,
+		Theta:          p.Theta,
+		Beta:           p.Beta,
+		Constraints:    *p.Constraints.Clone(),
+		Weights:        p.Weights.Clone(),
+		Seed:           p.Seed,
+		MaxEvals:       p.MaxEvals,
+		Workers:        p.Workers,
+		InitialSources: append([]int(nil), p.InitialSources...),
+	}
+	if p.Characteristics != nil {
+		d.Characteristics = make(map[string]string, len(p.Characteristics))
+		//ube:nondeterministic-ok key-for-key map conversion is order-independent
+		for char, agg := range p.Characteristics {
+			if agg == nil {
+				return nil, fmt.Errorf("schemaio: nil aggregator for characteristic %q", char)
+			}
+			name := agg.Name()
+			if _, ok := qef.AggregatorByName(name); !ok {
+				return nil, fmt.Errorf("schemaio: aggregator %q for characteristic %q is not resolvable by name", name, char)
+			}
+			d.Characteristics[char] = name
+		}
+	}
+	if p.Optimizer != nil {
+		name := p.Optimizer.Name()
+		if _, ok := search.ByName(name); !ok {
+			return nil, fmt.Errorf("schemaio: optimizer %q is not resolvable by name", name)
+		}
+		d.Optimizer = name
+	}
+	return d, nil
+}
+
+// Decode resolves the document back into an engine problem. Optimizers
+// and aggregators are reconstructed by name with package defaults; an
+// empty optimizer name decodes to nil (the engine's tabu default).
+func (d *ProblemDoc) Decode() (engine.Problem, error) {
+	p := engine.Problem{
+		MaxSources:     d.MaxSources,
+		Theta:          d.Theta,
+		Beta:           d.Beta,
+		Constraints:    *d.Constraints.Clone(),
+		Weights:        d.Weights.Clone(),
+		Seed:           d.Seed,
+		MaxEvals:       d.MaxEvals,
+		Workers:        d.Workers,
+		InitialSources: append([]int(nil), d.InitialSources...),
+	}
+	if d.Characteristics != nil {
+		p.Characteristics = make(map[string]qef.Aggregator, len(d.Characteristics))
+		//ube:nondeterministic-ok key-for-key map conversion is order-independent
+		for char, name := range d.Characteristics {
+			agg, ok := qef.AggregatorByName(name)
+			if !ok {
+				return p, fmt.Errorf("schemaio: unknown aggregator %q for characteristic %q", name, char)
+			}
+			p.Characteristics[char] = agg
+		}
+	}
+	if d.Optimizer != "" {
+		opt, ok := search.ByName(d.Optimizer)
+		if !ok {
+			return p, fmt.Errorf("schemaio: unknown optimizer %q", d.Optimizer)
+		}
+		p.Optimizer = opt
+	}
+	return p, nil
+}
+
+// SolutionDoc is the JSON form of engine.Solution. The chosen set is
+// stored as the member list plus the universe size so the bitset can be
+// rebuilt; the clustering detail (per-GA quality, constraint provenance)
+// is stored alongside the schema.
+type SolutionDoc struct {
+	N              int                   `json:"n"`
+	Sources        []int                 `json:"sources"`
+	Quality        float64               `json:"quality"`
+	Feasible       bool                  `json:"feasible"`
+	Breakdown      map[string]float64    `json:"breakdown,omitempty"`
+	Evals          int                   `json:"evals"`
+	Schema         *model.MediatedSchema `json:"schema,omitempty"`
+	GAQuality      []float64             `json:"gaQuality,omitempty"`
+	FromConstraint []bool                `json:"fromConstraint,omitempty"`
+	MatchQuality   float64               `json:"matchQuality"`
+	MatchValid     bool                  `json:"matchValid"`
+	CacheHits      int64                 `json:"cacheHits,omitempty"`
+	CacheMisses    int64                 `json:"cacheMisses,omitempty"`
+	CacheEvictions int64                 `json:"cacheEvictions,omitempty"`
+	ElapsedNS      int64                 `json:"elapsedNs,omitempty"`
+}
+
+// EncodeSolution renders a solution as its JSON document form.
+func EncodeSolution(sol *engine.Solution) *SolutionDoc {
+	d := &SolutionDoc{
+		Sources:        append([]int(nil), sol.Sources...),
+		Quality:        sol.Quality,
+		Feasible:       sol.Feasible,
+		Breakdown:      cloneFloatMap(sol.Breakdown),
+		Evals:          sol.Evals,
+		GAQuality:      append([]float64(nil), sol.Match.GAQuality...),
+		FromConstraint: append([]bool(nil), sol.Match.FromConstraint...),
+		MatchQuality:   sol.Match.Quality,
+		MatchValid:     sol.Match.Valid,
+		CacheHits:      sol.MatchCache.Hits,
+		CacheMisses:    sol.MatchCache.Misses,
+		CacheEvictions: sol.MatchCache.Evictions,
+		ElapsedNS:      sol.Elapsed.Nanoseconds(),
+	}
+	if sol.Set != nil {
+		d.N = sol.Set.Cap()
+	}
+	if sol.Schema != nil {
+		d.Schema = sol.Schema.Clone()
+	}
+	return d
+}
+
+// Decode reconstructs the solution. The Set bitset is rebuilt from the
+// member list over [0, N).
+func (d *SolutionDoc) Decode() (*engine.Solution, error) {
+	sol := &engine.Solution{
+		Sources:   append([]int(nil), d.Sources...),
+		Quality:   d.Quality,
+		Feasible:  d.Feasible,
+		Breakdown: cloneFloatMap(d.Breakdown),
+		Evals:     d.Evals,
+		Match: cluster.Result{
+			Quality:        d.MatchQuality,
+			GAQuality:      append([]float64(nil), d.GAQuality...),
+			FromConstraint: append([]bool(nil), d.FromConstraint...),
+			Valid:          d.MatchValid,
+		},
+		MatchCache: engine.CacheStats{Hits: d.CacheHits, Misses: d.CacheMisses, Evictions: d.CacheEvictions},
+		Elapsed:    time.Duration(d.ElapsedNS),
+	}
+	set := model.NewSourceSet(d.N)
+	for _, id := range d.Sources {
+		if id < 0 || id >= d.N {
+			return nil, fmt.Errorf("schemaio: solution source %d out of range [0,%d)", id, d.N)
+		}
+		set.Add(id)
+	}
+	sol.Set = set
+	if d.Schema != nil {
+		sol.Schema = d.Schema.Clone()
+		sol.Match.Schema = sol.Schema
+	}
+	return sol, nil
+}
+
+// IterationDoc is the JSON form of one session history entry.
+type IterationDoc struct {
+	Problem  ProblemDoc  `json:"problem"`
+	Solution SolutionDoc `json:"solution"`
+}
+
+// EncodeIteration renders one history entry.
+func EncodeIteration(it *engine.Iteration) (*IterationDoc, error) {
+	pd, err := EncodeProblem(&it.Problem)
+	if err != nil {
+		return nil, err
+	}
+	if it.Solution == nil {
+		return nil, fmt.Errorf("schemaio: iteration has no solution")
+	}
+	return &IterationDoc{Problem: *pd, Solution: *EncodeSolution(it.Solution)}, nil
+}
+
+// Decode reconstructs the history entry.
+func (d *IterationDoc) Decode() (engine.Iteration, error) {
+	p, err := d.Problem.Decode()
+	if err != nil {
+		return engine.Iteration{}, err
+	}
+	sol, err := d.Solution.Decode()
+	if err != nil {
+		return engine.Iteration{}, err
+	}
+	return engine.Iteration{Problem: p, Solution: sol}, nil
+}
+
+// EncodeHistory renders a whole session history, oldest first.
+func EncodeHistory(history []engine.Iteration) ([]IterationDoc, error) {
+	docs := make([]IterationDoc, 0, len(history))
+	for i := range history {
+		d, err := EncodeIteration(&history[i])
+		if err != nil {
+			return nil, fmt.Errorf("schemaio: iteration %d: %w", i, err)
+		}
+		docs = append(docs, *d)
+	}
+	return docs, nil
+}
+
+func cloneFloatMap(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	//ube:nondeterministic-ok key-for-key map copy is order-independent
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

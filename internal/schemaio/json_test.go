@@ -1,0 +1,240 @@
+package schemaio
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/qef"
+	"ube/internal/search"
+	"ube/internal/synth"
+)
+
+func testUniverse(t *testing.T) *model.Universe {
+	t.Helper()
+	u, _, err := synth.Generate(synth.QuickConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestProblemJSONRoundTripResolve is the marshal→unmarshal→re-solve
+// equivalence test: a problem that survives the JSON round trip must
+// drive a fresh engine to the bit-identical solution the original
+// produced.
+func TestProblemJSONRoundTripResolve(t *testing.T) {
+	u := testUniverse(t)
+	p := engine.DefaultProblem()
+	p.MaxSources = 6
+	p.MaxEvals = 1200
+	p.Theta = 0.7
+	p.Constraints.Sources = []int{2}
+	p.Constraints.Exclude = []int{5}
+	p.Optimizer = search.NewSLS()
+	p.Workers = 2
+
+	e1, err := engine.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e1.Solve(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := EncodeProblem(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ProblemDoc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := engine.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.Solve(&p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Sources, got.Sources) {
+		t.Errorf("re-solve selected %v; original selected %v", got.Sources, want.Sources)
+	}
+	if want.Quality != got.Quality {
+		t.Errorf("re-solve quality %v; original %v", got.Quality, want.Quality)
+	}
+	if want.Evals != got.Evals {
+		t.Errorf("re-solve evals %d; original %d", got.Evals, want.Evals)
+	}
+	if !reflect.DeepEqual(want.Breakdown, got.Breakdown) {
+		t.Errorf("re-solve breakdown %v; original %v", got.Breakdown, want.Breakdown)
+	}
+	if !reflect.DeepEqual(want.Schema, got.Schema) {
+		t.Error("re-solve schema diverges from original")
+	}
+}
+
+// TestProblemJSONFieldFidelity checks the decoded problem preserves every
+// declarative field verbatim — including zero-adjacent values the spec
+// format would reinterpret as "unset".
+func TestProblemJSONFieldFidelity(t *testing.T) {
+	p := engine.DefaultProblem()
+	p.MaxSources = 9
+	p.Theta = 0.001 // spec.ProblemSpec would misread 0-ish values; ProblemDoc must not
+	p.Beta = 3
+	p.Seed = 42
+	p.MaxEvals = 77
+	p.Workers = 4
+	p.InitialSources = []int{1, 2, 3}
+	p.Constraints.GAs = []model.GA{model.NewGA(model.AttrRef{Source: 0, Attr: 0}, model.AttrRef{Source: 1, Attr: 1})}
+	p.Characteristics = map[string]qef.Aggregator{"mttf": qef.Min{}}
+	p.Optimizer = search.NewAnneal()
+
+	doc, err := EncodeProblem(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ProblemDoc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.MaxSources != 9 || p2.Theta != 0.001 || p2.Beta != 3 || p2.Seed != 42 || p2.MaxEvals != 77 || p2.Workers != 4 {
+		t.Errorf("scalar fields diverge: %+v", p2)
+	}
+	if !reflect.DeepEqual(p2.InitialSources, p.InitialSources) {
+		t.Errorf("initial sources %v != %v", p2.InitialSources, p.InitialSources)
+	}
+	if !reflect.DeepEqual(p2.Constraints, p.Constraints) {
+		t.Errorf("constraints %+v != %+v", p2.Constraints, p.Constraints)
+	}
+	if !reflect.DeepEqual(p2.Weights, p.Weights) {
+		t.Errorf("weights %v != %v", p2.Weights, p.Weights)
+	}
+	if p2.Characteristics["mttf"].Name() != "min" {
+		t.Errorf("aggregator decoded to %q", p2.Characteristics["mttf"].Name())
+	}
+	if p2.Optimizer == nil || p2.Optimizer.Name() != "anneal" {
+		t.Errorf("optimizer decoded to %v", p2.Optimizer)
+	}
+}
+
+// TestProblemJSONRejectsExtraQEFs verifies the lossy case errors instead
+// of silently dropping the caller's QEF.
+func TestProblemJSONRejectsExtraQEFs(t *testing.T) {
+	p := engine.DefaultProblem()
+	p.ExtraQEFs = []qef.QEF{qef.Card{}}
+	if _, err := EncodeProblem(&p); err == nil {
+		t.Fatal("ExtraQEFs encoded without error")
+	}
+}
+
+// TestSolutionJSONRoundTrip solves once and pushes the solution (and the
+// whole iteration) through the document form and back.
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	u := testUniverse(t)
+	e, err := engine.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := engine.NewSession(e, func() engine.Problem {
+		p := engine.DefaultProblem()
+		p.MaxSources = 6
+		p.MaxEvals = 800
+		return p
+	}())
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	sol := s.Last()
+
+	data, err := json.Marshal(EncodeSolution(sol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc SolutionDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := doc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Sources, sol.Sources) {
+		t.Errorf("sources %v != %v", back.Sources, sol.Sources)
+	}
+	if back.Quality != sol.Quality || back.Feasible != sol.Feasible || back.Evals != sol.Evals {
+		t.Errorf("scalars diverge: %+v vs %+v", back, sol)
+	}
+	if !back.Set.Equal(sol.Set) {
+		t.Error("set diverges after round trip")
+	}
+	if !reflect.DeepEqual(back.Schema, sol.Schema) {
+		t.Error("schema diverges after round trip")
+	}
+	if !reflect.DeepEqual(back.Breakdown, sol.Breakdown) {
+		t.Error("breakdown diverges after round trip")
+	}
+	if !reflect.DeepEqual(back.Match.GAQuality, sol.Match.GAQuality) {
+		t.Error("per-GA quality diverges after round trip")
+	}
+	if back.Match.Quality != sol.Match.Quality || back.Match.Valid != sol.Match.Valid {
+		t.Error("match summary diverges after round trip")
+	}
+	if back.MatchCache != sol.MatchCache {
+		t.Errorf("cache stats %+v != %+v", back.MatchCache, sol.MatchCache)
+	}
+	if back.Elapsed != sol.Elapsed {
+		t.Errorf("elapsed %v != %v", back.Elapsed, sol.Elapsed)
+	}
+
+	// Whole-history round trip.
+	docs, err := EncodeHistory(s.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("encoded %d iterations; want 2", len(docs))
+	}
+	data, err = json.Marshal(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backDocs []IterationDoc
+	if err := json.Unmarshal(data, &backDocs); err != nil {
+		t.Fatal(err)
+	}
+	it, err := backDocs[1].Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Problem.Seed != s.History()[1].Problem.Seed {
+		t.Errorf("iteration problem seed %d != %d", it.Problem.Seed, s.History()[1].Problem.Seed)
+	}
+	if !reflect.DeepEqual(it.Solution.Sources, sol.Sources) {
+		t.Error("iteration solution diverges after round trip")
+	}
+}

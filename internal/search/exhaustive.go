@@ -50,7 +50,9 @@ func (e *Exhaustive) Optimize(p *Problem, seed int64) Solution {
 	cur := req.Clone()
 	var recurse func(start, remaining int)
 	recurse = func(start, remaining int) {
-		if remaining == 0 {
+		if remaining == 0 || tr.cancelled() {
+			// Enumeration ignores evaluation budgets but still honors
+			// context cancellation.
 			return
 		}
 		for i := start; i < len(free); i++ {

@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -47,6 +48,25 @@ type Delta struct {
 
 // fullDelta is the Delta of a candidate with no usable edit structure.
 func fullDelta() Delta { return Delta{Add: -1, Drop: -1} }
+
+// Progress is one solver progress report: the evaluation count and the
+// best-so-far solution at the moment the best improved. Reports are
+// emitted from the deterministic sequential best-so-far fold — never
+// concurrently — so a ProgressFunc needs no locking against the solver,
+// though it must not block (a slow consumer stalls the solve).
+type Progress struct {
+	// Evals is the number of objective evaluations spent so far.
+	Evals int
+	// BestQuality is the quality of the new best-so-far solution.
+	BestQuality float64
+	// Feasible reports whether that solution is feasible.
+	Feasible bool
+}
+
+// ProgressFunc observes a running solve. It is a pure side channel: the
+// solver's results never depend on it, so any callback (including none)
+// leaves the solution byte-identical.
+type ProgressFunc func(Progress)
 
 // DeltaObjective is an Objective that also receives the candidate's
 // derivation. S is always the fully materialized set — implementations
@@ -91,6 +111,16 @@ type Problem struct {
 	// fixed (problem, seed, Workers): scores are pure and the
 	// best-so-far fold always happens in candidate order.
 	Workers int
+	// Ctx optionally cancels the search: optimizers check it at
+	// iteration boundaries (never mid-candidate) and return their
+	// best-so-far early. A nil Ctx never cancels, and for any ctx that
+	// is never cancelled the run is byte-identical to a run without one
+	// — cancellation can only truncate the search, not reroute it.
+	Ctx context.Context
+	// Progress, when non-nil, observes the solve: it is called from the
+	// sequential best-so-far fold each time the best solution improves.
+	// It is a pure side channel and never influences the result.
+	Progress ProgressFunc
 }
 
 // Validate checks the problem for structural errors.
@@ -185,6 +215,8 @@ func ByName(name string) (Optimizer, bool) {
 type tracker struct {
 	obj      Objective
 	dobj     DeltaObjective
+	ctx      context.Context
+	progress ProgressFunc
 	budget   int
 	evals    int
 	best     *model.SourceSet
@@ -197,11 +229,22 @@ func newTracker(p *Problem, defaultBudget int) *tracker {
 	if b <= 0 {
 		b = defaultBudget
 	}
-	return &tracker{obj: p.Objective, dobj: p.DeltaObjective, budget: b}
+	return &tracker{obj: p.Objective, dobj: p.DeltaObjective, ctx: p.Ctx, progress: p.Progress, budget: b}
 }
 
-// exhausted reports whether the evaluation budget is spent.
-func (t *tracker) exhausted() bool { return t.evals >= t.budget }
+// exhausted reports whether the evaluation budget is spent or the
+// problem's context has been cancelled. Every optimizer consults it at
+// iteration boundaries, so cancellation stops a solve promptly while an
+// uncancelled context changes nothing.
+func (t *tracker) exhausted() bool {
+	return t.cancelled() || t.evals >= t.budget
+}
+
+// cancelled reports whether the problem's context has been cancelled; a
+// nil context never cancels.
+func (t *tracker) cancelled() bool {
+	return t.ctx != nil && t.ctx.Err() != nil
+}
 
 // score dispatches one evaluation to the delta objective when available.
 func (t *tracker) score(S *model.SourceSet, d Delta) (float64, bool) {
@@ -302,6 +345,9 @@ func (t *tracker) record(S *model.SourceSet, q float64, ok bool) {
 		t.best = S.Clone()
 		t.bestQ = q
 		t.feasible = ok
+		if t.progress != nil {
+			t.progress(Progress{Evals: t.evals, BestQuality: t.bestQ, Feasible: t.feasible})
+		}
 	}
 }
 

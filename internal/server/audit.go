@@ -1,0 +1,59 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// auditLog is the append-only JSONL record of every session mutation:
+// one JSON object per line, in commit order, answering who did what to
+// which session and when. The log is an operational artifact, not an
+// input: nothing in the engine ever reads it, so the wall-clock
+// timestamps here cannot leak into solve results.
+type auditLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+}
+
+// auditEntry is one audit line.
+type auditEntry struct {
+	// TS is the wall-clock commit time, RFC3339Nano.
+	TS string `json:"ts"`
+	// Session is the session ID, "" for server-scoped events.
+	Session string `json:"session,omitempty"`
+	// Action names the mutation: session.create, session.delete,
+	// session.evict, solve.enqueue, solve.reject, solve.apply,
+	// solve.done, solve.error, solve.cancelled, server.drain.
+	Action string `json:"action"`
+	// Remote is the client address that caused the mutation, "" for
+	// server-initiated events (eviction, drain).
+	Remote string `json:"remote,omitempty"`
+	// Detail carries action-specific fields.
+	Detail any `json:"detail,omitempty"`
+}
+
+// newAuditLog wraps a sink; a nil writer disables auditing.
+func newAuditLog(w io.Writer) *auditLog {
+	if w == nil {
+		return nil
+	}
+	return &auditLog{enc: json.NewEncoder(w), w: w}
+}
+
+// record appends one entry. Safe for concurrent use; nil receivers
+// no-op so call sites need no guards.
+func (a *auditLog) record(session, action, remote string, detail any) {
+	if a == nil {
+		return
+	}
+	//ube:nondeterministic-ok audit timestamps record when a mutation was committed; they are write-only operational metadata
+	ts := time.Now().UTC().Format(time.RFC3339Nano)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Encode errors (a full disk, a closed pipe) must not take the
+	// service down; the audit log is best-effort by design.
+	_ = a.enc.Encode(auditEntry{TS: ts, Session: session, Action: action, Remote: remote, Detail: detail})
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (milliseconds, inclusive) of the
+// fixed solve-latency histogram; the implicit final bucket is +Inf.
+var latencyBucketsMs = [...]int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000}
+
+// metrics is the server's operational counter set, served by /metrics.
+// Everything is a plain atomic so the hot path (workers, handlers) never
+// contends on a lock to count.
+type metrics struct {
+	sessionsCreated atomic.Int64
+	sessionsActive  atomic.Int64
+	sessionsEvicted atomic.Int64
+
+	solves          atomic.Int64 // completed successfully
+	solveErrors     atomic.Int64 // engine/validation failures
+	solvesCancelled atomic.Int64 // client gone before or during execution
+	rejections      atomic.Int64 // 429s from the admission queue
+	queueDepth      atomic.Int64 // admitted, not yet executing
+	inFlight        atomic.Int64 // executing right now
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	latencyCount   atomic.Int64
+	latencySumNS   atomic.Int64
+	latencyBuckets [len(latencyBucketsMs) + 1]atomic.Int64
+}
+
+// observeLatency records one solve's wall-clock duration.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.latencyCount.Add(1)
+	m.latencySumNS.Add(d.Nanoseconds())
+	ms := d.Milliseconds()
+	for i, le := range latencyBucketsMs {
+		if ms <= le {
+			m.latencyBuckets[i].Add(1)
+			return
+		}
+	}
+	m.latencyBuckets[len(latencyBucketsMs)].Add(1)
+}
+
+// bucketDoc is one histogram bucket in the /metrics JSON.
+type bucketDoc struct {
+	LE    string `json:"le"` // upper bound in ms, or "+Inf"
+	Count int64  `json:"count"`
+}
+
+// metricsDoc is the /metrics response body.
+type metricsDoc struct {
+	SessionsCreated int64 `json:"sessionsCreated"`
+	SessionsActive  int64 `json:"sessionsActive"`
+	SessionsEvicted int64 `json:"sessionsEvicted"`
+
+	Solves          int64 `json:"solves"`
+	SolveErrors     int64 `json:"solveErrors"`
+	SolvesCancelled int64 `json:"solvesCancelled"`
+	QueueRejections int64 `json:"queueRejections"`
+	QueueDepth      int64 `json:"queueDepth"`
+	InFlight        int64 `json:"inFlight"`
+
+	MatchCacheHits      int64 `json:"matchCacheHits"`
+	MatchCacheMisses    int64 `json:"matchCacheMisses"`
+	MatchCacheEvictions int64 `json:"matchCacheEvictions"`
+
+	SolveLatency struct {
+		Count   int64       `json:"count"`
+		SumMs   float64     `json:"sumMs"`
+		Buckets []bucketDoc `json:"buckets"`
+	} `json:"solveLatencyMs"`
+}
+
+// snapshot renders the counters for /metrics. Counters are read
+// individually, so the snapshot is only loosely consistent — fine for
+// monitoring, which is all it serves.
+func (m *metrics) snapshot() *metricsDoc {
+	d := &metricsDoc{
+		SessionsCreated: m.sessionsCreated.Load(),
+		SessionsActive:  m.sessionsActive.Load(),
+		SessionsEvicted: m.sessionsEvicted.Load(),
+
+		Solves:          m.solves.Load(),
+		SolveErrors:     m.solveErrors.Load(),
+		SolvesCancelled: m.solvesCancelled.Load(),
+		QueueRejections: m.rejections.Load(),
+		QueueDepth:      m.queueDepth.Load(),
+		InFlight:        m.inFlight.Load(),
+
+		MatchCacheHits:      m.cacheHits.Load(),
+		MatchCacheMisses:    m.cacheMisses.Load(),
+		MatchCacheEvictions: m.cacheEvictions.Load(),
+	}
+	d.SolveLatency.Count = m.latencyCount.Load()
+	d.SolveLatency.SumMs = float64(m.latencySumNS.Load()) / 1e6
+	d.SolveLatency.Buckets = make([]bucketDoc, 0, len(latencyBucketsMs)+1)
+	cum := int64(0)
+	for i, le := range latencyBucketsMs {
+		cum += m.latencyBuckets[i].Load()
+		d.SolveLatency.Buckets = append(d.SolveLatency.Buckets, bucketDoc{LE: msLabel(le), Count: cum})
+	}
+	cum += m.latencyBuckets[len(latencyBucketsMs)].Load()
+	d.SolveLatency.Buckets = append(d.SolveLatency.Buckets, bucketDoc{LE: "+Inf", Count: cum})
+	return d
+}
+
+func msLabel(ms int64) string { return strconv.FormatInt(ms, 10) }

@@ -1,0 +1,574 @@
+// Package server is the multi-tenant µBE session service: the engine's
+// interactive feedback loop (solve → inspect → pin/reweight/tighten →
+// re-solve, §1/§6 of the paper) exposed over HTTP so many users can run
+// concurrent exploration sessions against one process.
+//
+// The API is deliberately small and stdlib-only (net/http + encoding/json):
+//
+//	POST   /v1/sessions                  create a session (universe, schemas text, or inline problem)
+//	GET    /v1/sessions                  list session IDs
+//	GET    /v1/sessions/{id}             session info + current problem
+//	DELETE /v1/sessions/{id}             delete a session
+//	POST   /v1/sessions/{id}/solve       apply problem edits (all-or-nothing) and solve
+//	GET    /v1/sessions/{id}/history     full iteration history (schemaio docs)
+//	GET    /v1/sessions/{id}/history/{k} one iteration
+//	GET    /v1/sessions/{id}/diff        diff two iterations (?from=&to=, default last two)
+//	GET    /v1/sessions/{id}/events      SSE stream of solver events (queued/start/progress/done/error/evicted)
+//	GET    /healthz                      liveness
+//	GET    /metrics                      operational counters, JSON
+//
+// Concurrency model: solves are admitted into a bounded queue (overflow →
+// 429 + Retry-After) feeding a fixed worker pool; same-session solves are
+// serialized in admission order (see queue.go), which both protects the
+// lock-free engine.Session and keeps concurrent clients deterministic.
+// Determinism contract: the solver never sees a clock, a goroutine ID, or
+// an unordered map walk — every solve is a pure function of (problem,
+// seed), so a session's history depends only on the order requests were
+// admitted, never on server load.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/schemaio"
+	"ube/internal/spec"
+)
+
+// statusClientClosedRequest reports a solve whose client vanished before
+// the result existed (nginx's 499 convention). Nobody receives these
+// bodies; the code exists for the audit trail and tests.
+const statusClientClosedRequest = 499
+
+// maxRequestBody bounds request bodies (universes can be large, but not
+// unbounded).
+const maxRequestBody = 64 << 20
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the solve worker pool size. Default 2.
+	Workers int
+	// QueueDepth bounds solves admitted but not yet executing, across
+	// all sessions; past it clients get 429 + Retry-After. Default 16.
+	QueueDepth int
+	// MaxSessions bounds live sessions. Default 256.
+	MaxSessions int
+	// SessionTTL evicts sessions idle that long; 0 disables eviction.
+	SessionTTL time.Duration
+	// AuditWriter receives the append-only JSONL audit log of every
+	// session mutation; nil disables auditing.
+	AuditWriter io.Writer
+	// EngineOptions configure every engine the server builds.
+	EngineOptions []engine.Option
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 256
+	}
+	return cfg
+}
+
+// Server is the µBE session service. Create with New, mount Handler()
+// on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	audit   *auditLog
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	draining bool
+	nextID   atomic.Int64
+
+	work      chan *session
+	jobsWG    sync.WaitGroup
+	workersWG sync.WaitGroup
+	janitorWG sync.WaitGroup
+	drainCh   chan struct{}
+	drainOnce sync.Once
+}
+
+// New builds a server and starts its worker pool (and TTL janitor when
+// configured). Callers own its lifecycle: call Shutdown when done.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  &metrics{},
+		audit:    newAuditLog(cfg.AuditWriter),
+		sessions: make(map[string]*session),
+		work:     make(chan *session, cfg.QueueDepth),
+		drainCh:  make(chan struct{}),
+	}
+	s.routes()
+	s.workersWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	if cfg.SessionTTL > 0 {
+		s.janitorWG.Add(1)
+		go s.janitor(cfg.SessionTTL)
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes the server itself mountable.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns a point-in-time counters snapshot (also served by
+// /metrics); exported for in-process embedders like ube-load.
+func (s *Server) Metrics() any { return s.metrics.snapshot() }
+
+// BeginDrain stops admitting sessions and solves and disconnects event
+// streams; already-admitted solves keep running. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		close(s.drainCh)
+		s.audit.record("", "server.drain", "", nil)
+	})
+}
+
+// Shutdown drains, waits (bounded by ctx) for every admitted solve to
+// finish, then stops the worker pool. After a clean Shutdown no server
+// goroutine remains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Safe: draining since BeginDrain, and jobsWG.Wait proved every
+	// admitted job — hence every pending work-token send — completed.
+	close(s.work)
+	s.workersWG.Wait()
+	s.janitorWG.Wait()
+	return nil
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/sessions/{id}/history/{k}", s.handleHistoryAt)
+	mux.HandleFunc("GET /v1/sessions/{id}/diff", s.handleDiff)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	s.mux = mux
+}
+
+// errorDoc is every error response body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
+// createSessionRequest starts a session from exactly one universe form:
+// an inline universe document (ube-gen output), or source descriptions
+// in the paper's Figure 1 text format. The optional problem overrides
+// the paper-default starting problem.
+type createSessionRequest struct {
+	Universe *model.Universe      `json:"universe,omitempty"`
+	Schemas  string               `json:"schemas,omitempty"`
+	Problem  *schemaio.ProblemDoc `json:"problem,omitempty"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var u *model.Universe
+	switch {
+	case req.Universe != nil && req.Schemas != "":
+		writeError(w, http.StatusBadRequest, "give either universe or schemas, not both")
+		return
+	case req.Universe != nil:
+		u = req.Universe
+	case req.Schemas != "":
+		parsed, err := schemaio.Parse(strings.NewReader(req.Schemas))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing schemas: %v", err)
+			return
+		}
+		u = parsed
+	default:
+		writeError(w, http.StatusBadRequest, "need universe or schemas")
+		return
+	}
+	if err := u.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid universe: %v", err)
+		return
+	}
+
+	var prob engine.Problem
+	if req.Problem != nil {
+		p, err := req.Problem.Decode()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid problem: %v", err)
+			return
+		}
+		prob = p
+	} else {
+		prob = defaultProblemFor(u)
+	}
+
+	eng, err := engine.New(u, s.cfg.EngineOptions...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "building engine: %v", err)
+		return
+	}
+
+	sn := &session{
+		hub:  newHub(),
+		eng:  eng,
+		sess: engine.NewSession(eng, prob),
+	}
+	//ube:nondeterministic-ok creation time is TTL bookkeeping, not solver input
+	sn.created = time.Now()
+	sn.lastUsed = sn.created
+	if err := sn.refreshProblemDoc(); err != nil {
+		writeError(w, http.StatusBadRequest, "problem has no JSON form: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
+		return
+	}
+	sn.id = "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+	s.sessions[sn.id] = sn
+	s.mu.Unlock()
+
+	s.metrics.sessionsCreated.Add(1)
+	s.metrics.sessionsActive.Add(1)
+	s.audit.record(sn.id, "session.create", r.RemoteAddr, map[string]any{"sources": u.N()})
+	writeJSON(w, http.StatusCreated, sn.info())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"sessions": s.listSessionIDs()})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, sn.info())
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	s.removeSession(id, "session.delete")
+	s.audit.record(id, "session.delete.by", r.RemoteAddr, nil)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// solveRequest is the POST .../solve body: a batch of problem edits
+// (applied all-or-nothing before the solve; see applyEdits for the
+// order) — all optional, so an empty body means "solve again as-is".
+type solveRequest struct {
+	MaxSources     *int               `json:"maxSources,omitempty"`
+	Theta          *float64           `json:"theta,omitempty"`
+	Beta           *int               `json:"beta,omitempty"`
+	Optimizer      string             `json:"optimizer,omitempty"`
+	Workers        *int               `json:"workers,omitempty"`
+	MaxEvals       *int               `json:"maxEvals,omitempty"`
+	Weights        map[string]float64 `json:"weights,omitempty"`
+	SetWeights     map[string]float64 `json:"setWeights,omitempty"`
+	PinSources     []int              `json:"pinSources,omitempty"`
+	DropSourcePins []int              `json:"dropSourcePins,omitempty"`
+	ExcludeSources []int              `json:"excludeSources,omitempty"`
+	DropExclusions []int              `json:"dropExclusions,omitempty"`
+	PinGAs         []int              `json:"pinGAs,omitempty"`
+	UnpinGAs       []int              `json:"unpinGAs,omitempty"`
+}
+
+// solveResponse is the successful solve body: the rendered (name-resolved)
+// solution for humans, the exact round-trip doc for machines, and the
+// diff against the previous iteration when one exists.
+type solveResponse struct {
+	Session   string                `json:"session"`
+	Iteration int                   `json:"iteration"`
+	Rendered  *spec.SolutionDoc     `json:"rendered,omitempty"`
+	Solution  *schemaio.SolutionDoc `json:"solution,omitempty"`
+	Diff      *engine.Diff          `json:"diff,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	req := &solveRequest{}
+	if !decodeBody(w, r, req) {
+		return
+	}
+	job := &solveJob{
+		req:    req,
+		ctx:    r.Context(),
+		remote: r.RemoteAddr,
+		done:   make(chan jobResult, 1),
+	}
+	switch err := s.enqueue(sn, job); {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "2")
+		s.audit.record(sn.id, "solve.reject", r.RemoteAddr, map[string]any{"queueDepth": s.cfg.QueueDepth})
+		writeError(w, http.StatusTooManyRequests, "solve queue is full (depth %d)", s.cfg.QueueDepth)
+		return
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, errSessionGone):
+		writeError(w, http.StatusGone, "session was deleted")
+		return
+	}
+	s.audit.record(sn.id, "solve.enqueue", r.RemoteAddr, nil)
+	select {
+	case res := <-job.done:
+		writeJSON(w, res.status, res.body)
+	case <-r.Context().Done():
+		// Client gone; the worker will observe the dead context and
+		// discard the job (or its result) without us.
+	}
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sn.mu.Lock()
+	docs := sn.historyDocs // append-only; shared read of the prefix is safe
+	sn.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"iterations": docs})
+}
+
+func (s *Server) handleHistoryAt(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	k, err := strconv.Atoi(r.PathValue("k"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad iteration index %q", r.PathValue("k"))
+		return
+	}
+	sn.mu.Lock()
+	docs := sn.historyDocs
+	sn.mu.Unlock()
+	if k < 0 || k >= len(docs) {
+		writeError(w, http.StatusNotFound, "iteration %d out of range [0,%d)", k, len(docs))
+		return
+	}
+	writeJSON(w, http.StatusOK, docs[k])
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sn.mu.Lock()
+	sols := sn.solutions
+	sn.mu.Unlock()
+	if len(sols) < 2 {
+		writeError(w, http.StatusConflict, "need at least two iterations to diff (have %d)", len(sols))
+		return
+	}
+	from, to := len(sols)-2, len(sols)-1
+	var err error
+	if v := r.URL.Query().Get("from"); v != "" {
+		if from, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad from index %q", v)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if to, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad to index %q", v)
+			return
+		}
+	}
+	if from < 0 || from >= len(sols) || to < 0 || to >= len(sols) {
+		writeError(w, http.StatusBadRequest, "diff indices (%d,%d) out of range [0,%d)", from, to, len(sols))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"from": from,
+		"to":   to,
+		"diff": engine.DiffSolutions(sols[from], sols[to]),
+	})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, ok := sn.hub.subscribe()
+	if !ok {
+		writeError(w, http.StatusGone, "session was deleted")
+		return
+	}
+	defer sn.hub.unsubscribe(ch)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, ": connected\n\n")
+	fl.Flush()
+
+	//ube:nondeterministic-ok SSE keepalive cadence; purely transport-level
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case frame, open := <-ch:
+			if !open {
+				return // session deleted or evicted
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// defaultProblemFor adapts the paper-default problem to a universe: m is
+// capped by the universe size, and the mttf characteristic QEF is dropped
+// (weight redistributed) when no source defines mttf.
+func defaultProblemFor(u *model.Universe) engine.Problem {
+	p := engine.DefaultProblem()
+	if p.MaxSources > u.N() {
+		p.MaxSources = u.N()
+	}
+	hasMTTF := false
+	for i := 0; i < u.N(); i++ {
+		if _, ok := u.Source(i).Characteristic("mttf"); ok {
+			hasMTTF = true
+			break
+		}
+	}
+	if !hasMTTF {
+		wMTTF := p.Weights["mttf"]
+		delete(p.Weights, "mttf")
+		delete(p.Characteristics, "mttf")
+		rest := 1 - wMTTF
+		//ube:nondeterministic-ok each key rescales independently; order cannot matter
+		for k, v := range p.Weights {
+			p.Weights[k] = v / rest
+		}
+	}
+	return p
+}

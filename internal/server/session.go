@@ -1,0 +1,188 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ube/internal/engine"
+	"ube/internal/schemaio"
+)
+
+// session is one tenant's live exploration loop plus the server-side
+// bookkeeping around it.
+//
+// Concurrency contract: the wrapped engine.Session is touched ONLY from
+// worker context, and the admission queue guarantees at most one worker
+// runs a given session's jobs at a time (see queue.go), so the engine
+// session needs no locking at all. Handlers never read it; they read the
+// document mirrors below, which the worker refreshes under mu after every
+// mutation. That keeps GET /history and friends responsive while a solve
+// is running instead of blocking behind it.
+type session struct {
+	id      string
+	hub     *hub
+	eng     *engine.Engine
+	sess    *engine.Session // worker-only after the create handler returns
+	created time.Time
+
+	mu        sync.Mutex
+	lastUsed  time.Time
+	pending   []*solveJob // admitted, waiting their turn, FIFO
+	scheduled bool        // a work token for this session is live
+	closed    bool        // deleted or evicted: no new solves
+
+	// Handler-visible mirrors of the engine session, refreshed by the
+	// worker after each mutation.
+	problemDoc  *schemaio.ProblemDoc
+	historyDocs []schemaio.IterationDoc
+	solutions   []*engine.Solution // immutable once appended; for diffs
+}
+
+// touch marks the session used now, for TTL accounting.
+func (sn *session) touch() {
+	sn.mu.Lock()
+	//ube:nondeterministic-ok TTL bookkeeping; never observable in solve results
+	sn.lastUsed = time.Now()
+	sn.mu.Unlock()
+}
+
+// refreshProblemDoc re-mirrors the current problem. Worker/create-handler
+// context only (reads the engine session).
+func (sn *session) refreshProblemDoc() error {
+	p := sn.sess.Problem()
+	p.Progress = nil
+	doc, err := schemaio.EncodeProblem(&p)
+	if err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	sn.problemDoc = doc
+	sn.mu.Unlock()
+	return nil
+}
+
+// appendIterationDoc mirrors the just-solved iteration. Worker context
+// only.
+func (sn *session) appendIterationDoc() error {
+	hist := sn.sess.History()
+	it := &hist[len(hist)-1]
+	doc, err := schemaio.EncodeIteration(it)
+	if err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	sn.historyDocs = append(sn.historyDocs, *doc)
+	sn.solutions = append(sn.solutions, it.Solution)
+	sn.mu.Unlock()
+	return nil
+}
+
+// sessionInfo is the GET /v1/sessions/{id} (and create) response body.
+type sessionInfo struct {
+	ID            string               `json:"id"`
+	Sources       int                  `json:"sources"`
+	Iterations    int                  `json:"iterations"`
+	PendingSolves int                  `json:"pendingSolves"`
+	CreatedAt     string               `json:"createdAt"`
+	Problem       *schemaio.ProblemDoc `json:"problem"`
+}
+
+func (sn *session) info() *sessionInfo {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return &sessionInfo{
+		ID:            sn.id,
+		Sources:       sn.eng.Universe().N(),
+		Iterations:    len(sn.historyDocs),
+		PendingSolves: len(sn.pending),
+		CreatedAt:     sn.created.UTC().Format(time.RFC3339Nano),
+		Problem:       sn.problemDoc,
+	}
+}
+
+// lookupSession returns a live session by ID, touching it for TTL.
+func (s *Server) lookupSession(id string) (*session, bool) {
+	s.mu.Lock()
+	sn, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	sn.touch()
+	return sn, true
+}
+
+// listSessionIDs returns all live session IDs, ascending.
+func (s *Server) listSessionIDs() []string {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// removeSession unregisters a session (client delete or eviction) and
+// closes its event hub. Queued solves still drain: the worker holds its
+// own pointer, and closed=true stops new admissions.
+func (s *Server) removeSession(id, action string) bool {
+	s.mu.Lock()
+	sn, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sn.mu.Lock()
+	sn.closed = true
+	sn.mu.Unlock()
+	s.metrics.sessionsActive.Add(-1)
+	if action == "session.evict" {
+		s.metrics.sessionsEvicted.Add(1)
+		sn.hub.publish("evicted", map[string]string{"session": id})
+	}
+	sn.hub.close()
+	s.audit.record(id, action, "", nil)
+	return true
+}
+
+// janitor evicts sessions idle past the TTL. Sessions with queued or
+// running work are never evicted, however stale.
+func (s *Server) janitor(ttl time.Duration) {
+	defer s.janitorWG.Done()
+	interval := ttl / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	//ube:nondeterministic-ok eviction timing is operational policy, not solver input
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		case <-ticker.C:
+		}
+		//ube:nondeterministic-ok TTL comparison against the wall clock
+		cutoff := time.Now().Add(-ttl)
+		for _, id := range s.listSessionIDs() {
+			s.mu.Lock()
+			sn, ok := s.sessions[id]
+			s.mu.Unlock()
+			if !ok {
+				continue
+			}
+			sn.mu.Lock()
+			idle := sn.lastUsed.Before(cutoff) && len(sn.pending) == 0 && !sn.scheduled
+			sn.mu.Unlock()
+			if idle {
+				s.removeSession(id, "session.evict")
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// hub fans solver events out to the SSE subscribers of one session.
+// Publishing never blocks: a subscriber that cannot keep up has events
+// dropped rather than stalling the worker that is solving. Events are an
+// observability side channel — the authoritative record is the history
+// endpoint — so lossy delivery to slow watchers is the right trade.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]struct{})}
+}
+
+// subscribe registers a new watcher. It returns ok=false once the hub is
+// closed (session deleted or evicted). The channel is closed by the hub
+// when the session goes away.
+func (h *hub) subscribe() (chan []byte, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, false
+	}
+	ch := make(chan []byte, 64)
+	h.subs[ch] = struct{}{}
+	return ch, true
+}
+
+// unsubscribe removes a watcher. Idempotent; safe after close.
+func (h *hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// publish formats one SSE frame and offers it to every subscriber,
+// dropping it for any whose buffer is full.
+func (h *hub) publish(event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return // event payloads are server-constructed; this cannot happen
+	}
+	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//ube:nondeterministic-ok fan-out order across independent subscriber channels is unobservable
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default: // slow watcher: drop, never block the solver
+		}
+	}
+}
+
+// close shuts the hub down and closes every subscriber channel, which
+// ends their SSE streams.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	//ube:nondeterministic-ok teardown order across independent subscriber channels is unobservable
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
