@@ -1,0 +1,256 @@
+package main
+
+// Chaos mode: replayable fault injection against the in-process server.
+//
+// A fault plan (JSON, see internal/faultinject) arms the server's named
+// injection points; the scripted users then run exactly as in benchmark
+// mode, retrying transient failures, while the plan fires. A fault-free
+// reference run of the same script defines ground truth, and three
+// invariants are checked:
+//
+//  1. Clean prefix — every session history is the full scripted history
+//     or a clean prefix of it (a user that exhausted its retry budget).
+//  2. Bit-identical survivors — with wall-clock timing and match-cache
+//     traffic zeroed, surviving iterations equal the reference's.
+//  3. Reconciliation — admitted = completed + errored + cancelled +
+//     panicked + timed out, the queue drains to zero, and the audit log
+//     accounts for every solve up to the counted dropped lines.
+//
+// Violations exit non-zero and print the seed plus the plan JSON — the
+// complete recipe to replay the run.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ube/internal/engine"
+	"ube/internal/faultinject"
+	"ube/internal/model"
+	"ube/internal/schemaio"
+	"ube/internal/server"
+)
+
+// chaosMetricsDoc is the subset of /metrics the reconciliation invariant
+// reads.
+type chaosMetricsDoc struct {
+	SolvesAdmitted  int64 `json:"solvesAdmitted"`
+	Solves          int64 `json:"solves"`
+	SolveErrors     int64 `json:"solveErrors"`
+	SolvesCancelled int64 `json:"solvesCancelled"`
+	SolvePanics     int64 `json:"solvePanics"`
+	SolveTimeouts   int64 `json:"solveTimeouts"`
+	QueueRejections int64 `json:"queueRejections"`
+	QueueDepth      int64 `json:"queueDepth"`
+	InFlight        int64 `json:"inFlight"`
+	AuditDropped    int64 `json:"auditLinesDropped"`
+}
+
+// syncWriter is a mutex-guarded audit sink for the chaos server.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func runChaosMode(u *model.Universe, planPath string, users, iters, evals, workers, queue int, seed int64, solveTimeout time.Duration) error {
+	raw, err := os.ReadFile(planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := schemaio.DecodeFaultPlanBytes(raw)
+	if err != nil {
+		return err
+	}
+	replay := fmt.Sprintf("replay: seed=%d plan=%s\n%s", plan.Seed, planPath, raw)
+
+	prob := engine.DefaultProblem()
+	if prob.MaxSources > u.N() {
+		prob.MaxSources = u.N()
+	}
+	prob.MaxEvals = evals
+	probDoc, err := schemaio.EncodeProblem(&prob)
+	if err != nil {
+		return err
+	}
+
+	// Fault-free reference: every user runs the identical script against
+	// an identical session, so one sequential user defines ground truth.
+	log.Printf("chaos: reference run (%d iterations, fault-free)", iters)
+	ref, _, _, err := chaosServerRun(u, probDoc, 1, iters, workers, queue, solveTimeout, seed, nil)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	if len(ref) != 1 || ref[0].abandoned || len(ref[0].iterations) != iters {
+		return fmt.Errorf("reference run did not complete its script")
+	}
+	refCanon := make([]string, 0, iters)
+	for k := 0; k < iters; k++ {
+		refCanon = append(refCanon, canonicalChaosHistory(ref[0].iterations[:k+1]))
+	}
+
+	// Chaos run: same script, N concurrent users, plan armed.
+	inj := faultinject.MustNew(plan)
+	log.Printf("chaos: fault run (%d users × %d iterations, plan %s, seed %d)", users, iters, planPath, plan.Seed)
+	results, metrics, audit, err := chaosServerRun(u, probDoc, users, iters, workers, queue, solveTimeout, seed, inj)
+	if err != nil {
+		return fmt.Errorf("chaos run: %w", err)
+	}
+
+	var violations []string
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Invariants 1 and 2: clean, bit-identical prefixes.
+	completed := 0
+	for i, r := range results {
+		n := len(r.iterations)
+		completed += n
+		if n > iters {
+			fail("user %d: history has %d iterations, script only has %d", i, n, iters)
+			continue
+		}
+		if n > 0 && canonicalChaosHistory(r.iterations) != refCanon[n-1] {
+			fail("user %d: surviving history (%d iterations) diverges from the fault-free reference", i, n)
+		}
+		if !r.abandoned && n != iters {
+			fail("user %d: completed only %d/%d iterations without abandoning", i, n, iters)
+		}
+	}
+
+	// Invariant 3: counters and audit log reconcile.
+	terminal := metrics.Solves + metrics.SolveErrors + metrics.SolvesCancelled + metrics.SolvePanics + metrics.SolveTimeouts
+	if metrics.SolvesAdmitted != terminal {
+		fail("metrics do not reconcile: admitted %d != done %d + errors %d + cancelled %d + panics %d + timeouts %d",
+			metrics.SolvesAdmitted, metrics.Solves, metrics.SolveErrors, metrics.SolvesCancelled, metrics.SolvePanics, metrics.SolveTimeouts)
+	}
+	if metrics.QueueDepth != 0 || metrics.InFlight != 0 {
+		fail("drained server still reports queueDepth %d, inFlight %d", metrics.QueueDepth, metrics.InFlight)
+	}
+	counts := map[string]int64{}
+	scanner := bufio.NewScanner(strings.NewReader(audit))
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var e struct {
+			Action string `json:"action"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
+			fail("unparseable audit line %q: %v", scanner.Text(), err)
+			continue
+		}
+		counts[e.Action]++
+	}
+	enqueued := counts["solve.enqueue"]
+	terminalLines := counts["solve.done"] + counts["solve.error"] + counts["solve.cancelled"] +
+		counts["solve.panic"] + counts["solve.timeout"]
+	if enqueued > metrics.SolvesAdmitted || terminalLines > metrics.SolvesAdmitted {
+		fail("audit log records more solves than admitted: enqueue %d, terminal %d, admitted %d",
+			enqueued, terminalLines, metrics.SolvesAdmitted)
+	}
+	if deficit := (metrics.SolvesAdmitted - enqueued) + (metrics.SolvesAdmitted - terminalLines); deficit > metrics.AuditDropped {
+		fail("audit log is missing %d solve lines but only %d drops were counted", deficit, metrics.AuditDropped)
+	}
+
+	firings := inj.Firings()
+	log.Printf("chaos: %d faults fired, %d/%d iterations survived, admitted %d (done %d, cancelled %d, panics %d, timeouts %d, rejected %d)",
+		len(firings), completed, users*iters, metrics.SolvesAdmitted,
+		metrics.Solves, metrics.SolvesCancelled, metrics.SolvePanics, metrics.SolveTimeouts, metrics.QueueRejections)
+	if len(violations) > 0 {
+		return fmt.Errorf("chaos invariants violated:\n  - %s\n%s", strings.Join(violations, "\n  - "), replay)
+	}
+	fmt.Printf("chaos: OK — all invariants hold under plan %s (seed %d)\n", planPath, plan.Seed)
+	return nil
+}
+
+// chaosServerRun starts an in-process server (armed with inj when
+// non-nil), drives the scripted users, drains, and returns the per-user
+// results plus the drained metrics and audit log.
+func chaosServerRun(u *model.Universe, prob *schemaio.ProblemDoc, users, iters, workers, queue int, solveTimeout time.Duration, seed int64, inj *faultinject.Injector) ([]userResult, *chaosMetricsDoc, string, error) {
+	audit := &syncWriter{}
+	srv := server.New(server.Config{
+		Workers:           workers,
+		QueueDepth:        queue,
+		MaxSessions:       users + 8,
+		SolveTimeout:      solveTimeout,
+		RetryAfterSeconds: 1,
+		AuditWriter:       audit,
+		FaultInjector:     inj,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	results := make([]userResult, users)
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runUser(client, base, u, prob, iters, rand.New(rand.NewSource(seed+int64(i))))
+		}(i)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, nil, "", fmt.Errorf("shutdown: %w", err)
+	}
+	var metrics chaosMetricsDoc
+	if err := getJSON(client, base+"/metrics", &metrics); err != nil {
+		return nil, nil, "", err
+	}
+	_ = httpSrv.Shutdown(ctx)
+
+	for i := range results {
+		if results[i].err != nil {
+			return nil, nil, "", fmt.Errorf("user %d: %w", i, results[i].err)
+		}
+	}
+	return results, &metrics, audit.String(), nil
+}
+
+// canonicalChaosHistory renders a history with operational metadata
+// removed: wall-clock timing and match-cache traffic (retried solves
+// warm the session's cache, so cache counters legitimately differ from
+// the fault-free reference).
+func canonicalChaosHistory(iters []schemaio.IterationDoc) string {
+	c := append([]schemaio.IterationDoc(nil), iters...)
+	for i := range c {
+		c[i].Solution.ElapsedNS = 0
+		c[i].Solution.CacheHits = 0
+		c[i].Solution.CacheMisses = 0
+		c[i].Solution.CacheEvictions = 0
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Sprintf("unmarshalable history: %v", err)
+	}
+	return string(data)
+}

@@ -12,6 +12,15 @@
 //
 //	ube-load -users 32 -iters 4 -addr http://localhost:8080
 //	ube-load -users 10            # no -addr: serves in-process
+//	ube-load -chaos plan.json     # chaos mode: replayable fault injection
+//
+// In chaos mode (-chaos, in-process only) the server is armed with the
+// fault plan's injection schedule (see internal/faultinject), the same
+// scripted users run against it, and three invariants are checked
+// against a fault-free reference run: every surviving history is a
+// clean, bit-identical prefix of the reference, and the /metrics
+// counters reconcile with the audit log. Any violation exits non-zero
+// with the seed and plan needed to replay the run.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -46,12 +56,25 @@ func main() {
 		workers = flag.Int("workers", 4, "worker pool size (in-process server only)")
 		queue   = flag.Int("queue", 32, "admission queue depth (in-process server only)")
 		out     = flag.String("o", "BENCH_serve.json", "benchmark output path")
+		seed    = flag.Int64("seed", 1, "base seed for the per-user backoff-jitter RNGs")
+		chaos   = flag.String("chaos", "", "fault plan JSON path: run chaos mode (in-process only)")
+		timeout = flag.Duration("solve-timeout", 2*time.Second, "per-solve deadline in chaos mode")
 	)
 	flag.Parse()
 
 	u, _, err := synth.Generate(synth.QuickConfig(*n))
 	if err != nil {
 		log.Fatalf("generating catalog: %v", err)
+	}
+
+	if *chaos != "" {
+		if *addr != "" {
+			log.Fatal("-chaos runs against an in-process server; drop -addr")
+		}
+		if err := runChaosMode(u, *chaos, *users, *iters, *evals, *workers, *queue, *seed, *timeout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	base := *addr
@@ -69,7 +92,7 @@ func main() {
 		log.Printf("in-process server on %s (workers=%d queue=%d)", base, *workers, *queue)
 	}
 
-	bench, err := run(base, u, *users, *iters, *evals)
+	bench, err := run(base, u, *users, *iters, *evals, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,6 +134,7 @@ type benchDoc struct {
 	LatencyMsMax  float64 `json:"latencyMsMax"`
 	Rejections429 int     `json:"rejections429"`
 	RetriesSlept  int     `json:"retriesSlept"`
+	Transient5xx  int     `json:"transient5xxRetries"`
 	Deterministic bool    `json:"deterministic"`
 	ServerMetrics any     `json:"serverMetrics,omitempty"`
 }
@@ -118,12 +142,15 @@ type benchDoc struct {
 // userResult is one simulated user's run.
 type userResult struct {
 	latenciesMs []float64
-	rejections  int
+	rejections  int // 429s absorbed by backoff
+	transients  int // 500/503/504s absorbed by backoff
+	abandoned   bool
+	iterations  []schemaio.IterationDoc
 	history     string // canonical history JSON, timing stripped
 	err         error
 }
 
-func run(base string, u *model.Universe, users, iters, evals int) (*benchDoc, error) {
+func run(base string, u *model.Universe, users, iters, evals int, seed int64) (*benchDoc, error) {
 	prob := engine.DefaultProblem()
 	if prob.MaxSources > u.N() {
 		prob.MaxSources = u.N()
@@ -143,7 +170,7 @@ func run(base string, u *model.Universe, users, iters, evals int) (*benchDoc, er
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runUser(client, base, u, probDoc, iters)
+			results[i] = runUser(client, base, u, probDoc, iters, rand.New(rand.NewSource(seed+int64(i))))
 		}(i)
 	}
 	wg.Wait()
@@ -163,8 +190,12 @@ func run(base string, u *model.Universe, users, iters, evals int) (*benchDoc, er
 		if r.err != nil {
 			return nil, fmt.Errorf("user %d: %w", i, r.err)
 		}
+		if r.abandoned {
+			return nil, fmt.Errorf("user %d: abandoned its script after %d attempts against a fault-free server", i, maxSolveAttempts)
+		}
 		all = append(all, r.latenciesMs...)
 		bench.Rejections429 += r.rejections
+		bench.Transient5xx += r.transients
 		if r.history != results[0].history {
 			deterministic = false
 		}
@@ -190,11 +221,32 @@ func run(base string, u *model.Universe, users, iters, evals int) (*benchDoc, er
 	return bench, nil
 }
 
+// maxSolveAttempts bounds the retries one iteration absorbs before the
+// user abandons the rest of its script. Against a fault-free server the
+// budget is never exhausted; under chaos, exhaustion leaves a clean
+// history prefix.
+const maxSolveAttempts = 12
+
+// transientStatus reports whether a solve failure is worth retrying
+// with the identical request: queue rejection (429), recovered panic
+// (500), injected mid-solve cancel (503), or deadline expiry (504). The
+// server's full-undo contract makes the retry equivalent.
+func transientStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
 // runUser plays one user's script: create a session, then iterate the
 // paper's feedback loop — solve, pin the best source, tighten θ, bias a
 // weight — with edits derived only from the previous response, so every
-// user's script (and therefore history) is identical.
-func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio.ProblemDoc, iters int) userResult {
+// user's script (and therefore history) is identical. Transient
+// failures are retried under rng-jittered exponential backoff floored
+// at the server's Retry-After guidance.
+func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio.ProblemDoc, iters int, rng *rand.Rand) userResult {
 	var r userResult
 
 	var created struct {
@@ -211,7 +263,9 @@ func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio
 	}
 	sessionURL := base + "/v1/sessions/" + created.ID
 
+	bo := newBackoff(rng)
 	var lastSources []int
+script:
 	for k := 0; k < iters; k++ {
 		edit := map[string]any{}
 		switch {
@@ -227,7 +281,7 @@ func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio
 		var solved struct {
 			Solution *schemaio.SolutionDoc `json:"solution"`
 		}
-		for {
+		for attempt := 1; ; attempt++ {
 			//ube:nondeterministic-ok per-request latency measurement
 			t0 := time.Now()
 			status, retryAfter, err := postJSONRetry(client, sessionURL+"/solve", edit, &solved)
@@ -237,18 +291,26 @@ func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio
 				r.err = err
 				return r
 			}
-			if status == http.StatusTooManyRequests {
-				r.rejections++
-				time.Sleep(retryAfter)
-				continue
+			if status == http.StatusOK {
+				r.latenciesMs = append(r.latenciesMs, float64(dt.Nanoseconds())/1e6)
+				break
 			}
-			if status != http.StatusOK {
+			if !transientStatus(status) {
 				r.err = fmt.Errorf("solve %d: HTTP %d", k, status)
 				return r
 			}
-			r.latenciesMs = append(r.latenciesMs, float64(dt.Nanoseconds())/1e6)
-			break
+			if status == http.StatusTooManyRequests {
+				r.rejections++
+			} else {
+				r.transients++
+			}
+			if attempt >= maxSolveAttempts {
+				r.abandoned = true
+				break script
+			}
+			time.Sleep(bo.next(retryAfter))
 		}
+		bo.reset()
 		if solved.Solution != nil {
 			lastSources = solved.Solution.Sources
 		}
@@ -261,6 +323,7 @@ func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio
 		r.err = err
 		return r
 	}
+	r.iterations = hist.Iterations
 	for i := range hist.Iterations {
 		hist.Iterations[i].Solution.ElapsedNS = 0 // timing metadata is not part of the contract
 	}
@@ -273,13 +336,52 @@ func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio
 	return r
 }
 
+// backoff is capped exponential backoff with seeded jitter. The
+// server's Retry-After guidance floors every delay; consecutive
+// failures double from there up to the cap, plus jitter drawn from the
+// user's own RNG so a run with the same -seed sleeps the same schedule.
+type backoff struct {
+	rng *rand.Rand
+	cur time.Duration
+}
+
+const (
+	backoffFloor = 100 * time.Millisecond
+	backoffCap   = 10 * time.Second
+)
+
+func newBackoff(rng *rand.Rand) *backoff { return &backoff{rng: rng} }
+
+// reset clears the doubling state after a success.
+func (b *backoff) reset() { b.cur = 0 }
+
+// next returns the delay before the following attempt; retryAfter is
+// the server's guidance (zero when the response carried none).
+func (b *backoff) next(retryAfter time.Duration) time.Duration {
+	base := retryAfter
+	if base <= 0 {
+		base = backoffFloor
+	}
+	if b.cur < base {
+		b.cur = base
+	} else {
+		b.cur *= 2
+	}
+	if b.cur > backoffCap {
+		b.cur = backoffCap
+	}
+	jitter := time.Duration(b.rng.Int63n(int64(b.cur/4) + 1))
+	return b.cur + jitter
+}
+
 func postJSON(client *http.Client, url string, body, out any) (int, error) {
 	status, _, err := postJSONRetry(client, url, body, out)
 	return status, err
 }
 
-// postJSONRetry posts and, on 429, surfaces the server's Retry-After
-// delay so callers can back off exactly as asked.
+// postJSONRetry posts and surfaces the server's Retry-After guidance
+// (zero when the response carried none) so callers can back off exactly
+// as asked.
 func postJSONRetry(client *http.Client, url string, body, out any) (int, time.Duration, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -295,13 +397,13 @@ func postJSONRetry(client *http.Client, url string, body, out any) (int, time.Du
 			return resp.StatusCode, 0, json.NewDecoder(resp.Body).Decode(out)
 		}
 	}
-	backoff := 100 * time.Millisecond
+	var retryAfter time.Duration
 	if s := resp.Header.Get("Retry-After"); s != "" {
 		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-			backoff = time.Duration(secs) * time.Second
+			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return resp.StatusCode, backoff, nil
+	return resp.StatusCode, retryAfter, nil
 }
 
 func getJSON(client *http.Client, url string, out any) error {

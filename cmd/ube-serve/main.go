@@ -22,6 +22,8 @@ import (
 	"syscall"
 	"time"
 
+	"ube/internal/faultinject"
+	"ube/internal/schemaio"
 	"ube/internal/server"
 )
 
@@ -34,14 +36,32 @@ func main() {
 		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 disables)")
 		auditPath    = flag.String("audit", "", "append-only JSONL audit log path (\"-\" for stdout, empty disables)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "maximum time to wait for in-flight solves on shutdown")
+		solveTimeout = flag.Duration("solve-timeout", 0, "per-solve deadline; past it the solve is cancelled with 504 (0 disables)")
+		retryAfter   = flag.Int("retry-after", 2, "Retry-After seconds sent with 429/503/504 responses")
+		faultPlan    = flag.String("fault-plan", "", "fault-injection plan JSON path (chaos testing only; see internal/faultinject)")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MaxSessions: *maxSessions,
-		SessionTTL:  *sessionTTL,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxSessions:       *maxSessions,
+		SessionTTL:        *sessionTTL,
+		SolveTimeout:      *solveTimeout,
+		RetryAfterSeconds: *retryAfter,
+	}
+	if *faultPlan != "" {
+		raw, err := os.ReadFile(*faultPlan)
+		if err != nil {
+			log.Fatalf("reading fault plan: %v", err)
+		}
+		plan, err := schemaio.DecodeFaultPlanBytes(raw)
+		if err != nil {
+			log.Fatalf("fault plan %s: %v", *faultPlan, err)
+		}
+		cfg.FaultInjector = faultinject.MustNew(plan)
+		log.Printf("CHAOS: fault plan %s armed (seed %d, %d entries) — not for production",
+			*faultPlan, plan.Seed, len(plan.Entries))
 	}
 	switch *auditPath {
 	case "":

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ube/internal/cluster"
+	"ube/internal/faultinject"
 	"ube/internal/model"
 	"ube/internal/qef"
 	"ube/internal/search"
@@ -142,6 +143,10 @@ type Engine struct {
 
 	legacyEval bool // WithLegacyEvaluation: seed-equivalent slow paths
 
+	// faults arms the engine's injection points (solve.cancel-midway,
+	// snapshot.evict); nil outside chaos runs. See internal/faultinject.
+	faults *faultinject.Injector
+
 	// matchMu guards matchCache and the cache statistics; parallel solves
 	// evaluate candidates concurrently.
 	matchMu    sync.Mutex
@@ -175,6 +180,7 @@ type options struct {
 	measure    strsim.Measure
 	noCache    bool
 	legacyEval bool
+	faults     *faultinject.Injector
 }
 
 // WithMeasure overrides the attribute similarity measure (default: the
@@ -196,6 +202,15 @@ func WithoutMatchCache() Option {
 // are identical either way; only the time differs.
 func WithLegacyEvaluation() Option {
 	return func(o *options) { o.legacyEval = true }
+}
+
+// WithFaultInjector arms the engine's named fault-injection points
+// (solve.cancel-midway, snapshot.evict) with a chaos plan; see
+// internal/faultinject. Injected faults never change solve results:
+// cancellation truncates a search exactly like a caller cancellation,
+// and snapshot eviction only forces a pure cache rebuild.
+func WithFaultInjector(in *faultinject.Injector) Option {
+	return func(o *options) { o.faults = in }
 }
 
 // New builds an engine over a universe: validates it, interns every
@@ -227,6 +242,7 @@ func New(u *model.Universe, opts ...Option) (*Engine, error) {
 		neighborsByTheta: make(map[float64][][]int),
 		seedByTheta:      make(map[float64]*cluster.SeedPairs),
 		legacyEval:       o.legacyEval,
+		faults:           o.faults,
 	}
 	e.scratch.New = func() any { return &cluster.Scratch{} }
 	if !o.noCache {
@@ -475,6 +491,11 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 	}
 	if !e.legacyEval {
 		prob.DeltaObjective = e.deltaObjective(comp, wMatch, wRest, clusterCfg, C, G)
+	}
+	if armedCtx, cancel := e.armSolveFaults(ctx, prob); cancel != nil {
+		defer cancel()
+		ctx = armedCtx
+		prob.Ctx = armedCtx
 	}
 	res := opt.Optimize(prob, p.Seed)
 	if ctx != nil {

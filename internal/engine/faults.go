@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+
+	"ube/internal/faultinject"
+	"ube/internal/model"
+	"ube/internal/search"
+)
+
+// armSolveFaults arms the solve.cancel-midway injection point for one
+// solve. When the point fires (one Fire per solve attempt), the search
+// problem's objectives are wrapped with an evaluation counter that
+// cancels the returned context after the firing's Arg evaluations — a
+// deterministic stand-in for a client vanishing mid-solve. The wrappers
+// are pure pass-throughs otherwise, so an unarmed or non-firing solve is
+// byte-identical to one without an injector, and a cancelled solve obeys
+// the engine's normal cancellation contract: truncate, never reroute.
+//
+// It returns (nil, nil) when nothing fires; otherwise the caller must
+// install the returned context as the solve context and defer cancel.
+func (e *Engine) armSolveFaults(ctx context.Context, prob *search.Problem) (context.Context, context.CancelFunc) {
+	if e.faults == nil {
+		return nil, nil
+	}
+	f := e.faults.Fire(faultinject.SolveCancelMidway)
+	if f == nil {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	var evals atomic.Int64
+	tick := func() {
+		if evals.Add(1) == f.Arg {
+			cancel()
+		}
+	}
+	obj := prob.Objective
+	prob.Objective = func(S *model.SourceSet) (float64, bool) {
+		tick()
+		return obj(S)
+	}
+	if dobj := prob.DeltaObjective; dobj != nil {
+		prob.DeltaObjective = func(S *model.SourceSet, d search.Delta) (float64, bool) {
+			tick()
+			return dobj(S, d)
+		}
+	}
+	return cctx, cancel
+}

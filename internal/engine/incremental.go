@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ube/internal/cluster"
+	"ube/internal/faultinject"
 	"ube/internal/floats"
 	"ube/internal/model"
 	"ube/internal/qef"
@@ -62,6 +63,16 @@ func (inc *incumbent) publish(snap *qef.BaseSnapshot) {
 	inc.mu.Unlock()
 }
 
+// discard drops the cached snapshot (the snapshot.evict injection
+// point). Snapshot construction is pure, so an eviction only forces a
+// rebuild and can never change results — which is exactly the invariant
+// the chaos suite checks by firing this mid-solve.
+func (inc *incumbent) discard() {
+	inc.mu.Lock()
+	inc.snap = nil
+	inc.mu.Unlock()
+}
+
 // deltaObjective builds the solve's incremental objective. Matching
 // quality F1 is inherently whole-set (the clustering is global) and stays
 // on the memoized Match path; the composite QEF side evaluates add-moves
@@ -79,6 +90,9 @@ func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clus
 			return q, valid
 		}
 		if d.Base != nil && d.Add >= 0 && d.Drop < 0 && !d.Base.Has(d.Add) {
+			if e.faults.Fire(faultinject.SnapshotEvict) != nil {
+				inc.discard()
+			}
 			key := d.Base.Key()
 			snap := inc.lookup(key)
 			if snap == nil {

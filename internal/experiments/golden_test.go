@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"ube/internal/engine"
+	"ube/internal/search"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace under testdata/golden")
+
+// goldenEvals caps the per-solve budget for the golden cell: large enough
+// that tabu search leaves the greedy basin, small enough that the trace
+// file stays reviewable and the test stays fast.
+const goldenEvals = 400
+
+// renderGoldenTrace serializes one solve in golden form: the solution
+// summary (sources, quality and breakdown as exact bit patterns) followed
+// by one line per evaluated candidate set — its canonical key and every
+// observed quality value, hex bit pattern first so diffs localize a
+// drifting evaluation to the exact candidate and bit.
+func renderGoldenTrace(m, n int, sol *engine.Solution, trace map[string][]uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Fig6 cell m=%d n=%d variant=%s seed=1 workers=4 maxEvals=%d\n",
+		m, n, Variants[0].Name, goldenEvals)
+	fmt.Fprintf(&b, "# regenerate: go test ./internal/experiments -run TestGoldenFig6Trace -update\n")
+	fmt.Fprintf(&b, "sources %v\n", sol.Sources)
+	fmt.Fprintf(&b, "quality %016x (%.17g) feasible=%v evals=%d\n",
+		math.Float64bits(sol.Quality), sol.Quality, sol.Feasible, sol.Evals)
+	bks := make([]string, 0, len(sol.Breakdown))
+	for k := range sol.Breakdown {
+		bks = append(bks, k)
+	}
+	sort.Strings(bks)
+	for _, k := range bks {
+		fmt.Fprintf(&b, "breakdown %s %016x (%.17g)\n",
+			k, math.Float64bits(sol.Breakdown[k]), sol.Breakdown[k])
+	}
+	keys := make([]string, 0, len(trace))
+	for k := range trace {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		for _, v := range trace[k] {
+			fmt.Fprintf(&b, " %016x", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// diffGolden reports the first mismatching lines between the observed and
+// golden renderings, with line numbers, so a regression reads as "this
+// candidate's quality bits moved" rather than a multi-kilobyte blob.
+func diffGolden(got, want string) string {
+	const maxShown = 8
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	var b strings.Builder
+	if len(g) != len(w) {
+		fmt.Fprintf(&b, "line counts diverge: got %d, want %d\n", len(g), len(w))
+	}
+	shown, total := 0, 0
+	for i := 0; i < len(g) || i < len(w); i++ {
+		var gl, wl string
+		if i < len(g) {
+			gl = g[i]
+		}
+		if i < len(w) {
+			wl = w[i]
+		}
+		if gl == wl {
+			continue
+		}
+		total++
+		if shown < maxShown {
+			fmt.Fprintf(&b, "line %d:\n  got:  %s\n  want: %s\n", i+1, clip(gl), clip(wl))
+			shown++
+		}
+	}
+	if total > shown {
+		fmt.Fprintf(&b, "... and %d more differing lines\n", total-shown)
+	}
+	return b.String()
+}
+
+func clip(s string) string {
+	const width = 160
+	if len(s) <= width {
+		return s
+	}
+	return s[:width] + fmt.Sprintf("... (%d bytes)", len(s))
+}
+
+// TestGoldenFig6Trace pins the Figure 6 m=40 cell's complete per-candidate
+// objective trace — every candidate set tabu search evaluated and the
+// exact bit pattern of every quality it observed — against a committed
+// golden file. TestFig6CellReproducible proves the trace is identical
+// across re-solves within one binary; this test extends that guarantee
+// across commits: any change to the QEF pipeline, the delta evaluator,
+// the matcher or the search neighborhood that perturbs even one candidate
+// evaluation fails here with a localized diff. After an intentional
+// change, regenerate with -update and review the diff like any other
+// golden.
+func TestGoldenFig6Trace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Fig6 cell")
+	}
+	o := Options{MaxEvals: goldenEvals}
+	ms, n := Fig6Ms(o)
+	m := ms[len(ms)-2] // the paper's m=40 cell
+	setup, err := NewSetup(n, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := setup.Problem(m, Variants[0], o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 4
+	tr := newTrace(search.NewTabu())
+	p.Optimizer = tr
+	sol, err := setup.E.Solve(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderGoldenTrace(m, n, sol, tr.sorted())
+
+	golden := filepath.Join("testdata", "golden", "fig6_m40_trace.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("objective trace diverges from %s\n%s", golden, diffGolden(got, string(want)))
+	}
+}

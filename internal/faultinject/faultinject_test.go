@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestValidateRejectsMalformedPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"unknown point", Plan{Entries: []Entry{{Point: "worker.explode", Trigger: 1, Action: "panic"}}}},
+		{"wrong action", Plan{Entries: []Entry{{Point: WorkerPanic, Trigger: 1, Action: "stall"}}}},
+		{"zero trigger", Plan{Entries: []Entry{{Point: WorkerPanic, Trigger: 0, Action: "panic"}}}},
+		{"negative repeat", Plan{Entries: []Entry{{Point: WorkerPanic, Trigger: 1, Action: "panic", Repeat: -1}}}},
+		{"stall without arg", Plan{Entries: []Entry{{Point: WorkerStall, Trigger: 1, Action: "stall"}}}},
+		{"cancel without arg", Plan{Entries: []Entry{{Point: SolveCancelMidway, Trigger: 1, Action: "cancel"}}}},
+		{"negative arg", Plan{Entries: []Entry{{Point: WorkerPanic, Trigger: 1, Action: "panic", Arg: -5}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(); err == nil {
+				t.Errorf("plan validated: %+v", tc.plan)
+			}
+			if _, err := New(tc.plan); err == nil {
+				t.Error("New accepted an invalid plan")
+			}
+		})
+	}
+}
+
+func TestEveryPointHasAnAction(t *testing.T) {
+	for _, p := range Points {
+		plan := Plan{Entries: []Entry{{Point: p, Trigger: 1, Action: actions[p], Arg: 1}}}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("catalog point %q does not validate: %v", p, err)
+		}
+	}
+}
+
+func TestFireSchedule(t *testing.T) {
+	in := MustNew(Plan{Seed: 7, Entries: []Entry{
+		{Point: WorkerPanic, Trigger: 2, Action: "panic", Repeat: 2},
+		{Point: WorkerStall, Trigger: 1, Action: "stall", Arg: 50},
+	}})
+
+	// worker.panic fires on arrivals 2 and 3 only.
+	for arrival := 1; arrival <= 5; arrival++ {
+		f := in.Fire(WorkerPanic)
+		want := arrival == 2 || arrival == 3
+		if (f != nil) != want {
+			t.Errorf("worker.panic arrival %d: fired=%v, want %v", arrival, f != nil, want)
+		}
+		if f != nil && f.Arrival != arrival {
+			t.Errorf("firing records arrival %d, want %d", f.Arrival, arrival)
+		}
+	}
+	// worker.stall fires once, carrying its arg.
+	if f := in.Fire(WorkerStall); f == nil || f.Arg != 50 {
+		t.Errorf("worker.stall first arrival: got %+v, want arg 50", f)
+	}
+	if f := in.Fire(WorkerStall); f != nil {
+		t.Errorf("worker.stall fired past its window: %+v", f)
+	}
+	// Unarmed points never fire but still count arrivals.
+	if f := in.Fire(QueueOverflow); f != nil {
+		t.Errorf("unarmed point fired: %+v", f)
+	}
+
+	if got := in.FiredCount(WorkerPanic); got != 2 {
+		t.Errorf("FiredCount(worker.panic) = %d, want 2", got)
+	}
+	if got := in.Arrivals(WorkerPanic); got != 5 {
+		t.Errorf("Arrivals(worker.panic) = %d, want 5", got)
+	}
+	if got := in.Arrivals(QueueOverflow); got != 1 {
+		t.Errorf("Arrivals(queue.overflow) = %d, want 1", got)
+	}
+	if got := len(in.Firings()); got != 3 {
+		t.Errorf("%d firings recorded, want 3", got)
+	}
+	if in.Seed() != 7 {
+		t.Errorf("Seed() = %d, want 7", in.Seed())
+	}
+}
+
+func TestNilInjectorNoOps(t *testing.T) {
+	var in *Injector
+	if f := in.Fire(WorkerPanic); f != nil {
+		t.Errorf("nil injector fired: %+v", f)
+	}
+	if in.FiredCount(WorkerPanic) != 0 || in.Arrivals(WorkerPanic) != 0 || in.Firings() != nil {
+		t.Error("nil injector reports state")
+	}
+	if in.Seed() != 0 {
+		t.Error("nil injector has a seed")
+	}
+	if got := in.Plan(); len(got.Entries) != 0 {
+		t.Error("nil injector has a plan")
+	}
+}
+
+// TestFireIsArrivalDeterministic proves firing depends only on arrival
+// counts: concurrent callers racing on one point produce exactly the
+// scheduled number of firings, however the scheduler interleaves them.
+func TestFireIsArrivalDeterministic(t *testing.T) {
+	in := MustNew(Plan{Entries: []Entry{
+		{Point: AuditWriteError, Trigger: 10, Action: "drop", Repeat: 5},
+	}})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				in.Fire(AuditWriteError)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Arrivals(AuditWriteError); got != 200 {
+		t.Fatalf("%d arrivals, want 200", got)
+	}
+	if got := in.FiredCount(AuditWriteError); got != 5 {
+		t.Fatalf("%d firings, want exactly 5", got)
+	}
+}
+
+// TestPlanCopyIsolation proves the injector snapshots the plan: mutating
+// the caller's entry slice after New cannot change the armed schedule.
+func TestPlanCopyIsolation(t *testing.T) {
+	entries := []Entry{{Point: WorkerPanic, Trigger: 1, Action: "panic"}}
+	in := MustNew(Plan{Entries: entries})
+	entries[0].Trigger = 99
+	if f := in.Fire(WorkerPanic); f == nil {
+		t.Fatal("armed schedule changed after caller mutation")
+	}
+}

@@ -65,6 +65,10 @@ var DefaultDeterminismPaths = []string{
 	// annotated as such at the site) or a contract violation.
 	"ube/internal/server",
 	"ube/cmd/ube-load",
+	// Fault injection must be replayable from a seed: firing decisions
+	// are pure functions of per-point arrival counts, so the injector
+	// itself may not read the clock or the global rand either.
+	"ube/internal/faultinject",
 }
 
 // Config tunes a run.

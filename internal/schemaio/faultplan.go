@@ -1,0 +1,54 @@
+package schemaio
+
+// JSON round-trip for chaos fault plans (internal/faultinject): the
+// on-disk form of the schedules committed under testdata/chaosplans and
+// accepted by ube-serve -fault-plan and ube-load -chaos. Decoding is
+// strict — unknown fields, trailing garbage and invalid schedules are
+// all errors — so a typo in a plan fails a chaos run loudly instead of
+// silently disarming it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ube/internal/faultinject"
+)
+
+// EncodeFaultPlan renders a validated plan as indented JSON, newline
+// terminated — the exact form the committed plan fixtures use.
+func EncodeFaultPlan(p *faultinject.Plan) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeFaultPlan parses and validates one plan document.
+func DecodeFaultPlan(r io.Reader) (faultinject.Plan, error) {
+	var p faultinject.Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return faultinject.Plan{}, fmt.Errorf("schemaio: decoding fault plan: %w", err)
+	}
+	// A plan is one document; trailing content is a malformed file, not
+	// a second schedule.
+	if dec.More() {
+		return faultinject.Plan{}, fmt.Errorf("schemaio: fault plan has trailing content")
+	}
+	if err := p.Validate(); err != nil {
+		return faultinject.Plan{}, err
+	}
+	return p, nil
+}
+
+// DecodeFaultPlanBytes is DecodeFaultPlan over a byte slice.
+func DecodeFaultPlanBytes(data []byte) (faultinject.Plan, error) {
+	return DecodeFaultPlan(bytes.NewReader(data))
+}

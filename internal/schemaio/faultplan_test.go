@@ -1,0 +1,93 @@
+package schemaio
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ube/internal/faultinject"
+)
+
+func TestFaultPlanRoundTrip(t *testing.T) {
+	plan := faultinject.Plan{
+		Seed: 42,
+		Entries: []faultinject.Entry{
+			{Point: faultinject.WorkerPanic, Trigger: 3, Action: "panic", Repeat: 2},
+			{Point: faultinject.WorkerStall, Trigger: 1, Action: "stall", Arg: 250},
+			{Point: faultinject.SolveCancelMidway, Trigger: 2, Action: "cancel", Arg: 40},
+		},
+	}
+	data, err := EncodeFaultPlan(&plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFaultPlanBytes(data)
+	if err != nil {
+		t.Fatalf("own output rejected: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(plan, back) {
+		t.Errorf("round trip changed the plan:\nbefore %+v\nafter  %+v", plan, back)
+	}
+}
+
+func TestDecodeFaultPlanRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"not json", "not a plan"},
+		{"unknown field", `{"seed":1,"entries":[],"extra":true}`},
+		{"unknown point", `{"entries":[{"point":"queue.explode","trigger":1,"action":"reject"}]}`},
+		{"wrong action", `{"entries":[{"point":"worker.panic","trigger":1,"action":"stall"}]}`},
+		{"zero trigger", `{"entries":[{"point":"worker.panic","trigger":0,"action":"panic"}]}`},
+		{"stall without arg", `{"entries":[{"point":"worker.stall","trigger":1,"action":"stall"}]}`},
+		{"trailing content", `{"entries":[]} {"entries":[]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeFaultPlan(strings.NewReader(tc.input)); err == nil {
+				t.Errorf("decoded: %s", tc.input)
+			}
+		})
+	}
+}
+
+func TestEncodeFaultPlanValidates(t *testing.T) {
+	bad := faultinject.Plan{Entries: []faultinject.Entry{{Point: "nope", Trigger: 1, Action: "x"}}}
+	if _, err := EncodeFaultPlan(&bad); err == nil {
+		t.Error("encoded an invalid plan")
+	}
+}
+
+func TestProblemDecodeRejectsHostileDocs(t *testing.T) {
+	big := make([]int, decodeListLimit+1)
+	cases := []struct {
+		name string
+		doc  ProblemDoc
+	}{
+		{"nan theta", ProblemDoc{Theta: nan()}},
+		{"inf weight", ProblemDoc{Weights: map[string]float64{"card": inf()}}},
+		{"oversized initial sources", ProblemDoc{InitialSources: big}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.doc.Decode(); err == nil {
+				t.Error("hostile document decoded")
+			}
+		})
+	}
+}
+
+func TestSolutionDecodeRejectsHugeUniverse(t *testing.T) {
+	doc := SolutionDoc{N: decodeUniverseLimit + 1}
+	if _, err := doc.Decode(); err == nil {
+		t.Error("oversized universe decoded")
+	}
+	neg := SolutionDoc{N: -1}
+	if _, err := neg.Decode(); err == nil {
+		t.Error("negative universe decoded")
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }

@@ -11,6 +11,7 @@ package schemaio
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"ube/internal/cluster"
@@ -19,6 +20,16 @@ import (
 	"ube/internal/qef"
 	"ube/internal/search"
 )
+
+// decodeListLimit caps every list a service request can carry
+// (constraints, GA members, warm-start sources): a universe has at most
+// thousands of sources, so anything past this is a hostile or corrupt
+// document, rejected before it allocates.
+const decodeListLimit = 1 << 16
+
+// decodeUniverseLimit caps the declared universe size when rebuilding a
+// solution's source bitset; past it the allocation alone is an attack.
+const decodeUniverseLimit = 1 << 24
 
 // ProblemDoc is the JSON form of engine.Problem. Unlike spec.ProblemSpec
 // (a human-authored input format with defaulting rules), ProblemDoc is an
@@ -84,7 +95,39 @@ func EncodeProblem(p *engine.Problem) (*ProblemDoc, error) {
 // Decode resolves the document back into an engine problem. Optimizers
 // and aggregators are reconstructed by name with package defaults; an
 // empty optimizer name decodes to nil (the engine's tabu default).
+//
+// Decode is the service's trust boundary for problem documents, so it
+// rejects what engine validation cannot be relied on to catch: NaN/Inf
+// numerics (whose comparisons are all false, so range checks pass them)
+// and absurdly oversized constraint or warm-start lists.
 func (d *ProblemDoc) Decode() (engine.Problem, error) {
+	if !isFinite(d.Theta) {
+		return engine.Problem{}, fmt.Errorf("schemaio: theta %v is not a finite number", d.Theta)
+	}
+	//ube:nondeterministic-ok each weight is checked independently; order cannot matter
+	for name, w := range d.Weights {
+		if !isFinite(w) {
+			return engine.Problem{}, fmt.Errorf("schemaio: weight %q = %v is not a finite number", name, w)
+		}
+	}
+	for _, l := range []struct {
+		name string
+		n    int
+	}{
+		{"constraints.sources", len(d.Constraints.Sources)},
+		{"constraints.gas", len(d.Constraints.GAs)},
+		{"constraints.exclude", len(d.Constraints.Exclude)},
+		{"initialSources", len(d.InitialSources)},
+	} {
+		if l.n > decodeListLimit {
+			return engine.Problem{}, fmt.Errorf("schemaio: %s carries %d entries, limit %d", l.name, l.n, decodeListLimit)
+		}
+	}
+	for i, ga := range d.Constraints.GAs {
+		if len(ga) > decodeListLimit {
+			return engine.Problem{}, fmt.Errorf("schemaio: GA constraint %d carries %d attributes, limit %d", i, len(ga), decodeListLimit)
+		}
+	}
 	p := engine.Problem{
 		MaxSources:     d.MaxSources,
 		Theta:          d.Theta,
@@ -183,6 +226,9 @@ func (d *SolutionDoc) Decode() (*engine.Solution, error) {
 		MatchCache: engine.CacheStats{Hits: d.CacheHits, Misses: d.CacheMisses, Evictions: d.CacheEvictions},
 		Elapsed:    time.Duration(d.ElapsedNS),
 	}
+	if d.N < 0 || d.N > decodeUniverseLimit {
+		return nil, fmt.Errorf("schemaio: solution universe size %d outside [0,%d]", d.N, decodeUniverseLimit)
+	}
 	set := model.NewSourceSet(d.N)
 	for _, id := range d.Sources {
 		if id < 0 || id >= d.N {
@@ -241,6 +287,9 @@ func EncodeHistory(history []engine.Iteration) ([]IterationDoc, error) {
 	}
 	return docs, nil
 }
+
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 func cloneFloatMap(m map[string]float64) map[string]float64 {
 	if m == nil {

@@ -1,0 +1,43 @@
+package schemaio
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzServerDecode drives the service's JSON trust boundary: arbitrary
+// bytes through the strict ProblemDoc decode the server performs on
+// session-create and solve payloads. Malformed constraints, non-finite
+// numerics and oversized lists must come back as errors — never panics,
+// never unbounded allocations — and any accepted problem must have a
+// JSON form again (the server re-encodes it for the problem mirror).
+//
+// Run continuously in CI's fuzz job:
+//
+//	go test -fuzz=FuzzServerDecode -fuzztime=30s ./internal/schemaio
+func FuzzServerDecode(f *testing.F) {
+	f.Add([]byte(`{"maxSources":5,"theta":0.65,"beta":2,"constraints":{},"seed":1}`))
+	f.Add([]byte(`{"maxSources":5,"theta":0.65,"beta":2,"constraints":{"sources":[0,1],"gas":[[{"source":0,"attr":1}]]},"weights":{"match":0.5,"card":0.5},"seed":1}`))
+	f.Add([]byte(`{"maxSources":5,"theta":1e308,"beta":2,"constraints":{},"seed":1,"optimizer":"tabu"}`))
+	f.Add([]byte(`{"maxSources":-1,"theta":-0.5,"beta":0,"constraints":{"exclude":[-9]},"seed":-1}`))
+	f.Add([]byte(`{"weights":{"":-1e308}}`))
+	f.Add([]byte(`{"characteristics":{"mttf":"nosuch"}}`))
+	f.Add([]byte(`{"initialSources":[0,0,0,0,0,0,0,0,0,0,0,0]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var doc ProblemDoc
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if dec.Decode(&doc) != nil {
+			return // rejection is fine; panics are not
+		}
+		p, err := doc.Decode()
+		if err != nil {
+			return
+		}
+		if _, err := EncodeProblem(&p); err != nil {
+			t.Fatalf("accepted problem has no JSON form: %v\ninput: %q", err, data)
+		}
+	})
+}

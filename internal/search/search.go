@@ -285,6 +285,13 @@ func (t *tracker) batchEvalDelta(p *Problem, cands []*model.SourceSet, deltas []
 	if left := t.budget - t.evals; len(cands) > left {
 		cands = cands[:max(left, 0)]
 	}
+	// Cancellation boundary: a batch is the unit of work between
+	// iteration-boundary checks, so refusing a whole batch here stops a
+	// cancelled solve before it fans out more candidate evaluations.
+	// For an uncancelled context this changes nothing.
+	if t.cancelled() {
+		return nil, nil, 0
+	}
 	if len(cands) == 0 {
 		return nil, nil, 0
 	}

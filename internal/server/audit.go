@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ube/internal/faultinject"
 )
 
 // auditLog is the append-only JSONL record of every session mutation:
@@ -16,6 +19,12 @@ type auditLog struct {
 	mu  sync.Mutex
 	enc *json.Encoder
 	w   io.Writer
+
+	// inj injects write errors (the audit.write-error point); dropped
+	// counts the lines lost to them so /metrics↔audit reconciliation
+	// remains checkable even under injected sink failures.
+	inj     *faultinject.Injector
+	dropped *atomic.Int64
 }
 
 // auditEntry is one audit line.
@@ -26,7 +35,8 @@ type auditEntry struct {
 	Session string `json:"session,omitempty"`
 	// Action names the mutation: session.create, session.delete,
 	// session.evict, solve.enqueue, solve.reject, solve.apply,
-	// solve.done, solve.error, solve.cancelled, server.drain.
+	// solve.done, solve.error, solve.cancelled, solve.timeout,
+	// solve.panic, server.drain.
 	Action string `json:"action"`
 	// Remote is the client address that caused the mutation, "" for
 	// server-initiated events (eviction, drain).
@@ -43,10 +53,28 @@ func newAuditLog(w io.Writer) *auditLog {
 	return &auditLog{enc: json.NewEncoder(w), w: w}
 }
 
+// arm threads the fault injector and the dropped-lines counter into the
+// log. Nil receivers no-op (no sink means no lines to drop).
+func (a *auditLog) arm(inj *faultinject.Injector, dropped *atomic.Int64) {
+	if a == nil {
+		return
+	}
+	a.inj = inj
+	a.dropped = dropped
+}
+
 // record appends one entry. Safe for concurrent use; nil receivers
 // no-op so call sites need no guards.
 func (a *auditLog) record(session, action, remote string, detail any) {
 	if a == nil {
+		return
+	}
+	if a.inj.Fire(faultinject.AuditWriteError) != nil {
+		// Injected sink failure: the line is lost, as it would be to a
+		// full disk, but the loss itself is counted.
+		if a.dropped != nil {
+			a.dropped.Add(1)
+		}
 		return
 	}
 	//ube:nondeterministic-ok audit timestamps record when a mutation was committed; they are write-only operational metadata

@@ -18,12 +18,16 @@ type metrics struct {
 	sessionsActive  atomic.Int64
 	sessionsEvicted atomic.Int64
 
+	solvesAdmitted  atomic.Int64 // accepted into the admission queue
 	solves          atomic.Int64 // completed successfully
 	solveErrors     atomic.Int64 // engine/validation failures
-	solvesCancelled atomic.Int64 // client gone before or during execution
+	solvesCancelled atomic.Int64 // client gone, or cancelled mid-solve
+	solvePanics     atomic.Int64 // worker panics recovered into 500s
+	solveTimeouts   atomic.Int64 // per-solve deadline expiries (504s)
 	rejections      atomic.Int64 // 429s from the admission queue
 	queueDepth      atomic.Int64 // admitted, not yet executing
 	inFlight        atomic.Int64 // executing right now
+	auditDropped    atomic.Int64 // audit lines lost to sink write errors
 
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
@@ -60,12 +64,16 @@ type metricsDoc struct {
 	SessionsActive  int64 `json:"sessionsActive"`
 	SessionsEvicted int64 `json:"sessionsEvicted"`
 
+	SolvesAdmitted  int64 `json:"solvesAdmitted"`
 	Solves          int64 `json:"solves"`
 	SolveErrors     int64 `json:"solveErrors"`
 	SolvesCancelled int64 `json:"solvesCancelled"`
+	SolvePanics     int64 `json:"solvePanics"`
+	SolveTimeouts   int64 `json:"solveTimeouts"`
 	QueueRejections int64 `json:"queueRejections"`
 	QueueDepth      int64 `json:"queueDepth"`
 	InFlight        int64 `json:"inFlight"`
+	AuditDropped    int64 `json:"auditLinesDropped"`
 
 	MatchCacheHits      int64 `json:"matchCacheHits"`
 	MatchCacheMisses    int64 `json:"matchCacheMisses"`
@@ -87,12 +95,16 @@ func (m *metrics) snapshot() *metricsDoc {
 		SessionsActive:  m.sessionsActive.Load(),
 		SessionsEvicted: m.sessionsEvicted.Load(),
 
+		SolvesAdmitted:  m.solvesAdmitted.Load(),
 		Solves:          m.solves.Load(),
 		SolveErrors:     m.solveErrors.Load(),
 		SolvesCancelled: m.solvesCancelled.Load(),
+		SolvePanics:     m.solvePanics.Load(),
+		SolveTimeouts:   m.solveTimeouts.Load(),
 		QueueRejections: m.rejections.Load(),
 		QueueDepth:      m.queueDepth.Load(),
 		InFlight:        m.inFlight.Load(),
+		AuditDropped:    m.auditDropped.Load(),
 
 		MatchCacheHits:      m.cacheHits.Load(),
 		MatchCacheMisses:    m.cacheMisses.Load(),

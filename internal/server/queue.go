@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"sort"
 	"time"
 
 	"ube/internal/engine"
+	"ube/internal/faultinject"
 	"ube/internal/qef"
 	"ube/internal/search"
 	"ube/internal/spec"
@@ -43,6 +45,10 @@ type solveJob struct {
 type jobResult struct {
 	status int
 	body   any
+	// retryAfter asks the handler to attach backoff guidance (a
+	// Retry-After header) to the response: set on 503/504 results whose
+	// condition is transient.
+	retryAfter bool
 }
 
 // errDraining distinguishes drain refusals from queue overflow.
@@ -58,6 +64,13 @@ func (s *Server) enqueue(sn *session, job *solveJob) error {
 	if s.draining {
 		s.mu.Unlock()
 		return errDraining
+	}
+	if s.inj.Fire(faultinject.QueueOverflow) != nil {
+		// Injected overflow: the queue reports full regardless of depth,
+		// exercising the whole 429 + Retry-After + client-backoff path.
+		s.mu.Unlock()
+		s.metrics.rejections.Add(1)
+		return errQueueFull
 	}
 	if int(s.metrics.queueDepth.Load()) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
@@ -83,6 +96,7 @@ func (s *Server) enqueue(sn *session, job *solveJob) error {
 	}
 	sn.mu.Unlock()
 
+	s.metrics.solvesAdmitted.Add(1)
 	sn.hub.publish("queued", map[string]any{"position": position, "queueDepth": s.metrics.queueDepth.Load()})
 	if schedule {
 		// Never blocks: the channel holds one token per session with
@@ -115,16 +129,49 @@ func (s *Server) worker() {
 }
 
 // runJob executes one admitted solve: apply the request's problem edits
-// all-or-nothing, then solve under the posting request's context.
+// all-or-nothing, then solve under the posting request's context, bounded
+// by the configured per-solve deadline. A panic anywhere in the job —
+// injected or real — is recovered into a 500: the session's problem is
+// restored, the panic is audited, and control returns to the worker loop,
+// which keeps draining the session's FIFO, so the session's work token is
+// released exactly as on a normal return.
 func (s *Server) runJob(sn *session, job *solveJob) {
 	s.metrics.queueDepth.Add(-1)
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 	defer s.jobsWG.Done()
 
+	var (
+		finished   bool
+		saved      engine.Problem
+		savedValid bool
+	)
 	finish := func(status int, body any) {
+		finished = true
 		job.done <- jobResult{status: status, body: body}
 	}
+	finishRetry := func(status int, body any) {
+		finished = true
+		job.done <- jobResult{status: status, body: body, retryAfter: true}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// runJob is single-goroutine, so finished/saved reads are safe.
+		if savedValid {
+			sn.sess.SetProblem(saved)
+			_ = sn.refreshProblemDoc()
+		}
+		sn.sess.SetProgress(nil)
+		s.metrics.solvePanics.Add(1)
+		s.audit.record(sn.id, "solve.panic", job.remote, map[string]any{"iteration": job.iteration, "panic": fmt.Sprint(r)})
+		sn.hub.publish("error", map[string]any{"iteration": job.iteration, "error": "internal error: solve panicked"})
+		if !finished {
+			finish(http.StatusInternalServerError, errorDoc{Error: "internal error: solve panicked"})
+		}
+	}()
 	// The history index this job's solution will occupy if it succeeds.
 	// Worker context, so reading the engine session is safe.
 	job.iteration = len(sn.sess.History())
@@ -140,7 +187,8 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 
 	// Apply edits atomically: on any error, restore the pre-edit
 	// problem so a rejected request leaves the session untouched.
-	saved := sn.sess.Problem()
+	saved = sn.sess.Problem()
+	savedValid = true
 	if err := applyEdits(sn.sess, job.req); err != nil {
 		sn.sess.SetProblem(saved)
 		s.metrics.solveErrors.Add(1)
@@ -166,9 +214,23 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 			"feasible":    pr.Feasible,
 		})
 	})
+	// Bound the solve (and any injected stall) by the per-solve
+	// deadline so a stalled worker is reclaimed, not lost.
+	solveCtx := job.ctx
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(job.ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	if f := s.inj.Fire(faultinject.WorkerStall); f != nil {
+		stall(solveCtx, time.Duration(f.Arg)*time.Millisecond)
+	}
+	if s.inj.Fire(faultinject.WorkerPanic) != nil {
+		panic("faultinject: worker.panic fired at the solve boundary")
+	}
 	//ube:nondeterministic-ok latency measurement around the solve; never fed back into it
 	start := time.Now()
-	sol, err := sn.sess.SolveContext(job.ctx)
+	sol, err := sn.sess.SolveContext(solveCtx)
 	//ube:nondeterministic-ok latency measurement around the solve; never fed back into it
 	elapsed := time.Since(start)
 	sn.sess.SetProgress(nil)
@@ -184,6 +246,28 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 		s.metrics.solvesCancelled.Add(1)
 		s.audit.record(sn.id, "solve.cancelled", job.remote, map[string]any{"iteration": job.iteration, "stage": "solving"})
 		finish(statusClientClosedRequest, errorDoc{Error: "request cancelled during solve"})
+		return
+	case err != nil && solveCtx.Err() != nil && errors.Is(solveCtx.Err(), context.DeadlineExceeded):
+		// The per-solve deadline expired (a stalled or overlong solve).
+		// Same full undo as a client cancellation, but the client is
+		// still listening: tell it to back off and retry.
+		sn.sess.SetProblem(saved)
+		_ = sn.refreshProblemDoc()
+		s.metrics.solveTimeouts.Add(1)
+		s.audit.record(sn.id, "solve.timeout", job.remote, map[string]any{"iteration": job.iteration, "timeoutMs": s.cfg.SolveTimeout.Milliseconds()})
+		sn.hub.publish("error", map[string]any{"iteration": job.iteration, "error": "solve deadline exceeded"})
+		finishRetry(http.StatusGatewayTimeout, errorDoc{Error: fmt.Sprintf("solve exceeded its %s deadline", s.cfg.SolveTimeout)})
+		return
+	case err != nil && errors.Is(err, context.Canceled):
+		// Cancelled from inside the engine (an injected mid-solve
+		// cancellation) while the client and deadline both survive.
+		// Full undo; the condition is transient, so advise a retry.
+		sn.sess.SetProblem(saved)
+		_ = sn.refreshProblemDoc()
+		s.metrics.solvesCancelled.Add(1)
+		s.audit.record(sn.id, "solve.cancelled", job.remote, map[string]any{"iteration": job.iteration, "stage": "injected"})
+		sn.hub.publish("error", map[string]any{"iteration": job.iteration, "error": "solve cancelled mid-flight"})
+		finishRetry(http.StatusServiceUnavailable, errorDoc{Error: "solve cancelled mid-flight"})
 		return
 	case err != nil:
 		sn.sess.SetProblem(saved)
@@ -228,6 +312,22 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 		"evals":     sol.Evals,
 	})
 	finish(http.StatusOK, resp)
+}
+
+// stall blocks for d, simulating a wedged worker, but stays bounded by
+// ctx so the per-solve deadline (or the client vanishing) reclaims the
+// worker.
+func stall(ctx context.Context, d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	if ctx == nil {
+		<-timer.C
+		return
+	}
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
 }
 
 // buildSolveResponse assembles the solve response: the human-readable

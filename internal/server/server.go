@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"ube/internal/engine"
+	"ube/internal/faultinject"
 	"ube/internal/model"
 	"ube/internal/schemaio"
 	"ube/internal/spec"
@@ -71,6 +72,19 @@ type Config struct {
 	AuditWriter io.Writer
 	// EngineOptions configure every engine the server builds.
 	EngineOptions []engine.Option
+	// SolveTimeout bounds each solve's execution; past it the solve is
+	// cancelled and the client gets 504 + Retry-After. 0 disables the
+	// deadline. The bound covers stalled workers too: a worker is never
+	// lost to one job for longer than SolveTimeout.
+	SolveTimeout time.Duration
+	// RetryAfterSeconds is the backoff guidance sent in Retry-After on
+	// every 429/503/504. Default 2.
+	RetryAfterSeconds int
+	// FaultInjector, when non-nil, arms the named fault-injection
+	// points threaded through the service and its engines (see
+	// internal/faultinject and DESIGN.md §10). Chaos testing only; nil
+	// in production.
+	FaultInjector *faultinject.Injector
 }
 
 func (c *Config) withDefaults() Config {
@@ -84,6 +98,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 256
 	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 2
+	}
 	return cfg
 }
 
@@ -94,6 +111,8 @@ type Server struct {
 	metrics *metrics
 	audit   *auditLog
 	mux     *http.ServeMux
+	inj     *faultinject.Injector
+	engOpts []engine.Option
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -116,9 +135,15 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		metrics:  &metrics{},
 		audit:    newAuditLog(cfg.AuditWriter),
+		inj:      cfg.FaultInjector,
 		sessions: make(map[string]*session),
 		work:     make(chan *session, cfg.QueueDepth),
 		drainCh:  make(chan struct{}),
+	}
+	s.audit.arm(s.inj, &s.metrics.auditDropped)
+	s.engOpts = cfg.EngineOptions
+	if s.inj != nil {
+		s.engOpts = append(append([]engine.Option(nil), cfg.EngineOptions...), engine.WithFaultInjector(s.inj))
 	}
 	s.routes()
 	s.workersWG.Add(cfg.Workers)
@@ -284,14 +309,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		prob = defaultProblemFor(u)
 	}
 
-	eng, err := engine.New(u, s.cfg.EngineOptions...)
+	eng, err := engine.New(u, s.engOpts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "building engine: %v", err)
 		return
 	}
 
 	sn := &session{
-		hub:  newHub(),
+		hub:  newHub(s.inj),
 		eng:  eng,
 		sess: engine.NewSession(eng, prob),
 	}
@@ -311,7 +336,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
 		return
 	}
@@ -401,7 +426,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	switch err := s.enqueue(sn, job); {
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Retry-After", s.retryAfter())
 		s.audit.record(sn.id, "solve.reject", r.RemoteAddr, map[string]any{"queueDepth": s.cfg.QueueDepth})
 		writeError(w, http.StatusTooManyRequests, "solve queue is full (depth %d)", s.cfg.QueueDepth)
 		return
@@ -415,11 +440,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.audit.record(sn.id, "solve.enqueue", r.RemoteAddr, nil)
 	select {
 	case res := <-job.done:
+		if res.retryAfter {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
 		writeJSON(w, res.status, res.body)
 	case <-r.Context().Done():
 		// Client gone; the worker will observe the dead context and
 		// discard the job (or its result) without us.
 	}
+}
+
+// retryAfter renders the configured backoff guidance for Retry-After
+// headers on 429/503/504 responses.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(s.cfg.RetryAfterSeconds)
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {

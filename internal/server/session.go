@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ube/internal/engine"
+	"ube/internal/faultinject"
 	"ube/internal/schemaio"
 )
 
@@ -170,6 +171,13 @@ func (s *Server) janitor(ttl time.Duration) {
 		}
 		//ube:nondeterministic-ok TTL comparison against the wall clock
 		cutoff := time.Now().Add(-ttl)
+		if s.inj.Fire(faultinject.JanitorEvict) != nil {
+			// Injected forced sweep: every idle session reads as expired.
+			// Sessions with queued or running work stay protected — that
+			// safety condition is exactly what the fault exercises.
+			//ube:nondeterministic-ok forced-sweep cutoff is eviction policy, not solver input
+			cutoff = time.Now().Add(ttl)
+		}
 		for _, id := range s.listSessionIDs() {
 			s.mu.Lock()
 			sn, ok := s.sessions[id]

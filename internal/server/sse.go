@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+
+	"ube/internal/faultinject"
 )
 
 // hub fans solver events out to the SSE subscribers of one session.
@@ -12,13 +14,14 @@ import (
 // observability side channel — the authoritative record is the history
 // endpoint — so lossy delivery to slow watchers is the right trade.
 type hub struct {
+	inj    *faultinject.Injector
 	mu     sync.Mutex
 	subs   map[chan []byte]struct{}
 	closed bool
 }
 
-func newHub() *hub {
-	return &hub{subs: make(map[chan []byte]struct{})}
+func newHub(inj *faultinject.Injector) *hub {
+	return &hub{inj: inj, subs: make(map[chan []byte]struct{})}
 }
 
 // subscribe registers a new watcher. It returns ok=false once the hub is
@@ -51,6 +54,12 @@ func (h *hub) publish(event string, payload any) {
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return // event payloads are server-constructed; this cannot happen
+	}
+	if h.inj.Fire(faultinject.SSESlowClient) != nil {
+		// Injected slow client: the frame is dropped exactly as for a
+		// subscriber with a full buffer. The chaos suite then proves
+		// lost events never corrupt the authoritative history.
+		return
 	}
 	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
 	h.mu.Lock()
