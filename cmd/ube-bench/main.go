@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers|incremental] [-quick] [-evals 6000] [-seed 0]
-//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers|incremental|trace] [-quick] [-evals 6000] [-seed 0]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.jsonl]
 package main
 
 import (
@@ -26,11 +26,13 @@ import (
 
 	"ube/internal/asciiplot"
 	"ube/internal/experiments"
+	"ube/internal/schemaio"
+	"ube/internal/trace"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop, datasim, theta, incremental")
+		exp        = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop, datasim, theta, incremental, trace")
 		quick      = flag.Bool("quick", false, "scaled-down workload for smoke runs")
 		evals      = flag.Int("evals", 0, "per-solve evaluation budget (0 = default)")
 		seed       = flag.Int64("seed", 0, "experiment seed offset")
@@ -39,6 +41,7 @@ func main() {
 	)
 	flag.BoolVar(&plotFigures, "plot", false, "draw ASCII charts for the figures")
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's rows as CSV into this directory")
+	flag.StringVar(&traceFile, "trace", "", "write the trace experiment's captured solve trace as JSONL to this file")
 	flag.Parse()
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -97,8 +100,9 @@ func run(exp string, o experiments.Options) error {
 		"datasim":     runDataSim,
 		"theta":       runTheta,
 		"incremental": runIncremental,
+		"trace":       runTrace,
 	}
-	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta", "incremental"}
+	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta", "incremental", "trace"}
 
 	if exp == "all" {
 		for _, name := range names {
@@ -116,10 +120,12 @@ func run(exp string, o experiments.Options) error {
 }
 
 // plotFigures draws ASCII charts after each figure's table when set;
-// csvDir, when set, receives one CSV file per experiment.
+// csvDir, when set, receives one CSV file per experiment; traceFile,
+// when set, receives the trace experiment's captured solve trace.
 var (
 	plotFigures bool
 	csvDir      string
+	traceFile   string
 )
 
 // writeCSV dumps one experiment's table as <csvDir>/<name>.csv.
@@ -482,6 +488,70 @@ func runIncremental(o experiments.Options) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_incremental.json")
+	return nil
+}
+
+// traceSnapshot is the BENCH_trace.json schema: the run's options plus
+// the overhead measurement and the captured trace's counter totals.
+type traceSnapshot struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	MaxEvals   int    `json:"max_evals"`
+	Seed       int64  `json:"seed"`
+	*experiments.TraceResult
+}
+
+func runTrace(o experiments.Options) error {
+	res, err := experiments.TraceOverhead(o)
+	if err != nil {
+		return err
+	}
+	out := [][]string{{
+		fmt.Sprint(res.M),
+		fmt.Sprintf("%.3fs", res.DisabledSeconds),
+		fmt.Sprintf("%.3fs", res.EnabledSeconds),
+		fmt.Sprintf("%.2f%%", res.OverheadPct),
+		fmt.Sprint(res.Spans),
+		fmt.Sprint(res.SameSources),
+	}}
+	header := []string{"m", "disabled", "enabled", "overhead", "spans", "same sources"}
+	table("Solve tracing overhead (golden Fig 6 cell, min of runs)", header, out)
+	writeCSV("trace", header, out)
+
+	fmt.Println()
+	if err := trace.RenderTable(os.Stdout, res.Trace, 5); err != nil {
+		return err
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := schemaio.EncodeTrace(f, res.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", traceFile)
+	}
+
+	snap := traceSnapshot{
+		Experiment:  "trace",
+		Quick:       o.Quick,
+		MaxEvals:    o.MaxEvals,
+		Seed:        o.Seed,
+		TraceResult: res,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_trace.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_trace.json")
 	return nil
 }
 

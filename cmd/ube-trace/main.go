@@ -1,0 +1,84 @@
+// Command ube-trace aggregates solve traces (the JSONL files written by
+// ube-bench -trace or served by GET /v1/sessions/{id}/trace) into a
+// per-phase attribution table: for each span name, how often it ran and
+// where its time went (total vs self), the hottest individual spans, and
+// the solve's work-counter totals. With -diff it compares two traces
+// phase by phase, so a performance change reads as "agenda self time
+// down, same pops".
+//
+// Usage:
+//
+//	ube-trace [-top N] trace.jsonl
+//	ube-trace -diff before.jsonl after.jsonl
+//
+// "-" reads a trace from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ube/internal/schemaio"
+	"ube/internal/trace"
+)
+
+func main() {
+	var (
+		top  = flag.Int("top", 5, "number of hottest spans to list")
+		diff = flag.Bool("diff", false, "compare two traces phase by phase")
+	)
+	flag.Parse()
+	args := flag.Args()
+
+	switch {
+	case *diff:
+		if len(args) != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two trace files, got %d", len(args)))
+		}
+		a, err := readTrace(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		b, err := readTrace(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.RenderDiff(os.Stdout, a, b); err != nil {
+			fatal(err)
+		}
+	case len(args) == 1:
+		tr, err := readTrace(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.RenderTable(os.Stdout, tr, *top); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ube-trace [-top N] trace.jsonl | ube-trace -diff a.jsonl b.jsonl")
+		os.Exit(2)
+	}
+}
+
+// readTrace decodes one JSONL trace file; "-" means stdin.
+func readTrace(path string) (*trace.Trace, error) {
+	if path == "-" {
+		return schemaio.DecodeTrace(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := schemaio.DecodeTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ube-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Facade tests for the discovery, diffing, workload and query-execution
+// surfaces of the public package.
+package ube_test
+
+import (
+	"testing"
+
+	"ube"
+)
+
+func TestPublicDefaultWorkload(t *testing.T) {
+	cfg := ube.DefaultWorkload()
+	if cfg.NumSources != 700 {
+		t.Errorf("paper-scale workload has %d sources, want 700", cfg.NumSources)
+	}
+	if cfg.MinCard >= cfg.MaxCard {
+		t.Errorf("cardinality range [%d,%d] is empty", cfg.MinCard, cfg.MaxCard)
+	}
+}
+
+func TestPublicDiscoveryToSolveFlow(t *testing.T) {
+	u, _, err := ube.Generate(ube.QuickWorkload(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ube.NewDiscoveryIndex(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search("title author", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("books universe has no sources mentioning title or author")
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("discovery hits not ranked by score")
+		}
+	}
+}
+
+func TestPublicDiffSolutions(t *testing.T) {
+	u, _, err := ube.Generate(ube.QuickWorkload(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ube.NewEngine(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(m int) *ube.Solution {
+		p := ube.DefaultProblem()
+		p.MaxSources = m
+		p.MaxEvals = 600
+		sol, err := eng.Solve(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	a := solve(4)
+	if d := ube.DiffSolutions(a, a); !d.Unchanged() {
+		t.Errorf("self-diff reports changes: %+v", d)
+	}
+	b := solve(8)
+	d := ube.DiffSolutions(a, b)
+	if d.Unchanged() {
+		t.Error("diff of m=4 vs m=8 solutions reports no change")
+	}
+	if len(d.AddedSources) == 0 {
+		t.Error("growing m added no sources")
+	}
+}
+
+func TestPublicAggregateQuery(t *testing.T) {
+	u := &ube.Universe{Sources: []ube.Source{
+		{ID: 0, Name: "storeA", Attributes: []string{"title", "author"}, Cardinality: 3},
+		{ID: 1, Name: "storeB", Attributes: []string{"title", "author"}, Cardinality: 2},
+	}}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	schema := &ube.MediatedSchema{GAs: []ube.GA{
+		ube.NewGA(ube.AttrRef{Source: 0, Attr: 0}, ube.AttrRef{Source: 1, Attr: 0}), // title
+		ube.NewGA(ube.AttrRef{Source: 0, Attr: 1}, ube.AttrRef{Source: 1, Attr: 1}), // author
+	}}
+	sys, err := ube.NewIntegrationSystem(u, []int{0, 1}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	providers := map[int]ube.TupleProvider{
+		0: &ube.MemProvider{Rows: [][]string{
+			{"dune", "herbert"},
+			{"messiah", "herbert"},
+			{"hyperion", "simmons"},
+		}},
+		1: &ube.MemProvider{Rows: [][]string{
+			{"dune", "herbert"}, // duplicate across stores: counts once
+			{"endymion", "simmons"},
+		}},
+	}
+	rows, err := ube.ExecuteAggregateQuery(sys, providers, ube.MediatedAggQuery{GroupBy: 1, Count: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d groups: %+v", len(rows), rows)
+	}
+	for _, row := range rows {
+		if row.DistinctCount != 2 {
+			t.Errorf("author %q counts %d distinct titles, want 2", row.Key, row.DistinctCount)
+		}
+	}
+}

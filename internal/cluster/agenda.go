@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"ube/internal/strsim"
+	"ube/internal/trace"
 	"ube/internal/ubedebug"
 )
 
@@ -176,6 +177,11 @@ func runAgenda(clusters []*workCluster, seedQ []agendaEntry, preGathered bool, c
 	}
 	queue, spare = sortRun(queue, spare, 0, nSeed, matrixKeys)
 
+	// Work counters accumulate locally and flush once at the single
+	// return below, so the walk itself carries no atomics.
+	var pops int64
+	admitted := int64(len(queue))
+
 	fresh := sc.fresh[:0]
 	minOrd := int32(0)
 	pending := sc.pending[:0]
@@ -190,6 +196,7 @@ func runAgenda(clusters []*workCluster, seedQ []agendaEntry, preGathered bool, c
 		// legacy sort order and both walks mutate state identically.
 		qi, fi := 0, 0
 		for qi < len(queue) || fi < len(fresh) {
+			pops++
 			var e agendaEntry
 			if qi < len(queue) && (fi == len(fresh) || entryBefore(queue[qi], fresh[fi])) {
 				e = queue[qi]
@@ -257,6 +264,9 @@ func runAgenda(clusters []*workCluster, seedQ []agendaEntry, preGathered bool, c
 			sc.arena = arena
 			sc.queue, sc.pending, sc.fresh, sc.spare = queue, pending, fresh, spare
 			sc.list = clusters
+			cfg.Stats.Add(trace.CClusterRounds, int64(round))
+			cfg.Stats.Add(trace.CClusterPops, pops)
+			cfg.Stats.Add(trace.CClusterPairs, admitted)
 			return clusters
 		}
 
@@ -306,6 +316,7 @@ func runAgenda(clusters []*workCluster, seedQ []agendaEntry, preGathered bool, c
 			}
 		}
 		fresh, spare = sortRun(fresh, spare, minOrd, nSeed-int(minOrd), matrixKeys)
+		admitted += int64(len(fresh))
 	}
 }
 

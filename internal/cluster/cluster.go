@@ -23,6 +23,7 @@ import (
 
 	"ube/internal/model"
 	"ube/internal/strsim"
+	"ube/internal/trace"
 )
 
 // Config carries the clustering parameters of the optimization problem.
@@ -74,6 +75,15 @@ type Config struct {
 	// byte-identical in output; the flag exists for differential tests
 	// and ablations.
 	LegacyAgenda bool
+	// Stats, when non-nil, receives the clustering work counters (runs,
+	// rounds, agenda pops, pairs admitted) for solve tracing. A pure
+	// side channel: results never depend on it, and counts accumulate
+	// locally per Match call and flush once, so the hot loops carry no
+	// atomics. Note the two agenda implementations do equivalent work
+	// but count it differently (the legacy path re-enumerates pairs
+	// every round), so counter values are comparable only within one
+	// implementation.
+	Stats *trace.Stats
 }
 
 // Validate checks the configuration.
@@ -144,6 +154,7 @@ func Match(u *model.Universe, S []int, C []int, G []model.GA, cfg Config) Result
 		panic(err) // configuration is programmer-controlled
 	}
 
+	cfg.Stats.Add(trace.CMatchRuns, 1)
 	if cfg.Scores == nil {
 		cfg.Scores = cfg.Sim
 	}
@@ -264,7 +275,9 @@ type pair struct {
 
 // run executes the iterative merge rounds (Algorithm 1 lines 5–23).
 func run(clusters []*workCluster, cfg Config) []*workCluster {
+	var rounds, pops, admitted int64
 	for {
+		rounds++
 		done := true
 		merged := make([]bool, len(clusters))
 		cand := make([]bool, len(clusters))
@@ -272,6 +285,8 @@ func run(clusters []*workCluster, cfg Config) []*workCluster {
 		// Find all cluster pairs with similarity ≥ θ, best first
 		// (line 8's priority queue, realized as a sorted slice).
 		pairs := collectPairs(clusters, cfg)
+		admitted += int64(len(pairs))
+		pops += int64(len(pairs))
 
 		var born []*workCluster
 		for _, p := range pairs {
@@ -311,6 +326,9 @@ func run(clusters []*workCluster, cfg Config) []*workCluster {
 		}
 		clusters = next
 		if done {
+			cfg.Stats.Add(trace.CClusterRounds, rounds)
+			cfg.Stats.Add(trace.CClusterPops, pops)
+			cfg.Stats.Add(trace.CClusterPairs, admitted)
 			return clusters
 		}
 	}

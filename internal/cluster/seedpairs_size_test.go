@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"testing"
+
+	"ube/internal/strsim"
+)
+
+// TestSeedPairsSize pins the reported footprint to the layout: one 8-byte
+// pair record per precomputed pair plus the 4-byte group-start table.
+func TestSeedPairsSize(t *testing.T) {
+	u := mkUniverse(
+		[]string{"title", "author"},
+		[]string{"book_title", "writer"},
+		[]string{"title", "price"},
+	)
+	sim := strsim.NewCache(nil)
+	for i := range u.Sources {
+		for _, a := range u.Sources[i].Attributes {
+			sim.Intern(a)
+		}
+	}
+	m := sim.BuildMatrix()
+	theta := 0.3
+	sp := BuildSeedPairs(u, buildNameIDs(u, sim), m.Neighbors(theta), m, theta)
+	if sp == nil {
+		t.Fatal("BuildSeedPairs returned nil")
+	}
+	if sp.Len() == 0 {
+		t.Fatal("no seed pairs found for overlapping schemas")
+	}
+	if want := 8*sp.Len() + 4*(len(u.Sources)*len(u.Sources)+1); sp.SizeBytes() != want {
+		t.Errorf("SizeBytes = %d, want %d for %d pairs over %d sources",
+			sp.SizeBytes(), want, sp.Len(), len(u.Sources))
+	}
+}

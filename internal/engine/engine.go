@@ -17,6 +17,7 @@ import (
 	"ube/internal/qef"
 	"ube/internal/search"
 	"ube/internal/strsim"
+	"ube/internal/trace"
 )
 
 // matrixLimit caps the vocabulary size for the dense precomputed
@@ -71,6 +72,12 @@ type Problem struct {
 	// improves. It is a pure side channel (the server streams it over
 	// SSE) and never influences the result; it must not block.
 	Progress search.ProgressFunc
+	// Trace, when non-nil, records the solve's span tree and work
+	// counters (see internal/trace). Like Progress it is a pure side
+	// channel and never influences the result: spans are opened only
+	// from the sequential control path, and parallel workers contribute
+	// only through atomic counters.
+	Trace *trace.Tracer
 }
 
 // MatchQEFName is the QEF name of the matching quality F1.
@@ -362,8 +369,15 @@ func (e *Engine) matchQuality(S *model.SourceSet, cfg cluster.Config, C []int, G
 	}
 	e.matchMu.Unlock()
 	if ok {
+		// Hit/miss traffic is deterministic for a fixed (problem, seed,
+		// Workers) on a fresh engine: evaluation batches are barriers, so
+		// which lookups find an earlier batch's publish never depends on
+		// scheduling. (After a random-replacement eviction the counts
+		// become load-dependent — evictions themselves are operational.)
+		cfg.Stats.Add(trace.CMatchHits, 1)
 		return hit.quality, hit.valid
 	}
+	cfg.Stats.Add(trace.CMatchMisses, 1)
 	quality, valid := e.runMatch(S, cfg, C, G)
 	e.matchMu.Lock()
 	if len(e.matchCache) >= matchCacheLimit {
@@ -380,6 +394,7 @@ func (e *Engine) matchQuality(S *model.SourceSet, cfg cluster.Config, C []int, G
 			}
 			delete(e.matchCache, k)
 			e.cacheStats.Evictions++
+			cfg.Stats.Add(trace.OMatchEvictions, 1)
 		}
 	}
 	e.matchCache[key] = cachedMatch{quality: quality, valid: valid}
@@ -413,6 +428,10 @@ func (e *Engine) Solve(p *Problem) (*Solution, error) {
 func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 	//ube:nondeterministic-ok wall-clock Elapsed reporting only; never feeds the objective
 	start := time.Now()
+	tr := p.Trace
+	root := tr.Begin("solve")
+	defer tr.End(root)
+	setupSpan := tr.Begin("setup")
 	if err := e.validate(p); err != nil {
 		return nil, err
 	}
@@ -452,6 +471,7 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 		Scores:       e.scores,
 		Neighbors:    e.neighbors(p.Theta),
 		LegacyAgenda: e.legacyEval,
+		Stats:        tr.Stats(),
 	}
 	if !e.legacyEval {
 		clusterCfg.NameIDs = e.nameIDs
@@ -468,6 +488,7 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 		f1, valid := e.matchQuality(S, clusterCfg, C, G)
 		q := wMatch * f1
 		if wRest > 0 {
+			clusterCfg.Stats.Add(trace.CQEFFull, 1)
 			q += wRest * comp.Eval(e.ctx, S)
 		}
 		return q, valid
@@ -488,6 +509,7 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 		Workers:   p.Workers,
 		Ctx:       ctx,
 		Progress:  p.Progress,
+		Tracer:    p.Trace,
 	}
 	if !e.legacyEval {
 		prob.DeltaObjective = e.deltaObjective(comp, wMatch, wRest, clusterCfg, C, G)
@@ -497,7 +519,10 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 		ctx = armedCtx
 		prob.Ctx = armedCtx
 	}
+	tr.End(setupSpan)
+	searchSpan := tr.Begin("search")
 	res := opt.Optimize(prob, p.Seed)
+	tr.End(searchSpan)
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			// The optimizer stopped early on cancellation; its truncated
@@ -519,11 +544,13 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 	}
 	// Re-run the matcher once on the final set for the full schema (the
 	// memo table only keeps scalar results).
+	finalSpan := tr.Begin("final")
 	final := cluster.Match(e.u, sol.Sources, C, G, clusterCfg)
 	sol.Match = final
 	sol.Schema = final.Schema
 	sol.Breakdown = comp.Breakdown(e.ctx, res.S)
 	sol.Breakdown[MatchQEFName] = final.Quality
+	tr.End(finalSpan)
 	//ube:nondeterministic-ok wall-clock Elapsed reporting only; never feeds the objective
 	sol.Elapsed = time.Since(start)
 	return sol, nil

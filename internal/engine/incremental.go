@@ -9,6 +9,7 @@ import (
 	"ube/internal/model"
 	"ube/internal/qef"
 	"ube/internal/search"
+	"ube/internal/trace"
 	"ube/internal/ubedebug"
 )
 
@@ -81,6 +82,7 @@ func (inc *incumbent) discard() {
 // characteristic folds (≪1e-12, see TestDeltaObjectiveMatchesFull).
 func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clusterCfg cluster.Config, C []int, G []model.GA) search.DeltaObjective {
 	de := qef.NewDeltaEval(comp)
+	de.Stats = clusterCfg.Stats
 	inc := &incumbent{}
 	return func(S *model.SourceSet, d search.Delta) (float64, bool) {
 		f1, valid := e.matchQuality(S, clusterCfg, C, G)
@@ -112,6 +114,9 @@ func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clus
 			}
 			return q + wRest*dq, valid
 		}
+		// Drop and swap moves (and bases that don't match the snapshot
+		// shape) take the full composite path.
+		clusterCfg.Stats.Add(trace.CQEFFull, 1)
 		return q + wRest*comp.Eval(e.ctx, S), valid
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"ube/internal/model"
 	"ube/internal/qef"
 	"ube/internal/search"
+	"ube/internal/trace"
 )
 
 // Session is the iterative exploration loop of §1/§6: the user solves,
@@ -88,6 +89,12 @@ func (s *Session) SetProblem(p Problem) { s.problem = snapshot(p) }
 // subsequent solves. The callback is a pure side channel and never
 // influences results; see search.ProgressFunc.
 func (s *Session) SetProgress(fn search.ProgressFunc) { s.problem.Progress = fn }
+
+// SetTrace installs (or, with nil, removes) a span tracer for subsequent
+// solves. Like Progress it is a pure side channel and never influences
+// results; a tracer records a single solve, so callers install a fresh
+// one per solve and Finish it afterwards.
+func (s *Session) SetTrace(t *trace.Tracer) { s.problem.Trace = t }
 
 // SetWeights replaces the QEF weights.
 func (s *Session) SetWeights(w qef.Weights) { s.problem.Weights = w.Clone() }

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+
+	"ube/internal/faultinject"
+	"ube/internal/search"
+	"ube/internal/strsim"
+	"ube/internal/trace"
+)
+
+func TestSessionSetProblemReplacesWholesale(t *testing.T) {
+	e, _ := testEngine(t, 20)
+	s := NewSession(e, smallProblem())
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	next := smallProblem()
+	next.MaxSources = 3
+	next.Theta = 0.8
+	s.SetProblem(next)
+	got := s.Problem()
+	if got.MaxSources != 3 || got.Theta != 0.8 {
+		t.Errorf("problem after SetProblem: m=%d θ=%v", got.MaxSources, got.Theta)
+	}
+	if len(s.History()) != 1 {
+		t.Errorf("SetProblem touched the history: %d entries", len(s.History()))
+	}
+	// The stored problem is a snapshot: mutating the caller's copy after
+	// the call must not leak in.
+	next.Constraints.Sources = append(next.Constraints.Sources, 0)
+	if len(s.Problem().Constraints.Sources) != 0 {
+		t.Error("SetProblem aliased the caller's constraint slices")
+	}
+}
+
+func TestSessionSetProgressAndTrace(t *testing.T) {
+	e, _ := testEngine(t, 20)
+	s := NewSession(e, smallProblem())
+	var calls int
+	s.SetProgress(func(search.Progress) { calls++ })
+	trc := trace.New()
+	s.SetTrace(trc)
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress observer never called")
+	}
+	tr := trc.Finish()
+	if len(tr.Spans) == 0 || tr.Spans[0].Name != "solve" {
+		t.Fatalf("session tracer captured no solve span: %+v", tr.Spans)
+	}
+	// Removal restores the untraced, unobserved solve.
+	s.SetProgress(nil)
+	s.SetTrace(nil)
+	calls = 0
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Error("removed progress observer still called")
+	}
+}
+
+func TestSessionSetWeightsClones(t *testing.T) {
+	e, _ := testEngine(t, 20)
+	s := NewSession(e, smallProblem())
+	w := s.Problem().Weights
+	w[MatchQEFName] = 0.9
+	s.SetWeights(w)
+	w[MatchQEFName] = 0.1 // must not reach the session's copy
+	//ube:float-exact the weight was stored verbatim two lines up
+	if got := s.Problem().Weights[MatchQEFName]; got != 0.9 {
+		t.Errorf("match weight = %v, want the cloned 0.9", got)
+	}
+}
+
+// TestEngineOptions exercises the option wiring: a custom measure and an
+// armed (but empty) fault injector must leave solves working.
+func TestEngineOptions(t *testing.T) {
+	e, _ := testEngine(t, 20)
+	u := e.Universe()
+	custom, err := New(u, WithMeasure(strsim.NewNGramJaccard(2)), WithFaultInjector(faultinject.MustNew(faultinject.Plan{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallProblem()
+	sol, err := custom.Solve(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible || len(sol.Sources) == 0 {
+		t.Errorf("solve under custom options: feasible=%v sources=%v", sol.Feasible, sol.Sources)
+	}
+}

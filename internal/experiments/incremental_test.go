@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+func TestIncrementalMsScales(t *testing.T) {
+	if ms, n := IncrementalMs(Options{Quick: true}); len(ms) != 2 || n != 60 {
+		t.Errorf("quick cells = %v at n=%d", ms, n)
+	}
+	ms, n := IncrementalMs(Options{})
+	if len(ms) != 2 || ms[0] != 40 || ms[1] != 50 || n != 200 {
+		t.Errorf("full cells = %v at n=%d, want [40 50] at 200", ms, n)
+	}
+}
+
+// TestIncrementalQuick runs the pipeline ablation at quick scale and
+// checks its core claim: the incremental path changes cost, never the
+// chosen sources.
+func TestIncrementalQuick(t *testing.T) {
+	o := quickOpts()
+	rows, err := Incremental(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := IncrementalMs(o)
+	if len(rows) != len(ms) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(ms))
+	}
+	for i, row := range rows {
+		if row.M != ms[i] {
+			t.Errorf("row %d: m=%d, want %d", i, row.M, ms[i])
+		}
+		if !row.SameSources {
+			t.Errorf("m=%d: pipelines chose different sources", row.M)
+		}
+		for _, name := range IncrementalPipelines {
+			if row.Seconds[name] <= 0 {
+				t.Errorf("m=%d: %s recorded no time", row.M, name)
+			}
+			//ube:float-exact both pipelines evaluate the identical objective; bit-equality is the ablation's contract
+			if row.Quality[name] != row.Quality[IncrementalPipelines[0]] {
+				t.Errorf("m=%d: %s quality %v diverges from %v",
+					row.M, name, row.Quality[name], row.Quality[IncrementalPipelines[0]])
+			}
+		}
+		if row.Speedup <= 0 {
+			t.Errorf("m=%d: speedup %v", row.M, row.Speedup)
+		}
+	}
+}

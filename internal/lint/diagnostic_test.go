@@ -1,0 +1,18 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "x/y.go", Line: 12, Column: 3},
+		Check:   "maprange",
+		Message: "map iteration order reaches an exported result",
+	}
+	want := "x/y.go:12:3: maprange: map iteration order reaches an exported result"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -69,6 +69,10 @@ var DefaultDeterminismPaths = []string{
 	// are pure functions of per-point arrival counts, so the injector
 	// itself may not read the clock or the global rand either.
 	"ube/internal/faultinject",
+	// The span tracer's counter payloads are part of the reproducible
+	// surface (canonical traces are byte-compared); only its explicitly
+	// annotated timing sites may touch the clock.
+	"ube/internal/trace",
 }
 
 // Config tunes a run.

@@ -1,0 +1,48 @@
+package pcsa
+
+import "testing"
+
+func TestCopyFrom(t *testing.T) {
+	src, err := New(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		src.AddUint64(i)
+	}
+	dst, err := New(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	//ube:float-exact identical bitmaps must estimate identically
+	if dst.Estimate() != src.Estimate() {
+		t.Errorf("copy estimates %v, source %v", dst.Estimate(), src.Estimate())
+	}
+	// The copy is independent: growing the source must not move the copy.
+	before := dst.Estimate()
+	for i := uint64(5000); i < 20000; i++ {
+		src.AddUint64(i)
+	}
+	//ube:float-exact the copy's bitmaps are untouched by the source's growth
+	if dst.Estimate() != before {
+		t.Error("CopyFrom aliased the source's bitmaps")
+	}
+
+	other, err := New(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.CopyFrom(src); err == nil {
+		t.Error("CopyFrom across nmaps did not error")
+	}
+	seeded, err := New(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seeded.CopyFrom(src); err == nil {
+		t.Error("CopyFrom across seeds did not error")
+	}
+}

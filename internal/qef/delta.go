@@ -6,6 +6,7 @@ import (
 	"ube/internal/floats"
 	"ube/internal/model"
 	"ube/internal/pcsa"
+	"ube/internal/trace"
 	"ube/internal/ubedebug"
 )
 
@@ -26,6 +27,12 @@ import (
 // full path.
 type DeltaEval struct {
 	comp *Composite
+
+	// Stats, when non-nil, receives the evaluator's work counters for
+	// solve tracing (delta evaluations, incremental sketch unions,
+	// snapshot builds). A pure side channel the engine wires per solve;
+	// results never depend on it.
+	Stats *trace.Stats
 }
 
 // NewDeltaEval returns an incremental evaluator for comp.
@@ -78,7 +85,13 @@ func debugMix(x uint64) uint64 {
 func (s *BaseSnapshot) Key() string { return s.key }
 
 // Snapshot captures base's evaluation state in one pass over its members.
+// Snapshot builds (and their per-member unions) are counted as
+// operational work: under parallel workers the same base may be built by
+// several workers and only one publish wins, so the counts are
+// load-dependent — unlike the deterministic EvalAdd counters.
 func (d *DeltaEval) Snapshot(ctx *Context, base *model.SourceSet) *BaseSnapshot {
+	d.Stats.Add(trace.OSnapshotBuilds, 1)
+	var unions int64
 	snap := &BaseSnapshot{key: base.Key()}
 	base.ForEach(func(id int) {
 		src := &ctx.U.Sources[id]
@@ -92,8 +105,11 @@ func (d *DeltaEval) Snapshot(ctx *Context, base *model.SourceSet) *BaseSnapshot 
 			snap.sketch = src.Signature.Clone()
 		} else if err := snap.sketch.UnionInto(src.Signature); err != nil {
 			panic(err) // compatibility was checked by Universe.Validate
+		} else {
+			unions++
 		}
 	})
+	d.Stats.Add(trace.OSnapshotUnions, unions)
 	if snap.sketch != nil {
 		snap.distinct = snap.sketch.Estimate()
 	}
@@ -129,12 +145,15 @@ func (d *DeltaEval) EvalAdd(ctx *Context, snap *BaseSnapshot, add int, S *model.
 		ubedebug.Assert(snap.debugSum == snap.checksum(),
 			"qef: base snapshot for %q mutated since capture", snap.key)
 	}
+	d.Stats.Add(trace.CQEFDelta, 1)
 	src := &ctx.U.Sources[add]
 	coopN, coopCard := snap.coopN, snap.coopCard
 	distinct := snap.distinct
 	if src.Signature != nil {
 		coopN++
 		coopCard += src.Cardinality
+		// One incremental union batch: scratch copy + OR + estimate.
+		d.Stats.Add(trace.CSketchUnions, 1)
 		distinct = ctx.estimateWith(snap.sketch, src.Signature)
 	}
 	q := 0.0

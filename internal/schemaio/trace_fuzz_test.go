@@ -1,0 +1,56 @@
+package schemaio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceDecode drives the trace codec's trust boundary: arbitrary
+// bytes through DecodeTrace, which ube-trace and the server's trace
+// endpoint both use on files from outside the process. Truncated
+// streams, duplicate span IDs, cyclic or forward parent references,
+// unknown counters and oversized declarations must come back as errors —
+// never panics, never unbounded allocations — and any accepted trace
+// must survive an encode→decode round trip byte-identically.
+//
+// Run continuously in CI's fuzz job:
+//
+//	go test -fuzz=FuzzTraceDecode -fuzztime=30s ./internal/schemaio
+func FuzzTraceDecode(f *testing.F) {
+	valid, err := EncodeTraceBytes(sampleTrace())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-stream
+	lines := strings.SplitAfter(strings.TrimSuffix(string(valid), "\n"), "\n")
+	f.Add([]byte(lines[0] + lines[1] + lines[1]))                                           // duplicate span ID
+	f.Add([]byte(lines[0] + `{"id":0,"parent":0,"name":"x","startNs":0,"durNs":0}` + "\n")) // self-parent cycle
+	f.Add([]byte(lines[0] + `{"id":0,"parent":7,"name":"x","startNs":0,"durNs":0}` + "\n")) // forward parent
+	f.Add([]byte(`{"doc":"ube.trace","version":1,"spans":1048577}` + "\n"))                 // over the span limit
+	f.Add([]byte(`{"doc":"ube.trace","version":1,"spans":1}` + "\n" + `{"id":0,"parent":-1,"name":"x","startNs":0,"durNs":0,"counts":{"bogus":3}}` + "\n"))
+	f.Add([]byte("not a trace\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := EncodeTraceBytes(tr)
+		if err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v\ninput: %q", err, data)
+		}
+		again, err := DecodeTrace(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v\ninput: %q", err, data)
+		}
+		out2, err := EncodeTraceBytes(again)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("encode is not a fixed point:\n%q\nvs\n%q", out, out2)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package schemaio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ube/internal/trace"
+)
+
+// sampleTrace builds a small realistic trace through the tracer itself.
+func sampleTrace() *trace.Trace {
+	tr := trace.New()
+	tr.Label = "test solve"
+	st := tr.Stats()
+	root := tr.Begin("solve")
+	st.Add(trace.CSearchEvals, 12)
+	inner := tr.Begin("search")
+	st.Add(trace.CMatchRuns, 7)
+	st.Add(trace.OSnapshotBuilds, 2)
+	tr.End(inner)
+	tr.End(root)
+	return tr.Finish()
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	data, err := EncodeTraceBytes(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != want.Label || got.Dropped != want.Dropped || len(got.Spans) != len(want.Spans) {
+		t.Fatalf("round trip header mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Spans {
+		if got.Spans[i] != want.Spans[i] {
+			t.Errorf("span %d: got %+v, want %+v", i, got.Spans[i], want.Spans[i])
+		}
+	}
+	// Re-encoding must reproduce the exact bytes (sorted map keys): this
+	// is what makes canonical traces comparable as files.
+	again, err := EncodeTraceBytes(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("re-encode is not byte-identical")
+	}
+}
+
+func TestEncodeTraceNil(t *testing.T) {
+	if _, err := EncodeTraceBytes(nil); err == nil {
+		t.Error("nil trace encoded")
+	}
+}
+
+func TestDecodeTraceRejects(t *testing.T) {
+	valid, err := EncodeTraceBytes(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(valid), "\n"), "\n")
+
+	cases := map[string]string{
+		"empty stream":     "",
+		"garbage header":   "not json\n",
+		"wrong doc":        `{"doc":"ube.universe","version":1,"spans":0}` + "\n",
+		"wrong version":    `{"doc":"ube.trace","version":99,"spans":0}` + "\n",
+		"negative spans":   `{"doc":"ube.trace","version":1,"spans":-1}` + "\n",
+		"huge spans":       `{"doc":"ube.trace","version":1,"spans":99999999}` + "\n",
+		"negative dropped": `{"doc":"ube.trace","version":1,"spans":0,"dropped":-2}` + "\n",
+		"unknown field":    `{"doc":"ube.trace","version":1,"spans":0,"zzz":1}` + "\n",
+		"truncated":        lines[0] + lines[1],
+		"trailing span":    string(valid) + lines[1],
+		"span not json":    lines[0] + "garbage\n",
+		"duplicate id":     lines[0] + lines[1] + lines[1],
+		"self parent":      lines[0] + `{"id":0,"parent":0,"name":"x","startNs":0,"durNs":0}` + "\n" + lines[2],
+		"forward parent":   lines[0] + `{"id":0,"parent":1,"name":"x","startNs":0,"durNs":0}` + "\n" + lines[2],
+		"empty name":       lines[0] + `{"id":0,"parent":-1,"name":"","startNs":0,"durNs":0}` + "\n" + lines[2],
+		"long name":        lines[0] + `{"id":0,"parent":-1,"name":"` + strings.Repeat("a", 300) + `","startNs":0,"durNs":0}` + "\n" + lines[2],
+		"negative dur":     lines[0] + `{"id":0,"parent":-1,"name":"x","startNs":0,"durNs":-1}` + "\n" + lines[2],
+		"unknown counter":  lines[0] + `{"id":0,"parent":-1,"name":"x","startNs":0,"durNs":0,"counts":{"zzz":1}}` + "\n" + lines[2],
+		"negative counter": lines[0] + `{"id":0,"parent":-1,"name":"x","startNs":0,"durNs":0,"counts":{"search.evals":-1}}` + "\n" + lines[2],
+	}
+	for name, in := range cases {
+		if _, err := DecodeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeTraceTrailingBlankLinesOK(t *testing.T) {
+	valid, err := EncodeTraceBytes(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTrace(strings.NewReader(string(valid) + "\n\n")); err != nil {
+		t.Errorf("trailing blank lines rejected: %v", err)
+	}
+}

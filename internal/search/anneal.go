@@ -44,6 +44,7 @@ func (a *Anneal) Optimize(p *Problem, seed int64) Solution {
 
 	warm := warmStart(p, pool)
 	for !tr.exhausted() {
+		schedSpan := p.Tracer.Begin("anneal.schedule")
 		cur := warm
 		warm = nil // only the first schedule is warm-started
 		if cur == nil {
@@ -60,6 +61,7 @@ func (a *Anneal) Optimize(p *Problem, seed int64) Solution {
 				cur, curQ = cand, q
 			}
 		}
+		p.Tracer.End(schedSpan)
 	}
 	return tr.solution()
 }

@@ -44,6 +44,8 @@ func (e *Exhaustive) Optimize(p *Problem, seed int64) Solution {
 	}
 
 	tr := newTracker(p, int(^uint(0)>>1)) // enumeration ignores budgets
+	enumSpan := p.Tracer.Begin("exhaustive.enum")
+	defer p.Tracer.End(enumSpan)
 	if req.Len() >= 1 {
 		tr.eval(req)
 	}

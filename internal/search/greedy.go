@@ -40,6 +40,7 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 	}
 	if cur.Len() == 0 && len(pool) > 0 {
 		// Seed with the single best source.
+		seedSpan := p.Tracer.Begin("greedy.seed")
 		bestID, bestQ := -1, 0.0
 		for _, id := range pool {
 			if tr.exhausted() {
@@ -54,10 +55,12 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 		if bestID >= 0 {
 			cur.Add(bestID)
 		}
+		p.Tracer.End(seedSpan)
 	}
 	curQ, curOK := tr.eval(cur)
 
 	for cur.Len() < p.M && !tr.exhausted() {
+		stepSpan := p.Tracer.Begin("greedy.step")
 		bestID, bestQ, bestOK := -1, curQ, curOK
 		foundAny := false
 		// fallback tracks the least-bad addition for KeepWorsening.
@@ -85,8 +88,10 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 			cur.Add(fallback)
 			curQ, curOK = fallbackQ, fallbackOK
 		default:
+			p.Tracer.End(stepSpan)
 			return tr.solution()
 		}
+		p.Tracer.End(stepSpan)
 	}
 	if g.KeepWorsening {
 		// The contract of KeepWorsening is "select m sources no matter

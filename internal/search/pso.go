@@ -60,6 +60,7 @@ func (o *PSO) Optimize(p *Problem, seed int64) Solution {
 	var gbest *model.SourceSet
 	gbestQ := math.Inf(-1)
 	warm := warmStart(p, pool)
+	initSpan := p.Tracer.Begin("pso.init")
 	for i := range swarm {
 		pos := warm
 		warm = nil // particle 0 starts from the warm candidate
@@ -81,8 +82,10 @@ func (o *PSO) Optimize(p *Problem, seed int64) Solution {
 			gbest, gbestQ = pos.Clone(), q
 		}
 	}
+	p.Tracer.End(initSpan)
 
 	for !tr.exhausted() {
+		sweepSpan := p.Tracer.Begin("pso.sweep")
 		for _, pt := range swarm {
 			if tr.exhausted() {
 				break
@@ -112,6 +115,7 @@ func (o *PSO) Optimize(p *Problem, seed int64) Solution {
 				gbest, gbestQ = next.Clone(), q
 			}
 		}
+		p.Tracer.End(sweepSpan)
 	}
 	return tr.solution()
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"ube/internal/model"
+	"ube/internal/trace"
 )
 
 // Objective evaluates a candidate source set. It returns the overall
@@ -121,6 +122,13 @@ type Problem struct {
 	// sequential best-so-far fold each time the best solution improves.
 	// It is a pure side channel and never influences the result.
 	Progress ProgressFunc
+	// Tracer, when non-nil, records the solve's span tree: optimizers
+	// open spans around their iteration structure (always from the
+	// sequential control path, never from evaluation workers) and the
+	// tracker reports evaluation counts into its counters. Like
+	// Progress it is a pure side channel — a nil tracer costs only nil
+	// checks and the solution is byte-identical either way.
+	Tracer *trace.Tracer
 }
 
 // Validate checks the problem for structural errors.
@@ -217,6 +225,7 @@ type tracker struct {
 	dobj     DeltaObjective
 	ctx      context.Context
 	progress ProgressFunc
+	st       *trace.Stats
 	budget   int
 	evals    int
 	best     *model.SourceSet
@@ -229,7 +238,7 @@ func newTracker(p *Problem, defaultBudget int) *tracker {
 	if b <= 0 {
 		b = defaultBudget
 	}
-	return &tracker{obj: p.Objective, dobj: p.DeltaObjective, ctx: p.Ctx, progress: p.Progress, budget: b}
+	return &tracker{obj: p.Objective, dobj: p.DeltaObjective, ctx: p.Ctx, progress: p.Progress, st: p.Tracer.Stats(), budget: b}
 }
 
 // exhausted reports whether the evaluation budget is spent or the
@@ -295,6 +304,7 @@ func (t *tracker) batchEvalDelta(p *Problem, cands []*model.SourceSet, deltas []
 	if len(cands) == 0 {
 		return nil, nil, 0
 	}
+	t.st.Add(trace.CSearchBatches, 1)
 	delta := func(i int) Delta {
 		if deltas == nil {
 			return fullDelta()
@@ -338,7 +348,10 @@ func (t *tracker) batchEvalDelta(p *Problem, cands []*model.SourceSet, deltas []
 }
 
 // record applies one evaluation result to the best-so-far bookkeeping.
+// It runs once per evaluation, always from the sequential fold, so the
+// evaluation counter mirrors t.evals exactly.
 func (t *tracker) record(S *model.SourceSet, q float64, ok bool) {
+	t.st.Add(trace.CSearchEvals, 1)
 	better := false
 	switch {
 	case t.best == nil:

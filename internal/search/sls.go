@@ -38,6 +38,7 @@ func (s *SLS) Optimize(p *Problem, seed int64) Solution {
 
 	warm := warmStart(p, pool)
 	for !tr.exhausted() {
+		climbSpan := p.Tracer.Begin("sls.climb")
 		cur := warm
 		warm = nil // only the first climb is warm-started
 		if cur == nil {
@@ -64,6 +65,7 @@ func (s *SLS) Optimize(p *Problem, seed int64) Solution {
 				fails++
 			}
 		}
+		p.Tracer.End(climbSpan)
 	}
 	return tr.solution()
 }

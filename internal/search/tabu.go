@@ -62,7 +62,11 @@ func (t *Tabu) Optimize(p *Problem, seed int64) Solution {
 		if run == 0 {
 			start = warmStart(p, pool)
 		}
+		// Ending the run span also closes any iteration span left open
+		// by an early return inside run.
+		runSpan := p.Tracer.Begin("tabu.run")
 		t.run(p, pool, start, tr, rng)
+		p.Tracer.End(runSpan)
 	}
 	return tr.solution()
 }
@@ -85,6 +89,7 @@ func (t *Tabu) run(p *Problem, pool []int, start *model.SourceSet, tr *tracker, 
 	minLen := max(1, len(p.Required))
 
 	for iter := 1; iter <= t.MaxIters && !tr.exhausted(); iter++ {
+		iterSpan := p.Tracer.Begin("tabu.iter")
 		moves := t.sampleMoves(p, cur, pool, minLen, rng)
 		if len(moves) == 0 {
 			return // the constraint region leaves no moves at all
@@ -125,6 +130,7 @@ func (t *Tabu) run(p *Problem, pool []int, start *model.SourceSet, tr *tracker, 
 			if sinceImprove > t.Stall {
 				return
 			}
+			p.Tracer.End(iterSpan)
 			continue
 		}
 		cur = best
@@ -143,6 +149,7 @@ func (t *Tabu) run(p *Problem, pool []int, start *model.SourceSet, tr *tracker, 
 			}
 		}
 		curQ = bestQ
+		p.Tracer.End(iterSpan)
 	}
 }
 

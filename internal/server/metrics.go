@@ -33,6 +33,10 @@ type metrics struct {
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
 
+	tracesCaptured   atomic.Int64 // solves traced and retained in a session ring
+	tracesSampledOut atomic.Int64 // solves not traced under the load sampling policy
+	traceTick        atomic.Int64 // sampling counter (not exported)
+
 	latencyCount   atomic.Int64
 	latencySumNS   atomic.Int64
 	latencyBuckets [len(latencyBucketsMs) + 1]atomic.Int64
@@ -79,6 +83,9 @@ type metricsDoc struct {
 	MatchCacheMisses    int64 `json:"matchCacheMisses"`
 	MatchCacheEvictions int64 `json:"matchCacheEvictions"`
 
+	TracesCaptured   int64 `json:"tracesCaptured"`
+	TracesSampledOut int64 `json:"tracesSampledOut"`
+
 	SolveLatency struct {
 		Count   int64       `json:"count"`
 		SumMs   float64     `json:"sumMs"`
@@ -109,6 +116,9 @@ func (m *metrics) snapshot() *metricsDoc {
 		MatchCacheHits:      m.cacheHits.Load(),
 		MatchCacheMisses:    m.cacheMisses.Load(),
 		MatchCacheEvictions: m.cacheEvictions.Load(),
+
+		TracesCaptured:   m.tracesCaptured.Load(),
+		TracesSampledOut: m.tracesSampledOut.Load(),
 	}
 	d.SolveLatency.Count = m.latencyCount.Load()
 	d.SolveLatency.SumMs = float64(m.latencySumNS.Load()) / 1e6

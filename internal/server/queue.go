@@ -13,6 +13,7 @@ import (
 	"ube/internal/qef"
 	"ube/internal/search"
 	"ube/internal/spec"
+	"ube/internal/trace"
 )
 
 // The admission queue and worker pool.
@@ -165,6 +166,7 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 			_ = sn.refreshProblemDoc()
 		}
 		sn.sess.SetProgress(nil)
+		sn.sess.SetTrace(nil)
 		s.metrics.solvePanics.Add(1)
 		s.audit.record(sn.id, "solve.panic", job.remote, map[string]any{"iteration": job.iteration, "panic": fmt.Sprint(r)})
 		sn.hub.publish("error", map[string]any{"iteration": job.iteration, "error": "internal error: solve panicked"})
@@ -214,6 +216,17 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 			"feasible":    pr.Feasible,
 		})
 	})
+	// Solve tracing is sampled under load (see trace.go); the tracer is
+	// a pure side channel, so sampled-out solves are byte-identical to
+	// traced ones.
+	var trc *trace.Tracer
+	if s.shouldTrace() {
+		trc = trace.New()
+		trc.Label = fmt.Sprintf("%s iter %d", sn.id, job.iteration)
+		sn.sess.SetTrace(trc)
+	} else {
+		s.metrics.tracesSampledOut.Add(1)
+	}
 	// Bound the solve (and any injected stall) by the per-solve
 	// deadline so a stalled worker is reclaimed, not lost.
 	solveCtx := job.ctx
@@ -234,6 +247,7 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 	//ube:nondeterministic-ok latency measurement around the solve; never fed back into it
 	elapsed := time.Since(start)
 	sn.sess.SetProgress(nil)
+	sn.sess.SetTrace(nil)
 
 	switch {
 	case err != nil && job.ctx.Err() != nil:
@@ -294,6 +308,10 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 	s.metrics.cacheHits.Add(sol.MatchCache.Hits)
 	s.metrics.cacheMisses.Add(sol.MatchCache.Misses)
 	s.metrics.cacheEvictions.Add(sol.MatchCache.Evictions)
+	if trc != nil {
+		sn.storeTrace(job.iteration, trc.Finish())
+		s.metrics.tracesCaptured.Add(1)
+	}
 
 	resp := s.buildSolveResponse(sn, job.iteration, sol)
 	sn.hub.publish("done", map[string]any{

@@ -14,6 +14,7 @@
 //	GET    /v1/sessions/{id}/history/{k} one iteration
 //	GET    /v1/sessions/{id}/diff        diff two iterations (?from=&to=, default last two)
 //	GET    /v1/sessions/{id}/events      SSE stream of solver events (queued/start/progress/done/error/evicted)
+//	GET    /v1/sessions/{id}/trace       latest solve's span trace, JSONL (?iter=k for a retained iteration)
 //	GET    /healthz                      liveness
 //	GET    /metrics                      operational counters, JSON
 //
@@ -85,6 +86,10 @@ type Config struct {
 	// internal/faultinject and DESIGN.md §10). Chaos testing only; nil
 	// in production.
 	FaultInjector *faultinject.Injector
+	// TraceSampleEvery thins solve tracing under load: while the queue
+	// is shallow (depth ≤ Workers) every solve is traced; past that only
+	// every TraceSampleEvery-th solve is. Default 8; see trace.go.
+	TraceSampleEvery int
 }
 
 func (c *Config) withDefaults() Config {
@@ -100,6 +105,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.RetryAfterSeconds <= 0 {
 		cfg.RetryAfterSeconds = 2
+	}
+	if cfg.TraceSampleEvery <= 0 {
+		cfg.TraceSampleEvery = 8
 	}
 	return cfg
 }
@@ -215,6 +223,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/sessions/{id}/history/{k}", s.handleHistoryAt)
 	mux.HandleFunc("GET /v1/sessions/{id}/diff", s.handleDiff)
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux = mux
 }
 

@@ -38,6 +38,7 @@ type session struct {
 	problemDoc  *schemaio.ProblemDoc
 	historyDocs []schemaio.IterationDoc
 	solutions   []*engine.Solution // immutable once appended; for diffs
+	traces      []storedTrace      // ring of the last traced solves; see trace.go
 }
 
 // touch marks the session used now, for TTL accounting.

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestServeHTTPAndListSessions mounts the server as a plain http.Handler
+// (the embedding path, no ListenAndServe) and lists sessions through it.
+func TestServeHTTPAndListSessions(t *testing.T) {
+	u := testUniverse(t, 20)
+	srv, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list sessions: %d %s", rec.Code, rec.Body)
+	}
+	var got struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sessions) != 1 || got.Sessions[0] != id {
+		t.Errorf("sessions = %v, want [%s]", got.Sessions, id)
+	}
+
+	// The exported metrics accessor returns the same snapshot the
+	// /metrics endpoint serializes.
+	data, err := json.Marshal(srv.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m metricsDoc
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SessionsActive != 1 {
+		t.Errorf("Metrics() sessionsActive = %d, want 1", m.SessionsActive)
+	}
+}

@@ -1,0 +1,79 @@
+package strsim
+
+import "testing"
+
+func TestMatrixScoresMatchCache(t *testing.T) {
+	c := NewCache(nil)
+	names := []string{"title", "book_title", "author", "isbn", "price"}
+	ids := make([]int, len(names))
+	for i, n := range names {
+		ids[i] = c.Intern(n)
+	}
+	if c.Measure() == nil {
+		t.Fatal("cache has no measure")
+	}
+	m := c.BuildMatrix()
+	if m.Len() != len(names) {
+		t.Fatalf("matrix covers %d names, want %d", m.Len(), len(names))
+	}
+	if m.SizeBytes() != 4*len(names)*len(names) {
+		t.Errorf("SizeBytes = %d", m.SizeBytes())
+	}
+	for _, a := range ids {
+		//ube:float-exact the diagonal is stored as an exact 1
+		if m.Score(a, a) != 1 {
+			t.Errorf("self score of %d = %v", a, m.Score(a, a))
+		}
+		for _, b := range ids {
+			//ube:float-exact both cells are the same stored float32
+			if m.Score(a, b) != m.Score(b, a) {
+				t.Errorf("asymmetric score (%d,%d)", a, b)
+			}
+			// The float32 table must agree with direct scoring to that
+			// precision.
+			want := c.Score(a, b)
+			if diff := m.Score(a, b) - want; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("matrix score (%d,%d) = %v, cache says %v", a, b, m.Score(a, b), want)
+			}
+		}
+	}
+}
+
+func TestMatrixNeighbors(t *testing.T) {
+	c := NewCache(nil)
+	for _, n := range []string{"title", "book_title", "zzz_unrelated"} {
+		c.Intern(n)
+	}
+	m := c.BuildMatrix()
+	nbr := m.Neighbors(0.2)
+	if len(nbr) != m.Len() {
+		t.Fatalf("neighbor lists = %d, want %d", len(nbr), m.Len())
+	}
+	for i, row := range nbr {
+		found := false
+		for _, j := range row {
+			if j == i {
+				found = true
+			}
+			if m.Score(i, j) < 0.2 {
+				t.Errorf("neighbor (%d,%d) below theta: %v", i, j, m.Score(i, j))
+			}
+		}
+		if !found {
+			t.Errorf("name %d missing from its own neighbor list", i)
+		}
+	}
+}
+
+func TestMatrixScorePanicsOnLateIntern(t *testing.T) {
+	c := NewCache(nil)
+	c.Intern("title")
+	m := c.BuildMatrix()
+	late := c.Intern("author")
+	defer func() {
+		if recover() == nil {
+			t.Error("Score on a post-build ID did not panic")
+		}
+	}()
+	m.Score(0, late)
+}

@@ -1,0 +1,263 @@
+package trace
+
+// Aggregation turns a span tree into the per-phase attribution table
+// ube-trace prints: for every span name, how often it ran, how long it
+// took in total (children included) and in self time (children
+// excluded), plus the self counter deltas. Self values partition the
+// solve — summing self across phases reproduces the root totals — so
+// the table reads as "where did the time and the work actually go".
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PhaseStat is one row of the attribution table: all spans sharing a
+// name, folded.
+type PhaseStat struct {
+	Name   string
+	Count  int
+	Total  int64 // ns, children included
+	Self   int64 // ns, children excluded
+	Counts Counts
+}
+
+// SpanStat is one span ranked by self time.
+type SpanStat struct {
+	Span  Span
+	Self  int64 // ns, children excluded
+	Order int   // rank by self time, 0 first
+}
+
+// selfValues computes per-span self durations and self counter deltas
+// by subtracting each span's direct children (parents always precede
+// children, so one forward pass suffices).
+func selfValues(tr *Trace) (self []int64, counts []Counts) {
+	self = make([]int64, len(tr.Spans))
+	counts = make([]Counts, len(tr.Spans))
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		self[i] += sp.Dur
+		counts[i] = addCounts(counts[i], sp.Counts)
+		if p := sp.Parent; p >= 0 && int(p) < len(tr.Spans) {
+			self[p] -= sp.Dur
+			counts[p] = subCounts(counts[p], sp.Counts)
+		}
+	}
+	return self, counts
+}
+
+func addCounts(a, b Counts) Counts {
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}
+
+func subCounts(a, b Counts) Counts {
+	for i := range a {
+		a[i] -= b[i]
+	}
+	return a
+}
+
+// Aggregate folds a trace into per-phase rows, sorted by self time
+// descending with name as the deterministic tiebreak.
+func Aggregate(tr *Trace) []PhaseStat {
+	if tr == nil || len(tr.Spans) == 0 {
+		return nil
+	}
+	self, selfCounts := selfValues(tr)
+	byName := make(map[string]*PhaseStat)
+	order := make([]string, 0, 8)
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		ps := byName[sp.Name]
+		if ps == nil {
+			ps = &PhaseStat{Name: sp.Name}
+			byName[sp.Name] = ps
+			order = append(order, sp.Name)
+		}
+		ps.Count++
+		ps.Total += sp.Dur
+		ps.Self += self[i]
+		ps.Counts = addCounts(ps.Counts, selfCounts[i])
+	}
+	out := make([]PhaseStat, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TopSpans returns the k individual spans with the largest self time,
+// ties broken by span ID so the ranking is deterministic.
+func TopSpans(tr *Trace, k int) []SpanStat {
+	if tr == nil || len(tr.Spans) == 0 || k <= 0 {
+		return nil
+	}
+	self, _ := selfValues(tr)
+	out := make([]SpanStat, 0, len(tr.Spans))
+	for i := range tr.Spans {
+		out = append(out, SpanStat{Span: tr.Spans[i], Self: self[i]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Span.ID < out[j].Span.ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	for i := range out {
+		out[i].Order = i
+	}
+	return out
+}
+
+// wall is the trace's wall time: the sum of root span durations.
+func wall(tr *Trace) int64 {
+	var w int64
+	for i := range tr.Spans {
+		if tr.Spans[i].Parent == -1 {
+			w += tr.Spans[i].Dur
+		}
+	}
+	return w
+}
+
+// ms renders nanoseconds as fixed-point milliseconds.
+func ms(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }
+
+// pct renders part/whole as a percentage, "-" when whole is zero.
+func pct(part, whole int64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// RenderTable writes the per-phase attribution table for one trace:
+// phase rows (count, total, self, self share of wall time), the topK
+// hottest individual spans, and the solve-wide counter totals. The
+// output is a pure function of the trace bytes, so golden tests can pin
+// it exactly.
+func RenderTable(w io.Writer, tr *Trace, topK int) error {
+	if tr == nil || len(tr.Spans) == 0 {
+		_, err := fmt.Fprintln(w, "empty trace")
+		return err
+	}
+	var b strings.Builder
+	label := tr.Label
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	fmt.Fprintf(&b, "trace %s: %d spans, %d dropped, wall %s\n", label, len(tr.Spans), tr.Dropped, ms(wall(tr)))
+	b.WriteString("\nphase                     count        total         self   self%\n")
+	wallNs := wall(tr)
+	for _, ps := range Aggregate(tr) {
+		fmt.Fprintf(&b, "%-24s %6d %12s %12s %7s\n", ps.Name, ps.Count, ms(ps.Total), ms(ps.Self), pct(ps.Self, wallNs))
+	}
+	if top := TopSpans(tr, topK); len(top) > 0 {
+		fmt.Fprintf(&b, "\ntop %d spans by self time\n", len(top))
+		for _, ss := range top {
+			fmt.Fprintf(&b, "  #%-5d %-24s %12s self %12s total\n", ss.Span.ID, ss.Span.Name, ms(ss.Self), ms(ss.Span.Dur))
+		}
+	}
+	totals := tr.Totals()
+	if nz := totals.SortedNonzero(); len(nz) > 0 {
+		b.WriteString("\ncounters\n")
+		for _, c := range nz {
+			op := ""
+			if c.Operational() {
+				op = "  (operational)"
+			}
+			fmt.Fprintf(&b, "  %-24s %12d%s\n", c.Name(), totals[c], op)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderDiff writes a phase-by-phase comparison of two traces: self
+// time and counter totals for each, with deltas, so a perf PR reads as
+// "agenda self time −38%, same pops". Phases present in either trace
+// appear, sorted by the larger absolute self-time delta first.
+func RenderDiff(w io.Writer, a, b *Trace) error {
+	type row struct {
+		name   string
+		a, b   int64 // self ns
+		ca, cb int   // counts
+	}
+	rowsOf := func(tr *Trace) map[string]PhaseStat {
+		m := make(map[string]PhaseStat)
+		for _, ps := range Aggregate(tr) {
+			m[ps.Name] = ps
+		}
+		return m
+	}
+	ra, rb := rowsOf(a), rowsOf(b)
+	names := make([]string, 0, len(ra)+len(rb))
+	//ube:nondeterministic-ok keys are collected for sorting only
+	for name := range ra {
+		names = append(names, name)
+	}
+	//ube:nondeterministic-ok keys are collected for sorting only
+	for name := range rb {
+		if _, dup := ra[name]; !dup {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		rows = append(rows, row{name: name, a: ra[name].Self, b: rb[name].Self, ca: ra[name].Count, cb: rb[name].Count})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		di, dj := rows[i].b-rows[i].a, rows[j].b-rows[j].a
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		return di > dj
+	})
+	var out strings.Builder
+	la, lb := a.Label, b.Label
+	if la == "" {
+		la = "a"
+	}
+	if lb == "" {
+		lb = "b"
+	}
+	fmt.Fprintf(&out, "trace diff: %s (wall %s) vs %s (wall %s)\n", la, ms(wall(a)), lb, ms(wall(b)))
+	out.WriteString("\nphase                       self a       self b        delta  count a  count b\n")
+	for _, r := range rows {
+		fmt.Fprintf(&out, "%-24s %12s %12s %12s %8d %8d\n", r.name, ms(r.a), ms(r.b), ms(r.b-r.a), r.ca, r.cb)
+	}
+	ta, tb := a.Totals(), b.Totals()
+	var changed []Counter
+	for c := Counter(0); c < NumCounters; c++ {
+		if ta[c] != 0 || tb[c] != 0 {
+			changed = append(changed, c)
+		}
+	}
+	if len(changed) > 0 {
+		out.WriteString("\ncounters                         a            b        delta\n")
+		for _, c := range changed {
+			fmt.Fprintf(&out, "  %-24s %10d %12d %12d\n", c.Name(), ta[c], tb[c], tb[c]-ta[c])
+		}
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}

@@ -1,0 +1,75 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ube/internal/schemaio"
+	"ube/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden tables under testdata (the trace fixture itself stays frozen)")
+
+// fixture loads the committed solve trace captured from
+//
+//	go run ./cmd/ube-bench -exp trace -quick -evals 400 -trace internal/trace/testdata/fig6.trace.jsonl
+//
+// The timings inside are frozen with the file, so the rendered tables are
+// exact functions of the fixture bytes.
+func fixture(t *testing.T) *trace.Trace {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "fig6.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := schemaio.DecodeTrace(f)
+	if err != nil {
+		t.Fatalf("committed fixture does not decode: %v", err)
+	}
+	return tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output (re-run with -update if intended):\n--- got\n%s\n--- want\n%s", name, got, want)
+	}
+}
+
+// TestRenderTableGolden pins ube-trace's table output byte for byte on the
+// committed fixture — the same rendering `ube-trace testdata/fig6.trace.jsonl`
+// prints.
+func TestRenderTableGolden(t *testing.T) {
+	tr := fixture(t)
+	var b bytes.Buffer
+	if err := trace.RenderTable(&b, tr, 5); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig6.table.golden", b.Bytes())
+}
+
+// TestRenderDiffGolden pins the diff rendering. Diffing the fixture
+// against itself exercises the full row layout with all deltas zero.
+func TestRenderDiffGolden(t *testing.T) {
+	tr := fixture(t)
+	var b bytes.Buffer
+	if err := trace.RenderDiff(&b, tr, tr); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig6.diff.golden", b.Bytes())
+}

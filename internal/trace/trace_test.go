@@ -1,0 +1,286 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"ube/internal/trace"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := trace.New()
+	st := tr.Stats()
+	root := tr.Begin("solve")
+	st.Add(trace.CSearchEvals, 2)
+	child := tr.Begin("search")
+	st.Add(trace.CSearchEvals, 5)
+	st.Add(trace.CMatchRuns, 3)
+	tr.End(child)
+	st.Add(trace.CQEFFull, 1)
+	tr.End(root)
+	got := tr.Finish()
+
+	if len(got.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got.Spans))
+	}
+	rootSp, childSp := got.Spans[0], got.Spans[1]
+	if rootSp.Name != "solve" || rootSp.Parent != -1 {
+		t.Errorf("root span = %q parent %d, want solve/-1", rootSp.Name, rootSp.Parent)
+	}
+	if childSp.Name != "search" || childSp.Parent != rootSp.ID {
+		t.Errorf("child span = %q parent %d, want search/%d", childSp.Name, childSp.Parent, rootSp.ID)
+	}
+	// The child sees only the counts added while it was open; the root
+	// sees everything.
+	if got := childSp.Counts[trace.CSearchEvals]; got != 5 {
+		t.Errorf("child search.evals = %d, want 5", got)
+	}
+	if got := childSp.Counts[trace.CMatchRuns]; got != 3 {
+		t.Errorf("child match.runs = %d, want 3", got)
+	}
+	if got := rootSp.Counts[trace.CSearchEvals]; got != 7 {
+		t.Errorf("root search.evals = %d, want 7", got)
+	}
+	if got := rootSp.Counts[trace.CQEFFull]; got != 1 {
+		t.Errorf("root qef.full = %d, want 1", got)
+	}
+	totals := got.Totals()
+	if totals[trace.CSearchEvals] != 7 || totals[trace.CMatchRuns] != 3 || totals[trace.CQEFFull] != 1 {
+		t.Errorf("totals = %v", totals)
+	}
+}
+
+// Ending an outer span must close any descendants an early return left
+// open — the optimizers rely on this for their iteration spans.
+func TestEndClosesDescendants(t *testing.T) {
+	tr := trace.New()
+	outer := tr.Begin("run")
+	inner := tr.Begin("iter")
+	innermost := tr.Begin("step")
+	tr.End(outer)
+	got := tr.Finish()
+	if len(got.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(got.Spans))
+	}
+	// All closed: a later Begin must attach at the root, not under a
+	// stale stack entry.
+	tail := tr.Begin("late")
+	tr.End(tail)
+	got2 := tr.Finish()
+	if sp := got2.Spans[3]; sp.Parent != -1 {
+		t.Errorf("post-End span parent = %d, want -1", sp.Parent)
+	}
+	// Ending an already-closed span is a no-op.
+	tr.End(inner)
+	tr.End(innermost)
+	if n := len(tr.Finish().Spans); n != 4 {
+		t.Errorf("spans after redundant Ends = %d, want 4", n)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *trace.Tracer
+	if id := tr.Begin("x"); id != -1 {
+		t.Errorf("nil Begin = %d, want -1", id)
+	}
+	tr.End(-1)
+	tr.End(7)
+	if tr.Finish() != nil {
+		t.Error("nil Finish != nil")
+	}
+	if st := tr.Stats(); st != nil {
+		t.Error("nil Stats != nil")
+	}
+	var st *trace.Stats
+	st.Add(trace.CSearchEvals, 1) // must not panic
+}
+
+// The disabled path must be zero-allocation: a solve with no tracer
+// installed carries only nil checks.
+func TestDisabledTracerAllocs(t *testing.T) {
+	var tr *trace.Tracer
+	st := tr.Stats()
+	if n := testing.AllocsPerRun(100, func() {
+		id := tr.Begin("solve")
+		st.Add(trace.CSearchEvals, 1)
+		st.Add(trace.CMatchHits, 0)
+		tr.End(id)
+		_ = tr.Finish()
+	}); n != 0 {
+		t.Errorf("disabled tracer path allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestMaxSpansDrops(t *testing.T) {
+	tr := &trace.Tracer{MaxSpans: 2}
+	a := tr.Begin("a")
+	b := tr.Begin("b")
+	c := tr.Begin("c")
+	if c != -1 {
+		t.Errorf("over-cap Begin = %d, want -1", c)
+	}
+	tr.End(c)
+	tr.End(b)
+	tr.End(a)
+	got := tr.Finish()
+	if len(got.Spans) != 2 || got.Dropped != 1 {
+		t.Errorf("spans = %d dropped = %d, want 2/1", len(got.Spans), got.Dropped)
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	tr := trace.New()
+	tr.Begin("solve")
+	tr.Begin("search")
+	got := tr.Finish()
+	if len(got.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got.Spans))
+	}
+	for _, sp := range got.Spans {
+		if sp.Dur < 0 {
+			t.Errorf("span %q has negative duration %d", sp.Name, sp.Dur)
+		}
+	}
+}
+
+func TestCanonicalStripsTimingsAndOperational(t *testing.T) {
+	tr := trace.New()
+	st := tr.Stats()
+	id := tr.Begin("solve")
+	st.Add(trace.CSearchEvals, 4)
+	st.Add(trace.OSnapshotBuilds, 2)
+	st.Add(trace.OMatchEvictions, 9)
+	tr.End(id)
+	got := tr.Finish()
+	canon := got.Canonical()
+	sp := canon.Spans[0]
+	if sp.Start != 0 || sp.Dur != 0 {
+		t.Errorf("canonical timing = (%d,%d), want zeros", sp.Start, sp.Dur)
+	}
+	if sp.Counts[trace.OSnapshotBuilds] != 0 || sp.Counts[trace.OMatchEvictions] != 0 {
+		t.Error("canonical kept operational counters")
+	}
+	if sp.Counts[trace.CSearchEvals] != 4 {
+		t.Errorf("canonical search.evals = %d, want 4", sp.Counts[trace.CSearchEvals])
+	}
+	// The original is untouched.
+	if got.Spans[0].Counts[trace.OSnapshotBuilds] != 2 {
+		t.Error("Canonical mutated its receiver")
+	}
+	var nilTr *trace.Trace
+	if nilTr.Canonical() != nil {
+		t.Error("nil Canonical != nil")
+	}
+}
+
+func TestCounterNamesRoundTrip(t *testing.T) {
+	names := trace.CounterNames()
+	if len(names) != int(trace.NumCounters) {
+		t.Fatalf("CounterNames len = %d, want %d", len(names), trace.NumCounters)
+	}
+	seen := make(map[string]bool)
+	for c := trace.Counter(0); c < trace.NumCounters; c++ {
+		name := c.Name()
+		if name == "" || name == "invalid" {
+			t.Errorf("counter %d has no wire name", c)
+		}
+		if seen[name] {
+			t.Errorf("duplicate wire name %q", name)
+		}
+		seen[name] = true
+		back, ok := trace.CounterByName(name)
+		if !ok || back != c {
+			t.Errorf("CounterByName(%q) = %v,%v, want %v,true", name, back, ok, c)
+		}
+	}
+	if _, ok := trace.CounterByName("no.such.counter"); ok {
+		t.Error("CounterByName accepted an unknown name")
+	}
+	if trace.NumCounters.Name() != "invalid" {
+		t.Errorf("out-of-range Name() = %q", trace.NumCounters.Name())
+	}
+	// The operational split starts at OSnapshotBuilds.
+	if trace.CSketchUnions.Operational() {
+		t.Error("pcsa.unions misclassified as operational")
+	}
+	for _, c := range []trace.Counter{trace.OSnapshotBuilds, trace.OSnapshotUnions, trace.OMatchEvictions} {
+		if !c.Operational() {
+			t.Errorf("%s not classified operational", c.Name())
+		}
+	}
+}
+
+func TestCountsMap(t *testing.T) {
+	var c trace.Counts
+	if c.Map() != nil {
+		t.Error("zero Counts.Map() != nil")
+	}
+	c[trace.CSearchEvals] = 3
+	c[trace.CMatchHits] = 1
+	m := c.Map()
+	if len(m) != 2 || m["search.evals"] != 3 || m["match.hits"] != 1 {
+		t.Errorf("Map() = %v", m)
+	}
+}
+
+func TestAggregateSelfPartitionsTotals(t *testing.T) {
+	// Hand-built tree: root(10) with children a(4) and b(3); a has child
+	// c(1). Self must partition the root total.
+	mk := func(id, parent int32, name string, dur int64, evals int64) trace.Span {
+		sp := trace.Span{ID: id, Parent: parent, Name: name, Dur: dur}
+		sp.Counts[trace.CSearchEvals] = evals
+		return sp
+	}
+	tr := &trace.Trace{Spans: []trace.Span{
+		mk(0, -1, "solve", 10, 100),
+		mk(1, 0, "a", 4, 60),
+		mk(2, 1, "c", 1, 10),
+		mk(3, 0, "b", 3, 30),
+	}}
+	phases := trace.Aggregate(tr)
+	bySelf := make(map[string]trace.PhaseStat)
+	var selfSum int64
+	var evalSum int64
+	for _, ps := range phases {
+		bySelf[ps.Name] = ps
+		selfSum += ps.Self
+		evalSum += ps.Counts[trace.CSearchEvals]
+	}
+	if selfSum != 10 {
+		t.Errorf("self sum = %d, want the root total 10", selfSum)
+	}
+	if evalSum != 100 {
+		t.Errorf("self eval sum = %d, want the root total 100", evalSum)
+	}
+	if got := bySelf["solve"].Self; got != 3 {
+		t.Errorf("solve self = %d, want 3", got)
+	}
+	if got := bySelf["a"].Self; got != 3 {
+		t.Errorf("a self = %d, want 3", got)
+	}
+	if got := bySelf["a"].Counts[trace.CSearchEvals]; got != 50 {
+		t.Errorf("a self evals = %d, want 50", got)
+	}
+	// Sorted by self descending, name ascending on ties.
+	if phases[len(phases)-1].Name != "c" {
+		t.Errorf("last phase = %q, want the smallest-self one (c)", phases[len(phases)-1].Name)
+	}
+
+	top := trace.TopSpans(tr, 2)
+	if len(top) != 2 || top[0].Span.Name != "solve" && top[0].Self != 3 {
+		t.Errorf("TopSpans = %+v", top)
+	}
+	if trace.TopSpans(nil, 3) != nil || trace.Aggregate(nil) != nil {
+		t.Error("nil trace aggregation not nil")
+	}
+}
+
+func TestRenderTableEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := trace.RenderTable(&b, &trace.Trace{}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "empty trace\n" {
+		t.Errorf("empty render = %q", got)
+	}
+}

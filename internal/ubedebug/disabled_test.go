@@ -21,4 +21,7 @@ func TestDisabledIsInert(t *testing.T) {
 	if AuditEvery() != 0 {
 		t.Fatal("AuditEvery must be zero in normal builds")
 	}
+	if SetAuditEvery(64) != 0 {
+		t.Fatal("SetAuditEvery must stay inert in normal builds")
+	}
 }
