@@ -33,6 +33,16 @@ func ablationUniverse(b *testing.B, n int) *model.Universe {
 }
 
 // matcherConfigs builds the cluster configs for the index/matrix ablation.
+// mustAblationMatrix builds the dense matrix for a benchmark vocabulary,
+// panicking on the (impossible at these sizes) over-limit error.
+func mustAblationMatrix(c *strsim.Cache) *strsim.Matrix {
+	m, err := c.BuildMatrix()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 func matcherConfigs(u *model.Universe) map[string]cluster.Config {
 	mkCache := func() *strsim.Cache {
 		c := strsim.NewCache(nil)
@@ -45,9 +55,9 @@ func matcherConfigs(u *model.Universe) map[string]cluster.Config {
 	}
 	lazy := mkCache()
 	dense := mkCache()
-	matrix := dense.BuildMatrix()
+	matrix := mustAblationMatrix(dense)
 	indexed := mkCache()
-	idxMatrix := indexed.BuildMatrix()
+	idxMatrix := mustAblationMatrix(indexed)
 
 	return map[string]cluster.Config{
 		"lazy-cache": {Theta: 0.65, Beta: 2, Sim: lazy},

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers|incremental|trace] [-quick] [-evals 6000] [-seed 0]
+//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers|incremental|trace|scale] [-quick] [-evals 6000] [-seed 0]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.jsonl]
 package main
 
@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop, datasim, theta, incremental, trace")
+		exp        = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop, datasim, theta, incremental, trace, scale")
 		quick      = flag.Bool("quick", false, "scaled-down workload for smoke runs")
 		evals      = flag.Int("evals", 0, "per-solve evaluation budget (0 = default)")
 		seed       = flag.Int64("seed", 0, "experiment seed offset")
@@ -101,8 +101,9 @@ func run(exp string, o experiments.Options) error {
 		"theta":       runTheta,
 		"incremental": runIncremental,
 		"trace":       runTrace,
+		"scale":       runScale,
 	}
-	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta", "incremental", "trace"}
+	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta", "incremental", "trace", "scale"}
 
 	if exp == "all" {
 		for _, name := range names {
@@ -552,6 +553,70 @@ func runTrace(o experiments.Options) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_trace.json")
+	return nil
+}
+
+// scaleSnapshot is the BENCH_scale.json schema: the run's options plus
+// the sweep rows and the dense-vs-sparse parity checks.
+type scaleSnapshot struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	MaxEvals   int    `json:"max_evals"`
+	Seed       int64  `json:"seed"`
+	*experiments.ScaleResult
+}
+
+func runScale(o experiments.Options) error {
+	res, err := experiments.Scale(o)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{
+			fmt.Sprint(r.U),
+			fmt.Sprint(r.Vocab),
+			fmt.Sprint(r.QuadraticPairs),
+			fmt.Sprint(r.BlockCandidates),
+			fmt.Sprintf("%.3f%%", r.CandidateSharePct),
+			fmt.Sprint(r.ClusterPairs),
+			fmt.Sprint(r.BoundSkips),
+			fmt.Sprintf("%.2fs", r.SolveSeconds),
+			fmt.Sprintf("%.4f", r.Quality),
+		}
+	}
+	header := []string{"U", "vocab", "n^2 pairs", "block cand", "cand share", "cluster pairs", "bound skips", "solve", "Q(S)"}
+	table("Scale: blocking-index sparse path on large universes", header, out)
+	writeCSV("scale", header, out)
+
+	pout := make([][]string, len(res.Parity))
+	for i, r := range res.Parity {
+		pout[i] = []string{
+			fmt.Sprint(r.U),
+			fmt.Sprint(r.SameSources),
+			fmt.Sprintf("%.6f", r.QualityDense),
+			fmt.Sprintf("%.6f", r.QualitySparse),
+			fmt.Sprintf("%.4f%%", r.GapPct),
+		}
+	}
+	table("Scale parity: dense matrix vs sparse blocking path (same universe, same problem)",
+		[]string{"U", "same sources", "Q dense", "Q sparse", "gap"}, pout)
+
+	snap := scaleSnapshot{
+		Experiment:  "scale",
+		Quick:       o.Quick,
+		MaxEvals:    o.MaxEvals,
+		Seed:        o.Seed,
+		ScaleResult: res,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_scale.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_scale.json")
 	return nil
 }
 

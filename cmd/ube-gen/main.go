@@ -6,6 +6,11 @@
 // Usage:
 //
 //	ube-gen [-n 700] [-seed 1] [-quick] [-no-signatures] [-o universe.json] [-truth truth.json]
+//
+// With -large the generator switches to the internet-scale workload: a
+// synthetic attribute vocabulary that grows with the universe, Zipf
+// attribute-name sharing, and no data signatures (every source
+// uncooperative). Intended for -n in the 10⁴–10⁵ range.
 package main
 
 import (
@@ -22,21 +27,32 @@ func main() {
 		n       = flag.Int("n", 700, "number of sources")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		quick   = flag.Bool("quick", false, "scaled-down workload (small pool and cardinalities)")
+		large   = flag.Bool("large", false, "internet-scale workload: growing vocabulary, Zipf name sharing, no signatures")
 		noSigs  = flag.Bool("no-signatures", false, "skip data generation; all sources uncooperative")
 		out     = flag.String("o", "universe.json", "output path for the universe")
 		truthFn = flag.String("truth", "", "optional output path for the ground truth")
 	)
 	flag.Parse()
 
-	cfg := ube.DefaultWorkload()
-	if *quick {
-		cfg = ube.QuickWorkload(*n)
+	var (
+		u     *ube.Universe
+		truth *ube.Truth
+		err   error
+	)
+	if *large {
+		cfg := ube.LargeWorkload(*n)
+		cfg.Seed = *seed
+		u, truth, err = ube.GenerateLarge(cfg)
+	} else {
+		cfg := ube.DefaultWorkload()
+		if *quick {
+			cfg = ube.QuickWorkload(*n)
+		}
+		cfg.NumSources = *n
+		cfg.Seed = *seed
+		cfg.WithSignatures = !*noSigs
+		u, truth, err = ube.Generate(cfg)
 	}
-	cfg.NumSources = *n
-	cfg.Seed = *seed
-	cfg.WithSignatures = !*noSigs
-
-	u, truth, err := ube.Generate(cfg)
 	if err != nil {
 		fatal(err)
 	}

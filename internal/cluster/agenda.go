@@ -75,8 +75,8 @@ func simKey(sim float64) int64 {
 	return -int64(math.Float64bits(sim))
 }
 
-// simKey30 is simKey for similarities that came out of a strsim.Matrix.
-// The matrix stores scores as float32, so the float32 bit pattern loses
+// simKey30 is simKey for similarities that came out of a strsim.Table.
+// The table stores scores as float32, so the float32 bit pattern loses
 // nothing, and scores in [0,1] keep the pattern below 2^30 — small enough
 // for the seed queue to be radix-sorted in three 10-bit passes instead of
 // comparison-sorted. The key is bit-inverted so that, like simKey,
@@ -124,11 +124,12 @@ func runAgenda(clusters []*workCluster, seedQ []agendaEntry, preGathered bool, c
 		arena = append(arena, c)
 	}
 
-	// Matrix scores are float32-exact, unlocking 30-bit keys and the
-	// radix seed sort; any other scorer uses full float64-bit keys and
-	// a comparison sort. Both key forms order identically to the
-	// similarity, so the walk is the same either way.
-	_, matrixKeys := cfg.Scores.(*strsim.Matrix)
+	// Table scores (dense matrix or θ-sparse) are float32-exact,
+	// unlocking 30-bit keys and the radix seed sort; any other scorer
+	// uses full float64-bit keys and a comparison sort. Both key forms
+	// order identically to the similarity, so the walk is the same
+	// either way.
+	_, matrixKeys := cfg.Scores.(strsim.Table)
 	mkKey := simKey
 	if matrixKeys {
 		mkKey = simKey30

@@ -85,7 +85,7 @@ func TestAgendaMatchesLegacy(t *testing.T) {
 					base.Sim.Intern(a)
 				}
 			}
-			m := base.Sim.BuildMatrix()
+			m := mustMatrix(base.Sim)
 			base.Scores = m
 			base.Neighbors = m.Neighbors(theta)
 			if r.Intn(2) == 0 {
@@ -169,7 +169,7 @@ func BenchmarkMatchSynth(b *testing.B) {
 					cfg.Sim.Intern(a)
 				}
 			}
-			m := cfg.Sim.BuildMatrix()
+			m := mustMatrix(cfg.Sim)
 			cfg.Scores = m
 			cfg.Neighbors = m.Neighbors(cfg.Theta)
 			cfg.NameIDs = buildNameIDs(u, cfg.Sim)
@@ -212,7 +212,7 @@ func BenchmarkMatchAgenda(b *testing.B) {
 					cfg.Sim.Intern(a)
 				}
 			}
-			m := cfg.Sim.BuildMatrix()
+			m := mustMatrix(cfg.Sim)
 			cfg.Scores = m
 			cfg.Neighbors = m.Neighbors(cfg.Theta)
 			cfg.NameIDs = buildNameIDs(u, cfg.Sim)

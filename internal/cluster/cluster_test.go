@@ -8,6 +8,16 @@ import (
 	"ube/internal/strsim"
 )
 
+// mustMatrix builds the dense matrix for a test vocabulary, panicking on
+// the (impossible at test sizes) over-limit error.
+func mustMatrix(c *strsim.Cache) *strsim.Matrix {
+	m, err := c.BuildMatrix()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // mkUniverse builds a universe from schemas given as attribute-name lists.
 func mkUniverse(schemas ...[]string) *model.Universe {
 	u := &model.Universe{}
@@ -368,7 +378,7 @@ func TestMatrixScorerEquivalence(t *testing.T) {
 			fast.Sim.Intern(a)
 		}
 	}
-	fast.Scores = fast.Sim.BuildMatrix()
+	fast.Scores = mustMatrix(fast.Sim)
 	res2 := Match(u, allSources(u), nil, nil, fast)
 
 	if len(res1.Schema.GAs) != len(res2.Schema.GAs) {
@@ -476,7 +486,7 @@ func BenchmarkMatch50Sources(b *testing.B) {
 			cfg.Sim.Intern(a)
 		}
 	}
-	cfg.Scores = cfg.Sim.BuildMatrix()
+	cfg.Scores = mustMatrix(cfg.Sim)
 	S := allSources(u)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

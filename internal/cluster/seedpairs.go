@@ -28,7 +28,7 @@ type SeedPairs struct {
 	pairs  []seedPair // grouped by (srcA, srcB) source pair
 	start  []int32    // srcA*nSrc+srcB -> offset of the group in pairs
 	nSrc   int
-	matrix *strsim.Matrix // identity-gates against a rebuilt vocabulary
+	scores strsim.Table // identity-gates against a rebuilt vocabulary
 	theta  float64
 }
 
@@ -46,11 +46,12 @@ const seedPairsMaxSources = 2048
 
 // BuildSeedPairs precomputes the global seed agenda for a universe at
 // threshold theta. It returns nil — callers then just skip the fast path —
-// when the preconditions don't hold: the scorer must be a matrix (exact
-// 30-bit keys), nameIDs and neighbors must be prebuilt for it, and the
-// universe must fit the compact encoding.
+// when the preconditions don't hold: the scorer must be a float32-exact
+// table (dense matrix or θ-sparse — either way exact 30-bit keys),
+// nameIDs and neighbors must be prebuilt for it, and the universe must
+// fit the compact encoding.
 func BuildSeedPairs(u *model.Universe, nameIDs [][]int, neighbors [][]int, scores strsim.Scorer, theta float64) *SeedPairs {
-	m, ok := scores.(*strsim.Matrix)
+	m, ok := scores.(strsim.Table)
 	if !ok || nameIDs == nil || neighbors == nil || u.N() > seedPairsMaxSources {
 		return nil
 	}
@@ -73,7 +74,7 @@ func BuildSeedPairs(u *model.Universe, nameIDs [][]int, neighbors [][]int, score
 	// group, emitted from its (src, attr)-smaller side; a singleton has
 	// one name, so no pair is reachable via two name links.
 	nSrc := u.N()
-	sp := &SeedPairs{start: make([]int32, nSrc*nSrc+1), nSrc: nSrc, matrix: m, theta: theta}
+	sp := &SeedPairs{start: make([]int32, nSrc*nSrc+1), nSrc: nSrc, scores: m, theta: theta}
 	counts := sp.start[1:]
 	forEachPair := func(emit func(group int32, key int32, attrA, attrB int16)) {
 		for s := 0; s < nSrc; s++ {
@@ -118,12 +119,13 @@ func (sp *SeedPairs) Len() int { return len(sp.pairs) }
 func (sp *SeedPairs) SizeBytes() int { return 8*len(sp.pairs) + 4*len(sp.start) }
 
 // seedCompatible reports whether the precomputed agenda applies to this
-// Match call: same matrix, same θ, no GA constraints (constraint seeds
-// break the one-singleton-per-slot layout), and a strictly ascending S
-// (the gather computes subset ords from running attribute bases).
+// Match call: same score table, same θ, no GA constraints (constraint
+// seeds break the one-singleton-per-slot layout), and a strictly
+// ascending S (the gather computes subset ords from running attribute
+// bases).
 func seedCompatible(sp *SeedPairs, S []int, G []model.GA, cfg Config) bool {
 	//ube:float-exact θ is a cache key: the precomputed agenda only applies to the bit-identical threshold it was built for
-	if sp == nil || len(G) > 0 || cfg.Scores != strsim.Scorer(sp.matrix) || cfg.Theta != sp.theta {
+	if sp == nil || len(G) > 0 || cfg.Scores != strsim.Scorer(sp.scores) || cfg.Theta != sp.theta {
 		return false
 	}
 	for i := 1; i < len(S); i++ {

@@ -20,7 +20,7 @@ func TestSeedPairsSize(t *testing.T) {
 			sim.Intern(a)
 		}
 	}
-	m := sim.BuildMatrix()
+	m := mustMatrix(sim)
 	theta := 0.3
 	sp := BuildSeedPairs(u, buildNameIDs(u, sim), m.Neighbors(theta), m, theta)
 	if sp == nil {

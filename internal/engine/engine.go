@@ -21,8 +21,11 @@ import (
 )
 
 // matrixLimit caps the vocabulary size for the dense precomputed
-// similarity matrix; beyond it the engine falls back to the lazy cache
-// (n² float32 cells — 4096 names cost 64 MiB).
+// similarity matrix (n² float32 cells — 4096 names cost 64 MiB).
+// Beyond it the engine builds a θ-sparse neighbor table per solve
+// threshold from the strsim blocking index; only when the measure has
+// no sound blocking scheme (a non-n-gram measure) does it fall back to
+// the lazy pairwise cache.
 const matrixLimit = 4096
 
 // matchCacheLimit bounds the Match memo table; candidate sets beyond this
@@ -67,6 +70,14 @@ type Problem struct {
 	// solver (≤1 = sequential). Solves are deterministic for a fixed
 	// (problem, seed, Workers).
 	Workers int
+	// BoundPruning lets delta-aware solvers skip the exact evaluation
+	// of candidates whose objective upper bound (w_match·1 plus the
+	// exactly-computed composite term) cannot beat the incumbent. The
+	// returned Solution is byte-identical with or without pruning —
+	// skipped candidates still cost one evaluation each — but the trace
+	// counters differ (bound.skips appears, and qef work moves between
+	// counters), so the flag is opt-in and defaults to off.
+	BoundPruning bool
 	// Progress, when non-nil, observes the solve: the solver calls it
 	// from its deterministic best-so-far fold each time the incumbent
 	// improves. It is a pure side channel (the server streams it over
@@ -140,6 +151,12 @@ type Engine struct {
 	nameIDs [][]int
 	// neighborsByTheta caches the ≥θ name adjacency index per threshold.
 	neighborsByTheta map[float64][][]int
+	// sparseByTheta caches the θ-sparse scorer per threshold on large
+	// vocabularies; a stored nil means the measure does not support
+	// blocking and the θ falls back to the lazy cache.
+	sparseByTheta map[float64]*strsim.SparseScores
+	// block configures the blocking index behind sparseByTheta.
+	block strsim.BlockConfig
 	// seedByTheta caches the precomputed round-1 clustering agenda per
 	// threshold (see cluster.SeedPairs); entries may be nil when the
 	// universe doesn't qualify for the fast path.
@@ -184,10 +201,12 @@ func (s CacheStats) sub(o CacheStats) CacheStats {
 type Option func(*options)
 
 type options struct {
-	measure    strsim.Measure
-	noCache    bool
-	legacyEval bool
-	faults     *faultinject.Injector
+	measure     strsim.Measure
+	noCache     bool
+	legacyEval  bool
+	faults      *faultinject.Injector
+	block       strsim.BlockConfig
+	forceSparse bool
 }
 
 // WithMeasure overrides the attribute similarity measure (default: the
@@ -209,6 +228,24 @@ func WithoutMatchCache() Option {
 // are identical either way; only the time differs.
 func WithLegacyEvaluation() Option {
 	return func(o *options) { o.legacyEval = true }
+}
+
+// WithBlocking overrides the blocking-index configuration used to build
+// the θ-sparse scorer on large vocabularies — e.g. to select the
+// MinHash-LSH mode instead of the default exact-recall prefix filter.
+// It has no effect on vocabularies small enough for the dense matrix.
+func WithBlocking(cfg strsim.BlockConfig) Option {
+	return func(o *options) { o.block = cfg }
+}
+
+// WithSparseScores forces the θ-sparse blocking path even when the
+// vocabulary would fit the dense matrix. Solves are bit-identical to the
+// dense path whenever the blocking index has perfect recall (always, in
+// the default prefix-filter mode); the option exists so differential
+// tests and the scale experiment can compare the two paths on one
+// universe.
+func WithSparseScores() Option {
+	return func(o *options) { o.forceSparse = true }
 }
 
 // WithFaultInjector arms the engine's named fault-injection points
@@ -247,18 +284,27 @@ func New(u *model.Universe, opts ...Option) (*Engine, error) {
 		sim:              sim,
 		nameIDs:          nameIDs,
 		neighborsByTheta: make(map[float64][][]int),
+		sparseByTheta:    make(map[float64]*strsim.SparseScores),
 		seedByTheta:      make(map[float64]*cluster.SeedPairs),
 		legacyEval:       o.legacyEval,
 		faults:           o.faults,
+		block:            o.block,
 	}
 	e.scratch.New = func() any { return &cluster.Scratch{} }
 	if !o.noCache {
 		e.matchCache = make(map[string]cachedMatch)
 	}
-	if sim.Len() <= matrixLimit {
-		e.matrix = sim.BuildMatrix()
-		e.scores = e.matrix
+	if sim.Len() <= matrixLimit && !o.forceSparse {
+		m, err := sim.BuildMatrix()
+		if err != nil {
+			return nil, err
+		}
+		e.matrix = m
+		e.scores = m
 	} else {
+		// Large vocabulary: no dense matrix. Solves route through a
+		// per-θ sparse scorer built lazily (see scoresFor); e.scores
+		// remains the measure-exact fallback.
 		e.scores = sim
 	}
 	return e, nil
@@ -464,18 +510,19 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 		}
 	}
 
+	scores, nbrs := e.scoresFor(p.Theta, tr.Stats())
 	clusterCfg := cluster.Config{
 		Theta:        p.Theta,
 		Beta:         p.Beta,
 		Sim:          e.sim,
-		Scores:       e.scores,
-		Neighbors:    e.neighbors(p.Theta),
+		Scores:       scores,
+		Neighbors:    nbrs,
 		LegacyAgenda: e.legacyEval,
 		Stats:        tr.Stats(),
 	}
 	if !e.legacyEval {
 		clusterCfg.NameIDs = e.nameIDs
-		clusterCfg.Seed = e.seedPairs(p.Theta)
+		clusterCfg.Seed = e.seedPairs(p.Theta, scores, nbrs)
 	}
 	C := p.Constraints.Sources
 	G := p.Constraints.GAs
@@ -512,7 +559,11 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 		Tracer:    p.Trace,
 	}
 	if !e.legacyEval {
-		prob.DeltaObjective = e.deltaObjective(comp, wMatch, wRest, clusterCfg, C, G)
+		dobj, bound := e.deltaObjective(comp, wMatch, wRest, clusterCfg, C, G)
+		prob.DeltaObjective = dobj
+		if p.BoundPruning {
+			prob.Bound = bound
+		}
 	}
 	if armedCtx, cancel := e.armSolveFaults(ctx, prob); cancel != nil {
 		defer cancel()
@@ -559,17 +610,65 @@ func (e *Engine) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 // weightEpsilon is the smallest non-match weight mass treated as nonzero.
 const weightEpsilon = 1e-12
 
-// neighbors returns (building and caching on first use) the ≥θ name
-// adjacency index for the engine's vocabulary, or nil when no dense matrix
-// is available.
-func (e *Engine) neighbors(theta float64) [][]int {
-	if e.matrix == nil {
-		return nil
+// scoresFor returns the scorer and ≥θ name adjacency a solve at theta
+// should cluster with: the dense matrix when the vocabulary fits,
+// otherwise a θ-sparse table built lazily from the blocking index. A
+// measure with no sound blocking scheme (or a θ outside the blockable
+// range) falls back to the lazy pairwise cache with no adjacency index
+// — the pre-blocking behavior. The legacy-evaluation pipeline always
+// takes the fallback on large vocabularies: it predates the sparse
+// path and is pinned to the original code paths.
+func (e *Engine) scoresFor(theta float64, st *trace.Stats) (strsim.Scorer, [][]int) {
+	if e.matrix != nil {
+		return e.matrix, e.neighbors(theta)
 	}
+	if e.legacyEval {
+		return e.scores, nil
+	}
+	sp := e.sparse(theta, st)
+	if sp == nil {
+		return e.scores, nil
+	}
+	return sp, e.neighbors(theta)
+}
+
+// sparse returns (building and caching on first use) the θ-sparse
+// scorer for a large vocabulary, or nil when the measure doesn't
+// support blocking. The build's deterministic work counts are charged
+// to the solve that triggered it (block.* counters); later solves at
+// the same θ reuse the table for free.
+func (e *Engine) sparse(theta float64, st *trace.Stats) *strsim.SparseScores {
+	if sp, ok := e.sparseByTheta[theta]; ok {
+		return sp
+	}
+	sp, bs, err := e.sim.BuildSparse(theta, e.block)
+	if err != nil {
+		sp = nil
+	}
+	e.sparseByTheta[theta] = sp
+	st.Add(trace.CBlockProbes, bs.Probes)
+	st.Add(trace.CBlockCandidates, bs.Candidates)
+	st.Add(trace.CBlockPruned, bs.Pruned)
+	return sp
+}
+
+// neighbors returns (building and caching on first use) the ≥θ name
+// adjacency index for the engine's vocabulary — from the dense matrix
+// when it exists, else from the θ-sparse table (which must already be
+// cached for this θ) — or nil when neither is available.
+func (e *Engine) neighbors(theta float64) [][]int {
 	if n, ok := e.neighborsByTheta[theta]; ok {
 		return n
 	}
-	n := e.matrix.Neighbors(theta)
+	var n [][]int
+	switch {
+	case e.matrix != nil:
+		n = e.matrix.Neighbors(theta)
+	case e.sparseByTheta[theta] != nil:
+		n = e.sparseByTheta[theta].Neighbors(theta)
+	default:
+		return nil
+	}
 	e.neighborsByTheta[theta] = n
 	return n
 }

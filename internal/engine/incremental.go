@@ -9,6 +9,7 @@ import (
 	"ube/internal/model"
 	"ube/internal/qef"
 	"ube/internal/search"
+	"ube/internal/strsim"
 	"ube/internal/trace"
 	"ube/internal/ubedebug"
 )
@@ -23,13 +24,14 @@ import (
 // ("Evaluation pipeline performance").
 
 // seedPairs returns (building and caching on first use) the precomputed
-// round-1 clustering agenda for θ, or nil when the universe doesn't
+// round-1 clustering agenda for θ over the solve's routed scorer and
+// adjacency (dense or θ-sparse), or nil when the universe doesn't
 // qualify for the fast path.
-func (e *Engine) seedPairs(theta float64) *cluster.SeedPairs {
+func (e *Engine) seedPairs(theta float64, scores strsim.Scorer, neighbors [][]int) *cluster.SeedPairs {
 	if sp, ok := e.seedByTheta[theta]; ok {
 		return sp
 	}
-	sp := cluster.BuildSeedPairs(e.u, e.nameIDs, e.neighbors(theta), e.scores, theta)
+	sp := cluster.BuildSeedPairs(e.u, e.nameIDs, neighbors, scores, theta)
 	e.seedByTheta[theta] = sp
 	return sp
 }
@@ -74,17 +76,43 @@ func (inc *incumbent) discard() {
 	inc.mu.Unlock()
 }
 
-// deltaObjective builds the solve's incremental objective. Matching
-// quality F1 is inherently whole-set (the clustering is global) and stays
-// on the memoized Match path; the composite QEF side evaluates add-moves
-// incrementally from the incumbent snapshot. For a fixed S the returned
-// quality is independent of the delta up to float reassociation in the
-// characteristic folds (≪1e-12, see TestDeltaObjectiveMatchesFull).
-func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clusterCfg cluster.Config, C []int, G []model.GA) search.DeltaObjective {
+// deltaObjective builds the solve's incremental objective and its
+// companion upper bound. Matching quality F1 is inherently whole-set
+// (the clustering is global) and stays on the memoized Match path; the
+// composite QEF side evaluates add-moves incrementally from the
+// incumbent snapshot. For a fixed S the returned quality is independent
+// of the delta up to float reassociation in the characteristic folds
+// (≪1e-12, see TestDeltaObjectiveMatchesFull).
+//
+// The bound closure shares the snapshot cache and delta evaluator: it
+// computes the composite term exactly (the cheap part — no clustering)
+// and bounds only F1 by its range maximum 1, so bound ≥ quality holds
+// rigorously: q = w_match·f1 + w_rest·comp ≤ w_match·1 + w_rest·comp.
+// A PCSA-side shortcut was deliberately rejected — sketch-union
+// estimates are not subadditive, so est(A∪B) ≤ est(A)+est(B) does NOT
+// hold and any bound built on it would be unsound.
+func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clusterCfg cluster.Config, C []int, G []model.GA) (search.DeltaObjective, search.BoundFunc) {
 	de := qef.NewDeltaEval(comp)
 	de.Stats = clusterCfg.Stats
 	inc := &incumbent{}
-	return func(S *model.SourceSet, d search.Delta) (float64, bool) {
+	bound := func(S *model.SourceSet, d search.Delta) (float64, bool) {
+		//ube:float-exact wRest is assigned the literal 0 sentinel by Solve when w_match == 1
+		if wRest == 0 {
+			return wMatch, true
+		}
+		if d.Base != nil && d.Add >= 0 && d.Drop < 0 && !d.Base.Has(d.Add) {
+			key := d.Base.Key()
+			snap := inc.lookup(key)
+			if snap == nil {
+				snap = de.Snapshot(e.ctx, d.Base)
+				inc.publish(snap)
+			}
+			return wMatch + wRest*de.EvalAdd(e.ctx, snap, d.Add, S), true
+		}
+		clusterCfg.Stats.Add(trace.CQEFFull, 1)
+		return wMatch + wRest*comp.Eval(e.ctx, S), true
+	}
+	dobj := func(S *model.SourceSet, d search.Delta) (float64, bool) {
 		f1, valid := e.matchQuality(S, clusterCfg, C, G)
 		q := wMatch * f1
 		//ube:float-exact wRest is assigned the literal 0 sentinel by Solve when w_match == 1
@@ -119,4 +147,5 @@ func (e *Engine) deltaObjective(comp *qef.Composite, wMatch, wRest float64, clus
 		clusterCfg.Stats.Add(trace.CQEFFull, 1)
 		return q + wRest*comp.Eval(e.ctx, S), valid
 	}
+	return dobj, bound
 }

@@ -32,7 +32,8 @@ func solveObjectives(t *testing.T, e *Engine, p *Problem) (search.Objective, sea
 		f1, valid := e.matchQuality(S, cfg, C, G)
 		return wMatch*f1 + wRest*comp.Eval(e.ctx, S), valid
 	}
-	return full, e.deltaObjective(comp, wMatch, wRest, cfg, C, G)
+	dobj, _ := e.deltaObjective(comp, wMatch, wRest, cfg, C, G)
+	return full, dobj
 }
 
 // clusterConfig mirrors Solve's cluster.Config construction.
@@ -47,7 +48,7 @@ func clusterConfig(e *Engine, p *Problem) cluster.Config {
 	}
 	if !e.legacyEval {
 		cfg.NameIDs = e.nameIDs
-		cfg.Seed = e.seedPairs(p.Theta)
+		cfg.Seed = e.seedPairs(p.Theta, cfg.Scores, cfg.Neighbors)
 	}
 	return cfg
 }

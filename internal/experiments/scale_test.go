@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// TestScaleQuick runs the scale experiment at its CI scale (one 10³
+// universe plus the dense-vs-sparse parity differential) and checks the
+// row invariants the committed BENCH_scale.json relies on: the blocking
+// index surfaced far fewer candidates than all-pairs, pruning fired, and
+// the sparse path solved bit-identically to the dense one.
+func TestScaleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-solve sweep; skipped in -short")
+	}
+	o := Options{Quick: true, MaxEvals: 2000}
+	res, err := Scale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Rows), len(ScaleSizes(o)); got != want {
+		t.Fatalf("%d sweep rows, want %d", got, want)
+	}
+	for _, r := range res.Rows {
+		if r.Vocab < 64 {
+			t.Errorf("U=%d: vocabulary of %d names is not a scale workload", r.U, r.Vocab)
+		}
+		if r.BlockProbes == 0 || r.BlockCandidates == 0 {
+			t.Errorf("U=%d: blocking counters did not fire (probes=%d candidates=%d)",
+				r.U, r.BlockProbes, r.BlockCandidates)
+		}
+		if r.BlockCandidates >= r.QuadraticPairs {
+			t.Errorf("U=%d: %d candidates is not sublinear against %d all-pairs",
+				r.U, r.BlockCandidates, r.QuadraticPairs)
+		}
+		if r.CandidateSharePct <= 0 || r.CandidateSharePct >= 100 {
+			t.Errorf("U=%d: candidate share %v%% out of range", r.U, r.CandidateSharePct)
+		}
+		if r.BoundSkips == 0 {
+			t.Errorf("U=%d: bound pruning never fired", r.U)
+		}
+		if !r.Feasible || r.Quality <= 0 {
+			t.Errorf("U=%d: solve produced quality %v feasible=%v", r.U, r.Quality, r.Feasible)
+		}
+	}
+	if got, want := len(res.Parity), len(scaleParitySizes); got != want {
+		t.Fatalf("%d parity rows, want %d", got, want)
+	}
+	for _, p := range res.Parity {
+		if !p.SameSources {
+			t.Errorf("U=%d: sparse path selected different sources", p.U)
+		}
+		//ube:float-exact parity rows document bit-identity of the two paths
+		if p.QualityDense != p.QualitySparse || p.GapPct != 0 {
+			t.Errorf("U=%d: dense %v vs sparse %v (gap %v%%)", p.U, p.QualityDense, p.QualitySparse, p.GapPct)
+		}
+	}
+}

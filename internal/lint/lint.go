@@ -73,6 +73,10 @@ var DefaultDeterminismPaths = []string{
 	// surface (canonical traces are byte-compared); only its explicitly
 	// annotated timing sites may touch the clock.
 	"ube/internal/trace",
+	// The blocking index feeds the sparse similarity table whose
+	// candidate order and stats are byte-compared against the dense
+	// path; a map walk or clock read there breaks sparse≡dense.
+	"ube/internal/strsim",
 }
 
 // Config tunes a run.

@@ -38,6 +38,14 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 	for _, id := range p.Required {
 		cur.Add(id)
 	}
+	// Bound pruning applies to greedy's pure add-moves when the problem
+	// supplies a bound and the fallback path is off (KeepWorsening needs
+	// every candidate's exact quality). A candidate is skipped only when
+	// its bound cannot beat the loop's current pick or the tracker's
+	// feasible incumbent, so both the selection and the best-so-far
+	// bookkeeping provably come out identical to the unpruned run.
+	prunable := p.Bound != nil && !g.KeepWorsening
+
 	if cur.Len() == 0 && len(pool) > 0 {
 		// Seed with the single best source.
 		seedSpan := p.Tracer.Begin("greedy.seed")
@@ -48,7 +56,14 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 			}
 			cand := cur.Clone()
 			cand.Add(id)
-			if q, _ := tr.evalDelta(cand, Delta{Base: cur, Add: id, Drop: -1}); bestID == -1 || q > bestQ {
+			d := Delta{Base: cur, Add: id, Drop: -1}
+			if prunable && tr.feasible && bestID != -1 {
+				if b, ok := p.Bound(cand, d); ok && b <= bestQ && b <= tr.bestQ {
+					tr.skipDelta(cand, b)
+					continue
+				}
+			}
+			if q, _ := tr.evalDelta(cand, d); bestID == -1 || q > bestQ {
 				bestID, bestQ = id, q
 			}
 		}
@@ -71,7 +86,14 @@ func (g *Greedy) Optimize(p *Problem, seed int64) Solution {
 			}
 			cand := cur.Clone()
 			cand.Add(id)
-			q, ok := tr.evalDelta(cand, Delta{Base: cur, Add: id, Drop: -1})
+			d := Delta{Base: cur, Add: id, Drop: -1}
+			if prunable && tr.feasible {
+				if b, ok := p.Bound(cand, d); ok && b <= bestQ && b <= tr.bestQ {
+					tr.skipDelta(cand, b)
+					continue
+				}
+			}
+			q, ok := tr.evalDelta(cand, d)
 			if q > bestQ {
 				bestID, bestQ, bestOK = id, q, ok
 				foundAny = true

@@ -77,6 +77,14 @@ type ProgressFunc func(Progress)
 // reassociation (≤1e-12). The delta is purely an evaluation hint.
 type DeltaObjective func(S *model.SourceSet, d Delta) (quality float64, feasible bool)
 
+// BoundFunc returns a cheap upper bound on a candidate's quality given
+// its derivation, or ok == false when no cheap bound applies and the
+// caller must evaluate exactly. Implementations must guarantee
+// quality(S) ≤ bound for the same S — solvers skip exact evaluations on
+// the strength of it — and must be deterministic and safe for
+// concurrent calls, like the Objective.
+type BoundFunc func(S *model.SourceSet, d Delta) (bound float64, ok bool)
+
 // Problem is one instance of the §2.5 optimization problem as seen by an
 // optimizer: the universe size, the selection bound m, and the constraint
 // region. Everything domain-specific lives behind Objective.
@@ -103,6 +111,15 @@ type Problem struct {
 	// still be set — it remains the definition of candidate quality and
 	// the fallback for optimizers that predate deltas.
 	DeltaObjective DeltaObjective
+	// Bound, when non-nil, supplies an upper bound on candidate quality
+	// that delta-aware optimizers (tabu, greedy) use to skip exact
+	// evaluations that provably cannot change the outcome. Every skip
+	// is still charged one evaluation against the budget and the
+	// search.evals counter — only the expensive objective call is
+	// avoided — so Solutions are byte-identical with and without a
+	// bound; the bound.skips trace counter records how often pruning
+	// fired. Optimizers without pruning support ignore it.
+	Bound BoundFunc
 	// MaxEvals bounds the number of objective evaluations (0 means each
 	// optimizer's default). Ablations share a budget through this knob.
 	MaxEvals int
@@ -291,6 +308,20 @@ func (t *tracker) batchEval(p *Problem, cands []*model.SourceSet) ([]float64, []
 // slices are parallel to the (possibly truncated) batch; the int is the
 // evaluated count.
 func (t *tracker) batchEvalDelta(p *Problem, cands []*model.SourceSet, deltas []Delta) ([]float64, []bool, int) {
+	return t.batchEvalDeltaBound(p, cands, deltas, nil, nil)
+}
+
+// batchEvalDeltaBound is batchEvalDelta with bound pruning: skip and
+// bounds, when non-nil, are parallel to cands, and a candidate with
+// skip[i] set reports (bounds[i], false) instead of calling the
+// objective. A skipped candidate still costs one evaluation from the
+// budget and the search.evals counter — the optimizer's eval accounting
+// is identical with and without pruning — and additionally counts one
+// bound.skips. Callers are responsible for the bit-safety precondition:
+// only skip when a feasible incumbent exists and bounds[i] ≤ the
+// pre-batch best quality, so record() provably ignores the substituted
+// result exactly as it would have ignored the exact one.
+func (t *tracker) batchEvalDeltaBound(p *Problem, cands []*model.SourceSet, deltas []Delta, skip []bool, bounds []float64) ([]float64, []bool, int) {
 	if left := t.budget - t.evals; len(cands) > left {
 		cands = cands[:max(left, 0)]
 	}
@@ -313,13 +344,20 @@ func (t *tracker) batchEvalDelta(p *Problem, cands []*model.SourceSet, deltas []
 	}
 	qs := make([]float64, len(cands))
 	oks := make([]bool, len(cands))
+	eval1 := func(i int) {
+		if skip != nil && skip[i] {
+			qs[i], oks[i] = bounds[i], false
+			return
+		}
+		qs[i], oks[i] = t.score(cands[i], delta(i))
+	}
 	workers := p.Workers
 	if workers > len(cands) {
 		workers = len(cands)
 	}
 	if workers <= 1 {
-		for i, c := range cands {
-			qs[i], oks[i] = t.score(c, delta(i))
+		for i := range cands {
+			eval1(i)
 		}
 	} else {
 		var next atomic.Int64
@@ -333,18 +371,35 @@ func (t *tracker) batchEvalDelta(p *Problem, cands []*model.SourceSet, deltas []
 					if i >= len(cands) {
 						return
 					}
-					qs[i], oks[i] = t.score(cands[i], delta(i))
+					eval1(i)
 				}
 			}()
 		}
 		wg.Wait()
 	}
 	// Sequential fold keeps best-so-far deterministic.
+	var skips int64
 	for i, c := range cands {
 		t.evals++
+		if skip != nil && skip[i] {
+			skips++
+		}
 		t.record(c, qs[i], oks[i])
 	}
+	t.st.Add(trace.CBoundSkips, skips)
 	return qs, oks, len(cands)
+}
+
+// skipDelta accounts one candidate whose exact evaluation was pruned:
+// it charges the budget and search.evals like an exact evaluation, adds
+// one bound.skips, and feeds (ub, false) through record. Callers must
+// only prune when a feasible incumbent exists and ub ≤ t.bestQ — then
+// the substituted result provably leaves the best-so-far untouched for
+// any (q ≤ ub, ok) the exact evaluation could have produced.
+func (t *tracker) skipDelta(S *model.SourceSet, ub float64) {
+	t.evals++
+	t.st.Add(trace.CBoundSkips, 1)
+	t.record(S, ub, false)
 }
 
 // record applies one evaluation result to the best-so-far bookkeeping.

@@ -108,7 +108,35 @@ func (t *Tabu) run(p *Problem, pool []int, start *model.SourceSet, tr *tracker, 
 			cands[i] = cand
 			deltas[i] = Delta{Base: cur, Add: mv.in, Drop: mv.out}
 		}
-		qs, _, n := tr.batchEvalDelta(p, cands, deltas)
+		// Bound pruning: a move that is already tabu can only be taken
+		// through the aspiration criterion (q > best-so-far), so when
+		// its quality upper bound cannot beat the incumbent the exact
+		// evaluation is provably irrelevant — the selection loop below
+		// skips it either way — and may be replaced by the bound. The
+		// tabu status computed here is exactly the status the selection
+		// loop recomputes (the tenure arrays don't change in between),
+		// and tr.bestQ can only rise across the batch fold once a
+		// feasible incumbent exists, so a bound ≤ tr.bestQ now is still
+		// ≤ tr.bestQ at selection time.
+		var skip []bool
+		var bounds []float64
+		if p.Bound != nil && tr.feasible {
+			for i, mv := range moves {
+				tabu := (mv.out >= 0 && tabuOut[mv.out] > iter) ||
+					(mv.in >= 0 && tabuIn[mv.in] > iter)
+				if !tabu {
+					continue
+				}
+				if b, ok := p.Bound(cands[i], deltas[i]); ok && b <= tr.bestQ {
+					if skip == nil {
+						skip = make([]bool, len(moves))
+						bounds = make([]float64, len(moves))
+					}
+					skip[i], bounds[i] = true, b
+				}
+			}
+		}
+		qs, _, n := tr.batchEvalDeltaBound(p, cands, deltas, skip, bounds)
 
 		var best *model.SourceSet
 		var bestMove move

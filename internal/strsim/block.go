@@ -1,0 +1,359 @@
+package strsim
+
+// This file implements the blocking (candidate-generation) layer that
+// makes similarity sub-quadratic on large vocabularies. Instead of
+// scoring all n² name pairs like BuildMatrix, a blocking index surfaces
+// only the pairs that can plausibly reach θ and verifies exactly those
+// with the real measure:
+//
+//   - BlockPrefix (the default) is an exact-recall mode: a character
+//     n-gram inverted index with full postings, probed with prefix
+//     filtering (AllPairs/ppjoin-style). A pair with score ≥ θ must
+//     share at least m grams, and m common grams cannot all hide in a
+//     probe's last m−1 grams, so probing only the first s−m+1 grams of
+//     each name (in a canonical rarest-first gram order) finds every
+//     qualifying pair. Candidates then pass a size-window check before
+//     exact verification.
+//
+//   - BlockMinHash trades a bounded recall loss (< 2‰ per pair at θ
+//     with the default 32×4 banding) for index probes that do not
+//     depend on posting-list lengths: each name gets a MinHash
+//     signature over its grams, and names colliding in any band become
+//     candidates. Candidates are exactly verified, so precision is
+//     still 1 — only recall is probabilistic.
+//
+// Both modes are deterministic: gram order, probe order and all hashes
+// are pure functions of the name set (and the fixed MinHash seed), so
+// the resulting candidate pairs — and everything built from them — are
+// byte-reproducible across runs, machines and -race.
+//
+// The prefix-filter thresholds are conservatively widened (by more than
+// one float32 ulp) because the sparse scorer's inclusion test rounds
+// scores through float32 exactly like the dense Matrix does: a pair
+// whose exact score is marginally below θ can still round into the
+// θ-neighborhood, and the index must not lose it. Widening can only
+// lengthen prefixes and size windows, so recall is never at risk.
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// BlockMode selects how the blocking index generates candidate pairs.
+type BlockMode int
+
+const (
+	// BlockPrefix probes an n-gram inverted index with prefix and
+	// length filtering. Recall is exactly 1 for the n-gram measures.
+	BlockPrefix BlockMode = iota
+	// BlockMinHash buckets names by banded MinHash signatures. Recall
+	// is probabilistic (≈ 0.998 per pair at θ = 0.65 with the default
+	// banding) but probing cost is independent of gram frequency.
+	BlockMinHash
+)
+
+// Default MinHash banding: 32 bands of 4 rows. At θ = 0.65 a pair at
+// exactly the threshold collides in at least one band with probability
+// 1 − (1 − 0.65⁴)³² ≈ 0.998; pairs above θ are caught with higher
+// probability still.
+const (
+	DefaultBands = 32
+	DefaultRows  = 4
+)
+
+// defaultMinHashSeed seeds the MinHash permutations when the config
+// leaves Seed zero. It is a fixed constant — never wall-clock or global
+// randomness — so indexes are reproducible across processes.
+const defaultMinHashSeed = 0x9e3779b97f4a7c15
+
+// BlockConfig configures the blocking index.
+type BlockConfig struct {
+	// Mode selects the candidate-generation strategy.
+	Mode BlockMode
+	// Bands and Rows shape the MinHash banding (BlockMinHash only);
+	// zero values take the package defaults.
+	Bands, Rows int
+	// Seed perturbs the MinHash permutations; zero takes the fixed
+	// package default. Deterministic for any fixed value.
+	Seed uint64
+}
+
+func (c BlockConfig) withDefaults() BlockConfig {
+	if c.Bands <= 0 {
+		c.Bands = DefaultBands
+	}
+	if c.Rows <= 0 {
+		c.Rows = DefaultRows
+	}
+	if c.Seed == 0 {
+		c.Seed = defaultMinHashSeed
+	}
+	return c
+}
+
+// BlockStats reports the deterministic work counts of one sparse build:
+// names probed against the index, candidate pairs surfaced before exact
+// verification, and candidates the size window or the exact measure
+// rejected. Candidates − Pruned pairs end up in the sparse scorer.
+type BlockStats struct {
+	Probes     int64
+	Candidates int64
+	Pruned     int64
+}
+
+// ErrUnsupportedMeasure is returned by BuildSparse for measures the
+// blocking index has no sound candidate generation for. Only the n-gram
+// measures (NGramJaccard, NGramDice) are supported.
+var ErrUnsupportedMeasure = errors.New("strsim: blocking index requires an n-gram measure")
+
+// gramIndex is the shared substrate of both blocking modes: per-name
+// gram-ID sets in a canonical global order, plus full (θ-independent)
+// postings per gram.
+type gramIndex struct {
+	sets  [][]int32 // per name: gram IDs ascending in canonical order
+	post  [][]int32 // per gram ID: name IDs ascending (full postings)
+	grams []string  // gram ID -> gram string, canonical order
+}
+
+// buildGramIndex grams every name and interns the gram vocabulary in
+// canonical order: ascending document frequency, ties broken by the
+// gram string. Rarest-first ordering makes prefix probes hit the
+// shortest postings, and the order is a pure function of the name set.
+func buildGramIndex(names []string, gramN int) *gramIndex {
+	ids := make(map[string]int32)
+	var gramStrs []string
+	var df []int32
+	sets := make([][]int32, len(names))
+	for i, name := range names {
+		gs := NGrams(name, gramN)
+		lst := make([]int32, 0, len(gs))
+		//ube:nondeterministic-ok provisional IDs are re-ranked canonically (df asc, gram asc) below
+		for g := range gs {
+			id, ok := ids[g]
+			if !ok {
+				id = int32(len(gramStrs))
+				ids[g] = id
+				gramStrs = append(gramStrs, g)
+				df = append(df, 0)
+			}
+			df[id]++
+			lst = append(lst, id)
+		}
+		sets[i] = lst
+	}
+	order := make([]int32, len(gramStrs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := order[a], order[b]
+		if df[ga] != df[gb] {
+			return df[ga] < df[gb]
+		}
+		return gramStrs[ga] < gramStrs[gb]
+	})
+	rank := make([]int32, len(order))
+	grams := make([]string, len(order))
+	for r, g := range order {
+		rank[g] = int32(r)
+		grams[r] = gramStrs[g]
+	}
+	post := make([][]int32, len(order))
+	for i, lst := range sets {
+		for k, g := range lst {
+			lst[k] = rank[g]
+		}
+		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+		for _, g := range lst {
+			// Name IDs ascend naturally: names are processed in order.
+			post[g] = append(post[g], int32(i))
+		}
+	}
+	return &gramIndex{sets: sets, post: post, grams: grams}
+}
+
+// thetaSlack widens θ before deriving integer prefix/window bounds. The
+// inclusion test rounds exact scores through float32 (to match the
+// dense Matrix bit for bit), which can admit pairs whose exact score is
+// up to one float32 ulp (≈ 6e-8 for scores in [0,1]) below θ; 1e-6
+// over-covers that. Widening only lengthens prefixes and windows, so it
+// can cost candidates but never recall.
+const thetaSlack = 1e-6
+
+// minOverlap returns a lower bound on |A∩B| for any pair with
+// (float32-rounded) score ≥ θ when |A| = s. For Jaccard, I ≥ θ·|A∪B| ≥
+// θ·s; for Dice, 2I ≥ θ(|A|+|B|) ≥ θ(s+I) gives I ≥ θs/(2−θ). The
+// float ceil is nudged down so rounding can only shrink m (a smaller m
+// lengthens the probe prefix — conservative, never lossy).
+func minOverlap(theta float64, s int, dice bool) int {
+	t := theta - thetaSlack
+	if t <= 0 {
+		return 1
+	}
+	v := t * float64(s)
+	if dice {
+		v /= 2 - t
+	}
+	m := int(math.Ceil(v - 1e-9))
+	if m < 1 {
+		m = 1
+	}
+	if m > s {
+		m = s
+	}
+	return m
+}
+
+// lenCompatible reports whether gram-set sizes sa, sb can possibly
+// score ≥ θ: Jaccard needs sb ∈ [θ·sa, sa/θ], Dice needs
+// sb ∈ [θ·sa/(2−θ), sa(2−θ)/θ]. θ is slack-widened like minOverlap.
+func lenCompatible(theta float64, sa, sb int, dice bool) bool {
+	t := theta - thetaSlack
+	if t <= 0 {
+		return true
+	}
+	a, b := float64(sa), float64(sb)
+	if dice {
+		return b >= t*a/(2-t) && b <= a*(2-t)/t
+	}
+	return b >= t*a && b <= a/t
+}
+
+// prefixPairs emits every candidate pair (a < b) the prefix filter
+// surfaces at threshold theta. Each unordered pair is emitted exactly
+// once, from its smaller-ID side: if the pair's score reaches θ the two
+// names share at least minOverlap(θ, |Aₐ|) grams, and those cannot all
+// sit in a's last m−1 grams, so one of a's first |Aₐ|−m+1 grams finds b
+// in the full postings.
+func (ix *gramIndex) prefixPairs(theta float64, dice bool, stats *BlockStats, emit func(a, b int32)) {
+	mark := make([]int32, len(ix.sets))
+	for i := range mark {
+		mark[i] = -1
+	}
+	for a, set := range ix.sets {
+		if len(set) == 0 {
+			continue
+		}
+		stats.Probes++
+		m := minOverlap(theta, len(set), dice)
+		for _, g := range set[:len(set)-m+1] {
+			for _, b := range ix.post[g] {
+				if int(b) <= a || mark[b] == int32(a) {
+					continue
+				}
+				mark[b] = int32(a)
+				stats.Candidates++
+				emit(int32(a), b)
+			}
+		}
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-distributed
+// bijective mixer used for the MinHash permutations.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64a is FNV-1a over the gram bytes.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// minhashPairs returns the deduplicated candidate pairs of the banded
+// MinHash mode. Bucket membership is a pure function of (name set,
+// seed); pairs are collected into a set, so the result does not depend
+// on discovery order.
+func (ix *gramIndex) minhashPairs(cfg BlockConfig, stats *BlockStats) map[pairKey]struct{} {
+	k := cfg.Bands * cfg.Rows
+	gh := make([]uint64, len(ix.grams))
+	for g, s := range ix.grams {
+		gh[g] = fnv64a(s)
+	}
+	salts := make([]uint64, k)
+	x := cfg.Seed
+	for i := range salts {
+		x = splitmix64(x)
+		salts[i] = x
+	}
+	type bandEntry struct {
+		key uint64
+		id  int32
+	}
+	bands := make([][]bandEntry, cfg.Bands)
+	sig := make([]uint64, k)
+	for a, set := range ix.sets {
+		if len(set) == 0 {
+			continue
+		}
+		stats.Probes++
+		for i := range sig {
+			sig[i] = math.MaxUint64
+		}
+		for _, g := range set {
+			h := gh[g]
+			for i, salt := range salts {
+				if v := splitmix64(h ^ salt); v < sig[i] {
+					sig[i] = v
+				}
+			}
+		}
+		for b := 0; b < cfg.Bands; b++ {
+			key := uint64(0xcbf29ce484222325)
+			for r := 0; r < cfg.Rows; r++ {
+				key = (key ^ sig[b*cfg.Rows+r]) * 1099511628211
+			}
+			bands[b] = append(bands[b], bandEntry{key: key, id: int32(a)})
+		}
+	}
+	pairs := make(map[pairKey]struct{})
+	for _, entries := range bands {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].key != entries[j].key {
+				return entries[i].key < entries[j].key
+			}
+			return entries[i].id < entries[j].id
+		})
+		for lo := 0; lo < len(entries); {
+			hi := lo
+			for hi < len(entries) && entries[hi].key == entries[lo].key {
+				hi++
+			}
+			for i := lo; i < hi; i++ {
+				for j := i + 1; j < hi; j++ {
+					pairs[pairKey{int(entries[i].id), int(entries[j].id)}] = struct{}{}
+				}
+			}
+			lo = hi
+		}
+	}
+	stats.Candidates += int64(len(pairs))
+	return pairs
+}
+
+// interSize returns |a∩b| for two ascending int32 sets.
+func interSize(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -86,3 +86,43 @@ func FuzzMeasures(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBlockingCandidates checks the blocking index's soundness guarantee
+// on adversarial vocabularies: for every pair the exact scorer puts at or
+// above θ (after the float32 rounding every stored cell gets), the
+// prefix-filter sparse table must hold the pair — the index may verify
+// extra candidates but can never miss a true pair. Inputs are five
+// arbitrary names interned together with a fixed mixed base vocabulary,
+// so the fuzzer exercises unicode, invalid UTF-8, and near-duplicate
+// collisions against both measures' prefix schemes.
+func FuzzBlockingCandidates(f *testing.F) {
+	f.Add("title", "titles", "book title", "a", "")
+	f.Add("é", "é", "日本語", "日本語版", "\xff\xfe")
+	f.Add("x y z", "x_y_z", "X Y Z!", "xyz", "zyx")
+	f.Add("aaaaaaaa", "aaaaaaab", "aaaa", "baaa", "aa")
+	measures := []Measure{NewNGramJaccard(3), NewNGramDice(3), NewNGramJaccard(2)}
+	thetas := []float64{0.3, 0.65, 0.9}
+	f.Fuzz(func(t *testing.T, a, b, c, d, e string) {
+		for _, m := range measures {
+			cache := NewCache(m)
+			for _, name := range []string{a, b, c, d, e,
+				"title", "titles", "author name", "isbn number", "pub year"} {
+				cache.Intern(name)
+			}
+			for _, theta := range thetas {
+				sp, _, err := cache.BuildSparse(theta, BlockConfig{})
+				if err != nil {
+					t.Fatalf("%s θ=%v: %v", m.Name(), theta, err)
+				}
+				got := sparsePairs(sp, theta)
+				for p := range exactPairs(cache, theta) {
+					if !got[p] {
+						t.Fatalf("%s θ=%v: index missed ≥θ pair %q/%q (score %v)",
+							m.Name(), theta, cache.NameOf(p[0]), cache.NameOf(p[1]),
+							cache.Score(p[0], p[1]))
+					}
+				}
+			}
+		}
+	})
+}

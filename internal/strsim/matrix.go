@@ -1,11 +1,35 @@
 package strsim
 
+import "fmt"
+
 // A Scorer scores similarity between two interned attribute names. Cache
 // implements Scorer with lazy memoization; Matrix implements it with a
 // precomputed dense table for the hot clustering loop.
 type Scorer interface {
 	Score(a, b int) float64
 }
+
+// A Table is a Scorer backed by a precomputed score table over the full
+// interned vocabulary whose every result is an exact float32 value —
+// either stored as float32 (Matrix, SparseScores rows) or explicitly
+// rounded through float32 (the SparseScores fallback). The clustering
+// agenda gates its 30-bit radix sort keys and the seed-pair fast path
+// on this property, so only scorers that guarantee it implement the
+// marker.
+type Table interface {
+	Scorer
+	// Len reports the number of names the table covers.
+	Len() int
+	// float32Exact marks the scorer's float32-exactness; it is
+	// unexported so only this package can make the promise.
+	float32Exact()
+}
+
+// MaxMatrixNames caps BuildMatrix's vocabulary size. The dense table
+// costs 4·n² bytes — 1 GiB at the cap — and past it a build is almost
+// certainly a mistake (and on 32-bit n·n overflows int well before the
+// alloc): large vocabularies belong on BuildSparse.
+const MaxMatrixNames = 16384
 
 // Matrix is a dense, read-only table of pairwise similarities between all
 // names interned in a Cache at build time. Lookups are lock-free array
@@ -22,11 +46,16 @@ type Matrix struct {
 // so far. Names interned after the build are unknown to the matrix and
 // make Score panic, so callers must intern the complete vocabulary first —
 // the engine interns every attribute name of the universe before building.
-func (c *Cache) BuildMatrix() *Matrix {
+// Vocabularies beyond MaxMatrixNames are refused (the n² table would be
+// multi-GiB); use BuildSparse for those.
+func (c *Cache) BuildMatrix() (*Matrix, error) {
 	c.mu.RLock()
 	names := append([]string(nil), c.names...)
 	c.mu.RUnlock()
 	n := len(names)
+	if n > MaxMatrixNames {
+		return nil, fmt.Errorf("strsim: BuildMatrix over %d names exceeds the %d-name limit (the dense table would need %d MiB); use BuildSparse", n, MaxMatrixNames, 4*int64(n)*int64(n)>>20)
+	}
 	m := &Matrix{n: n, vals: make([]float32, n*n)}
 
 	// Precompute gram sets once per name when the measure is gram-based;
@@ -56,8 +85,12 @@ func (c *Cache) BuildMatrix() *Matrix {
 			m.vals[j*n+i] = s
 		}
 	}
-	return m
+	return m, nil
 }
+
+// float32Exact marks Matrix as a Table: it stores every score as
+// float32.
+func (m *Matrix) float32Exact() {}
 
 // Len reports the number of names the matrix covers.
 func (m *Matrix) Len() int { return m.n }

@@ -2,6 +2,16 @@ package strsim
 
 import "testing"
 
+// mustMatrix builds the dense matrix for a test vocabulary, panicking on
+// the (impossible at test sizes) over-limit error.
+func mustMatrix(c *Cache) *Matrix {
+	m, err := c.BuildMatrix()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 func TestMatrixScoresMatchCache(t *testing.T) {
 	c := NewCache(nil)
 	names := []string{"title", "book_title", "author", "isbn", "price"}
@@ -12,7 +22,7 @@ func TestMatrixScoresMatchCache(t *testing.T) {
 	if c.Measure() == nil {
 		t.Fatal("cache has no measure")
 	}
-	m := c.BuildMatrix()
+	m := mustMatrix(c)
 	if m.Len() != len(names) {
 		t.Fatalf("matrix covers %d names, want %d", m.Len(), len(names))
 	}
@@ -44,7 +54,7 @@ func TestMatrixNeighbors(t *testing.T) {
 	for _, n := range []string{"title", "book_title", "zzz_unrelated"} {
 		c.Intern(n)
 	}
-	m := c.BuildMatrix()
+	m := mustMatrix(c)
 	nbr := m.Neighbors(0.2)
 	if len(nbr) != m.Len() {
 		t.Fatalf("neighbor lists = %d, want %d", len(nbr), m.Len())
@@ -68,7 +78,7 @@ func TestMatrixNeighbors(t *testing.T) {
 func TestMatrixScorePanicsOnLateIntern(t *testing.T) {
 	c := NewCache(nil)
 	c.Intern("title")
-	m := c.BuildMatrix()
+	m := mustMatrix(c)
 	late := c.Intern("author")
 	defer func() {
 		if recover() == nil {

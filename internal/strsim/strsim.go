@@ -81,6 +81,7 @@ func Jaccard[K comparable](a, b map[K]struct{}) float64 {
 		a, b = b, a
 	}
 	inter := 0
+	//ube:nondeterministic-ok integer membership counting is order-independent
 	for k := range a {
 		if _, ok := b[k]; ok {
 			inter++
@@ -102,6 +103,7 @@ func Dice[K comparable](a, b map[K]struct{}) float64 {
 		a, b = b, a
 	}
 	inter := 0
+	//ube:nondeterministic-ok integer membership counting is order-independent
 	for k := range a {
 		if _, ok := b[k]; ok {
 			inter++
@@ -451,17 +453,21 @@ func (TokenCosine) Score(a, b string) float64 {
 	}
 	ta := tokenCounts(na)
 	tb := tokenCounts(nb)
-	var dot, qa, qb float64
+	// Integer accumulation: exact regardless of map iteration order, so
+	// the score is a pure function of the two names.
+	var dot, qa, qb int
+	//ube:nondeterministic-ok integer sums are order-independent
 	for tok, ca := range ta {
-		qa += float64(ca * ca)
+		qa += ca * ca
 		if cb, ok := tb[tok]; ok {
-			dot += float64(ca * cb)
+			dot += ca * cb
 		}
 	}
+	//ube:nondeterministic-ok integer sums are order-independent
 	for _, cb := range tb {
-		qb += float64(cb * cb)
+		qb += cb * cb
 	}
-	cos := dot / (math.Sqrt(qa) * math.Sqrt(qb))
+	cos := float64(dot) / (math.Sqrt(float64(qa)) * math.Sqrt(float64(qb)))
 	// sqrt rounding can nudge the ratio a hair outside [0,1].
 	return math.Max(0, math.Min(cos, 1))
 }

@@ -1,0 +1,230 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ube/internal/model"
+)
+
+// This file generates "internet-scale" universes for the blocking/sparse
+// similarity experiments: tens of thousands of sources over a synthetic
+// attribute vocabulary that grows with the universe, with Zipf-distributed
+// attribute-name sharing (a few names are everywhere, a long tail appears
+// in a handful of sources — the regime where quadratic all-pairs scoring
+// dies and a blocking index is required). Sources carry no data
+// signatures: at this scale every source is modeled as uncooperative
+// (§4), so selection competes on matching, cardinality and
+// characteristics.
+
+// LargeConfig parameterizes large-universe generation. Start from
+// DefaultLargeConfig.
+type LargeConfig struct {
+	// Seed drives all randomness; the universe is a pure function of the
+	// config.
+	Seed int64
+	// NumSources is the universe size (10⁴–10⁵ is the intended range).
+	NumSources int
+
+	// Concepts is the number of distinct ground-truth concepts in the
+	// synthetic vocabulary; 0 derives max(64, NumSources/8), so the
+	// vocabulary grows with the universe instead of saturating.
+	Concepts int
+	// VariantsPerConcept is how many name spellings each concept has
+	// (1..5). Same-concept variants share the concept's core word and
+	// clear the paper's 3-gram Jaccard θ = 0.65 against it; different
+	// concepts have lexically unrelated core words.
+	VariantsPerConcept int
+	// ZipfS is the skew of concept popularity (> 1): which concepts a
+	// source exposes is a Zipf draw, giving the head/tail name sharing.
+	ZipfS float64
+	// AttrsMin and AttrsMax bound the number of attributes per source.
+	AttrsMin, AttrsMax int
+
+	// MinCard and MaxCard bound per-source cardinalities, CardZipfS the
+	// Zipf skew of the draw (as in Config).
+	MinCard, MaxCard int64
+	CardZipfS        float64
+
+	// MTTFMean and MTTFStd parameterize the mean-time-to-failure
+	// characteristic (truncated normal, as in Config).
+	MTTFMean, MTTFStd float64
+}
+
+// DefaultLargeConfig returns the scale-experiment configuration for
+// numSources sources: quick-scale cardinalities (the data side is not
+// what this workload measures) and a vocabulary of NumSources/8 concepts
+// with 4 variants each.
+func DefaultLargeConfig(numSources int) LargeConfig {
+	return LargeConfig{
+		Seed:               1,
+		NumSources:         numSources,
+		VariantsPerConcept: 4,
+		ZipfS:              1.2,
+		AttrsMin:           4,
+		AttrsMax:           10,
+		MinCard:            1_000,
+		MaxCard:            20_000,
+		CardZipfS:          1.4,
+		MTTFMean:           100,
+		MTTFStd:            40,
+	}
+}
+
+// conceptCount resolves the Concepts default.
+func (c *LargeConfig) conceptCount() int {
+	if c.Concepts > 0 {
+		return c.Concepts
+	}
+	n := c.NumSources / 8
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Validate checks the configuration.
+func (c *LargeConfig) Validate() error {
+	switch {
+	case c.NumSources < 1:
+		return fmt.Errorf("synth: NumSources = %d", c.NumSources)
+	case c.VariantsPerConcept < 1 || c.VariantsPerConcept > len(variantSuffixes):
+		return fmt.Errorf("synth: VariantsPerConcept %d outside [1,%d]", c.VariantsPerConcept, len(variantSuffixes))
+	case c.ZipfS <= 1 || c.CardZipfS <= 1:
+		return fmt.Errorf("synth: Zipf skews must exceed 1 (got %v, %v)", c.ZipfS, c.CardZipfS)
+	case c.AttrsMin < 2 || c.AttrsMax < c.AttrsMin:
+		return fmt.Errorf("synth: bad attribute range [%d,%d]", c.AttrsMin, c.AttrsMax)
+	case c.MinCard < 1 || c.MaxCard < c.MinCard+1000:
+		return fmt.Errorf("synth: bad cardinality range [%d,%d]", c.MinCard, c.MaxCard)
+	case c.conceptCount() < c.AttrsMax:
+		return fmt.Errorf("synth: %d concepts cannot fill %d attributes", c.conceptCount(), c.AttrsMax)
+	}
+	return nil
+}
+
+// variantSuffixes generate a concept's name variants from its core word.
+// Appending at most 5 runes to a 12-rune core keeps every variant's
+// 3-gram Jaccard against the bare core ≥ 10/15 ≈ 0.667 > 0.65, so
+// same-concept variants cluster at the paper's θ while different
+// concepts (disjoint core words) stay far below it.
+var variantSuffixes = []string{"", "s", " id", " tag", " code"}
+
+// mix64 is the splitmix64 finalizer, used to decorrelate core-word
+// spellings from concept IDs (sequential IDs must not share prefixes, or
+// distinct concepts would overlap in 3-gram space).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// coreWords derives n distinct 12-letter core words from the seed. Each
+// letter is drawn uniformly from a–z so the 3-gram space is as wide as
+// possible (26³ grams): the blocking index's candidate counts are driven
+// by gram document frequency, and a narrow alphabet would make every
+// gram common and every name everyone's candidate. Collisions (two
+// concepts hashing to the same spelling) re-mix deterministically until
+// distinct.
+func coreWords(n int, seed uint64) []string {
+	const wordLen = 12
+	words := make([]string, n)
+	seen := make(map[string]bool, n)
+	buf := make([]byte, wordLen)
+	for i := range words {
+		for salt := uint64(0); ; salt++ {
+			// splitmix64-style stream: seed + i·golden, never XOR (seed^i
+			// cancels to zero when i equals the seed, and mix64(0) = 0
+			// degenerates the word to 'aaaaaaaa…').
+			h := mix64(seed + 0x9E3779B97F4A7C15*uint64(i) + salt<<40)
+			for p := range buf {
+				if p == 8 {
+					// One 64-bit draw holds ~13.6 letters but mixing a
+					// second word partway keeps the tail uniform.
+					h = mix64(h ^ seed)
+				}
+				buf[p] = 'a' + byte(h%26)
+				h /= 26
+			}
+			w := string(buf)
+			if !seen[w] {
+				seen[w] = true
+				words[i] = w
+				break
+			}
+		}
+	}
+	return words
+}
+
+// GenerateLarge builds a large universe and its ground truth. Truth has
+// no Unperturbed list (there is no base-schema repository at this scale);
+// ConceptOf and ConceptNames cover the synthetic vocabulary.
+func GenerateLarge(cfg LargeConfig) (*model.Universe, *Truth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nConcepts := cfg.conceptCount()
+	cores := coreWords(nConcepts, uint64(cfg.Seed)*0x9E3779B97F4A7C15)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipfConcept := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(nConcepts-1))
+	zipfCard := rand.NewZipf(rng, cfg.CardZipfS, 1, uint64((cfg.MaxCard-cfg.MinCard)/1000))
+
+	u := &model.Universe{Sources: make([]model.Source, 0, cfg.NumSources)}
+	truth := &Truth{
+		ConceptOf:    make(map[model.AttrRef]int, cfg.NumSources*(cfg.AttrsMin+cfg.AttrsMax)/2),
+		ConceptNames: cores,
+	}
+	picked := make([]int, 0, cfg.AttrsMax)
+	for id := 0; id < cfg.NumSources; id++ {
+		k := cfg.AttrsMin + rng.Intn(cfg.AttrsMax-cfg.AttrsMin+1)
+		picked = picked[:0]
+		for len(picked) < k {
+			c := int(zipfConcept.Uint64())
+			dup := false
+			for _, p := range picked {
+				if p == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, c)
+			}
+		}
+		attrs := make([]string, k)
+		for a, c := range picked {
+			// The dominant spelling wins slightly more than half the
+			// time; the rest splits evenly across the suffix variants.
+			v := 0
+			if cfg.VariantsPerConcept > 1 && rng.Float64() >= 0.55 {
+				v = 1 + rng.Intn(cfg.VariantsPerConcept-1)
+			}
+			attrs[a] = cores[c] + variantSuffixes[v]
+			truth.ConceptOf[model.AttrRef{Source: id, Attr: a}] = c
+		}
+
+		card := cfg.MinCard + int64(zipfCard.Uint64())*1000
+		if card > cfg.MaxCard {
+			card = cfg.MaxCard
+		}
+		mttf := rng.NormFloat64()*cfg.MTTFStd + cfg.MTTFMean
+		if mttf < 1 {
+			mttf = 1
+		}
+		u.Sources = append(u.Sources, model.Source{
+			ID:              id,
+			Name:            fmt.Sprintf("large-src-%06d", id),
+			Attributes:      attrs,
+			Cardinality:     card,
+			Characteristics: map[string]float64{"mttf": mttf},
+		})
+	}
+	if err := u.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("synth: generated large universe invalid: %w", err)
+	}
+	return u, truth, nil
+}

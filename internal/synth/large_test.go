@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ube/internal/model"
+	"ube/internal/strsim"
+)
+
+func TestDefaultLargeConfigValid(t *testing.T) {
+	for _, n := range []int{1, 40, 1_000, 100_000} {
+		cfg := DefaultLargeConfig(n)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("default config for %d sources invalid: %v", n, err)
+		}
+	}
+	// The vocabulary grows with the universe past the 64-concept floor.
+	small, big := DefaultLargeConfig(100), DefaultLargeConfig(100_000)
+	if small.conceptCount() != 64 {
+		t.Errorf("small universe concepts = %d, want the 64 floor", small.conceptCount())
+	}
+	if big.conceptCount() != 12_500 {
+		t.Errorf("100k-source universe concepts = %d, want 12500", big.conceptCount())
+	}
+}
+
+func TestLargeConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(*LargeConfig)
+	}{
+		{"no sources", func(c *LargeConfig) { c.NumSources = 0 }},
+		{"zero variants", func(c *LargeConfig) { c.VariantsPerConcept = 0 }},
+		{"too many variants", func(c *LargeConfig) { c.VariantsPerConcept = len(variantSuffixes) + 1 }},
+		{"flat zipf", func(c *LargeConfig) { c.ZipfS = 1 }},
+		{"flat card zipf", func(c *LargeConfig) { c.CardZipfS = 0.5 }},
+		{"one attribute", func(c *LargeConfig) { c.AttrsMin = 1 }},
+		{"inverted attrs", func(c *LargeConfig) { c.AttrsMin, c.AttrsMax = 8, 4 }},
+		{"zero card", func(c *LargeConfig) { c.MinCard = 0 }},
+		{"narrow cards", func(c *LargeConfig) { c.MaxCard = c.MinCard + 10 }},
+		{"vocab too small", func(c *LargeConfig) { c.Concepts = 5 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultLargeConfig(1000)
+		tc.break_(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+		if _, _, err := GenerateLarge(cfg); err == nil {
+			t.Errorf("%s: GenerateLarge accepted the invalid config", tc.name)
+		}
+	}
+}
+
+func TestCoreWordsDistinctAndDeterministic(t *testing.T) {
+	a := coreWords(5000, 42)
+	b := coreWords(5000, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("coreWords not deterministic for a fixed seed")
+	}
+	seen := make(map[string]bool, len(a))
+	for _, w := range a {
+		if len(w) != 12 {
+			t.Fatalf("core word %q is not 12 letters", w)
+		}
+		for _, r := range w {
+			if r < 'a' || r > 'z' {
+				t.Fatalf("core word %q outside a-z", w)
+			}
+		}
+		if seen[w] {
+			t.Fatalf("duplicate core word %q", w)
+		}
+		seen[w] = true
+	}
+	if reflect.DeepEqual(a[:10], coreWords(10, 43)) {
+		t.Error("different seeds produced identical core words")
+	}
+}
+
+func TestGenerateLargeShape(t *testing.T) {
+	cfg := DefaultLargeConfig(500)
+	u, truth, err := GenerateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 500 {
+		t.Fatalf("generated %d sources", u.N())
+	}
+	if len(truth.Unperturbed) != 0 {
+		t.Error("large universes have no base-schema repository")
+	}
+	if len(truth.ConceptNames) != cfg.conceptCount() {
+		t.Errorf("%d concept names for %d concepts", len(truth.ConceptNames), cfg.conceptCount())
+	}
+	for i := range u.Sources {
+		s := &u.Sources[i]
+		if s.Signature != nil {
+			t.Fatalf("source %d has data signatures; every large source is uncooperative", i)
+		}
+		if k := len(s.Attributes); k < cfg.AttrsMin || k > cfg.AttrsMax {
+			t.Errorf("source %d has %d attributes outside [%d,%d]", i, k, cfg.AttrsMin, cfg.AttrsMax)
+		}
+		if s.Cardinality < cfg.MinCard || s.Cardinality > cfg.MaxCard {
+			t.Errorf("source %d cardinality %d outside range", i, s.Cardinality)
+		}
+		if s.Characteristics["mttf"] < 1 {
+			t.Errorf("source %d mttf %v below the floor", i, s.Characteristics["mttf"])
+		}
+	}
+	// Ground truth covers every attribute, and every name is its
+	// concept's core word plus a known suffix.
+	for i := range u.Sources {
+		for a, name := range u.Sources[i].Attributes {
+			c, ok := truth.ConceptOf[model.AttrRef{Source: i, Attr: a}]
+			if !ok {
+				t.Fatalf("attribute (%d,%d) missing from ground truth", i, a)
+			}
+			if !strings.HasPrefix(name, truth.ConceptNames[c]) {
+				t.Fatalf("attribute %q does not extend its concept core %q", name, truth.ConceptNames[c])
+			}
+		}
+	}
+}
+
+// TestGenerateLargeVariantsClearTheta pins the workload's geometry: every
+// suffix variant scores ≥ the paper's θ = 0.65 against its bare core
+// under 3-gram Jaccard, and distinct concepts stay far below it — the
+// property that makes ground-truth concepts recoverable through the
+// blocking index.
+func TestGenerateLargeVariantsClearTheta(t *testing.T) {
+	m := strsim.NewNGramJaccard(3)
+	cores := coreWords(200, 7)
+	for _, core := range cores[:20] {
+		for _, suf := range variantSuffixes {
+			if s := m.Score(core, core+suf); s < 0.65 {
+				t.Errorf("variant %q scores %v against core %q, below θ", core+suf, s, core)
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if s := m.Score(cores[i], cores[j]); s >= 0.65 {
+				t.Errorf("distinct cores %q/%q score %v, at or above θ", cores[i], cores[j], s)
+			}
+		}
+	}
+}
+
+func TestGenerateLargeDeterministic(t *testing.T) {
+	cfg := DefaultLargeConfig(300)
+	u1, t1, err := GenerateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, t2, err := GenerateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u1, u2) || !reflect.DeepEqual(t1, t2) {
+		t.Fatal("GenerateLarge is not a pure function of its config")
+	}
+	cfg.Seed = 2
+	u3, _, err := GenerateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(u1, u3) {
+		t.Error("different seeds generated identical universes")
+	}
+}

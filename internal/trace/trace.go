@@ -70,6 +70,20 @@ const (
 	// CSketchUnions counts incremental-path PCSA union batches: one per
 	// cooperative EvalAdd (scratch copy + union + estimate).
 	CSketchUnions
+	// CBlockProbes counts blocking-index probes: one per name whose
+	// candidate list is generated from the inverted index.
+	CBlockProbes
+	// CBlockCandidates counts candidate pairs surfaced by the blocking
+	// index before exact verification (the sparse analogue of the dense
+	// path's n² comparisons).
+	CBlockCandidates
+	// CBlockPruned counts candidate pairs discarded by exact
+	// verification (index said "plausible", the measure scored < θ).
+	CBlockPruned
+	// CBoundSkips counts solver candidates whose exact objective
+	// evaluation was skipped because an upper bound could not beat the
+	// incumbent. Each skip still counts as one CSearchEvals.
+	CBoundSkips
 
 	// Operational counters below this point depend on scheduling and
 	// are stripped by Canonical.
@@ -90,20 +104,24 @@ const (
 )
 
 var counterNames = [NumCounters]string{
-	CSearchEvals:    "search.evals",
-	CSearchBatches:  "search.batches",
-	CMatchRuns:      "match.runs",
-	CMatchHits:      "match.hits",
-	CMatchMisses:    "match.misses",
-	CClusterRounds:  "cluster.rounds",
-	CClusterPops:    "cluster.pops",
-	CClusterPairs:   "cluster.pairs",
-	CQEFDelta:       "qef.delta",
-	CQEFFull:        "qef.full",
-	CSketchUnions:   "pcsa.unions",
-	OSnapshotBuilds: "qef.snapshots",
-	OSnapshotUnions: "pcsa.snapshotUnions",
-	OMatchEvictions: "match.evictions",
+	CSearchEvals:     "search.evals",
+	CSearchBatches:   "search.batches",
+	CMatchRuns:       "match.runs",
+	CMatchHits:       "match.hits",
+	CMatchMisses:     "match.misses",
+	CClusterRounds:   "cluster.rounds",
+	CClusterPops:     "cluster.pops",
+	CClusterPairs:    "cluster.pairs",
+	CQEFDelta:        "qef.delta",
+	CQEFFull:         "qef.full",
+	CSketchUnions:    "pcsa.unions",
+	CBlockProbes:     "block.probes",
+	CBlockCandidates: "block.candidates",
+	CBlockPruned:     "block.pruned",
+	CBoundSkips:      "bound.skips",
+	OSnapshotBuilds:  "qef.snapshots",
+	OSnapshotUnions:  "pcsa.snapshotUnions",
+	OMatchEvictions:  "match.evictions",
 }
 
 var counterIndex = func() map[string]Counter {

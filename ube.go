@@ -202,6 +202,22 @@ func QuickWorkload(numSources int) WorkloadConfig { return synth.QuickConfig(num
 // Generate builds a synthetic universe and its ground truth.
 func Generate(cfg WorkloadConfig) (*Universe, *Truth, error) { return synth.Generate(cfg) }
 
+// LargeWorkloadConfig parameterizes the internet-scale synthetic
+// workload: a Zipf-shared attribute vocabulary that grows with the
+// universe, and no data signatures (every source uncooperative).
+type LargeWorkloadConfig = synth.LargeConfig
+
+// LargeWorkload returns the large-universe configuration for numSources
+// sources (10⁴–10⁵ is the intended range).
+func LargeWorkload(numSources int) LargeWorkloadConfig {
+	return synth.DefaultLargeConfig(numSources)
+}
+
+// GenerateLarge builds a large synthetic universe and its ground truth.
+func GenerateLarge(cfg LargeWorkloadConfig) (*Universe, *Truth, error) {
+	return synth.GenerateLarge(cfg)
+}
+
 // EvaluateGAs scores a solution's schema against the synthetic ground
 // truth, producing the paper's Table 1 metrics.
 func EvaluateGAs(truth *Truth, sources []int, schema *MediatedSchema) GAReport {
