@@ -1,19 +1,23 @@
 // Command ube-lint statically checks the µBE tree against the invariants
 // its incremental evaluation pipeline depends on: solve determinism (no
 // map-order dependence, no wall clock, no global RNG, no goroutine
-// identity in solver packages), float discipline (no bare float equality
-// outside tests), sync.Pool hygiene and the DeltaObjective fallback
-// protocol. It is built purely on the standard library's go/parser,
-// go/ast and go/types.
+// identity in solver packages), module-wide nondeterminism taint flow
+// into solver/trace/wire sinks, float discipline (no bare float equality
+// outside tests), lock and atomic discipline, sync.Pool hygiene and the
+// DeltaObjective fallback protocol. It is built purely on the standard
+// library's go/parser, go/ast and go/types.
 //
 // Usage:
 //
-//	ube-lint [-checks maprange,floateq,...] [-tags tag,...] [-list] [patterns]
+//	ube-lint [-checks name,...] [-exclude-checks name,...]
+//	         [-format text|json] [-tags tag,...] [-list] [patterns]
 //
 // Patterns are package directories, optionally recursive ("./...", the
-// default). Exit status: 0 clean, 1 diagnostics reported, 2 load or usage
-// error. See DESIGN.md ("Invariant catalog") for the checks and the
-// //ube:* suppression annotations.
+// default). -format json emits a machine-readable array of
+// {file,line,col,check,message,suppression} objects. Exit status: 0
+// clean, 1 diagnostics reported, 2 load or usage error. See DESIGN.md
+// ("Invariant catalog" and "Determinism taint analysis") for the checks
+// and the //ube:* suppression annotations.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	exclude := flag.String("exclude-checks", "", "comma-separated checks to skip")
+	format := flag.String("format", "text", "output format: text or json")
 	tags := flag.String("tags", "", "comma-separated extra build tags for file selection")
 	list := flag.Bool("list", false, "list the available checks and exit")
 	flag.Usage = func() {
@@ -41,18 +47,14 @@ func main() {
 		}
 		return
 	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "ube-lint: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	var cfg lint.Config
-	if *checks != "" {
-		for _, name := range strings.Split(*checks, ",") {
-			name = strings.TrimSpace(name)
-			if lint.CheckDocs[name] == "" {
-				fmt.Fprintf(os.Stderr, "ube-lint: unknown check %q (run -list for the catalog)\n", name)
-				os.Exit(2)
-			}
-			cfg.Checks = append(cfg.Checks, name)
-		}
-	}
+	cfg.Checks = parseCheckList(*checks)
+	cfg.ExcludeChecks = parseCheckList(*exclude)
 	if *tags != "" {
 		cfg.BuildTags = strings.Split(*tags, ",")
 	}
@@ -62,11 +64,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ube-lint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *format == "json" {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "ube-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ube-lint: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// parseCheckList splits a comma-separated check list, rejecting unknown
+// names with exit status 2.
+func parseCheckList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var names []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if lint.CheckDocs[name] == "" {
+			fmt.Fprintf(os.Stderr, "ube-lint: unknown check %q (run -list for the catalog)\n", name)
+			os.Exit(2)
+		}
+		names = append(names, name)
+	}
+	return names
 }

@@ -132,6 +132,7 @@ type Solution struct {
 	// during this solve (all zero when memoization is disabled).
 	MatchCache CacheStats
 	// Elapsed is the wall-clock solve time.
+	//ube:operational timing metadata for humans; replay comparisons zero it
 	Elapsed time.Duration
 }
 

@@ -1,0 +1,432 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The module-wide call graph underlying the taintflow analysis.
+//
+// Nodes are package-level functions, methods, and function literals
+// (closures) across every loaded package. Call sites resolve to callee
+// sets, conservatively:
+//
+//   - a direct call of a declared function or method resolves to it;
+//   - a call through an interface method resolves to that method on
+//     EVERY module type implementing the interface (we cannot know which
+//     implementation is behind the value, so taint must assume all);
+//   - a call of a variable, parameter or struct field of function type
+//     resolves to every function value that was ever assigned into that
+//     object anywhere in the module — which covers method values
+//     (f := t.M), stored closures, and callback fields;
+//   - a call of a function literal in place resolves to the literal.
+//
+// The flows map that powers the third rule is itself a fixpoint: function
+// values propagate through chains of assignments (f := g; h := f) and
+// through call arguments into parameters.
+
+// fnode is one call-graph node: a declared function/method (obj != nil)
+// or a function literal (lit != nil).
+type fnode struct {
+	obj  *types.Func
+	lit  *ast.FuncLit
+	pkg  *Package
+	body *ast.BlockStmt
+	name string // stable display name, e.g. "pkg.Fn", "pkg.(*T).M", "pkg.Fn$1"
+}
+
+type callGraph struct {
+	pkgs []*Package
+	// nodes by identity: *types.Func for declared, *ast.FuncLit for closures.
+	nodes map[any]*fnode
+	// ordered lists every node in deterministic (package, position) order.
+	ordered []*fnode
+	// callees resolves each call site to its possible callee nodes.
+	callees map[*ast.CallExpr][]*fnode
+	// enclosing maps each call site to the node whose body contains it.
+	enclosing map[*ast.CallExpr]*fnode
+	// flows records, per variable/field object of function type, every
+	// function value that may be stored in it.
+	flows map[types.Object][]*fnode
+	// implementers caches interface method -> concrete module methods.
+	implementers map[*types.Func][]*fnode
+	// namedTypes is every named type declared in the module.
+	namedTypes []*types.Named
+}
+
+// buildCallGraph indexes every function in pkgs and resolves call sites.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	cg := &callGraph{
+		pkgs:         pkgs,
+		nodes:        make(map[any]*fnode),
+		callees:      make(map[*ast.CallExpr][]*fnode),
+		enclosing:    make(map[*ast.CallExpr]*fnode),
+		flows:        make(map[types.Object][]*fnode),
+		implementers: make(map[*types.Func][]*fnode),
+	}
+	cg.indexDecls()
+	cg.collectFlows()
+	cg.resolveCalls()
+	return cg
+}
+
+// indexDecls creates a node per declared function/method and per function
+// literal, and collects the module's named types for interface dispatch.
+func (cg *callGraph) indexDecls() {
+	for _, p := range cg.pkgs {
+		for _, name := range p.Types.Scope().Names() {
+			if tn, ok := p.Types.Scope().Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					cg.namedTypes = append(cg.namedTypes, named)
+				}
+			}
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &fnode{obj: obj, pkg: p, body: fd.Body, name: nodeName(p, obj)}
+				cg.nodes[obj] = n
+				cg.ordered = append(cg.ordered, n)
+				// Closures are named after their enclosing function in
+				// source order: Fn$1, Fn$2, nested ones Fn$1$1.
+				cg.indexLits(p, fd.Body, n.name)
+			}
+		}
+	}
+}
+
+// indexLits walks body creating nodes for function literals; counter
+// numbering is by source order within the enclosing named scope.
+func (cg *callGraph) indexLits(p *Package, body ast.Node, base string) {
+	count := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		count++
+		name := fmt.Sprintf("%s$%d", base, count)
+		node := &fnode{lit: lit, pkg: p, body: lit.Body, name: name}
+		cg.nodes[lit] = node
+		cg.ordered = append(cg.ordered, node)
+		cg.indexLits(p, lit.Body, name)
+		return false // nested literals handled by the recursive call
+	})
+}
+
+func nodeName(p *Package, obj *types.Func) string {
+	short := shortPkg(p.Path)
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s%s).%s", short, ptr, named.Obj().Name(), obj.Name())
+		}
+	}
+	return short + "." + obj.Name()
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// node returns the fnode for a declared function object, or nil for
+// functions outside the module (stdlib, interface methods).
+func (cg *callGraph) node(obj *types.Func) *fnode { return cg.nodes[obj] }
+
+// litNode returns the fnode for a function literal.
+func (cg *callGraph) litNode(lit *ast.FuncLit) *fnode { return cg.nodes[lit] }
+
+// funcValues resolves an expression to the function values it may carry:
+// a function/method identifier (including method values), a function
+// literal, or — transitively — the recorded flows of a variable or field.
+func (cg *callGraph) funcValues(p *Package, e ast.Expr) []*fnode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if n := cg.litNode(e); n != nil {
+			return []*fnode{n}
+		}
+	case *ast.Ident:
+		switch obj := p.Info.Uses[e].(type) {
+		case *types.Func:
+			if n := cg.node(obj); n != nil {
+				return []*fnode{n}
+			}
+		case *types.Var:
+			return cg.flows[obj]
+		}
+	case *ast.SelectorExpr:
+		switch obj := p.Info.Uses[e.Sel].(type) {
+		case *types.Func:
+			// Method value t.M or package-qualified pkg.Fn.
+			if n := cg.node(obj); n != nil {
+				return []*fnode{n}
+			}
+			return cg.interfaceImpls(obj) // interface method value
+		case *types.Var:
+			return cg.flows[obj] // struct field of function type
+		}
+	case *ast.CallExpr:
+		// A call returning a function: resolve via the callees' single
+		// result when unambiguous is overkill; treat as unknown.
+	}
+	return nil
+}
+
+// collectFlows records every function value stored into a variable,
+// parameter or struct field, iterating to fixpoint so values propagate
+// through assignment chains and call arguments.
+func (cg *callGraph) collectFlows() {
+	for {
+		changed := false
+		add := func(obj types.Object, vals []*fnode) {
+			if obj == nil || len(vals) == 0 {
+				return
+			}
+			have := cg.flows[obj]
+		next:
+			for _, v := range vals {
+				for _, h := range have {
+					if h == v {
+						continue next
+					}
+				}
+				have = append(have, v)
+				changed = true
+			}
+			cg.flows[obj] = have
+		}
+		for _, p := range cg.pkgs {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						if len(n.Lhs) == len(n.Rhs) {
+							for i := range n.Lhs {
+								add(cg.lvalueObject(p, n.Lhs[i]), cg.funcValues(p, n.Rhs[i]))
+							}
+						}
+					case *ast.ValueSpec:
+						if len(n.Names) == len(n.Values) {
+							for i := range n.Names {
+								add(p.Info.Defs[n.Names[i]], cg.funcValues(p, n.Values[i]))
+							}
+						}
+					case *ast.CompositeLit:
+						cg.flowComposite(p, n, add)
+					case *ast.CallExpr:
+						cg.flowCallArgs(p, n, add)
+					}
+					return true
+				})
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// lvalueObject resolves an assignment target to its variable or field
+// object (nil for indexed/starred targets, which function-value tracking
+// ignores).
+func (cg *callGraph) lvalueObject(p *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Defs[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// flowComposite records function values assigned through composite
+// literal fields: search.Problem{Objective: f} flows f into the
+// Objective field object.
+func (cg *callGraph) flowComposite(p *Package, cl *ast.CompositeLit, add func(types.Object, []*fnode)) {
+	st := structTypeOf(p, cl)
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					add(obj, cg.funcValues(p, kv.Value))
+				}
+			}
+			continue
+		}
+		if st != nil && i < st.NumFields() {
+			add(st.Field(i), cg.funcValues(p, elt))
+		}
+	}
+}
+
+func structTypeOf(p *Package, cl *ast.CompositeLit) *types.Struct {
+	t := p.Info.TypeOf(cl)
+	if t == nil {
+		return nil
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// flowCallArgs flows function-valued arguments into the parameters of
+// every module callee the call may reach (so a callback passed into a
+// dispatcher is a callee of the dispatcher's invocation sites).
+func (cg *callGraph) flowCallArgs(p *Package, call *ast.CallExpr, add func(types.Object, []*fnode)) {
+	for _, callee := range cg.staticCallees(p, call) {
+		if callee.obj == nil {
+			continue
+		}
+		sig, ok := callee.obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		params := sig.Params()
+		for i, arg := range call.Args {
+			vals := cg.funcValues(p, arg)
+			if len(vals) == 0 {
+				continue
+			}
+			pi := i
+			if sig.Variadic() && pi >= params.Len()-1 {
+				pi = params.Len() - 1
+			}
+			if pi < params.Len() {
+				add(params.At(pi), vals)
+			}
+		}
+	}
+}
+
+// staticCallees resolves only the non-flow part of a call (direct
+// functions, methods, interface dispatch, immediate literals) — used
+// while flows are still being computed.
+func (cg *callGraph) staticCallees(p *Package, call *ast.CallExpr) []*fnode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		if n := cg.litNode(fun); n != nil {
+			return []*fnode{n}
+		}
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if n := cg.node(obj); n != nil {
+				return []*fnode{n}
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			if n := cg.node(obj); n != nil {
+				return []*fnode{n}
+			}
+			return cg.interfaceImpls(obj)
+		}
+	}
+	return nil
+}
+
+// resolveCalls computes the final callee set per call site and the
+// enclosing node per call.
+func (cg *callGraph) resolveCalls() {
+	for _, n := range cg.ordered {
+		node := n
+		ast.Inspect(n.body, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // literal bodies belong to their own node
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			cg.enclosing[call] = node
+			callees := cg.staticCallees(n.pkg, call)
+			if len(callees) == 0 {
+				// Calls through variables/fields of function type.
+				callees = cg.funcValues(n.pkg, call.Fun)
+			}
+			if len(callees) > 0 {
+				cg.callees[call] = callees
+			}
+			return true
+		})
+	}
+}
+
+// interfaceImpls returns the concrete module methods that a call of the
+// given interface method may dispatch to: method M of every module type
+// implementing the interface.
+func (cg *callGraph) interfaceImpls(m *types.Func) []*fnode {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	if impls, ok := cg.implementers[m]; ok {
+		return impls
+	}
+	var impls []*fnode
+	for _, named := range cg.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if n := cg.node(fn); n != nil {
+				impls = append(impls, n)
+			}
+		}
+	}
+	cg.implementers[m] = impls
+	return impls
+}
+
+// edges renders the graph as sorted, deduplicated "caller -> callee"
+// strings — the representation the call-graph tests pin.
+func (cg *callGraph) edges() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for call, callees := range cg.callees {
+		from := cg.enclosing[call]
+		if from == nil {
+			continue
+		}
+		for _, to := range callees {
+			e := from.name + " -> " + to.name
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadCallGraph builds the call graph over one fixture package.
+func loadCallGraph(t *testing.T, name string) *callGraph {
+	t.Helper()
+	l, err := newLoader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.load([]string{filepath.Join("testdata", "src", name)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildCallGraph(pkgs)
+}
+
+// TestCallGraphEdges pins the exact callee set for each shape the
+// builder must resolve: direct calls, interface dispatch (conservative
+// edges to every module implementer), method values, nested closures,
+// callback parameters and function-typed struct fields.
+func TestCallGraphEdges(t *testing.T) {
+	cg := loadCallGraph(t, "callgraph")
+	edges := cg.edges()
+
+	callees := make(map[string][]string)
+	for _, e := range edges {
+		from, to, ok := strings.Cut(e, " -> ")
+		if !ok {
+			t.Fatalf("malformed edge %q", e)
+		}
+		callees[from] = append(callees[from], to)
+	}
+
+	cases := []struct {
+		from string
+		want []string
+	}{
+		{"callgraph.direct", []string{"callgraph.speak"}},
+		{"callgraph.speak", []string{"callgraph.(english).greet", "callgraph.(pirate).greet"}},
+		{"callgraph.methodValue", []string{"callgraph.(english).greet"}},
+		{"callgraph.closures", []string{"callgraph.closures$2"}},
+		{"callgraph.closures$2", []string{"callgraph.closures$1"}},
+		{"callgraph.useApply", []string{"callgraph.apply"}},
+		{"callgraph.apply", []string{"callgraph.useApply$1"}},
+		{"callgraph.viaField", []string{"callgraph.viaField$1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.from, func(t *testing.T) {
+			got := append([]string(nil), callees[tc.from]...)
+			sort.Strings(got)
+			want := append([]string(nil), tc.want...)
+			sort.Strings(want)
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Errorf("callees of %s = %v, want %v", tc.from, got, want)
+			}
+		})
+	}
+
+	// No edges beyond the tabled ones: leaves and literals call nothing.
+	total := 0
+	for _, tc := range cases {
+		total += len(tc.want)
+	}
+	if len(edges) != total {
+		t.Errorf("%d edges, want %d:\n%s", len(edges), total, strings.Join(edges, "\n"))
+	}
+}

@@ -7,7 +7,9 @@ import (
 )
 
 // checkFile runs every node-level check over one file and the
-// function-level checks over each declared function.
+// function-level checks over each declared function. Function literals
+// get their own lock-discipline analysis: a goroutine body's locks are
+// paired within the body, not against its enclosing function.
 func (c *checker) checkFile(f *ast.File) {
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -17,11 +19,16 @@ func (c *checker) checkFile(f *ast.File) {
 			c.checkBannedCall(n)
 		case *ast.BinaryExpr:
 			c.checkFloatEq(n)
+		case *ast.SwitchStmt:
+			c.checkFloatSwitch(n)
 		case *ast.FuncDecl:
 			if n.Body != nil {
 				c.checkPoolPut(n)
 				c.checkDeltaFallback(n)
+				c.checkLocks(n.Name.Name, n.Body)
 			}
+		case *ast.FuncLit:
+			c.checkLocks("func literal", n.Body)
 		}
 		return true
 	})
@@ -170,6 +177,27 @@ func (c *checker) checkFloatEq(be *ast.BinaryExpr) {
 	}
 	c.report(be.Pos(), "floateq", "float-exact",
 		"%s on float operands: use the floats epsilon helpers, or annotate //ube:float-exact with why this comparison must be exact", be.Op)
+}
+
+// checkFloatSwitch flags `switch x { case v: }` with a float-typed tag:
+// each case clause is an implicit ==, with exactly the reassociation
+// hazards of a spelled-out comparison, but no BinaryExpr for checkFloatEq
+// to see. Each case expression is reported separately so a //ube:float-exact
+// can bless one sentinel arm without blessing the whole switch.
+func (c *checker) checkFloatSwitch(sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !c.isFloat(sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			c.report(e.Pos(), "floateq", "float-exact",
+				"switch case on float tag %s is an implicit ==: use the floats epsilon helpers in an if/else chain, or annotate //ube:float-exact with why this comparison must be exact", exprString(sw.Tag))
+		}
+	}
 }
 
 func (c *checker) isFloat(e ast.Expr) bool {

@@ -2,32 +2,58 @@
 // purely on the standard library's go/parser, go/ast and go/types (no
 // golang.org/x/tools). It machine-checks the invariants the incremental
 // evaluation pipeline rests on — solve determinism, float discipline,
-// sync.Pool hygiene and the DeltaObjective fallback protocol — as named,
-// individually suppressible checks. See DESIGN.md ("Invariant catalog")
-// for what each check guards and why.
+// sync.Pool hygiene, the DeltaObjective fallback protocol, interprocedural
+// nondeterminism taint flow, and lock/atomic discipline — as named,
+// individually suppressible checks. See DESIGN.md ("Invariant catalog" and
+// "Determinism taint analysis") for what each check guards and why.
 //
 // Suppression is by source annotation on the offending line or the line
 // directly above it:
 //
-//	//ube:nondeterministic-ok <reason>   maprange, wallclock, globalrand, goroutineid
-//	//ube:float-exact <reason>           floateq
-//	//ube:pool-escape <reason>           poolput
-//	//ube:lint-ignore <check> <reason>   any single check by name
+//	ube:nondeterministic-ok <reason>   maprange, wallclock, globalrand, goroutineid
+//	ube:float-exact <reason>           floateq
+//	ube:pool-escape <reason>           poolput
+//	ube:taint-ok <reason>              taintflow
+//	ube:lock-ok <reason>               lockpair
+//	ube:lock-held-ok <reason>          lockblock
+//	ube:atomic-ok <reason>             atomicmix
+//	ube:lint-ignore <check> <reason>   any single check by name
 //
-// Annotations are deliberately check-scoped: a //ube:float-exact never
-// silences a map-range diagnostic, so a suppression cannot hide an
-// unrelated regression on the same line.
+// (each written as a //-comment beginning with "//ube:"). Two further
+// directives are declarations rather than suppressions:
+//
+//	ube:operational <reason>   on a struct field: the field holds
+//	                           operational (non-canonical) data — typings,
+//	                           TTL stamps — that never reaches a canonical
+//	                           surface; the taint analysis treats writes
+//	                           into it as absorbed, not as flows
+//	ube:taint-sink <reason>    on a function declaration: every argument
+//	                           at every call site is a determinism sink
+//
+// Annotations are deliberately check-scoped: a float-exact never silences
+// a map-range diagnostic, so a suppression cannot hide an unrelated
+// regression on the same line. The stalesuppress check closes the other
+// direction: a suppression that no longer suppresses anything (stale
+// after a refactor) is itself a diagnostic.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
+	"io"
 	"sort"
 	"strings"
 )
 
 // CheckNames lists every implemented check in stable order.
+// determinismScopedChecks names the checks gated on DeterminismPaths;
+// everything else runs module-wide.
+var determinismScopedChecks = map[string]bool{
+	"maprange": true, "wallclock": true, "globalrand": true, "goroutineid": true,
+}
+
 var CheckNames = []string{
 	"maprange",
 	"wallclock",
@@ -36,6 +62,11 @@ var CheckNames = []string{
 	"floateq",
 	"poolput",
 	"deltafallback",
+	"taintflow",
+	"lockpair",
+	"lockblock",
+	"atomicmix",
+	"stalesuppress",
 }
 
 // CheckDocs is a one-line description per check, for -list output.
@@ -44,15 +75,70 @@ var CheckDocs = map[string]string{
 	"wallclock":     "no time.Now/time.Since in determinism-scoped packages (solve results must not read the clock)",
 	"globalrand":    "no math/rand global functions in determinism-scoped packages (randomness must flow through an injected seeded *rand.Rand)",
 	"goroutineid":   "no runtime.Stack/runtime.NumGoroutine goroutine-identity tricks in determinism-scoped packages",
-	"floateq":       "no ==/!= on float operands outside _test.go files (route comparisons through an epsilon helper or annotate the exact sentinel)",
+	"floateq":       "no ==/!= on float operands (including switch on a float tag) outside _test.go files (route comparisons through an epsilon helper or annotate the exact sentinel)",
 	"poolput":       "every sync.Pool Get must reach a Put on the function's return paths, or be an annotated escape",
 	"deltafallback": "any function calling a .DeltaObjective field must nil-check it and fall back to .Objective",
+	"taintflow":     "no nondeterministic value (clock, global rand, machine identity, pointer formatting, select winner) may flow — through assignments, fields, returns and calls, module-wide — into a determinism sink (objective functions, deterministic trace counters, schemaio encoders, session history)",
+	"lockpair":      "no return path may leave a mutex locked: every Lock/RLock is paired with an Unlock/RUnlock on each path, or deferred",
+	"lockblock":     "no blocking operation (channel send/recv, select without default, Wait, Sleep, fault-injection points) while a mutex is held",
+	"atomicmix":     "a field or variable accessed through sync/atomic functions must not also be accessed as a plain read/write in the same package",
+	"stalesuppress": "every //ube: suppression must suppress at least one diagnostic; stale annotations (and unknown directives) are reported so refactors cannot leave dead exemptions behind",
+}
+
+// suppressDirectives maps each check to its dedicated annotation word
+// ("" when the check has only lint-ignore).
+var suppressDirectives = map[string]string{
+	"maprange":      "nondeterministic-ok",
+	"wallclock":     "nondeterministic-ok",
+	"globalrand":    "nondeterministic-ok",
+	"goroutineid":   "nondeterministic-ok",
+	"floateq":       "float-exact",
+	"poolput":       "pool-escape",
+	"deltafallback": "",
+	"taintflow":     "taint-ok",
+	"lockpair":      "lock-ok",
+	"lockblock":     "lock-held-ok",
+	"atomicmix":     "atomic-ok",
+	"stalesuppress": "",
+}
+
+// knownDirectives is every annotation word the analyzer understands;
+// anything else after "//ube:" is reported by stalesuppress as unknown.
+var knownDirectives = map[string]bool{
+	"nondeterministic-ok": true,
+	"float-exact":         true,
+	"pool-escape":         true,
+	"taint-ok":            true,
+	"lock-ok":             true,
+	"lock-held-ok":        true,
+	"atomic-ok":           true,
+	"lint-ignore":         true,
+	"operational":         true,
+	"taint-sink":          true,
+}
+
+// declarationDirectives are consumed by analysis setup rather than by
+// diagnostic suppression; stalesuppress never flags them as unused.
+var declarationDirectives = map[string]bool{
+	"operational": true,
+	"taint-sink":  true,
+}
+
+// SuppressionFor renders the annotation that silences a diagnostic of the
+// given check, for machine-readable output.
+func SuppressionFor(check string) string {
+	if d := suppressDirectives[check]; d != "" {
+		return "//ube:" + d
+	}
+	return "//ube:lint-ignore " + check
 }
 
 // DefaultDeterminismPaths are the packages whose solves must be
 // bit-reproducible: the determinism checks (maprange, wallclock,
 // globalrand, goroutineid) apply only inside them. Matching is by
-// substring on the package import path.
+// substring on the package import path. The taintflow check is
+// deliberately NOT scoped: a timestamp minted in an out-of-scope package
+// is still a finding when it flows into a sink.
 var DefaultDeterminismPaths = []string{
 	"ube/internal/search",
 	"ube/internal/engine",
@@ -83,6 +169,8 @@ var DefaultDeterminismPaths = []string{
 type Config struct {
 	// Checks enables a subset of CheckNames; empty means all.
 	Checks []string
+	// ExcludeChecks disables checks by name; applied after Checks.
+	ExcludeChecks []string
 	// DeterminismPaths overrides DefaultDeterminismPaths (import-path
 	// substrings); nil means the default.
 	DeterminismPaths []string
@@ -91,6 +179,11 @@ type Config struct {
 }
 
 func (c *Config) enabled(check string) bool {
+	for _, name := range c.ExcludeChecks {
+		if name == check {
+			return false
+		}
+	}
 	if len(c.Checks) == 0 {
 		return true
 	}
@@ -100,6 +193,18 @@ func (c *Config) enabled(check string) bool {
 		}
 	}
 	return false
+}
+
+// allEnabled reports whether every check runs — the precondition for
+// staleness accounting (a disabled check cannot mark its suppressions
+// used, so flagging them would be wrong).
+func (c *Config) allEnabled() bool {
+	for _, name := range CheckNames {
+		if name != "stalesuppress" && !c.enabled(name) {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Config) determinismScoped(pkgPath string) bool {
@@ -126,8 +231,40 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
+// jsonDiagnostic is the -format json shape of one diagnostic.
+type jsonDiagnostic struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Check       string `json:"check"`
+	Message     string `json:"message"`
+	Suppression string `json:"suppression"`
+}
+
+// WriteJSON renders diagnostics as a JSON array (never null) of
+// {file,line,col,check,message,suppression} objects, one suppression
+// being the annotation that would silence that diagnostic.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:        d.Pos.Filename,
+			Line:        d.Pos.Line,
+			Col:         d.Pos.Column,
+			Check:       d.Check,
+			Message:     d.Message,
+			Suppression: SuppressionFor(d.Check),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // Run loads the packages matched by the patterns and applies every enabled
-// check, returning diagnostics sorted by position.
+// check, returning diagnostics sorted by position. The syntactic checks
+// run per package; taintflow builds a module-wide call graph over every
+// loaded package and propagates taint across package boundaries.
 func Run(patterns []string, cfg Config) ([]Diagnostic, error) {
 	l, err := newLoader(cfg.BuildTags)
 	if err != nil {
@@ -137,10 +274,33 @@ func Run(patterns []string, cfg Config) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	ann := newAnnIndex()
+	for _, p := range pkgs {
+		scoped := cfg.determinismScoped(p.Path)
+		for _, f := range p.Files {
+			ann.collect(p.Fset, f, scoped)
+		}
+	}
+
 	var diags []Diagnostic
 	for _, p := range pkgs {
-		diags = append(diags, checkPackage(p, &cfg)...)
+		c := &checker{pkg: p, cfg: &cfg, ann: ann, determinism: cfg.determinismScoped(p.Path)}
+		for _, f := range p.Files {
+			c.checkFile(f)
+		}
+		c.checkAtomicMix()
+		diags = append(diags, c.diags...)
 	}
+
+	if cfg.enabled("taintflow") {
+		ta := newTaintAnalysis(pkgs, ann, &cfg)
+		diags = append(diags, ta.run()...)
+	}
+	if cfg.enabled("stalesuppress") && cfg.allEnabled() {
+		diags = append(diags, ann.staleDiagnostics()...)
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -157,63 +317,144 @@ func Run(patterns []string, cfg Config) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// annotations indexes a file's //ube: directives by line.
-type annotations struct {
-	byLine map[int][]string // line -> directive words ("nondeterministic-ok", "lint-ignore maprange", ...)
+// annSite is one parsed //ube: annotation instance.
+type annSite struct {
+	pos    token.Position // of the comment
+	word   string         // directive word ("float-exact", "lint-ignore", ...)
+	rest   string         // everything after the word
+	scoped bool           // owning package is determinism-scoped this run
+	used   bool           // consumed by a suppression match or a declaration
 }
 
-func collectAnnotations(fset *token.FileSet, f *ast.File) *annotations {
-	a := &annotations{byLine: make(map[int][]string)}
+// annIndex holds every //ube: directive of the run, indexed by file and
+// line, with per-site usage accounting for the stalesuppress check.
+type annIndex struct {
+	byLine map[string]map[int][]*annSite
+	sites  []*annSite // in collection order (file/line sorted at report time)
+}
+
+func newAnnIndex() *annIndex {
+	return &annIndex{byLine: make(map[string]map[int][]*annSite)}
+}
+
+func (a *annIndex) collect(fset *token.FileSet, f *ast.File, scoped bool) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := c.Text
-			if rest, ok := strings.CutPrefix(text, "//ube:"); ok {
-				line := fset.Position(c.Pos()).Line
-				a.byLine[line] = append(a.byLine[line], strings.TrimSpace(rest))
+			rest, ok := strings.CutPrefix(c.Text, "//ube:")
+			if !ok {
+				continue
 			}
+			pos := fset.Position(c.Pos())
+			word, tail, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			site := &annSite{pos: pos, word: word, rest: strings.TrimSpace(tail), scoped: scoped}
+			lines := a.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]*annSite)
+				a.byLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], site)
+			a.sites = append(a.sites, site)
 		}
 	}
-	return a
 }
 
 // suppressed reports whether a diagnostic of the given check at pos is
-// silenced by an annotation on the same line or the line above. directive
-// is the check's dedicated annotation word ("" when the check has none);
-// `lint-ignore <check>` works for every check.
-func (a *annotations) suppressed(fset *token.FileSet, pos token.Pos, check, directive string) bool {
-	line := fset.Position(pos).Line
-	for _, l := range [2]int{line, line - 1} {
-		for _, d := range a.byLine[l] {
-			word, rest, _ := strings.Cut(d, " ")
-			if directive != "" && word == directive {
-				return true
+// silenced by an annotation on the same line or the line above, marking
+// any matching annotation used. directive is the check's dedicated
+// annotation word ("" when the check has none); `lint-ignore <check>`
+// works for every check.
+func (a *annIndex) suppressed(fset *token.FileSet, pos token.Pos, check, directive string) bool {
+	p := fset.Position(pos)
+	hit := false
+	for _, l := range [2]int{p.Line, p.Line - 1} {
+		for _, site := range a.byLine[p.Filename][l] {
+			if directive != "" && site.word == directive {
+				site.used = true
+				hit = true
 			}
-			if word == "lint-ignore" {
-				ignored, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if site.word == "lint-ignore" {
+				ignored, _, _ := strings.Cut(site.rest, " ")
 				if ignored == check {
-					return true
+					site.used = true
+					hit = true
 				}
 			}
 		}
 	}
-	return false
+	return hit
 }
 
-// checkPackage applies every enabled check to one package.
-func checkPackage(p *Package, cfg *Config) []Diagnostic {
-	c := &checker{pkg: p, cfg: cfg, determinism: cfg.determinismScoped(p.Path)}
-	for _, f := range p.Files {
-		c.ann = collectAnnotations(p.Fset, f)
-		c.checkFile(f)
+// declarationsAt returns the declaration annotations (operational,
+// taint-sink) attached to the line of pos or the line above, marking them
+// used.
+func (a *annIndex) declarationsAt(fset *token.FileSet, pos token.Pos, word string) bool {
+	p := fset.Position(pos)
+	found := false
+	for _, l := range [2]int{p.Line, p.Line - 1} {
+		for _, site := range a.byLine[p.Filename][l] {
+			if site.word == word {
+				site.used = true
+				found = true
+			}
+		}
 	}
-	return c.diags
+	return found
+}
+
+// staleDiagnostics reports every suppression annotation that never
+// suppressed a diagnostic this run, plus unknown directive words. The
+// caller guarantees all checks ran (otherwise unused is meaningless).
+func (a *annIndex) staleDiagnostics() []Diagnostic {
+	var diags []Diagnostic
+	for _, site := range a.sites {
+		if site.used {
+			continue
+		}
+		if !knownDirectives[site.word] {
+			diags = append(diags, Diagnostic{
+				Pos:     site.pos,
+				Check:   "stalesuppress",
+				Message: fmt.Sprintf("unknown //ube: directive %q (known: nondeterministic-ok, float-exact, pool-escape, taint-ok, lock-ok, lock-held-ok, atomic-ok, lint-ignore, operational, taint-sink)", site.word),
+			})
+			continue
+		}
+		if declarationDirectives[site.word] {
+			continue // declarations are consumed by setup, not suppression
+		}
+		// Suppressions for determinism-scoped checks are only judged in
+		// packages where those checks ran; outside the scope "unused" says
+		// nothing about whether the annotation still earns its keep.
+		if !site.scoped {
+			if site.word == "nondeterministic-ok" {
+				continue
+			}
+			if site.word == "lint-ignore" {
+				ignored, _, _ := strings.Cut(site.rest, " ")
+				if determinismScopedChecks[ignored] {
+					continue
+				}
+			}
+		}
+		// A lint-ignore for a suppressed-by-position check names the check.
+		what := "//ube:" + site.word
+		if site.word == "lint-ignore" {
+			ignored, _, _ := strings.Cut(site.rest, " ")
+			what = "//ube:lint-ignore " + ignored
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     site.pos,
+			Check:   "stalesuppress",
+			Message: fmt.Sprintf("%s suppresses nothing here (no matching diagnostic on this line or the line below); delete the stale annotation", what),
+		})
+	}
+	return diags
 }
 
 type checker struct {
 	pkg         *Package
 	cfg         *Config
 	determinism bool
-	ann         *annotations
+	ann         *annIndex
 	diags       []Diagnostic
 }
 

@@ -1,8 +1,11 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +49,11 @@ func TestFixtureGoldens(t *testing.T) {
 		{"floateq", Config{}},
 		{"poolput", Config{}},
 		{"deltafallback", Config{}},
+		{"taintflow", Config{DeterminismPaths: fixtureScope}},
+		{"lockpair", Config{}},
+		{"lockblock", Config{}},
+		{"atomicmix", Config{}},
+		{"stalesuppress", Config{DeterminismPaths: fixtureScope}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,6 +94,60 @@ func TestCheckSubset(t *testing.T) {
 	}
 	if got := runFixture(t, "floateq", Config{Checks: []string{"floateq"}}); got == "" {
 		t.Error("floateq-only run reported nothing on the floateq fixture")
+	}
+}
+
+// TestExcludeChecks proves -exclude-checks filtering: with taintflow
+// excluded, the taintflow fixture is silent (its other annotations cover
+// the site checks, and stalesuppress stands down because staleness
+// accounting needs every check to have run).
+func TestExcludeChecks(t *testing.T) {
+	cfg := Config{DeterminismPaths: fixtureScope, ExcludeChecks: []string{"taintflow"}}
+	if got := runFixture(t, "taintflow", cfg); got != "" {
+		t.Errorf("diagnostics leaked through an exclude-checks run:\n%s", got)
+	}
+	if got := runFixture(t, "lockblock", Config{ExcludeChecks: []string{"lockblock"}}); got != "" {
+		t.Errorf("lockblock diagnostics survived their exclusion:\n%s", got)
+	}
+}
+
+// TestWriteJSON pins the machine-readable output shape, including the
+// per-check suppression rendering and the never-null empty array.
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "a/b.go", Line: 3, Column: 7}, Check: "taintflow", Message: "tainted"},
+		{Pos: token.Position{Filename: "a/b.go", Line: 9, Column: 2}, Check: "deltafallback", Message: "no fallback"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d objects, want 2", len(got))
+	}
+	first := got[0]
+	for key, want := range map[string]any{
+		"file": "a/b.go", "line": float64(3), "col": float64(7),
+		"check": "taintflow", "message": "tainted", "suppression": "//ube:taint-ok",
+	} {
+		if first[key] != want {
+			t.Errorf("first[%q] = %v, want %v", key, first[key], want)
+		}
+	}
+	if got[1]["suppression"] != "//ube:lint-ignore deltafallback" {
+		t.Errorf("deltafallback suppression = %v", got[1]["suppression"])
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty diagnostics rendered %q, want []", s)
 	}
 }
 

@@ -1,0 +1,545 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The concurrency-discipline checks: lockpair, lockblock and atomicmix.
+//
+// lockpair and lockblock run per function body (function literals are
+// analyzed independently: a goroutine body pairs its own locks). The
+// walker abstractly interprets the body's block structure, carrying the
+// set of held sync.Mutex/RWMutex locks, keyed by the receiver expression's
+// rendered form (s.mu and s.mu pair; s.mu and t.mu do not). Branches fork
+// the state and merge on the intersection of non-terminated paths; a
+// deferred Unlock satisfies pairing for every subsequent exit while the
+// lock still counts as held for lockblock. The analysis is deliberately
+// intraprocedural and syntactic about lock identity: a helper that
+// unlocks its caller's mutex is invisible (the unmatched Unlock is
+// ignored, never reported).
+//
+// atomicmix runs per package: any variable or struct field whose address
+// is passed to a sync/atomic function (atomic.AddInt64(&x, ...)) must not
+// also be read or written plainly in the same package — the plain access
+// races with the atomic ones. Typed atomics (atomic.Int64 fields) cannot
+// mix by construction and are out of scope.
+
+// heldLock is one mutex the current path holds. Clone shares the
+// pointers, so marking a lock reported (or deferred-released) in one
+// branch is visible to its siblings — each lock yields one diagnostic.
+type heldLock struct {
+	key      string // rendered receiver expression, e.g. "s.mu"
+	kind     string // "Lock" or "RLock"
+	pos      token.Pos
+	deferred bool // a deferred Unlock/RUnlock is registered
+	reported bool
+}
+
+// lockState is the set of locks held on the current path, in acquisition
+// order.
+type lockState struct {
+	held []*heldLock
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make([]*heldLock, len(s.held))}
+	copy(c.held, s.held)
+	return c
+}
+
+func (s *lockState) contains(h *heldLock) bool {
+	for _, x := range s.held {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
+// intersect keeps only the locks held on every merged path.
+func (s *lockState) intersect(others ...*lockState) {
+	var kept []*heldLock
+next:
+	for _, h := range s.held {
+		for _, o := range others {
+			if !o.contains(h) {
+				continue next
+			}
+		}
+		kept = append(kept, h)
+	}
+	s.held = kept
+}
+
+// checkLocks runs the lockpair and lockblock analyses over one function
+// or function-literal body.
+func (c *checker) checkLocks(fnName string, body *ast.BlockStmt) {
+	if !c.cfg.enabled("lockpair") && !c.cfg.enabled("lockblock") {
+		return
+	}
+	st := &lockState{}
+	if !c.walkLockBlock(fnName, st, body) {
+		// Fall-through off the end of the body is an implicit return.
+		c.reportLeaks(fnName, st, body.Rbrace, "falls off the end")
+	}
+}
+
+// reportLeaks emits one lockpair diagnostic per leaked lock, at the Lock
+// site (where the suppression belongs), describing the escaping path.
+func (c *checker) reportLeaks(fnName string, st *lockState, at token.Pos, how string) {
+	for _, h := range st.held {
+		if h.deferred || h.reported {
+			continue
+		}
+		h.reported = true
+		c.report(h.pos, "lockpair", "lock-ok",
+			"%s.%s() is still held when %s %s at line %d; unlock on every path or defer the unlock",
+			h.key, h.kind, fnName, how, c.pkg.Fset.Position(at).Line)
+	}
+}
+
+// walkLockBlock walks a block's statements in order; the return value
+// reports whether every path through the block terminates (return, panic,
+// branch) before reaching its end.
+func (c *checker) walkLockBlock(fnName string, st *lockState, block *ast.BlockStmt) bool {
+	for _, stmt := range block.List {
+		if c.walkLockStmt(fnName, st, stmt) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkLockStmt interprets one statement, returning true when the path
+// terminates here.
+func (c *checker) walkLockStmt(fnName string, st *lockState, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		c.scanBlocking(st, s)
+		c.reportLeaks(fnName, st, s.Pos(), "returns")
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the block; where they land is beyond
+		// this walker, so the path just ends without a pairing verdict.
+		return true
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, kind, acquire, isMu := c.mutexOp(call); isMu {
+				c.applyMutexOp(st, key, kind, acquire, call.Pos())
+				return false
+			}
+			if c.isTerminalCall(call) {
+				return true
+			}
+		}
+		c.scanBlocking(st, s)
+		return false
+
+	case *ast.DeferStmt:
+		if key, kind, acquire, isMu := c.mutexOp(s.Call); isMu && !acquire {
+			for i := len(st.held) - 1; i >= 0; i-- {
+				if st.held[i].key == key && st.held[i].kind == kind {
+					st.held[i].deferred = true
+					break
+				}
+			}
+		}
+		return false
+
+	case *ast.GoStmt:
+		return false // the spawn itself never blocks; the body is its own analysis
+
+	case *ast.LabeledStmt:
+		return c.walkLockStmt(fnName, st, s.Stmt)
+
+	case *ast.BlockStmt:
+		return c.walkLockBlock(fnName, st, s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkLockStmt(fnName, st, s.Init)
+		}
+		c.scanBlocking(st, s.Cond)
+		thenSt := st.clone()
+		thenTerm := c.walkLockBlock(fnName, thenSt, s.Body)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.walkLockStmt(fnName, elseSt, s.Else)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			st.held = elseSt.held
+		case elseTerm:
+			st.held = thenSt.held
+		default:
+			thenSt.intersect(elseSt)
+			st.held = thenSt.held
+		}
+		return false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkLockStmt(fnName, st, s.Init)
+		}
+		if s.Cond != nil {
+			c.scanBlocking(st, s.Cond)
+		}
+		c.walkLoopBody(fnName, st, s.Body)
+		return false
+
+	case *ast.RangeStmt:
+		if t := c.pkg.Info.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				c.reportBlocking(st, s.Pos(), "range over channel "+exprString(s.X))
+			}
+		}
+		c.scanBlocking(st, s.X)
+		c.walkLoopBody(fnName, st, s.Body)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkLockStmt(fnName, st, s.Init)
+		}
+		if s.Tag != nil {
+			c.scanBlocking(st, s.Tag)
+		}
+		return c.walkClauses(fnName, st, s.Body, hasDefaultCase(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkLockStmt(fnName, st, s.Init)
+		}
+		return c.walkClauses(fnName, st, s.Body, hasDefaultCase(s.Body))
+
+	case *ast.SelectStmt:
+		if !hasDefaultComm(s.Body) {
+			c.reportBlocking(st, s.Pos(), "select with no default")
+		}
+		return c.walkClauses(fnName, st, s.Body, true)
+
+	default:
+		c.scanBlocking(st, stmt)
+		return false
+	}
+}
+
+// walkLoopBody walks a loop body on a forked state (the loop may run zero
+// times) and reports a lock acquired inside the body that is still held
+// when the body ends — the next iteration's Lock would self-deadlock.
+func (c *checker) walkLoopBody(fnName string, st *lockState, body *ast.BlockStmt) {
+	bodySt := st.clone()
+	if c.walkLockBlock(fnName, bodySt, body) {
+		return
+	}
+	for _, h := range bodySt.held {
+		if h.deferred || h.reported || st.contains(h) {
+			continue
+		}
+		h.reported = true
+		c.report(h.pos, "lockpair", "lock-ok",
+			"%s.%s() acquired in this loop body is still held when the body ends at line %d; the next iteration would deadlock — unlock before looping",
+			h.key, h.kind, c.pkg.Fset.Position(body.Rbrace).Line)
+	}
+}
+
+// walkClauses forks the state per case/comm clause and merges the
+// intersection of the non-terminated ones; when the construct can be
+// skipped entirely (a switch with no default), the entry state is one of
+// the merged paths. Returns true when every path terminates.
+func (c *checker) walkClauses(fnName string, st *lockState, body *ast.BlockStmt, exhaustive bool) bool {
+	var live []*lockState
+	clauses := 0
+	for _, stmt := range body.List {
+		var list []ast.Stmt
+		switch cl := stmt.(type) {
+		case *ast.CaseClause:
+			list = cl.Body
+		case *ast.CommClause:
+			list = cl.Body
+		default:
+			continue
+		}
+		clauses++
+		clSt := st.clone()
+		term := false
+		for _, s := range list {
+			if c.walkLockStmt(fnName, clSt, s) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			live = append(live, clSt)
+		}
+	}
+	if !exhaustive {
+		live = append(live, st.clone())
+	}
+	if clauses > 0 && len(live) == 0 {
+		return true
+	}
+	if len(live) > 0 {
+		first := live[0]
+		first.intersect(live[1:]...)
+		st.held = first.held
+	}
+	return false
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if cl, ok := stmt.(*ast.CaseClause); ok && cl.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDefaultComm(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if cl, ok := stmt.(*ast.CommClause); ok && cl.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp recognizes Lock/Unlock/RLock/RUnlock calls on sync mutexes
+// (including embedded ones and sync.Locker values), returning the lock
+// key, the pairing kind and whether the op acquires.
+func (c *checker) mutexOp(call *ast.CallExpr) (key, kind string, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	obj, isFn := c.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false, false
+	}
+	key = exprString(sel.X)
+	switch obj.Name() {
+	case "Lock":
+		return key, "Lock", true, true
+	case "Unlock":
+		return key, "Lock", false, true
+	case "RLock":
+		return key, "RLock", true, true
+	case "RUnlock":
+		return key, "RLock", false, true
+	}
+	return "", "", false, false
+}
+
+// applyMutexOp pushes an acquire and pops the most recent matching hold
+// on a release. An unmatched release (a helper unlocking its caller's
+// mutex) is ignored, never reported.
+func (c *checker) applyMutexOp(st *lockState, key, kind string, acquire bool, pos token.Pos) {
+	if acquire {
+		st.held = append(st.held, &heldLock{key: key, kind: kind, pos: pos})
+		return
+	}
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].key == key && st.held[i].kind == kind {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// isTerminalCall recognizes calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func (c *checker) isTerminalCall(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return id.Name == "panic"
+		}
+	}
+	obj := c.calleeObject(call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "os":
+		return obj.Name() == "Exit"
+	case "log":
+		return strings.HasPrefix(obj.Name(), "Fatal")
+	case "runtime":
+		return obj.Name() == "Goexit"
+	}
+	return false
+}
+
+// scanBlocking inspects an expression or simple statement for blocking
+// operations — channel receives, channel sends, blocking calls — and
+// reports each one performed while a lock is held. Function literals are
+// skipped: their bodies run elsewhere.
+func (c *checker) scanBlocking(st *lockState, n ast.Node) {
+	if len(st.held) == 0 || n == nil || !c.cfg.enabled("lockblock") {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.reportBlocking(st, x.Pos(), "channel receive from "+exprString(x.X))
+			}
+		case *ast.SendStmt:
+			c.reportBlocking(st, x.Pos(), "channel send to "+exprString(x.Chan))
+		case *ast.CallExpr:
+			if desc, ok := c.blockingCall(x); ok {
+				c.reportBlocking(st, x.Pos(), desc)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall recognizes calls that can block the goroutine: time.Sleep,
+// any zero-argument Wait method (sync.WaitGroup, sync.Cond, os/exec.Cmd),
+// and fault-injection points (faultinject Injector.Fire runs arbitrary
+// injected behavior, including delays, by design).
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	obj, ok := c.calleeObject(call).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		if obj.Pkg().Path() == "time" && obj.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+		return "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	if obj.Name() == "Wait" && len(call.Args) == 0 {
+		return exprString(sel.X) + ".Wait()", true
+	}
+	if obj.Name() == "Fire" && recvTypeName(obj) == "Injector" && strings.Contains(obj.Pkg().Path(), "faultinject") {
+		return "fault-injection point " + exprString(sel.X) + ".Fire", true
+	}
+	return "", false
+}
+
+// reportBlocking emits one lockblock diagnostic against the most recently
+// acquired held lock.
+func (c *checker) reportBlocking(st *lockState, pos token.Pos, what string) {
+	if len(st.held) == 0 || !c.cfg.enabled("lockblock") {
+		return
+	}
+	h := st.held[len(st.held)-1]
+	c.report(pos, "lockblock", "lock-held-ok",
+		"%s while %s.%s() is held (locked at line %d); a blocked goroutine holding this lock stalls every contender — release first or annotate //ube:lock-held-ok",
+		what, h.key, h.kind, c.pkg.Fset.Position(h.pos).Line)
+}
+
+// ---- atomicmix ------------------------------------------------------------
+
+// checkAtomicMix runs once per package: every variable or field whose
+// address ever reaches a sync/atomic function must be accessed through
+// sync/atomic everywhere in the package.
+func (c *checker) checkAtomicMix() {
+	if !c.cfg.enabled("atomicmix") {
+		return
+	}
+	// Pass 1: objects used atomically, with the first atomic site, and
+	// the &x argument nodes to skip in pass 2.
+	atomicObjs := make(map[types.Object]token.Pos)
+	atomicArgs := make(map[ast.Expr]bool)
+	for _, f := range c.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := c.calleeObject(call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed atomics (atomic.Int64 methods) cannot mix
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			target, addr := c.addrTarget(call.Args[0])
+			if target == nil {
+				return true
+			}
+			atomicArgs[addr] = true
+			if old, seen := atomicObjs[target]; !seen || call.Pos() < old {
+				atomicObjs[target] = call.Pos()
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	// Pass 2: plain accesses to those objects anywhere else in the package.
+	for _, f := range c.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && atomicArgs[e] {
+				return false // the sanctioned &x inside an atomic call
+			}
+			var obj types.Object
+			var pos token.Pos
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if o, ok := c.pkg.Info.Uses[x.Sel].(*types.Var); ok && atomicObjs[o] != token.NoPos {
+					obj, pos = o, x.Pos()
+				}
+			case *ast.Ident:
+				if o, ok := c.pkg.Info.Uses[x].(*types.Var); ok && atomicObjs[o] != token.NoPos {
+					obj, pos = o, x.Pos()
+				}
+			}
+			if obj != nil {
+				c.report(pos, "atomicmix", "atomic-ok",
+					"plain access of %s, which is accessed via sync/atomic at line %d; mixing plain and atomic access races — use atomic loads/stores everywhere or annotate //ube:atomic-ok",
+					obj.Name(), c.pkg.Fset.Position(atomicObjs[obj]).Line)
+				if _, isSel := n.(*ast.SelectorExpr); isSel {
+					return false // don't re-resolve the selector's parts
+				}
+			}
+			return true
+		})
+	}
+}
+
+// addrTarget resolves an atomic call's pointer argument of the form &x or
+// &s.f to the addressed object, returning the argument expression so the
+// plain-access pass can skip it.
+func (c *checker) addrTarget(arg ast.Expr) (types.Object, ast.Expr) {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, nil
+	}
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.Ident:
+		if obj, ok := c.pkg.Info.Uses[x].(*types.Var); ok {
+			return obj, u
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := c.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return obj, u
+		}
+	}
+	return nil, nil
+}

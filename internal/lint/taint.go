@@ -1,0 +1,896 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// The taintflow check: a module-wide, flow-insensitive, field-sensitive
+// taint analysis over the call graph.
+//
+// Sources are the nondeterminism catalog — clock reads, global-RNG draws,
+// goroutine/machine identity, pointer formatting (%p, unsafe.Pointer →
+// uintptr), and select winners (a variable assigned in two or more comm
+// clauses of one select). A //ube:nondeterministic-ok annotation silences
+// the call-site check (wallclock &c.) but does NOT stop the taint: the
+// produced value stays tracked, so a blessed timestamp that later leaks
+// into a canonical surface is still a finding — at the leak.
+//
+// Taint propagates through assignments, struct fields (per-field: one
+// tainted field never taints its siblings or the struct value), function
+// returns, call arguments (interprocedurally, over the call graph's
+// conservative callee sets), channels, and containers. Calls outside the
+// module conservatively taint their result when any argument or the
+// receiver is tainted. Control flow is NOT tracked: branching on a tainted
+// condition does not taint the branches (the maprange/wallclock site
+// checks own that class).
+//
+// Sinks are the surfaces the determinism contract protects:
+//
+//   - (*trace.Stats).Add with a deterministic counter (operational
+//     counters — at or past OSnapshotBuilds — are exempt by definition);
+//   - ube/internal/schemaio Encode* functions (canonical wire payloads);
+//   - engine.Session.history and the server's handler-visible history
+//     mirrors (session.historyDocs, session.solutions);
+//   - search.Problem.Objective / .DeltaObjective — both a tainted value
+//     assigned into them and an objective function whose RESULT is
+//     tainted;
+//   - any function declared //ube:taint-sink.
+//
+// Struct fields declared //ube:operational absorb taint: a write of a
+// tainted value into them is legal (they are non-canonical by contract —
+// Canonical strips them, goldens never compare them) and reads from them
+// are clean. That is the per-field policy that keeps Span.Start,
+// session TTL stamps and Solution.Elapsed legal while their neighbors
+// stay guarded.
+
+// witness records where a tainted value was minted.
+type witness struct {
+	pos  token.Position
+	desc string
+}
+
+func (w *witness) String() string {
+	return fmt.Sprintf("%s at %s:%d", w.desc, filepath.Base(w.pos.Filename), w.pos.Line)
+}
+
+// sinkField identifies one built-in sink field by location.
+type sinkField struct {
+	desc      string
+	objective bool // also reject objective function values with tainted results
+}
+
+type taintAnalysis struct {
+	pkgs []*Package
+	ann  *annIndex
+	cfg  *Config
+	cg   *callGraph
+
+	taint       map[types.Object]*witness
+	result      map[*fnode][]*witness // per result index; nil entry = clean
+	operational map[*types.Var]bool
+	sinkFields  map[*types.Var]sinkField
+	sinkFuncs   map[*types.Func]string // declared //ube:taint-sink, by reason
+
+	changed bool
+	diags   []Diagnostic
+}
+
+func newTaintAnalysis(pkgs []*Package, ann *annIndex, cfg *Config) *taintAnalysis {
+	return &taintAnalysis{
+		pkgs:        pkgs,
+		ann:         ann,
+		cfg:         cfg,
+		taint:       make(map[types.Object]*witness),
+		result:      make(map[*fnode][]*witness),
+		operational: make(map[*types.Var]bool),
+		sinkFields:  make(map[*types.Var]sinkField),
+		sinkFuncs:   make(map[*types.Func]string),
+	}
+}
+
+func (ta *taintAnalysis) run() []Diagnostic {
+	ta.cg = buildCallGraph(ta.pkgs)
+	ta.collectPolicy()
+	for round := 0; round < 64; round++ {
+		ta.changed = false
+		for _, n := range ta.cg.ordered {
+			ta.propagate(n)
+		}
+		if !ta.changed {
+			break
+		}
+	}
+	for _, n := range ta.cg.ordered {
+		ta.checkSinks(n)
+	}
+	return ta.diags
+}
+
+// collectPolicy gathers //ube:operational field declarations,
+// //ube:taint-sink function declarations, and the built-in sink fields.
+func (ta *taintAnalysis) collectPolicy() {
+	for _, p := range ta.pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.StructType:
+					for _, field := range n.Fields.List {
+						for _, name := range field.Names {
+							if ta.ann.declarationsAt(p.Fset, name.Pos(), "operational") {
+								if v, ok := p.Info.Defs[name].(*types.Var); ok {
+									ta.operational[v] = true
+								}
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					if ta.ann.declarationsAt(p.Fset, n.Pos(), "taint-sink") {
+						if obj, ok := p.Info.Defs[n.Name].(*types.Func); ok {
+							ta.sinkFuncs[obj] = "declared sink"
+						}
+					}
+					return false
+				}
+				return true
+			})
+		}
+	}
+	ta.builtinSink("ube/internal/engine", "Session", "history", sinkField{desc: "the session history"})
+	ta.builtinSink("ube/internal/server", "session", "historyDocs", sinkField{desc: "the handler-visible history mirror"})
+	ta.builtinSink("ube/internal/server", "session", "solutions", sinkField{desc: "the handler-visible solution mirror"})
+	ta.builtinSink("ube/internal/search", "Problem", "Objective", sinkField{desc: "the solver objective", objective: true})
+	ta.builtinSink("ube/internal/search", "Problem", "DeltaObjective", sinkField{desc: "the solver delta objective", objective: true})
+}
+
+// builtinSink resolves pkg.Type.field to its field object and registers
+// it as a sink. The package is found among the analyzed packages or —
+// for fixture runs that analyze only an importer — anywhere in their
+// transitive import closure.
+func (ta *taintAnalysis) builtinSink(pkgPath, typeName, fieldName string, s sinkField) {
+	tp := ta.findPackage(pkgPath)
+	if tp == nil {
+		return
+	}
+	obj, ok := tp.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == fieldName {
+			ta.sinkFields[st.Field(i)] = s
+			return
+		}
+	}
+}
+
+// findPackage locates a type-checked package by import path among the
+// analyzed packages and their transitive imports.
+func (ta *taintAnalysis) findPackage(path string) *types.Package {
+	seen := make(map[*types.Package]bool)
+	var find func(tp *types.Package) *types.Package
+	find = func(tp *types.Package) *types.Package {
+		if seen[tp] {
+			return nil
+		}
+		seen[tp] = true
+		if tp.Path() == path {
+			return tp
+		}
+		for _, imp := range tp.Imports() {
+			if hit := find(imp); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	for _, p := range ta.pkgs {
+		if hit := find(p.Types); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// setTaint marks an object tainted, keeping the first witness.
+func (ta *taintAnalysis) setTaint(obj types.Object, w *witness) {
+	if obj == nil || w == nil || obj.Name() == "_" {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && ta.operational[v] {
+		return // declared operational: the write is absorbed
+	}
+	if ta.taint[obj] == nil {
+		ta.taint[obj] = w
+		ta.changed = true
+	}
+}
+
+// setResult marks result index i of a function tainted.
+func (ta *taintAnalysis) setResult(n *fnode, i int, w *witness) {
+	if n == nil || w == nil {
+		return
+	}
+	rs := ta.result[n]
+	for len(rs) <= i {
+		rs = append(rs, nil)
+	}
+	if rs[i] == nil {
+		rs[i] = w
+		ta.changed = true
+	}
+	ta.result[n] = rs
+}
+
+func (ta *taintAnalysis) resultAny(n *fnode) *witness {
+	for _, w := range ta.result[n] {
+		if w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// sig returns a node's signature.
+func nodeSig(p *Package, n *fnode) *types.Signature {
+	if n.obj != nil {
+		s, _ := n.obj.Type().(*types.Signature)
+		return s
+	}
+	s, _ := p.Info.TypeOf(n.lit).(*types.Signature)
+	return s
+}
+
+// rootObject resolves an lvalue to the object that taint should land on:
+// the identifier itself, a struct field, or — through indexing and
+// dereferencing — the container/pointer root.
+func (ta *taintAnalysis) rootObject(p *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Defs[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		if obj, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+			return obj
+		}
+		return nil
+	case *ast.IndexExpr:
+		return ta.rootObject(p, e.X)
+	case *ast.StarExpr:
+		return ta.rootObject(p, e.X)
+	case *ast.SliceExpr:
+		return ta.rootObject(p, e.X)
+	}
+	return nil
+}
+
+// propagate runs one round of taint transfer over one function body.
+func (ta *taintAnalysis) propagate(n *fnode) {
+	p := n.pkg
+	ast.Inspect(n.body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // separate node
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			ta.propagateAssign(p, x.Lhs, x.Rhs)
+		case *ast.ValueSpec:
+			if len(x.Values) > 0 {
+				lhs := make([]ast.Expr, len(x.Names))
+				for i, id := range x.Names {
+					lhs[i] = id
+				}
+				ta.propagateAssign(p, lhs, x.Values)
+			}
+		case *ast.RangeStmt:
+			if w := ta.exprTaint(p, x.X); w != nil {
+				if x.Key != nil {
+					ta.setTaint(ta.rootObject(p, x.Key), w)
+				}
+				if x.Value != nil {
+					ta.setTaint(ta.rootObject(p, x.Value), w)
+				}
+			}
+		case *ast.SendStmt:
+			if w := ta.exprTaint(p, x.Value); w != nil {
+				ta.setTaint(ta.rootObject(p, x.Chan), w)
+			}
+		case *ast.ReturnStmt:
+			ta.propagateReturn(p, n, x)
+		case *ast.SelectStmt:
+			ta.propagateSelectWinner(p, x)
+		case *ast.CallExpr:
+			ta.propagateCall(p, x)
+		case *ast.CompositeLit:
+			ta.propagateComposite(p, x)
+		}
+		return true
+	})
+}
+
+// propagateAssign transfers taint from rhs to lhs targets, including
+// tuple assignments from calls, type assertions and map reads.
+func (ta *taintAnalysis) propagateAssign(p *Package, lhs, rhs []ast.Expr) {
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			if w := ta.exprTaint(p, rhs[i]); w != nil {
+				ta.setTaint(ta.rootObject(p, lhs[i]), w)
+			}
+		}
+		return
+	}
+	if len(rhs) != 1 {
+		return
+	}
+	switch r := ast.Unparen(rhs[0]).(type) {
+	case *ast.CallExpr:
+		ws := ta.callResultTaints(p, r, len(lhs))
+		for i := range lhs {
+			if i < len(ws) && ws[i] != nil {
+				ta.setTaint(ta.rootObject(p, lhs[i]), ws[i])
+			}
+		}
+	default:
+		// v, ok := m[k] / x.(T) / <-ch: the value inherits the source's
+		// taint, the bool does not.
+		if w := ta.exprTaint(p, rhs[0]); w != nil {
+			ta.setTaint(ta.rootObject(p, lhs[0]), w)
+		}
+	}
+}
+
+func (ta *taintAnalysis) propagateReturn(p *Package, n *fnode, ret *ast.ReturnStmt) {
+	sig := nodeSig(p, n)
+	if sig == nil {
+		return
+	}
+	if len(ret.Results) == 0 {
+		// Naked return: named results carry their current taint.
+		for i := 0; i < sig.Results().Len(); i++ {
+			if w := ta.taint[sig.Results().At(i)]; w != nil {
+				ta.setResult(n, i, w)
+			}
+		}
+		return
+	}
+	if len(ret.Results) == 1 && sig.Results().Len() > 1 {
+		// return f(): forward the inner call's result taints.
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			for i, w := range ta.callResultTaints(p, call, sig.Results().Len()) {
+				ta.setResult(n, i, w)
+			}
+		}
+		return
+	}
+	for i, e := range ret.Results {
+		if w := ta.exprTaint(p, e); w != nil {
+			ta.setResult(n, i, w)
+		}
+	}
+}
+
+// propagateSelectWinner applies the select-winner source: an object
+// assigned in two or more comm-clause bodies of one select holds a value
+// that depends on which case won the race.
+func (ta *taintAnalysis) propagateSelectWinner(p *Package, sel *ast.SelectStmt) {
+	clauses := 0
+	assigned := make(map[types.Object]int) // object -> clauses assigning it
+	last := make(map[types.Object]int)     // dedup within one clause
+	var firstPos token.Pos
+	for _, stmt := range sel.Body.List {
+		cc, ok := stmt.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		clauses++
+		for _, s := range cc.Body {
+			ast.Inspect(s, func(x ast.Node) bool {
+				as, ok := x.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, l := range as.Lhs {
+					obj := ta.rootObject(p, l)
+					if obj == nil {
+						continue
+					}
+					// Only objects declared OUTSIDE the clause can record
+					// the winner; clause-local defs die with the clause.
+					if p.Info.Defs[ta.identOf(l)] != nil {
+						continue
+					}
+					if last[obj] != clauses {
+						last[obj] = clauses
+						assigned[obj]++
+						if assigned[obj] == 2 && firstPos == token.NoPos {
+							firstPos = as.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if clauses < 2 {
+		return
+	}
+	pos := p.Fset.Position(sel.Pos())
+	for obj, count := range assigned {
+		if count >= 2 {
+			ta.setTaint(obj, &witness{pos: pos, desc: "select winner"})
+		}
+	}
+}
+
+func (ta *taintAnalysis) identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// propagateCall pushes tainted arguments into the parameters of every
+// module function the call may reach, and a tainted receiver into the
+// receiver parameter.
+func (ta *taintAnalysis) propagateCall(p *Package, call *ast.CallExpr) {
+	callees := ta.cg.callees[call]
+	if len(callees) == 0 {
+		// Unknown callee with tainted args: a method call may accumulate
+		// the taint in its receiver (strings.Builder and friends).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			for _, arg := range call.Args {
+				if w := ta.exprTaint(p, arg); w != nil {
+					if recv := ta.rootObject(p, sel.X); recv != nil {
+						if _, isVar := recv.(*types.Var); isVar {
+							ta.setTaint(recv, w)
+						}
+					}
+					break
+				}
+			}
+		}
+		return
+	}
+	for _, callee := range callees {
+		sig := nodeSig(callee.pkg, callee)
+		if sig == nil {
+			continue
+		}
+		params := sig.Params()
+		for i, arg := range call.Args {
+			w := ta.exprTaint(p, arg)
+			if w == nil {
+				continue
+			}
+			pi := i
+			if sig.Variadic() && pi >= params.Len()-1 {
+				pi = params.Len() - 1
+			}
+			if pi >= 0 && pi < params.Len() {
+				ta.setTaint(params.At(pi), w)
+			}
+		}
+		if recv := sig.Recv(); recv != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if w := ta.exprTaint(p, sel.X); w != nil {
+					ta.setTaint(recv, w)
+				}
+			}
+		}
+	}
+}
+
+// propagateComposite records tainted elements written into struct fields
+// (per-field, with //ube:operational absorption) and container literals.
+func (ta *taintAnalysis) propagateComposite(p *Package, cl *ast.CompositeLit) {
+	st := structTypeOf(p, cl)
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if st != nil {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if w := ta.exprTaint(p, kv.Value); w != nil {
+						ta.setTaint(p.Info.Uses[id], w)
+					}
+				}
+			}
+			continue
+		}
+		if st != nil && i < st.NumFields() {
+			if w := ta.exprTaint(p, elt); w != nil {
+				ta.setTaint(st.Field(i), w)
+			}
+		}
+	}
+}
+
+// callResultTaints computes per-result taint witnesses for a call.
+func (ta *taintAnalysis) callResultTaints(p *Package, call *ast.CallExpr, n int) []*witness {
+	ws := make([]*witness, n)
+	if w := ta.sourceWitness(p, call); w != nil {
+		for i := range ws {
+			ws[i] = w
+		}
+		return ws
+	}
+	callees := ta.cg.callees[call]
+	if len(callees) == 0 {
+		// Unknown callee: every result inherits any argument taint.
+		if w := ta.callArgTaint(p, call); w != nil {
+			for i := range ws {
+				ws[i] = w
+			}
+		}
+		return ws
+	}
+	for _, callee := range callees {
+		for i, w := range ta.result[callee] {
+			if i < n && ws[i] == nil {
+				ws[i] = w
+			}
+		}
+	}
+	return ws
+}
+
+// callArgTaint returns the first tainted argument (or tainted method
+// receiver) of a call.
+func (ta *taintAnalysis) callArgTaint(p *Package, call *ast.CallExpr) *witness {
+	for _, arg := range call.Args {
+		if w := ta.exprTaint(p, arg); w != nil {
+			return w
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Only method receivers: a package qualifier has no taint.
+		if s := p.Info.Selections[sel]; s != nil {
+			if w := ta.exprTaint(p, sel.X); w != nil {
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+// exprTaint computes the taint witness of an expression under the current
+// state, nil when clean.
+func (ta *taintAnalysis) exprTaint(p *Package, e ast.Expr) *witness {
+	switch e := e.(type) {
+	case *ast.BasicLit, *ast.FuncLit:
+		return nil
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return ta.taint[obj]
+		}
+		return nil
+	case *ast.SelectorExpr:
+		sel := p.Info.Selections[e]
+		if sel == nil {
+			// Qualified identifier pkg.X.
+			if obj := p.Info.Uses[e.Sel]; obj != nil {
+				return ta.taint[obj]
+			}
+			return nil
+		}
+		if f, ok := sel.Obj().(*types.Var); ok {
+			if ta.operational[f] {
+				return nil // declared operational: reads are clean
+			}
+			if w := ta.taint[f]; w != nil {
+				return w
+			}
+		}
+		// A field of a tainted struct value, or a method value on a
+		// tainted receiver, inherits the base taint.
+		return ta.exprTaint(p, e.X)
+	case *ast.CallExpr:
+		return ta.callTaint(p, e)
+	case *ast.ParenExpr:
+		return ta.exprTaint(p, e.X)
+	case *ast.StarExpr:
+		return ta.exprTaint(p, e.X)
+	case *ast.UnaryExpr:
+		return ta.exprTaint(p, e.X)
+	case *ast.BinaryExpr:
+		if w := ta.exprTaint(p, e.X); w != nil {
+			return w
+		}
+		return ta.exprTaint(p, e.Y)
+	case *ast.IndexExpr:
+		return ta.exprTaint(p, e.X)
+	case *ast.SliceExpr:
+		return ta.exprTaint(p, e.X)
+	case *ast.TypeAssertExpr:
+		return ta.exprTaint(p, e.X)
+	case *ast.CompositeLit:
+		st := structTypeOf(p, e)
+		for i, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if st != nil {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						if f, ok := p.Info.Uses[id].(*types.Var); ok && ta.operational[f] {
+							continue // absorbed by the declared field
+						}
+					}
+				} else if w := ta.exprTaint(p, kv.Key); w != nil {
+					return w
+				}
+				if w := ta.exprTaint(p, kv.Value); w != nil {
+					return w
+				}
+				continue
+			}
+			if st != nil && i < st.NumFields() && ta.operational[st.Field(i)] {
+				continue
+			}
+			if w := ta.exprTaint(p, elt); w != nil {
+				return w
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// callTaint is exprTaint for calls: sources, module callees' result
+// taint, and the conservative unknown-callee rule.
+func (ta *taintAnalysis) callTaint(p *Package, call *ast.CallExpr) *witness {
+	if w := ta.sourceWitness(p, call); w != nil {
+		return w
+	}
+	// Conversions convert taint along with the value.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return ta.exprTaint(p, call.Args[0])
+		}
+		return nil
+	}
+	// Builtins: len/cap/make/new and friends are deterministic of their
+	// operand's shape; append and friends carry their operands' taint.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "append", "min", "max":
+				return ta.callArgTaint(p, call)
+			default:
+				return nil
+			}
+		}
+	}
+	if callees := ta.cg.callees[call]; len(callees) > 0 {
+		for _, callee := range callees {
+			if w := ta.resultAny(callee); w != nil {
+				return w
+			}
+		}
+		return nil
+	}
+	return ta.callArgTaint(p, call)
+}
+
+// sourceWitness recognizes the nondeterminism sources at a call site.
+func (ta *taintAnalysis) sourceWitness(p *Package, call *ast.CallExpr) *witness {
+	// uintptr(p) over an unsafe.Pointer: pointer identity escaping into
+	// arithmetic/formatting.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uintptr {
+			if at := p.Info.TypeOf(call.Args[0]); at != nil {
+				if ab, ok := at.Underlying().(*types.Basic); ok && ab.Kind() == types.UnsafePointer {
+					return &witness{pos: p.Fset.Position(call.Pos()), desc: "unsafe.Pointer→uintptr"}
+				}
+			}
+		}
+		return nil
+	}
+	obj := calleeObjectOf(p, call)
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // methods (e.g. on an injected seeded *rand.Rand) are sanctioned
+	}
+	pkgPath, name := obj.Pkg().Path(), obj.Name()
+	if _, ok := bannedCalls[[2]string{pkgPath, name}]; ok {
+		return &witness{pos: p.Fset.Position(call.Pos()), desc: pkgPath + "." + name}
+	}
+	if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+		if !randAllowed[name] {
+			return &witness{pos: p.Fset.Position(call.Pos()), desc: pkgPath + "." + name}
+		}
+	}
+	// Pointer formatting: a fmt verb %p renders an address.
+	if pkgPath == "fmt" {
+		for _, arg := range call.Args {
+			if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				if strings.Contains(constant.StringVal(tv.Value), "%p") {
+					return &witness{pos: p.Fset.Position(call.Pos()), desc: "fmt %p pointer formatting"}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func calleeObjectOf(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	}
+	return nil
+}
+
+// ---- sink checking --------------------------------------------------------
+
+func (ta *taintAnalysis) report(p *Package, pos token.Pos, format string, args ...any) {
+	if ta.ann.suppressed(p.Fset, pos, "taintflow", "taint-ok") {
+		return
+	}
+	ta.diags = append(ta.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   "taintflow",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// checkSinks walks one function body with the converged taint state and
+// reports every tainted value reaching a sink.
+func (ta *taintAnalysis) checkSinks(n *fnode) {
+	p := n.pkg
+	ast.Inspect(n.body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			ta.checkSinkCall(p, x)
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					ta.checkSinkFieldWrite(p, x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.CompositeLit:
+			st := structTypeOf(p, x)
+			for i, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						ta.checkSinkFieldObj(p, p.Info.Uses[id], kv.Value)
+					}
+					continue
+				}
+				if st != nil && i < st.NumFields() {
+					ta.checkSinkFieldObj(p, st.Field(i), elt)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSinkCall reports tainted arguments reaching sink functions.
+func (ta *taintAnalysis) checkSinkCall(p *Package, call *ast.CallExpr) {
+	obj, ok := calleeObjectOf(p, call).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	// Declared //ube:taint-sink functions.
+	if _, isSink := ta.sinkFuncs[obj]; isSink {
+		for _, arg := range call.Args {
+			if w := ta.exprTaint(p, arg); w != nil {
+				ta.report(p, arg.Pos(), "nondeterministic value (%s) reaches declared sink %s; make the input deterministic or annotate //ube:taint-ok", w, obj.Name())
+			}
+		}
+		return
+	}
+	pkgPath := obj.Pkg().Path()
+	// (*trace.Stats).Add with a deterministic counter.
+	if obj.Name() == "Add" && strings.HasSuffix(pkgPath, "internal/trace") && recvTypeName(obj) == "Stats" {
+		if len(call.Args) == 2 && !ta.operationalCounterArg(p, obj, call.Args[0]) {
+			if w := ta.exprTaint(p, call.Args[1]); w != nil {
+				ta.report(p, call.Args[1].Pos(), "nondeterministic value (%s) reaches deterministic trace counter %s; canonical traces compare these counts byte-for-byte — count something deterministic, use an operational counter, or annotate //ube:taint-ok", w, exprString(call.Args[0]))
+			}
+		}
+		return
+	}
+	// schemaio encoders produce canonical wire payloads.
+	if strings.HasSuffix(pkgPath, "internal/schemaio") && strings.HasPrefix(obj.Name(), "Encode") {
+		for _, arg := range call.Args {
+			if w := ta.exprTaint(p, arg); w != nil {
+				ta.report(p, arg.Pos(), "nondeterministic value (%s) reaches schemaio encoder %s; encoded payloads are canonical — strip the value first or annotate //ube:taint-ok", w, obj.Name())
+			}
+		}
+	}
+}
+
+// recvTypeName returns the name of a method's receiver type, "" for
+// functions.
+func recvTypeName(obj *types.Func) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// operationalCounterArg reports whether the counter argument is a known
+// operational counter (value at or past OSnapshotBuilds in the callee's
+// package) — those are stripped by Canonical, so taint may reach them.
+func (ta *taintAnalysis) operationalCounterArg(p *Package, add *types.Func, arg ast.Expr) bool {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false // dynamic counter: assume deterministic (conservative)
+	}
+	boundary, ok := add.Pkg().Scope().Lookup("OSnapshotBuilds").(*types.Const)
+	if !ok {
+		return false
+	}
+	v, vok := constant.Int64Val(tv.Value)
+	b, bok := constant.Int64Val(boundary.Val())
+	return vok && bok && v >= b
+}
+
+// checkSinkFieldWrite reports tainted values assigned into sink fields.
+func (ta *taintAnalysis) checkSinkFieldWrite(p *Package, lhs, rhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	f, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	if _, isSink := ta.sinkFields[f]; !isSink {
+		return
+	}
+	ta.checkSinkFieldObj(p, f, rhs)
+}
+
+// checkSinkFieldObj applies the sink-field rules to one written value:
+// no tainted value may land in the field, and an objective field may not
+// receive a function whose result is tainted.
+func (ta *taintAnalysis) checkSinkFieldObj(p *Package, obj types.Object, rhs ast.Expr) {
+	f, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	s, isSink := ta.sinkFields[f]
+	if !isSink {
+		return
+	}
+	if w := ta.exprTaint(p, rhs); w != nil {
+		ta.report(p, rhs.Pos(), "nondeterministic value (%s) is written into %s (%s.%s); solve results must be pure functions of (problem, seed) — drop the value or annotate //ube:taint-ok", w, s.desc, fieldOwner(f), f.Name())
+	}
+	if s.objective {
+		for _, fn := range ta.cg.funcValues(p, rhs) {
+			if w := ta.resultAny(fn); w != nil {
+				ta.report(p, rhs.Pos(), "objective %s assigned into %s returns a nondeterministic value (%s); objectives must be pure — remove the source or annotate //ube:taint-ok", fn.name, s.desc, w)
+			}
+		}
+	}
+}
+
+// fieldOwner renders the declaring struct's package-qualified name for a
+// field var, best effort.
+func fieldOwner(f *types.Var) string {
+	if f.Pkg() != nil {
+		return shortPkg(f.Pkg().Path())
+	}
+	return "?"
+}

@@ -1,0 +1,58 @@
+// Package atomicmix is the atomicmix check's fixture corpus: fields and
+// variables reached both through sync/atomic functions and as plain
+// reads/writes, against the clean shapes (typed atomics, consistently
+// atomic access, annotated cold-path reads).
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	miss  int64
+	typed atomic.Int64
+}
+
+// bump is the sanctioned access: function-style atomics on hits.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// load reads the same field atomically — silent.
+func load(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// raceRead reads hits plainly: it races with every bump.
+func raceRead(c *counters) int64 {
+	return c.hits // want atomicmix
+}
+
+// raceWrite resets hits plainly: same race, write side.
+func raceWrite(c *counters) {
+	c.hits = 0 // want atomicmix
+}
+
+// plainOnly touches a field no atomic ever reaches — silent.
+func plainOnly(c *counters) int64 {
+	return c.miss
+}
+
+// typedOnly uses a typed atomic: the type system already forbids plain
+// access, so the check has nothing to add — silent.
+func typedOnly(c *counters) int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+// readGlobalAnnotated documents a cold-path read that tolerates a torn
+// value — silent via the suppression.
+func readGlobalAnnotated() int64 {
+	//ube:atomic-ok init-time read before any goroutine starts
+	return global
+}

@@ -1,0 +1,54 @@
+// Package callgraph is the call-graph builder's fixture: direct calls,
+// interface dispatch (conservatively to every module implementer),
+// method values, closures, callback parameters and function-typed
+// struct fields. The table-driven tests pin the exact edges.
+package callgraph
+
+type greeter interface{ greet() string }
+
+type english struct{}
+
+func (english) greet() string { return "hi" }
+
+type pirate struct{}
+
+func (pirate) greet() string { return "arr" }
+
+// speak dispatches through the interface: edges to both implementers.
+func speak(g greeter) string { return g.greet() }
+
+// direct calls speak directly.
+func direct() string { return speak(english{}) }
+
+// methodValue binds a method value to a variable and calls it.
+func methodValue() string {
+	e := english{}
+	f := e.greet
+	return f()
+}
+
+// closures nest two literals; the second calls the first through a
+// captured variable.
+func closures() int {
+	add := func(a, b int) int { return a + b }
+	double := func(x int) int { return add(x, x) }
+	return double(2)
+}
+
+// apply invokes its callback parameter: the callback flows in from each
+// call site.
+func apply(f func() string) string { return f() }
+
+// useApply passes a literal into apply.
+func useApply() string {
+	return apply(func() string { return "x" })
+}
+
+// holder carries a function-typed field.
+type holder struct{ fn func() string }
+
+// viaField stores a literal into the field and calls through it.
+func viaField() string {
+	h := holder{fn: func() string { return "f" }}
+	return h.fn()
+}

@@ -27,3 +27,60 @@ func Diff32(a, b float32) bool {
 func Ordered(a, b float64) bool {
 	return a < b || a > b
 }
+
+// Compound hides the float equality inside a larger boolean expression:
+// flagged at the inner comparison.
+func Compound(a, b float64, ok bool) bool {
+	return a == b || ok
+}
+
+// CompoundNested hides it one level deeper, behind a negation and an
+// ordering guard: still flagged.
+func CompoundNested(a, b, c float64) bool {
+	return a < c && !(b != c)
+}
+
+// SwitchTag switches on a float: every case arm is an implicit ==, each
+// flagged separately.
+func SwitchTag(w float64) int {
+	switch w {
+	case 0:
+		return 0
+	case 1.5, 2.5:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SwitchSentinel blesses one arm: only the unannotated arm is flagged.
+func SwitchSentinel(w float64) int {
+	switch w {
+	//ube:float-exact zero is the dimension-off sentinel, assigned literally
+	case 0:
+		return 0
+	case 3.5:
+		return 1
+	}
+	return 2
+}
+
+// SwitchNoTag is a tagless switch with ordering guards: not flagged.
+func SwitchNoTag(w float64) int {
+	switch {
+	case w < 0:
+		return -1
+	case w > 0:
+		return 1
+	}
+	return 0
+}
+
+// SwitchInt switches on an integer: not flagged.
+func SwitchInt(n int) int {
+	switch n {
+	case 0:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,101 @@
+// Package lockblock is the lockblock check's fixture corpus: blocking
+// operations — channel sends and receives, selects without default,
+// Wait, Sleep, fault-injection points — performed while a mutex is held,
+// against the shapes that must stay silent (release first, non-blocking
+// select, blocking after unlock).
+package lockblock
+
+import (
+	"sync"
+	"time"
+
+	"ube/internal/faultinject"
+)
+
+type pipe struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// sendHeld blocks on a send while mu is held.
+func (p *pipe) sendHeld() {
+	p.mu.Lock()
+	p.ch <- 1 // want lockblock
+	p.mu.Unlock()
+}
+
+// recvHeld blocks on a receive while mu is held — including under a
+// deferred unlock, which releases only at return.
+func (p *pipe) recvHeld() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.ch // want lockblock
+}
+
+// selectHeld blocks: no default, so the select parks the goroutine.
+func (p *pipe) selectHeld() {
+	p.mu.Lock()
+	select { // want lockblock
+	case v := <-p.ch:
+		p.n = v
+	case p.ch <- p.n:
+	}
+	p.mu.Unlock()
+}
+
+// waitHeld parks on a WaitGroup while mu is held.
+func (p *pipe) waitHeld(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	wg.Wait() // want lockblock
+	p.mu.Unlock()
+}
+
+// sleepHeld stalls every contender for the sleep's duration.
+func (p *pipe) sleepHeld() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockblock
+	p.mu.Unlock()
+}
+
+// fireHeld runs a fault-injection point while mu is held.
+func (p *pipe) fireHeld(inj *faultinject.Injector) {
+	p.mu.Lock()
+	_ = inj.Fire(faultinject.QueueOverflow) // want lockblock
+	p.mu.Unlock()
+}
+
+// cleanAfterUnlock blocks only after releasing.
+func (p *pipe) cleanAfterUnlock() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	p.ch <- p.n
+}
+
+// cleanNonBlockingSelect holds the lock but cannot park: the default
+// clause makes every comm op a try.
+func (p *pipe) cleanNonBlockingSelect() {
+	p.mu.Lock()
+	select {
+	case p.ch <- p.n:
+	default:
+	}
+	p.mu.Unlock()
+}
+
+// cleanGoroutine sends from a literal that holds nothing.
+func (p *pipe) cleanGoroutine() {
+	p.mu.Lock()
+	n := p.n
+	p.mu.Unlock()
+	go func() { p.ch <- n }()
+}
+
+// annotated documents why the send must stay under the lock.
+func (p *pipe) annotated() {
+	p.mu.Lock()
+	//ube:lock-held-ok the channel is buffered and drained by the owner; send cannot park
+	p.ch <- 1
+	p.mu.Unlock()
+}

@@ -1,0 +1,118 @@
+// Package lockpair is the lockpair check's fixture corpus: locks leaked
+// on early returns, fall-through and loop bodies, against the clean
+// shapes (deferred unlock, early unlock, branch-balanced unlock).
+package lockpair
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leakEarlyReturn leaks mu on the error path.
+func (s *store) leakEarlyReturn(fail bool) error {
+	s.mu.Lock() // want lockpair
+	if fail {
+		return errFail
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// leakFallOff never unlocks at all.
+func (s *store) leakFallOff() {
+	s.mu.Lock() // want lockpair
+	s.n++
+}
+
+// leakLoop reacquires without releasing: iteration two self-deadlocks.
+func (s *store) leakLoop(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.mu.Lock() // want lockpair
+		s.n++
+	}
+}
+
+// leakMismatchedKind pairs an RLock with a write Unlock — the read hold
+// is never released.
+func (s *store) leakMismatchedKind() int {
+	s.rw.RLock() // want lockpair
+	n := s.n
+	s.rw.Unlock()
+	return n
+}
+
+// cleanDefer is the canonical shape: every path is covered.
+func (s *store) cleanDefer(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return errFail
+	}
+	s.n++
+	return nil
+}
+
+// cleanEarlyUnlock releases on each path explicitly.
+func (s *store) cleanEarlyUnlock(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return errFail
+	}
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// cleanBranches unlocks in every switch arm.
+func (s *store) cleanBranches(mode int) {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+	default:
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// cleanLoopBalanced locks and unlocks within each iteration.
+func (s *store) cleanLoopBalanced(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// cleanReadLock pairs RLock with RUnlock.
+func (s *store) cleanReadLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// annotated hands the lock to its caller by contract.
+func (s *store) annotated() {
+	//ube:lock-ok ownership transfers to the caller, which must unlock
+	s.mu.Lock()
+	s.n++
+}
+
+// goroutineScoped pairs its own locks inside the literal; the enclosing
+// function holds nothing.
+func (s *store) goroutineScoped() {
+	go func() {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}()
+}

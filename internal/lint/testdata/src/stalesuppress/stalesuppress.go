@@ -1,0 +1,38 @@
+// Package stalesuppress is the stalesuppress check's fixture corpus:
+// suppressions that still suppress (silent), suppressions orphaned by
+// refactors, stale lint-ignores, unknown directive words, and
+// declaration directives (never stale).
+package stalesuppress
+
+// used still suppresses a floateq diagnostic — silent.
+func used(a, b float64) bool {
+	//ube:float-exact fixture sentinel comparison
+	return a == b
+}
+
+// stale sits above an integer comparison: floateq never fires, so the
+// annotation suppresses nothing.
+func stale(a, b int) bool {
+	//ube:float-exact nothing on the next line compares floats
+	return a == b
+}
+
+// staleIgnore names a check that cannot fire here.
+func staleIgnore(xs []int) int {
+	total := 0
+	//ube:lint-ignore maprange a slice range was never a map range
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//ube:tolerate-flakiness no such directive exists
+func unknownDirective() {}
+
+// decl carries a declaration directive: consumed by analysis setup, so
+// never reported stale.
+type decl struct {
+	//ube:operational fixture timing field
+	t int64
+}

@@ -1,0 +1,200 @@
+// Package taintflow is the taintflow check's fixture corpus: true flows
+// through assignments, struct fields, returns, call arguments, closures,
+// method receivers and select winners — plus non-flows that must stay
+// silent (per-field granularity, operational absorption, map-range
+// values, seeded rand draws, operational counters, suppressions).
+package taintflow
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+	"unsafe"
+
+	"ube/internal/model"
+	"ube/internal/search"
+	"ube/internal/trace"
+)
+
+// sink is the fixture's generic determinism sink: every argument at
+// every call site must be deterministic.
+//
+//ube:taint-sink fixture sink; arguments are canonical by contract
+func sink(vs ...any) { _ = vs }
+
+// clock mints a tainted value behind an annotated (blessed) clock read:
+// the wallclock diagnostic is suppressed, the taint still flows.
+func clock() int64 {
+	//ube:nondeterministic-ok fixture source; the annotation must not stop the taint
+	return time.Now().UnixNano()
+}
+
+// flowDirect: source → deterministic trace counter, one statement apart.
+func flowDirect(st *trace.Stats) {
+	n := clock()
+	st.Add(trace.CSearchEvals, n) // want taintflow
+}
+
+// flowChain: taint survives an assignment chain into a declared sink.
+func flowChain() {
+	a := clock()
+	b := a
+	c := b
+	sink(c) // want taintflow
+}
+
+// record exercises per-field granularity: stamp is tainted below, count
+// never is — a tainted field must not smear across its siblings.
+type record struct {
+	stamp int64
+	count int64
+}
+
+// flowField: taint lands in one struct field and resurfaces on read.
+func flowField() {
+	var r record
+	r.stamp = clock()
+	r.count = 3
+	sink(r.stamp) // want taintflow
+	sink(r.count) // silent: sibling fields keep their own taint
+}
+
+// opRecord exercises the operational-field policy: t absorbs timing
+// taint by declaration; n stays guarded.
+type opRecord struct {
+	//ube:operational fixture timing field; never byte-compared
+	t int64
+	n int64
+}
+
+// flowOperational: writes into a declared operational field are
+// absorbed, and reads from it are clean.
+func flowOperational() {
+	var o opRecord
+	o.t = clock()
+	o.n = 7
+	sink(o.t) // silent: reads of operational fields are clean
+	sink(o.n) // silent
+}
+
+// flowReturn: taint crosses a function-return boundary.
+func flowReturn() {
+	sink(clock()) // want taintflow
+}
+
+// consume receives taint through its parameter from flowParam; the
+// diagnostic lands at the sink inside the callee.
+func consume(st *trace.Stats, x int64) {
+	st.Add(trace.CSearchEvals, x) // want taintflow (via the call below)
+}
+
+func flowParam(st *trace.Stats) {
+	consume(st, clock())
+}
+
+// box exercises interprocedural field taint through a method call.
+type box struct{ v int64 }
+
+func (b *box) put(x int64) { b.v = x }
+
+func flowMethod() {
+	b := &box{}
+	b.put(clock())
+	sink(b.v) // want taintflow
+}
+
+// flowClosure: taint crosses a closure's return.
+func flowClosure() {
+	f := func() int64 { return clock() }
+	sink(f()) // want taintflow
+}
+
+// flowSelect: a variable assigned in two comm clauses records which case
+// won the race — nondeterministic by identity, not by value.
+func flowSelect(a, b chan int64) {
+	var w int64
+	select {
+	case v := <-a:
+		w = v
+	case v := <-b:
+		w = v
+	}
+	sink(w) // want taintflow (select winner)
+}
+
+// flowPointerFmt: %p renders an address; the string is tainted.
+func flowPointerFmt() {
+	x := 0
+	addr := fmt.Sprintf("%p", &x)
+	sink(addr) // want taintflow
+}
+
+// flowUnsafe: pointer identity escaping through uintptr arithmetic.
+func flowUnsafe() {
+	x := 0
+	u := uintptr(unsafe.Pointer(&x))
+	sink(int64(u)) // want taintflow
+}
+
+// flowGlobalRand: a blessed global-RNG draw still taints its value.
+func flowGlobalRand() {
+	//ube:nondeterministic-ok fixture source; the annotation must not stop the taint
+	n := rand.Int63()
+	sink(n) // want taintflow
+}
+
+// clockQuality returns a tainted quality — assigning it as an objective
+// makes the solve a function of the clock.
+func clockQuality(S *model.SourceSet) (float64, bool) {
+	return float64(clock()), true
+}
+
+// flowObjectiveAssign: a declared function with tainted results assigned
+// into the solver objective field.
+func flowObjectiveAssign() *search.Problem {
+	p := &search.Problem{}
+	p.Objective = clockQuality // want taintflow
+	return p
+}
+
+// flowObjectiveComposite: same sink, composite-literal form, closure
+// value.
+func flowObjectiveComposite() *search.Problem {
+	base := clock()
+	return &search.Problem{
+		Objective: func(S *model.SourceSet) (float64, bool) { // want taintflow
+			return float64(base), true
+		},
+	}
+}
+
+// silentMapRange: map iteration ORDER is nondeterministic (and flagged
+// by maprange, suppressed here); an order-independent reduction of the
+// VALUES is deterministic, so no taint flows.
+func silentMapRange(m map[int]int64) {
+	var total int64
+	//ube:nondeterministic-ok order-independent sum; values are deterministic
+	for _, v := range m {
+		total += v
+	}
+	sink(total) // silent: map values carry no taint, only the order does
+}
+
+// silentSeededRand: draws from an explicitly seeded generator are the
+// sanctioned randomness path.
+func silentSeededRand() {
+	rng := rand.New(rand.NewSource(1))
+	sink(rng.Int63()) // silent
+}
+
+// silentOperationalCounter: operational counters are stripped by
+// Canonical, so timing may reach them.
+func silentOperationalCounter(st *trace.Stats) {
+	st.Add(trace.OSnapshotBuilds, clock()) // silent: operational counter
+}
+
+// silentSuppressed: the dedicated suppression silences the sink report.
+func silentSuppressed() {
+	//ube:taint-ok fixture demonstrates the suppression
+	sink(clock())
+}

@@ -70,7 +70,6 @@ func EncodeProblem(p *engine.Problem) (*ProblemDoc, error) {
 	}
 	if p.Characteristics != nil {
 		d.Characteristics = make(map[string]string, len(p.Characteristics))
-		//ube:nondeterministic-ok key-for-key map conversion is order-independent
 		for char, agg := range p.Characteristics {
 			if agg == nil {
 				return nil, fmt.Errorf("schemaio: nil aggregator for characteristic %q", char)
@@ -104,7 +103,6 @@ func (d *ProblemDoc) Decode() (engine.Problem, error) {
 	if !isFinite(d.Theta) {
 		return engine.Problem{}, fmt.Errorf("schemaio: theta %v is not a finite number", d.Theta)
 	}
-	//ube:nondeterministic-ok each weight is checked independently; order cannot matter
 	for name, w := range d.Weights {
 		if !isFinite(w) {
 			return engine.Problem{}, fmt.Errorf("schemaio: weight %q = %v is not a finite number", name, w)
@@ -141,7 +139,6 @@ func (d *ProblemDoc) Decode() (engine.Problem, error) {
 	}
 	if d.Characteristics != nil {
 		p.Characteristics = make(map[string]qef.Aggregator, len(d.Characteristics))
-		//ube:nondeterministic-ok key-for-key map conversion is order-independent
 		for char, name := range d.Characteristics {
 			agg, ok := qef.AggregatorByName(name)
 			if !ok {
@@ -179,7 +176,8 @@ type SolutionDoc struct {
 	CacheHits      int64                 `json:"cacheHits,omitempty"`
 	CacheMisses    int64                 `json:"cacheMisses,omitempty"`
 	CacheEvictions int64                 `json:"cacheEvictions,omitempty"`
-	ElapsedNS      int64                 `json:"elapsedNs,omitempty"`
+	//ube:operational timing metadata; load/chaos replay zeroes it before comparing
+	ElapsedNS int64 `json:"elapsedNs,omitempty"`
 }
 
 // EncodeSolution renders a solution as its JSON document form.
@@ -296,7 +294,6 @@ func cloneFloatMap(m map[string]float64) map[string]float64 {
 		return nil
 	}
 	out := make(map[string]float64, len(m))
-	//ube:nondeterministic-ok key-for-key map copy is order-independent
 	for k, v := range m {
 		out[k] = v
 	}

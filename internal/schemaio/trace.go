@@ -48,10 +48,12 @@ type TraceHeaderDoc struct {
 // SpanDoc is one span line. Counts carries only nonzero counters, keyed
 // by their stable wire names.
 type SpanDoc struct {
-	ID     int32            `json:"id"`
-	Parent int32            `json:"parent"`
-	Name   string           `json:"name"`
-	Start  int64            `json:"startNs"`
+	ID     int32  `json:"id"`
+	Parent int32  `json:"parent"`
+	Name   string `json:"name"`
+	//ube:operational span timings are operational; canonical traces carry them zeroed
+	Start int64 `json:"startNs"`
+	//ube:operational span timings are operational; canonical traces carry them zeroed
 	Dur    int64            `json:"durNs"`
 	Counts map[string]int64 `json:"counts,omitempty"`
 }
@@ -175,7 +177,6 @@ func (d *SpanDoc) decode(line int32) (trace.Span, error) {
 		return sp, fmt.Errorf("span %d has negative timing (start %d, dur %d)", d.ID, d.Start, d.Dur)
 	}
 	sp = trace.Span{ID: d.ID, Parent: d.Parent, Name: d.Name, Start: d.Start, Dur: d.Dur}
-	//ube:nondeterministic-ok each counter entry is validated and stored independently; order cannot matter
 	for name, v := range d.Counts {
 		c, ok := trace.CounterByName(name)
 		if !ok {

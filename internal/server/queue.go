@@ -66,6 +66,7 @@ func (s *Server) enqueue(sn *session, job *solveJob) error {
 		s.mu.Unlock()
 		return errDraining
 	}
+	//ube:lock-held-ok Fire is a seeded counter check, never a delay; admission must be atomic with the depth read
 	if s.inj.Fire(faultinject.QueueOverflow) != nil {
 		// Injected overflow: the queue reports full regardless of depth,
 		// exercising the whole 429 + Retry-After + client-backoff path.

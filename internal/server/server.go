@@ -562,7 +562,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, ": connected\n\n")
 	fl.Flush()
 
-	//ube:nondeterministic-ok SSE keepalive cadence; purely transport-level
 	heartbeat := time.NewTicker(15 * time.Second)
 	defer heartbeat.Stop()
 	for {

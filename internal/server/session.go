@@ -161,7 +161,6 @@ func (s *Server) janitor(ttl time.Duration) {
 	if interval < 50*time.Millisecond {
 		interval = 50 * time.Millisecond
 	}
-	//ube:nondeterministic-ok eviction timing is operational policy, not solver input
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {

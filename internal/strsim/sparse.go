@@ -76,7 +76,8 @@ func (c *Cache) BuildSparse(theta float64, cfg BlockConfig) (*SparseScores, Bloc
 		} else {
 			s = float64(inter) / float64(len(sa)+len(sb)-inter)
 		}
-		//ube:float-exact inclusion mirrors the dense path: scores round through float32 before the θ comparison
+		// Inclusion mirrors the dense path: scores round through float32
+		// before the θ comparison.
 		if float64(float32(s)) >= theta {
 			rows[a] = append(rows[a], sparseEntry{id: b, score: float32(s)})
 			rows[b] = append(rows[b], sparseEntry{id: a, score: float32(s)})
@@ -169,7 +170,8 @@ func (s *SparseScores) Score(a, b int) float64 {
 	if i < len(cols) && cols[i] == int32(b) {
 		return float64(s.vals[lo+i])
 	}
-	//ube:float-exact sub-θ fallback rounds through float32 so sparse and dense scorers agree bit for bit
+	// The sub-θ fallback rounds through float32 so sparse and dense
+	// scorers agree bit for bit.
 	return float64(float32(s.cache.Score(a, b)))
 }
 

@@ -207,7 +207,6 @@ func RenderDiff(w io.Writer, a, b *Trace) error {
 	}
 	ra, rb := rowsOf(a), rowsOf(b)
 	names := make([]string, 0, len(ra)+len(rb))
-	//ube:nondeterministic-ok keys are collected for sorting only
 	for name := range ra {
 		names = append(names, name)
 	}

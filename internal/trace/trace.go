@@ -203,7 +203,9 @@ type Span struct {
 	ID     int32
 	Parent int32 // -1 for a root span
 	Name   string
-	Start  int64 // ns since the tracer's first Begin; operational only
+	//ube:operational span timings are stripped by Canonical and never byte-compared
+	Start int64 // ns since the tracer's first Begin; operational only
+	//ube:operational span timings are stripped by Canonical and never byte-compared
 	Dur    int64 // ns; operational only
 	Counts Counts
 }
