@@ -1,0 +1,191 @@
+// Command ube-audit verifies and queries the tamper-evident audit
+// chains written by ube-serve -audit-chain (see internal/auditlog): a
+// hash-chained JSONL file whose records are sealed under Merkle roots,
+// optionally HMAC-signed.
+//
+// Usage:
+//
+//	ube-audit verify [-key K] chain.log      full verification; localizes the first bad record
+//	ube-audit prove  [-key K] -seq N chain.log   emit a self-contained inclusion proof (JSON, stdout)
+//	ube-audit check  [-key K] proof.json     verify a proof produced by prove
+//	ube-audit stats  [-key K] chain.log      chain summary (records, batches, unsealed tail, last root)
+//
+// "-" reads the chain (or proof) from stdin. -key gives the HMAC key
+// that signed the roots; with it, every root's signature is required to
+// verify. Exit status: 0 when everything holds, 1 when verification
+// fails (the first offending line and sequence number are reported), 2
+// on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ube/internal/auditlog"
+	"ube/internal/schemaio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "verify":
+		runVerify(args)
+	case "prove":
+		runProve(args)
+	case "check":
+		runCheck(args)
+	case "stats":
+		runStats(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ube-audit <verify|prove|check|stats> [flags] <file>
+  verify [-key K] chain.log
+  prove  [-key K] -seq N [-o proof.json] chain.log
+  check  [-key K] proof.json
+  stats  [-key K] chain.log`)
+	os.Exit(2)
+}
+
+// keyFlag registers the shared -key flag on a subcommand's flag set.
+func keyFlag(fs *flag.FlagSet) *string {
+	return fs.String("key", "", "HMAC key the chain's roots were signed with (empty: signatures not required)")
+}
+
+// keyBytes renders the flag as the byte key Verify and friends take.
+func keyBytes(key string) []byte {
+	if key == "" {
+		return nil
+	}
+	return []byte(key)
+}
+
+// openInput opens the positional input file; "-" means stdin.
+func openInput(fs *flag.FlagSet) io.ReadCloser {
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	if path == "-" {
+		return io.NopCloser(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func runVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	key := keyFlag(fs)
+	_ = fs.Parse(args)
+	in := openInput(fs)
+	defer in.Close()
+
+	rep := auditlog.Verify(in, keyBytes(*key))
+	if !rep.OK {
+		fmt.Fprintf(os.Stderr, "FAIL: %s\n", rep.Reason)
+		fmt.Fprintf(os.Stderr, "  first bad line: %d\n", rep.Line)
+		if rep.Seq > 0 {
+			fmt.Fprintf(os.Stderr, "  first bad record: seq %d\n", rep.Seq)
+		}
+		fmt.Fprintf(os.Stderr, "  intact prefix: %d records, %d sealed batches\n", rep.Records, rep.Batches)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %d records, %d batches, %d unsealed, last seq %d\n",
+		rep.Records, rep.Batches, rep.Unsealed, rep.LastSeq)
+	if rep.LastRoot != "" {
+		fmt.Printf("last root: %s\n", rep.LastRoot)
+	}
+	if *key != "" && !rep.Signed {
+		// Verify with a key already fails on bad signatures; Signed=false
+		// with a key means the chain carries no signatures at all.
+		fmt.Fprintln(os.Stderr, "FAIL: key given but the chain's roots are unsigned")
+		os.Exit(1)
+	}
+}
+
+func runProve(args []string) {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	key := keyFlag(fs)
+	seq := fs.Uint64("seq", 0, "1-based sequence number of the record to prove")
+	out := fs.String("o", "-", "proof output path (\"-\" for stdout)")
+	_ = fs.Parse(args)
+	if *seq == 0 {
+		fmt.Fprintln(os.Stderr, "prove: -seq is required (records are 1-based)")
+		os.Exit(2)
+	}
+	in := openInput(fs)
+	defer in.Close()
+
+	proof, err := auditlog.Prove(in, *seq, keyBytes(*key))
+	if err != nil {
+		fatal(err)
+	}
+	data, err := schemaio.EncodeAuditProof(proof)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func runCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	key := keyFlag(fs)
+	_ = fs.Parse(args)
+	in := openInput(fs)
+	defer in.Close()
+
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	proof, err := schemaio.DecodeAuditProofBytes(data)
+	if err != nil {
+		fatal(err)
+	}
+	if err := auditlog.CheckProof(proof, keyBytes(*key)); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: record %d is included under batch %d root %s\n", proof.Seq, proof.Batch, proof.Root)
+}
+
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	key := keyFlag(fs)
+	_ = fs.Parse(args)
+	in := openInput(fs)
+	defer in.Close()
+
+	st, err := auditlog.ReadStats(in, keyBytes(*key))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("records:  %d\nbatches:  %d\nunsealed: %d\nlast seq: %d\n", st.Records, st.Batches, st.Unsealed, st.LastSeq)
+	if st.LastRoot != "" {
+		fmt.Printf("last root: %s\n", st.LastRoot)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ube-audit:", err)
+	os.Exit(1)
+}

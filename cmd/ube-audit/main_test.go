@@ -1,0 +1,370 @@
+// CLI-level golden tests for ube-audit. The committed fixtures under
+// testdata/ are deterministic chains built from synthetic audit entries
+// (the chain format has no clock of its own — record bytes are
+// caller-supplied), so the exact file bytes, the CLI's stdout and the
+// inclusion-proof JSON are all pinned. Regenerate after an intentional
+// format change with:
+//
+//	go test ./cmd/ube-audit -update
+//
+// and review the fixture diff like any other golden.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ube/internal/auditlog"
+	"ube/internal/schemaio"
+)
+
+var update = flag.Bool("update", false, "rewrite the committed fixtures under testdata/")
+
+// fixtureKey signs the roots of chain-signed.log and its corrupt corpus.
+const fixtureKey = "ube-fixture-key"
+
+// TestMain doubles as the CLI entry point: when re-exec'd with the
+// dispatch variable set, the test binary IS ube-audit. This keeps the
+// exit-status contract (0 ok, 1 verification failure, 2 usage) testable
+// without shipping a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("UBE_AUDIT_TEST_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	flag.Parse()
+	if *update {
+		if err := regenerate(); err != nil {
+			fmt.Fprintln(os.Stderr, "regenerating fixtures:", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-execs the test binary as ube-audit and captures its output
+// and exit status.
+func runCLI(stdin []byte, args ...string) (stdout, stderr string, code int, err error) {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "UBE_AUDIT_TEST_RUN_MAIN=1")
+	if stdin != nil {
+		cmd.Stdin = bytes.NewReader(stdin)
+	}
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	runErr := cmd.Run()
+	code = 0
+	if runErr != nil {
+		ee, ok := runErr.(*exec.ExitError)
+		if !ok {
+			return "", "", 0, runErr
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code, nil
+}
+
+// fixtureRecords mints n synthetic audit entries shaped like the
+// server's real ones, with fixed timestamps so the chain bytes are
+// reproducible.
+func fixtureRecords(n int) [][]byte {
+	actions := []string{"session.create", "solve.enqueue", "solve.apply", "solve.done"}
+	recs := make([][]byte, 0, n)
+	for i := 1; i <= n; i++ {
+		line := fmt.Sprintf(
+			`{"ts":"2026-08-01T00:00:%02d.000000000Z","session":"s-%04d","action":%q,"remote":"203.0.113.7:4%03d","detail":{"iter":%d}}`,
+			i, (i-1)/4+1, actions[(i-1)%4], i, i)
+		recs = append(recs, []byte(line))
+	}
+	return recs
+}
+
+// buildChain renders a chain over records with the given options.
+func buildChain(records [][]byte, opts auditlog.Options) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := auditlog.NewWriter(&buf, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// flipAt returns a copy of data with one byte XOR-flipped at a fixed
+// offset past the first occurrence of marker.
+func flipAt(data []byte, marker string, off int) ([]byte, error) {
+	idx := bytes.Index(data, []byte(marker))
+	if idx < 0 {
+		return nil, fmt.Errorf("marker %q not found", marker)
+	}
+	out := append([]byte(nil), data...)
+	out[idx+off] ^= 0x01
+	return out, nil
+}
+
+// corruptVariants is the committed flipped-byte corpus: one single-byte
+// mutation per verifier failure class, each derived from
+// chain-signed.log at a marker-anchored offset.
+var corruptVariants = []struct {
+	name   string
+	marker string
+	off    int
+}{
+	{"record-byte", `"solve.apply"`, 1}, // inside an embedded audit entry
+	{"seq-digit", `"seq":12,`, 7},       // a record's sequence number
+	{"leaf-hex", `"leaf":"`, 8},         // a record's leaf hash
+	{"chain-hex", `"chain":"`, 9},       // the running chain hash
+	{"root-hex", `"root":"`, 8},         // a sealed Merkle root
+	{"sig-hex", `"sig":"`, 7},           // a root's HMAC signature
+}
+
+// regenerate rewrites every committed fixture: the two chains, the
+// corrupt corpus, the inclusion-proof golden, and the pinned CLI
+// stdout goldens (captured from the CLI itself so they track the real
+// output format).
+func regenerate() error {
+	unsigned, err := buildChain(fixtureRecords(21), auditlog.Options{BatchSize: 8})
+	if err != nil {
+		return err
+	}
+	signed, err := buildChain(fixtureRecords(16), auditlog.Options{BatchSize: 8, Key: []byte(fixtureKey)})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join("testdata", "corrupt"), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "chain.log"), unsigned, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "chain-signed.log"), signed, 0o644); err != nil {
+		return err
+	}
+	for _, v := range corruptVariants {
+		mut, err := flipAt(signed, v.marker, v.off)
+		if err != nil {
+			return fmt.Errorf("corrupt variant %s: %w", v.name, err)
+		}
+		path := filepath.Join("testdata", "corrupt", v.name+".log")
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			return err
+		}
+	}
+	// The proof golden and the stdout goldens come from the CLI itself.
+	goldens := []struct {
+		path string
+		args []string
+	}{
+		{"proof.json", []string{"prove", "-key", fixtureKey, "-seq", "11", filepath.Join("testdata", "chain-signed.log")}},
+		{"verify.golden", []string{"verify", filepath.Join("testdata", "chain.log")}},
+		{"verify-signed.golden", []string{"verify", "-key", fixtureKey, filepath.Join("testdata", "chain-signed.log")}},
+		{"stats-signed.golden", []string{"stats", "-key", fixtureKey, filepath.Join("testdata", "chain-signed.log")}},
+		{"check.golden", []string{"check", "-key", fixtureKey, filepath.Join("testdata", "proof.json")}},
+	}
+	for _, g := range goldens {
+		stdout, stderr, code, err := runCLI(nil, g.args...)
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("golden command %v exited %d: %s", g.args, code, stderr)
+		}
+		if err := os.WriteFile(filepath.Join("testdata", g.path), []byte(stdout), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFixture loads one committed fixture.
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	return data
+}
+
+// expectCLI runs the CLI and checks exit status plus pinned stdout.
+func expectCLI(t *testing.T, wantCode int, golden string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	stdout, stderr, code, err := runCLI(nil, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != wantCode {
+		t.Fatalf("ube-audit %v exited %d, want %d\nstdout: %s\nstderr: %s", args, code, wantCode, stdout, stderr)
+	}
+	if golden != "" {
+		want := string(readFixture(t, golden))
+		if stdout != want {
+			t.Errorf("stdout diverges from %s\n--- got ---\n%s--- want ---\n%s", golden, stdout, want)
+		}
+	}
+	return stdout, stderr
+}
+
+// TestVerifyGoldens pins verify's exit status and exact stdout on both
+// committed chains.
+func TestVerifyGoldens(t *testing.T) {
+	expectCLI(t, 0, "verify.golden", "verify", filepath.Join("testdata", "chain.log"))
+	expectCLI(t, 0, "verify-signed.golden", "verify", "-key", fixtureKey, filepath.Join("testdata", "chain-signed.log"))
+}
+
+// TestVerifyStdin covers the "-" input path: the same chain piped on
+// stdin verifies identically.
+func TestVerifyStdin(t *testing.T) {
+	chain := readFixture(t, "chain.log")
+	stdout, stderr, code, err := runCLI(chain, "verify", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("verify - exited %d: %s", code, stderr)
+	}
+	if want := string(readFixture(t, "verify.golden")); stdout != want {
+		t.Errorf("stdin verify stdout %q, want %q", stdout, want)
+	}
+}
+
+// TestVerifyKeyDiscipline pins the two key-mismatch failures: a wrong
+// key must reject a signed chain, and a key given for an unsigned chain
+// must fail rather than silently verify nothing.
+func TestVerifyKeyDiscipline(t *testing.T) {
+	_, stderr := expectCLI(t, 1, "", "verify", "-key", "not-the-key", filepath.Join("testdata", "chain-signed.log"))
+	if !strings.Contains(stderr, "FAIL") {
+		t.Errorf("wrong-key stderr lacks FAIL: %s", stderr)
+	}
+	_, stderr = expectCLI(t, 1, "", "verify", "-key", fixtureKey, filepath.Join("testdata", "chain.log"))
+	if !strings.Contains(stderr, "unsigned") {
+		t.Errorf("key-on-unsigned stderr does not name the problem: %s", stderr)
+	}
+}
+
+// TestCorruptCorpus runs verify over every committed flipped-byte
+// variant: each must exit 1 and localize a failure on stderr.
+func TestCorruptCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "corrupt", "*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(corruptVariants) {
+		t.Fatalf("%d corrupt fixtures on disk, want %d (run with -update)", len(paths), len(corruptVariants))
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			_, stderr := expectCLI(t, 1, "", "verify", "-key", fixtureKey, path)
+			if !strings.Contains(stderr, "FAIL:") {
+				t.Errorf("stderr lacks FAIL: %s", stderr)
+			}
+			if !strings.Contains(stderr, "first bad line:") {
+				t.Errorf("stderr does not localize the bad line: %s", stderr)
+			}
+		})
+	}
+}
+
+// TestEveryByteFlipFailsVerification sweeps BOTH flip masks over EVERY
+// byte of both committed chains through the same Verify the CLI calls:
+// no single-byte mutation of a committed fixture may verify. (The
+// corrupt corpus above pins a per-failure-class sample end to end; this
+// sweep closes the gaps between the samples.)
+func TestEveryByteFlipFailsVerification(t *testing.T) {
+	cases := []struct {
+		fixture string
+		key     []byte
+	}{
+		{"chain.log", nil},
+		{"chain-signed.log", []byte(fixtureKey)},
+	}
+	for _, tc := range cases {
+		data := readFixture(t, tc.fixture)
+		for _, mask := range []byte{0x01, 0x80} {
+			for pos := range data {
+				mut := append([]byte(nil), data...)
+				mut[pos] ^= mask
+				if rep := auditlog.Verify(bytes.NewReader(mut), tc.key); rep.OK {
+					t.Fatalf("%s with byte %d ^ %#x still verifies", tc.fixture, pos, mask)
+				}
+			}
+		}
+	}
+}
+
+// TestProveCheckGoldens pins the committed inclusion proof byte for
+// byte and round-trips it through check.
+func TestProveCheckGoldens(t *testing.T) {
+	stdout, _ := expectCLI(t, 0, "proof.json", "prove", "-key", fixtureKey, "-seq", "11", filepath.Join("testdata", "chain-signed.log"))
+	if !strings.Contains(stdout, schemaio.AuditProofDocName) {
+		t.Errorf("proof output lacks the doc name: %s", stdout)
+	}
+	expectCLI(t, 0, "check.golden", "check", "-key", fixtureKey, filepath.Join("testdata", "proof.json"))
+}
+
+// TestProofMutationsFailCheck mutates every hash-bound field of the
+// committed proof: the record bytes, the sequence number, a fold-path
+// sibling, the root, and the signature. Each must fail decode or check.
+// (The batch number is labeling, not hash-bound, so it is not swept.)
+func TestProofMutationsFailCheck(t *testing.T) {
+	proof := readFixture(t, "proof.json")
+	muts := []struct {
+		name   string
+		marker string
+		off    int
+	}{
+		{"record-byte", `"action":"`, 10},
+		{"seq-digit", `"seq":11,`, 7},
+		{"sibling-hex", `"sibling":"`, 11},
+		{"root-hex", `"root":"`, 8},
+		{"sig-hex", `"sig":"`, 7},
+	}
+	for _, m := range muts {
+		t.Run(m.name, func(t *testing.T) {
+			mut, err := flipAt(proof, m.marker, m.off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := schemaio.DecodeAuditProofBytes(mut)
+			if err != nil {
+				return // rejected at decode: detected
+			}
+			if err := auditlog.CheckProof(d, []byte(fixtureKey)); err == nil {
+				t.Error("mutated proof still checks out")
+			}
+		})
+	}
+}
+
+// TestStatsGolden pins stats' stdout on the signed chain.
+func TestStatsGolden(t *testing.T) {
+	expectCLI(t, 0, "stats-signed.golden", "stats", "-key", fixtureKey, filepath.Join("testdata", "chain-signed.log"))
+}
+
+// TestUsageExitCodes pins exit status 2 on usage errors.
+func TestUsageExitCodes(t *testing.T) {
+	for _, args := range [][]string{
+		nil,            // no subcommand
+		{"frobnicate"}, // unknown subcommand
+		{"prove", filepath.Join("testdata", "chain.log")}, // prove without -seq
+	} {
+		_, _, code, err := runCLI(nil, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 2 {
+			t.Errorf("ube-audit %v exited %d, want 2", args, code)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	ube-load -users 32 -iters 4 -addr http://localhost:8080
 //	ube-load -users 10            # no -addr: serves in-process
 //	ube-load -chaos plan.json     # chaos mode: replayable fault injection
+//	ube-load -kill-after 3 -resume # durable mode: SIGKILL mid-run, recover, verify
 //
 // In chaos mode (-chaos, in-process only) the server is armed with the
 // fault plan's injection schedule (see internal/faultinject), the same
@@ -21,6 +22,16 @@
 // clean, bit-identical prefix of the reference, and the /metrics
 // counters reconcile with the audit log. Any violation exits non-zero
 // with the seed and plan needed to replay the run.
+//
+// In durable mode (-kill-after N -resume) ube-load spawns ITSELF as a
+// child process running a WAL-backed server (server.Open with a
+// scratch -wal-dir), plays the scripted feedback loop against it, and
+// after the Nth acknowledged solve SIGKILLs the child mid-flight — the
+// real crash, not a simulation. -resume restarts the child on the same
+// WAL directory and requires recovery to hand back every acknowledged
+// iteration byte-for-byte, then finishes the script and requires the
+// final history to match an uninterrupted in-process reference run.
+// The verdicts and recovery timing land in BENCH_durable.json.
 package main
 
 import (
@@ -59,12 +70,37 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base seed for the per-user backoff-jitter RNGs")
 		chaos   = flag.String("chaos", "", "fault plan JSON path: run chaos mode (in-process only)")
 		timeout = flag.Duration("solve-timeout", 2*time.Second, "per-solve deadline in chaos mode")
+
+		killAfter = flag.Int("kill-after", 0, "durable mode: SIGKILL the WAL-backed server child after N acknowledged solves")
+		resume    = flag.Bool("resume", false, "durable mode: restart the killed child on the same WAL and verify recovery")
+		walDir    = flag.String("wal-dir", "", "durable mode: WAL directory for the server child (empty: scratch dir)")
+		durOut    = flag.String("durable-o", "BENCH_durable.json", "durable-mode benchmark output path")
+
+		serveChild = flag.Bool("serve-child", false, "internal: run as the durable server child (spawned by durable mode)")
 	)
 	flag.Parse()
+
+	if *serveChild {
+		runServeChild(*walDir, *workers, *queue)
+		return
+	}
 
 	u, _, err := synth.Generate(synth.QuickConfig(*n))
 	if err != nil {
 		log.Fatalf("generating catalog: %v", err)
+	}
+
+	if *killAfter > 0 {
+		if *addr != "" {
+			log.Fatal("-kill-after spawns its own server child; drop -addr")
+		}
+		if !*resume {
+			log.Fatal("-kill-after without -resume would only prove the kill; add -resume to verify recovery")
+		}
+		if err := runDurableMode(u, *killAfter, *iters, *evals, *workers, *queue, *walDir, *durOut); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *chaos != "" {
@@ -267,16 +303,7 @@ func runUser(client *http.Client, base string, u *model.Universe, prob *schemaio
 	var lastSources []int
 script:
 	for k := 0; k < iters; k++ {
-		edit := map[string]any{}
-		switch {
-		case k == 0: // cold solve, no edits
-		case k%3 == 1 && len(lastSources) > 0: // pin the first chosen source
-			edit["pinSources"] = []int{lastSources[0]}
-		case k%3 == 2: // tighten the matching threshold
-			edit["theta"] = 0.75
-		default: // bias cardinality, rescaling the rest
-			edit["setWeights"] = map[string]float64{"card": 0.5}
-		}
+		edit := scriptEdit(k, lastSources)
 
 		var solved struct {
 			Solution *schemaio.SolutionDoc `json:"solution"`
@@ -334,6 +361,25 @@ script:
 	}
 	r.history = string(canon)
 	return r
+}
+
+// scriptEdit is iteration k's problem edit in the shared user script —
+// solve, pin the best source, tighten θ, bias a weight — derived only
+// from the iteration index and the previous solution, so every run of
+// the script (load users, chaos survivors, durable-mode resumes) edits
+// identically.
+func scriptEdit(k int, lastSources []int) map[string]any {
+	edit := map[string]any{}
+	switch {
+	case k == 0: // cold solve, no edits
+	case k%3 == 1 && len(lastSources) > 0: // pin the first chosen source
+		edit["pinSources"] = []int{lastSources[0]}
+	case k%3 == 2: // tighten the matching threshold
+		edit["theta"] = 0.75
+	default: // bias cardinality, rescaling the rest
+		edit["setWeights"] = map[string]float64{"card": 0.5}
+	}
+	return edit
 }
 
 // backoff is capped exponential backoff with seeded jitter. The

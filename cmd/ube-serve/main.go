@@ -5,6 +5,15 @@
 // Usage:
 //
 //	ube-serve [-addr :8080] [-workers 4] [-queue 32] [-session-ttl 30m] [-audit audit.jsonl]
+//	ube-serve -wal-dir /var/lib/ube/wal [-wal-fsync] [-snapshot-every 16]   durable sessions
+//	ube-serve -audit-chain chain.log [-audit-chain-key K]                   tamper-evident audit
+//
+// With -wal-dir, sessions are durable: every create, committed solve,
+// delete and evict is written ahead to a segment log there, and startup
+// replays whatever the log holds — after a crash, every acknowledged
+// session comes back with its history bit-identical (see internal/wal
+// and DESIGN.md §14). -audit-chain mirrors the audit trail into a
+// hash-chained, Merkle-sealed log that ube-audit can verify offline.
 //
 // The process drains gracefully on SIGTERM/SIGINT: new work is refused
 // with 503, event streams disconnect, in-flight and queued solves finish
@@ -13,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"ube/internal/auditlog"
 	"ube/internal/faultinject"
 	"ube/internal/schemaio"
 	"ube/internal/server"
@@ -39,6 +50,12 @@ func main() {
 		solveTimeout = flag.Duration("solve-timeout", 0, "per-solve deadline; past it the solve is cancelled with 504 (0 disables)")
 		retryAfter   = flag.Int("retry-after", 2, "Retry-After seconds sent with 429/503/504 responses")
 		faultPlan    = flag.String("fault-plan", "", "fault-injection plan JSON path (chaos testing only; see internal/faultinject)")
+		walDir       = flag.String("wal-dir", "", "write-ahead-log directory: makes sessions durable across restarts (empty disables)")
+		walFsync     = flag.Bool("wal-fsync", false, "fsync every WAL group commit before acknowledging")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0: default 16 MiB)")
+		snapEvery    = flag.Int("snapshot-every", 16, "write a per-session WAL snapshot every N solves, bounding recovery replay")
+		chainPath    = flag.String("audit-chain", "", "tamper-evident audit chain path (hash-chained, Merkle-sealed; verify with ube-audit)")
+		chainKey     = flag.String("audit-chain-key", "", "HMAC key signing the audit chain's Merkle roots (empty: unsigned)")
 	)
 	flag.Parse()
 
@@ -49,6 +66,10 @@ func main() {
 		SessionTTL:        *sessionTTL,
 		SolveTimeout:      *solveTimeout,
 		RetryAfterSeconds: *retryAfter,
+		WALDir:            *walDir,
+		WALFsync:          *walFsync,
+		WALSegmentBytes:   *walSegBytes,
+		SnapshotEvery:     *snapEvery,
 	}
 	if *faultPlan != "" {
 		raw, err := os.ReadFile(*faultPlan)
@@ -75,8 +96,35 @@ func main() {
 		defer f.Close()
 		cfg.AuditWriter = f
 	}
+	if *chainPath != "" {
+		var key []byte
+		if *chainKey != "" {
+			key = []byte(*chainKey)
+		}
+		cw, f, err := auditlog.OpenFile(*chainPath, auditlog.Options{Key: key})
+		if err != nil {
+			log.Fatalf("opening audit chain: %v", err)
+		}
+		defer f.Close()
+		cfg.AuditChain = cw
+	}
 
-	srv := server.New(cfg)
+	srv, err := server.Open(cfg)
+	if err != nil {
+		log.Fatalf("opening server: %v", err)
+	}
+	if *walDir != "" {
+		// Surface what startup recovery found (also served as the
+		// /metrics walRecovery section).
+		if data, err := json.Marshal(srv.Metrics()); err == nil {
+			var m struct {
+				Recovery json.RawMessage `json:"walRecovery"`
+			}
+			if json.Unmarshal(data, &m) == nil && len(m.Recovery) > 0 {
+				log.Printf("durable: recovered from %s: %s", *walDir, m.Recovery)
+			}
+		}
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

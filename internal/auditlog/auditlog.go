@@ -1,0 +1,287 @@
+// Package auditlog hardens the server's plain JSONL audit trail into a
+// tamper-evident chain (DESIGN.md §14). Each audit entry is hashed into
+// a leaf (SHA-256 over its big-endian sequence number and its exact
+// bytes as they appear on the line), every leaf extends a running hash
+// chain, and every BatchSize leaves are sealed under a Bitcoin-style
+// Merkle root — levels pair up left-to-right, an odd level duplicates
+// its last node — so a verifier can recompute everything from the file
+// alone and localize the first record that no longer matches. Roots can
+// additionally carry an HMAC-SHA256 signature so a reader holding the
+// key can anchor the file against wholesale regeneration.
+//
+// The chain is emitted alongside (never instead of) the plain JSONL
+// view: the embedded record bytes ARE the JSONL entries, so existing
+// tooling keeps working against either file.
+package auditlog
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"ube/internal/schemaio"
+)
+
+// DefaultBatchSize seals a Merkle batch every this many records.
+const DefaultBatchSize = 16
+
+// Options configures a chain writer.
+type Options struct {
+	// BatchSize is the records-per-Merkle-batch count (default 16).
+	BatchSize int
+	// Key, when set, HMAC-SHA256-signs every sealed root.
+	Key []byte
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// Writer appends records to a hash chain. Safe for concurrent use.
+type Writer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	opts Options
+
+	seq         uint64
+	chain       [32]byte
+	batch       uint64
+	pending     [][32]byte
+	pendingFrom uint64
+}
+
+// NewWriter starts a fresh chain on w: it writes the header line and
+// returns a writer positioned at sequence 1.
+func NewWriter(w io.Writer, opts Options) (*Writer, error) {
+	cw := &Writer{w: w, opts: opts.withDefaults()}
+	line := append(schemaio.EncodeAuditChainHeader(), '\n')
+	if _, err := w.Write(line); err != nil {
+		return nil, fmt.Errorf("auditlog: writing header: %w", err)
+	}
+	return cw, nil
+}
+
+// ResumeWriter adopts the state of an existing chain read from prior
+// and continues appending to w (typically the same file, positioned at
+// its end). The prior chain is fully verified first: resuming a
+// tampered chain would silently launder the tamper.
+func ResumeWriter(w io.Writer, prior io.Reader, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	rep := Verify(prior, opts.Key)
+	if !rep.OK {
+		return nil, fmt.Errorf("auditlog: refusing to resume: %s (line %d)", rep.Reason, rep.Line)
+	}
+	cw := &Writer{
+		w:           w,
+		opts:        opts,
+		seq:         rep.LastSeq,
+		chain:       rep.lastChain,
+		batch:       uint64(rep.Batches),
+		pending:     rep.pendingLeaves,
+		pendingFrom: rep.pendingFrom,
+	}
+	return cw, nil
+}
+
+// OpenFile opens (or creates) the chain file at path for appending,
+// resuming existing state when the file is non-empty.
+func OpenFile(path string, opts Options) (*Writer, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("auditlog: opening %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("auditlog: stat %s: %w", path, err)
+	}
+	var w *Writer
+	if info.Size() == 0 {
+		w, err = NewWriter(f, opts)
+	} else {
+		w, err = ResumeWriter(f, f, opts)
+		if err == nil {
+			_, err = f.Seek(0, io.SeekEnd)
+		}
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, f, nil
+}
+
+// Append hashes one audit entry into the chain and writes its line,
+// sealing a batch when one fills. On error nothing is adopted into the
+// in-memory chain state, so the caller's drop accounting matches what a
+// verifier will later see.
+func (cw *Writer) Append(record []byte) error {
+	canonical, err := json.Marshal(json.RawMessage(record))
+	if err != nil {
+		return fmt.Errorf("auditlog: record is not valid JSON: %w", err)
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	seq := cw.seq + 1
+	leaf := leafHash(seq, canonical)
+	chain := chainHash(cw.chain, leaf)
+	line, err := schemaio.EncodeAuditChainRecord(&schemaio.AuditChainRecordDoc{
+		K:      schemaio.AuditChainKindRecord,
+		Seq:    seq,
+		Record: canonical,
+		Leaf:   hex.EncodeToString(leaf[:]),
+		Chain:  hex.EncodeToString(chain[:]),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("auditlog: writing record %d: %w", seq, err)
+	}
+	cw.seq = seq
+	cw.chain = chain
+	if len(cw.pending) == 0 {
+		cw.pendingFrom = seq
+	}
+	cw.pending = append(cw.pending, leaf)
+	if len(cw.pending) >= cw.opts.BatchSize {
+		return cw.sealLocked()
+	}
+	return nil
+}
+
+// Seal closes the current partial batch, if any — called on shutdown so
+// a cleanly-stopped chain is sealed end to end. After a crash the
+// unsealed tail is still chain-verified, just not yet under a root.
+func (cw *Writer) Seal() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if len(cw.pending) == 0 {
+		return nil
+	}
+	return cw.sealLocked()
+}
+
+// Stats reports the writer's current position.
+func (cw *Writer) Stats() (seq uint64, batches uint64, unsealed int) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.seq, cw.batch, len(cw.pending)
+}
+
+func (cw *Writer) sealLocked() error {
+	root := merkleRoot(cw.pending)
+	doc := &schemaio.AuditChainBatchDoc{
+		K:     schemaio.AuditChainKindBatch,
+		Batch: cw.batch + 1,
+		From:  cw.pendingFrom,
+		To:    cw.seq,
+		Root:  hex.EncodeToString(root[:]),
+	}
+	if len(cw.opts.Key) > 0 {
+		doc.Sig = hex.EncodeToString(signRoot(cw.opts.Key, root))
+	}
+	line, err := schemaio.EncodeAuditChainBatch(doc)
+	if err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("auditlog: writing batch %d: %w", doc.Batch, err)
+	}
+	cw.batch++
+	cw.pending = cw.pending[:0]
+	return nil
+}
+
+// leafHash binds a record's bytes to its position:
+// SHA-256(seq_be8 ‖ record).
+func leafHash(seq uint64, record []byte) [32]byte {
+	var pos [8]byte
+	binary.BigEndian.PutUint64(pos[:], seq)
+	h := sha256.New()
+	h.Write(pos[:])
+	h.Write(record)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// chainHash extends the running chain: SHA-256(prev ‖ leaf). The
+// genesis value is 32 zero bytes.
+func chainHash(prev, leaf [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(leaf[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleRoot folds leaves Bitcoin-style: pair left-to-right, duplicate
+// the last node of an odd level, parent = SHA-256(left ‖ right). A
+// single leaf is its own root.
+func merkleRoot(leaves [][32]byte) [32]byte {
+	if len(leaves) == 0 {
+		return [32]byte{}
+	}
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			next = append(next, pairHash(level[i], level[i+1]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// merkleProof returns the sibling path for leaf idx, innermost first.
+func merkleProof(leaves [][32]byte, idx int) []schemaio.AuditProofStepDoc {
+	var steps []schemaio.AuditProofStepDoc
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		sib := idx ^ 1
+		steps = append(steps, schemaio.AuditProofStepDoc{
+			Right:   sib > idx,
+			Sibling: hex.EncodeToString(level[sib][:]),
+		})
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			next = append(next, pairHash(level[i], level[i+1]))
+		}
+		level = next
+		idx /= 2
+	}
+	return steps
+}
+
+func pairHash(left, right [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// signRoot is the optional external anchor: HMAC-SHA256(key, root).
+func signRoot(key []byte, root [32]byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(root[:])
+	return m.Sum(nil)
+}

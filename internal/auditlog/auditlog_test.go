@@ -1,0 +1,330 @@
+package auditlog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ube/internal/schemaio"
+)
+
+// writeChain builds a chain of n records in memory.
+func writeChain(t *testing.T, n int, opts Options, seal bool) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opts)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := 1; i <= n; i++ {
+		rec := fmt.Sprintf(`{"ts":%d,"session":"s%d","action":"solve.done"}`, 1700000000+i, i%3)
+		if err := w.Append([]byte(rec)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if seal {
+		if err := w.Seal(); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+	}
+	return &buf
+}
+
+func TestChainVerifyRoundTrip(t *testing.T) {
+	buf := writeChain(t, 10, Options{BatchSize: 4}, true)
+	rep := Verify(bytes.NewReader(buf.Bytes()), nil)
+	if !rep.OK {
+		t.Fatalf("verify failed: %s (line %d)", rep.Reason, rep.Line)
+	}
+	if rep.Records != 10 || rep.Batches != 3 || rep.Unsealed != 0 || rep.LastSeq != 10 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Signed {
+		t.Fatal("unsigned chain reported signed")
+	}
+}
+
+func TestChainUnsealedTail(t *testing.T) {
+	buf := writeChain(t, 5, Options{BatchSize: 4}, false)
+	rep := Verify(bytes.NewReader(buf.Bytes()), nil)
+	if !rep.OK || rep.Batches != 1 || rep.Unsealed != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestEveryByteFlipDetected(t *testing.T) {
+	data := writeChain(t, 6, Options{BatchSize: 4}, true).Bytes()
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x01
+		rep := Verify(bytes.NewReader(mut), nil)
+		if rep.OK {
+			t.Fatalf("flip at byte %d (line content %q) verified", pos, lineAt(data, pos))
+		}
+	}
+	// And a high-bit flip sweep, which exercises different failure
+	// shapes (invalid UTF-8, broken JSON structure).
+	for pos := 0; pos < len(data); pos += 7 {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x80
+		if rep := Verify(bytes.NewReader(mut), nil); rep.OK {
+			t.Fatalf("high-bit flip at byte %d verified", pos)
+		}
+	}
+}
+
+func TestTamperLocalization(t *testing.T) {
+	data := writeChain(t, 6, Options{BatchSize: 3}, true).Bytes()
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Layout: header, r1..r3, b1, r4..r6, b2. Flip a content byte
+	// inside record 5's line (index 6) and the report must localize
+	// seq 5, not just "somewhere".
+	target := 6
+	mut := bytes.Join(lines, nil)
+	off := 0
+	for i := 0; i < target; i++ {
+		off += len(lines[i])
+	}
+	idx := bytes.Index(lines[target], []byte("solve.done"))
+	if idx < 0 {
+		t.Fatalf("layout changed: %q", lines[target])
+	}
+	mut[off+idx] = 'x'
+	rep := Verify(bytes.NewReader(mut), nil)
+	if rep.OK {
+		t.Fatal("tampered record verified")
+	}
+	if rep.Line != target+1 || rep.Seq != 5 {
+		t.Fatalf("localized line %d seq %d, want line %d seq 5 (%s)", rep.Line, rep.Seq, target+1, rep.Reason)
+	}
+}
+
+func TestReorderDetected(t *testing.T) {
+	data := writeChain(t, 6, Options{BatchSize: 3}, true).Bytes()
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	swap := func(i, j int) []byte {
+		cp := append([][]byte(nil), lines...)
+		cp[i], cp[j] = cp[j], cp[i]
+		return bytes.Join(cp, nil)
+	}
+	// records 1 and 2 swapped; batches 1 and 2 swapped; record moved
+	// across a batch boundary.
+	for _, mut := range [][]byte{swap(1, 2), swap(4, 8), swap(3, 5)} {
+		if rep := Verify(bytes.NewReader(mut), nil); rep.OK {
+			t.Fatal("reordered chain verified")
+		}
+	}
+}
+
+func TestSignedRoots(t *testing.T) {
+	key := []byte("audit-root-key")
+	buf := writeChain(t, 8, Options{BatchSize: 4, Key: key}, true)
+	data := buf.Bytes()
+	if rep := Verify(bytes.NewReader(data), key); !rep.OK || !rep.Signed {
+		t.Fatalf("keyed verify: %+v", rep)
+	}
+	if rep := Verify(bytes.NewReader(data), nil); !rep.OK || !rep.Signed {
+		t.Fatalf("unkeyed verify of signed chain: %+v", rep)
+	}
+	if rep := Verify(bytes.NewReader(data), []byte("wrong")); rep.OK {
+		t.Fatal("wrong key verified")
+	}
+	unsigned := writeChain(t, 4, Options{BatchSize: 4}, true)
+	if rep := Verify(bytes.NewReader(unsigned.Bytes()), key); rep.OK {
+		t.Fatal("unsigned chain verified under a key")
+	}
+}
+
+func TestResumeWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Options{BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Resume mid-batch (3 sealed + 1 unsealed) and continue.
+	w2, err := ResumeWriter(&buf, bytes.NewReader(buf.Bytes()), Options{BatchSize: 3})
+	if err != nil {
+		t.Fatalf("ResumeWriter: %v", err)
+	}
+	for i := 4; i < 7; i++ {
+		if err := w2.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	rep := Verify(bytes.NewReader(buf.Bytes()), nil)
+	if !rep.OK || rep.Records != 7 || rep.Batches != 3 || rep.Unsealed != 0 {
+		t.Fatalf("resumed chain: %+v", rep)
+	}
+	// Resuming a tampered chain must refuse.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/2] ^= 0x01
+	if _, err := ResumeWriter(io_Discard(), bytes.NewReader(data), Options{}); err == nil {
+		t.Fatal("resumed a tampered chain")
+	}
+}
+
+func io_Discard() *bytes.Buffer { return &bytes.Buffer{} }
+
+func TestOpenFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.chain")
+	w, f, err := OpenFile(path, Options{BatchSize: 2})
+	if err != nil {
+		t.Fatalf("OpenFile fresh: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	w2, f2, err := OpenFile(path, Options{BatchSize: 2})
+	if err != nil {
+		t.Fatalf("OpenFile resume: %v", err)
+	}
+	if err := w2.Append([]byte(`{"n":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Verify(bytes.NewReader(data), nil)
+	if !rep.OK || rep.Records != 4 || rep.Batches != 2 {
+		t.Fatalf("file chain: %+v", rep)
+	}
+}
+
+func TestProveAndCheck(t *testing.T) {
+	key := []byte("prove-key")
+	buf := writeChain(t, 9, Options{BatchSize: 4, Key: key}, true)
+	data := buf.Bytes()
+	for seq := uint64(1); seq <= 9; seq++ {
+		proof, err := Prove(bytes.NewReader(data), seq, key)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", seq, err)
+		}
+		if err := CheckProof(proof, key); err != nil {
+			t.Fatalf("CheckProof(%d): %v", seq, err)
+		}
+		if err := CheckProof(proof, nil); err != nil {
+			t.Fatalf("unkeyed CheckProof(%d): %v", seq, err)
+		}
+		// A mutated record must not fold to the root.
+		bad := *proof
+		bad.Record = []byte(`{"forged":true}`)
+		if err := CheckProof(&bad, nil); err == nil {
+			t.Fatalf("forged record for seq %d proved", seq)
+		}
+		if err := CheckProof(proof, []byte("wrong")); err == nil {
+			t.Fatalf("wrong key accepted for seq %d", seq)
+		}
+	}
+	if _, err := Prove(bytes.NewReader(data), 0, nil); err == nil {
+		t.Fatal("Prove(0) succeeded")
+	}
+	if _, err := Prove(bytes.NewReader(data), 99, nil); err == nil {
+		t.Fatal("Prove past end succeeded")
+	}
+	// Proof round-trips through its document encoding.
+	proof, err := Prove(bytes.NewReader(data), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := schemaio.EncodeAuditProof(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := schemaio.DecodeAuditProofBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckProof(dec, key); err != nil {
+		t.Fatalf("decoded proof: %v", err)
+	}
+}
+
+func TestProveUnsealedRecord(t *testing.T) {
+	buf := writeChain(t, 5, Options{BatchSize: 4}, false)
+	if _, err := Prove(bytes.NewReader(buf.Bytes()), 5, nil); err == nil || !strings.Contains(err.Error(), "not sealed") {
+		t.Fatalf("Prove(unsealed) err = %v", err)
+	}
+}
+
+func TestReadStats(t *testing.T) {
+	buf := writeChain(t, 7, Options{BatchSize: 4}, false)
+	st, err := ReadStats(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 7 || st.Batches != 1 || st.Unsealed != 3 || st.LastSeq != 7 || st.LastRoot == "" {
+		t.Fatalf("stats: %+v", st)
+	}
+	data := buf.Bytes()
+	data[len(data)/3] ^= 0x04
+	if _, err := ReadStats(bytes.NewReader(data), nil); err == nil {
+		t.Fatal("stats over tampered chain succeeded")
+	}
+}
+
+func TestVerifyStructuralCases(t *testing.T) {
+	header := string(schemaio.EncodeAuditChainHeader()) + "\n"
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"no header", `{"k":"r","seq":1,"record":{},"leaf":"x","chain":"x"}` + "\n"},
+		{"double header", header + header},
+		{"garbage line", header + "not json\n"},
+		{"batch sealing nothing", header + `{"k":"b","batch":1,"from":1,"to":1,"root":"` + strings.Repeat("0", 64) + `"}` + "\n"},
+	}
+	for _, tc := range cases {
+		if rep := Verify(strings.NewReader(tc.data), nil); rep.OK {
+			t.Errorf("%s: verified", tc.name)
+		}
+	}
+	if rep := Verify(strings.NewReader(header), nil); !rep.OK || rep.Records != 0 {
+		t.Errorf("header-only chain: %+v", rep)
+	}
+}
+
+func TestAppendRejectsInvalidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte(`{"broken":`)); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if seq, _, _ := w.Stats(); seq != 0 {
+		t.Fatalf("failed append advanced seq to %d", seq)
+	}
+}
+
+// lineAt reports the chain line containing byte pos, for failure output.
+func lineAt(data []byte, pos int) string {
+	start := bytes.LastIndexByte(data[:pos], '\n') + 1
+	end := bytes.IndexByte(data[pos:], '\n')
+	if end < 0 {
+		end = len(data)
+	} else {
+		end += pos
+	}
+	return string(data[start:end])
+}

@@ -1,0 +1,285 @@
+package auditlog
+
+// Verification walks a chain file line by line and recomputes
+// everything: each parsed line must re-render byte-identically (so any
+// mutation at all — content, hashes, even formatting — is visible),
+// each leaf and chain hash must match a recompute over the embedded
+// record bytes, and each batch root must match a Merkle recompute over
+// the leaves it seals. The first line that fails is the localization
+// the tamper report carries.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/hmac"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"ube/internal/schemaio"
+)
+
+// maxLine bounds one chain line for the scanner; schemaio enforces its
+// own limit during decode.
+const maxLine = 1<<20 + 64
+
+// Report is the outcome of verifying a chain. When OK is false, Line
+// (1-based, header included) and Seq (0 for structural damage before
+// any record) localize the first bad record, and Reason says what no
+// longer holds.
+type Report struct {
+	OK     bool
+	Line   int
+	Seq    uint64
+	Reason string
+
+	Records  int
+	Batches  int
+	Unsealed int
+	LastSeq  uint64
+	// LastRoot is the most recently sealed root, hex; empty before the
+	// first sealed batch.
+	LastRoot string
+	// Signed reports whether every sealed batch carried a signature.
+	Signed bool
+
+	lastChain     [32]byte
+	pendingLeaves [][32]byte
+	pendingFrom   uint64
+}
+
+// Verify recomputes the whole chain read from r. A nil key skips
+// signature checks; a non-nil key requires every batch to carry a
+// matching signature. Verify never panics on arbitrary input.
+func Verify(r io.Reader, key []byte) Report {
+	rep := Report{Signed: true}
+	bad := func(line int, seq uint64, reason string) Report {
+		rep.OK = false
+		rep.Line = line
+		rep.Seq = seq
+		rep.Reason = reason
+		return rep
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		doc, err := schemaio.DecodeAuditChainLine(line)
+		if err != nil {
+			return bad(lineNo, 0, err.Error())
+		}
+		switch d := doc.(type) {
+		case *schemaio.AuditChainHeaderDoc:
+			if lineNo != 1 {
+				return bad(lineNo, 0, "header line appears after line 1")
+			}
+			if !bytes.Equal(line, schemaio.EncodeAuditChainHeader()) {
+				return bad(lineNo, 0, "header line is not canonical")
+			}
+			sawHeader = true
+		case *schemaio.AuditChainRecordDoc:
+			if !sawHeader {
+				return bad(lineNo, d.Seq, "record before header")
+			}
+			render, err := schemaio.EncodeAuditChainRecord(d)
+			if err != nil || !bytes.Equal(line, render) {
+				return bad(lineNo, d.Seq, fmt.Sprintf("record %d line is not canonical", d.Seq))
+			}
+			if d.Seq != rep.LastSeq+1 {
+				return bad(lineNo, d.Seq, fmt.Sprintf("record seq %d breaks contiguity after %d", d.Seq, rep.LastSeq))
+			}
+			leaf := leafHash(d.Seq, d.Record)
+			if hex.EncodeToString(leaf[:]) != d.Leaf {
+				return bad(lineNo, d.Seq, fmt.Sprintf("record %d leaf hash does not match its bytes", d.Seq))
+			}
+			chain := chainHash(rep.lastChain, leaf)
+			if hex.EncodeToString(chain[:]) != d.Chain {
+				return bad(lineNo, d.Seq, fmt.Sprintf("record %d chain hash does not extend record %d", d.Seq, d.Seq-1))
+			}
+			rep.lastChain = chain
+			rep.LastSeq = d.Seq
+			rep.Records++
+			if len(rep.pendingLeaves) == 0 {
+				rep.pendingFrom = d.Seq
+			}
+			rep.pendingLeaves = append(rep.pendingLeaves, leaf)
+		case *schemaio.AuditChainBatchDoc:
+			if !sawHeader {
+				return bad(lineNo, 0, "batch before header")
+			}
+			render, err := schemaio.EncodeAuditChainBatch(d)
+			if err != nil || !bytes.Equal(line, render) {
+				return bad(lineNo, 0, fmt.Sprintf("batch %d line is not canonical", d.Batch))
+			}
+			if d.Batch != uint64(rep.Batches)+1 {
+				return bad(lineNo, 0, fmt.Sprintf("batch number %d breaks contiguity after %d", d.Batch, rep.Batches))
+			}
+			if len(rep.pendingLeaves) == 0 {
+				return bad(lineNo, 0, fmt.Sprintf("batch %d seals no records", d.Batch))
+			}
+			if d.From != rep.pendingFrom || d.To != rep.LastSeq {
+				return bad(lineNo, 0, fmt.Sprintf("batch %d claims [%d,%d], records say [%d,%d]",
+					d.Batch, d.From, d.To, rep.pendingFrom, rep.LastSeq))
+			}
+			root := merkleRoot(rep.pendingLeaves)
+			if hex.EncodeToString(root[:]) != d.Root {
+				return bad(lineNo, rep.pendingFrom, fmt.Sprintf("batch %d merkle root does not match records [%d,%d]", d.Batch, d.From, d.To))
+			}
+			if d.Sig == "" {
+				rep.Signed = false
+				if key != nil {
+					return bad(lineNo, 0, fmt.Sprintf("batch %d is unsigned but a key was given", d.Batch))
+				}
+			} else if key != nil {
+				sig, _ := hex.DecodeString(d.Sig)
+				if !hmac.Equal(sig, signRoot(key, root)) {
+					return bad(lineNo, 0, fmt.Sprintf("batch %d signature does not verify", d.Batch))
+				}
+			}
+			rep.Batches++
+			rep.LastRoot = d.Root
+			rep.pendingLeaves = nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return bad(lineNo+1, 0, fmt.Sprintf("reading chain: %v", err))
+	}
+	if !sawHeader {
+		return bad(1, 0, "chain has no header line")
+	}
+	if rep.Batches == 0 {
+		rep.Signed = false
+	}
+	rep.Unsealed = len(rep.pendingLeaves)
+	rep.OK = true
+	return rep
+}
+
+// Prove builds a self-contained inclusion proof for record seq from the
+// chain read from r. The record must already be sealed under a batch;
+// an unsealed tail record has no root to prove against yet.
+func Prove(r io.Reader, seq uint64, key []byte) (*schemaio.AuditProofDoc, error) {
+	if seq == 0 {
+		return nil, fmt.Errorf("auditlog: record sequence numbers are 1-based")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	var leaves [][32]byte
+	var records []schemaio.AuditChainRecordDoc
+	var from uint64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		doc, err := schemaio.DecodeAuditChainLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("auditlog: line %d: %w", lineNo, err)
+		}
+		switch d := doc.(type) {
+		case *schemaio.AuditChainRecordDoc:
+			if len(leaves) == 0 {
+				from = d.Seq
+			}
+			leaves = append(leaves, leafHash(d.Seq, d.Record))
+			records = append(records, *d)
+		case *schemaio.AuditChainBatchDoc:
+			if seq >= from && seq <= d.To && len(leaves) > 0 {
+				idx := int(seq - from)
+				if idx >= len(records) {
+					return nil, fmt.Errorf("auditlog: batch %d does not hold record %d", d.Batch, seq)
+				}
+				proof := &schemaio.AuditProofDoc{
+					Doc:    schemaio.AuditProofDocName,
+					Seq:    seq,
+					Batch:  d.Batch,
+					Record: records[idx].Record,
+					Steps:  merkleProof(leaves, idx),
+					Root:   d.Root,
+					Sig:    d.Sig,
+				}
+				if err := checkProofAgainst(proof, key); err != nil {
+					return nil, fmt.Errorf("auditlog: chain is inconsistent at record %d: %w", seq, err)
+				}
+				return proof, nil
+			}
+			leaves = nil
+			records = nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("auditlog: reading chain: %w", err)
+	}
+	return nil, fmt.Errorf("auditlog: record %d is not sealed under any batch", seq)
+}
+
+// CheckProof verifies a self-contained inclusion proof: the record's
+// leaf must fold through the steps to the claimed root, and — when a
+// key is given — the root's signature must verify.
+func CheckProof(d *schemaio.AuditProofDoc, key []byte) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	return checkProofAgainst(d, key)
+}
+
+func checkProofAgainst(d *schemaio.AuditProofDoc, key []byte) error {
+	h := leafHash(d.Seq, d.Record)
+	for _, s := range d.Steps {
+		sib, err := hex.DecodeString(s.Sibling)
+		if err != nil || len(sib) != 32 {
+			return fmt.Errorf("auditlog: proof step sibling is not a SHA-256 digest")
+		}
+		var sibArr [32]byte
+		copy(sibArr[:], sib)
+		if s.Right {
+			h = pairHash(h, sibArr)
+		} else {
+			h = pairHash(sibArr, h)
+		}
+	}
+	if hex.EncodeToString(h[:]) != d.Root {
+		return fmt.Errorf("auditlog: proof does not fold to root %s", d.Root)
+	}
+	if key != nil {
+		if d.Sig == "" {
+			return fmt.Errorf("auditlog: proof carries no signature but a key was given")
+		}
+		sig, _ := hex.DecodeString(d.Sig)
+		var root [32]byte
+		copy(root[:], h[:])
+		if !hmac.Equal(sig, signRoot(key, root)) {
+			return fmt.Errorf("auditlog: root signature does not verify")
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a chain without fully recomputing it.
+type Stats struct {
+	Records  int
+	Batches  int
+	Unsealed int
+	LastSeq  uint64
+	LastRoot string
+	Signed   bool
+}
+
+// ReadStats runs a full verification and reports the chain's shape;
+// it fails on a tampered chain, because statistics over unverified
+// records would be statistics over nothing.
+func ReadStats(r io.Reader, key []byte) (Stats, error) {
+	rep := Verify(r, key)
+	if !rep.OK {
+		return Stats{}, fmt.Errorf("auditlog: %s (line %d)", rep.Reason, rep.Line)
+	}
+	return Stats{
+		Records:  rep.Records,
+		Batches:  rep.Batches,
+		Unsealed: rep.Unsealed,
+		LastSeq:  rep.LastSeq,
+		LastRoot: rep.LastRoot,
+		Signed:   rep.Signed,
+	}, nil
+}

@@ -85,6 +85,19 @@ func (s *Session) SolveContext(ctx context.Context) (*Solution, error) {
 // mid-batch error so edits stay all-or-nothing.
 func (s *Session) SetProblem(p Problem) { s.problem = snapshot(p) }
 
+// Restore replaces both the problem and the history wholesale. Two
+// callers exist: recovery rebuilding a session from a durable snapshot
+// (problem = the snapshot's current problem, seed already advanced past
+// the restored iterations), and the service undoing a solve whose
+// durability commit failed (problem = the pre-edit save, history minus
+// the uncommitted iteration). The next Solve warm-starts from the last
+// restored solution, exactly as if the restored history had been solved
+// here.
+func (s *Session) Restore(p Problem, history []Iteration) {
+	s.problem = snapshot(p)
+	s.history = append([]Iteration(nil), history...)
+}
+
 // SetProgress installs (or, with nil, removes) a progress observer for
 // subsequent solves. The callback is a pure side channel and never
 // influences results; see search.ProgressFunc.

@@ -53,6 +53,17 @@ const (
 	// JanitorEvict forces one janitor sweep to treat every idle session
 	// as expired, regardless of TTL.
 	JanitorEvict Point = "janitor.evict"
+	// WALWriteError fails one write-ahead-log append, simulating a full
+	// or failing disk under the durability layer; the server must refuse
+	// the un-durable commit (full undo + 503) and count the failure.
+	WALWriteError Point = "wal.write-error"
+	// WALFsyncStall delays one WAL group-commit fsync by Arg
+	// milliseconds, stretching commit latency without losing anything.
+	WALFsyncStall Point = "wal.fsync-stall"
+	// RecoveryTruncatedTail drops the last Arg records from the clean
+	// prefix during WAL recovery, simulating a torn tail wider than one
+	// frame; recovery must come up with the shorter, still-clean prefix.
+	RecoveryTruncatedTail Point = "recovery.truncated-tail"
 )
 
 // Points is the full injection-point catalog in stable order.
@@ -65,26 +76,34 @@ var Points = []Point{
 	SolveCancelMidway,
 	SnapshotEvict,
 	JanitorEvict,
+	WALWriteError,
+	WALFsyncStall,
+	RecoveryTruncatedTail,
 }
 
 // actions maps each point to its single legal action verb. One verb per
 // point keeps plans self-describing without an open-ended action space.
 var actions = map[Point]string{
-	QueueOverflow:     "reject",
-	WorkerPanic:       "panic",
-	WorkerStall:       "stall",
-	SSESlowClient:     "drop",
-	AuditWriteError:   "drop",
-	SolveCancelMidway: "cancel",
-	SnapshotEvict:     "evict",
-	JanitorEvict:      "evict",
+	QueueOverflow:         "reject",
+	WorkerPanic:           "panic",
+	WorkerStall:           "stall",
+	SSESlowClient:         "drop",
+	AuditWriteError:       "drop",
+	SolveCancelMidway:     "cancel",
+	SnapshotEvict:         "evict",
+	JanitorEvict:          "evict",
+	WALWriteError:         "fail",
+	WALFsyncStall:         "stall",
+	RecoveryTruncatedTail: "truncate",
 }
 
 // argRequired marks points whose entries must carry a positive Arg
 // (stall duration in milliseconds, cancel-after evaluation count).
 var argRequired = map[Point]bool{
-	WorkerStall:       true,
-	SolveCancelMidway: true,
+	WorkerStall:           true,
+	SolveCancelMidway:     true,
+	WALFsyncStall:         true,
+	RecoveryTruncatedTail: true,
 }
 
 // Entry schedules one fault: starting at the Trigger-th arrival at Point

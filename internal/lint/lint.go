@@ -163,6 +163,12 @@ var DefaultDeterminismPaths = []string{
 	// candidate order and stats are byte-compared against the dense
 	// path; a map walk or clock read there breaks sparse≡dense.
 	"ube/internal/strsim",
+	// Durable recovery replays WAL records through the engine and must
+	// land bit-identical; the audit chain's record bytes are hashed, so
+	// any nondeterminism there breaks verification. Flush timing and
+	// latency accounting are operational and annotated at the site.
+	"ube/internal/wal",
+	"ube/internal/auditlog",
 }
 
 // Config tunes a run.

@@ -173,7 +173,8 @@ func TestCleanTree(t *testing.T) {
 // ube/cmd/ube-load is a diagnostic, same as in the solver itself.
 func TestDefaultScopeCoversService(t *testing.T) {
 	var cfg Config
-	for _, path := range []string{"ube/internal/server", "ube/cmd/ube-load", "ube/internal/faultinject", "ube/internal/search", "ube/internal/strsim"} {
+	for _, path := range []string{"ube/internal/server", "ube/cmd/ube-load", "ube/internal/faultinject",
+		"ube/internal/search", "ube/internal/strsim", "ube/internal/wal", "ube/internal/auditlog"} {
 		if !cfg.determinismScoped(path) {
 			t.Errorf("%s is outside the default determinism scope", path)
 		}

@@ -77,6 +77,17 @@ func flowOperational() {
 	sink(o.n) // silent
 }
 
+// flowCompositeOperational: composite-literal keys obey the same
+// per-field policy — an operational key absorbs the taint at the
+// literal (the WAL stamps commit wall-clock this way), a guarded key
+// carries it into the whole value.
+func flowCompositeOperational() {
+	ok := opRecord{t: clock(), n: 5}
+	sink(ok) // silent: the only tainted write was absorbed
+	bad := record{stamp: clock(), count: 5}
+	sink(bad) // want taintflow
+}
+
 // flowReturn: taint crosses a function-return boundary.
 func flowReturn() {
 	sink(clock()) // want taintflow

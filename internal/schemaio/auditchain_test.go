@@ -1,0 +1,193 @@
+package schemaio
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const testDigest = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func validChainRecord() *AuditChainRecordDoc {
+	return &AuditChainRecordDoc{
+		K:      AuditChainKindRecord,
+		Seq:    1,
+		Record: json.RawMessage(`{"action":"session.create","session":"s1"}`),
+		Leaf:   testDigest,
+		Chain:  testDigest,
+	}
+}
+
+func validChainBatch() *AuditChainBatchDoc {
+	return &AuditChainBatchDoc{K: AuditChainKindBatch, Batch: 1, From: 1, To: 4, Root: testDigest}
+}
+
+func TestAuditChainLineRoundTrip(t *testing.T) {
+	header := EncodeAuditChainHeader()
+	doc, err := DecodeAuditChainLine(header)
+	if err != nil {
+		t.Fatalf("decode header: %v", err)
+	}
+	if h, ok := doc.(*AuditChainHeaderDoc); !ok || h.Version != AuditChainVersion {
+		t.Fatalf("header decoded to %#v", doc)
+	}
+
+	recLine, err := EncodeAuditChainRecord(validChainRecord())
+	if err != nil {
+		t.Fatalf("encode record: %v", err)
+	}
+	doc, err = DecodeAuditChainLine(recLine)
+	if err != nil {
+		t.Fatalf("decode record: %v", err)
+	}
+	rec, ok := doc.(*AuditChainRecordDoc)
+	if !ok {
+		t.Fatalf("record decoded to %#v", doc)
+	}
+	re, err := EncodeAuditChainRecord(rec)
+	if err != nil {
+		t.Fatalf("re-encode record: %v", err)
+	}
+	if string(re) != string(recLine) {
+		t.Fatalf("record round trip not byte-identical:\n first=%s\nsecond=%s", recLine, re)
+	}
+
+	batchLine, err := EncodeAuditChainBatch(validChainBatch())
+	if err != nil {
+		t.Fatalf("encode batch: %v", err)
+	}
+	doc, err = DecodeAuditChainLine(batchLine)
+	if err != nil {
+		t.Fatalf("decode batch: %v", err)
+	}
+	b, ok := doc.(*AuditChainBatchDoc)
+	if !ok || b.From != 1 || b.To != 4 {
+		t.Fatalf("batch decoded to %#v", doc)
+	}
+}
+
+func TestAuditChainRecordValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*AuditChainRecordDoc)
+	}{
+		{"wrong kind", func(d *AuditChainRecordDoc) { d.K = "x" }},
+		{"zero seq", func(d *AuditChainRecordDoc) { d.Seq = 0 }},
+		{"no record", func(d *AuditChainRecordDoc) { d.Record = nil }},
+		{"invalid record", func(d *AuditChainRecordDoc) { d.Record = json.RawMessage(`{`) }},
+		{"short leaf", func(d *AuditChainRecordDoc) { d.Leaf = "abc" }},
+		{"uppercase leaf", func(d *AuditChainRecordDoc) { d.Leaf = strings.ToUpper(testDigest) }},
+		{"nonhex chain", func(d *AuditChainRecordDoc) { d.Chain = strings.Replace(testDigest, "0", "g", 1) }},
+	}
+	for _, tc := range cases {
+		d := validChainRecord()
+		tc.mut(d)
+		if _, err := EncodeAuditChainRecord(d); err == nil {
+			t.Errorf("%s: invalid record accepted", tc.name)
+		}
+	}
+}
+
+func TestAuditChainBatchValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*AuditChainBatchDoc)
+	}{
+		{"wrong kind", func(d *AuditChainBatchDoc) { d.K = "r" }},
+		{"zero from", func(d *AuditChainBatchDoc) { d.From = 0 }},
+		{"inverted range", func(d *AuditChainBatchDoc) { d.To = 0 }},
+		{"bad root", func(d *AuditChainBatchDoc) { d.Root = "zz" }},
+		{"bad sig", func(d *AuditChainBatchDoc) { d.Sig = "zz" }},
+	}
+	for _, tc := range cases {
+		d := validChainBatch()
+		tc.mut(d)
+		if _, err := EncodeAuditChainBatch(d); err == nil {
+			t.Errorf("%s: invalid batch accepted", tc.name)
+		}
+	}
+	d := validChainBatch()
+	d.Sig = testDigest
+	if _, err := EncodeAuditChainBatch(d); err != nil {
+		t.Errorf("signed batch rejected: %v", err)
+	}
+}
+
+func TestDecodeAuditChainLineStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"unknown kind", `{"k":"z"}`},
+		{"no kind", `{"seq":1}`},
+		{"not json", `garbage`},
+		{"header wrong doc", `{"k":"h","doc":"other","version":1}`},
+		{"header wrong version", `{"k":"h","doc":"ube.audit.chain","version":2}`},
+		{"header extra field", `{"k":"h","doc":"ube.audit.chain","version":1,"x":1}`},
+		{"record extra field", `{"k":"r","seq":1,"record":{},"leaf":"` + testDigest + `","chain":"` + testDigest + `","x":1}`},
+		{"batch extra field", `{"k":"b","batch":1,"from":1,"to":1,"root":"` + testDigest + `","x":1}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeAuditChainLine([]byte(tc.line)); err == nil {
+			t.Errorf("%s: line accepted: %s", tc.name, tc.line)
+		}
+	}
+	long := `{"k":"r","seq":1,"record":"` + strings.Repeat("a", auditChainLineLimit) + `"}`
+	if _, err := DecodeAuditChainLine([]byte(long)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized line err = %v", err)
+	}
+}
+
+func TestAuditProofRoundTrip(t *testing.T) {
+	want := &AuditProofDoc{
+		Doc:    AuditProofDocName,
+		Seq:    3,
+		Batch:  1,
+		Record: json.RawMessage(`{"action":"solve.done"}`),
+		Steps:  []AuditProofStepDoc{{Right: true, Sibling: testDigest}, {Right: false, Sibling: testDigest}},
+		Root:   testDigest,
+	}
+	data, err := EncodeAuditProof(want)
+	if err != nil {
+		t.Fatalf("EncodeAuditProof: %v", err)
+	}
+	got, err := DecodeAuditProofBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeAuditProofBytes: %v", err)
+	}
+	if got.Seq != want.Seq || len(got.Steps) != 2 || !got.Steps[0].Right || got.Steps[1].Right {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	bad := []*AuditProofDoc{
+		{Doc: "other", Seq: 1, Record: json.RawMessage(`{}`), Root: testDigest},
+		{Doc: AuditProofDocName, Seq: 0, Record: json.RawMessage(`{}`), Root: testDigest},
+		{Doc: AuditProofDocName, Seq: 1, Root: testDigest},
+		{Doc: AuditProofDocName, Seq: 1, Record: json.RawMessage(`{}`), Root: "short"},
+		{Doc: AuditProofDocName, Seq: 1, Record: json.RawMessage(`{}`),
+			Steps: []AuditProofStepDoc{{Sibling: "bad"}}, Root: testDigest},
+	}
+	for i, d := range bad {
+		if _, err := EncodeAuditProof(d); err == nil {
+			t.Errorf("bad proof %d accepted", i)
+		}
+	}
+	deep := &AuditProofDoc{Doc: AuditProofDocName, Seq: 1, Record: json.RawMessage(`{}`), Root: testDigest}
+	for i := 0; i < auditProofStepLimit+1; i++ {
+		deep.Steps = append(deep.Steps, AuditProofStepDoc{Sibling: testDigest})
+	}
+	if _, err := EncodeAuditProof(deep); err == nil {
+		t.Error("over-deep proof accepted")
+	}
+}
+
+func TestIsHexDigest(t *testing.T) {
+	if !isHexDigest(testDigest) {
+		t.Error("valid digest rejected")
+	}
+	for _, s := range []string{"", "abc", strings.ToUpper(testDigest), testDigest + "0", strings.Replace(testDigest, "a", "G", 1)} {
+		if isHexDigest(s) {
+			t.Errorf("isHexDigest(%q) = true", s)
+		}
+	}
+}

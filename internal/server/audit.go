@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ube/internal/auditlog"
 	"ube/internal/faultinject"
 )
 
@@ -15,14 +16,20 @@ import (
 // which session and when. The log is an operational artifact, not an
 // input: nothing in the engine ever reads it, so the wall-clock
 // timestamps here cannot leak into solve results.
+//
+// Alongside the plain sink the log can mirror every line into a
+// tamper-evident hash chain (internal/auditlog); the chain embeds the
+// same bytes, so either file answers the same questions and ube-audit
+// verifies the chained one.
 type auditLog struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	w   io.Writer
+	mu    sync.Mutex
+	w     io.Writer
+	chain *auditlog.Writer
 
 	// inj injects write errors (the audit.write-error point); dropped
-	// counts the lines lost to them so /metrics↔audit reconciliation
-	// remains checkable even under injected sink failures.
+	// counts the lines lost to them — or to real sink failures — so
+	// /metrics↔audit reconciliation remains checkable and /healthz can
+	// report the degraded sink instead of hiding it.
 	inj     *faultinject.Injector
 	dropped *atomic.Int64
 }
@@ -30,27 +37,28 @@ type auditLog struct {
 // auditEntry is one audit line.
 type auditEntry struct {
 	// TS is the wall-clock commit time, RFC3339Nano.
+	//ube:operational audit timestamps are write-only operational metadata, never replayed
 	TS string `json:"ts"`
 	// Session is the session ID, "" for server-scoped events.
 	Session string `json:"session,omitempty"`
 	// Action names the mutation: session.create, session.delete,
 	// session.evict, solve.enqueue, solve.reject, solve.apply,
 	// solve.done, solve.error, solve.cancelled, solve.timeout,
-	// solve.panic, server.drain.
+	// solve.panic, server.drain, server.recover.
 	Action string `json:"action"`
 	// Remote is the client address that caused the mutation, "" for
-	// server-initiated events (eviction, drain).
+	// server-initiated events (eviction, drain, recovery).
 	Remote string `json:"remote,omitempty"`
 	// Detail carries action-specific fields.
 	Detail any `json:"detail,omitempty"`
 }
 
-// newAuditLog wraps a sink; a nil writer disables auditing.
-func newAuditLog(w io.Writer) *auditLog {
-	if w == nil {
+// newAuditLog wraps the sinks; nil for both disables auditing.
+func newAuditLog(w io.Writer, chain *auditlog.Writer) *auditLog {
+	if w == nil && chain == nil {
 		return nil
 	}
-	return &auditLog{enc: json.NewEncoder(w), w: w}
+	return &auditLog{w: w, chain: chain}
 }
 
 // arm threads the fault injector and the dropped-lines counter into the
@@ -65,6 +73,12 @@ func (a *auditLog) arm(inj *faultinject.Injector, dropped *atomic.Int64) {
 
 // record appends one entry. Safe for concurrent use; nil receivers
 // no-op so call sites need no guards.
+//
+// A failed write (injected or real: a full disk, a closed pipe) must
+// not take the service down — the audit trail is an operational
+// artifact — but it must not vanish either: every lost line is counted
+// so /healthz reports the sink as degraded and chaos reconciliation can
+// assert on exactly how many lines were lost.
 func (a *auditLog) record(session, action, remote string, detail any) {
 	if a == nil {
 		return
@@ -72,16 +86,49 @@ func (a *auditLog) record(session, action, remote string, detail any) {
 	if a.inj.Fire(faultinject.AuditWriteError) != nil {
 		// Injected sink failure: the line is lost, as it would be to a
 		// full disk, but the loss itself is counted.
-		if a.dropped != nil {
-			a.dropped.Add(1)
-		}
+		a.drop()
 		return
 	}
 	//ube:nondeterministic-ok audit timestamps record when a mutation was committed; they are write-only operational metadata
 	ts := time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(auditEntry{TS: ts, Session: session, Action: action, Remote: remote, Detail: detail})
+	if err != nil {
+		a.drop()
+		return
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	// Encode errors (a full disk, a closed pipe) must not take the
-	// service down; the audit log is best-effort by design.
-	_ = a.enc.Encode(auditEntry{TS: ts, Session: session, Action: action, Remote: remote, Detail: detail})
+	failed := false
+	if a.w != nil {
+		if _, err := a.w.Write(append(line, '\n')); err != nil {
+			failed = true
+		}
+	}
+	if a.chain != nil {
+		if err := a.chain.Append(line); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		a.drop()
+	}
+}
+
+// drop counts one lost line.
+func (a *auditLog) drop() {
+	if a.dropped != nil {
+		a.dropped.Add(1)
+	}
+}
+
+// seal closes the chain's current partial Merkle batch, if a chain is
+// configured — called at shutdown so a cleanly stopped chain is sealed
+// end to end.
+func (a *auditLog) seal() {
+	if a == nil || a.chain == nil {
+		return
+	}
+	if err := a.chain.Seal(); err != nil {
+		a.drop()
+	}
 }

@@ -50,9 +50,10 @@ const (
 
 // chaosConfig is the service configuration every chaos run uses. The
 // solve deadline is far above a healthy solve's wall-clock so only
-// injected stalls ever hit it.
-func chaosConfig(inj *faultinject.Injector, audit *syncBuffer, workers int) Config {
-	return Config{
+// injected stalls ever hit it. A non-empty walDir makes the run
+// durable — with fsync on, so the wal.fsync-stall point is reachable.
+func chaosConfig(inj *faultinject.Injector, audit *syncBuffer, workers int, walDir string) Config {
+	cfg := Config{
 		Workers:           workers,
 		QueueDepth:        16,
 		SolveTimeout:      2 * time.Second,
@@ -60,6 +61,33 @@ func chaosConfig(inj *faultinject.Injector, audit *syncBuffer, workers int) Conf
 		AuditWriter:       audit,
 		FaultInjector:     inj,
 	}
+	if walDir != "" {
+		cfg.WALDir = walDir
+		cfg.WALFsync = true
+	}
+	return cfg
+}
+
+// planTouchesWAL reports whether a plan exercises the durability layer,
+// which only exists when the run is configured with a WAL.
+func planTouchesWAL(plan faultinject.Plan) bool {
+	for _, e := range plan.Entries {
+		switch e.Point {
+		case faultinject.WALWriteError, faultinject.WALFsyncStall, faultinject.RecoveryTruncatedTail:
+			return true
+		}
+	}
+	return false
+}
+
+// chaosWALDir returns the WAL directory a plan's run should use: a
+// fresh temp dir for WAL plans, empty (durability off) otherwise.
+func chaosWALDir(t *testing.T, plan faultinject.Plan) string {
+	t.Helper()
+	if planTouchesWAL(plan) {
+		return t.TempDir()
+	}
+	return ""
 }
 
 // chaosPlanNames lists the committed plan fixtures, sorted.
@@ -166,28 +194,46 @@ func chaosSolve(url string, req solveRequest) (sol *schemaio.SolutionDoc, ok boo
 	return nil, false, nil
 }
 
-// driveChaosUser runs one user's whole script and returns the session's
-// final history as the server reports it.
-func driveChaosUser(baseURL string, u *model.Universe, userIdx int) ([]schemaio.IterationDoc, error) {
+// chaosCreate creates the user's session, retrying transient refusals:
+// a failed WAL append undoes the registration and answers 503, and the
+// retried create is acknowledged under a fresh ID.
+func chaosCreate(baseURL string, u *model.Universe, userIdx int) (string, error) {
 	doc := testProblemDoc()
 	doc.Seed = int64(1000 + userIdx)
-	status, body, err := chaosPost(baseURL+"/v1/sessions", createSessionRequest{Universe: u, Problem: doc})
+	for attempt := 0; attempt < chaosMaxAttempts; attempt++ {
+		status, body, err := chaosPost(baseURL+"/v1/sessions", createSessionRequest{Universe: u, Problem: doc})
+		if err != nil {
+			return "", err
+		}
+		switch status {
+		case http.StatusCreated:
+			var info sessionInfo
+			if err := json.Unmarshal(body, &info); err != nil {
+				return "", err
+			}
+			return info.ID, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(20 * time.Millisecond)
+		default:
+			return "", fmt.Errorf("create session: status %d: %s", status, body)
+		}
+	}
+	return "", fmt.Errorf("create session: attempts exhausted")
+}
+
+// driveChaosUser runs one user's whole script and returns the session ID
+// and its final history as the server reports it.
+func driveChaosUser(baseURL string, u *model.Universe, userIdx int) (string, []schemaio.IterationDoc, error) {
+	id, err := chaosCreate(baseURL, u, userIdx)
 	if err != nil {
-		return nil, err
-	}
-	if status != http.StatusCreated {
-		return nil, fmt.Errorf("create session: status %d: %s", status, body)
-	}
-	var info sessionInfo
-	if err := json.Unmarshal(body, &info); err != nil {
-		return nil, err
+		return "", nil, err
 	}
 
 	var last *schemaio.SolutionDoc
 	for k := 0; k < chaosIters; k++ {
-		sol, ok, err := chaosSolve(baseURL+"/v1/sessions/"+info.ID+"/solve", chaosScript(k, last))
+		sol, ok, err := chaosSolve(baseURL+"/v1/sessions/"+id+"/solve", chaosScript(k, last))
 		if err != nil {
-			return nil, fmt.Errorf("user %d iteration %d: %w", userIdx, k, err)
+			return id, nil, fmt.Errorf("user %d iteration %d: %w", userIdx, k, err)
 		}
 		if !ok {
 			break // abandoned after retries; history stays a clean prefix
@@ -195,36 +241,51 @@ func driveChaosUser(baseURL string, u *model.Universe, userIdx int) ([]schemaio.
 		last = sol
 	}
 
-	resp, err := http.Get(baseURL + "/v1/sessions/" + info.ID + "/history")
+	resp, err := http.Get(baseURL + "/v1/sessions/" + id + "/history")
 	if err != nil {
-		return nil, err
+		return id, nil, err
 	}
 	defer resp.Body.Close()
 	var hist struct {
 		Iterations []schemaio.IterationDoc `json:"iterations"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
-		return nil, err
+		return id, nil, err
 	}
-	return hist.Iterations, nil
+	return id, hist.Iterations, nil
+}
+
+// chaosHealth is the /healthz body as the reconciliation check reads it.
+type chaosHealth struct {
+	Status       string `json:"status"`
+	Degraded     bool   `json:"degraded"`
+	AuditDropped int64  `json:"auditLinesDropped"`
+	WALErrors    int64  `json:"walAppendErrors"`
 }
 
 // chaosRun is one full run's observable outcome.
 type chaosRun struct {
+	sessions  []string                  // per user, the acknowledged session ID
 	histories [][]schemaio.IterationDoc // per user
 	metrics   *metricsDoc
+	health    chaosHealth // /healthz as seen after drain, before shutdown
 	audit     string
 }
 
-// runChaos starts a server (armed with inj when non-nil), drives the
-// scripted users — concurrently for chaos pressure, sequentially for
-// deterministic replay — then drains and returns every observable.
-func runChaos(t *testing.T, u *model.Universe, inj *faultinject.Injector, workers int, concurrent bool) chaosRun {
+// runChaos starts a server (armed with inj when non-nil, durable when
+// walDir is non-empty), drives the scripted users — concurrently for
+// chaos pressure, sequentially for deterministic replay — then drains
+// and returns every observable.
+func runChaos(t *testing.T, u *model.Universe, inj *faultinject.Injector, workers int, concurrent bool, walDir string) chaosRun {
 	t.Helper()
 	var buf syncBuffer
-	srv := New(chaosConfig(inj, &buf, workers))
+	srv, err := Open(chaosConfig(inj, &buf, workers, walDir))
+	if err != nil {
+		t.Fatalf("opening chaos server: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 
+	sessions := make([]string, chaosUsers)
 	histories := make([][]schemaio.IterationDoc, chaosUsers)
 	errs := make([]error, chaosUsers)
 	if concurrent {
@@ -233,13 +294,13 @@ func runChaos(t *testing.T, u *model.Universe, inj *faultinject.Injector, worker
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				histories[i], errs[i] = driveChaosUser(ts.URL, u, i)
+				sessions[i], histories[i], errs[i] = driveChaosUser(ts.URL, u, i)
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := 0; i < chaosUsers; i++ {
-			histories[i], errs[i] = driveChaosUser(ts.URL, u, i)
+			sessions[i], histories[i], errs[i] = driveChaosUser(ts.URL, u, i)
 		}
 	}
 	for i, err := range errs {
@@ -248,13 +309,26 @@ func runChaos(t *testing.T, u *model.Universe, inj *faultinject.Injector, worker
 		}
 	}
 
+	// Degraded-mode reporting is part of the run's observable outcome,
+	// and /healthz only answers while the server is up: fetch it after
+	// the load drains but before shutdown.
+	var health chaosHealth
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	resp.Body.Close()
+
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 	ts.Close()
-	return chaosRun{histories: histories, metrics: srv.metrics.snapshot(), audit: buf.String()}
+	return chaosRun{sessions: sessions, histories: histories, metrics: srv.metricsSnapshot(), health: health, audit: buf.String()}
 }
 
 // canonicalIterations renders a history with operational metadata
@@ -336,6 +410,23 @@ func checkReconciliation(t *testing.T, name string, plan faultinject.Plan, run c
 		t.Errorf("audit log is missing %d solve lines but only %d drops were counted\n%s",
 			deficit, m.AuditDropped, replayBanner(name, plan))
 	}
+
+	// Degraded-mode reporting: /healthz must admit impairment exactly
+	// when audit lines were dropped or durability commits were refused —
+	// a silently lossy trail is the failure mode this pins down.
+	refusals := int64(0)
+	if m.WAL != nil {
+		refusals = m.WAL.CommitRefusals
+	}
+	wantDegraded := m.AuditDropped > 0 || refusals > 0
+	if run.health.Degraded != wantDegraded {
+		t.Errorf("healthz reports degraded=%v with auditDropped=%d walCommitRefusals=%d\n%s",
+			run.health.Degraded, m.AuditDropped, refusals, replayBanner(name, plan))
+	}
+	if run.health.AuditDropped != m.AuditDropped || run.health.WALErrors != refusals {
+		t.Errorf("healthz counters (auditDropped=%d walErrors=%d) disagree with metrics (%d, %d)\n%s",
+			run.health.AuditDropped, run.health.WALErrors, m.AuditDropped, refusals, replayBanner(name, plan))
+	}
 }
 
 // chaosMetricsWant returns the exact injected-failure counts each plan
@@ -356,6 +447,14 @@ func chaosMetricsWant(name string) map[string]int64 {
 		return map[string]int64{"solvesCancelled": 2}
 	case "mixed":
 		return map[string]int64{"solvePanics": 1, "queueRejections": 1}
+	case "wal-write-error":
+		return map[string]int64{"walCommitRefusals": 2}
+	case "wal-fsync-stall":
+		return map[string]int64{"walFsyncStalls": 2}
+	case "recovery-truncated-tail":
+		// Fires only at recovery time; TestChaosDurableRecovery asserts
+		// its effect, the live run just proves the service shrugs it off.
+		return nil
 	default:
 		return nil
 	}
@@ -373,13 +472,23 @@ func metricByName(m *metricsDoc, name string) int64 {
 		return m.AuditDropped
 	case "solvesCancelled":
 		return m.SolvesCancelled
+	case "walCommitRefusals":
+		if m.WAL == nil {
+			return -1
+		}
+		return m.WAL.CommitRefusals
+	case "walFsyncStalls":
+		if m.WAL == nil {
+			return -1
+		}
+		return int64(m.WAL.FsyncStalls)
 	default:
 		return -1
 	}
 }
 
 // TestChaosPlanFixtures pins the committed plan corpus: every fixture
-// decodes and validates, and the five required fault classes are all
+// decodes and validates, and the eight required fault classes are all
 // covered.
 func TestChaosPlanFixtures(t *testing.T) {
 	covered := map[faultinject.Point]bool{}
@@ -395,6 +504,9 @@ func TestChaosPlanFixtures(t *testing.T) {
 		faultinject.QueueOverflow,
 		faultinject.AuditWriteError,
 		faultinject.SolveCancelMidway,
+		faultinject.WALWriteError,
+		faultinject.WALFsyncStall,
+		faultinject.RecoveryTruncatedTail,
 	} {
 		if !covered[p] {
 			t.Errorf("no committed chaos plan exercises %s", p)
@@ -407,7 +519,7 @@ func TestChaosPlanFixtures(t *testing.T) {
 // three chaos invariants.
 func TestChaosSuite(t *testing.T) {
 	u := testUniverse(t, 30)
-	ref := runChaos(t, u, nil, 3, false)
+	ref := runChaos(t, u, nil, 3, false, "")
 	for i, h := range ref.histories {
 		if len(h) != chaosIters {
 			t.Fatalf("fault-free reference: user %d completed %d/%d iterations", i, len(h), chaosIters)
@@ -417,7 +529,7 @@ func TestChaosSuite(t *testing.T) {
 	for _, name := range chaosPlanNames(t) {
 		t.Run(name, func(t *testing.T) {
 			plan := loadChaosPlan(t, name)
-			run := runChaos(t, u, faultinject.MustNew(plan), 3, true)
+			run := runChaos(t, u, faultinject.MustNew(plan), 3, true, chaosWALDir(t, plan))
 
 			checkHistoryInvariants(t, name, plan, ref.histories, run.histories)
 			checkReconciliation(t, name, plan, run)
@@ -448,8 +560,8 @@ func TestChaosReplayDeterminism(t *testing.T) {
 	for _, name := range chaosPlanNames(t) {
 		t.Run(name, func(t *testing.T) {
 			plan := loadChaosPlan(t, name)
-			first := runChaos(t, u, faultinject.MustNew(plan), 1, false)
-			second := runChaos(t, u, faultinject.MustNew(plan), 1, false)
+			first := runChaos(t, u, faultinject.MustNew(plan), 1, false, chaosWALDir(t, plan))
+			second := runChaos(t, u, faultinject.MustNew(plan), 1, false, chaosWALDir(t, plan))
 			for i := range first.histories {
 				a := canonicalIterations(t, first.histories[i])
 				b := canonicalIterations(t, second.histories[i])
@@ -457,6 +569,95 @@ func TestChaosReplayDeterminism(t *testing.T) {
 					t.Errorf("user %d: replay diverged\nfirst  %s\nsecond %s\n%s",
 						i, a, b, replayBanner(name, plan))
 				}
+			}
+		})
+	}
+}
+
+// TestChaosDurableRecovery closes the durability loop for the WAL fault
+// plans: after a chaos run against a durable server, a second Open on
+// the same log — with the same plan re-armed — recovers every
+// acknowledged history bit-identically (telemetry included, since solve
+// records carry the observed values), less only the records an injected
+// tail truncation deliberately dropped.
+func TestChaosDurableRecovery(t *testing.T) {
+	u := testUniverse(t, 30)
+	for _, name := range chaosPlanNames(t) {
+		plan := loadChaosPlan(t, name)
+		if !planTouchesWAL(plan) {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			run := runChaos(t, u, faultinject.MustNew(plan), 3, true, dir)
+
+			srv, err := Open(Config{Workers: 1, QueueDepth: 4, WALDir: dir, WALFsync: true,
+				FaultInjector: faultinject.MustNew(plan)})
+			if err != nil {
+				t.Fatalf("reopening durable server: %v\n%s", err, replayBanner(name, plan))
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+				ts.Close()
+			}()
+
+			// recovery.truncated-tail entries may drop that many records
+			// off the log's tail; every other plan must lose nothing.
+			allowedDrop := 0
+			for _, e := range plan.Entries {
+				if e.Point == faultinject.RecoveryTruncatedTail {
+					allowedDrop += int(e.Arg)
+				}
+			}
+			if got := srv.recovered.DroppedRecords; got > allowedDrop {
+				t.Errorf("recovery dropped %d records, plan allows at most %d\n%s",
+					got, allowedDrop, replayBanner(name, plan))
+			}
+
+			liveTotal, recoveredTotal := 0, 0
+			for i, id := range run.sessions {
+				want := run.histories[i]
+				liveTotal += len(want)
+				resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/history")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var hist struct {
+					Iterations []schemaio.IterationDoc `json:"iterations"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+					resp.Body.Close()
+					t.Fatalf("user %d history after recovery: %v", i, err)
+				}
+				resp.Body.Close()
+				got := hist.Iterations
+				recoveredTotal += len(got)
+				if len(got) > len(want) {
+					t.Errorf("user %d: recovery has %d iterations, live run acknowledged %d\n%s",
+						i, len(got), len(want), replayBanner(name, plan))
+					continue
+				}
+				a, err := json.Marshal(want[:len(got)])
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Errorf("user %d: recovered history diverges from the live run\nlive      %s\nrecovered %s\n%s",
+						i, a, b, replayBanner(name, plan))
+				}
+			}
+			if liveTotal-recoveredTotal != srv.recovered.DroppedRecords {
+				t.Errorf("recovery is missing %d acknowledged iterations but reports %d dropped records\n%s",
+					liveTotal-recoveredTotal, srv.recovered.DroppedRecords, replayBanner(name, plan))
 			}
 		})
 	}

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ube/internal/auditlog"
+	"ube/internal/faultinject"
+)
+
+// openDurableServer starts a durable server with Open and returns a
+// stop function. Tests call stop to simulate an orderly restart; the
+// cleanup guards against double-stops so crash-style tests can simply
+// abandon the instance (acknowledged records are already on disk — the
+// WAL acknowledges nothing less).
+func openDurableServer(t *testing.T, cfg Config) (*Server, *httptest.Server, func()) {
+	t.Helper()
+	srv, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return srv, ts, stop
+}
+
+// solveWith posts one solve and returns the iteration it produced.
+func solveWith(t *testing.T, baseURL, id string, req solveRequest) solveResponse {
+	t.Helper()
+	resp, body := postJSON(t, baseURL+"/v1/sessions/"+id+"/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// historyBody fetches the raw /history response — the bit-identity
+// comparison unit for recovery.
+func historyBody(t *testing.T, baseURL, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/sessions/" + id + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history %s: %d %s", id, resp.StatusCode, buf.Bytes())
+	}
+	return buf.Bytes()
+}
+
+func sessionIDs(t *testing.T, baseURL string) []string {
+	t.Helper()
+	var out struct {
+		Sessions []string `json:"sessions"`
+	}
+	if resp := getJSON(t, baseURL+"/v1/sessions", &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list sessions: %d", resp.StatusCode)
+	}
+	return out.Sessions
+}
+
+// TestDurableRestartBitIdentical is the tentpole property: everything
+// the server acknowledged before a restart — sessions, whole iteration
+// histories, current problems — comes back byte-for-byte identical from
+// the WAL, including a deleted session staying deleted and the ID
+// counter not reissuing old names.
+func TestDurableRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	cfg := Config{WALDir: dir}
+
+	_, ts, stop := openDurableServer(t, cfg)
+	s1 := createSession(t, ts.URL, u, testProblemDoc())
+	solveWith(t, ts.URL, s1, solveRequest{})
+	theta := 0.45
+	solveWith(t, ts.URL, s1, solveRequest{Theta: &theta, PinSources: []int{2}})
+	solveWith(t, ts.URL, s1, solveRequest{ExcludeSources: []int{7}})
+
+	s2 := createSession(t, ts.URL, u, testProblemDoc())
+	solveWith(t, ts.URL, s2, solveRequest{})
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+s2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete %s: %v %v", s2, err, resp)
+	}
+	resp.Body.Close()
+
+	wantHist := historyBody(t, ts.URL, s1)
+	var wantInfo sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+s1, &wantInfo)
+	stop()
+
+	srv2, ts2, stop2 := openDurableServer(t, cfg)
+	if got := sessionIDs(t, ts2.URL); len(got) != 1 || got[0] != s1 {
+		t.Fatalf("recovered sessions %v, want [%s]", got, s1)
+	}
+	if got := historyBody(t, ts2.URL, s1); !bytes.Equal(got, wantHist) {
+		t.Fatalf("recovered history differs:\n got %s\nwant %s", got, wantHist)
+	}
+	var gotInfo sessionInfo
+	getJSON(t, ts2.URL+"/v1/sessions/"+s1, &gotInfo)
+	if gotInfo.Iterations != wantInfo.Iterations {
+		t.Fatalf("recovered iterations %d, want %d", gotInfo.Iterations, wantInfo.Iterations)
+	}
+	wantProb, _ := json.Marshal(wantInfo.Problem)
+	gotProb, _ := json.Marshal(gotInfo.Problem)
+	if !bytes.Equal(gotProb, wantProb) {
+		t.Fatalf("recovered problem differs:\n got %s\nwant %s", gotProb, wantProb)
+	}
+	if srv2.recovered == nil || srv2.recovered.SolvesReplayed != 4 {
+		t.Fatalf("recovery stats = %+v, want 4 solves replayed", srv2.recovered)
+	}
+	// New sessions must not collide with recovered (or deleted) IDs.
+	s3 := createSession(t, ts2.URL, u, testProblemDoc())
+	if s3 == s1 || s3 == s2 {
+		t.Fatalf("recovered server reissued session ID %s", s3)
+	}
+	// The recovered session keeps solving — and the continuation itself
+	// survives another restart.
+	solveWith(t, ts2.URL, s1, solveRequest{})
+	wantHist2 := historyBody(t, ts2.URL, s1)
+	stop2()
+
+	_, ts3, _ := openDurableServer(t, cfg)
+	if got := historyBody(t, ts3.URL, s1); !bytes.Equal(got, wantHist2) {
+		t.Fatalf("second recovery differs:\n got %s\nwant %s", got, wantHist2)
+	}
+}
+
+// TestDurableSnapshotsAndRotation forces a snapshot after every solve
+// and a rotation after every commit (1-byte segment bound): recovery
+// then restores from snapshots instead of re-solving, and still lands
+// on the identical history.
+func TestDurableSnapshotsAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	cfg := Config{WALDir: dir, SnapshotEvery: 1, WALSegmentBytes: 1}
+
+	srv, ts, stop := openDurableServer(t, cfg)
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	for i := 0; i < 3; i++ {
+		solveWith(t, ts.URL, id, solveRequest{})
+	}
+	if st := srv.wal.Stats(); st.Rotations == 0 {
+		t.Fatalf("expected rotations with a 1-byte segment bound, stats %+v", st)
+	}
+	want := historyBody(t, ts.URL, id)
+	stop()
+
+	srv2, ts2, _ := openDurableServer(t, cfg)
+	if got := historyBody(t, ts2.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot recovery differs:\n got %s\nwant %s", got, want)
+	}
+	rec := srv2.recovered
+	if rec == nil || rec.SolvesReplayed > 1 {
+		// Rotation after the last solve snapshotted everything; at most
+		// the final commit can trail the last checkpoint.
+		t.Fatalf("recovery stats = %+v, want snapshot-covered replay", rec)
+	}
+}
+
+// TestDurableEmptyAndSnapshotOnlyLogs covers the truncation boundary
+// shapes: a fresh empty log and a log holding only a rotation
+// checkpoint (snapshot records, no trailing solves).
+func TestDurableEmptyAndSnapshotOnlyLogs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{WALDir: dir}
+	srv, _, stop := openDurableServer(t, cfg)
+	if n := len(srv.listSessionIDs()); n != 0 {
+		t.Fatalf("fresh log recovered %d sessions", n)
+	}
+	stop()
+
+	// Build a snapshot-only log: create + solve, then rotate so the
+	// only segment holds snapshot + checkpoint records.
+	u := testUniverse(t, 20)
+	srv2, ts2, stop2 := openDurableServer(t, cfg)
+	id := createSession(t, ts2.URL, u, testProblemDoc())
+	solveWith(t, ts2.URL, id, solveRequest{})
+	if err := srv2.wal.Rotate(srv2.buildSnapshots); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	want := historyBody(t, ts2.URL, id)
+	stop2()
+
+	srv3, ts3, _ := openDurableServer(t, cfg)
+	if got := historyBody(t, ts3.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot-only recovery differs:\n got %s\nwant %s", got, want)
+	}
+	if rec := srv3.recovered; rec == nil || rec.SolvesReplayed != 0 {
+		t.Fatalf("recovery stats = %+v, want zero replayed solves", rec)
+	}
+}
+
+// TestWALWriteErrorRefusesCommit holds the write-ahead contract under
+// an injected append failure: the solve is fully undone (no history
+// growth, problem untouched, seed not advanced), the client gets a
+// retryable 503, /healthz degrades — and the retry then produces
+// exactly what the first attempt would have.
+func TestWALWriteErrorRefusesCommit(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	inj := faultinject.MustNew(faultinject.Plan{Entries: []faultinject.Entry{
+		// Arrival 1 is the create's append; arrival 2 the first solve's.
+		{Point: faultinject.WALWriteError, Trigger: 2, Action: "fail"},
+	}})
+	cfg := Config{WALDir: dir, FaultInjector: inj}
+
+	_, ts, stop := openDurableServer(t, cfg)
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	var before sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+id, &before)
+
+	resp, body := postJSON(t, ts.URL+"/v1/sessions/"+id+"/solve", solveRequest{})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve under WAL failure: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After")
+	}
+	var after sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+id, &after)
+	if after.Iterations != 0 {
+		t.Fatalf("refused solve left %d iterations", after.Iterations)
+	}
+	bp, _ := json.Marshal(before.Problem)
+	ap, _ := json.Marshal(after.Problem)
+	if !bytes.Equal(bp, ap) {
+		t.Fatalf("refused solve changed the problem:\n before %s\n after %s", bp, ap)
+	}
+	var health healthDoc
+	getJSON(t, ts.URL+"/healthz", &health)
+	if !health.Degraded || health.WALErrors == 0 {
+		t.Fatalf("healthz after WAL failure = %+v, want degraded", health)
+	}
+
+	// The retry commits, and the committed result survives a restart.
+	sr := solveWith(t, ts.URL, id, solveRequest{})
+	if sr.Iteration != 0 {
+		t.Fatalf("retry produced iteration %d, want 0", sr.Iteration)
+	}
+	want := historyBody(t, ts.URL, id)
+	stop()
+	_, ts2, _ := openDurableServer(t, Config{WALDir: dir})
+	if got := historyBody(t, ts2.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("post-failure recovery differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRecoveryTruncatedTailInjection drops the last record of the
+// clean prefix at recovery: the server must come up with the shorter
+// history — the exact prefix — and the disk must agree (a second,
+// disarmed recovery sees the same state).
+func TestRecoveryTruncatedTailInjection(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	_, ts, stop := openDurableServer(t, Config{WALDir: dir})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	for i := 0; i < 3; i++ {
+		solveWith(t, ts.URL, id, solveRequest{})
+	}
+	full := historyBody(t, ts.URL, id)
+	stop()
+
+	inj := faultinject.MustNew(faultinject.Plan{Entries: []faultinject.Entry{
+		{Point: faultinject.RecoveryTruncatedTail, Trigger: 1, Action: "truncate", Arg: 1},
+	}})
+	srv2, ts2, stop2 := openDurableServer(t, Config{WALDir: dir, FaultInjector: inj})
+	if srv2.recovered.DroppedRecords != 1 {
+		t.Fatalf("recovery stats = %+v, want 1 dropped record", srv2.recovered)
+	}
+	truncated := historyBody(t, ts2.URL, id)
+	var fullDoc, truncDoc struct {
+		Iterations []json.RawMessage `json:"iterations"`
+	}
+	if err := json.Unmarshal(full, &fullDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(truncated, &truncDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(truncDoc.Iterations) != len(fullDoc.Iterations)-1 {
+		t.Fatalf("truncated recovery has %d iterations, want %d", len(truncDoc.Iterations), len(fullDoc.Iterations)-1)
+	}
+	for i := range truncDoc.Iterations {
+		if !bytes.Equal(truncDoc.Iterations[i], fullDoc.Iterations[i]) {
+			t.Fatalf("iteration %d differs after tail truncation", i)
+		}
+	}
+	stop2()
+
+	// The injected truncation was physical: a disarmed recovery agrees.
+	_, ts3, _ := openDurableServer(t, Config{WALDir: dir})
+	if got := historyBody(t, ts3.URL, id); !bytes.Equal(got, truncated) {
+		t.Fatalf("disarmed recovery disagrees with injected truncation:\n got %s\nwant %s", got, truncated)
+	}
+}
+
+// TestJanitorEvictionAfterRecovery: replay finishes before the janitor
+// starts, so recovered sessions are never evicted mid-replay; they then
+// age out normally, the eviction is WAL-logged, and a further restart
+// honors it.
+func TestJanitorEvictionAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	_, ts, stop := openDurableServer(t, Config{WALDir: dir})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	solveWith(t, ts.URL, id, solveRequest{})
+	stop()
+
+	srv2, ts2, stop2 := openDurableServer(t, Config{WALDir: dir, SessionTTL: 250 * time.Millisecond})
+	if got := sessionIDs(t, ts2.URL); len(got) != 1 {
+		t.Fatalf("recovered sessions %v, want 1: recovery must beat the janitor", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv2.mu.Lock()
+		n := len(srv2.sessions)
+		srv2.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered session never evicted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stop2()
+
+	_, ts3, _ := openDurableServer(t, Config{WALDir: dir})
+	if got := sessionIDs(t, ts3.URL); len(got) != 0 {
+		t.Fatalf("eviction did not survive restart: %v", got)
+	}
+}
+
+// TestAuditSinkDegradedMode is the audit-sink fix: a failing sink no
+// longer drops lines silently — the loss is counted and /healthz
+// reports the degraded state.
+func TestAuditSinkDegradedMode(t *testing.T) {
+	u := testUniverse(t, 20)
+	inj := faultinject.MustNew(faultinject.Plan{Entries: []faultinject.Entry{
+		{Point: faultinject.AuditWriteError, Trigger: 1, Action: "drop"},
+	}})
+	var sink bytes.Buffer
+	_, ts := newTestServer(t, Config{AuditWriter: &sink, FaultInjector: inj})
+	createSession(t, ts.URL, u, testProblemDoc())
+	var health healthDoc
+	getJSON(t, ts.URL+"/healthz", &health)
+	if !health.Degraded || health.AuditDropped == 0 {
+		t.Fatalf("healthz = %+v, want degraded with dropped lines counted", health)
+	}
+	var m metricsDoc
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.AuditDropped != health.AuditDropped {
+		t.Fatalf("metrics auditDropped %d != healthz %d", m.AuditDropped, health.AuditDropped)
+	}
+}
+
+// TestAuditChainThroughServer mirrors the audit trail into the hash
+// chain and verifies the sealed result end to end: every line is a
+// valid audit entry, the chain verifies, and shutdown sealed the tail.
+func TestAuditChainThroughServer(t *testing.T) {
+	u := testUniverse(t, 20)
+	var plain, chain bytes.Buffer
+	cw, err := auditlog.NewWriter(&chain, auditlog.Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Open(Config{AuditWriter: &plain, AuditChain: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	solveWith(t, ts.URL, id, solveRequest{})
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := auditlog.Verify(bytes.NewReader(chain.Bytes()), nil)
+	if !rep.OK {
+		t.Fatalf("chain does not verify: %s (line %d)", rep.Reason, rep.Line)
+	}
+	if rep.Records == 0 {
+		t.Fatal("chain holds no records")
+	}
+	if rep.Unsealed != 0 {
+		t.Fatalf("shutdown left %d unsealed records", rep.Unsealed)
+	}
+	// The chain embeds the same lines the plain sink got.
+	plainLines := bytes.Count(plain.Bytes(), []byte("\n"))
+	if rep.Records != plainLines {
+		t.Fatalf("chain has %d records, plain sink %d lines", rep.Records, plainLines)
+	}
+	// Tampering with any chain byte is detected.
+	mut := append([]byte(nil), chain.Bytes()...)
+	mut[len(mut)/2] ^= 0x20
+	if rep := auditlog.Verify(bytes.NewReader(mut), nil); rep.OK {
+		t.Fatal("tampered chain verified")
+	}
+}
+
+// TestDurableMetricsSurface checks the wal.* /metrics section: counters
+// present, flush-latency histogram cumulative and +Inf-terminated, and
+// the recovery report attached after a restart.
+func TestDurableMetricsSurface(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	_, ts, stop := openDurableServer(t, Config{WALDir: dir})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	solveWith(t, ts.URL, id, solveRequest{})
+
+	var m metricsDoc
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.WAL == nil {
+		t.Fatal("durable server serves no wal metrics")
+	}
+	if m.WAL.Appends < 2 {
+		t.Fatalf("wal appends %d, want ≥2 (create + solve)", m.WAL.Appends)
+	}
+	b := m.WAL.FlushLatency.Buckets
+	if len(b) == 0 || b[len(b)-1].LE != "+Inf" {
+		t.Fatalf("flush latency histogram malformed: %+v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i].Count < b[i-1].Count {
+			t.Fatalf("flush latency histogram not cumulative at %d: %+v", i, b)
+		}
+	}
+	if b[len(b)-1].Count != int64(m.WAL.Appends) {
+		t.Fatalf("flush latency total %d != appends %d", b[len(b)-1].Count, m.WAL.Appends)
+	}
+	stop()
+
+	_, ts2, _ := openDurableServer(t, Config{WALDir: dir})
+	getJSON(t, ts2.URL+"/metrics", &m)
+	if m.Recovery == nil || m.Recovery.Sessions != 1 {
+		t.Fatalf("walRecovery after restart = %+v", m.Recovery)
+	}
+}

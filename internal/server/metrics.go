@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"ube/internal/wal"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds, inclusive) of the
@@ -28,6 +30,7 @@ type metrics struct {
 	queueDepth      atomic.Int64 // admitted, not yet executing
 	inFlight        atomic.Int64 // executing right now
 	auditDropped    atomic.Int64 // audit lines lost to sink write errors
+	walAppendErrors atomic.Int64 // durability commits the server had to refuse
 
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
@@ -91,6 +94,71 @@ type metricsDoc struct {
 		SumMs   float64     `json:"sumMs"`
 		Buckets []bucketDoc `json:"buckets"`
 	} `json:"solveLatencyMs"`
+
+	// WAL carries the write-ahead log's counters when durability is on;
+	// Recovery reports what startup recovery found (absent after a
+	// fresh, empty start too — it is set whenever a WAL was opened).
+	WAL      *walMetricsDoc `json:"wal,omitempty"`
+	Recovery *recoveryDoc   `json:"walRecovery,omitempty"`
+}
+
+// walMetricsDoc is the wal.* section of /metrics: the log's own
+// counters plus the commits the server refused because an append
+// failed, and the group-commit flush-latency histogram.
+type walMetricsDoc struct {
+	Appends        uint64 `json:"appends"`
+	AppendErrors   uint64 `json:"appendErrors"`
+	CommitRefusals int64  `json:"commitRefusals"`
+	Batches        uint64 `json:"batches"`
+	Fsyncs         uint64 `json:"fsyncs"`
+	FsyncStalls    uint64 `json:"fsyncStalls"`
+	Rotations      uint64 `json:"rotations"`
+	BytesWritten   uint64 `json:"bytesWritten"`
+	LastSeq        uint64 `json:"lastSeq"`
+	ActiveSegment  int    `json:"activeSegment"`
+	ActiveBytes    int64  `json:"activeBytes"`
+
+	FlushLatency struct {
+		Buckets []bucketDoc `json:"buckets"`
+	} `json:"flushLatencyMs"`
+}
+
+// metricsSnapshot renders /metrics: the counter snapshot plus, when
+// durability is configured, the WAL's counters and the startup
+// recovery report.
+func (s *Server) metricsSnapshot() *metricsDoc {
+	d := s.metrics.snapshot()
+	d.Recovery = s.recovered
+	if s.wal == nil {
+		return d
+	}
+	st := s.wal.Stats()
+	wd := &walMetricsDoc{
+		Appends:        st.Appends,
+		AppendErrors:   st.AppendErrors,
+		CommitRefusals: s.metrics.walAppendErrors.Load(),
+		Batches:        st.Batches,
+		Fsyncs:         st.Fsyncs,
+		FsyncStalls:    st.FsyncStalls,
+		Rotations:      st.Rotations,
+		BytesWritten:   st.BytesWritten,
+		LastSeq:        st.LastSeq,
+		ActiveSegment:  st.ActiveSegment,
+		ActiveBytes:    st.ActiveBytes,
+	}
+	wd.FlushLatency.Buckets = make([]bucketDoc, 0, len(st.FlushLatency))
+	cum := int64(0)
+	for i, le := range wal.FlushLatencyBucketsMs {
+		cum += int64(st.FlushLatency[i])
+		wd.FlushLatency.Buckets = append(wd.FlushLatency.Buckets, bucketDoc{
+			LE:    strconv.FormatFloat(le, 'g', -1, 64),
+			Count: cum,
+		})
+	}
+	cum += int64(st.FlushLatency[len(wal.FlushLatencyBucketsMs)])
+	wd.FlushLatency.Buckets = append(wd.FlushLatency.Buckets, bucketDoc{LE: "+Inf", Count: cum})
+	d.WAL = wd
+	return d
 }
 
 // snapshot renders the counters for /metrics. Counters are read

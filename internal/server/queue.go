@@ -37,6 +37,7 @@ import (
 // solveJob is one admitted solve request.
 type solveJob struct {
 	req       *solveRequest
+	raw       []byte          // canonical request bytes, for the WAL solve record
 	ctx       context.Context // the posting request's context
 	remote    string
 	iteration int            // history index this job will produce; set at execution
@@ -302,6 +303,23 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 		return
 	}
 	_ = sn.refreshProblemDoc() // seed advanced
+	// Write-ahead before acknowledging: a solve the client saw must
+	// replay after a crash. Mirrors are updated first so a concurrent
+	// rotation snapshot always covers every record already flushed. On
+	// failure the solve is fully undone — engine history, seed, mirrors
+	// — and the client told to retry: the service never acknowledges a
+	// result it cannot recover.
+	if err := s.walCommitSolve(sn, job); err != nil {
+		sn.dropLastIteration()
+		hist := sn.sess.History()
+		sn.sess.Restore(saved, hist[:len(hist)-1])
+		_ = sn.refreshProblemDoc()
+		s.metrics.solveErrors.Add(1)
+		s.audit.record(sn.id, "solve.error", job.remote, map[string]any{"iteration": job.iteration, "error": err.Error()})
+		sn.hub.publish("error", map[string]any{"iteration": job.iteration, "error": "solve not durable"})
+		finishRetry(http.StatusServiceUnavailable, errorDoc{Error: fmt.Sprintf("solve not durable: %v", err)})
+		return
+	}
 	sn.touch()
 
 	s.metrics.solves.Add(1)

@@ -29,6 +29,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -41,11 +42,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ube/internal/auditlog"
 	"ube/internal/engine"
 	"ube/internal/faultinject"
 	"ube/internal/model"
 	"ube/internal/schemaio"
 	"ube/internal/spec"
+	"ube/internal/wal"
 )
 
 // statusClientClosedRequest reports a solve whose client vanished before
@@ -90,6 +93,29 @@ type Config struct {
 	// is shallow (depth ≤ Workers) every solve is traced; past that only
 	// every TraceSampleEvery-th solve is. Default 8; see trace.go.
 	TraceSampleEvery int
+	// WALDir, when set, makes sessions durable: every create, committed
+	// solve, delete and evict is written ahead to a segment log there,
+	// and Open replays whatever the log holds before serving (see
+	// durability.go and DESIGN.md §14). Empty disables durability.
+	WALDir string
+	// WALFsync makes every WAL group commit fsync before acknowledging.
+	// Off, acknowledged records still survive a process crash (they are
+	// written through to the OS), just not an OS crash.
+	WALFsync bool
+	// WALSegmentBytes overrides the WAL's rotation threshold (default
+	// 16 MiB); rotation snapshots every live session into a fresh
+	// segment and deletes the old ones.
+	WALSegmentBytes int64
+	// SnapshotEvery writes a per-session snapshot record after every
+	// this-many solves of a session, bounding how much of its history
+	// recovery must re-solve. Default 16; ≤0 gets the default, and
+	// rotation snapshots happen regardless.
+	SnapshotEvery int
+	// AuditChain, when non-nil, mirrors every audit line into a
+	// tamper-evident hash chain (internal/auditlog) alongside the plain
+	// AuditWriter JSONL. Callers own sealing on their own schedule;
+	// Shutdown seals the final partial batch.
+	AuditChain *auditlog.Writer
 }
 
 func (c *Config) withDefaults() Config {
@@ -109,6 +135,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.TraceSampleEvery <= 0 {
 		cfg.TraceSampleEvery = 8
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 16
+	}
 	return cfg
 }
 
@@ -127,6 +156,9 @@ type Server struct {
 	draining bool
 	nextID   atomic.Int64
 
+	wal       *wal.Log
+	recovered *recoveryDoc
+
 	work      chan *session
 	jobsWG    sync.WaitGroup
 	workersWG sync.WaitGroup
@@ -137,12 +169,28 @@ type Server struct {
 
 // New builds a server and starts its worker pool (and TTL janitor when
 // configured). Callers own its lifecycle: call Shutdown when done.
+//
+// New delegates to Open and panics on error; construction can only fail
+// when durability (Config.WALDir) is configured, so durable callers
+// should use Open directly and handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
+	return s
+}
+
+// Open builds a server, recovers durable state when Config.WALDir is
+// set (see durability.go), and starts the worker pool and TTL janitor.
+// Recovery completes before any worker or janitor goroutine starts, so
+// replayed sessions can never race live traffic or eviction.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		metrics:  &metrics{},
-		audit:    newAuditLog(cfg.AuditWriter),
+		audit:    newAuditLog(cfg.AuditWriter, cfg.AuditChain),
 		inj:      cfg.FaultInjector,
 		sessions: make(map[string]*session),
 		work:     make(chan *session, cfg.QueueDepth),
@@ -154,6 +202,11 @@ func New(cfg Config) *Server {
 		s.engOpts = append(append([]engine.Option(nil), cfg.EngineOptions...), engine.WithFaultInjector(s.inj))
 	}
 	s.routes()
+	if cfg.WALDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	s.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -162,7 +215,7 @@ func New(cfg Config) *Server {
 		s.janitorWG.Add(1)
 		go s.janitor(cfg.SessionTTL)
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP surface.
@@ -173,7 +226,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Metrics returns a point-in-time counters snapshot (also served by
 // /metrics); exported for in-process embedders like ube-load.
-func (s *Server) Metrics() any { return s.metrics.snapshot() }
+func (s *Server) Metrics() any { return s.metricsSnapshot() }
 
 // BeginDrain stops admitting sessions and solves and disconnects event
 // streams; already-admitted solves keep running. Idempotent.
@@ -207,6 +260,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.work)
 	s.workersWG.Wait()
 	s.janitorWG.Wait()
+	// Workers are gone, so nothing appends anymore: flush and close the
+	// WAL, and seal the audit chain's final partial batch.
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			return err
+		}
+	}
+	s.audit.seal()
 	return nil
 }
 
@@ -243,8 +304,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+// readBody drains a bounded request body so the raw bytes can both be
+// decoded and written ahead to the WAL verbatim.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+// decodeBytes strictly decodes an already-read request body: unknown
+// fields are rejected, an empty body means all defaults.
+func decodeBytes(w http.ResponseWriter, data []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -253,19 +327,45 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// canonicalBody compacts a request body to the exact bytes the WAL
+// stores and replay re-decodes; an empty body canonicalizes to the
+// empty object it means.
+func canonicalBody(raw []byte) ([]byte, error) {
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return []byte("{}"), nil
+	}
+	return schemaio.CompactJSON(raw)
+}
+
+// healthDoc is the /healthz body. Degraded reports a live but impaired
+// service: audit lines were lost to sink failures, or WAL appends
+// failed — state a load balancer keeps routing to but an operator must
+// see.
+type healthDoc struct {
+	Status       string `json:"status"`
+	Degraded     bool   `json:"degraded,omitempty"`
+	AuditDropped int64  `json:"auditLinesDropped,omitempty"`
+	WALErrors    int64  `json:"walAppendErrors,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	doc := healthDoc{Status: "ok"}
+	doc.AuditDropped = s.metrics.auditDropped.Load()
+	doc.WALErrors = s.metrics.walAppendErrors.Load()
+	doc.Degraded = doc.AuditDropped > 0 || doc.WALErrors > 0
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		doc.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, doc)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
 }
 
 // createSessionRequest starts a session from exactly one universe form:
@@ -278,40 +378,37 @@ type createSessionRequest struct {
 	Problem  *schemaio.ProblemDoc `json:"problem,omitempty"`
 }
 
-func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	var req createSessionRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// buildSession constructs an unregistered session from a create
+// request: the universe (inline or parsed from schemas text), the
+// engine, the starting problem, and the handler-visible mirrors. The
+// caller assigns the ID and registers it. Shared by the create handler
+// and WAL replay, so a recovered session is built by exactly the code
+// that built it live.
+func (s *Server) buildSession(req *createSessionRequest) (*session, error) {
 	var u *model.Universe
 	switch {
 	case req.Universe != nil && req.Schemas != "":
-		writeError(w, http.StatusBadRequest, "give either universe or schemas, not both")
-		return
+		return nil, errors.New("give either universe or schemas, not both")
 	case req.Universe != nil:
 		u = req.Universe
 	case req.Schemas != "":
 		parsed, err := schemaio.Parse(strings.NewReader(req.Schemas))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "parsing schemas: %v", err)
-			return
+			return nil, fmt.Errorf("parsing schemas: %v", err)
 		}
 		u = parsed
 	default:
-		writeError(w, http.StatusBadRequest, "need universe or schemas")
-		return
+		return nil, errors.New("need universe or schemas")
 	}
 	if err := u.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid universe: %v", err)
-		return
+		return nil, fmt.Errorf("invalid universe: %v", err)
 	}
 
 	var prob engine.Problem
 	if req.Problem != nil {
 		p, err := req.Problem.Decode()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "invalid problem: %v", err)
-			return
+			return nil, fmt.Errorf("invalid problem: %v", err)
 		}
 		prob = p
 	} else {
@@ -320,8 +417,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 
 	eng, err := engine.New(u, s.engOpts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "building engine: %v", err)
-		return
+		return nil, fmt.Errorf("building engine: %v", err)
 	}
 
 	sn := &session{
@@ -333,9 +429,31 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	sn.created = time.Now()
 	sn.lastUsed = sn.created
 	if err := sn.refreshProblemDoc(); err != nil {
-		writeError(w, http.StatusBadRequest, "problem has no JSON form: %v", err)
+		return nil, fmt.Errorf("problem has no JSON form: %v", err)
+	}
+	return sn, nil
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
 		return
 	}
+	var req createSessionRequest
+	if !decodeBytes(w, raw, &req) {
+		return
+	}
+	canon, err := canonicalBody(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sn, err := s.buildSession(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sn.createRaw = canon
 
 	s.mu.Lock()
 	if s.draining {
@@ -353,9 +471,25 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[sn.id] = sn
 	s.mu.Unlock()
 
+	// Write-ahead before acknowledging: a session the client was told
+	// about must exist again after a crash. On failure the registration
+	// is undone — the service never acknowledges more than it persisted.
+	if err := s.walAppend(schemaio.WALTypeCreate, sn.id, canon); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, sn.id)
+		s.mu.Unlock()
+		sn.mu.Lock()
+		sn.closed = true
+		sn.mu.Unlock()
+		sn.hub.close()
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeError(w, http.StatusServiceUnavailable, "session not durable: %v", err)
+		return
+	}
+
 	s.metrics.sessionsCreated.Add(1)
 	s.metrics.sessionsActive.Add(1)
-	s.audit.record(sn.id, "session.create", r.RemoteAddr, map[string]any{"sources": u.N()})
+	s.audit.record(sn.id, "session.create", r.RemoteAddr, map[string]any{"sources": sn.eng.Universe().N()})
 	writeJSON(w, http.StatusCreated, sn.info())
 }
 
@@ -423,12 +557,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	req := &solveRequest{}
-	if !decodeBody(w, r, req) {
+	if !decodeBytes(w, raw, req) {
+		return
+	}
+	canon, err := canonicalBody(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	job := &solveJob{
 		req:    req,
+		raw:    canon,
 		ctx:    r.Context(),
 		remote: r.RemoteAddr,
 		done:   make(chan jobResult, 1),

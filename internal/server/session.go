@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -26,6 +27,10 @@ type session struct {
 	eng     *engine.Engine
 	sess    *engine.Session // worker-only after the create handler returns
 	created time.Time
+	// createRaw is the canonical create-request bytes, immutable once
+	// set; snapshots embed them so recovery can rebuild the engine from
+	// the same input the live create handler saw.
+	createRaw []byte
 
 	mu        sync.Mutex
 	lastUsed  time.Time
@@ -78,6 +83,41 @@ func (sn *session) appendIterationDoc() error {
 	sn.solutions = append(sn.solutions, it.Solution)
 	sn.mu.Unlock()
 	return nil
+}
+
+// dropLastIteration removes the newest mirrored iteration — the undo
+// half of a solve whose durability commit failed. Worker context only.
+func (sn *session) dropLastIteration() {
+	sn.mu.Lock()
+	if n := len(sn.historyDocs); n > 0 {
+		sn.historyDocs = sn.historyDocs[:n-1]
+	}
+	if n := len(sn.solutions); n > 0 {
+		sn.solutions = sn.solutions[:n-1]
+	}
+	sn.mu.Unlock()
+}
+
+// snapshotDoc renders the session's durable snapshot from the
+// handler-visible mirrors alone, so it is safe from any goroutine —
+// including the WAL flusher during rotation — without touching the
+// worker-only engine session.
+func (sn *session) snapshotDoc() (*schemaio.SessionSnapshotDoc, error) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.problemDoc == nil {
+		return nil, fmt.Errorf("session %s has no problem mirror", sn.id)
+	}
+	if len(sn.createRaw) == 0 {
+		return nil, fmt.Errorf("session %s has no create request", sn.id)
+	}
+	return &schemaio.SessionSnapshotDoc{
+		ID:      sn.id,
+		Create:  sn.createRaw,
+		Problem: sn.problemDoc,
+		History: sn.historyDocs[:len(sn.historyDocs):len(sn.historyDocs)],
+		Solves:  len(sn.historyDocs),
+	}, nil
 }
 
 // sessionInfo is the GET /v1/sessions/{id} (and create) response body.
@@ -149,6 +189,12 @@ func (s *Server) removeSession(id, action string) bool {
 		sn.hub.publish("evicted", map[string]string{"session": id})
 	}
 	sn.hub.close()
+	// The removal must survive a restart too, or recovery resurrects a
+	// session the client was told is gone. The action strings are the
+	// WAL's own lifecycle vocabulary. Best-effort: the session is
+	// already unregistered, so a failed append only risks resurrection,
+	// which recovery tolerates; the failure is still counted.
+	_ = s.walAppend(action, id, nil)
 	s.audit.record(id, action, "", nil)
 	return true
 }

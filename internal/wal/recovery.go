@@ -1,0 +1,241 @@
+package wal
+
+// Recovery: Open scans the segment files, repairs a torn tail by
+// clean-prefix truncation (only ever legal in the final segment — an
+// earlier segment was complete before its successor was created, so a
+// tear there is corruption, not a crash artifact), enforces sequence
+// contiguity across the surviving records, and hands them back for the
+// server to replay.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ube/internal/faultinject"
+	"ube/internal/schemaio"
+)
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Records is the surviving clean prefix, in sequence order.
+	Records []*schemaio.WALRecordDoc
+	// Segments is how many segment files were scanned.
+	Segments int
+	// TornBytes counts bytes discarded from the final segment's tail
+	// (a partial or corrupt frame from a crash mid-write).
+	TornBytes int64
+	// DroppedRecords counts whole records removed from the clean
+	// prefix by the recovery.truncated-tail fault point.
+	DroppedRecords int
+	// LastSeq is the sequence number of the last surviving record.
+	LastSeq uint64
+}
+
+// frameInfo locates one decoded frame inside its segment.
+type frameInfo struct {
+	payload []byte
+	off     int64
+}
+
+// Open recovers the log in dir and positions it for appending. The
+// returned Recovery carries every surviving record; the log's next
+// append continues the sequence after them.
+func Open(opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating dir: %w", err)
+	}
+	indexes, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{Segments: len(indexes)}
+	var records []*schemaio.WALRecordDoc
+	var finalFrames []frameInfo
+	finalIdx := 1
+	if len(indexes) == 0 {
+		// Fresh log: create the first segment.
+		f, err := os.OpenFile(segmentPath(opts.Dir, 1), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: creating first segment: %w", err)
+		}
+		if err := syncDir(opts.Dir); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return startLog(opts, f, 1, 0, 0, rec)
+	}
+	for i, idx := range indexes {
+		final := i == len(indexes)-1
+		path := segmentPath(opts.Dir, idx)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reading segment %d: %w", idx, err)
+		}
+		frames, clean, scanErr := scanFrames(data)
+		if scanErr != nil && !final {
+			return nil, nil, fmt.Errorf("wal: segment %d is torn at offset %d but is not the final segment: %w", idx, clean, scanErr)
+		}
+		if final {
+			finalIdx = idx
+			finalFrames = frames
+			if scanErr != nil {
+				rec.TornBytes = int64(len(data)) - clean
+				if err := os.Truncate(path, clean); err != nil {
+					return nil, nil, fmt.Errorf("wal: repairing torn tail of segment %d: %w", idx, err)
+				}
+			}
+		}
+		for _, fr := range frames {
+			doc, err := schemaio.DecodeWALRecordBytes(fr.payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wal: segment %d offset %d: %w", idx, fr.off, err)
+			}
+			if n := len(records); n > 0 && doc.Seq != records[n-1].Seq+1 {
+				return nil, nil, fmt.Errorf("wal: segment %d offset %d: record seq %d breaks contiguity after %d", idx, fr.off, doc.Seq, records[n-1].Seq)
+			}
+			records = append(records, doc)
+		}
+	}
+	cleanLen := int64(0)
+	if len(finalFrames) > 0 {
+		last := finalFrames[len(finalFrames)-1]
+		cleanLen = last.off + frameHeaderSize + int64(len(last.payload))
+	}
+	// recovery.truncated-tail simulates a tear wider than one frame:
+	// drop whole records off the clean prefix and truncate the file to
+	// match, bounded by what the final segment actually holds.
+	if f := opts.Injector.Fire(faultinject.RecoveryTruncatedTail); f != nil {
+		drop := int(f.Arg)
+		if drop > len(finalFrames) {
+			drop = len(finalFrames)
+		}
+		if drop > 0 {
+			keep := len(finalFrames) - drop
+			cleanLen = 0
+			if keep > 0 {
+				last := finalFrames[keep-1]
+				cleanLen = last.off + frameHeaderSize + int64(len(last.payload))
+			}
+			if err := os.Truncate(segmentPath(opts.Dir, finalIdx), cleanLen); err != nil {
+				return nil, nil, fmt.Errorf("wal: injected tail truncation of segment %d: %w", finalIdx, err)
+			}
+			records = records[:len(records)-drop]
+			rec.DroppedRecords = drop
+		}
+	}
+	if len(records) > 0 {
+		rec.LastSeq = records[len(records)-1].Seq
+	}
+	rec.Records = records
+	f, err := os.OpenFile(segmentPath(opts.Dir, finalIdx), os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening segment %d for append: %w", finalIdx, err)
+	}
+	if _, err := f.Seek(cleanLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seeking segment %d: %w", finalIdx, err)
+	}
+	return startLog(opts, f, finalIdx, cleanLen, rec.LastSeq, rec)
+}
+
+// startLog finishes Open: wires the flusher around an opened active
+// segment.
+func startLog(opts Options, active *os.File, idx int, off int64, lastSeq uint64, rec *Recovery) (*Log, *Recovery, error) {
+	l := &Log{
+		opts:      opts,
+		itemCh:    make(chan *item, opts.BatchRecords*2),
+		rotateCh:  make(chan *rotateReq, 1),
+		stop:      make(chan struct{}),
+		flusherD:  make(chan struct{}),
+		active:    active,
+		activeIdx: idx,
+		activeOff: off,
+		seq:       lastSeq,
+	}
+	l.activeBytes.Store(off)
+	l.stats.LastSeq = lastSeq
+	l.stats.ActiveSegment = idx
+	go l.flusher()
+	return l, rec, nil
+}
+
+// listSegments returns the existing segment indexes in ascending order,
+// rejecting gaps: rotation deletes only from the oldest end, so a
+// missing middle segment means lost history.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing dir: %w", err)
+	}
+	var indexes []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+		if err != nil || idx < 1 {
+			return nil, fmt.Errorf("wal: unrecognized segment file %q", name)
+		}
+		indexes = append(indexes, idx)
+	}
+	sort.Ints(indexes)
+	for i := 1; i < len(indexes); i++ {
+		if indexes[i] != indexes[i-1]+1 {
+			return nil, fmt.Errorf("wal: segment gap between %d and %d", indexes[i-1], indexes[i])
+		}
+	}
+	return indexes, nil
+}
+
+// scanFrames walks data frame by frame, returning every intact frame
+// and the clean-prefix length. A non-nil error describes why scanning
+// stopped early (short header, impossible length, short payload, CRC
+// mismatch); the frames before it are still good.
+func scanFrames(data []byte) ([]frameInfo, int64, error) {
+	var frames []frameInfo
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			return frames, off, fmt.Errorf("wal: %d-byte partial frame header", len(rest))
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxFramePayload {
+			return frames, off, fmt.Errorf("wal: frame declares %d-byte payload, limit %d", n, maxFramePayload)
+		}
+		if int64(len(rest)) < frameHeaderSize+int64(n) {
+			return frames, off, fmt.Errorf("wal: frame declares %d-byte payload but only %d bytes remain", n, len(rest)-frameHeaderSize)
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int64(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return frames, off, fmt.Errorf("wal: frame CRC mismatch")
+		}
+		frames = append(frames, frameInfo{payload: payload, off: off})
+		off += frameHeaderSize + int64(n)
+	}
+	return frames, off, nil
+}
+
+// ScanFrames is the exported clean-prefix scanner: it returns the
+// intact payloads, the clean-prefix length, and the tear description
+// (nil when data ends exactly on a frame boundary). It never panics on
+// arbitrary input — the fuzz harness holds it to that.
+func ScanFrames(data []byte) ([][]byte, int64, error) {
+	frames, clean, err := scanFrames(data)
+	payloads := make([][]byte, len(frames))
+	for i, fr := range frames {
+		payloads[i] = fr.payload
+	}
+	return payloads, clean, err
+}

@@ -1,0 +1,570 @@
+// Package wal is the append-only write-ahead log behind durable
+// sessions (DESIGN.md §14). Every session lifecycle event — create
+// (with the full request bytes), committed solve (with the request that
+// produced it), periodic snapshot, delete, evict — is framed as
+// u32le(len) ‖ u32le(crc32c) ‖ payload and appended to a numbered
+// segment file. Appends go through a single group-commit flusher:
+// callers block until the batch holding their record is written (and
+// fsynced, when configured), so a record handed back with a sequence
+// number is durable under the configured discipline.
+//
+// Rotation writes a self-contained snapshot of every live session plus
+// a checkpoint marker at the head of a fresh segment, fsyncs it, and
+// only then deletes older segments — so the set of files on disk always
+// replays to the current state. Recovery (Open) scans the segments,
+// repairs a torn tail by clean-prefix truncation (legal only in the
+// final segment), and returns the surviving records for the server to
+// replay through the deterministic engine.
+//
+// The log stores bytes and sequence numbers; it never interprets
+// payloads beyond the strict envelope in internal/schemaio. Wall-clock
+// reads here are operational (commit timestamps, flush latency); replay
+// never consults them.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ube/internal/faultinject"
+	"ube/internal/schemaio"
+)
+
+const (
+	// frameHeaderSize is the fixed prefix of every frame: payload
+	// length then CRC-32C of the payload, both little-endian u32.
+	frameHeaderSize = 8
+	// maxFramePayload bounds a single record: the 64 MiB request-body
+	// bound plus envelope slack. A larger declared length is treated as
+	// corruption, not a frame to allocate.
+	maxFramePayload = 72 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// FlushLatencyBucketsMs are the upper bounds (milliseconds) of the
+// flush-latency histogram; one overflow bucket follows the last bound.
+var FlushLatencyBucketsMs = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}
+
+// Options configures a log. The zero value of every field gets a
+// usable default except Dir, which is required.
+type Options struct {
+	// Dir holds the segment files; created if absent.
+	Dir string
+	// Fsync syncs every group commit before acknowledging it. Off, the
+	// log still writes through to the OS on every batch, so only an OS
+	// crash (not a process crash) can lose acknowledged records.
+	Fsync bool
+	// BatchRecords flushes a batch at this many records (default 64).
+	BatchRecords int
+	// BatchBytes flushes a batch at this many payload bytes
+	// (default 1 MiB).
+	BatchBytes int
+	// MaxWait bounds how long the first record of a batch waits for
+	// company before the batch flushes anyway (default 2ms).
+	MaxWait time.Duration
+	// SegmentBytes is the size past which ShouldRotate reports true
+	// (default 16 MiB). Rotation itself is the caller's move, because
+	// only the caller can produce session snapshots.
+	SegmentBytes int64
+	// Injector arms the wal.* fault points; nil is disarmed.
+	Injector *faultinject.Injector
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchRecords <= 0 {
+		o.BatchRecords = 64
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = 1 << 20
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o
+}
+
+// SessionSnapshot is one session's self-contained snapshot payload
+// (schemaio.SessionSnapshotDoc bytes), produced by the server's
+// rotation callback.
+type SessionSnapshot struct {
+	Session string
+	Data    []byte
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Appends       uint64
+	AppendErrors  uint64
+	Batches       uint64
+	Fsyncs        uint64
+	FsyncStalls   uint64
+	Rotations     uint64
+	BytesWritten  uint64
+	LastSeq       uint64
+	ActiveSegment int
+	ActiveBytes   int64
+	// FlushLatency counts commits per FlushLatencyBucketsMs bucket,
+	// plus one trailing overflow bucket.
+	FlushLatency [11]uint64
+}
+
+type item struct {
+	typ     string
+	session string
+	data    []byte
+	//ube:operational commit wall-clock carried into the record's operational TS field
+	ts int64
+	//ube:operational enqueue instant, read only to measure commit latency
+	enq time.Time
+	res chan itemResult
+}
+
+type itemResult struct {
+	seq uint64
+	err error
+}
+
+type rotateReq struct {
+	build func() ([]SessionSnapshot, error)
+	done  chan error
+}
+
+// Log is an open write-ahead log. All writes funnel through one
+// flusher goroutine, so segment bytes and sequence numbers are a pure
+// function of append order.
+type Log struct {
+	opts Options
+
+	itemCh   chan *item
+	rotateCh chan *rotateReq
+	stop     chan struct{}
+	flusherD chan struct{}
+
+	// closeMu serializes Append/Rotate channel sends against Close, so
+	// Close never strands a sender on a channel the flusher has left.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// Flusher-owned state; no lock needed.
+	active    *os.File
+	activeIdx int
+	activeOff int64
+	seq       uint64
+	failed    error
+
+	activeBytes atomic.Int64
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Append frames one record and blocks until it is durable under the
+// configured discipline, returning its sequence number. The data bytes
+// are retained until the commit completes and must not be mutated.
+func (l *Log) Append(typ, session string, data []byte) (uint64, error) {
+	if f := l.opts.Injector.Fire(faultinject.WALWriteError); f != nil {
+		l.statsMu.Lock()
+		l.stats.AppendErrors++
+		l.statsMu.Unlock()
+		return 0, fmt.Errorf("wal: injected write error (arrival %d)", f.Arrival)
+	}
+	it := &item{
+		typ:     typ,
+		session: session,
+		data:    data,
+		//ube:nondeterministic-ok commit wall-clock stamped into the operational TS field
+		ts: time.Now().Unix(),
+		//ube:nondeterministic-ok latency measurement start; never fed into record content
+		enq: time.Now(),
+		res: make(chan itemResult, 1),
+	}
+	l.closeMu.RLock()
+	if l.closed {
+		l.closeMu.RUnlock()
+		return 0, ErrClosed
+	}
+	// The read lock must span the send: Close flips closed under the
+	// write lock and only then stops the flusher, so a send under RLock
+	// can never hit a channel nobody drains.
+	//ube:lock-held-ok flusher always drains itemCh while the lock is acquirable; Close excludes this send via the write lock
+	l.itemCh <- it
+	l.closeMu.RUnlock()
+	r := <-it.res
+	return r.seq, r.err
+}
+
+// ShouldRotate reports whether the active segment has outgrown
+// Options.SegmentBytes. Cheap enough for every commit path.
+func (l *Log) ShouldRotate() bool {
+	return l.activeBytes.Load() > l.opts.SegmentBytes
+}
+
+// Rotate starts a fresh segment anchored by a checkpoint: it flushes
+// pending appends, calls build for a snapshot of every live session,
+// writes the snapshots plus a checkpoint record at the head of the new
+// segment, fsyncs, and deletes the older segments. build runs on the
+// flusher goroutine after the flush, so its snapshots cover every
+// record the deleted segments could contain.
+func (l *Log) Rotate(build func() ([]SessionSnapshot, error)) error {
+	rr := &rotateReq{build: build, done: make(chan error, 1)}
+	l.closeMu.RLock()
+	if l.closed {
+		l.closeMu.RUnlock()
+		return ErrClosed
+	}
+	// Same protocol as Append: the lock makes send-vs-Close impossible.
+	//ube:lock-held-ok flusher always drains rotateCh while the lock is acquirable; Close excludes this send via the write lock
+	l.rotateCh <- rr
+	l.closeMu.RUnlock()
+	return <-rr.done
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	s := l.stats
+	s.ActiveBytes = l.activeBytes.Load()
+	return s
+}
+
+// Close flushes pending appends and closes the segment. Further
+// operations return ErrClosed.
+func (l *Log) Close() error {
+	l.closeMu.Lock()
+	if l.closed {
+		l.closeMu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.closeMu.Unlock()
+	close(l.stop)
+	<-l.flusherD
+	if l.active != nil {
+		return l.active.Close()
+	}
+	return nil
+}
+
+// flusher is the single writer: it batches items by count, bytes and
+// MaxWait, commits each batch, and services rotations between batches.
+func (l *Log) flusher() {
+	defer close(l.flusherD)
+	var timer *time.Timer
+	for {
+		select {
+		case it := <-l.itemCh:
+			batch := []*item{it}
+			size := len(it.data)
+			if timer == nil {
+				timer = time.NewTimer(l.opts.MaxWait)
+			} else {
+				timer.Reset(l.opts.MaxWait)
+			}
+		fill:
+			for len(batch) < l.opts.BatchRecords && size < l.opts.BatchBytes {
+				select {
+				case more := <-l.itemCh:
+					batch = append(batch, more)
+					size += len(more.data)
+				case <-timer.C:
+					break fill
+				case <-l.stop:
+					break fill
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			l.commit(batch)
+		case rr := <-l.rotateCh:
+			rr.done <- l.doRotate(rr.build)
+		case <-l.stop:
+			l.drain()
+			return
+		}
+	}
+}
+
+// drain commits everything still queued at Close time. Close holds the
+// write lock first, so no new sends race this.
+func (l *Log) drain() {
+	for {
+		select {
+		case it := <-l.itemCh:
+			l.commit([]*item{it})
+		case rr := <-l.rotateCh:
+			rr.done <- ErrClosed
+		default:
+			return
+		}
+	}
+}
+
+// commit writes one batch as consecutive frames, syncs when configured,
+// and answers every item. On any error the segment is truncated back to
+// the pre-batch offset and the sequence counter rolled back, so a
+// failed batch leaves no partial trace: callers can retry, and the log
+// never acknowledges less than it wrote.
+func (l *Log) commit(batch []*item) {
+	if len(batch) == 0 {
+		return
+	}
+	err := l.failed
+	var seqs []uint64
+	if err == nil {
+		seqs, err = l.writeBatch(batch)
+	}
+	l.statsMu.Lock()
+	if err != nil {
+		l.stats.AppendErrors += uint64(len(batch))
+	} else {
+		l.stats.Appends += uint64(len(batch))
+		l.stats.Batches++
+		l.stats.LastSeq = l.seq
+	}
+	for _, it := range batch {
+		//ube:nondeterministic-ok commit latency observation; operational histogram only
+		lat := time.Since(it.enq)
+		l.stats.FlushLatency[latencyBucket(lat)]++
+	}
+	l.statsMu.Unlock()
+	for i, it := range batch {
+		if err != nil {
+			it.res <- itemResult{err: err}
+		} else {
+			it.res <- itemResult{seq: seqs[i]}
+		}
+	}
+}
+
+// writeBatch encodes and writes the batch's frames, returning the
+// assigned sequence numbers. Flusher goroutine only.
+func (l *Log) writeBatch(batch []*item) ([]uint64, error) {
+	startOff := l.activeOff
+	startSeq := l.seq
+	var buf bytes.Buffer
+	seqs := make([]uint64, len(batch))
+	for i, it := range batch {
+		l.seq++
+		seqs[i] = l.seq
+		payload, err := schemaio.EncodeWALRecord(&schemaio.WALRecordDoc{
+			Seq:     l.seq,
+			Type:    it.typ,
+			Session: it.session,
+			TS:      it.ts,
+			Data:    it.data,
+		})
+		if err != nil {
+			l.seq = startSeq
+			return nil, err
+		}
+		appendFrame(&buf, payload)
+	}
+	if err := l.writeDurable(buf.Bytes()); err != nil {
+		l.rollback(startOff, startSeq)
+		return nil, err
+	}
+	l.activeOff += int64(buf.Len())
+	l.activeBytes.Store(l.activeOff)
+	l.statsMu.Lock()
+	l.stats.BytesWritten += uint64(buf.Len())
+	l.statsMu.Unlock()
+	return seqs, nil
+}
+
+// writeDurable writes raw frame bytes to the active segment and syncs
+// under the configured discipline, servicing the fsync-stall fault.
+func (l *Log) writeDurable(frames []byte) error {
+	if _, err := l.active.Write(frames); err != nil {
+		return fmt.Errorf("wal: writing segment %d: %w", l.activeIdx, err)
+	}
+	if l.opts.Fsync {
+		if f := l.opts.Injector.Fire(faultinject.WALFsyncStall); f != nil {
+			l.statsMu.Lock()
+			l.stats.FsyncStalls++
+			l.statsMu.Unlock()
+			time.Sleep(time.Duration(f.Arg) * time.Millisecond)
+		}
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync segment %d: %w", l.activeIdx, err)
+		}
+		l.statsMu.Lock()
+		l.stats.Fsyncs++
+		l.statsMu.Unlock()
+	}
+	return nil
+}
+
+// rollback returns the segment and sequence counter to their pre-batch
+// state after a failed write. If even the truncate fails the log is
+// fail-stopped: every later append reports the sticky error.
+func (l *Log) rollback(off int64, seq uint64) {
+	l.seq = seq
+	if err := l.active.Truncate(off); err != nil {
+		l.failed = fmt.Errorf("wal: rollback truncate of segment %d failed, log is fail-stopped: %w", l.activeIdx, err)
+		return
+	}
+	if _, err := l.active.Seek(off, 0); err != nil {
+		l.failed = fmt.Errorf("wal: rollback seek of segment %d failed, log is fail-stopped: %w", l.activeIdx, err)
+	}
+}
+
+// doRotate performs checkpoint-anchored rotation on the flusher
+// goroutine: snapshots from build land at the head of a new fsynced
+// segment before any older segment is removed, so every record a
+// removed segment held is covered by a snapshot that is already
+// durable.
+func (l *Log) doRotate(build func() ([]SessionSnapshot, error)) error {
+	if l.failed != nil {
+		return l.failed
+	}
+	snaps, err := build()
+	if err != nil {
+		return fmt.Errorf("wal: building rotation snapshots: %w", err)
+	}
+	newIdx := l.activeIdx + 1
+	f, err := os.OpenFile(segmentPath(l.opts.Dir, newIdx), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %d: %w", newIdx, err)
+	}
+	var buf bytes.Buffer
+	startSeq := l.seq
+	sessions := make([]string, 0, len(snaps))
+	ok := func() error {
+		for _, s := range snaps {
+			l.seq++
+			sessions = append(sessions, s.Session)
+			payload, err := schemaio.EncodeWALRecord(&schemaio.WALRecordDoc{
+				Seq:     l.seq,
+				Type:    schemaio.WALTypeSnapshot,
+				Session: s.Session,
+				//ube:nondeterministic-ok commit wall-clock stamped into the operational TS field
+				TS:   time.Now().Unix(),
+				Data: s.Data,
+			})
+			if err != nil {
+				return err
+			}
+			appendFrame(&buf, payload)
+		}
+		ckpt, err := schemaio.EncodeWALCheckpoint(&schemaio.WALCheckpointDoc{Sessions: sessions})
+		if err != nil {
+			return err
+		}
+		l.seq++
+		payload, err := schemaio.EncodeWALRecord(&schemaio.WALRecordDoc{
+			Seq:  l.seq,
+			Type: schemaio.WALTypeCheckpoint,
+			//ube:nondeterministic-ok commit wall-clock stamped into the operational TS field
+			TS:   time.Now().Unix(),
+			Data: ckpt,
+		})
+		if err != nil {
+			return err
+		}
+		appendFrame(&buf, payload)
+		if _, err := f.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("wal: writing segment %d: %w", newIdx, err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync segment %d: %w", newIdx, err)
+		}
+		return syncDir(l.opts.Dir)
+	}()
+	if ok != nil {
+		l.seq = startSeq
+		f.Close()
+		os.Remove(segmentPath(l.opts.Dir, newIdx))
+		return ok
+	}
+	// The checkpoint is durable: swap segments and drop the old ones.
+	oldIdx := l.activeIdx
+	l.active.Close()
+	l.active = f
+	l.activeIdx = newIdx
+	l.activeOff = int64(buf.Len())
+	l.activeBytes.Store(l.activeOff)
+	for idx := oldIdx; idx >= 1; idx-- {
+		path := segmentPath(l.opts.Dir, idx)
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return fmt.Errorf("wal: removing superseded segment %d: %w", idx, err)
+		}
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		return err
+	}
+	l.statsMu.Lock()
+	l.stats.Rotations++
+	l.stats.BytesWritten += uint64(buf.Len())
+	l.stats.LastSeq = l.seq
+	l.statsMu.Unlock()
+	return nil
+}
+
+// appendFrame appends one length‖crc‖payload frame to buf.
+func appendFrame(buf *bytes.Buffer, payload []byte) {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+}
+
+// EncodeFrame frames one payload — the exact bytes Append would write
+// for it. Exported for tests and the fuzz harness.
+func EncodeFrame(payload []byte) []byte {
+	var buf bytes.Buffer
+	appendFrame(&buf, payload)
+	return buf.Bytes()
+}
+
+// latencyBucket maps a commit latency to its histogram bucket index.
+func latencyBucket(d time.Duration) int {
+	ms := float64(d) / float64(time.Millisecond)
+	for i, le := range FlushLatencyBucketsMs {
+		if ms <= le {
+			return i
+		}
+	}
+	return len(FlushLatencyBucketsMs)
+}
+
+// segmentPath names segment idx inside dir.
+func segmentPath(dir string, idx int) string {
+	return fmt.Sprintf("%s/wal-%08d.log", dir, idx)
+}
+
+// syncDir fsyncs the directory so segment creation and removal are
+// themselves durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	return nil
+}
