@@ -14,6 +14,8 @@
 //	ube-load -users 10            # no -addr: serves in-process
 //	ube-load -chaos plan.json     # chaos mode: replayable fault injection
 //	ube-load -kill-after 3 -resume # durable mode: SIGKILL mid-run, recover, verify
+//	ube-load -shards 4 -users 10000 -queue 4096 -solve-cache 64
+//	                              # sharded mode: shard children + router (see shard.go)
 //
 // In chaos mode (-chaos, in-process only) the server is armed with the
 // fault plan's injection schedule (see internal/faultinject), the same
@@ -71,17 +73,28 @@ func main() {
 		chaos   = flag.String("chaos", "", "fault plan JSON path: run chaos mode (in-process only)")
 		timeout = flag.Duration("solve-timeout", 2*time.Second, "per-solve deadline in chaos mode")
 
+		shards      = flag.Int("shards", 0, "sharded mode: spawn N ube-serve shard children behind an in-process router")
+		shardOut    = flag.String("shard-o", "BENCH_shard.json", "sharded-mode benchmark output path")
+		solveCache  = flag.Int("solve-cache", 0, "per-shard cross-session solve memo entries (0 disables; see server.Config.SolveCacheSize)")
+		binaryWire  = flag.Bool("binary", false, "sharded mode: carry solve and history responses as compact binary frames")
+		maxSessions = flag.Int("max-sessions", 256, "maximum live sessions (in-process and child servers)")
+
 		killAfter = flag.Int("kill-after", 0, "durable mode: SIGKILL the WAL-backed server child after N acknowledged solves")
 		resume    = flag.Bool("resume", false, "durable mode: restart the killed child on the same WAL and verify recovery")
 		walDir    = flag.String("wal-dir", "", "durable mode: WAL directory for the server child (empty: scratch dir)")
 		durOut    = flag.String("durable-o", "BENCH_durable.json", "durable-mode benchmark output path")
 
 		serveChild = flag.Bool("serve-child", false, "internal: run as the durable server child (spawned by durable mode)")
+		shardChild = flag.Bool("shard-child", false, "internal: run as one shard child (spawned by sharded mode)")
 	)
 	flag.Parse()
 
 	if *serveChild {
 		runServeChild(*walDir, *workers, *queue)
+		return
+	}
+	if *shardChild {
+		runShardChild(*workers, *queue, *solveCache, *maxSessions)
 		return
 	}
 
@@ -98,6 +111,16 @@ func main() {
 			log.Fatal("-kill-after without -resume would only prove the kill; add -resume to verify recovery")
 		}
 		if err := runDurableMode(u, *killAfter, *iters, *evals, *workers, *queue, *walDir, *durOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *shards > 0 {
+		if *addr != "" {
+			log.Fatal("-shards spawns its own shard children; drop -addr")
+		}
+		if err := runShardMode(u, *shards, *users, *iters, *evals, *workers, *queue, *solveCache, *seed, *binaryWire, *shardOut); err != nil {
 			log.Fatal(err)
 		}
 		return

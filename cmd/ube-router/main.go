@@ -1,0 +1,109 @@
+// Command ube-router is the consistent-hash front for sharded µBE
+// serving (see internal/router and DESIGN.md §15): it proxies the
+// REST/SSE surface of N ube-serve shard processes, placing each session
+// on one shard by hashing its ID onto a ring of virtual nodes, so every
+// session keeps the single-server deterministic serialization guarantee
+// while the fleet scales horizontally.
+//
+// Usage:
+//
+//	ube-router -shards http://h1:8080,http://h2:8080 [-addr :8090]
+//	           [-replicas 128] [-retry-after 2] [-probe-interval 500ms]
+//	           [-fault-plan plan.json]
+//
+// Placement is a pure function of (shard list, replicas): every
+// ube-router started with the same -shards and -replicas routes every
+// session identically, so routers are stateless and interchangeable.
+// Shard health only gates traffic — an unreachable shard's sessions get
+// 503 + Retry-After until probes readmit it; its keys are never
+// re-hashed elsewhere, because session state is shard-local.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ube/internal/faultinject"
+	"ube/internal/router"
+	"ube/internal/schemaio"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "listen address")
+		shards        = flag.String("shards", "", "comma-separated shard base URLs, in shard-index order (required)")
+		replicas      = flag.Int("replicas", router.DefaultReplicas, "virtual nodes per shard on the hash ring (must match across routers)")
+		retryAfter    = flag.Int("retry-after", 2, "Retry-After seconds sent with router-generated 503s")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "shard health probe period")
+		faultPlan     = flag.String("fault-plan", "", "fault-injection plan JSON path (chaos testing only)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight proxied requests on shutdown")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			urls = append(urls, strings.TrimRight(s, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("ube-router: -shards is required (comma-separated base URLs)")
+	}
+
+	cfg := router.Config{
+		Shards:            urls,
+		Replicas:          *replicas,
+		RetryAfterSeconds: *retryAfter,
+		ProbeInterval:     *probeInterval,
+	}
+	if *faultPlan != "" {
+		raw, err := os.ReadFile(*faultPlan)
+		if err != nil {
+			log.Fatalf("reading fault plan: %v", err)
+		}
+		plan, err := schemaio.DecodeFaultPlanBytes(raw)
+		if err != nil {
+			log.Fatalf("fault plan %s: %v", *faultPlan, err)
+		}
+		cfg.FaultInjector = faultinject.MustNew(plan)
+		log.Printf("CHAOS: fault plan %s armed (seed %d, %d entries) — not for production",
+			*faultPlan, plan.Seed, len(plan.Entries))
+	}
+
+	rt, err := router.New(cfg)
+	if err != nil {
+		log.Fatalf("building router: %v", err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ube-router listening on %s fronting %d shards (replicas=%d)", *addr, len(urls), *replicas)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	rt.Close()
+	log.Println("drained cleanly")
+}

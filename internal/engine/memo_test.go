@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// canonicalSolution strips the operational telemetry (wall-clock time,
+// cache counters) that legitimately varies between bit-identical solves,
+// mirroring the chaos suite's history canonicalization.
+func canonicalSolution(sol *Solution) Solution {
+	c := *sol
+	c.Elapsed = 0
+	c.MatchCache = CacheStats{}
+	return c
+}
+
+// TestAppendSolvedMatchesSolveContext proves the solve-memo hooks are
+// exact: a session driven by SolveInput + an external engine solve +
+// AppendSolved must be indistinguishable — history, problem state, and
+// all future solves — from one driven by SolveContext. This is the
+// invariant the serving layer's cross-session memo rests on.
+func TestAppendSolvedMatchesSolveContext(t *testing.T) {
+	e, _ := testEngine(t, 40)
+	ref := NewSession(e, smallProblem())
+	memo := NewSession(e, smallProblem())
+
+	for k := 0; k < 3; k++ {
+		want, err := ref.Solve()
+		if err != nil {
+			t.Fatalf("iteration %d: reference solve: %v", k, err)
+		}
+		// The memo path: snapshot the exact solver input, solve it
+		// outside the session, and append the result.
+		in := memo.SolveInput()
+		got, err := e.Solve(&in)
+		if err != nil {
+			t.Fatalf("iteration %d: external solve: %v", k, err)
+		}
+		memo.AppendSolved(got)
+		if !reflect.DeepEqual(canonicalSolution(want), canonicalSolution(got)) {
+			t.Fatalf("iteration %d: external solve of SolveInput diverges from SolveContext", k)
+		}
+		// Interleave feedback so warm-start and seed bookkeeping are
+		// both exercised under problem edits.
+		if k == 0 {
+			ref.SetTheta(0.75)
+			memo.SetTheta(0.75)
+		}
+	}
+
+	if !reflect.DeepEqual(ref.Problem(), memo.Problem()) {
+		t.Errorf("problem state diverged:\nref  %+v\nmemo %+v", ref.Problem(), memo.Problem())
+	}
+	rh, mh := ref.History(), memo.History()
+	if len(rh) != len(mh) {
+		t.Fatalf("history lengths diverged: %d vs %d", len(rh), len(mh))
+	}
+	for i := range rh {
+		if !reflect.DeepEqual(rh[i].Problem, mh[i].Problem) {
+			t.Errorf("iteration %d: recorded problems diverged", i)
+		}
+		if !reflect.DeepEqual(canonicalSolution(rh[i].Solution), canonicalSolution(mh[i].Solution)) {
+			t.Errorf("iteration %d: recorded solutions diverged", i)
+		}
+	}
+
+	// The sessions must stay interchangeable: a normal solve after the
+	// memo-driven iterations lands on the same solution.
+	a, err := ref.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := memo.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonicalSolution(a), canonicalSolution(b)) {
+		t.Error("post-memo solves diverged")
+	}
+}
+
+// TestSolveInputIsASnapshot proves mutating SolveInput's return cannot
+// reach back into the session.
+func TestSolveInputIsASnapshot(t *testing.T) {
+	e, _ := testEngine(t, 30)
+	s := NewSession(e, smallProblem())
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	in := s.SolveInput()
+	if len(in.InitialSources) == 0 {
+		t.Fatal("SolveInput after a solve should carry the warm start")
+	}
+	in.InitialSources[0] = -99
+	in.Seed = 12345
+	if got := s.SolveInput(); len(got.InitialSources) > 0 && got.InitialSources[0] == -99 {
+		t.Error("mutating the snapshot leaked into the session")
+	}
+	if s.Problem().Seed == 12345 {
+		t.Error("mutating the snapshot changed the session seed")
+	}
+}

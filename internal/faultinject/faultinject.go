@@ -64,6 +64,18 @@ const (
 	// prefix during WAL recovery, simulating a torn tail wider than one
 	// frame; recovery must come up with the shorter, still-clean prefix.
 	RecoveryTruncatedTail Point = "recovery.truncated-tail"
+	// RouterShardKill marks a shard dead at the router's solve-proxy
+	// boundary: the target shard of the triggering request (or, with
+	// Arg > 0, shard index Arg-1) stops receiving traffic permanently —
+	// probes never readmit it — so its sessions surface as clean 503s
+	// while other shards' sessions must stay bit-identical.
+	RouterShardKill Point = "router.shard-kill"
+	// RouterPartition drops routed solve requests at the router while
+	// the entry covers their arrivals (use Repeat for the partition's
+	// width), returning 503 + Retry-After; when the entry stops
+	// covering, traffic flows again and retried sessions must converge
+	// on the fault-free histories.
+	RouterPartition Point = "router.partition"
 )
 
 // Points is the full injection-point catalog in stable order.
@@ -79,6 +91,8 @@ var Points = []Point{
 	WALWriteError,
 	WALFsyncStall,
 	RecoveryTruncatedTail,
+	RouterShardKill,
+	RouterPartition,
 }
 
 // actions maps each point to its single legal action verb. One verb per
@@ -95,6 +109,8 @@ var actions = map[Point]string{
 	WALWriteError:         "fail",
 	WALFsyncStall:         "stall",
 	RecoveryTruncatedTail: "truncate",
+	RouterShardKill:       "kill",
+	RouterPartition:       "drop",
 }
 
 // argRequired marks points whose entries must carry a positive Arg

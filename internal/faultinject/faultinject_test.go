@@ -39,6 +39,28 @@ func TestEveryPointHasAnAction(t *testing.T) {
 	}
 }
 
+// TestRouterPoints pins the router fault points' contract: one verb
+// each, and Arg optional (shard-kill's Arg selects a shard index + 1,
+// with 0 meaning "the triggering request's target").
+func TestRouterPoints(t *testing.T) {
+	if got := actions[RouterShardKill]; got != "kill" {
+		t.Errorf("router.shard-kill action = %q, want kill", got)
+	}
+	if got := actions[RouterPartition]; got != "drop" {
+		t.Errorf("router.partition action = %q, want drop", got)
+	}
+	if argRequired[RouterShardKill] || argRequired[RouterPartition] {
+		t.Error("router points must accept entries without an Arg")
+	}
+	plan := Plan{Entries: []Entry{
+		{Point: RouterShardKill, Trigger: 3, Action: "kill"},
+		{Point: RouterPartition, Trigger: 1, Action: "drop", Repeat: 8},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("router plan does not validate: %v", err)
+	}
+}
+
 func TestFireSchedule(t *testing.T) {
 	in := MustNew(Plan{Seed: 7, Entries: []Entry{
 		{Point: WorkerPanic, Trigger: 2, Action: "panic", Repeat: 2},

@@ -163,6 +163,11 @@ var DefaultDeterminismPaths = []string{
 	// candidate order and stats are byte-compared against the dense
 	// path; a map walk or clock read there breaks sparse≡dense.
 	"ube/internal/strsim",
+	// The router's placement (hash ring) and fault firing must be pure
+	// functions of their inputs — a clock read or map walk in a routing
+	// decision would re-home sessions between restarts or make chaos
+	// runs unreplayable. Probe timing is operational and annotated.
+	"ube/internal/router",
 	// Durable recovery replays WAL records through the engine and must
 	// land bit-identical; the audit chain's record bytes are hashed, so
 	// any nondeterminism there breaks verification. Flush timing and

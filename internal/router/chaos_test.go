@@ -1,0 +1,257 @@
+package router
+
+// Router chaos: the committed plans under testdata/chaosplans arm the
+// router.* fault points while a single-threaded scripted workload runs,
+// so every firing is a pure function of solve arrival order and a
+// failing run replays exactly from seed + plan. The invariants:
+//
+//  1. Surviving sessions (homed off the killed shard, or retried past
+//     the partition) end bit-identical to a fault-free reference run.
+//  2. Sessions on a killed shard get clean 503 + Retry-After JSON
+//     errors, and their shard-local history is an intact prefix of the
+//     reference — never a torn iteration.
+//  3. The router's counters reconcile with the shards' audit logs:
+//     every solve the router counted as routed is exactly one
+//     solve.done audit line on exactly one shard.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ube/internal/faultinject"
+	"ube/internal/model"
+	"ube/internal/schemaio"
+	"ube/internal/server"
+)
+
+func loadRouterPlan(t *testing.T, name string) faultinject.Plan {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "chaosplans", name+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := schemaio.DecodeFaultPlanBytes(data)
+	if err != nil {
+		t.Fatalf("plan %s: %v", name, err)
+	}
+	return plan
+}
+
+// chaosCtx renders the replay context every chaos failure embeds.
+func chaosCtx(plan faultinject.Plan, rt *Router, users []string) string {
+	data, _ := schemaio.EncodeFaultPlan(&plan)
+	return "seed " + strconv.FormatInt(plan.Seed, 10) + ", plan:\n" + string(data) + "shard map: " + shardMap(rt, users)
+}
+
+// referenceHistories runs the scripted workload fault-free on a single
+// unsharded server: per-session determinism makes its histories the
+// reference for every topology.
+func referenceHistories(t *testing.T, u *model.Universe, users []string, iters int) map[string]string {
+	t.Helper()
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, id := range users {
+		createWithID(t, ts.URL, u, id)
+	}
+	for k := 0; k < iters; k++ {
+		for _, id := range users {
+			if resp, body := postJSON(t, ts.URL+"/v1/sessions/"+id+"/solve", map[string]any{}); resp.StatusCode != http.StatusOK {
+				t.Fatalf("reference solve %s/%d: %d %s", id, k, resp.StatusCode, body)
+			}
+		}
+	}
+	out := make(map[string]string, len(users))
+	for _, id := range users {
+		out[id] = canonicalHistory(t, fetchHistory(t, ts.URL, id))
+	}
+	return out
+}
+
+func TestChaosShardKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos workload is slow")
+	}
+	u := testUniverse(t, testUniverseN)
+	users := []string{"u0", "u1", "u2", "u3", "u4", "u5"}
+	const iters = 3
+	ref := referenceHistories(t, u, users, iters)
+
+	plan := loadRouterPlan(t, "shard_kill")
+	inj := faultinject.MustNew(plan)
+	fleet := startShards(t, 3, server.Config{})
+	rt, base := startRouter(t, fleet, Config{FaultInjector: inj})
+
+	for _, id := range users {
+		createWithID(t, base, u, id)
+	}
+	// Single-threaded, fixed order: solve arrival k is users[(k-1)%6],
+	// iteration (k-1)/6 — so the plan's trigger names one exact solve.
+	rejected := 0
+	for k := 0; k < iters; k++ {
+		for _, id := range users {
+			resp, body := postJSON(t, base+"/v1/sessions/"+id+"/solve", map[string]any{})
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case http.StatusServiceUnavailable:
+				rejected++
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("503 without Retry-After for %s/%d\n%s", id, k, chaosCtx(plan, rt, users))
+				}
+				if !strings.Contains(string(body), `"error"`) {
+					t.Errorf("503 body is not a clean JSON error: %q\n%s", body, chaosCtx(plan, rt, users))
+				}
+			default:
+				t.Fatalf("solve %s/%d: unexpected %d %s\n%s", id, k, resp.StatusCode, body, chaosCtx(plan, rt, users))
+			}
+		}
+	}
+	if inj.FiredCount(faultinject.RouterShardKill) != 1 {
+		t.Fatalf("shard-kill fired %d times, want 1\n%s", inj.FiredCount(faultinject.RouterShardKill), chaosCtx(plan, rt, users))
+	}
+
+	// Identify the killed shard from aggregated health.
+	var hz healthzDoc
+	getJSON(t, base+"/healthz", &hz)
+	killed := ""
+	for shard, st := range hz.Shards {
+		if st.Killed {
+			killed = shard
+		}
+	}
+	if killed == "" || hz.Status != "degraded" || hz.HealthyShards != 2 {
+		t.Fatalf("healthz after kill: %+v\n%s", hz, chaosCtx(plan, rt, users))
+	}
+
+	survivors, victims := 0, 0
+	for _, id := range users {
+		if rt.ring.Lookup(id) != killed {
+			// Invariant 1: survivors are bit-identical to the reference.
+			survivors++
+			if got := canonicalHistory(t, fetchHistory(t, base, id)); got != ref[id] {
+				t.Errorf("survivor %s diverged from reference\n%s\nref: %s\ngot: %s", id, chaosCtx(plan, rt, users), ref[id], got)
+			}
+			continue
+		}
+		victims++
+		// Invariant 2: routed requests for victim sessions 503 cleanly…
+		resp := getJSON(t, base+"/v1/sessions/"+id+"/history", nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("victim %s history via router: %d, want 503\n%s", id, resp.StatusCode, chaosCtx(plan, rt, users))
+		}
+		// …while the shard-local history is an intact prefix of the
+		// reference (the kill routed around the shard, it did not
+		// corrupt it).
+		local := canonicalHistory(t, fetchHistory(t, killed, id))
+		prefix := strings.TrimSuffix(local, "]")
+		if !strings.HasPrefix(ref[id], prefix) {
+			t.Errorf("victim %s shard-local history is not a clean prefix\n%s\nref: %s\ngot: %s", id, chaosCtx(plan, rt, users), ref[id], local)
+		}
+	}
+	if victims == 0 {
+		t.Fatalf("no user was homed on the killed shard — workload cannot witness the fault\n%s", chaosCtx(plan, rt, users))
+	}
+
+	// Invariant 3: metrics ↔ audit reconciliation. Every routed 200
+	// solve is exactly one solve.done line on exactly one shard; every
+	// rejection is none.
+	var m metricsDoc
+	getJSON(t, base+"/metrics", &m)
+	done := 0
+	for _, audit := range fleet.audits {
+		done += countAuditLines(t, audit, "solve.done")
+	}
+	if int64(done) != m.Router.SolvesRouted {
+		t.Errorf("audit solve.done %d != router solvesRouted %d\n%s", done, m.Router.SolvesRouted, chaosCtx(plan, rt, users))
+	}
+	if got := int(m.Router.SolvesRouted) + rejected; got != len(users)*iters {
+		t.Errorf("routed %d + rejected %d != %d scripted solves\n%s", m.Router.SolvesRouted, rejected, len(users)*iters, chaosCtx(plan, rt, users))
+	}
+	if m.Router.SolveRejects != int64(rejected) {
+		t.Errorf("solveRejects %d != observed 503s %d\n%s", m.Router.SolveRejects, rejected, chaosCtx(plan, rt, users))
+	}
+	if m.Router.ShardKills != 1 {
+		t.Errorf("shardKills = %d, want 1\n%s", m.Router.ShardKills, chaosCtx(plan, rt, users))
+	}
+}
+
+func TestChaosPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos workload is slow")
+	}
+	u := testUniverse(t, testUniverseN)
+	users := []string{"p0", "p1", "p2", "p3"}
+	const iters = 3
+	ref := referenceHistories(t, u, users, iters)
+
+	plan := loadRouterPlan(t, "partition")
+	inj := faultinject.MustNew(plan)
+	fleet := startShards(t, 2, server.Config{})
+	rt, base := startRouter(t, fleet, Config{FaultInjector: inj, RetryAfterSeconds: 1})
+
+	for _, id := range users {
+		createWithID(t, base, u, id)
+	}
+	drops := 0
+	for k := 0; k < iters; k++ {
+		for _, id := range users {
+			// Retry through the partition: every 503 is one dropped
+			// arrival, so the window closes after `repeat` retries.
+			ok := false
+			for attempt := 0; attempt < 12; attempt++ {
+				resp, body := postJSON(t, base+"/v1/sessions/"+id+"/solve", map[string]any{})
+				if resp.StatusCode == http.StatusOK {
+					ok = true
+					break
+				}
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					t.Fatalf("solve %s/%d: unexpected %d %s\n%s", id, k, resp.StatusCode, body, chaosCtx(plan, rt, users))
+				}
+				drops++
+				time.Sleep(10 * time.Millisecond)
+			}
+			if !ok {
+				t.Fatalf("solve %s/%d never got through the partition\n%s", id, k, chaosCtx(plan, rt, users))
+			}
+		}
+	}
+
+	wantDrops := plan.Entries[0].Repeat
+	if drops != wantDrops {
+		t.Errorf("observed %d drops, want %d\n%s", drops, wantDrops, chaosCtx(plan, rt, users))
+	}
+	if fired := inj.FiredCount(faultinject.RouterPartition); fired != wantDrops {
+		t.Errorf("partition fired %d times, want %d\n%s", fired, wantDrops, chaosCtx(plan, rt, users))
+	}
+
+	// Convergence: once the partition lifts, every retried session ends
+	// bit-identical to the fault-free reference.
+	for _, id := range users {
+		if got := canonicalHistory(t, fetchHistory(t, base, id)); got != ref[id] {
+			t.Errorf("session %s did not converge after the partition\n%s\nref: %s\ngot: %s", id, chaosCtx(plan, rt, users), ref[id], got)
+		}
+	}
+
+	// Reconciliation, as in the kill scenario.
+	var m metricsDoc
+	getJSON(t, base+"/metrics", &m)
+	done := 0
+	for _, audit := range fleet.audits {
+		done += countAuditLines(t, audit, "solve.done")
+	}
+	if int64(done) != m.Router.SolvesRouted {
+		t.Errorf("audit solve.done %d != router solvesRouted %d\n%s", done, m.Router.SolvesRouted, chaosCtx(plan, rt, users))
+	}
+	if m.Router.SolvesRouted != int64(len(users)*iters) {
+		t.Errorf("solvesRouted = %d, want %d\n%s", m.Router.SolvesRouted, len(users)*iters, chaosCtx(plan, rt, users))
+	}
+	if m.Router.PartitionDrops != int64(wantDrops) {
+		t.Errorf("partitionDrops = %d, want %d\n%s", m.Router.PartitionDrops, wantDrops, chaosCtx(plan, rt, users))
+	}
+}

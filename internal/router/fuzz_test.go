@@ -1,0 +1,84 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func compactJSON(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}
+
+// FuzzRouterDecode fuzzes the one place the router interprets request
+// bytes: the create-body ID extraction and rewrite. The router is
+// otherwise an opaque proxy, so this is its whole parsing attack
+// surface. Invariants: never panic; acceptance is consistent (a body
+// extractCreateID accepts, rewriteCreateBody must also accept); the
+// rewritten body is valid JSON whose id is exactly the minted one and
+// whose other top-level fields survive byte-for-byte.
+func FuzzRouterDecode(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"id":"alpha"}`,
+		`{"id":""}`,
+		`{"universe":{"sources":[{"name":"s0"}]},"problem":{"maxSources":5}}`,
+		`{"id":"g17","problem":{"theta":0.85,"seed":9007199254740993}}`,
+		`{"id":17}`,
+		`{"id":null}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"a":1}{"b":2}`,
+		`{"nested":{"id":"inner"},"id":"outer"}`,
+		`{"big":1e308,"tiny":5e-324,"neg":-0.0}`,
+		`{"unicode":"ü😀"}`,
+		``,
+		`{`,
+		`{"id":"x","id":"y"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if _, err := extractCreateID(raw); err != nil {
+			// Rejected up front (400): the rewrite is never reached,
+			// but it must still not panic on the same bytes.
+			_, _ = rewriteCreateBody(raw, "g1")
+			return
+		}
+		out, err := rewriteCreateBody(raw, "g42")
+		if err != nil {
+			t.Fatalf("extract accepted but rewrite rejected (%v): %q", err, raw)
+		}
+		// The rewritten body must round-trip with the minted ID.
+		got, err := extractCreateID(out)
+		if err != nil {
+			t.Fatalf("rewritten body unreadable (%v): %q", err, out)
+		}
+		if got != "g42" {
+			t.Fatalf("rewritten id %q, want g42 (from %q)", got, raw)
+		}
+		// Non-id top-level fields pass through intact modulo
+		// whitespace: the router must not reshape numbers, escapes,
+		// or nesting (compaction is the only legal transformation).
+		var before, after map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &before); err == nil {
+			if err := json.Unmarshal(out, &after); err != nil {
+				t.Fatalf("rewritten body not an object: %q", out)
+			}
+			for k, v := range before {
+				if k == "id" {
+					continue
+				}
+				if compactJSON(t, after[k]) != compactJSON(t, v) {
+					t.Fatalf("field %q reshaped: %q → %q", k, v, after[k])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Shard health: admission-aware routing without ring churn.
+//
+// An unhealthy shard is NOT removed from the ring. Session state is
+// shard-local, so re-hashing its keys elsewhere would route clients to
+// shards that have never heard of their sessions; instead health only
+// gates routing — requests for sessions on an ejected shard get clean
+// 503 + Retry-After until probes readmit it, and new minted sessions
+// skip it. A killed shard (the router.shard-kill fault, or operator
+// action) is ejected permanently: probes never readmit it.
+type shardState struct {
+	healthy atomic.Bool
+	killed  atomic.Bool
+	// consecutive transport failures observed by live traffic; one is
+	// enough to eject (probes readmit quickly, and a failing shard
+	// must stop eating requests immediately).
+	fails atomic.Int64
+}
+
+type healthTracker struct {
+	shards map[string]*shardState
+	order  []string
+}
+
+func newHealthTracker(shards []string) *healthTracker {
+	h := &healthTracker{shards: make(map[string]*shardState, len(shards)), order: shards}
+	for _, s := range shards {
+		st := &shardState{}
+		st.healthy.Store(true)
+		h.shards[s] = st
+	}
+	return h
+}
+
+func (h *healthTracker) state(shard string) *shardState { return h.shards[shard] }
+
+// usable reports whether shard should receive traffic.
+func (h *healthTracker) usable(shard string) bool {
+	st := h.shards[shard]
+	return st != nil && st.healthy.Load() && !st.killed.Load()
+}
+
+// kill ejects shard permanently; probes never readmit it.
+func (h *healthTracker) kill(shard string) {
+	if st := h.shards[shard]; st != nil {
+		st.killed.Store(true)
+		st.healthy.Store(false)
+	}
+}
+
+// markFailure records a transport failure seen by live traffic and
+// ejects the shard until a probe readmits it.
+func (h *healthTracker) markFailure(shard string) {
+	if st := h.shards[shard]; st != nil {
+		st.fails.Add(1)
+		st.healthy.Store(false)
+	}
+}
+
+// markSuccess clears the failure streak (live traffic got through).
+func (h *healthTracker) markSuccess(shard string) {
+	if st := h.shards[shard]; st != nil {
+		st.fails.Store(0)
+		if !st.killed.Load() {
+			st.healthy.Store(true)
+		}
+	}
+}
+
+// healthyCount returns (usable, total).
+func (h *healthTracker) healthyCount() (int, int) {
+	n := 0
+	for _, s := range h.order {
+		if h.usable(s) {
+			n++
+		}
+	}
+	return n, len(h.order)
+}
+
+// probeAll probes every non-killed shard's /healthz once, readmitting
+// shards that answer and ejecting shards that don't. Used by the
+// background prober and directly by tests (so eject/readmit is testable
+// without timing).
+func (h *healthTracker) probeAll(ctx context.Context, client *http.Client) {
+	for _, shard := range h.order {
+		st := h.shards[shard]
+		if st.killed.Load() {
+			continue
+		}
+		st.healthy.Store(h.probeOne(ctx, client, shard))
+	}
+}
+
+func (h *healthTracker) probeOne(ctx context.Context, client *http.Client, shard string) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

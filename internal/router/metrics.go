@@ -1,0 +1,95 @@
+package router
+
+import "sync/atomic"
+
+// routerMetrics are the router's own counters, kept separate from the
+// shard metrics it aggregates. The chaos suite reconciles these against
+// per-shard audit lines: every solve the router counted as routed must
+// appear in exactly one shard's audit chain, and every rejection it
+// counted must NOT.
+type routerMetrics struct {
+	proxied        atomic.Int64 // responses relayed from shards
+	proxyErrors    atomic.Int64 // transport failures talking to shards
+	createsMinted  atomic.Int64 // sessions created under router-minted IDs
+	createRetries  atomic.Int64 // minted-ID 409 collisions re-minted
+	createRejects  atomic.Int64 // creates refused (no usable shard)
+	solvesRouted   atomic.Int64 // solve responses relayed with status 200
+	solveRejects   atomic.Int64 // solves the router refused or failed to relay
+	shardKills     atomic.Int64 // router.shard-kill firings (+ operator kills)
+	partitionDrops atomic.Int64 // router.partition firings
+
+	perShard map[string]*shardCounters
+}
+
+type shardCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+func newRouterMetrics(shards []string) *routerMetrics {
+	m := &routerMetrics{perShard: make(map[string]*shardCounters, len(shards))}
+	for _, s := range shards {
+		m.perShard[s] = &shardCounters{}
+	}
+	return m
+}
+
+// forShard returns the counters for shard; the map is fixed at
+// construction so lookups are lock-free.
+func (m *routerMetrics) forShard(shard string) *shardCounters {
+	if c := m.perShard[shard]; c != nil {
+		return c
+	}
+	return &shardCounters{} // unknown shard: count into a throwaway
+}
+
+// routerCountersDoc is the JSON shape of the router-owned counters in
+// the aggregated /metrics document.
+type routerCountersDoc struct {
+	Proxied        int64                     `json:"proxied"`
+	ProxyErrors    int64                     `json:"proxyErrors"`
+	CreatesMinted  int64                     `json:"createsMinted"`
+	CreateRetries  int64                     `json:"createRetries"`
+	CreateRejects  int64                     `json:"createRejects"`
+	SolvesRouted   int64                     `json:"solvesRouted"`
+	SolveRejects   int64                     `json:"solveRejects"`
+	ShardKills     int64                     `json:"shardKills"`
+	PartitionDrops int64                     `json:"partitionDrops"`
+	HealthyShards  int                       `json:"healthyShards"`
+	TotalShards    int                       `json:"totalShards"`
+	PerShard       map[string]shardStatusDoc `json:"perShard"`
+}
+
+type shardStatusDoc struct {
+	Healthy  bool  `json:"healthy"`
+	Killed   bool  `json:"killed,omitempty"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+func (m *routerMetrics) snapshot(h *healthTracker) routerCountersDoc {
+	doc := routerCountersDoc{
+		Proxied:        m.proxied.Load(),
+		ProxyErrors:    m.proxyErrors.Load(),
+		CreatesMinted:  m.createsMinted.Load(),
+		CreateRetries:  m.createRetries.Load(),
+		CreateRejects:  m.createRejects.Load(),
+		SolvesRouted:   m.solvesRouted.Load(),
+		SolveRejects:   m.solveRejects.Load(),
+		ShardKills:     m.shardKills.Load(),
+		PartitionDrops: m.partitionDrops.Load(),
+		PerShard:       make(map[string]shardStatusDoc, len(m.perShard)),
+	}
+	doc.HealthyShards, doc.TotalShards = h.healthyCount()
+	//ube:nondeterministic-ok building a keyed JSON object; serialization sorts keys
+	for shard, c := range m.perShard {
+		st := h.state(shard)
+		doc.PerShard[shard] = shardStatusDoc{
+			Healthy:  h.usable(shard),
+			Killed:   st != nil && st.killed.Load(),
+			Requests: c.requests.Load(),
+			Errors:   c.errors.Load(),
+		}
+	}
+	return doc
+}

@@ -1,0 +1,136 @@
+// Package router is the consistent-hash front for sharded µBE serving
+// (DESIGN.md §15): it proxies the REST/SSE surface of N ube-serve shard
+// processes, placing each session on a shard by hashing its ID onto a
+// ring of virtual nodes. The per-session deterministic serialization
+// invariant shards cleanly — a session's solves are serialized by its
+// own shard exactly as by a single server, and solves are pure
+// functions of (universe, input), so a session's history depends only
+// on its own request order, never on which shard held it or what other
+// sessions did.
+//
+// Stdlib-only, like the rest of the module.
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each node is
+// hashed at Replicas points ("node#0", "node#1", ...); a key routes to
+// the owner of the first point clockwise from the key's hash. Adding
+// or removing one node therefore moves only ~K/N of K keys, and
+// placement is a pure function of (node set, replicas, key) — byte-
+// identical across processes and restarts, which is what lets a
+// restarted router find every existing session without shared state.
+//
+// Lookup is safe for concurrent use once the ring is built; Add and
+// Remove are not safe concurrently with anything.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	nodes    map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-node count per shard. 128 keeps the
+// max/mean key-share imbalance within a few percent for small shard
+// counts while the ring stays tiny (N×128 points).
+const DefaultReplicas = 128
+
+// NewRing builds an empty ring; replicas ≤ 0 gets DefaultReplicas.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// hashKey is FNV-64a — stdlib, stable across platforms and releases
+// (the constants are part of its definition) — followed by a splitmix64
+// finalizer. FNV alone avalanches poorly on near-identical inputs like
+// vnode labels ("shard#0", "shard#1", ...), which skews key shares by
+// >2x; the fixed-constant finalizer restores mixing while keeping the
+// whole function a pure, platform-independent constant of its input.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts nodes, each at replicas virtual points. Re-adding a node
+// is a no-op, so membership is idempotent.
+func (r *Ring) Add(nodes ...string) {
+	for _, node := range nodes {
+		if r.nodes[node] {
+			continue
+		}
+		r.nodes[node] = true
+		for i := 0; i < r.replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashKey(node + "#" + strconv.Itoa(i)),
+				node: node,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding points are ordered by node name so the ring is
+		// still a pure function of the membership set.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes a node and its virtual points.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Lookup returns the node owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the member set in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.nodes) }

@@ -1,0 +1,199 @@
+package router
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// ringKeys generates a deterministic key population shaped like real
+// session IDs: router-minted g<N> plus client-chosen names.
+func ringKeys(n int) []string {
+	keys := make([]string, 0, 2*n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, fmt.Sprintf("g%d", i+1))
+		keys = append(keys, fmt.Sprintf("user-%d", i+1))
+	}
+	return keys
+}
+
+func ringOf(n, replicas int) (*Ring, []string) {
+	shards := make([]string, n)
+	for i := range shards {
+		shards[i] = fmt.Sprintf("http://shard-%d", i)
+	}
+	r := NewRing(replicas)
+	r.Add(shards...)
+	return r, shards
+}
+
+// TestRingMovementOnAdd checks the consistent-hashing contract: adding
+// one shard to an N-shard ring moves roughly K/(N+1) of K keys, and
+// every moved key moves TO the new shard (no collateral shuffling).
+func TestRingMovementOnAdd(t *testing.T) {
+	keys := ringKeys(2500)
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("%d+1", n), func(t *testing.T) {
+			before, _ := ringOf(n, 0)
+			owners := make(map[string]string, len(keys))
+			for _, k := range keys {
+				owners[k] = before.Lookup(k)
+			}
+
+			after, _ := ringOf(n, 0)
+			newShard := fmt.Sprintf("http://shard-%d", n)
+			after.Add(newShard)
+
+			moved := 0
+			for _, k := range keys {
+				now := after.Lookup(k)
+				if now == owners[k] {
+					continue
+				}
+				moved++
+				if now != newShard {
+					t.Fatalf("key %q moved %s → %s, not to the new shard", k, owners[k], now)
+				}
+			}
+			want := float64(len(keys)) / float64(n+1)
+			if f := float64(moved); f < 0.5*want || f > 2.0*want {
+				t.Errorf("adding shard %d moved %d keys, want ~%.0f (K/N within 2x)", n+1, moved, want)
+			}
+		})
+	}
+}
+
+// TestRingMovementOnRemove checks the inverse: removing a shard moves
+// ONLY that shard's keys, and the survivors keep their owners exactly.
+func TestRingMovementOnRemove(t *testing.T) {
+	keys := ringKeys(2500)
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("%d-1", n), func(t *testing.T) {
+			r, shards := ringOf(n, 0)
+			owners := make(map[string]string, len(keys))
+			for _, k := range keys {
+				owners[k] = r.Lookup(k)
+			}
+			victim := shards[n-1]
+			r.Remove(victim)
+			for _, k := range keys {
+				now := r.Lookup(k)
+				if owners[k] == victim {
+					if now == victim {
+						t.Fatalf("key %q still routes to the removed shard", k)
+					}
+					continue
+				}
+				if now != owners[k] {
+					t.Fatalf("survivor key %q moved %s → %s on an unrelated removal", k, owners[k], now)
+				}
+			}
+		})
+	}
+}
+
+// TestRingBalance bounds the load imbalance at the default replica
+// count: no shard should own more than ~2x its fair share.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(5000)
+	for _, n := range []int{2, 4, 8} {
+		r, _ := ringOf(n, 0)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Lookup(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for shard, c := range counts {
+			if f := float64(c); f > 2.0*fair || f < 0.35*fair {
+				t.Errorf("n=%d: shard %s owns %d keys (fair share %.0f)", n, shard, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicAcrossRestarts proves placement is a pure
+// function of the membership set: rings built in different add orders,
+// in different "processes" (fresh values), agree on every lookup. This
+// is what lets a restarted router find every existing session.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r1 := NewRing(0)
+	r1.Add(shards...)
+	r2 := NewRing(0)
+	for i := len(shards) - 1; i >= 0; i-- { // reverse order, one at a time
+		r2.Add(shards[i])
+	}
+	r3 := NewRing(0)
+	r3.Add(shards[2], shards[0])
+	r3.Add(shards[1], shards[3], shards[1]) // re-add is idempotent
+	for _, k := range ringKeys(1000) {
+		a, b, c := r1.Lookup(k), r2.Lookup(k), r3.Lookup(k)
+		if a != b || b != c {
+			t.Fatalf("lookup %q disagrees across build orders: %q %q %q", k, a, b, c)
+		}
+	}
+	if !reflect.DeepEqual(r1.Nodes(), r2.Nodes()) || r1.Size() != 4 {
+		t.Errorf("membership disagrees: %v vs %v", r1.Nodes(), r2.Nodes())
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("anything"); got != "" {
+		t.Errorf("empty ring lookup = %q, want \"\"", got)
+	}
+	r.Add("only")
+	for _, k := range []string{"a", "b", "g999"} {
+		if got := r.Lookup(k); got != "only" {
+			t.Errorf("single-node ring lookup %q = %q", k, got)
+		}
+	}
+	r.Remove("only")
+	if r.Size() != 0 || r.Lookup("a") != "" {
+		t.Error("ring not empty after removing its only node")
+	}
+	r.Remove("never-added") // must not panic
+}
+
+// TestRingGoldenShardMap pins the exact placement of a fixed key set on
+// a fixed 4-shard ring. Any change to the hash, the vnode labeling, or
+// the tie-break silently re-homes every live session in a rolling
+// deploy — this fixture makes that a loud diff instead. Regenerate
+// deliberately with: go test ./internal/router -run GoldenShardMap -update
+func TestRingGoldenShardMap(t *testing.T) {
+	r, _ := ringOf(4, 0)
+	placement := make(map[string]string)
+	for _, k := range ringKeys(20) {
+		placement[k] = r.Lookup(k)
+	}
+	data, err := json.MarshalIndent(placement, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "shardmap.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if string(want) != string(data) {
+		t.Errorf("shard placement changed — this re-homes live sessions.\nwant:\n%s\ngot:\n%s", want, data)
+	}
+}

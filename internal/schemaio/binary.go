@@ -1,0 +1,768 @@
+package schemaio
+
+// Compact length-prefixed binary frames for the hot solve/progress wire
+// paths (DESIGN.md §15). JSON stays the default and the wire-compat
+// reference: every binary frame carries exactly the fields of the JSON
+// doc it mirrors, in a fixed order, so the two formats are loss-free
+// views of the same document.
+//
+// The encoding is canonical: minimal varints, sorted map keys, nil and
+// empty collections unified, one legal byte for each bool, finite
+// floats only. Decoding rejects anything non-canonical, which gives the
+// codec a fixed point — for every frame b that decodes, re-encoding the
+// result reproduces b byte for byte. That property is what the fuzz
+// targets pin and what lets the router treat frames as opaque,
+// re-transmittable bytes.
+//
+// Frame layout: 4-byte magic "UBB1", one type byte, then the payload.
+// Trailing bytes after the payload are an error, so frames are
+// self-delimiting when their length is known (HTTP bodies, SSE data
+// lines after base64).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"unicode/utf8"
+
+	"ube/internal/model"
+)
+
+// BinaryContentType is the negotiated media type for binary frames.
+// Clients opt in per request with "Accept: application/x-ube-binary";
+// everything else gets JSON.
+const BinaryContentType = "application/x-ube-binary"
+
+// binaryMagic opens every frame. The version is part of the magic: a
+// future incompatible layout becomes "UBB2", and old decoders reject it
+// at byte 3 instead of misparsing.
+var binaryMagic = [4]byte{'U', 'B', 'B', '1'}
+
+// Frame type bytes. The catalog is closed; unknown types are rejected.
+const (
+	binaryTypeProblem     = 0x01
+	binaryTypeSolution    = 0x02
+	binaryTypeIteration   = 0x03
+	binaryTypeHistory     = 0x04
+	binaryTypeSolveResult = 0x05
+	binaryTypeProgress    = 0x06
+)
+
+// maxBinaryString caps every encoded string (QEF names, characteristic
+// names, session IDs); anything longer is hostile or corrupt.
+const maxBinaryString = 1 << 12
+
+var errBinaryTruncated = errors.New("schemaio: binary frame truncated")
+
+// SolveResultDoc is the machine core of a solve response — the session,
+// the iteration index and the round-trip solution doc — without the
+// human-oriented rendered view and diff that ride along in JSON. It is
+// the binary solve response body and the JSON shape binary clients are
+// documented against.
+type SolveResultDoc struct {
+	Session   string      `json:"session"`
+	Iteration int         `json:"iteration"`
+	Solution  SolutionDoc `json:"solution"`
+}
+
+// ProgressDoc is one solver progress tick, mirroring the SSE "progress"
+// event payload.
+type ProgressDoc struct {
+	Iteration   int     `json:"iteration"`
+	Evals       int     `json:"evals"`
+	BestQuality float64 `json:"bestQuality"`
+	Feasible    bool    `json:"feasible"`
+}
+
+// --- encoder ---
+
+// binWriter accumulates a frame. Encoding can only fail on non-finite
+// floats and oversized strings/lists, checked at the call sites that
+// introduce them, so the writer carries a sticky error instead of
+// returning one per primitive.
+type binWriter struct {
+	buf []byte
+	err error
+}
+
+func (w *binWriter) fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf("schemaio: binary encode: "+format, args...)
+	}
+}
+
+func (w *binWriter) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *binWriter) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+func (w *binWriter) vint(v int) { w.varint(int64(v)) }
+
+func (w *binWriter) bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *binWriter) f64(v float64) {
+	if !isFinite(v) {
+		w.fail("non-finite float %v", v)
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+func (w *binWriter) string(s string) {
+	if len(s) > maxBinaryString {
+		w.fail("string of %d bytes, limit %d", len(s), maxBinaryString)
+		return
+	}
+	if !utf8.ValidString(s) {
+		w.fail("string is not valid UTF-8")
+		return
+	}
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *binWriter) count(n int, what string) bool {
+	if n > decodeListLimit {
+		w.fail("%s carries %d entries, limit %d", what, n, decodeListLimit)
+		return false
+	}
+	w.uvarint(uint64(n))
+	return true
+}
+
+func (w *binWriter) intList(v []int, what string) {
+	if !w.count(len(v), what) {
+		return
+	}
+	for _, x := range v {
+		w.vint(x)
+	}
+}
+
+func (w *binWriter) floatMap(m map[string]float64, what string) {
+	if !w.count(len(m), what) {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.string(k)
+		w.f64(m[k])
+	}
+}
+
+func (w *binWriter) stringMap(m map[string]string, what string) {
+	if !w.count(len(m), what) {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.string(k)
+		w.string(m[k])
+	}
+}
+
+func (w *binWriter) gas(gas []model.GA, what string) {
+	if !w.count(len(gas), what) {
+		return
+	}
+	for _, ga := range gas {
+		if !w.count(len(ga), what+" members") {
+			return
+		}
+		for _, ref := range ga {
+			w.vint(ref.Source)
+			w.vint(ref.Attr)
+		}
+	}
+}
+
+func (w *binWriter) problem(d *ProblemDoc) {
+	w.vint(d.MaxSources)
+	w.f64(d.Theta)
+	w.vint(d.Beta)
+	w.intList(d.Constraints.Sources, "constraints.sources")
+	w.gas(d.Constraints.GAs, "constraints.gas")
+	w.intList(d.Constraints.Exclude, "constraints.exclude")
+	w.floatMap(d.Weights, "weights")
+	w.stringMap(d.Characteristics, "characteristics")
+	w.string(d.Optimizer)
+	w.varint(d.Seed)
+	w.vint(d.MaxEvals)
+	w.vint(d.Workers)
+	w.intList(d.InitialSources, "initialSources")
+}
+
+func (w *binWriter) solution(d *SolutionDoc) {
+	w.vint(d.N)
+	w.intList(d.Sources, "sources")
+	w.f64(d.Quality)
+	w.bool(d.Feasible)
+	w.floatMap(d.Breakdown, "breakdown")
+	w.vint(d.Evals)
+	if d.Schema != nil {
+		w.bool(true)
+		w.gas(d.Schema.GAs, "schema.gas")
+	} else {
+		w.bool(false)
+	}
+	if w.count(len(d.GAQuality), "gaQuality") {
+		for _, q := range d.GAQuality {
+			w.f64(q)
+		}
+	}
+	if w.count(len(d.FromConstraint), "fromConstraint") {
+		for _, b := range d.FromConstraint {
+			w.bool(b)
+		}
+	}
+	w.f64(d.MatchQuality)
+	w.bool(d.MatchValid)
+	w.varint(d.CacheHits)
+	w.varint(d.CacheMisses)
+	w.varint(d.CacheEvictions)
+	w.varint(d.ElapsedNS)
+}
+
+func (w *binWriter) iteration(d *IterationDoc) {
+	w.problem(&d.Problem)
+	w.solution(&d.Solution)
+}
+
+func newFrame(typ byte) *binWriter {
+	w := &binWriter{buf: make([]byte, 0, 256)}
+	w.buf = append(w.buf, binaryMagic[:]...)
+	w.buf = append(w.buf, typ)
+	return w
+}
+
+func (w *binWriter) finish() ([]byte, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.buf, nil
+}
+
+// EncodeBinaryProblem renders a problem doc as one binary frame.
+func EncodeBinaryProblem(d *ProblemDoc) ([]byte, error) {
+	w := newFrame(binaryTypeProblem)
+	w.problem(d)
+	return w.finish()
+}
+
+// EncodeBinarySolution renders a solution doc as one binary frame.
+func EncodeBinarySolution(d *SolutionDoc) ([]byte, error) {
+	w := newFrame(binaryTypeSolution)
+	w.solution(d)
+	return w.finish()
+}
+
+// EncodeBinaryIteration renders one history entry as one binary frame.
+func EncodeBinaryIteration(d *IterationDoc) ([]byte, error) {
+	w := newFrame(binaryTypeIteration)
+	w.iteration(d)
+	return w.finish()
+}
+
+// EncodeBinaryHistory renders a whole session history as one frame.
+func EncodeBinaryHistory(docs []IterationDoc) ([]byte, error) {
+	w := newFrame(binaryTypeHistory)
+	if w.count(len(docs), "history") {
+		for i := range docs {
+			w.iteration(&docs[i])
+		}
+	}
+	return w.finish()
+}
+
+// EncodeBinarySolveResult renders a solve result as one binary frame —
+// the binary solve response body.
+func EncodeBinarySolveResult(d *SolveResultDoc) ([]byte, error) {
+	w := newFrame(binaryTypeSolveResult)
+	w.string(d.Session)
+	w.vint(d.Iteration)
+	w.solution(&d.Solution)
+	return w.finish()
+}
+
+// EncodeBinaryProgress renders one progress tick as one binary frame.
+func EncodeBinaryProgress(d *ProgressDoc) ([]byte, error) {
+	w := newFrame(binaryTypeProgress)
+	w.vint(d.Iteration)
+	w.vint(d.Evals)
+	w.f64(d.BestQuality)
+	w.bool(d.Feasible)
+	return w.finish()
+}
+
+// --- decoder ---
+
+type binReader struct {
+	buf []byte
+	off int
+}
+
+func (r *binReader) remaining() int { return len(r.buf) - r.off }
+
+// uvarint reads a minimally encoded unsigned varint. Non-minimal
+// encodings ("0x80 0x00" for zero) are rejected to keep decoding the
+// exact inverse of encoding.
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errBinaryTruncated
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	if binary.PutUvarint(scratch[:], v) != n {
+		return 0, errors.New("schemaio: binary frame carries a non-minimal varint")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// Undo zigzag exactly as encoding/binary does.
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, nil
+}
+
+func (r *binReader) vint() (int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, err
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("schemaio: binary int %d outside 32-bit range", v)
+	}
+	return int(v), nil
+}
+
+func (r *binReader) bool() (bool, error) {
+	if r.remaining() < 1 {
+		return false, errBinaryTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("schemaio: binary bool byte 0x%02x", b)
+}
+
+func (r *binReader) f64() (float64, error) {
+	if r.remaining() < 8 {
+		return 0, errBinaryTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	if !isFinite(v) {
+		return 0, fmt.Errorf("schemaio: binary float %v is not finite", v)
+	}
+	return v, nil
+}
+
+func (r *binReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxBinaryString {
+		return "", fmt.Errorf("schemaio: binary string of %d bytes, limit %d", n, maxBinaryString)
+	}
+	if uint64(r.remaining()) < n {
+		return "", errBinaryTruncated
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	if !utf8.ValidString(s) {
+		return "", errors.New("schemaio: binary string is not valid UTF-8")
+	}
+	return s, nil
+}
+
+// count reads a collection length, bounding it by both the list limit
+// and the bytes actually left in the frame (each element costs at least
+// one byte), so a hostile count cannot force a large allocation.
+func (r *binReader) count(what string) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > decodeListLimit {
+		return 0, fmt.Errorf("schemaio: binary %s carries %d entries, limit %d", what, n, decodeListLimit)
+	}
+	if n > uint64(r.remaining()) {
+		return 0, errBinaryTruncated
+	}
+	return int(n), nil
+}
+
+func (r *binReader) intList(what string) ([]int, error) {
+	n, err := r.count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i := range out {
+		if out[i], err = r.vint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) floatMap(what string) (map[string]float64, error) {
+	n, err := r.count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make(map[string]float64, n)
+	prev := ""
+	for i := 0; i < n; i++ {
+		k, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && k <= prev {
+			return nil, fmt.Errorf("schemaio: binary %s keys not strictly ascending at %q", what, k)
+		}
+		prev = k
+		if out[k], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) stringMap(what string) (map[string]string, error) {
+	n, err := r.count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make(map[string]string, n)
+	prev := ""
+	for i := 0; i < n; i++ {
+		k, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && k <= prev {
+			return nil, fmt.Errorf("schemaio: binary %s keys not strictly ascending at %q", what, k)
+		}
+		prev = k
+		if out[k], err = r.string(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) gas(what string) ([]model.GA, error) {
+	n, err := r.count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]model.GA, n)
+	for i := range out {
+		m, err := r.count(what + " members")
+		if err != nil {
+			return nil, err
+		}
+		ga := make(model.GA, m)
+		for j := range ga {
+			if ga[j].Source, err = r.vint(); err != nil {
+				return nil, err
+			}
+			if ga[j].Attr, err = r.vint(); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = ga
+	}
+	return out, nil
+}
+
+func (r *binReader) problem() (*ProblemDoc, error) {
+	d := &ProblemDoc{}
+	var err error
+	if d.MaxSources, err = r.vint(); err != nil {
+		return nil, err
+	}
+	if d.Theta, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if d.Beta, err = r.vint(); err != nil {
+		return nil, err
+	}
+	if d.Constraints.Sources, err = r.intList("constraints.sources"); err != nil {
+		return nil, err
+	}
+	if d.Constraints.GAs, err = r.gas("constraints.gas"); err != nil {
+		return nil, err
+	}
+	if d.Constraints.Exclude, err = r.intList("constraints.exclude"); err != nil {
+		return nil, err
+	}
+	if d.Weights, err = r.floatMap("weights"); err != nil {
+		return nil, err
+	}
+	if d.Characteristics, err = r.stringMap("characteristics"); err != nil {
+		return nil, err
+	}
+	if d.Optimizer, err = r.string(); err != nil {
+		return nil, err
+	}
+	if d.Seed, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if d.MaxEvals, err = r.vint(); err != nil {
+		return nil, err
+	}
+	if d.Workers, err = r.vint(); err != nil {
+		return nil, err
+	}
+	if d.InitialSources, err = r.intList("initialSources"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (r *binReader) solution() (*SolutionDoc, error) {
+	d := &SolutionDoc{}
+	var err error
+	if d.N, err = r.vint(); err != nil {
+		return nil, err
+	}
+	if d.Sources, err = r.intList("sources"); err != nil {
+		return nil, err
+	}
+	if d.Quality, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if d.Feasible, err = r.bool(); err != nil {
+		return nil, err
+	}
+	if d.Breakdown, err = r.floatMap("breakdown"); err != nil {
+		return nil, err
+	}
+	if d.Evals, err = r.vint(); err != nil {
+		return nil, err
+	}
+	hasSchema, err := r.bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasSchema {
+		gas, err := r.gas("schema.gas")
+		if err != nil {
+			return nil, err
+		}
+		d.Schema = &model.MediatedSchema{GAs: gas}
+	}
+	n, err := r.count("gaQuality")
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		d.GAQuality = make([]float64, n)
+		for i := range d.GAQuality {
+			if d.GAQuality[i], err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if n, err = r.count("fromConstraint"); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		d.FromConstraint = make([]bool, n)
+		for i := range d.FromConstraint {
+			if d.FromConstraint[i], err = r.bool(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.MatchQuality, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if d.MatchValid, err = r.bool(); err != nil {
+		return nil, err
+	}
+	if d.CacheHits, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if d.CacheMisses, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if d.CacheEvictions, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if d.ElapsedNS, err = r.varint(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (r *binReader) iteration() (*IterationDoc, error) {
+	p, err := r.problem()
+	if err != nil {
+		return nil, err
+	}
+	s, err := r.solution()
+	if err != nil {
+		return nil, err
+	}
+	return &IterationDoc{Problem: *p, Solution: *s}, nil
+}
+
+// openFrame checks magic and type and returns the payload reader.
+func openFrame(b []byte, typ byte) (*binReader, error) {
+	if len(b) < len(binaryMagic)+1 {
+		return nil, errBinaryTruncated
+	}
+	if [4]byte(b[:4]) != binaryMagic {
+		return nil, fmt.Errorf("schemaio: not a binary frame (magic %q)", b[:4])
+	}
+	if b[4] != typ {
+		return nil, fmt.Errorf("schemaio: binary frame type 0x%02x, want 0x%02x", b[4], typ)
+	}
+	return &binReader{buf: b, off: 5}, nil
+}
+
+func (r *binReader) close() error {
+	if r.remaining() != 0 {
+		return fmt.Errorf("schemaio: %d trailing bytes after binary frame", r.remaining())
+	}
+	return nil
+}
+
+// DecodeBinaryProblem parses one problem frame.
+func DecodeBinaryProblem(b []byte) (*ProblemDoc, error) {
+	r, err := openFrame(b, binaryTypeProblem)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.problem()
+	if err != nil {
+		return nil, err
+	}
+	return d, r.close()
+}
+
+// DecodeBinarySolution parses one solution frame.
+func DecodeBinarySolution(b []byte) (*SolutionDoc, error) {
+	r, err := openFrame(b, binaryTypeSolution)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.solution()
+	if err != nil {
+		return nil, err
+	}
+	return d, r.close()
+}
+
+// DecodeBinaryIteration parses one iteration frame.
+func DecodeBinaryIteration(b []byte) (*IterationDoc, error) {
+	r, err := openFrame(b, binaryTypeIteration)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.iteration()
+	if err != nil {
+		return nil, err
+	}
+	return d, r.close()
+}
+
+// DecodeBinaryHistory parses one history frame.
+func DecodeBinaryHistory(b []byte) ([]IterationDoc, error) {
+	r, err := openFrame(b, binaryTypeHistory)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.count("history")
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]IterationDoc, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := r.iteration()
+		if err != nil {
+			return nil, fmt.Errorf("schemaio: binary history iteration %d: %w", i, err)
+		}
+		docs = append(docs, *d)
+	}
+	return docs, r.close()
+}
+
+// DecodeBinarySolveResult parses one solve-result frame.
+func DecodeBinarySolveResult(b []byte) (*SolveResultDoc, error) {
+	r, err := openFrame(b, binaryTypeSolveResult)
+	if err != nil {
+		return nil, err
+	}
+	d := &SolveResultDoc{}
+	if d.Session, err = r.string(); err != nil {
+		return nil, err
+	}
+	if d.Iteration, err = r.vint(); err != nil {
+		return nil, err
+	}
+	sol, err := r.solution()
+	if err != nil {
+		return nil, err
+	}
+	d.Solution = *sol
+	return d, r.close()
+}
+
+// DecodeBinaryProgress parses one progress frame.
+func DecodeBinaryProgress(b []byte) (*ProgressDoc, error) {
+	r, err := openFrame(b, binaryTypeProgress)
+	if err != nil {
+		return nil, err
+	}
+	d := &ProgressDoc{}
+	if d.Iteration, err = r.vint(); err != nil {
+		return nil, err
+	}
+	if d.Evals, err = r.vint(); err != nil {
+		return nil, err
+	}
+	if d.BestQuality, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if d.Feasible, err = r.bool(); err != nil {
+		return nil, err
+	}
+	return d, r.close()
+}

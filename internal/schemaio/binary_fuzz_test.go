@@ -1,0 +1,75 @@
+package schemaio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryCodecRoundTrip drives arbitrary bytes through every binary
+// frame decoder. Truncated, oversized, non-canonical and NaN-carrying
+// frames must come back as errors — never panics, never unbounded
+// allocations — and every frame a decoder accepts must be a fixed point
+// of the codec: re-encoding the decoded doc reproduces the input byte
+// for byte. That is the property that lets the router and the load
+// driver treat frames as opaque, re-transmittable bytes.
+//
+// Run continuously in CI's fuzz job:
+//
+//	go test -fuzz=FuzzBinaryCodecRoundTrip -fuzztime=30s ./internal/schemaio
+func FuzzBinaryCodecRoundTrip(f *testing.F) {
+	// Seed with one valid frame per type plus classic corruptions.
+	pd := richProblemDoc()
+	sd := richSolutionDoc()
+	if b, err := EncodeBinaryProblem(pd); err == nil {
+		f.Add(b)
+		f.Add(b[:len(b)/2])                 // truncated
+		f.Add(append(b, 0xff))              // trailing byte
+		f.Add(append([]byte("XXB1"), b...)) // wrong magic
+	}
+	if b, err := EncodeBinarySolution(sd); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeBinaryHistory([]IterationDoc{{Problem: *pd, Solution: *sd}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeBinarySolveResult(&SolveResultDoc{Session: "g1", Iteration: 1, Solution: *sd}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeBinaryProgress(&ProgressDoc{Iteration: 1, Evals: 9, BestQuality: 0.4, Feasible: true}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte("UBB1"))
+	f.Add([]byte{0x55, 0x42, 0x42, 0x31, 0x06, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, err := DecodeBinaryProblem(data); err == nil {
+			requireFixedPoint(t, data, func() ([]byte, error) { return EncodeBinaryProblem(d) })
+		}
+		if d, err := DecodeBinarySolution(data); err == nil {
+			requireFixedPoint(t, data, func() ([]byte, error) { return EncodeBinarySolution(d) })
+		}
+		if d, err := DecodeBinaryIteration(data); err == nil {
+			requireFixedPoint(t, data, func() ([]byte, error) { return EncodeBinaryIteration(d) })
+		}
+		if d, err := DecodeBinaryHistory(data); err == nil {
+			requireFixedPoint(t, data, func() ([]byte, error) { return EncodeBinaryHistory(d) })
+		}
+		if d, err := DecodeBinarySolveResult(data); err == nil {
+			requireFixedPoint(t, data, func() ([]byte, error) { return EncodeBinarySolveResult(d) })
+		}
+		if d, err := DecodeBinaryProgress(data); err == nil {
+			requireFixedPoint(t, data, func() ([]byte, error) { return EncodeBinaryProgress(d) })
+		}
+	})
+}
+
+func requireFixedPoint(t *testing.T, in []byte, encode func() ([]byte, error)) {
+	t.Helper()
+	out, err := encode()
+	if err != nil {
+		t.Fatalf("decoded frame refuses to re-encode: %v\nframe: %x", err, in)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("re-encode is not a fixed point:\nin  %x\nout %x", in, out)
+	}
+}

@@ -1,0 +1,355 @@
+package schemaio
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"ube/internal/model"
+)
+
+// richProblemDoc exercises every ProblemDoc field. Collections are
+// non-empty or nil — the binary codec's canonical form — so DeepEqual
+// round-trip comparisons are exact.
+func richProblemDoc() *ProblemDoc {
+	return &ProblemDoc{
+		MaxSources: 8,
+		Theta:      0.65,
+		Beta:       3,
+		Constraints: model.Constraints{
+			Sources: []int{2, 5, 9},
+			GAs: []model.GA{
+				{{Source: 2, Attr: 0}, {Source: 5, Attr: 1}},
+				{{Source: 9, Attr: 3}},
+			},
+			Exclude: []int{1},
+		},
+		Weights:         map[string]float64{"card": 0.5, "match": 2, "mttf": 0.25},
+		Characteristics: map[string]string{"mttf": "mean"},
+		Optimizer:       "tabu",
+		Seed:            42,
+		MaxEvals:        400,
+		Workers:         1,
+		InitialSources:  []int{2, 5},
+	}
+}
+
+func richSolutionDoc() *SolutionDoc {
+	return &SolutionDoc{
+		N:        40,
+		Sources:  []int{2, 5, 9},
+		Quality:  0.8731,
+		Feasible: true,
+		Breakdown: map[string]float64{
+			"card": 0.9, "coverage": 0.7, "match": 0.95,
+		},
+		Evals: 400,
+		Schema: &model.MediatedSchema{GAs: []model.GA{
+			{{Source: 2, Attr: 0}, {Source: 5, Attr: 1}},
+		}},
+		GAQuality:      []float64{0.95},
+		FromConstraint: []bool{true},
+		MatchQuality:   0.95,
+		MatchValid:     true,
+		CacheHits:      10,
+		CacheMisses:    3,
+		CacheEvictions: 1,
+		ElapsedNS:      123456789,
+	}
+}
+
+// TestBinaryRoundTrip pins the codec's core contract for every frame
+// type: decode(encode(doc)) == doc, and encode(decode(b)) == b — the
+// canonical fixed point.
+func TestBinaryRoundTrip(t *testing.T) {
+	pd := richProblemDoc()
+	sd := richSolutionDoc()
+	it := &IterationDoc{Problem: *pd, Solution: *sd}
+	hist := []IterationDoc{*it, *it}
+	sr := &SolveResultDoc{Session: "g17", Iteration: 2, Solution: *sd}
+	pr := &ProgressDoc{Iteration: 1, Evals: 250, BestQuality: 0.81, Feasible: true}
+
+	cases := []struct {
+		name   string
+		encode func() ([]byte, error)
+		decode func([]byte) (any, error)
+		want   any
+	}{
+		{"problem", func() ([]byte, error) { return EncodeBinaryProblem(pd) },
+			func(b []byte) (any, error) { return DecodeBinaryProblem(b) }, pd},
+		{"solution", func() ([]byte, error) { return EncodeBinarySolution(sd) },
+			func(b []byte) (any, error) { return DecodeBinarySolution(b) }, sd},
+		{"iteration", func() ([]byte, error) { return EncodeBinaryIteration(it) },
+			func(b []byte) (any, error) { return DecodeBinaryIteration(b) }, it},
+		{"history", func() ([]byte, error) { return EncodeBinaryHistory(hist) },
+			func(b []byte) (any, error) { return DecodeBinaryHistory(b) }, hist},
+		{"solveResult", func() ([]byte, error) { return EncodeBinarySolveResult(sr) },
+			func(b []byte) (any, error) { return DecodeBinarySolveResult(b) }, sr},
+		{"progress", func() ([]byte, error) { return EncodeBinaryProgress(pr) },
+			func(b []byte) (any, error) { return DecodeBinaryProgress(b) }, pr},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := tc.encode()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := tc.decode(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			want := tc.want
+			if reflect.ValueOf(want).Kind() == reflect.Pointer && reflect.TypeOf(got).Kind() != reflect.Pointer {
+				want = reflect.ValueOf(want).Elem().Interface()
+			}
+			if !reflect.DeepEqual(got, want) && !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("round trip diverged:\ngot  %#v\nwant %#v", got, tc.want)
+			}
+			// Canonical fixed point: re-encoding the decoded doc must
+			// reproduce the frame byte for byte.
+			b2, err := reencode(got)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(b, b2) {
+				t.Fatalf("re-encode is not a fixed point:\n%x\n%x", b, b2)
+			}
+		})
+	}
+}
+
+// reencode dispatches on the decoded doc type.
+func reencode(doc any) ([]byte, error) {
+	switch d := doc.(type) {
+	case *ProblemDoc:
+		return EncodeBinaryProblem(d)
+	case *SolutionDoc:
+		return EncodeBinarySolution(d)
+	case *IterationDoc:
+		return EncodeBinaryIteration(d)
+	case []IterationDoc:
+		return EncodeBinaryHistory(d)
+	case *SolveResultDoc:
+		return EncodeBinarySolveResult(d)
+	case *ProgressDoc:
+		return EncodeBinaryProgress(d)
+	}
+	panic("unknown doc type")
+}
+
+// TestBinaryMatchesJSON proves JSON stays the reference: a doc pushed
+// through a JSON round trip binary-encodes to the identical frame, so
+// the two formats carry exactly the same information.
+func TestBinaryMatchesJSON(t *testing.T) {
+	pd := richProblemDoc()
+	raw, err := json.Marshal(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ProblemDoc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	a, err := EncodeBinaryProblem(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeBinaryProblem(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("JSON round trip changed the binary frame")
+	}
+
+	sd := richSolutionDoc()
+	raw, err = json.Marshal(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sback SolutionDoc
+	if err := json.Unmarshal(raw, &sback); err != nil {
+		t.Fatal(err)
+	}
+	if a, err = EncodeBinarySolution(sd); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = EncodeBinarySolution(&sback); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("JSON round trip changed the solution frame")
+	}
+}
+
+// TestBinaryTruncationNeverPanics decodes every prefix of every valid
+// frame: each must error (or, for the empty suffix case, succeed only
+// at full length), never panic.
+func TestBinaryTruncationNeverPanics(t *testing.T) {
+	pd := richProblemDoc()
+	sd := richSolutionDoc()
+	frames := map[string][]byte{}
+	var err error
+	if frames["problem"], err = EncodeBinaryProblem(pd); err != nil {
+		t.Fatal(err)
+	}
+	if frames["solution"], err = EncodeBinarySolution(sd); err != nil {
+		t.Fatal(err)
+	}
+	if frames["history"], err = EncodeBinaryHistory([]IterationDoc{{Problem: *pd, Solution: *sd}}); err != nil {
+		t.Fatal(err)
+	}
+	if frames["progress"], err = EncodeBinaryProgress(&ProgressDoc{Evals: 10, BestQuality: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	for name, frame := range frames {
+		for n := 0; n < len(frame); n++ {
+			prefix := frame[:n]
+			if _, err := DecodeBinaryProblem(prefix); err == nil && name == "problem" {
+				t.Fatalf("%s prefix of %d bytes decoded", name, n)
+			}
+			if _, err := DecodeBinarySolution(prefix); err == nil && name == "solution" {
+				t.Fatalf("%s prefix of %d bytes decoded", name, n)
+			}
+			if _, err := DecodeBinaryHistory(prefix); err == nil && name == "history" {
+				t.Fatalf("%s prefix of %d bytes decoded", name, n)
+			}
+			if _, err := DecodeBinaryProgress(prefix); err == nil && name == "progress" {
+				t.Fatalf("%s prefix of %d bytes decoded", name, n)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsHostileFrames(t *testing.T) {
+	valid, err := EncodeBinaryProgress(&ProgressDoc{Iteration: 1, Evals: 2, BestQuality: 0.5, Feasible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] = 'X'
+		if _, err := DecodeBinaryProgress(b); err == nil {
+			t.Error("frame with wrong magic decoded")
+		}
+	})
+	t.Run("wrong type byte", func(t *testing.T) {
+		if _, err := DecodeBinarySolution(valid); err == nil {
+			t.Error("progress frame decoded as a solution")
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		b := append(append([]byte(nil), valid...), 0x00)
+		if _, err := DecodeBinaryProgress(b); err == nil {
+			t.Error("frame with trailing bytes decoded")
+		}
+	})
+	t.Run("NaN weight refuses to encode", func(t *testing.T) {
+		pd := richProblemDoc()
+		pd.Weights = map[string]float64{"match": math.NaN()}
+		if _, err := EncodeBinaryProblem(pd); err == nil {
+			t.Error("NaN weight encoded")
+		}
+	})
+	t.Run("NaN weight refuses to decode", func(t *testing.T) {
+		// Hand-build a progress frame whose quality float is NaN.
+		b := append([]byte(nil), valid...)
+		nan := math.Float64bits(math.NaN())
+		// Payload: varint(1)=0x02, varint(2)=0x04, then 8 float bytes.
+		for i := 0; i < 8; i++ {
+			b[5+2+i] = byte(nan >> (8 * i))
+		}
+		if _, err := DecodeBinaryProgress(b); err == nil {
+			t.Error("NaN float decoded")
+		}
+	})
+	t.Run("oversized list count", func(t *testing.T) {
+		w := newFrame(binaryTypeSolution)
+		w.vint(10)                             // N
+		w.uvarint(uint64(decodeListLimit) + 1) // hostile sources count
+		b, err := w.finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeBinarySolution(b); err == nil {
+			t.Error("oversized count decoded")
+		}
+	})
+	t.Run("non-minimal varint", func(t *testing.T) {
+		w := newFrame(binaryTypeProgress)
+		w.buf = append(w.buf, 0x82, 0x00) // non-minimal encoding of 2
+		w.vint(2)
+		w.f64(0.5)
+		w.bool(true)
+		b, err := w.finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeBinaryProgress(b); err == nil {
+			t.Error("non-minimal varint decoded")
+		}
+	})
+	t.Run("bad bool byte", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[len(b)-1] = 0x07
+		if _, err := DecodeBinaryProgress(b); err == nil {
+			t.Error("bool byte 0x07 decoded")
+		}
+	})
+	t.Run("unsorted map keys", func(t *testing.T) {
+		w := newFrame(binaryTypeProblem)
+		w.vint(8)    // maxSources
+		w.f64(0.5)   // theta
+		w.vint(0)    // beta
+		w.uvarint(0) // constraints.sources
+		w.uvarint(0) // constraints.gas
+		w.uvarint(0) // constraints.exclude
+		w.uvarint(2) // weights: two entries out of order
+		w.string("match")
+		w.f64(1)
+		w.string("card")
+		w.f64(1)
+		w.uvarint(0) // characteristics
+		w.string("") // optimizer
+		w.varint(0)  // seed
+		w.vint(0)    // maxEvals
+		w.vint(0)    // workers
+		w.uvarint(0) // initialSources
+		b, err := w.finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeBinaryProblem(b); err == nil {
+			t.Error("unsorted weight keys decoded")
+		}
+	})
+}
+
+// TestBinaryDocDecodeMatchesJSONPath proves a binary-decoded doc feeds
+// the same Decode() trust boundary as JSON: the engine problem built
+// from a binary frame equals the one built from the JSON document.
+func TestBinaryDocDecodeMatchesJSONPath(t *testing.T) {
+	pd := richProblemDoc()
+	frame, err := EncodeBinaryProblem(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBinaryProblem(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pd.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromBin.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Constraints, b.Constraints) || a.Seed != b.Seed || a.Theta != b.Theta {
+		t.Error("binary and JSON paths decode to different problems")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
@@ -116,6 +117,13 @@ type Config struct {
 	// AuditWriter JSONL. Callers own sealing on their own schedule;
 	// Shutdown seals the final partial batch.
 	AuditChain *auditlog.Writer
+	// SolveCacheSize bounds the deterministic cross-session solve memo
+	// (entries, LRU past the bound; see solvecache.go). Identical
+	// solver inputs over identical universes are answered from the
+	// memo without engine work — exact by the determinism contract,
+	// since a solve is a pure function of (universe, input snapshot).
+	// 0 disables the memo (the default).
+	SolveCacheSize int
 }
 
 func (c *Config) withDefaults() Config {
@@ -155,6 +163,8 @@ type Server struct {
 	sessions map[string]*session
 	draining bool
 	nextID   atomic.Int64
+
+	solveCache *solveCache // nil unless Config.SolveCacheSize > 0
 
 	wal       *wal.Log
 	recovered *recoveryDoc
@@ -197,6 +207,9 @@ func Open(cfg Config) (*Server, error) {
 		drainCh:  make(chan struct{}),
 	}
 	s.audit.arm(s.inj, &s.metrics.auditDropped)
+	if cfg.SolveCacheSize > 0 {
+		s.solveCache = newSolveCache(cfg.SolveCacheSize)
+	}
 	s.engOpts = cfg.EngineOptions
 	if s.inj != nil {
 		s.engOpts = append(append([]engine.Option(nil), cfg.EngineOptions...), engine.WithFaultInjector(s.inj))
@@ -300,6 +313,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// wantsBinary reports whether the request opted into the compact binary
+// frames (internal/schemaio binary codec) via content negotiation.
+// JSON stays the default: only an explicit Accept of the binary media
+// type switches the response encoding, and only on the hot solve and
+// history paths. Errors are always JSON.
+func wantsBinary(r *http.Request) bool {
+	for _, v := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(v, ",") {
+			mt := strings.TrimSpace(part)
+			if i := strings.IndexByte(mt, ';'); i >= 0 {
+				mt = strings.TrimSpace(mt[:i])
+			}
+			if strings.EqualFold(mt, schemaio.BinaryContentType) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func writeBinary(w http.ResponseWriter, status int, frame []byte) {
+	w.Header().Set("Content-Type", schemaio.BinaryContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(status)
+	_, _ = w.Write(frame)
+}
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
 }
@@ -376,6 +416,33 @@ type createSessionRequest struct {
 	Universe *model.Universe      `json:"universe,omitempty"`
 	Schemas  string               `json:"schemas,omitempty"`
 	Problem  *schemaio.ProblemDoc `json:"problem,omitempty"`
+	// ID, when set, names the session instead of letting the server
+	// mint an ID. Routers use this to place a session under a key they
+	// chose on the hash ring; a stateless front can then route every
+	// later request for the session without a lookup table. Validated
+	// by validateSessionID; duplicates get 409.
+	ID string `json:"id,omitempty"`
+}
+
+// sessionIDPattern admits client-supplied session IDs: short, URL-safe,
+// no separators the route patterns could misparse.
+var sessionIDPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// reservedIDPattern matches the server's own minted IDs ("s" + counter).
+// Client-supplied IDs may not use this shape: WAL recovery resumes the
+// mint counter by parsing it, so a client squatting on "s7" could
+// collide with a future minted session after a restart.
+var reservedIDPattern = regexp.MustCompile(`^s[0-9]+$`)
+
+// validateSessionID vets a client-supplied session ID.
+func validateSessionID(id string) error {
+	if !sessionIDPattern.MatchString(id) {
+		return fmt.Errorf("session id %q must match %s", id, sessionIDPattern)
+	}
+	if reservedIDPattern.MatchString(id) {
+		return fmt.Errorf("session id %q uses the server-minted shape s<n>, which is reserved", id)
+	}
+	return nil
 }
 
 // buildSession constructs an unregistered session from a create
@@ -425,6 +492,13 @@ func (s *Server) buildSession(req *createSessionRequest) (*session, error) {
 		eng:  eng,
 		sess: engine.NewSession(eng, prob),
 	}
+	if s.solveCache != nil {
+		fp, err := universeFingerprint(u)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprinting universe: %v", err)
+		}
+		sn.universeFP = fp
+	}
 	//ube:nondeterministic-ok creation time is TTL bookkeeping, not solver input
 	sn.created = time.Now()
 	sn.lastUsed = sn.created
@@ -448,6 +522,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if req.ID != "" {
+		if err := validateSessionID(req.ID); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	sn, err := s.buildSession(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -467,7 +547,16 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
 		return
 	}
-	sn.id = "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+	if req.ID != "" {
+		if _, dup := s.sessions[req.ID]; dup {
+			s.mu.Unlock()
+			writeError(w, http.StatusConflict, "session %q already exists", req.ID)
+			return
+		}
+		sn.id = req.ID
+	} else {
+		sn.id = "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+	}
 	s.sessions[sn.id] = sn
 	s.mu.Unlock()
 
@@ -596,6 +685,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if res.retryAfter {
 			w.Header().Set("Retry-After", s.retryAfter())
 		}
+		if resp, ok := res.body.(*solveResponse); ok && res.status == http.StatusOK && wantsBinary(r) && resp.Solution != nil {
+			frame, err := schemaio.EncodeBinarySolveResult(&schemaio.SolveResultDoc{
+				Session:   resp.Session,
+				Iteration: resp.Iteration,
+				Solution:  *resp.Solution,
+			})
+			if err == nil {
+				writeBinary(w, http.StatusOK, frame)
+				return
+			}
+			// Unencodable result (can't happen for JSON-admitted
+			// problems): fall back to the JSON reference form.
+		}
 		writeJSON(w, res.status, res.body)
 	case <-r.Context().Done():
 		// Client gone; the worker will observe the dead context and
@@ -618,6 +720,13 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	sn.mu.Lock()
 	docs := sn.historyDocs // append-only; shared read of the prefix is safe
 	sn.mu.Unlock()
+	if wantsBinary(r) {
+		frame, err := schemaio.EncodeBinaryHistory(docs)
+		if err == nil {
+			writeBinary(w, http.StatusOK, frame)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"iterations": docs})
 }
 

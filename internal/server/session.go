@@ -31,6 +31,9 @@ type session struct {
 	// set; snapshots embed them so recovery can rebuild the engine from
 	// the same input the live create handler saw.
 	createRaw []byte
+	// universeFP keys the cross-session solve memo (solvecache.go);
+	// empty when the memo is disabled. Immutable once set.
+	universeFP string
 
 	mu        sync.Mutex
 	lastUsed  time.Time

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"ube/internal/schemaio"
+)
+
+// The server-side building blocks of sharded serving: client-supplied
+// session IDs (the router places sessions under keys it hashed),
+// binary content negotiation on the hot paths, and the deterministic
+// cross-session solve memo.
+
+func TestClientSuppliedSessionIDs(t *testing.T) {
+	u := testUniverse(t, 25)
+	_, ts := newTestServer(t, Config{})
+
+	// A valid custom ID is honored verbatim.
+	resp, body := postJSON(t, ts.URL+"/v1/sessions", createSessionRequest{Universe: u, Problem: testProblemDoc(), ID: "g17"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("custom-ID create: %d %s", resp.StatusCode, body)
+	}
+	var info sessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "g17" {
+		t.Fatalf("created session ID %q, want g17", info.ID)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/sessions/g17", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET custom-ID session: %d", resp.StatusCode)
+	}
+
+	// Duplicates conflict.
+	resp, _ = postJSON(t, ts.URL+"/v1/sessions", createSessionRequest{Universe: u, Problem: testProblemDoc(), ID: "g17"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate custom ID: %d, want 409", resp.StatusCode)
+	}
+
+	// Server-minted IDs are unaffected and still interleave fine.
+	minted := createSession(t, ts.URL, u, testProblemDoc())
+	if minted == "g17" {
+		t.Error("minted ID collided with the custom one")
+	}
+
+	// Invalid and reserved IDs are rejected up front.
+	for _, bad := range []string{"has space", "slash/у", "s12", "s0", "", string(make([]byte, 65))} {
+		resp, _ := postJSON(t, ts.URL+"/v1/sessions", createSessionRequest{Universe: u, Problem: testProblemDoc(), ID: bad})
+		if bad == "" {
+			// Empty means "mint one": must succeed.
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("empty ID: %d, want 201", resp.StatusCode)
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("ID %q: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestCustomIDSurvivesRecovery proves a router-placed session recovers
+// under its custom key and the mint counter stays clear of it.
+func TestCustomIDSurvivesRecovery(t *testing.T) {
+	u := testUniverse(t, 25)
+	dir := t.TempDir()
+
+	_, ts, stop := openDurableServer(t, Config{WALDir: dir})
+	resp, body := postJSON(t, ts.URL+"/v1/sessions", createSessionRequest{Universe: u, Problem: testProblemDoc(), ID: "ring-42"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	if resp, body = postJSON(t, ts.URL+"/v1/sessions/ring-42/solve", solveRequest{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	var before historyDoc
+	getJSON(t, ts.URL+"/v1/sessions/ring-42/history", &before)
+	stop()
+
+	_, ts2, _ := openDurableServer(t, Config{WALDir: dir})
+	var after historyDoc
+	if resp := getJSON(t, ts2.URL+"/v1/sessions/ring-42/history", &after); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered history: %d", resp.StatusCode)
+	}
+	if len(after.Iterations) != len(before.Iterations) {
+		t.Fatalf("recovered %d iterations, want %d", len(after.Iterations), len(before.Iterations))
+	}
+	// A fresh minted session must not collide with anything.
+	id := createSession(t, ts2.URL, u, testProblemDoc())
+	if id == "ring-42" {
+		t.Error("mint counter collided with the custom ID")
+	}
+}
+
+type historyDoc struct {
+	Iterations []schemaio.IterationDoc `json:"iterations"`
+}
+
+func TestBinaryContentNegotiation(t *testing.T) {
+	u := testUniverse(t, 25)
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+
+	// Binary solve response: same doc as the JSON reference.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions/"+id+"/solve", bytes.NewReader([]byte("{}")))
+	req.Header.Set("Accept", schemaio.BinaryContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary solve: %d %s", resp.StatusCode, frame)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != schemaio.BinaryContentType {
+		t.Fatalf("binary solve content type %q", ct)
+	}
+	sr, err := schemaio.DecodeBinarySolveResult(frame)
+	if err != nil {
+		t.Fatalf("decoding binary solve result: %v", err)
+	}
+	if sr.Session != id || sr.Iteration != 0 {
+		t.Errorf("binary solve result (%q, %d), want (%q, 0)", sr.Session, sr.Iteration, id)
+	}
+
+	// Binary history matches the JSON history doc for doc.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/sessions/"+id+"/history", nil)
+	req.Header.Set("Accept", schemaio.BinaryContentType)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	binHist, err := schemaio.DecodeBinaryHistory(frame)
+	if err != nil {
+		t.Fatalf("decoding binary history: %v", err)
+	}
+	var jsonHist historyDoc
+	getJSON(t, ts.URL+"/v1/sessions/"+id+"/history", &jsonHist)
+	if len(binHist) != len(jsonHist.Iterations) {
+		t.Fatalf("binary history has %d iterations, JSON %d", len(binHist), len(jsonHist.Iterations))
+	}
+	if !reflect.DeepEqual(binHist[0].Solution.Sources, jsonHist.Iterations[0].Solution.Sources) {
+		t.Error("binary and JSON histories disagree on sources")
+	}
+	if binHist[0].Solution.Quality != jsonHist.Iterations[0].Solution.Quality {
+		t.Error("binary and JSON histories disagree on quality")
+	}
+
+	// No Accept header: JSON stays the default.
+	resp = getJSON(t, ts.URL+"/v1/sessions/"+id+"/history", nil)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default history content type %q", ct)
+	}
+}
+
+// TestSolveMemoIsExact drives two sessions through the same scripted
+// iterations on a memo-enabled server and a third on a memo-free one:
+// all three histories must agree on every solver-visible field, and the
+// memo must actually serve the repeats.
+func TestSolveMemoIsExact(t *testing.T) {
+	u := testUniverse(t, 25)
+	srvMemo, tsMemo := newTestServer(t, Config{SolveCacheSize: 64})
+	_, tsPlain := newTestServer(t, Config{})
+
+	script := func(base string) []schemaio.IterationDoc {
+		id := createSession(t, base, u, testProblemDoc())
+		for k := 0; k < 3; k++ {
+			var req solveRequest
+			if k == 2 {
+				th := 0.75
+				req.Theta = &th
+			}
+			resp, body := postJSON(t, base+"/v1/sessions/"+id+"/solve", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("solve %d: %d %s", k, resp.StatusCode, body)
+			}
+		}
+		var h historyDoc
+		getJSON(t, base+"/v1/sessions/"+id+"/history", &h)
+		return h.Iterations
+	}
+
+	a := script(tsMemo.URL)  // fills the memo
+	b := script(tsMemo.URL)  // must be served from it
+	c := script(tsPlain.URL) // the uncached reference
+
+	for _, pair := range []struct {
+		name string
+		x, y []schemaio.IterationDoc
+	}{{"memo-vs-memo", a, b}, {"memo-vs-plain", a, c}} {
+		if len(pair.x) != len(pair.y) {
+			t.Fatalf("%s: %d vs %d iterations", pair.name, len(pair.x), len(pair.y))
+		}
+		for i := range pair.x {
+			x, y := canonicalIteration(pair.x[i]), canonicalIteration(pair.y[i])
+			if !reflect.DeepEqual(x, y) {
+				t.Errorf("%s: iteration %d diverged:\n%+v\n%+v", pair.name, i, x, y)
+			}
+		}
+	}
+
+	m := srvMemo.Metrics().(*metricsDoc)
+	if m.SolveCacheMisses != 3 {
+		t.Errorf("solve cache misses = %d, want 3 (one per distinct input)", m.SolveCacheMisses)
+	}
+	if m.SolveCacheHits != 3 {
+		t.Errorf("solve cache hits = %d, want 3 (the whole second run)", m.SolveCacheHits)
+	}
+}
+
+// canonicalIteration zeroes the operational telemetry that legitimately
+// differs between bit-identical solves, mirroring the chaos suite.
+func canonicalIteration(it schemaio.IterationDoc) schemaio.IterationDoc {
+	it.Solution.ElapsedNS = 0
+	it.Solution.CacheHits, it.Solution.CacheMisses, it.Solution.CacheEvictions = 0, 0, 0
+	return it
+}
+
+func TestSolveCacheLRUBound(t *testing.T) {
+	c := newSolveCache(2)
+	c.put("a", []byte{1})
+	c.put("b", []byte{2})
+	if evicted := c.put("c", []byte{3}); !evicted {
+		t.Error("third insert into cap-2 cache did not evict")
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("LRU victim still present")
+	}
+	if f, ok := c.get("b"); !ok || f[0] != 2 {
+		t.Error("survivor missing")
+	}
+	// Refreshing recency protects an entry.
+	c.get("b")
+	c.put("d", []byte{4})
+	if _, ok := c.get("b"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache len %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+// The deterministic cross-session solve memo (DESIGN.md §15).
+//
+// A solve is a pure function of (universe, solver input): the engine
+// draws every random number from the problem's seed, and the warm-start
+// InitialSources are part of the input snapshot (engine.Session.
+// SolveInput). Two sessions — on one shard or many — that reach the
+// same (universe fingerprint, canonical solver-input document) are
+// therefore guaranteed the same solution bit for bit. The memo exploits
+// that: scripted or templated workloads (load drivers, batch re-runs,
+// classrooms of users exploring the same dataset) pay each distinct
+// solve once per shard instead of once per session.
+//
+// Exactness is inherited, not approximated: the key is the canonical
+// JSON of the exact problem document the engine would solve plus a
+// SHA-256 of the session's universe document, and the value is the
+// canonical binary solution frame, decoded freshly per hit so sessions
+// never share mutable state. Operational telemetry (wall-clock time,
+// match-cache counters) is zeroed in stored frames — a hit costs no
+// engine work, and replay comparisons already canonicalize those fields
+// away. The memo is off by default (Config.SolveCacheSize = 0) and
+// invisible to WAL recovery, which always re-solves through the engine.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"ube/internal/model"
+)
+
+// solveCache is a mutex-guarded LRU from solver-input key to canonical
+// binary solution frame. Entry-count bounded: solution frames for
+// realistic universes are a few KiB, so a few thousand entries is a few
+// MiB.
+type solveCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type solveCacheEntry struct {
+	key   string
+	frame []byte
+}
+
+func newSolveCache(capacity int) *solveCache {
+	return &solveCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the stored frame and refreshes its recency.
+func (c *solveCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*solveCacheEntry).frame, true
+}
+
+// put stores a frame, evicting the least-recently-used entry past
+// capacity. Reports whether an eviction happened.
+func (c *solveCache) put(key string, frame []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*solveCacheEntry).frame = frame
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.entries[key] = c.order.PushFront(&solveCacheEntry{key: key, frame: frame})
+	if c.order.Len() <= c.cap {
+		return false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.entries, oldest.Value.(*solveCacheEntry).key)
+	return true
+}
+
+// len reports the live entry count.
+func (c *solveCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// universeFingerprint hashes a universe's canonical JSON document.
+// encoding/json is deterministic for a fixed Go value (struct fields in
+// declaration order, map keys sorted), so equal universes — including
+// one universe sent to several shards — always hash equal.
+func universeFingerprint(u *model.Universe) (string, error) {
+	raw, err := json.Marshal(u)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
