@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers|incremental|trace|scale] [-quick] [-evals 6000] [-seed 0]
+//	ube-bench [-exp all|fig5|fig6|fig7|fig8|tab1|pcsa|perturb|solvers|incremental|trace|scale|churn] [-quick] [-evals 6000] [-seed 0]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.jsonl]
 package main
 
@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop, datasim, theta, incremental, trace, scale")
+		exp        = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, tab1, pcsa, perturb, solvers, uncoop, datasim, theta, incremental, trace, scale, churn")
 		quick      = flag.Bool("quick", false, "scaled-down workload for smoke runs")
 		evals      = flag.Int("evals", 0, "per-solve evaluation budget (0 = default)")
 		seed       = flag.Int64("seed", 0, "experiment seed offset")
@@ -102,8 +102,9 @@ func run(exp string, o experiments.Options) error {
 		"incremental": runIncremental,
 		"trace":       runTrace,
 		"scale":       runScale,
+		"churn":       runChurn,
 	}
-	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta", "incremental", "trace", "scale"}
+	names := []string{"fig5", "fig6", "fig7", "fig8", "tab1", "pcsa", "perturb", "solvers", "uncoop", "datasim", "theta", "incremental", "trace", "scale", "churn"}
 
 	if exp == "all" {
 		for _, name := range names {
@@ -617,6 +618,58 @@ func runScale(o experiments.Options) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_scale.json")
+	return nil
+}
+
+// churnSnapshot is the BENCH_churn.json schema: the run's options plus
+// the warm-vs-fresh sweep rows.
+type churnSnapshot struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	MaxEvals   int    `json:"max_evals"`
+	Seed       int64  `json:"seed"`
+	*experiments.ChurnResult
+}
+
+func runChurn(o experiments.Options) error {
+	res, err := experiments.Churn(o)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{
+			fmt.Sprint(r.U),
+			fmt.Sprint(r.Batches),
+			fmt.Sprint(r.Mutations),
+			fmt.Sprintf("%.3fs", r.WarmSeconds),
+			fmt.Sprintf("%.3fs", r.FreshSeconds),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2gs", r.MaintainSeconds),
+			fmt.Sprintf("%.2gs", r.RebuildSeconds),
+			fmt.Sprint(r.SameSolutions),
+			fmt.Sprintf("%.4f", r.Quality),
+		}
+	}
+	header := []string{"U", "batches", "mutations", "warm", "fresh rebuild", "speedup", "maintain", "rebuild", "same solutions", "Q(S)"}
+	table("Churn: incremental re-solve vs rebuild-from-scratch after universe mutation", header, out)
+	writeCSV("churn", header, out)
+
+	snap := churnSnapshot{
+		Experiment:  "churn",
+		Quick:       o.Quick,
+		MaxEvals:    o.MaxEvals,
+		Seed:        o.Seed,
+		ChurnResult: res,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_churn.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_churn.json")
 	return nil
 }
 

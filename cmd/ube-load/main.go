@@ -13,6 +13,7 @@
 //	ube-load -users 32 -iters 4 -addr http://localhost:8080
 //	ube-load -users 10            # no -addr: serves in-process
 //	ube-load -chaos plan.json     # chaos mode: replayable fault injection
+//	ube-load -churn -users 8      # churn mode: shared mutation schedule, PATCH /universe
 //	ube-load -kill-after 3 -resume # durable mode: SIGKILL mid-run, recover, verify
 //	ube-load -shards 4 -users 10000 -queue 4096 -solve-cache 64
 //	                              # sharded mode: shard children + router (see shard.go)
@@ -24,6 +25,14 @@
 // clean, bit-identical prefix of the reference, and the /metrics
 // counters reconcile with the audit log. Any violation exits non-zero
 // with the seed and plan needed to replay the run.
+//
+// In churn mode (-churn, in-process only) every user interleaves the
+// scripted solves with the same seeded universe-mutation schedule
+// (synth.ChurnSchedule) applied through PATCH /v1/sessions/{id}/universe:
+// -iters batches per user, one solve before and after each. All N
+// histories and churn acknowledgements must stay bit-identical and the
+// server's churn counters must reconcile (every admitted batch committed,
+// none errored, conflicted or cancelled); see churn.go.
 //
 // In durable mode (-kill-after N -resume) ube-load spawns ITSELF as a
 // child process running a WAL-backed server (server.Open with a
@@ -73,6 +82,9 @@ func main() {
 		chaos   = flag.String("chaos", "", "fault plan JSON path: run chaos mode (in-process only)")
 		timeout = flag.Duration("solve-timeout", 2*time.Second, "per-solve deadline in chaos mode")
 
+		churnMode = flag.Bool("churn", false, "churn mode: interleave solves with a shared seeded mutation schedule (-iters batches per user, in-process only)")
+		churnOut  = flag.String("churn-o", "BENCH_churn_serve.json", "churn-mode benchmark output path")
+
 		shards      = flag.Int("shards", 0, "sharded mode: spawn N ube-serve shard children behind an in-process router")
 		shardOut    = flag.String("shard-o", "BENCH_shard.json", "sharded-mode benchmark output path")
 		solveCache  = flag.Int("solve-cache", 0, "per-shard cross-session solve memo entries (0 disables; see server.Config.SolveCacheSize)")
@@ -95,6 +107,16 @@ func main() {
 	}
 	if *shardChild {
 		runShardChild(*workers, *queue, *solveCache, *maxSessions)
+		return
+	}
+
+	if *churnMode {
+		if *addr != "" {
+			log.Fatal("-churn runs against an in-process server; drop -addr")
+		}
+		if err := runChurnMode(*n, *users, *iters, *evals, *workers, *queue, *seed, *churnOut); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 

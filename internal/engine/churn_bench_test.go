@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"testing"
+
+	"ube/internal/model"
+	"ube/internal/synth"
+)
+
+func BenchmarkApplyChurn10k(b *testing.B) {
+	cfg := synth.QuickConfig(10_000)
+	base, batches, err := synth.ChurnSchedule(cfg, synth.ChurnConfig{Seed: cfg.Seed + 71, Steps: 200, MinSources: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(cloneUniverse(base), WithSparseScores())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ApplyChurn(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineNew10k(b *testing.B) {
+	cfg := synth.QuickConfig(10_000)
+	base, _, err := synth.ChurnSchedule(cfg, synth.ChurnConfig{Seed: cfg.Seed + 71, Steps: 1, MinSources: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clones := make([]*model.Universe, 0, 8)
+	for i := 0; i < 8; i++ {
+		clones = append(clones, cloneUniverse(base))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(clones[i%len(clones)], WithSparseScores()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

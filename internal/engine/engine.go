@@ -14,6 +14,7 @@ import (
 	"ube/internal/cluster"
 	"ube/internal/faultinject"
 	"ube/internal/model"
+	"ube/internal/pcsa"
 	"ube/internal/qef"
 	"ube/internal/search"
 	"ube/internal/strsim"
@@ -162,6 +163,25 @@ type Engine struct {
 	// threshold (see cluster.SeedPairs); entries may be nil when the
 	// universe doesn't qualify for the fast path.
 	seedByTheta map[float64]*cluster.SeedPairs
+
+	// Churn state (see churn.go), nil/false until the first ApplyChurn
+	// so never-churned engines keep the exact pre-churn paths and costs.
+	// churned switches sparse() from batch builds to the dynamic per-θ
+	// indexes; matrixDirty marks the dense matrix for lazy rebuild.
+	churned     bool
+	matrixDirty bool
+	// dynByTheta holds the incrementally maintained blocking index per
+	// threshold; a stored nil means the measure doesn't support blocking.
+	dynByTheta map[float64]*strsim.DynSparse
+	// dynCharged remembers how much of each dynamic index's cumulative
+	// work counters were already charged to a solve's trace.
+	dynCharged map[float64]strsim.BlockStats
+	// nameRefs counts, per interned name ID, the live attribute slots
+	// using that name; 0→1 and 1→0 transitions drive index maintenance.
+	nameRefs map[int]int
+	// sigCounter maintains the union of all cooperative signatures so
+	// the QEF context can be rebased without rescanning the universe.
+	sigCounter *pcsa.UnionCounter
 	// scratch pools the matcher's reusable working memory; one Scratch
 	// per concurrent evaluation worker.
 	scratch sync.Pool
@@ -620,6 +640,7 @@ const weightEpsilon = 1e-12
 // takes the fallback on large vocabularies: it predates the sparse
 // path and is pinned to the original code paths.
 func (e *Engine) scoresFor(theta float64, st *trace.Stats) (strsim.Scorer, [][]int) {
+	e.refreshMatrix()
 	if e.matrix != nil {
 		return e.matrix, e.neighbors(theta)
 	}
@@ -633,14 +654,41 @@ func (e *Engine) scoresFor(theta float64, st *trace.Stats) (strsim.Scorer, [][]i
 	return sp, e.neighbors(theta)
 }
 
+// refreshMatrix lazily rebuilds (or drops) the dense similarity matrix
+// after churn mutated the vocabulary: one rebuild per churn burst, paid
+// by the first solve, with pair scores recalled from the lazy cache's
+// memo. A vocabulary grown past matrixLimit demotes the engine to the
+// θ-sparse path permanently — the path choice is sticky, matching the
+// construction-time rule.
+func (e *Engine) refreshMatrix() {
+	if !e.matrixDirty {
+		return
+	}
+	e.matrixDirty = false
+	if e.sim.Len() <= matrixLimit {
+		if m, err := e.sim.BuildMatrix(); err == nil {
+			e.matrix = m
+			e.scores = m
+			return
+		}
+	}
+	e.matrix = nil
+	e.scores = e.sim
+}
+
 // sparse returns (building and caching on first use) the θ-sparse
 // scorer for a large vocabulary, or nil when the measure doesn't
 // support blocking. The build's deterministic work counts are charged
 // to the solve that triggered it (block.* counters); later solves at
-// the same θ reuse the table for free.
+// the same θ reuse the table for free. On a churned engine the table
+// is frozen from the incrementally maintained dynamic index instead of
+// batch-built, and only the work done since the last freeze is charged.
 func (e *Engine) sparse(theta float64, st *trace.Stats) *strsim.SparseScores {
 	if sp, ok := e.sparseByTheta[theta]; ok {
 		return sp
+	}
+	if e.churned {
+		return e.sparseFromDyn(theta, st)
 	}
 	sp, bs, err := e.sim.BuildSparse(theta, e.block)
 	if err != nil {
@@ -650,6 +698,44 @@ func (e *Engine) sparse(theta float64, st *trace.Stats) *strsim.SparseScores {
 	st.Add(trace.CBlockProbes, bs.Probes)
 	st.Add(trace.CBlockCandidates, bs.Candidates)
 	st.Add(trace.CBlockPruned, bs.Pruned)
+	return sp
+}
+
+// sparseFromDyn freezes the dynamic blocking index for θ, creating it
+// on first use by inserting every live name in ascending ID order (so
+// construction is deterministic regardless of churn history).
+func (e *Engine) sparseFromDyn(theta float64, st *trace.Stats) *strsim.SparseScores {
+	d, ok := e.dynByTheta[theta]
+	if !ok {
+		nd, err := strsim.NewDynSparse(e.sim, theta, e.block)
+		if err != nil {
+			nd = nil
+		} else {
+			ids := make([]int, 0, len(e.nameRefs))
+			for id := range e.nameRefs {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				if err := nd.Insert(id); err != nil {
+					panic(fmt.Sprintf("engine: churn desync: seed θ=%v index with name %d: %v", theta, id, err))
+				}
+			}
+		}
+		e.dynByTheta[theta] = nd
+		d = nd
+	}
+	if d == nil {
+		e.sparseByTheta[theta] = nil
+		return nil
+	}
+	sp := d.Freeze()
+	e.sparseByTheta[theta] = sp
+	bs, charged := d.Stats(), e.dynCharged[theta]
+	st.Add(trace.CBlockProbes, bs.Probes-charged.Probes)
+	st.Add(trace.CBlockCandidates, bs.Candidates-charged.Candidates)
+	st.Add(trace.CBlockPruned, bs.Pruned-charged.Pruned)
+	e.dynCharged[theta] = bs
 	return sp
 }
 

@@ -20,6 +20,12 @@ type Session struct {
 	engine  *Engine
 	problem Problem
 	history []Iteration
+	// churnDirty marks that the universe mutated since the last solve:
+	// the history's source IDs are stale, so the next solve warm-starts
+	// from the problem's repaired InitialSources (remapped by
+	// ApplyChurn) instead of copying Last().Sources. Cleared once a
+	// solve lands in the post-churn ID space.
+	churnDirty bool
 }
 
 // Iteration records one solved problem and its solution.
@@ -67,7 +73,7 @@ func (s *Session) Solve() (*Solution, error) {
 // cancellation behaves exactly as if the cancelled attempt never
 // happened. A nil ctx behaves like context.Background().
 func (s *Session) SolveContext(ctx context.Context) (*Solution, error) {
-	if last := s.Last(); last != nil {
+	if last := s.Last(); last != nil && !s.churnDirty {
 		s.problem.InitialSources = append([]int(nil), last.Sources...)
 	}
 	sol, err := s.engine.SolveContext(ctx, &s.problem)
@@ -76,6 +82,7 @@ func (s *Session) SolveContext(ctx context.Context) (*Solution, error) {
 	}
 	s.history = append(s.history, Iteration{Problem: snapshot(s.problem), Solution: sol})
 	s.problem.Seed++
+	s.churnDirty = false
 	return sol, nil
 }
 
@@ -89,7 +96,7 @@ func (s *Session) SolveContext(ctx context.Context) (*Solution, error) {
 // Calling SolveContext afterwards re-applies the same warm-start, so
 // SolveInput followed by SolveContext solves exactly this snapshot.
 func (s *Session) SolveInput() Problem {
-	if last := s.Last(); last != nil {
+	if last := s.Last(); last != nil && !s.churnDirty {
 		s.problem.InitialSources = append([]int(nil), last.Sources...)
 	}
 	return snapshot(s.problem)
@@ -106,6 +113,7 @@ func (s *Session) SolveInput() Problem {
 func (s *Session) AppendSolved(sol *Solution) {
 	s.history = append(s.history, Iteration{Problem: snapshot(s.problem), Solution: sol})
 	s.problem.Seed++
+	s.churnDirty = false
 }
 
 // SetProblem replaces the session's current problem wholesale with a

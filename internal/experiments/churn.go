@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+	"ube/internal/pcsa"
+	"ube/internal/synth"
+)
+
+// This file holds the churn experiment behind BENCH_churn.json: after a
+// universe mutation, a live session's incremental re-solve (in-place
+// PCSA and similarity-index maintenance plus a repaired warm start)
+// against the from-scratch alternative — rebuild the engine over the
+// mutated universe and solve cold. The engine's differential churn suite
+// proves both paths produce identical solutions, so the experiment only
+// measures the cost gap and re-checks the equality it relies on.
+
+// ChurnRow is one universe size of the sweep: a seeded mutation schedule
+// applied to one session, with both response strategies timed per batch.
+type ChurnRow struct {
+	// U is the initial universe size (number of sources).
+	U int `json:"u"`
+	// Batches is the number of mutation batches applied, Mutations the
+	// total mutations across them.
+	Batches   int `json:"batches"`
+	Mutations int `json:"mutations"`
+	// WarmSeconds totals the incremental path per batch: ApplyChurn
+	// (signature and index maintenance) plus the warm-started re-solve.
+	WarmSeconds float64 `json:"warm_seconds"`
+	// FreshSeconds totals the from-scratch path per batch: engine.New
+	// over the mutated universe plus a cold solve of the identical
+	// problem.
+	FreshSeconds float64 `json:"fresh_seconds"`
+	// Speedup is FreshSeconds / WarmSeconds.
+	Speedup float64 `json:"speedup"`
+	// MaintainSeconds isolates the incremental bookkeeping (ApplyChurn
+	// alone) and RebuildSeconds its from-scratch counterpart (engine.New
+	// alone: re-interning the vocabulary and re-unioning every
+	// cooperative signature). Their ratio is the maintenance win proper;
+	// the totals above dilute it with the shared solve budget.
+	MaintainSeconds float64 `json:"maintain_seconds"`
+	RebuildSeconds  float64 `json:"rebuild_seconds"`
+	// SameSolutions records that every batch's warm re-solve chose
+	// exactly the from-scratch solution (operational metadata aside).
+	SameSolutions bool `json:"same_solutions"`
+	// Quality is the final incumbent quality after the whole schedule.
+	Quality float64 `json:"quality"`
+}
+
+// ChurnResult is the full churn experiment output.
+type ChurnResult struct {
+	// M is the selection bound, Steps the schedule length used at every
+	// size.
+	M     int `json:"m"`
+	Steps int `json:"steps"`
+	// Evals is the initial solve's budget; RefreshEvals the smaller
+	// budget every post-churn re-solve uses on BOTH paths. A refresh
+	// after a small mutation batch is an update, not a from-scratch
+	// exploration, so it gets a quarter of the initial budget — and
+	// since warm and fresh solve the identical problem snapshot, the
+	// per-batch equality check is unaffected.
+	Evals        int        `json:"evals"`
+	RefreshEvals int        `json:"refresh_evals"`
+	Rows         []ChurnRow `json:"rows"`
+}
+
+// ChurnSizes returns the sweep's initial universe sizes. The full sweep
+// ends at 10⁴ — the "warm re-solve beats rebuild at internet scale"
+// claim — while Quick stays small for CI smoke runs.
+func ChurnSizes(o Options) []int {
+	if o.Quick {
+		return []int{300}
+	}
+	return []int{1_000, 10_000}
+}
+
+// churnSteps is the schedule length per size.
+func churnSteps(o Options) int {
+	if o.Quick {
+		return 3
+	}
+	return 10
+}
+
+// cloneChurnUniverse copies a universe deeply enough that churn on the
+// copy never touches the original: the source slice and every per-source
+// slice/map are fresh; immutable sketches stay shared.
+func cloneChurnUniverse(u *model.Universe) *model.Universe {
+	out := &model.Universe{Sources: append([]model.Source(nil), u.Sources...)}
+	for i := range out.Sources {
+		s := &out.Sources[i]
+		s.Attributes = append([]string(nil), s.Attributes...)
+		s.AttrSignatures = append([]*pcsa.Sketch(nil), s.AttrSignatures...)
+		if s.Characteristics != nil {
+			cc := make(map[string]float64, len(s.Characteristics))
+			//ube:nondeterministic-ok key-for-key map copy is order-independent
+			for k, v := range s.Characteristics {
+				cc[k] = v
+			}
+			s.Characteristics = cc
+		}
+	}
+	return out
+}
+
+// canonChurnSolution strips the operational fields (wall clock, cache
+// traffic) so warm and cold solves compare equal.
+func canonChurnSolution(sol *engine.Solution) engine.Solution {
+	out := *sol
+	out.Elapsed = 0
+	out.MatchCache = engine.CacheStats{}
+	return out
+}
+
+// Churn runs the experiment: per universe size, generate a seeded churn
+// schedule, play it against one session, and after every batch time the
+// session's incremental re-solve against rebuilding an engine over the
+// mutated universe and solving the identical problem cold.
+func Churn(o Options) (*ChurnResult, error) {
+	const m = 10
+	steps := churnSteps(o)
+	res := &ChurnResult{M: m, Steps: steps, Evals: o.evals(), RefreshEvals: max(o.evals()/4, 50)}
+	for _, n := range ChurnSizes(o) {
+		cfg := synth.QuickConfig(n)
+		cfg.Seed += o.Seed
+		base, batches, err := synth.ChurnSchedule(cfg, synth.ChurnConfig{
+			Seed:       cfg.Seed + 71,
+			Steps:      steps,
+			MinSources: 2 * m,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		e, err := engine.New(cloneChurnUniverse(base), engine.WithSparseScores())
+		if err != nil {
+			return nil, err
+		}
+		p := engine.DefaultProblem()
+		p.MaxSources = m
+		p.MaxEvals = o.evals()
+		p.Seed = int64(n) * 7
+		sess := engine.NewSession(e, p)
+		if _, err := sess.Solve(); err != nil {
+			return nil, err
+		}
+		// Post-churn re-solves run at the refresh budget; SolveInput
+		// snapshots the same problem for the from-scratch path, so both
+		// sides stay on identical inputs.
+		refresh := p
+		refresh.MaxEvals = res.RefreshEvals
+		sess.SetProblem(refresh)
+
+		row := ChurnRow{U: n, Batches: len(batches), SameSolutions: true}
+		for bi, batch := range batches {
+			row.Mutations += len(batch)
+
+			t0 := time.Now()
+			if _, err := sess.ApplyChurn(batch); err != nil {
+				return nil, fmt.Errorf("churn: U=%d batch %d: %w", n, bi, err)
+			}
+			row.MaintainSeconds += time.Since(t0).Seconds()
+			input := sess.SolveInput()
+			warm, err := sess.Solve()
+			if err != nil {
+				return nil, fmt.Errorf("churn: U=%d batch %d warm re-solve: %w", n, bi, err)
+			}
+			row.WarmSeconds += time.Since(t0).Seconds()
+
+			// The clone stands in for re-ingesting the catalog and is
+			// charged to neither path; from-scratch pays engine.New plus
+			// the cold solve (which includes the lazy index build).
+			mutated := cloneChurnUniverse(e.Universe())
+			t1 := time.Now()
+			fresh, err := engine.New(mutated, engine.WithSparseScores())
+			if err != nil {
+				return nil, err
+			}
+			row.RebuildSeconds += time.Since(t1).Seconds()
+			inputCopy := input
+			cold, err := fresh.Solve(&inputCopy)
+			if err != nil {
+				return nil, fmt.Errorf("churn: U=%d batch %d from-scratch solve: %w", n, bi, err)
+			}
+			row.FreshSeconds += time.Since(t1).Seconds()
+
+			if !reflect.DeepEqual(canonChurnSolution(warm), canonChurnSolution(cold)) {
+				return nil, fmt.Errorf("churn: U=%d batch %d: warm re-solve diverged from from-scratch solve", n, bi)
+			}
+			row.Quality = warm.Quality
+		}
+		if row.WarmSeconds > 0 {
+			row.Speedup = row.FreshSeconds / row.WarmSeconds
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestChurnQuick runs the churn experiment at smoke scale and checks
+// its structural invariants; the warm-vs-fresh solution equality is
+// asserted inside Churn itself.
+func TestChurnQuick(t *testing.T) {
+	o := Options{Quick: true, MaxEvals: 300}
+	res, err := Churn(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ChurnSizes(o)) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(ChurnSizes(o)))
+	}
+	for _, r := range res.Rows {
+		if r.Batches != res.Steps {
+			t.Errorf("U=%d: %d batches, want %d", r.U, r.Batches, res.Steps)
+		}
+		if r.Mutations < r.Batches {
+			t.Errorf("U=%d: %d mutations over %d batches", r.U, r.Mutations, r.Batches)
+		}
+		if !r.SameSolutions {
+			t.Errorf("U=%d: warm and fresh solutions diverged", r.U)
+		}
+		if r.WarmSeconds <= 0 || r.FreshSeconds <= 0 {
+			t.Errorf("U=%d: non-positive timings %+v", r.U, r)
+		}
+	}
+}

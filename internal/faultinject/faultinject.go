@@ -76,6 +76,17 @@ const (
 	// covering, traffic flows again and retried sessions must converge
 	// on the fault-free histories.
 	RouterPartition Point = "router.partition"
+	// ChurnMidway panics a worker midway through a universe-mutation
+	// (churn) job, after validation but before anything is logged or
+	// applied; the service must recover it into a 500 with the session's
+	// universe, WAL and mirrors all untouched, so the histories with and
+	// without the fault stay bit-identical.
+	ChurnMidway Point = "churn.midway"
+	// ChurnConflict forces a churn job to report a pinned-source
+	// conflict (409) regardless of the batch's contents, exercising the
+	// refusal path — batch rejected wholesale, universe untouched —
+	// deterministically.
+	ChurnConflict Point = "churn.conflict"
 )
 
 // Points is the full injection-point catalog in stable order.
@@ -93,6 +104,8 @@ var Points = []Point{
 	RecoveryTruncatedTail,
 	RouterShardKill,
 	RouterPartition,
+	ChurnMidway,
+	ChurnConflict,
 }
 
 // actions maps each point to its single legal action verb. One verb per
@@ -111,6 +124,8 @@ var actions = map[Point]string{
 	RecoveryTruncatedTail: "truncate",
 	RouterShardKill:       "kill",
 	RouterPartition:       "drop",
+	ChurnMidway:           "panic",
+	ChurnConflict:         "reject",
 }
 
 // argRequired marks points whose entries must carry a positive Arg

@@ -1,0 +1,68 @@
+package model
+
+import "ube/internal/pcsa"
+
+// Universe mutation ops. A mutation batch applies sequentially: each
+// mutation's ID refers to the universe state after the preceding
+// mutations of the same batch, and a remove renumbers every following
+// source down by one (preserving Universe.Validate's dense-ID
+// invariant). The engine owns application (engine.ApplyChurn); this
+// package owns only the vocabulary, so schedule generators and codecs
+// need not depend on the engine.
+const (
+	OpAdd    = "add"
+	OpRemove = "remove"
+	OpUpdate = "update"
+)
+
+// Mutation is one universe edit.
+type Mutation struct {
+	// Op is one of OpAdd, OpRemove, OpUpdate.
+	Op string `json:"op"`
+	// Source is the source to add (OpAdd). Its ID field is ignored;
+	// the new source is appended and numbered len(universe). Schema or
+	// signature changes to an existing source are expressed as a
+	// remove followed by an add — they invalidate the matcher's view
+	// of the source wholesale, so there is no cheaper path to offer.
+	Source Source `json:"source,omitempty"`
+	// ID targets an existing source (OpRemove, OpUpdate).
+	ID int `json:"id,omitempty"`
+	// Cardinality, when non-nil, replaces the target's reported tuple
+	// count (OpUpdate).
+	Cardinality *int64 `json:"cardinality,omitempty"`
+	// Characteristics, when non-nil, replaces the target's
+	// characteristic map wholesale (OpUpdate).
+	Characteristics map[string]float64 `json:"characteristics,omitempty"`
+}
+
+// CloneMutations deep-copies a mutation batch (shared immutable
+// sketches stay shared).
+func CloneMutations(muts []Mutation) []Mutation {
+	out := append([]Mutation(nil), muts...)
+	for i := range out {
+		m := &out[i]
+		m.Source.Attributes = append([]string(nil), m.Source.Attributes...)
+		m.Source.AttrSignatures = append([]*pcsa.Sketch(nil), m.Source.AttrSignatures...)
+		if m.Source.Characteristics != nil {
+			cc := make(map[string]float64, len(m.Source.Characteristics))
+			//ube:nondeterministic-ok key-for-key map copy is order-independent
+			for k, v := range m.Source.Characteristics {
+				cc[k] = v
+			}
+			m.Source.Characteristics = cc
+		}
+		if m.Cardinality != nil {
+			c := *m.Cardinality
+			m.Cardinality = &c
+		}
+		if m.Characteristics != nil {
+			cc := make(map[string]float64, len(m.Characteristics))
+			//ube:nondeterministic-ok key-for-key map copy is order-independent
+			for k, v := range m.Characteristics {
+				cc[k] = v
+			}
+			m.Characteristics = cc
+		}
+	}
+	return out
+}

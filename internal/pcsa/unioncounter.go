@@ -1,0 +1,145 @@
+package pcsa
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// A UnionCounter maintains the PCSA signature of a *changing* set of
+// sketches. Where Union folds a fixed slice with bitwise OR, the counter
+// keeps, per (bitmap, bit) position, the number of member sketches that
+// have the bit set; a bit of the maintained union is set iff its count is
+// non-zero. Add and Remove are therefore exact inverses, and after any
+// sequence of them the maintained signature is bit-identical to
+// Union(survivors...) — the property the engine's churn layer relies on
+// for its differential tests.
+//
+// The zero value is ready to use: parameters (nmaps, seed) are adopted
+// from the first sketch added and reset when the counter drains back to
+// empty, so a fully turned-over population may switch parameters.
+type UnionCounter struct {
+	nmaps  int
+	seed   uint64
+	n      int      // member sketches currently included
+	counts []uint32 // nmaps*wordBits per-bit membership counts
+	maps   []uint64 // maintained union bitmap: bit set iff count > 0
+}
+
+// NewUnionCounter returns an empty counter. Parameters are adopted from
+// the first Add.
+func NewUnionCounter() *UnionCounter { return &UnionCounter{} }
+
+// Len reports the number of member sketches currently included.
+func (c *UnionCounter) Len() int { return c.n }
+
+// compatible reports whether t may join the current population.
+func (c *UnionCounter) compatible(t *Sketch) bool {
+	return t != nil && (c.n == 0 || (c.nmaps == t.nmaps && c.seed == t.seed))
+}
+
+// Add includes one sketch in the maintained union. The first Add into an
+// empty counter fixes the parameters; later Adds must match them.
+func (c *UnionCounter) Add(t *Sketch) error {
+	if t == nil {
+		return errors.New("pcsa: add of nil sketch to union counter")
+	}
+	if !c.compatible(t) {
+		return errors.New("pcsa: add of incompatible sketch to union counter")
+	}
+	if c.n == 0 {
+		c.nmaps = t.nmaps
+		c.seed = t.seed
+		if len(c.counts) != t.nmaps*wordBits {
+			c.counts = make([]uint32, t.nmaps*wordBits)
+			c.maps = make([]uint64, t.nmaps)
+		} else {
+			for i := range c.counts {
+				c.counts[i] = 0
+			}
+			for i := range c.maps {
+				c.maps[i] = 0
+			}
+		}
+	}
+	for m, w := range t.maps {
+		base := m * wordBits
+		for w != 0 {
+			b := w & (-w)
+			bit := trailing(b)
+			c.counts[base+bit]++
+			c.maps[m] |= 1 << uint(bit)
+			w &^= b
+		}
+	}
+	c.n++
+	return nil
+}
+
+// Remove excludes one previously added sketch. Removing a sketch that is
+// not a member is detected (some bit's count would underflow) and refused
+// without mutating the counter.
+func (c *UnionCounter) Remove(t *Sketch) error {
+	if t == nil {
+		return errors.New("pcsa: remove of nil sketch from union counter")
+	}
+	if c.n == 0 || c.nmaps != t.nmaps || c.seed != t.seed {
+		return errors.New("pcsa: remove of incompatible sketch from union counter")
+	}
+	// Verify first so a refused remove leaves the counter untouched.
+	for m, w := range t.maps {
+		base := m * wordBits
+		for w != 0 {
+			b := w & (-w)
+			if c.counts[base+trailing(b)] == 0 {
+				return errors.New("pcsa: remove of sketch not present in union counter")
+			}
+			w &^= b
+		}
+	}
+	for m, w := range t.maps {
+		base := m * wordBits
+		for w != 0 {
+			b := w & (-w)
+			bit := trailing(b)
+			c.counts[base+bit]--
+			if c.counts[base+bit] == 0 {
+				c.maps[m] &^= 1 << uint(bit)
+			}
+			w &^= b
+		}
+	}
+	c.n--
+	if c.n == 0 {
+		// Drained: forget the parameters so a new population may adopt
+		// different ones (mirrors Universe.Validate's pairwise rule).
+		c.nmaps = 0
+		c.seed = 0
+	}
+	return nil
+}
+
+// Sketch returns an independent sketch holding the maintained union, or
+// nil when the counter has no members (an empty counter has no
+// parameters to build a sketch with).
+func (c *UnionCounter) Sketch() *Sketch {
+	if c.n == 0 {
+		return nil
+	}
+	s := MustNew(c.nmaps, c.seed)
+	copy(s.maps, c.maps)
+	return s
+}
+
+// Estimate returns the PCSA estimate over the maintained union, 0 when
+// empty. It is bit-equal to Union(survivors...).Estimate().
+func (c *UnionCounter) Estimate() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	s := Sketch{nmaps: c.nmaps, seed: c.seed, maps: c.maps}
+	return s.Estimate()
+}
+
+// trailing is the bit index of a value with exactly one bit set
+// (w & -w of a non-zero word).
+func trailing(b uint64) int { return bits.TrailingZeros64(b) }

@@ -1,0 +1,153 @@
+package pcsa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSketch builds a sketch over a random number of random tuples.
+func randomSketch(rng *rand.Rand, nmaps int, seed uint64) *Sketch {
+	s := MustNew(nmaps, seed)
+	n := rng.Intn(2000)
+	for i := 0; i < n; i++ {
+		s.AddUint64(rng.Uint64())
+	}
+	return s
+}
+
+// TestUnionCounterDifferential drives a long random add/remove sequence
+// and checks, after every step, that the maintained union is bit-identical
+// to pcsa.Union over the surviving members.
+func TestUnionCounterDifferential(t *testing.T) {
+	const seed = 41
+	rng := rand.New(rand.NewSource(seed))
+	c := NewUnionCounter()
+	var live []*Sketch
+	for step := 0; step < 400; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			if err := c.Remove(live[i]); err != nil {
+				t.Fatalf("seed %d step %d: remove: %v", seed, step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			s := randomSketch(rng, 64, 7)
+			if err := c.Add(s); err != nil {
+				t.Fatalf("seed %d step %d: add: %v", seed, step, err)
+			}
+			live = append(live, s)
+		}
+		if c.Len() != len(live) {
+			t.Fatalf("seed %d step %d: Len=%d want %d", seed, step, c.Len(), len(live))
+		}
+		if len(live) == 0 {
+			if got := c.Sketch(); got != nil {
+				t.Fatalf("seed %d step %d: empty counter returned non-nil sketch", seed, step)
+			}
+			if got := c.Estimate(); got != 0 {
+				t.Fatalf("seed %d step %d: empty counter Estimate=%v want 0", seed, step, got)
+			}
+			continue
+		}
+		want, err := Union(live...)
+		if err != nil {
+			t.Fatalf("seed %d step %d: reference union: %v", seed, step, err)
+		}
+		got := c.Sketch()
+		if got.Checksum() != want.Checksum() {
+			t.Fatalf("seed %d step %d: counter sketch diverged from Union of survivors", seed, step)
+		}
+		if ge, we := c.Estimate(), want.Estimate(); ge != we {
+			t.Fatalf("seed %d step %d: Estimate=%v want %v", seed, step, ge, we)
+		}
+	}
+}
+
+// TestUnionCounterAddRemoveNoOp: adding then removing the same sketch
+// restores the exact prior state (the churn metamorphic property at the
+// signature layer).
+func TestUnionCounterAddRemoveNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewUnionCounter()
+	a := randomSketch(rng, 32, 3)
+	b := randomSketch(rng, 32, 3)
+	if err := c.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Sketch().Checksum()
+	if err := c.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sketch().Checksum(); got != before {
+		t.Fatalf("add-then-remove changed counter state: %x != %x", got, before)
+	}
+}
+
+// TestUnionCounterErrors covers nil, incompatible and not-present refusals,
+// and verifies a refused remove does not mutate the counter.
+func TestUnionCounterErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewUnionCounter()
+	if err := c.Add(nil); err == nil {
+		t.Fatal("Add(nil) succeeded")
+	}
+	if err := c.Remove(nil); err == nil {
+		t.Fatal("Remove(nil) succeeded")
+	}
+	if err := c.Remove(randomSketch(rng, 32, 3)); err == nil {
+		t.Fatal("Remove from empty counter succeeded")
+	}
+	a := randomSketch(rng, 32, 3)
+	if err := c.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(MustNew(64, 3)); err == nil {
+		t.Fatal("Add of incompatible nmaps succeeded")
+	}
+	if err := c.Add(MustNew(32, 4)); err == nil {
+		t.Fatal("Add of incompatible seed succeeded")
+	}
+	if err := c.Remove(MustNew(64, 3)); err == nil {
+		t.Fatal("Remove of incompatible sketch succeeded")
+	}
+	before := c.Sketch().Checksum()
+	// A sketch with bits the counter never saw: not-present refusal.
+	foreign := MustNew(32, 3)
+	for i := 0; i < 64; i++ {
+		foreign.AddUint64(uint64(1_000_000 + i))
+	}
+	if err := c.Remove(foreign); err == nil {
+		t.Fatal("Remove of never-added sketch succeeded")
+	}
+	if got := c.Sketch().Checksum(); got != before {
+		t.Fatal("refused Remove mutated the counter")
+	}
+}
+
+// TestUnionCounterReparameterize: draining the counter to empty lets a
+// new population adopt different parameters.
+func TestUnionCounterReparameterize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewUnionCounter()
+	a := randomSketch(rng, 32, 1)
+	if err := c.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	b := randomSketch(rng, 128, 9)
+	if err := c.Add(b); err != nil {
+		t.Fatalf("re-parameterized Add after drain: %v", err)
+	}
+	got := c.Sketch()
+	if got.NumMaps() != 128 || got.Seed() != 9 {
+		t.Fatalf("counter kept stale parameters: nmaps=%d seed=%d", got.NumMaps(), got.Seed())
+	}
+	if got.Checksum() != b.Checksum() {
+		t.Fatal("single-member union differs from the member")
+	}
+}

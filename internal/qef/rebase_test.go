@@ -1,0 +1,153 @@
+package qef
+
+import (
+	"reflect"
+	"testing"
+
+	"ube/internal/model"
+	"ube/internal/pcsa"
+)
+
+// mutateForRebase edits a universe in place the way engine churn does:
+// drop one source, append another, change a cardinality and a
+// characteristic.
+func mutateForRebase(t *testing.T, u *model.Universe) *pcsa.Sketch {
+	t.Helper()
+	u.Sources = append(u.Sources[:1], u.Sources[2:]...)
+	add := model.Source{
+		Name:        "added",
+		Attributes:  []string{"b"},
+		Cardinality: 500,
+		Characteristics: map[string]float64{
+			"mttf": 250,
+		},
+	}
+	sig := pcsa.MustNew(256, 7)
+	for _, tp := range seqTuples(9000, 9500) {
+		sig.AddUint64(tp)
+	}
+	add.Signature = sig
+	u.Sources = append(u.Sources, add)
+	u.Sources[0].Cardinality = 1234
+	u.Sources[0].Characteristics = map[string]float64{"mttf": 10}
+	for i := range u.Sources {
+		u.Sources[i].ID = i
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var coop []*pcsa.Sketch
+	for i := range u.Sources {
+		if sg := u.Sources[i].Signature; sg != nil {
+			coop = append(coop, sg)
+		}
+	}
+	un, err := pcsa.Union(coop...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return un
+}
+
+// rebaseFieldsEqual compares every precomputed Context field against a
+// freshly built reference (same package, so unexported fields are
+// directly visible; the scratch pools are compared by behavior).
+func rebaseFieldsEqual(t *testing.T, got, want *Context) {
+	t.Helper()
+	if got.totalCard != want.totalCard {
+		t.Errorf("totalCard %d, want %d", got.totalCard, want.totalCard)
+	}
+	//ube:float-exact Rebase promises bit-identity to NewContext
+	if got.universeDistinct != want.universeDistinct {
+		t.Errorf("universeDistinct %v, want %v", got.universeDistinct, want.universeDistinct)
+	}
+	if !reflect.DeepEqual(got.charRange, want.charRange) {
+		t.Errorf("charRange %v, want %v", got.charRange, want.charRange)
+	}
+	if (got.scratch == nil) != (want.scratch == nil) {
+		t.Fatalf("scratch nil-ness %v vs %v", got.scratch == nil, want.scratch == nil)
+	}
+	if got.scratch != nil {
+		g := got.scratch.New().(*pcsa.Sketch)
+		w := want.scratch.New().(*pcsa.Sketch)
+		if g.NumMaps() != w.NumMaps() || g.Seed() != w.Seed() {
+			t.Errorf("scratch prototype (%d,%d), want (%d,%d)", g.NumMaps(), g.Seed(), w.NumMaps(), w.Seed())
+		}
+	}
+}
+
+// TestRebaseMatchesNewContext mutates a context's universe in place and
+// checks Rebase reproduces NewContext on the mutated universe
+// bit-identically — both with a caller-maintained union sketch and with
+// the rescan fallback.
+func TestRebaseMatchesNewContext(t *testing.T) {
+	build := func() *model.Universe {
+		return buildUniverse(t, [][]uint64{
+			seqTuples(0, 1000),
+			seqTuples(500, 3000),
+			seqTuples(2000, 6000),
+		}, []bool{true, false, true})
+	}
+	for _, withUnion := range []bool{true, false} {
+		u := build()
+		ctx, err := NewContext(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		un := mutateForRebase(t, u)
+		if !withUnion {
+			un = nil
+		}
+		if err := ctx.Rebase(un); err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewContext(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebaseFieldsEqual(t, ctx, want)
+		// The rebased context must evaluate exactly like the fresh one.
+		S := setOf(u, 0, 2)
+		for _, q := range []QEF{Card{}, Coverage{}, Redundancy{}} {
+			//ube:float-exact Rebase promises bit-identity to NewContext
+			if g, w := q.Eval(ctx, S), q.Eval(want, S); g != w {
+				t.Errorf("withUnion=%v: %s eval %v, want %v", withUnion, q.Name(), g, w)
+			}
+		}
+	}
+}
+
+// TestRebaseToUncooperative drains every cooperative source; the rebased
+// context must drop its scratch pool and zero the distinct estimate,
+// exactly like a fresh context on the sketch-free universe.
+func TestRebaseToUncooperative(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{seqTuples(0, 100), seqTuples(0, 200)}, nil)
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u.Sources {
+		u.Sources[i].Signature = nil
+	}
+	if err := ctx.Rebase(nil); err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebaseFieldsEqual(t, ctx, want)
+}
+
+// TestRebaseRejectsInvalid: a rebase onto a broken universe fails.
+func TestRebaseRejectsInvalid(t *testing.T) {
+	u := buildUniverse(t, [][]uint64{seqTuples(0, 100)}, nil)
+	ctx, err := NewContext(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Sources[0].ID = 7
+	if err := ctx.Rebase(nil); err == nil {
+		t.Fatal("Rebase accepted a universe with non-dense IDs")
+	}
+}

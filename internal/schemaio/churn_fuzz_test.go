@@ -1,0 +1,80 @@
+package schemaio
+
+import (
+	"testing"
+
+	"ube/internal/engine"
+	"ube/internal/model"
+)
+
+// churnFuzzUniverse hand-builds a tiny universe (engine construction runs
+// once per fuzz iteration, so it must be cheap — no synthesizer, no
+// signatures).
+func churnFuzzUniverse() *model.Universe {
+	mk := func(id int, name string, attrs ...string) model.Source {
+		return model.Source{
+			ID:              id,
+			Name:            name,
+			Attributes:      attrs,
+			Cardinality:     int64(100 * (id + 1)),
+			Characteristics: map[string]float64{"mttf": float64(50 + 10*id)},
+		}
+	}
+	return &model.Universe{Sources: []model.Source{
+		mk(0, "alpha", "title", "author"),
+		mk(1, "beta", "title", "isbn"),
+		mk(2, "gamma", "isbn", "price"),
+		mk(3, "delta", "author", "year"),
+	}}
+}
+
+// FuzzChurnSchedule drives the full churn trust boundary: arbitrary bytes
+// through the strict churn-request decode the server performs on
+// PATCH /v1/sessions/{id}/universe, then — when the batch decodes — the
+// decoded mutations through Session.ApplyChurn on a live engine.
+// Duplicate adds, removes of unknown sources, unicode attribute names and
+// shape garbage must either come back as errors or apply cleanly: never a
+// panic, and never a desynchronized universe (the post-apply state must
+// still Validate and the session must still solve).
+//
+// Run continuously in CI's fuzz job:
+//
+//	go test -fuzz=FuzzChurnSchedule -fuzztime=30s ./internal/schemaio
+func FuzzChurnSchedule(f *testing.F) {
+	f.Add([]byte(`{"mutations":[{"op":"add","source":{"attributes":["title"],"cardinality":10}}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"add","source":{"name":"dup","attributes":["a"]}},{"op":"add","source":{"name":"dup","attributes":["a"]}}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"remove","id":99}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"remove","id":0},{"op":"remove","id":0},{"op":"remove","id":0},{"op":"remove","id":0}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"update","id":2,"cardinality":7,"characteristics":{"mttf":1.5}}]}`))
+	f.Add([]byte("{\"mutations\":[{\"op\":\"add\",\"source\":{\"name\":\"\u00fcn\u00efcode\",\"attributes\":[\"ti tle\",\"\u65e5\u672c\u8a9e\",\"\U0001f989\"]}}]}"))
+	f.Add([]byte(`{"mutations":[{"op":"update","id":0,"cardinality":-1}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"rename","id":0}]}`))
+	f.Add([]byte(`{"mutations":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		muts, err := DecodeChurnRequestBytes(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		eng, err := engine.New(churnFuzzUniverse())
+		if err != nil {
+			t.Fatalf("building the fixed universe: %v", err)
+		}
+		prob := engine.DefaultProblem()
+		prob.MaxSources = 2
+		prob.MaxEvals = 50
+		sess := engine.NewSession(eng, prob)
+		if _, err := sess.ApplyChurn(muts); err != nil {
+			return // engine-level rejection (e.g. out-of-range ID) is fine
+		}
+		if err := eng.Universe().Validate(); err != nil {
+			t.Fatalf("accepted churn left an invalid universe: %v\ninput: %q", err, data)
+		}
+		if eng.Universe().N() == 0 {
+			return // churn may legally drain the universe; nothing to solve
+		}
+		if _, err := sess.Solve(); err != nil {
+			t.Fatalf("session cannot solve after accepted churn: %v\ninput: %q", err, data)
+		}
+	})
+}

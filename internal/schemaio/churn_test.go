@@ -1,0 +1,178 @@
+package schemaio
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ube/internal/model"
+)
+
+func churnBatch() []model.Mutation {
+	card := int64(4200)
+	return []model.Mutation{
+		{Op: model.OpAdd, Source: model.Source{
+			Name:            "added",
+			Attributes:      []string{"title", "isbn"},
+			Cardinality:     100,
+			Characteristics: map[string]float64{"mttf": 120},
+		}},
+		{Op: model.OpRemove, ID: 3},
+		{Op: model.OpUpdate, ID: 1, Cardinality: &card},
+		{Op: model.OpUpdate, ID: 0, Characteristics: map[string]float64{"mttf": 9.5}},
+	}
+}
+
+func TestChurnRequestRoundTrip(t *testing.T) {
+	muts := churnBatch()
+	data, err := EncodeChurnRequest(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeChurnRequestBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(muts)
+	round, _ := json.Marshal(got)
+	if string(round) != string(want) {
+		t.Fatalf("round-trip changed the batch:\n got %s\nwant %s", round, want)
+	}
+}
+
+func TestChurnRequestRejects(t *testing.T) {
+	card := int64(1)
+	neg := int64(-1)
+	cases := []struct {
+		name string
+		muts []model.Mutation
+		want string
+	}{
+		{"empty batch", nil, "no mutations"},
+		{"unknown op", []model.Mutation{{Op: "rename", ID: 0}}, `unknown op "rename"`},
+		{"add without schema", []model.Mutation{{Op: model.OpAdd, Source: model.Source{Name: "x"}}}, "no attributes"},
+		{"add with empty attribute", []model.Mutation{{Op: model.OpAdd, Source: model.Source{Attributes: []string{""}}}}, "length 0"},
+		{"add with update fields", []model.Mutation{{Op: model.OpAdd, Source: model.Source{Attributes: []string{"a"}}, Cardinality: &card}}, "add carries"},
+		{"add with negative cardinality", []model.Mutation{{Op: model.OpAdd, Source: model.Source{Attributes: []string{"a"}, Cardinality: -5}}}, "negative cardinality"},
+		{"remove negative ID", []model.Mutation{{Op: model.OpRemove, ID: -1}}, "outside"},
+		{"remove with payload", []model.Mutation{{Op: model.OpRemove, ID: 0, Characteristics: map[string]float64{"x": 1}}}, "remove carries"},
+		{"update changes nothing", []model.Mutation{{Op: model.OpUpdate, ID: 0}}, "changes nothing"},
+		{"update negative cardinality", []model.Mutation{{Op: model.OpUpdate, ID: 0, Cardinality: &neg}}, "negative"},
+		{"update with source", []model.Mutation{{Op: model.OpUpdate, ID: 0, Cardinality: &card, Source: model.Source{Attributes: []string{"a"}}}}, "carries an added source"},
+	}
+	for _, tc := range cases {
+		if _, err := EncodeChurnRequest(tc.muts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: encode error %v, want %q", tc.name, err, tc.want)
+		}
+		data, _ := json.Marshal(ChurnRequestDoc{Mutations: tc.muts})
+		if _, err := DecodeChurnRequestBytes(data); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: decode error %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := DecodeChurnRequestBytes([]byte(`{"mutations":[{"op":"add","source":{"attributes":["a"]}}],"extra":1}`)); err == nil {
+		t.Error("decode accepted an unknown envelope field")
+	}
+	if _, err := DecodeChurnRequestBytes([]byte(`not json`)); err == nil {
+		t.Error("decode accepted non-JSON")
+	}
+}
+
+func TestWALChurnRoundTrip(t *testing.T) {
+	req, err := EncodeChurnRequest(churnBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &WALChurnDoc{Batch: 2, Request: req}
+	data, err := EncodeWALChurn(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWALChurnBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Batch != 2 || string(got.Request) != string(req) {
+		t.Fatalf("round-trip changed the payload: %+v", got)
+	}
+	for _, tc := range []struct {
+		name string
+		doc  WALChurnDoc
+	}{
+		{"zero batch", WALChurnDoc{Batch: 0, Request: req}},
+		{"no request", WALChurnDoc{Batch: 1}},
+		{"invalid request JSON", WALChurnDoc{Batch: 1, Request: []byte(`{`)}},
+	} {
+		if _, err := EncodeWALChurn(&tc.doc); err == nil {
+			t.Errorf("%s: encode accepted it", tc.name)
+		}
+	}
+}
+
+func TestWALRecordAcceptsChurnType(t *testing.T) {
+	rec := &WALRecordDoc{Seq: 4, Type: WALTypeChurn, Session: "s1", Data: json.RawMessage(`{"batch":1,"request":{"mutations":[]}}`)}
+	data, err := EncodeWALRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeWALRecordBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	rec.Data = nil
+	if _, err := EncodeWALRecord(rec); err == nil || !strings.Contains(err.Error(), "no payload") {
+		t.Errorf("churn record without payload: %v", err)
+	}
+}
+
+func TestSnapshotChurnValidation(t *testing.T) {
+	base := func() *SessionSnapshotDoc {
+		return &SessionSnapshotDoc{
+			ID:      "s1",
+			Create:  json.RawMessage(`{"universe":{}}`),
+			Problem: &ProblemDoc{},
+			Solves:  0,
+		}
+	}
+	req := json.RawMessage(`{"mutations":[{"op":"remove","id":0}]}`)
+
+	d := base()
+	d.Churn = []SnapshotChurnDoc{{AfterSolves: 0, Request: req}, {AfterSolves: 0, Request: req}}
+	data, err := EncodeSessionSnapshot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSessionSnapshotBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Churn) != 2 || string(got.Churn[1].Request) != string(req) {
+		t.Fatalf("round-trip changed churn batches: %+v", got.Churn)
+	}
+
+	d = base()
+	d.Churn = []SnapshotChurnDoc{{AfterSolves: 1, Request: req}}
+	if _, err := EncodeSessionSnapshot(d); err == nil || !strings.Contains(err.Error(), "lands after") {
+		t.Errorf("AfterSolves beyond Solves: %v", err)
+	}
+
+	d = base()
+	d.Solves = 0
+	d.Churn = []SnapshotChurnDoc{{AfterSolves: -1, Request: req}}
+	if _, err := EncodeSessionSnapshot(d); err == nil {
+		t.Error("negative AfterSolves accepted")
+	}
+
+	d = base()
+	d.Churn = []SnapshotChurnDoc{{AfterSolves: 0}}
+	if _, err := EncodeSessionSnapshot(d); err == nil || !strings.Contains(err.Error(), "no valid request") {
+		t.Errorf("empty churn request: %v", err)
+	}
+
+	// Non-decreasing ordering across batches.
+	d = base()
+	d.Solves = 2
+	d.History = []IterationDoc{{}, {}}
+	d.Churn = []SnapshotChurnDoc{{AfterSolves: 2, Request: req}, {AfterSolves: 1, Request: req}}
+	if _, err := EncodeSessionSnapshot(d); err == nil || !strings.Contains(err.Error(), "lands after") {
+		t.Errorf("decreasing AfterSolves: %v", err)
+	}
+}

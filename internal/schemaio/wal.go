@@ -19,6 +19,7 @@ import (
 const (
 	WALTypeCreate     = "session.create"
 	WALTypeSolve      = "session.solve"
+	WALTypeChurn      = "session.churn"
 	WALTypeSnapshot   = "session.snapshot"
 	WALTypeDelete     = "session.delete"
 	WALTypeEvict      = "session.evict"
@@ -29,6 +30,7 @@ const (
 var walTypes = map[string]bool{
 	WALTypeCreate:     true,
 	WALTypeSolve:      true,
+	WALTypeChurn:      true,
 	WALTypeSnapshot:   true,
 	WALTypeDelete:     true,
 	WALTypeEvict:      true,
@@ -98,7 +100,7 @@ func (d *WALRecordDoc) validate() error {
 		return fmt.Errorf("schemaio: wal %s record %d has no session", d.Type, d.Seq)
 	}
 	switch d.Type {
-	case WALTypeCreate, WALTypeSolve, WALTypeSnapshot:
+	case WALTypeCreate, WALTypeSolve, WALTypeChurn, WALTypeSnapshot:
 		if len(d.Data) == 0 {
 			return fmt.Errorf("schemaio: wal %s record %d has no payload", d.Type, d.Seq)
 		}
@@ -182,6 +184,10 @@ type SessionSnapshotDoc struct {
 	Problem *ProblemDoc     `json:"problem"`
 	History []IterationDoc  `json:"history,omitempty"`
 	Solves  int             `json:"solves"`
+	// Churn lists every committed universe-mutation batch in order, each
+	// tagged with the solve count it landed after; restoration replays
+	// them against the rebuilt engine before re-attaching History.
+	Churn []SnapshotChurnDoc `json:"churn,omitempty"`
 }
 
 // EncodeSessionSnapshot renders a snapshot payload.
@@ -222,6 +228,19 @@ func (d *SessionSnapshotDoc) validate() error {
 	}
 	if len(d.History) != d.Solves {
 		return fmt.Errorf("schemaio: session snapshot %s carries %d history entries but declares %d solves", d.ID, len(d.History), d.Solves)
+	}
+	if len(d.Churn) > walHistoryLimit {
+		return fmt.Errorf("schemaio: session snapshot %s carries %d churn batches, limit %d", d.ID, len(d.Churn), walHistoryLimit)
+	}
+	prev := 0
+	for i, cb := range d.Churn {
+		if cb.AfterSolves < prev || cb.AfterSolves > d.Solves {
+			return fmt.Errorf("schemaio: session snapshot %s churn batch %d lands after %d solves (previous %d, total %d)", d.ID, i, cb.AfterSolves, prev, d.Solves)
+		}
+		prev = cb.AfterSolves
+		if len(cb.Request) == 0 || !json.Valid(cb.Request) {
+			return fmt.Errorf("schemaio: session snapshot %s churn batch %d has no valid request", d.ID, i)
+		}
 	}
 	return nil
 }

@@ -488,7 +488,7 @@ func metricByName(m *metricsDoc, name string) int64 {
 }
 
 // TestChaosPlanFixtures pins the committed plan corpus: every fixture
-// decodes and validates, and the eight required fault classes are all
+// decodes and validates, and the ten required fault classes are all
 // covered.
 func TestChaosPlanFixtures(t *testing.T) {
 	covered := map[faultinject.Point]bool{}
@@ -507,6 +507,8 @@ func TestChaosPlanFixtures(t *testing.T) {
 		faultinject.WALWriteError,
 		faultinject.WALFsyncStall,
 		faultinject.RecoveryTruncatedTail,
+		faultinject.ChurnMidway,
+		faultinject.ChurnConflict,
 	} {
 		if !covered[p] {
 			t.Errorf("no committed chaos plan exercises %s", p)

@@ -1,0 +1,589 @@
+package server
+
+// Tests for the PATCH /v1/sessions/{id}/universe (churn) endpoint: the
+// live request paths, durability (WAL replay and snapshot restore must
+// reproduce churned sessions bit-identically — including the warm-start
+// flag, checked differentially against a never-restarted control), and
+// the churn chaos plans (churn.midway, churn.conflict) under which the
+// surviving state must match a fault-free reference exactly.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ube/internal/faultinject"
+	"ube/internal/model"
+	"ube/internal/schemaio"
+)
+
+// patchJSON issues a PATCH with a JSON body.
+func patchJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// churnWith applies one churn batch, failing the test on any non-200.
+func churnWith(t *testing.T, baseURL, id string, muts []model.Mutation) churnResponse {
+	t.Helper()
+	resp, body := patchJSON(t, baseURL+"/v1/sessions/"+id+"/universe", schemaio.ChurnRequestDoc{Mutations: muts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("churn: %d %s", resp.StatusCode, body)
+	}
+	var cr churnResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr
+}
+
+// addMutation builds an OpAdd for a blind (signature-free) source.
+func addMutation(name string, attrs []string, card int64) model.Mutation {
+	return model.Mutation{Op: model.OpAdd, Source: model.Source{
+		Name:        name,
+		Attributes:  attrs,
+		Cardinality: card,
+	}}
+}
+
+// canonicalSolution renders a solution with operational metadata
+// zeroed, mirroring canonicalIterations: wall-clock timing and
+// match-cache traffic legitimately differ between a warm live session
+// and a cold recovered one, everything else must not.
+func canonicalSolution(t *testing.T, doc *schemaio.SolutionDoc) []byte {
+	t.Helper()
+	if doc == nil {
+		t.Fatal("solve response carries no solution doc")
+	}
+	c := *doc
+	c.ElapsedNS = 0
+	c.CacheHits = 0
+	c.CacheMisses = 0
+	c.CacheEvictions = 0
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestChurnEndpointLifecycle(t *testing.T) {
+	u := testUniverse(t, 20)
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	solveWith(t, ts.URL, id, solveRequest{})
+
+	card := int64(5000)
+	cr := churnWith(t, ts.URL, id, []model.Mutation{
+		addMutation("churn-one", []string{"title", "author", "fresh_attr"}, 4000),
+		{Op: model.OpRemove, ID: 3},
+		{Op: model.OpUpdate, ID: 0, Cardinality: &card},
+	})
+	if cr.Batch != 1 || cr.Sources != 20 {
+		t.Fatalf("churn response %+v; want batch 1, 20 sources", cr)
+	}
+	if len(cr.Removed) != 1 || cr.Removed[0] != 3 {
+		t.Fatalf("churn removed %v; want [3]", cr.Removed)
+	}
+
+	var info sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+id, &info)
+	if info.Sources != 20 {
+		t.Fatalf("session info reports %d sources after churn; want 20", info.Sources)
+	}
+
+	// The session keeps solving over the mutated universe, and a second
+	// batch gets the next ordinal.
+	sr := solveWith(t, ts.URL, id, solveRequest{})
+	if sr.Iteration != 1 {
+		t.Fatalf("post-churn solve is iteration %d; want 1 (0-based)", sr.Iteration)
+	}
+	cr = churnWith(t, ts.URL, id, []model.Mutation{
+		{Op: model.OpUpdate, ID: 1, Characteristics: map[string]float64{"mttf": 123}},
+	})
+	if cr.Batch != 2 || len(cr.Removed) != 0 {
+		t.Fatalf("second churn response %+v; want batch 2, nothing removed", cr)
+	}
+	solveWith(t, ts.URL, id, solveRequest{})
+
+	var m metricsDoc
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.ChurnsAdmitted != 2 || m.Churns != 2 || m.ChurnErrors != 0 || m.ChurnConflicts != 0 {
+		t.Fatalf("churn metrics admitted=%d churns=%d errors=%d conflicts=%d; want 2/2/0/0",
+			m.ChurnsAdmitted, m.Churns, m.ChurnErrors, m.ChurnConflicts)
+	}
+}
+
+func TestChurnPinnedSourceConflict(t *testing.T) {
+	u := testUniverse(t, 20)
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	solveWith(t, ts.URL, id, solveRequest{PinSources: []int{2}})
+
+	resp, body := patchJSON(t, ts.URL+"/v1/sessions/"+id+"/universe",
+		schemaio.ChurnRequestDoc{Mutations: []model.Mutation{{Op: model.OpRemove, ID: 2}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("removing a pinned source: %d %s; want 409", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "pinned") {
+		t.Fatalf("409 body does not name the pin: %s", body)
+	}
+	// Refused wholesale: the universe is untouched.
+	var info sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+id, &info)
+	if info.Sources != 20 {
+		t.Fatalf("refused churn changed the universe: %d sources", info.Sources)
+	}
+	var m metricsDoc
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.ChurnConflicts != 1 || m.Churns != 0 {
+		t.Fatalf("conflict metrics churns=%d conflicts=%d; want 0/1", m.Churns, m.ChurnConflicts)
+	}
+
+	// Unpinning clears the refusal.
+	solveWith(t, ts.URL, id, solveRequest{DropSourcePins: []int{2}})
+	cr := churnWith(t, ts.URL, id, []model.Mutation{{Op: model.OpRemove, ID: 2}})
+	if cr.Sources != 19 || len(cr.Removed) != 1 || cr.Removed[0] != 2 {
+		t.Fatalf("post-unpin churn response %+v", cr)
+	}
+}
+
+func TestChurnRejectsBadRequests(t *testing.T) {
+	u := testUniverse(t, 20)
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+
+	// Decode-level refusals (never admitted, so never counted).
+	for _, tc := range []struct {
+		name string
+		body any
+	}{
+		{"unknown op", map[string]any{"mutations": []map[string]any{{"op": "rename", "id": 1}}}},
+		{"empty batch", map[string]any{"mutations": []map[string]any{}}},
+		{"add without schema", map[string]any{"mutations": []map[string]any{{"op": "add", "source": map[string]any{"name": "x"}}}}},
+		{"update changing nothing", map[string]any{"mutations": []map[string]any{{"op": "update", "id": 1}}}},
+	} {
+		resp, body := patchJSON(t, ts.URL+"/v1/sessions/"+id+"/universe", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s; want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	// Engine-level refusal: structurally valid, semantically out of range.
+	resp, body := patchJSON(t, ts.URL+"/v1/sessions/"+id+"/universe",
+		schemaio.ChurnRequestDoc{Mutations: []model.Mutation{{Op: model.OpRemove, ID: 500}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range remove: %d %s; want 400", resp.StatusCode, body)
+	}
+	var m metricsDoc
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.ChurnsAdmitted != 1 || m.ChurnErrors != 1 {
+		t.Fatalf("admitted=%d errors=%d; want 1/1 (decode failures are pre-admission)",
+			m.ChurnsAdmitted, m.ChurnErrors)
+	}
+
+	// Unknown session.
+	resp, _ = patchJSON(t, ts.URL+"/v1/sessions/s999999/universe",
+		schemaio.ChurnRequestDoc{Mutations: []model.Mutation{{Op: model.OpRemove, ID: 0}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("churn on unknown session: %d; want 404", resp.StatusCode)
+	}
+}
+
+// churnScriptStep posts one scripted churn batch for (user, step). The
+// batch is a pure function of its coordinates, so a retry is
+// bit-identical and a fault-free reference run issues the same batches;
+// each batch adds one source and removes one, keeping the universe at a
+// constant 20 so every scripted ID stays in range.
+func churnScriptStep(baseURL, id string, user, step int) error {
+	muts := []model.Mutation{
+		addMutation(fmt.Sprintf("churn-u%d-s%d", user, step),
+			[]string{"title", "year", fmt.Sprintf("attr_u%d_s%d", user, step)}, int64(3000+100*user+step)),
+		{Op: model.OpRemove, ID: (7*step + 3*user) % 20},
+	}
+	data, err := json.Marshal(schemaio.ChurnRequestDoc{Mutations: muts})
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt < chaosMaxAttempts; attempt++ {
+		req, err := http.NewRequest(http.MethodPatch, baseURL+"/v1/sessions/"+id+"/universe", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		_, rerr := buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests, http.StatusInternalServerError,
+			http.StatusServiceUnavailable, http.StatusConflict:
+			// 409s here can only be injected (the script pins nothing);
+			// like recovered panics, the identical retry must succeed.
+		default:
+			return fmt.Errorf("churn: unexpected status %d: %s", resp.StatusCode, buf.String())
+		}
+	}
+	return fmt.Errorf("churn: attempts exhausted")
+}
+
+// runChurnChaos drives chaosUsers sequential scripted users — each
+// alternating solves with churn batches — and returns the observable
+// run. Sequential driving makes fault arrival order, and therefore the
+// whole run, deterministic.
+func runChurnChaos(t *testing.T, u *model.Universe, inj *faultinject.Injector) chaosRun {
+	t.Helper()
+	var buf syncBuffer
+	srv, err := Open(chaosConfig(inj, &buf, 2, ""))
+	if err != nil {
+		t.Fatalf("opening churn chaos server: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	sessions := make([]string, chaosUsers)
+	histories := make([][]schemaio.IterationDoc, chaosUsers)
+	for i := 0; i < chaosUsers; i++ {
+		id, err := chaosCreate(ts.URL, u, i)
+		if err != nil {
+			t.Fatalf("user %d create: %v", i, err)
+		}
+		sessions[i] = id
+		for k := 0; k < chaosIters; k++ {
+			if _, ok, err := chaosSolve(ts.URL+"/v1/sessions/"+id+"/solve", solveRequest{}); err != nil || !ok {
+				t.Fatalf("user %d solve %d: ok=%v err=%v", i, k, ok, err)
+			}
+			if k+1 < chaosIters {
+				if err := churnScriptStep(ts.URL, id, i, k); err != nil {
+					t.Fatalf("user %d churn %d: %v", i, k, err)
+				}
+			}
+		}
+		var hist struct {
+			Iterations []schemaio.IterationDoc `json:"iterations"`
+		}
+		if resp := getJSON(t, ts.URL+"/v1/sessions/"+id+"/history", &hist); resp.StatusCode != http.StatusOK {
+			t.Fatalf("user %d history: %d", i, resp.StatusCode)
+		}
+		histories[i] = hist.Iterations
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts.Close()
+	return chaosRun{sessions: sessions, histories: histories, metrics: srv.metricsSnapshot(), audit: buf.String()}
+}
+
+// TestChurnChaos fires the committed churn fault plans against scripted
+// users that interleave solves and universe mutation: the midway panic
+// and the injected conflict are both retried to convergence, so the
+// final histories must be bit-identical to a fault-free reference and
+// the metrics must reconcile with the audit trail.
+func TestChurnChaos(t *testing.T) {
+	u := testUniverse(t, 20)
+	ref := runChurnChaos(t, u, nil)
+	for i, h := range ref.histories {
+		if len(h) != chaosIters {
+			t.Fatalf("fault-free reference: user %d completed %d/%d iterations", i, len(h), chaosIters)
+		}
+	}
+
+	for _, name := range []string{"churn-midway", "churn-conflict"} {
+		t.Run(name, func(t *testing.T) {
+			plan := loadChaosPlan(t, name)
+			run := runChurnChaos(t, u, faultinject.MustNew(plan))
+			for i := range run.histories {
+				want := canonicalIterations(t, ref.histories[i])
+				got := canonicalIterations(t, run.histories[i])
+				if !bytes.Equal(want, got) {
+					t.Errorf("user %d: history diverges from the fault-free reference\nreference %s\nsurvived  %s\n%s",
+						i, want, got, replayBanner(name, plan))
+				}
+			}
+
+			m := run.metrics
+			// Every script retried to success: the committed batch count
+			// matches the fault-free reference exactly.
+			if m.Churns != ref.metrics.Churns {
+				t.Errorf("churns = %d, reference committed %d\n%s", m.Churns, ref.metrics.Churns, replayBanner(name, plan))
+			}
+			switch name {
+			case "churn-midway":
+				if m.ChurnErrors != 2 {
+					t.Errorf("churnErrors = %d, want exactly 2 recovered panics\n%s", m.ChurnErrors, replayBanner(name, plan))
+				}
+			case "churn-conflict":
+				if m.ChurnConflicts != 2 {
+					t.Errorf("churnConflicts = %d, want exactly 2 injected conflicts\n%s", m.ChurnConflicts, replayBanner(name, plan))
+				}
+			}
+			// Admission reconciles against the churn terminal counters…
+			terminal := m.Churns + m.ChurnErrors + m.ChurnConflicts + m.ChurnsCancelled
+			if m.ChurnsAdmitted != terminal {
+				t.Errorf("churn metrics do not reconcile: admitted %d != churns %d + errors %d + conflicts %d + cancelled %d\n%s",
+					m.ChurnsAdmitted, m.Churns, m.ChurnErrors, m.ChurnConflicts, m.ChurnsCancelled, replayBanner(name, plan))
+			}
+			// …and the audit trail agrees with every counter.
+			counts := map[string]int64{}
+			for _, line := range strings.Split(strings.TrimSpace(run.audit), "\n") {
+				if line == "" {
+					continue
+				}
+				var e auditEntry
+				if err := json.Unmarshal([]byte(line), &e); err != nil {
+					t.Fatalf("audit line %q: %v", line, err)
+				}
+				counts[e.Action]++
+			}
+			if counts["churn.enqueue"] != m.ChurnsAdmitted {
+				t.Errorf("audit churn.enqueue %d != admitted %d\n%s", counts["churn.enqueue"], m.ChurnsAdmitted, replayBanner(name, plan))
+			}
+			if counts["churn.apply"] != m.Churns {
+				t.Errorf("audit churn.apply %d != churns %d\n%s", counts["churn.apply"], m.Churns, replayBanner(name, plan))
+			}
+			if counts["churn.conflict"] != m.ChurnConflicts {
+				t.Errorf("audit churn.conflict %d != conflicts %d\n%s", counts["churn.conflict"], m.ChurnConflicts, replayBanner(name, plan))
+			}
+			if counts["churn.error"]+counts["churn.panic"] != m.ChurnErrors {
+				t.Errorf("audit churn.error %d + churn.panic %d != churnErrors %d\n%s",
+					counts["churn.error"], counts["churn.panic"], m.ChurnErrors, replayBanner(name, plan))
+			}
+		})
+	}
+}
+
+// TestChurnDurableReplay: a session's whole lifecycle — solves
+// interleaved with churn — replays bit-identically from the WAL, and
+// the recovered session's NEXT solve matches a never-restarted control
+// running the same script, proving the warm-start state (the churn-dirty
+// flag and the repaired initial sources) survives recovery.
+func TestChurnDurableReplay(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	card := int64(7777)
+	script := func(baseURL, id string) {
+		solveWith(t, baseURL, id, solveRequest{})
+		churnWith(t, baseURL, id, []model.Mutation{
+			addMutation("durable-add", []string{"title", "subject", "durable_attr"}, 6000),
+			{Op: model.OpRemove, ID: 5},
+		})
+		solveWith(t, baseURL, id, solveRequest{})
+		churnWith(t, baseURL, id, []model.Mutation{
+			{Op: model.OpUpdate, ID: 2, Cardinality: &card},
+		})
+	}
+
+	// Control: never restarted.
+	_, tsCtl := newTestServer(t, Config{})
+	ctlID := createSession(t, tsCtl.URL, u, testProblemDoc())
+	script(tsCtl.URL, ctlID)
+
+	// Durable run: same script, then crash-restart mid-lifecycle — after
+	// a churn, before its next solve, inside the churn-dirty window.
+	_, ts, stop := openDurableServer(t, Config{WALDir: dir})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	script(ts.URL, id)
+	wantHist := historyBody(t, ts.URL, id)
+	var wantInfo sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+id, &wantInfo)
+	stop()
+
+	srv2, ts2, stop2 := openDurableServer(t, Config{WALDir: dir})
+	if srv2.recovered == nil || srv2.recovered.ChurnsReplayed != 2 {
+		t.Fatalf("recovery stats = %+v, want 2 churns replayed", srv2.recovered)
+	}
+	if got := historyBody(t, ts2.URL, id); !bytes.Equal(got, wantHist) {
+		t.Fatalf("recovered history differs:\n got %s\nwant %s", got, wantHist)
+	}
+	var gotInfo sessionInfo
+	getJSON(t, ts2.URL+"/v1/sessions/"+id, &gotInfo)
+	if gotInfo.Sources != wantInfo.Sources {
+		t.Fatalf("recovered universe has %d sources, live had %d", gotInfo.Sources, wantInfo.Sources)
+	}
+	wantProb, _ := json.Marshal(wantInfo.Problem)
+	gotProb, _ := json.Marshal(gotInfo.Problem)
+	if !bytes.Equal(gotProb, wantProb) {
+		t.Fatalf("recovered problem differs:\n got %s\nwant %s", gotProb, wantProb)
+	}
+
+	// The differential continuation: control and recovered sessions solve
+	// once more and must produce identical iterations.
+	ctlNext := solveWith(t, tsCtl.URL, ctlID, solveRequest{})
+	recNext := solveWith(t, ts2.URL, id, solveRequest{})
+	a := canonicalSolution(t, ctlNext.Solution)
+	b := canonicalSolution(t, recNext.Solution)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("post-recovery solve diverges from the never-restarted control:\ncontrol   %s\nrecovered %s", a, b)
+	}
+
+	// And the continuation itself survives another restart.
+	wantHist2 := historyBody(t, ts2.URL, id)
+	stop2()
+	_, ts3, _ := openDurableServer(t, Config{WALDir: dir})
+	if got := historyBody(t, ts3.URL, id); !bytes.Equal(got, wantHist2) {
+		t.Fatalf("second recovery differs:\n got %s\nwant %s", got, wantHist2)
+	}
+}
+
+// TestChurnSnapshotRestore: a rotation snapshot embeds the churn batches
+// and recovery restores from it without replaying them — and the
+// restored session still solves identically to a never-restarted
+// control, including when the snapshot was taken inside the churn-dirty
+// window.
+func TestChurnSnapshotRestore(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	script := func(baseURL, id string) {
+		solveWith(t, baseURL, id, solveRequest{})
+		churnWith(t, baseURL, id, []model.Mutation{
+			addMutation("snap-add", []string{"title", "creator", "snap_attr"}, 4500),
+			{Op: model.OpRemove, ID: 4},
+		})
+	}
+
+	_, tsCtl := newTestServer(t, Config{})
+	ctlID := createSession(t, tsCtl.URL, u, testProblemDoc())
+	script(tsCtl.URL, ctlID)
+
+	srv, ts, stop := openDurableServer(t, Config{WALDir: dir})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	script(ts.URL, id)
+	// Rotate now: the snapshot is taken with churn after the last solve,
+	// so the restored session must come back churn-dirty.
+	if err := srv.wal.Rotate(srv.buildSnapshots); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	want := historyBody(t, ts.URL, id)
+	stop()
+
+	srv2, ts2, _ := openDurableServer(t, Config{WALDir: dir})
+	if rec := srv2.recovered; rec == nil || rec.ChurnsReplayed != 0 || rec.SolvesReplayed != 0 {
+		t.Fatalf("recovery stats = %+v, want a pure snapshot restore", rec)
+	}
+	if got := historyBody(t, ts2.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot recovery differs:\n got %s\nwant %s", got, want)
+	}
+	sn, ok := srv2.lookupSession(id)
+	if !ok {
+		t.Fatal("restored session missing")
+	}
+	if !sn.sess.ChurnDirty() {
+		t.Fatal("snapshot inside the churn-dirty window restored with a clean flag")
+	}
+
+	ctlNext := solveWith(t, tsCtl.URL, ctlID, solveRequest{})
+	recNext := solveWith(t, ts2.URL, id, solveRequest{})
+	a := canonicalSolution(t, ctlNext.Solution)
+	b := canonicalSolution(t, recNext.Solution)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("post-restore solve diverges from the control:\ncontrol  %s\nrestored %s", a, b)
+	}
+}
+
+// TestReplayChurnSkipAndGap pins the replay tolerance rules directly:
+// batches the restore point covers are skipped; a gap is refused.
+func TestReplayChurnSkipAndGap(t *testing.T) {
+	u := testUniverse(t, 20)
+	srv, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+	sn, ok := srv.lookupSession(id)
+	if !ok {
+		t.Fatal("session missing")
+	}
+	raw, err := json.Marshal(schemaio.ChurnRequestDoc{Mutations: []model.Mutation{{Op: model.OpRemove, ID: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.churnDocs = []schemaio.SnapshotChurnDoc{{AfterSolves: 0, Request: raw}}
+	doc := &recoveryDoc{}
+	if err := srv.replayChurn(sn, &schemaio.WALChurnDoc{Batch: 1, Request: raw}, doc); err != nil {
+		t.Fatalf("covered batch not skipped: %v", err)
+	}
+	if doc.ChurnsSkipped != 1 || doc.ChurnsReplayed != 0 {
+		t.Fatalf("skip stats %+v; want 1 skipped", doc)
+	}
+	if err := srv.replayChurn(sn, &schemaio.WALChurnDoc{Batch: 3, Request: raw}, doc); err == nil ||
+		!strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gapped batch accepted: %v", err)
+	}
+}
+
+// TestChurnWALWriteErrorRefuses: an injected append failure on the
+// churn record refuses the whole batch — 503 + Retry-After, universe
+// untouched — and the identical retry then commits durably.
+func TestChurnWALWriteErrorRefuses(t *testing.T) {
+	dir := t.TempDir()
+	u := testUniverse(t, 20)
+	inj := faultinject.MustNew(faultinject.Plan{Entries: []faultinject.Entry{
+		// Arrival 1 is the create's append; arrival 2 the churn record's.
+		{Point: faultinject.WALWriteError, Trigger: 2, Action: "fail"},
+	}})
+	_, ts, stop := openDurableServer(t, Config{WALDir: dir, FaultInjector: inj})
+	id := createSession(t, ts.URL, u, testProblemDoc())
+
+	muts := []model.Mutation{{Op: model.OpRemove, ID: 1}}
+	resp, body := patchJSON(t, ts.URL+"/v1/sessions/"+id+"/universe", schemaio.ChurnRequestDoc{Mutations: muts})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("churn under WAL failure: %d %s; want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After")
+	}
+	var info sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+id, &info)
+	if info.Sources != 20 {
+		t.Fatalf("refused churn mutated the universe: %d sources", info.Sources)
+	}
+
+	cr := churnWith(t, ts.URL, id, muts)
+	if cr.Batch != 1 || cr.Sources != 19 {
+		t.Fatalf("retried churn %+v; want batch 1, 19 sources", cr)
+	}
+	want := historyBody(t, ts.URL, id)
+	var wantInfo sessionInfo
+	getJSON(t, ts.URL+"/v1/sessions/"+id, &wantInfo)
+	stop()
+
+	_, ts2, _ := openDurableServer(t, Config{WALDir: dir})
+	if got := historyBody(t, ts2.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("post-failure recovery differs:\n got %s\nwant %s", got, want)
+	}
+	var gotInfo sessionInfo
+	getJSON(t, ts2.URL+"/v1/sessions/"+id, &gotInfo)
+	if gotInfo.Sources != wantInfo.Sources {
+		t.Fatalf("recovered universe has %d sources, want %d", gotInfo.Sources, wantInfo.Sources)
+	}
+}

@@ -22,13 +22,23 @@ package server
 // the periodic per-session snapshots (Config.SnapshotEvery) do the same
 // for long-lived sessions between rotations.
 //
+// Universe mutation (churn) rides the same scheme: a session.churn
+// record carries its 1-based batch ordinal and the canonical PATCH
+// request, written ahead of the apply (see churn.go), and replay pushes
+// the request through the same Session.ApplyChurn the live job took —
+// the engine's differential churn suite proves the incremental result
+// is bit-identical to building the mutated universe fresh. Snapshots
+// embed every committed batch (with the solve count each landed after)
+// so a restore re-applies them to the rebuilt engine before installing
+// the snapshot's already-repaired problem.
+//
 // Replay tolerance: a create record for a session a snapshot already
 // restored is a duplicate (rotation raced the create's group commit)
-// and is skipped; solve/delete/evict records naming an unknown session
-// are orphans (their session's removal committed before a crash, or a
-// create-undo raced a queued solve) and are counted, not fatal. A solve
-// record whose iteration leaves a gap is corruption and recovery
-// refuses to guess.
+// and is skipped; solve/churn/delete/evict records naming an unknown
+// session are orphans (their session's removal committed before a
+// crash, or a create-undo raced a queued solve) and are counted, not
+// fatal. A solve record whose iteration — or a churn record whose batch
+// ordinal — leaves a gap is corruption and recovery refuses to guess.
 
 import (
 	"bytes"
@@ -58,6 +68,8 @@ type recoveryDoc struct {
 	Sessions       int    `json:"sessions"`
 	SolvesReplayed int    `json:"solvesReplayed"`
 	SolvesSkipped  int    `json:"solvesSkipped"`
+	ChurnsReplayed int    `json:"churnsReplayed"`
+	ChurnsSkipped  int    `json:"churnsSkipped"`
 	Orphans        int    `json:"orphanRecords"`
 	Duplicates     int    `json:"duplicateCreates"`
 }
@@ -103,6 +115,7 @@ func (s *Server) openDurable() error {
 		"records":        doc.Records,
 		"sessions":       doc.Sessions,
 		"solvesReplayed": doc.SolvesReplayed,
+		"churnsReplayed": doc.ChurnsReplayed,
 		"tornBytes":      doc.TornBytes,
 	})
 	return nil
@@ -150,6 +163,19 @@ func (s *Server) replay(records []*schemaio.WALRecordDoc, doc *recoveryDoc) erro
 			if err := s.replaySolve(sn, sd, doc); err != nil {
 				return fmt.Errorf("server: wal replay: solve record %d (session %s): %w", r.Seq, r.Session, err)
 			}
+		case schemaio.WALTypeChurn:
+			sn, ok := s.sessions[r.Session]
+			if !ok {
+				doc.Orphans++
+				continue
+			}
+			cd, err := schemaio.DecodeWALChurnBytes(r.Data)
+			if err != nil {
+				return fmt.Errorf("server: wal replay: churn record %d: %w", r.Seq, err)
+			}
+			if err := s.replayChurn(sn, cd, doc); err != nil {
+				return fmt.Errorf("server: wal replay: churn record %d (session %s): %w", r.Seq, r.Session, err)
+			}
 		case schemaio.WALTypeDelete, schemaio.WALTypeEvict:
 			if _, ok := s.sessions[r.Session]; !ok {
 				doc.Orphans++
@@ -189,6 +215,21 @@ func (s *Server) restoreSnapshot(snap *schemaio.SessionSnapshotDoc) (*session, e
 	if err != nil {
 		return nil, err
 	}
+	// Re-apply the snapshot's churn batches to the rebuilt engine at the
+	// engine level: the snapshot's problem is already the final repaired
+	// one (constraints and warm start remapped, MaxSources clamped), so
+	// only the universe needs mutating, and session-level pin checks
+	// against the create-time problem could spuriously refuse a batch the
+	// live session admitted after dropping a pin.
+	for i := range snap.Churn {
+		muts, err := schemaio.DecodeChurnRequestBytes(snap.Churn[i].Request)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot churn batch %d: %w", i+1, err)
+		}
+		if _, err := sn.eng.ApplyChurn(muts); err != nil {
+			return nil, fmt.Errorf("snapshot churn batch %d: %w", i+1, err)
+		}
+	}
 	p, err := snap.Problem.Decode()
 	if err != nil {
 		return nil, fmt.Errorf("snapshot problem: %w", err)
@@ -204,12 +245,30 @@ func (s *Server) restoreSnapshot(snap *schemaio.SessionSnapshotDoc) (*session, e
 		sols = append(sols, it.Solution)
 	}
 	sn.sess.Restore(p, history)
+	if n := len(snap.Churn); n > 0 {
+		// The flag the live session held at snapshot time is derivable: a
+		// batch after the last solve means the history tail's IDs are
+		// stale and the next solve must warm-start from the repaired
+		// InitialSources the snapshot's problem carries.
+		if snap.Churn[n-1].AfterSolves == snap.Solves {
+			sn.sess.MarkChurnDirty()
+		}
+		if s.solveCache != nil {
+			fp, err := universeFingerprint(sn.eng.Universe())
+			if err != nil {
+				return nil, fmt.Errorf("fingerprinting mutated universe: %w", err)
+			}
+			sn.universeFP = fp
+		}
+	}
 	if err := sn.refreshProblemDoc(); err != nil {
 		return nil, err
 	}
 	sn.mu.Lock()
 	sn.historyDocs = append([]schemaio.IterationDoc(nil), snap.History...)
 	sn.solutions = sols
+	sn.churnDocs = append([]schemaio.SnapshotChurnDoc(nil), snap.Churn...)
+	sn.sources = sn.eng.Universe().N()
 	sn.mu.Unlock()
 	return sn, nil
 }
@@ -255,6 +314,45 @@ func (s *Server) replaySolve(sn *session, sd *schemaio.WALSolveDoc, doc *recover
 		return err
 	}
 	doc.SolvesReplayed++
+	return nil
+}
+
+// replayChurn re-applies one committed universe-mutation batch through
+// the same Session.ApplyChurn path the live job took. Batches the
+// session's restore point already covers are skipped by batch ordinal;
+// a gap means lost records inside the clean prefix, which recovery
+// refuses. The pinned-source checks cannot fire spuriously: replay
+// reconstructs the exact problem state the live CheckChurn admitted the
+// batch against.
+func (s *Server) replayChurn(sn *session, cd *schemaio.WALChurnDoc, doc *recoveryDoc) error {
+	cur := len(sn.churnDocs)
+	if cd.Batch <= cur {
+		doc.ChurnsSkipped++
+		return nil
+	}
+	if cd.Batch > cur+1 {
+		return fmt.Errorf("batch %d leaves a gap after %d committed", cd.Batch, cur)
+	}
+	muts, err := schemaio.DecodeChurnRequestBytes(cd.Request)
+	if err != nil {
+		return fmt.Errorf("decoding churn request: %w", err)
+	}
+	if _, err := sn.sess.ApplyChurn(muts); err != nil {
+		return fmt.Errorf("re-applying churn: %w", err)
+	}
+	if err := sn.refreshProblemDoc(); err != nil {
+		return err
+	}
+	if s.solveCache != nil {
+		fp, err := universeFingerprint(sn.eng.Universe())
+		if err != nil {
+			return fmt.Errorf("fingerprinting mutated universe: %w", err)
+		}
+		sn.universeFP = fp
+	}
+	sn.churnDocs = append(sn.churnDocs, schemaio.SnapshotChurnDoc{AfterSolves: len(sn.historyDocs), Request: cd.Request})
+	sn.sources = sn.eng.Universe().N()
+	doc.ChurnsReplayed++
 	return nil
 }
 

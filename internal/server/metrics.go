@@ -27,6 +27,13 @@ type metrics struct {
 	solvePanics     atomic.Int64 // worker panics recovered into 500s
 	solveTimeouts   atomic.Int64 // per-solve deadline expiries (504s)
 	rejections      atomic.Int64 // 429s from the admission queue
+
+	churnsAdmitted  atomic.Int64 // churn batches accepted into the admission queue
+	churns          atomic.Int64 // universe-mutation batches committed
+	churnErrors     atomic.Int64 // churn batches refused (validation, durability, or a recovered panic)
+	churnConflicts  atomic.Int64 // churn batches refused for pinned sources (409s)
+	churnsCancelled atomic.Int64 // churn batches whose client vanished before execution
+
 	queueDepth      atomic.Int64 // admitted, not yet executing
 	inFlight        atomic.Int64 // executing right now
 	auditDropped    atomic.Int64 // audit lines lost to sink write errors
@@ -82,6 +89,11 @@ type metricsDoc struct {
 	SolvePanics     int64 `json:"solvePanics"`
 	SolveTimeouts   int64 `json:"solveTimeouts"`
 	QueueRejections int64 `json:"queueRejections"`
+	ChurnsAdmitted  int64 `json:"churnsAdmitted"`
+	Churns          int64 `json:"churns"`
+	ChurnErrors     int64 `json:"churnErrors"`
+	ChurnConflicts  int64 `json:"churnConflicts"`
+	ChurnsCancelled int64 `json:"churnsCancelled"`
 	QueueDepth      int64 `json:"queueDepth"`
 	InFlight        int64 `json:"inFlight"`
 	AuditDropped    int64 `json:"auditLinesDropped"`
@@ -185,6 +197,11 @@ func (m *metrics) snapshot() *metricsDoc {
 		SolvePanics:     m.solvePanics.Load(),
 		SolveTimeouts:   m.solveTimeouts.Load(),
 		QueueRejections: m.rejections.Load(),
+		ChurnsAdmitted:  m.churnsAdmitted.Load(),
+		Churns:          m.churns.Load(),
+		ChurnErrors:     m.churnErrors.Load(),
+		ChurnConflicts:  m.churnConflicts.Load(),
+		ChurnsCancelled: m.churnsCancelled.Load(),
 		QueueDepth:      m.queueDepth.Load(),
 		InFlight:        m.inFlight.Load(),
 		AuditDropped:    m.auditDropped.Load(),

@@ -11,6 +11,7 @@ import (
 
 	"ube/internal/engine"
 	"ube/internal/faultinject"
+	"ube/internal/model"
 	"ube/internal/qef"
 	"ube/internal/schemaio"
 	"ube/internal/search"
@@ -36,14 +37,18 @@ import (
 // The global bound is on admitted-but-not-executing jobs across all
 // sessions; past it, clients get 429 + Retry-After.
 
-// solveJob is one admitted solve request.
+// solveJob is one admitted job: a solve request, or — when churn is
+// non-nil — a universe-mutation batch riding the same per-session FIFO,
+// so churn serializes against solves in admission order exactly like
+// feedback edits do.
 type solveJob struct {
 	req       *solveRequest
-	raw       []byte          // canonical request bytes, for the WAL solve record
+	raw       []byte          // canonical request bytes, for the WAL record
 	ctx       context.Context // the posting request's context
 	remote    string
-	iteration int            // history index this job will produce; set at execution
-	done      chan jobResult // buffered(1): worker never blocks on a gone client
+	iteration int              // history index this job will produce; set at execution
+	churn     []model.Mutation // non-nil: a universe mutation, not a solve (churn.go)
+	done      chan jobResult   // buffered(1): worker never blocks on a gone client
 }
 
 type jobResult struct {
@@ -101,7 +106,13 @@ func (s *Server) enqueue(sn *session, job *solveJob) error {
 	}
 	sn.mu.Unlock()
 
-	s.metrics.solvesAdmitted.Add(1)
+	// Admission reconciles per job kind: solves against the solve
+	// terminal counters, churn batches against the churn ones.
+	if job.churn != nil {
+		s.metrics.churnsAdmitted.Add(1)
+	} else {
+		s.metrics.solvesAdmitted.Add(1)
+	}
 	sn.hub.publish("queued", map[string]any{"position": position, "queueDepth": s.metrics.queueDepth.Load()})
 	if schedule {
 		// Never blocks: the channel holds one token per session with
@@ -128,7 +139,11 @@ func (s *Server) worker() {
 			job := sn.pending[0]
 			sn.pending = sn.pending[1:]
 			sn.mu.Unlock()
-			s.runJob(sn, job)
+			if job.churn != nil {
+				s.runChurnJob(sn, job)
+			} else {
+				s.runJob(sn, job)
+			}
 		}
 	}
 }
@@ -195,6 +210,7 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 	// problem so a rejected request leaves the session untouched.
 	saved = sn.sess.Problem()
 	savedValid = true
+	savedChurnDirty := sn.sess.ChurnDirty()
 	if err := applyEdits(sn.sess, job.req); err != nil {
 		sn.sess.SetProblem(saved)
 		s.metrics.solveErrors.Add(1)
@@ -315,6 +331,11 @@ func (s *Server) runJob(sn *session, job *solveJob) {
 		sn.dropLastIteration()
 		hist := sn.sess.History()
 		sn.sess.Restore(saved, hist[:len(hist)-1])
+		if savedChurnDirty {
+			// The successful solve cleared the flag; the undo must put it
+			// back or the next solve would warm-start from pre-churn IDs.
+			sn.sess.MarkChurnDirty()
+		}
 		_ = sn.refreshProblemDoc()
 		s.metrics.solveErrors.Add(1)
 		s.audit.record(sn.id, "solve.error", job.remote, map[string]any{"iteration": job.iteration, "error": err.Error()})

@@ -10,6 +10,7 @@
 //	GET    /v1/sessions/{id}             session info + current problem
 //	DELETE /v1/sessions/{id}             delete a session
 //	POST   /v1/sessions/{id}/solve       apply problem edits (all-or-nothing) and solve
+//	PATCH  /v1/sessions/{id}/universe    apply a universe-mutation (churn) batch, all-or-nothing
 //	GET    /v1/sessions/{id}/history     full iteration history (schemaio docs)
 //	GET    /v1/sessions/{id}/history/{k} one iteration
 //	GET    /v1/sessions/{id}/diff        diff two iterations (?from=&to=, default last two)
@@ -293,6 +294,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/solve", s.handleSolve)
+	mux.HandleFunc("PATCH /v1/sessions/{id}/universe", s.handleChurn)
 	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
 	mux.HandleFunc("GET /v1/sessions/{id}/history/{k}", s.handleHistoryAt)
 	mux.HandleFunc("GET /v1/sessions/{id}/diff", s.handleDiff)
@@ -488,9 +490,10 @@ func (s *Server) buildSession(req *createSessionRequest) (*session, error) {
 	}
 
 	sn := &session{
-		hub:  newHub(s.inj),
-		eng:  eng,
-		sess: engine.NewSession(eng, prob),
+		hub:     newHub(s.inj),
+		eng:     eng,
+		sess:    engine.NewSession(eng, prob),
+		sources: u.N(),
 	}
 	if s.solveCache != nil {
 		fp, err := universeFingerprint(u)

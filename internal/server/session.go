@@ -32,7 +32,9 @@ type session struct {
 	// the same input the live create handler saw.
 	createRaw []byte
 	// universeFP keys the cross-session solve memo (solvecache.go);
-	// empty when the memo is disabled. Immutable once set.
+	// empty when the memo is disabled. Worker-context only after the
+	// create handler returns: churn recomputes it when the universe
+	// mutates, and the only reader (solveViaMemo) runs on the worker.
 	universeFP string
 
 	mu        sync.Mutex
@@ -47,6 +49,13 @@ type session struct {
 	historyDocs []schemaio.IterationDoc
 	solutions   []*engine.Solution // immutable once appended; for diffs
 	traces      []storedTrace      // ring of the last traced solves; see trace.go
+	// churnDocs mirrors every committed universe-mutation batch in
+	// order, each tagged with the solve count it landed after; snapshots
+	// embed them so recovery can replay the universe's whole lifecycle.
+	churnDocs []schemaio.SnapshotChurnDoc
+	// sources mirrors the universe's size for handlers: the engine's
+	// universe is worker-only once churn can mutate it.
+	sources int
 }
 
 // touch marks the session used now, for TTL accounting.
@@ -120,6 +129,7 @@ func (sn *session) snapshotDoc() (*schemaio.SessionSnapshotDoc, error) {
 		Problem: sn.problemDoc,
 		History: sn.historyDocs[:len(sn.historyDocs):len(sn.historyDocs)],
 		Solves:  len(sn.historyDocs),
+		Churn:   sn.churnDocs[:len(sn.churnDocs):len(sn.churnDocs)],
 	}, nil
 }
 
@@ -138,7 +148,7 @@ func (sn *session) info() *sessionInfo {
 	defer sn.mu.Unlock()
 	return &sessionInfo{
 		ID:            sn.id,
-		Sources:       sn.eng.Universe().N(),
+		Sources:       sn.sources,
 		Iterations:    len(sn.historyDocs),
 		PendingSolves: len(sn.pending),
 		CreatedAt:     sn.created.UTC().Format(time.RFC3339Nano),

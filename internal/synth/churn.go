@@ -1,0 +1,119 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ube/internal/model"
+)
+
+// ChurnConfig parameterizes a deterministic universe-mutation schedule:
+// a sequence of batches in which sources appear, disappear and change
+// metadata. The schedule is a pure function of (Config, ChurnConfig), so
+// every consumer — the differential suite, ube-load, the churn
+// experiment, WAL replay — regenerates the identical mutation stream
+// from the two seeds.
+type ChurnConfig struct {
+	// Seed drives the schedule's randomness, independent of the
+	// universe generator's seed.
+	Seed int64
+	// Steps is the number of mutation batches.
+	Steps int
+	// BatchMax bounds mutations per batch (1..BatchMax); default 3.
+	BatchMax int
+	// MinSources floors removals so the universe never shrinks below
+	// it; default max(1, initial/2). Callers that solve against the
+	// churning universe set it at or above the problem's MaxSources.
+	MinSources int
+	// MaxSources caps additions; default 2× the initial size.
+	MaxSources int
+}
+
+func (cc ChurnConfig) withDefaults(n int) (ChurnConfig, error) {
+	if cc.Steps < 1 {
+		return cc, fmt.Errorf("synth: churn Steps = %d", cc.Steps)
+	}
+	if cc.BatchMax == 0 {
+		cc.BatchMax = 3
+	}
+	if cc.BatchMax < 1 {
+		return cc, fmt.Errorf("synth: churn BatchMax = %d", cc.BatchMax)
+	}
+	if cc.MinSources == 0 {
+		cc.MinSources = n / 2
+	}
+	if cc.MinSources < 1 {
+		cc.MinSources = 1
+	}
+	if cc.MaxSources == 0 {
+		cc.MaxSources = 2 * n
+	}
+	if cc.MinSources > n || cc.MaxSources < n {
+		return cc, fmt.Errorf("synth: churn bounds [%d,%d] exclude the initial size %d", cc.MinSources, cc.MaxSources, n)
+	}
+	return cc, nil
+}
+
+// ChurnSchedule generates the initial universe for cfg plus a
+// deterministic mutation schedule over it. Added sources come from the
+// same synthesizer, generated past the initial population, so their
+// schemas, signatures and characteristics are drawn from the same
+// distributions and share signature parameters with the base universe.
+// Mutation IDs are relative to the universe state after the preceding
+// mutations, matching engine.ApplyChurn's sequential semantics.
+//
+// The op mix is roughly 40% add / 30% remove / 30% update; adds and
+// removes degrade to updates at the size bounds, so every batch is
+// non-empty.
+func ChurnSchedule(cfg Config, cc ChurnConfig) (*model.Universe, [][]model.Mutation, error) {
+	c, err := cc.withDefaults(cfg.NumSources)
+	if err != nil {
+		return nil, nil, err
+	}
+	ext := cfg
+	ext.NumSources = cfg.NumSources + c.Steps*c.BatchMax
+	pool, _, err := Generate(ext)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := &model.Universe{Sources: append([]model.Source(nil), pool.Sources[:cfg.NumSources]...)}
+	rng := rand.New(rand.NewSource(c.Seed))
+	n := cfg.NumSources
+	fresh := cfg.NumSources
+	batches := make([][]model.Mutation, 0, c.Steps)
+	for b := 0; b < c.Steps; b++ {
+		k := 1 + rng.Intn(c.BatchMax)
+		muts := make([]model.Mutation, 0, k)
+		for i := 0; i < k; i++ {
+			kind := rng.Intn(10)
+			if kind < 4 && (n >= c.MaxSources || fresh >= len(pool.Sources)) {
+				kind = 9
+			}
+			if kind >= 4 && kind < 7 && n <= c.MinSources {
+				kind = 9
+			}
+			switch {
+			case kind < 4: // add
+				s := pool.Sources[fresh]
+				fresh++
+				s.ID = 0
+				muts = append(muts, model.Mutation{Op: model.OpAdd, Source: s})
+				n++
+			case kind < 7: // remove
+				muts = append(muts, model.Mutation{Op: model.OpRemove, ID: rng.Intn(n)})
+				n--
+			default: // update
+				card := cfg.MinCard + rng.Int63n(cfg.MaxCard-cfg.MinCard+1)
+				mttf := cfg.MTTFMean * (0.5 + rng.Float64())
+				muts = append(muts, model.Mutation{
+					Op:              model.OpUpdate,
+					ID:              rng.Intn(n),
+					Cardinality:     &card,
+					Characteristics: map[string]float64{"mttf": mttf},
+				})
+			}
+		}
+		batches = append(batches, muts)
+	}
+	return u, batches, nil
+}
